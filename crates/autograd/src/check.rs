@@ -1,0 +1,169 @@
+//! Finite-difference gradient checking.
+//!
+//! Every op's analytic backward rule is validated against central finite
+//! differences; the property tests in `tests/grad_properties.rs` run the
+//! checker over randomly composed graphs.
+
+use crate::store::VarStore;
+use crate::tape::{Tape, Var};
+use targad_linalg::Matrix;
+
+/// Result of a gradient check: the largest absolute and relative deviation
+/// between analytic and numeric gradients across all parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct GradCheckReport {
+    /// Largest absolute difference.
+    pub max_abs_err: f64,
+    /// Largest relative difference `|a − n| / max(1, |a|, |n|)`.
+    pub max_rel_err: f64,
+}
+
+impl GradCheckReport {
+    /// True when the relative error is within `tol`.
+    pub fn passes(&self, tol: f64) -> bool {
+        self.max_rel_err <= tol
+    }
+}
+
+/// Compares analytic gradients against central finite differences.
+///
+/// `build` must construct the full forward graph on the given tape, using
+/// parameters from the store, and return the scalar loss node. It is invoked
+/// `1 + 2·P` times for `P` scalar parameters, so keep test graphs small.
+pub fn gradient_check(
+    store: &mut VarStore,
+    mut build: impl FnMut(&mut Tape, &VarStore) -> Var,
+    eps: f64,
+) -> GradCheckReport {
+    // Analytic pass.
+    store.zero_grads();
+    let mut tape = Tape::new();
+    let loss = build(&mut tape, store);
+    tape.backward(loss, store);
+    let analytic: Vec<Matrix> = store.ids().map(|id| store.grad(id).clone()).collect();
+
+    let mut report = GradCheckReport { max_abs_err: 0.0, max_rel_err: 0.0 };
+
+    let ids: Vec<_> = store.ids().collect();
+    for (pi, &id) in ids.iter().enumerate() {
+        let (rows, cols) = store.value(id).shape();
+        for r in 0..rows {
+            for c in 0..cols {
+                let orig = store.value(id)[(r, c)];
+
+                store.value_mut(id)[(r, c)] = orig + eps;
+                let mut tp = Tape::new();
+                let lp = build(&mut tp, store);
+                let fp = tp.value(lp)[(0, 0)];
+
+                store.value_mut(id)[(r, c)] = orig - eps;
+                let mut tm = Tape::new();
+                let lm = build(&mut tm, store);
+                let fm = tm.value(lm)[(0, 0)];
+
+                store.value_mut(id)[(r, c)] = orig;
+
+                let numeric = (fp - fm) / (2.0 * eps);
+                let a = analytic[pi][(r, c)];
+                let abs = (a - numeric).abs();
+                let rel = abs / a.abs().max(numeric.abs()).max(1.0);
+                if abs > report.max_abs_err {
+                    report.max_abs_err = abs;
+                }
+                if rel > report.max_rel_err {
+                    report.max_rel_err = rel;
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use targad_linalg::rng;
+
+    #[test]
+    fn mlp_with_all_activations_passes() {
+        let mut r = rng::seeded(17);
+        let mut vs = VarStore::new();
+        let w1 = vs.add(rng::normal_matrix(&mut r, 3, 4, 0.0, 0.5));
+        let b1 = vs.add(rng::normal_matrix(&mut r, 1, 4, 0.0, 0.1));
+        let w2 = vs.add(rng::normal_matrix(&mut r, 4, 2, 0.0, 0.5));
+        let x = rng::normal_matrix(&mut r, 5, 3, 0.0, 1.0);
+        let y = rng::uniform_matrix(&mut r, 5, 2, 0.0, 1.0);
+
+        let report = gradient_check(
+            &mut vs,
+            |t, vs| {
+                let xv = t.input(x.clone());
+                let yv = t.input(y.clone());
+                let w1v = t.param(vs, w1);
+                let b1v = t.param(vs, b1);
+                let w2v = t.param(vs, w2);
+                let h = t.matmul(xv, w1v);
+                let h = t.add_row_broadcast(h, b1v);
+                let h = t.tanh(h);
+                let z = t.matmul(h, w2v);
+                let lp = t.log_softmax_rows(z);
+                let prod = t.mul(yv, lp);
+                let s = t.sum_all(prod);
+                t.scale(s, -1.0 / 5.0)
+            },
+            1e-5,
+        );
+        assert!(report.passes(1e-6), "{report:?}");
+    }
+
+    #[test]
+    fn recip_penalty_passes() {
+        // The DeepSAD-style inverse reconstruction error penalty from Eq. 1.
+        let mut r = rng::seeded(3);
+        let mut vs = VarStore::new();
+        let w = vs.add(rng::normal_matrix(&mut r, 3, 3, 0.0, 0.4));
+        let x = rng::normal_matrix(&mut r, 4, 3, 1.0, 0.5);
+
+        let report = gradient_check(
+            &mut vs,
+            |t, vs| {
+                let xv = t.input(x.clone());
+                let wv = t.param(vs, w);
+                let recon = t.matmul(xv, wv);
+                let d = t.sub(xv, recon);
+                let errs = t.row_sq_norm(d);
+                let inv = t.recip(errs);
+                t.mean_all(inv)
+            },
+            1e-5,
+        );
+        assert!(report.passes(1e-5), "{report:?}");
+    }
+
+    #[test]
+    fn weighted_col_broadcast_passes() {
+        let mut r = rng::seeded(5);
+        let mut vs = VarStore::new();
+        let w = vs.add(rng::normal_matrix(&mut r, 2, 3, 0.0, 0.5));
+        let x = rng::normal_matrix(&mut r, 4, 2, 0.0, 1.0);
+        let weights = Matrix::col_vector(&[0.1, 0.9, 0.5, 0.0]);
+
+        let report = gradient_check(
+            &mut vs,
+            |t, vs| {
+                let xv = t.input(x.clone());
+                let wv = t.param(vs, w);
+                let cw = t.input(weights.clone());
+                let z = t.matmul(xv, wv);
+                let p = t.softmax_rows(z);
+                let lp = t.ln(p);
+                let per_row = t.row_sum(lp);
+                let weighted = t.mul_col_broadcast(per_row, cw);
+                let s = t.sum_all(weighted);
+                t.scale(s, -0.25)
+            },
+            1e-5,
+        );
+        assert!(report.passes(1e-5), "{report:?}");
+    }
+}

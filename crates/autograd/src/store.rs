@@ -1,0 +1,144 @@
+//! Trainable-parameter storage, decoupled from any single [`crate::Tape`].
+
+use targad_linalg::Matrix;
+
+/// Handle to a parameter inside a [`VarStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+#[derive(Clone)]
+struct ParamEntry {
+    value: Matrix,
+    grad: Matrix,
+}
+
+/// Owns all trainable parameters of one or more models together with their
+/// accumulated gradients.
+///
+/// A fresh [`crate::Tape`] is built per mini-batch; parameters enter the
+/// tape through [`crate::Tape::param`], and [`crate::Tape::backward`] flushes
+/// the resulting gradients back here, where an optimizer consumes them.
+#[derive(Clone, Default)]
+pub struct VarStore {
+    params: Vec<ParamEntry>,
+}
+
+impl VarStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `value` as a trainable parameter, returning its handle.
+    pub fn add(&mut self, value: Matrix) -> ParamId {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        self.params.push(ParamEntry { value, grad });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the store holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total scalar parameter count across all tensors.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// The current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.params[id.0].value
+    }
+
+    /// Mutable access to a parameter's value (used by optimizers).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.params[id.0].value
+    }
+
+    /// The accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Matrix {
+        &self.params[id.0].grad
+    }
+
+    /// Adds `delta` into the parameter's gradient accumulator.
+    pub(crate) fn accumulate_grad(&mut self, id: ParamId, delta: &Matrix) {
+        self.params[id.0].grad.add_scaled_inplace(delta, 1.0);
+    }
+
+    /// Resets all gradients to zero. Call once per optimizer step.
+    pub fn zero_grads(&mut self) {
+        for p in &mut self.params {
+            p.grad.map_inplace(|_| 0.0);
+        }
+    }
+
+    /// All parameter handles, in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.params.len()).map(ParamId)
+    }
+
+    /// Applies `f(value, grad)` to every parameter (optimizer steps).
+    pub fn update_each(&mut self, mut f: impl FnMut(&mut Matrix, &Matrix)) {
+        for p in &mut self.params {
+            f(&mut p.value, &p.grad);
+        }
+    }
+
+    /// Global L2 norm of all gradients (for clipping / diagnostics).
+    pub fn grad_norm(&self) -> f64 {
+        self.params.iter().map(|p| p.grad.sq_norm()).sum::<f64>().sqrt()
+    }
+
+    /// Scales every gradient by `s` (gradient clipping).
+    pub fn scale_grads(&mut self, s: f64) {
+        for p in &mut self.params {
+            p.grad.map_inplace(|v| v * s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_value_grad_lifecycle() {
+        let mut vs = VarStore::new();
+        let id = vs.add(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs.num_scalars(), 2);
+        assert_eq!(vs.grad(id).as_slice(), &[0.0, 0.0]);
+
+        vs.accumulate_grad(id, &Matrix::from_vec(1, 2, vec![0.5, 0.5]));
+        vs.accumulate_grad(id, &Matrix::from_vec(1, 2, vec![0.5, 1.5]));
+        assert_eq!(vs.grad(id).as_slice(), &[1.0, 2.0]);
+
+        vs.zero_grads();
+        assert_eq!(vs.grad(id).as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn update_each_steps_values() {
+        let mut vs = VarStore::new();
+        let id = vs.add(Matrix::from_vec(1, 2, vec![1.0, 1.0]));
+        vs.accumulate_grad(id, &Matrix::from_vec(1, 2, vec![0.25, 0.5]));
+        vs.update_each(|v, g| v.add_scaled_inplace(g, -1.0));
+        assert_eq!(vs.value(id).as_slice(), &[0.75, 0.5]);
+    }
+
+    #[test]
+    fn grad_norm_and_scaling() {
+        let mut vs = VarStore::new();
+        let id = vs.add(Matrix::zeros(1, 2));
+        vs.accumulate_grad(id, &Matrix::from_vec(1, 2, vec![3.0, 4.0]));
+        assert!((vs.grad_norm() - 5.0).abs() < 1e-12);
+        vs.scale_grads(0.5);
+        assert_eq!(vs.grad(id).as_slice(), &[1.5, 2.0]);
+    }
+}

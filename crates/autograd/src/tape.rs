@@ -1,0 +1,534 @@
+//! The computation tape: define-by-run forward ops and reverse-mode backward.
+
+use crate::store::{ParamId, VarStore};
+use targad_linalg::Matrix;
+
+/// Handle to a node on a [`Tape`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(usize);
+
+/// Guard used by [`Op::Ln`] and [`Op::Recip`] so gradients stay finite when
+/// an activation touches zero.
+const EPS: f64 = 1e-12;
+
+#[derive(Clone, Copy)]
+enum Op {
+    /// Constant leaf (mini-batch inputs, pseudo-label matrices, weights).
+    Input,
+    /// Trainable leaf; gradients flush into the [`VarStore`].
+    Param(ParamId),
+    MatMul(Var, Var),
+    Add(Var, Var),
+    Sub(Var, Var),
+    MulElem(Var, Var),
+    /// `(n x c) + (1 x c)` broadcast: the bias add of a linear layer.
+    AddRowBroadcast(Var, Var),
+    /// `(n x c) * (n x 1)` broadcast: per-instance loss weights (Eq. 6).
+    MulColBroadcast(Var, Var),
+    Scale(Var, f64),
+    /// The shift itself is applied at record time and has zero derivative,
+    /// so only the operand is stored.
+    AddScalar(Var),
+    Relu(Var),
+    LeakyRelu(Var, f64),
+    Sigmoid(Var),
+    Tanh(Var),
+    Exp(Var),
+    /// `ln(max(x, EPS))` — guarded to keep log-loss gradients finite.
+    Ln(Var),
+    Abs(Var),
+    Square(Var),
+    Sqrt(Var),
+    /// `1 / max(x, EPS)` — the inverse-reconstruction-error penalty (Eq. 1).
+    Recip(Var),
+    Neg(Var),
+    Transpose(Var),
+    /// Sum of all entries, producing a `1 x 1` matrix.
+    SumAll(Var),
+    /// Mean of all entries, producing a `1 x 1` matrix.
+    MeanAll(Var),
+    /// Row sums, producing an `n x 1` column vector.
+    RowSum(Var),
+    SoftmaxRows(Var),
+    LogSoftmaxRows(Var),
+}
+
+struct Node {
+    value: Matrix,
+    op: Op,
+}
+
+/// A single-use computation graph. Build one per forward pass, call
+/// [`Tape::backward`] once, then drop it.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The forward value of `v`.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> Var {
+        debug_assert!(value.all_finite(), "non-finite value produced by a tape op");
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Registers a constant (non-trainable) leaf.
+    pub fn input(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Input)
+    }
+
+    /// Registers a trainable parameter from `store` as a leaf.
+    pub fn param(&mut self, store: &VarStore, id: ParamId) -> Var {
+        self.push(store.value(id).clone(), Op::Param(id))
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Elementwise sum of two same-shape matrices.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = &self.nodes[a.0].value + &self.nodes[b.0].value;
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = &self.nodes[a.0].value - &self.nodes[b.0].value;
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.hadamard(&self.nodes[b.0].value);
+        self.push(v, Op::MulElem(a, b))
+    }
+
+    /// Adds a `1 x c` row vector to every row of an `n x c` matrix.
+    pub fn add_row_broadcast(&mut self, a: Var, row: Var) -> Var {
+        let v = self.nodes[a.0].value.add_row_broadcast(&self.nodes[row.0].value);
+        self.push(v, Op::AddRowBroadcast(a, row))
+    }
+
+    /// Multiplies each row of an `n x c` matrix by the matching entry of an
+    /// `n x 1` column vector.
+    pub fn mul_col_broadcast(&mut self, a: Var, col: Var) -> Var {
+        let v = self.nodes[a.0].value.mul_col_broadcast(&self.nodes[col.0].value);
+        self.push(v, Op::MulColBroadcast(a, col))
+    }
+
+    /// Multiplication by a scalar constant.
+    pub fn scale(&mut self, a: Var, s: f64) -> Var {
+        let v = self.nodes[a.0].value.scale(s);
+        self.push(v, Op::Scale(a, s))
+    }
+
+    /// Addition of a scalar constant.
+    pub fn add_scalar(&mut self, a: Var, s: f64) -> Var {
+        let v = self.nodes[a.0].value.add_scalar(s);
+        self.push(v, Op::AddScalar(a))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Leaky ReLU with negative slope `alpha`.
+    pub fn leaky_relu(&mut self, a: Var, alpha: f64) -> Var {
+        let v = self.nodes[a.0].value.map(|x| if x > 0.0 { x } else { alpha * x });
+        self.push(v, Op::LeakyRelu(a, alpha))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(stable_sigmoid);
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(f64::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(f64::exp);
+        self.push(v, Op::Exp(a))
+    }
+
+    /// Elementwise `ln(max(x, 1e-12))` (guarded natural log).
+    pub fn ln(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x.max(EPS).ln());
+        self.push(v, Op::Ln(a))
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(f64::abs);
+        self.push(v, Op::Abs(a))
+    }
+
+    /// Elementwise square.
+    pub fn square(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x * x);
+        self.push(v, Op::Square(a))
+    }
+
+    /// Elementwise square root (input must be non-negative).
+    pub fn sqrt(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(f64::sqrt);
+        self.push(v, Op::Sqrt(a))
+    }
+
+    /// Elementwise `1 / max(x, 1e-12)` (guarded reciprocal).
+    pub fn recip(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| 1.0 / x.max(EPS));
+        self.push(v, Op::Recip(a))
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&mut self, a: Var) -> Var {
+        let v = -&self.nodes[a.0].value;
+        self.push(v, Op::Neg(a))
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.transpose();
+        self.push(v, Op::Transpose(a))
+    }
+
+    /// Sum of all entries as a `1 x 1` matrix.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let v = Matrix::from_vec(1, 1, vec![self.nodes[a.0].value.sum()]);
+        self.push(v, Op::SumAll(a))
+    }
+
+    /// Mean of all entries as a `1 x 1` matrix.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let v = Matrix::from_vec(1, 1, vec![self.nodes[a.0].value.mean()]);
+        self.push(v, Op::MeanAll(a))
+    }
+
+    /// Row sums as an `n x 1` column vector.
+    pub fn row_sum(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.row_sums();
+        self.push(v, Op::RowSum(a))
+    }
+
+    /// Numerically stable row-wise softmax.
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.softmax_rows();
+        self.push(v, Op::SoftmaxRows(a))
+    }
+
+    /// Numerically stable row-wise log-softmax.
+    pub fn log_softmax_rows(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.log_softmax_rows();
+        self.push(v, Op::LogSoftmaxRows(a))
+    }
+
+    // ---- composite convenience ops -------------------------------------
+
+    /// Mean squared error between two same-shape matrices, as `1 x 1`.
+    pub fn mse(&mut self, a: Var, b: Var) -> Var {
+        let d = self.sub(a, b);
+        let sq = self.square(d);
+        self.mean_all(sq)
+    }
+
+    /// Per-row squared Euclidean norms: `n x 1`.
+    pub fn row_sq_norm(&mut self, a: Var) -> Var {
+        let sq = self.square(a);
+        self.row_sum(sq)
+    }
+
+    /// `a + b * s` — fused scale-and-add used when composing loss terms.
+    pub fn add_scaled(&mut self, a: Var, b: Var, s: f64) -> Var {
+        let sb = self.scale(b, s);
+        self.add(a, sb)
+    }
+
+    /// Reverse-mode sweep from `loss` (must be `1 x 1`), flushing parameter
+    /// gradients into `store`.
+    ///
+    /// Gradients **accumulate** in the store; call [`VarStore::zero_grads`]
+    /// between optimizer steps.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not a `1 x 1` matrix.
+    pub fn backward(&self, loss: Var, store: &mut VarStore) {
+        assert_eq!(
+            self.nodes[loss.0].value.shape(),
+            (1, 1),
+            "backward: loss must be a 1x1 matrix"
+        );
+        let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[loss.0] = Some(Matrix::ones(1, 1));
+
+        for i in (0..self.nodes.len()).rev() {
+            let g = match grads[i].take() {
+                Some(g) => g,
+                None => continue,
+            };
+            match self.nodes[i].op {
+                Op::Input => {}
+                Op::Param(id) => store.accumulate_grad(id, &g),
+                Op::MatMul(a, b) => {
+                    let da = g.matmul_nt(&self.nodes[b.0].value);
+                    let db = self.nodes[a.0].value.matmul_tn(&g);
+                    accumulate(&mut grads, a.0, da);
+                    accumulate(&mut grads, b.0, db);
+                }
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, a.0, g.clone());
+                    accumulate(&mut grads, b.0, g);
+                }
+                Op::Sub(a, b) => {
+                    accumulate(&mut grads, a.0, g.clone());
+                    accumulate(&mut grads, b.0, -&g);
+                }
+                Op::MulElem(a, b) => {
+                    let da = g.hadamard(&self.nodes[b.0].value);
+                    let db = g.hadamard(&self.nodes[a.0].value);
+                    accumulate(&mut grads, a.0, da);
+                    accumulate(&mut grads, b.0, db);
+                }
+                Op::AddRowBroadcast(a, row) => {
+                    accumulate(&mut grads, row.0, g.col_sums());
+                    accumulate(&mut grads, a.0, g);
+                }
+                Op::MulColBroadcast(a, col) => {
+                    let da = g.mul_col_broadcast(&self.nodes[col.0].value);
+                    let dcol = g.hadamard(&self.nodes[a.0].value).row_sums();
+                    accumulate(&mut grads, a.0, da);
+                    accumulate(&mut grads, col.0, dcol);
+                }
+                Op::Scale(a, s) => accumulate(&mut grads, a.0, g.scale(s)),
+                Op::AddScalar(a) => accumulate(&mut grads, a.0, g),
+                Op::Relu(a) => {
+                    let mask = self.nodes[a.0].value.map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+                    accumulate(&mut grads, a.0, g.hadamard(&mask));
+                }
+                Op::LeakyRelu(a, alpha) => {
+                    let mask = self.nodes[a.0].value.map(|x| if x > 0.0 { 1.0 } else { alpha });
+                    accumulate(&mut grads, a.0, g.hadamard(&mask));
+                }
+                Op::Sigmoid(a) => {
+                    let dy = self.nodes[i].value.map(|y| y * (1.0 - y));
+                    accumulate(&mut grads, a.0, g.hadamard(&dy));
+                }
+                Op::Tanh(a) => {
+                    let dy = self.nodes[i].value.map(|y| 1.0 - y * y);
+                    accumulate(&mut grads, a.0, g.hadamard(&dy));
+                }
+                Op::Exp(a) => {
+                    accumulate(&mut grads, a.0, g.hadamard(&self.nodes[i].value));
+                }
+                Op::Ln(a) => {
+                    let dx = self.nodes[a.0].value.map(|x| 1.0 / x.max(EPS));
+                    accumulate(&mut grads, a.0, g.hadamard(&dx));
+                }
+                Op::Abs(a) => {
+                    let sign = self.nodes[a.0].value.map(|x| {
+                        if x > 0.0 {
+                            1.0
+                        } else if x < 0.0 {
+                            -1.0
+                        } else {
+                            0.0
+                        }
+                    });
+                    accumulate(&mut grads, a.0, g.hadamard(&sign));
+                }
+                Op::Square(a) => {
+                    let dx = self.nodes[a.0].value.scale(2.0);
+                    accumulate(&mut grads, a.0, g.hadamard(&dx));
+                }
+                Op::Sqrt(a) => {
+                    let dy = self.nodes[i].value.map(|y| 0.5 / y.max(EPS));
+                    accumulate(&mut grads, a.0, g.hadamard(&dy));
+                }
+                Op::Recip(a) => {
+                    // d(1/x)/dx = -1/x^2 = -y^2 on the guarded domain.
+                    let dy = self.nodes[i].value.map(|y| -y * y);
+                    accumulate(&mut grads, a.0, g.hadamard(&dy));
+                }
+                Op::Neg(a) => accumulate(&mut grads, a.0, -&g),
+                Op::Transpose(a) => accumulate(&mut grads, a.0, g.transpose()),
+                Op::SumAll(a) => {
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    accumulate(&mut grads, a.0, Matrix::full(r, c, g[(0, 0)]));
+                }
+                Op::MeanAll(a) => {
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    let n = (r * c) as f64;
+                    accumulate(&mut grads, a.0, Matrix::full(r, c, g[(0, 0)] / n));
+                }
+                Op::RowSum(a) => {
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    accumulate(&mut grads, a.0, Matrix::ones(r, c).mul_col_broadcast(&g));
+                }
+                Op::SoftmaxRows(a) => {
+                    // dx = y ⊙ (g − rowsum(g ⊙ y)).
+                    let y = &self.nodes[i].value;
+                    let gy = g.hadamard(y);
+                    let dot = gy.row_sums();
+                    let centered = &g - &Matrix::ones(g.rows(), g.cols()).mul_col_broadcast(&dot);
+                    accumulate(&mut grads, a.0, centered.hadamard(y));
+                }
+                Op::LogSoftmaxRows(a) => {
+                    // dx = g − softmax(x) ⊙ rowsum(g) broadcast.
+                    let soft = self.nodes[a.0].value.softmax_rows();
+                    let rs = g.row_sums();
+                    let dx = &g - &soft.mul_col_broadcast(&rs);
+                    accumulate(&mut grads, a.0, dx);
+                }
+            }
+        }
+    }
+}
+
+fn accumulate(grads: &mut [Option<Matrix>], idx: usize, delta: Matrix) {
+    match &mut grads[idx] {
+        Some(existing) => existing.add_scaled_inplace(&delta, 1.0),
+        slot @ None => *slot = Some(delta),
+    }
+}
+
+/// Overflow-safe logistic sigmoid.
+fn stable_sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(values: &[Matrix]) -> (VarStore, Vec<ParamId>) {
+        let mut vs = VarStore::new();
+        let ids = values.iter().map(|m| vs.add(m.clone())).collect();
+        (vs, ids)
+    }
+
+    #[test]
+    fn forward_values_compose() {
+        let mut t = Tape::new();
+        let a = t.input(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        let b = t.input(Matrix::from_vec(2, 1, vec![3.0, 4.0]));
+        let c = t.matmul(a, b);
+        assert_eq!(t.value(c)[(0, 0)], 11.0);
+        let d = t.scale(c, 2.0);
+        let e = t.add_scalar(d, 1.0);
+        assert_eq!(t.value(e)[(0, 0)], 23.0);
+    }
+
+    #[test]
+    fn backward_linear_chain() {
+        // loss = mean((x*w - y)^2); check dL/dw analytically.
+        let (mut vs, ids) = store_with(&[Matrix::from_vec(1, 1, vec![3.0])]);
+        let mut t = Tape::new();
+        let x = t.input(Matrix::from_vec(2, 1, vec![1.0, 2.0]));
+        let y = t.input(Matrix::from_vec(2, 1, vec![2.0, 4.5]));
+        let w = t.param(&vs, ids[0]);
+        let pred = t.matmul(x, w);
+        let loss = t.mse(pred, y);
+        // residuals: (3-2)=1, (6-4.5)=1.5 -> loss = (1 + 2.25)/2
+        assert!((t.value(loss)[(0, 0)] - 1.625).abs() < 1e-12);
+        t.backward(loss, &mut vs);
+        // dL/dw = mean over i of 2*(x_i*w - y_i)*x_i = (2*1*1 + 2*1.5*2)/2 = 4
+        assert!((vs.grad(ids[0])[(0, 0)] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backward_accumulates_for_shared_nodes() {
+        // loss = sum(w + w) -> dL/dw = 2 per element.
+        let (mut vs, ids) = store_with(&[Matrix::from_vec(1, 2, vec![1.0, -1.0])]);
+        let mut t = Tape::new();
+        let w = t.param(&vs, ids[0]);
+        let s = t.add(w, w);
+        let loss = t.sum_all(s);
+        t.backward(loss, &mut vs);
+        assert_eq!(vs.grad(ids[0]).as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be a 1x1")]
+    fn backward_rejects_non_scalar_loss() {
+        let mut vs = VarStore::new();
+        let mut t = Tape::new();
+        let a = t.input(Matrix::zeros(2, 2));
+        t.backward(a, &mut vs);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        let mut t = Tape::new();
+        let a = t.input(Matrix::from_vec(1, 2, vec![1000.0, -1000.0]));
+        let s = t.sigmoid(a);
+        assert_eq!(t.value(s)[(0, 0)], 1.0);
+        assert_eq!(t.value(s)[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn softmax_rows_forward_matches_linalg() {
+        let m = Matrix::from_vec(2, 3, vec![0.0, 1.0, 2.0, -1.0, 0.5, 0.25]);
+        let mut t = Tape::new();
+        let a = t.input(m.clone());
+        let s = t.softmax_rows(a);
+        assert_eq!(t.value(s), &m.softmax_rows());
+    }
+
+    #[test]
+    fn weighted_ce_against_hand_computed() {
+        // A 2-instance, 2-class weighted CE:
+        //   L = (1/2) Σ_i w_i Σ_j −y_ij log p_ij
+        let logits = Matrix::from_vec(2, 2, vec![0.0, 0.0, 2.0, 0.0]);
+        let targets = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let weights = Matrix::col_vector(&[1.0, 2.0]);
+        let mut t = Tape::new();
+        let z = t.input(logits);
+        let y = t.input(targets);
+        let wv = t.input(weights);
+        let logp = t.log_softmax_rows(z);
+        let prod = t.mul(y, logp);
+        let per_row = t.row_sum(prod);
+        let weighted = t.mul(per_row, wv);
+        let sum = t.sum_all(weighted);
+        let loss = t.scale(sum, -0.5);
+        // row0: log p = log 0.5 -> contributes -log 0.5 * 1
+        // row1: p_1 = e^0/(e^2+e^0); -log p_1 = log(1+e^2) * 2
+        let expected = 0.5 * (-(0.5f64.ln()) + 2.0 * (1.0 + 2.0f64.exp()).ln());
+        assert!((t.value(loss)[(0, 0)] - expected).abs() < 1e-10);
+    }
+}

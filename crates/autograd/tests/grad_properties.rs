@@ -1,0 +1,172 @@
+//! Property tests: analytic gradients of randomly composed graphs must agree
+//! with central finite differences.
+
+use proptest::prelude::*;
+use targad_autograd::check::gradient_check;
+use targad_autograd::{Tape, Var, VarStore};
+use targad_linalg::{rng, Matrix};
+
+/// The unary ops we compose randomly. `Ln`, `Sqrt`, and `Recip` are applied
+/// after a softening transform that keeps inputs strictly positive and away
+/// from the finite-difference kink at the guard epsilon.
+#[derive(Clone, Copy, Debug)]
+enum Unary {
+    Relu,
+    LeakyRelu,
+    Sigmoid,
+    Tanh,
+    Exp,
+    Square,
+    Neg,
+    Abs,
+    SoftplusLn,
+    SqrtOfSquarePlusOne,
+    RecipOfExp,
+}
+
+fn apply(t: &mut Tape, op: Unary, v: Var) -> Var {
+    match op {
+        Unary::Relu => t.relu(v),
+        Unary::LeakyRelu => t.leaky_relu(v, 0.1),
+        Unary::Sigmoid => t.sigmoid(v),
+        Unary::Tanh => t.tanh(v),
+        Unary::Exp => {
+            // keep magnitudes bounded before exponentiation
+            let s = t.tanh(v);
+            t.exp(s)
+        }
+        Unary::Square => t.square(v),
+        Unary::Neg => t.neg(v),
+        Unary::Abs => t.abs(v),
+        Unary::SoftplusLn => {
+            // ln(1 + e^x): positive domain for the guarded ln
+            let s = t.tanh(v);
+            let e = t.exp(s);
+            let p = t.add_scalar(e, 1.0);
+            t.ln(p)
+        }
+        Unary::SqrtOfSquarePlusOne => {
+            let sq = t.square(v);
+            let p = t.add_scalar(sq, 1.0);
+            t.sqrt(p)
+        }
+        Unary::RecipOfExp => {
+            let s = t.tanh(v);
+            let e = t.exp(s);
+            t.recip(e)
+        }
+    }
+}
+
+fn unary_strategy() -> impl Strategy<Value = Unary> {
+    prop_oneof![
+        Just(Unary::Relu),
+        Just(Unary::LeakyRelu),
+        Just(Unary::Sigmoid),
+        Just(Unary::Tanh),
+        Just(Unary::Exp),
+        Just(Unary::Square),
+        Just(Unary::Neg),
+        Just(Unary::Abs),
+        Just(Unary::SoftplusLn),
+        Just(Unary::SqrtOfSquarePlusOne),
+        Just(Unary::RecipOfExp),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Two-layer nets with random activation chains gradient-check.
+    #[test]
+    fn random_activation_chains_gradcheck(
+        seed in 0u64..1_000_000,
+        ops in prop::collection::vec(unary_strategy(), 1..4),
+        rows in 2usize..5,
+        hidden in 2usize..5,
+    ) {
+        let mut r = rng::seeded(seed);
+        let cols = 3;
+        let mut vs = VarStore::new();
+        let w1 = vs.add(rng::normal_matrix(&mut r, cols, hidden, 0.0, 0.4));
+        let b1 = vs.add(rng::normal_matrix(&mut r, 1, hidden, 0.0, 0.1));
+        let w2 = vs.add(rng::normal_matrix(&mut r, hidden, 2, 0.0, 0.4));
+        let x = rng::normal_matrix(&mut r, rows, cols, 0.0, 1.0);
+
+        let report = gradient_check(&mut vs, |t, vs| {
+            let xv = t.input(x.clone());
+            let w1v = t.param(vs, w1);
+            let b1v = t.param(vs, b1);
+            let w2v = t.param(vs, w2);
+            let mut h = t.matmul(xv, w1v);
+            h = t.add_row_broadcast(h, b1v);
+            for &op in &ops {
+                h = apply(t, op, h);
+            }
+            let z = t.matmul(h, w2v);
+            let sq = t.square(z);
+            t.mean_all(sq)
+        }, 1e-5);
+        // Relu/Abs kinks can inflate the error if an activation sits within
+        // eps of zero; tolerate rare moderate deviations but catch real bugs.
+        prop_assert!(report.max_rel_err < 1e-3, "report {report:?} ops {ops:?}");
+    }
+
+    /// Softmax/log-softmax losses gradient-check.
+    #[test]
+    fn softmax_losses_gradcheck(seed in 0u64..1_000_000, rows in 2usize..6, classes in 2usize..5) {
+        let mut r = rng::seeded(seed);
+        let mut vs = VarStore::new();
+        let w = vs.add(rng::normal_matrix(&mut r, 3, classes, 0.0, 0.5));
+        let x = rng::normal_matrix(&mut r, rows, 3, 0.0, 1.0);
+        // random soft targets normalized per row (covers TargAD pseudo-labels)
+        let mut y = rng::uniform_matrix(&mut r, rows, classes, 0.05, 1.0);
+        for i in 0..rows {
+            let s: f64 = y.row(i).iter().sum();
+            for v in y.row_mut(i) { *v /= s; }
+        }
+
+        let report = gradient_check(&mut vs, |t, vs| {
+            let xv = t.input(x.clone());
+            let yv = t.input(y.clone());
+            let wv = t.param(vs, w);
+            let z = t.matmul(xv, wv);
+            let lp = t.log_softmax_rows(z);
+            let ce = t.mul(yv, lp);
+            let ce_sum = t.sum_all(ce);
+            let ce_loss = t.scale(ce_sum, -1.0 / rows as f64);
+            // plus an entropy regularizer (Eq. 7 shape): Σ p log p
+            let p = t.softmax_rows(z);
+            let lp2 = t.log_softmax_rows(z);
+            let ent = t.mul(p, lp2);
+            let ent_mean = t.mean_all(ent);
+            t.add_scaled(ce_loss, ent_mean, 0.5)
+        }, 1e-5);
+        prop_assert!(report.max_rel_err < 1e-5, "report {report:?}");
+    }
+
+    /// Matrix calculus identities: gradient of sum(A*B) w.r.t. A is B^T-ish.
+    #[test]
+    fn matmul_gradient_identity(seed in 0u64..1_000_000) {
+        let mut r = rng::seeded(seed);
+        let mut vs = VarStore::new();
+        let a = vs.add(rng::normal_matrix(&mut r, 3, 4, 0.0, 1.0));
+        let b = rng::normal_matrix(&mut r, 4, 2, 0.0, 1.0);
+
+        let mut tape = Tape::new();
+        let av = tape.param(&vs, a);
+        let bv = tape.input(b.clone());
+        let prod = tape.matmul(av, bv);
+        let loss = tape.sum_all(prod);
+        tape.backward(loss, &mut vs);
+
+        // d/dA sum(AB) = ones(3,2) * B^T => each entry (i,k) = Σ_j B[k,j]
+        let expected = Matrix::ones(3, 2).matmul_nt(&b);
+        let got = vs.grad(a);
+        for i in 0..3 {
+            for k in 0..4 {
+                prop_assert!((got[(i, k)] - expected[(i, k)]).abs() < 1e-9);
+            }
+        }
+    }
+}

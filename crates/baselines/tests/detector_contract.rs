@@ -1,0 +1,105 @@
+//! Contract tests every baseline must satisfy: determinism given a seed,
+//! score-vector shape, finite scores, and basic signal on an easy
+//! benchmark.
+
+use targad_baselines::{all_baselines, TrainView};
+use targad_data::GeneratorSpec;
+use targad_metrics::auroc;
+
+fn easy_bundle(seed: u64) -> targad_data::DatasetBundle {
+    // Low overlap and no dropout: every detector should find *some* signal.
+    let mut spec = GeneratorSpec::quick_demo();
+    spec.anomaly_signature_overlap = 0.2;
+    spec.signature_dropout = 0.0;
+    spec.generate(seed)
+}
+
+#[test]
+fn all_detectors_fit_and_score() {
+    let bundle = easy_bundle(101);
+    let view = TrainView::from_dataset(&bundle.train);
+    for mut detector in all_baselines() {
+        detector.fit(&view, 11);
+        let scores = detector.score(&bundle.test.features);
+        assert_eq!(scores.len(), bundle.test.len(), "{}", detector.name());
+        assert!(
+            scores.iter().all(|s| s.is_finite()),
+            "{} produced non-finite scores",
+            detector.name()
+        );
+    }
+}
+
+#[test]
+fn all_detectors_are_deterministic() {
+    let bundle = easy_bundle(102);
+    let view = TrainView::from_dataset(&bundle.train);
+    for name in all_baselines().iter().map(|d| d.name()) {
+        let mut a = targad_baselines::all_baselines()
+            .into_iter()
+            .find(|d| d.name() == name)
+            .unwrap();
+        let mut b = targad_baselines::all_baselines()
+            .into_iter()
+            .find(|d| d.name() == name)
+            .unwrap();
+        a.fit(&view, 5);
+        b.fit(&view, 5);
+        assert_eq!(
+            a.score(&bundle.test.features),
+            b.score(&bundle.test.features),
+            "{name} is not deterministic"
+        );
+    }
+}
+
+#[test]
+fn all_detectors_beat_chance_on_easy_data() {
+    let bundle = easy_bundle(103);
+    let view = TrainView::from_dataset(&bundle.train);
+    let labels = bundle.test.anomaly_labels();
+    let target_labels = bundle.test.target_labels();
+    for mut detector in all_baselines() {
+        detector.fit(&view, 3);
+        let scores = detector.score(&bundle.test.features);
+        let any = auroc(&scores, &labels);
+        let target = auroc(&scores, &target_labels);
+        // Each detector must carry real signal on at least one of the two
+        // rankings (supervised ones may specialize toward targets).
+        assert!(
+            any.max(target) > 0.7,
+            "{}: anomaly AUROC {any:.3}, target AUROC {target:.3}",
+            detector.name()
+        );
+    }
+}
+
+#[test]
+fn scores_respond_to_labeled_data() {
+    // Semi-supervised detectors trained with vs without labels should
+    // produce different scores (the labels must matter).
+    let bundle = easy_bundle(104);
+    let with = TrainView::from_dataset(&bundle.train);
+    let mut unlabeled_train = bundle.train.clone();
+    unlabeled_train.labeled.iter_mut().for_each(|l| *l = false);
+    let without = TrainView::from_dataset(&unlabeled_train);
+    assert_eq!(without.labeled.rows(), 0);
+
+    for name in ["DevNet", "DeepSAD", "PReNet", "FEAWAD", "PUMAD"] {
+        let mut a = targad_baselines::all_baselines()
+            .into_iter()
+            .find(|d| d.name() == name)
+            .unwrap();
+        let mut b = targad_baselines::all_baselines()
+            .into_iter()
+            .find(|d| d.name() == name)
+            .unwrap();
+        a.fit(&with, 7);
+        b.fit(&without, 7);
+        assert_ne!(
+            a.score(&bundle.test.features),
+            b.score(&bundle.test.features),
+            "{name} ignores its labeled anomalies"
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Criterion benchmarks of TargAD's design-choice ablations: how much
+//! time each mechanism costs (per-cluster AEs vs one AE, weight updates,
+//! OE/RE terms, Adam vs SGD).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use targad_core::{TargAd, TargAdConfig};
+use targad_data::GeneratorSpec;
+
+fn base_config() -> TargAdConfig {
+    let mut cfg = TargAdConfig::fast();
+    cfg.ae_epochs = 5;
+    cfg.clf_epochs = 8;
+    cfg
+}
+
+fn fit_with(cfg: TargAdConfig) -> TargAd {
+    let bundle = GeneratorSpec::quick_demo().generate(11);
+    let mut model = TargAd::new(cfg);
+    model.fit(&bundle.train, 3).expect("fit");
+    model
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("targad_fit_variants");
+    group.sample_size(10);
+
+    group.bench_function("full", |b| b.iter(|| black_box(fit_with(base_config()))));
+    group.bench_function("single_global_ae", |b| {
+        b.iter(|| {
+            let mut cfg = base_config();
+            cfg.k = Some(1);
+            black_box(fit_with(cfg))
+        })
+    });
+    group.bench_function("frozen_weights", |b| {
+        b.iter(|| {
+            let mut cfg = base_config();
+            cfg.update_weights = false;
+            black_box(fit_with(cfg))
+        })
+    });
+    group.bench_function("no_oe_no_re", |b| {
+        b.iter(|| {
+            let mut cfg = base_config();
+            cfg.use_oe = false;
+            cfg.use_re = false;
+            black_box(fit_with(cfg))
+        })
+    });
+    group.bench_function("sgd_classifier", |b| {
+        b.iter(|| {
+            let mut cfg = base_config();
+            cfg.clf_sgd = true;
+            black_box(fit_with(cfg))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(ablations, bench_variants);
+criterion_main!(ablations);

@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks for the numeric kernels behind TargAD:
+//! matmul variants, softmax, metric computation, k-means assignment, and
+//! isolation-forest scoring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use targad_baselines::{Detector, IForest, TrainView};
+use targad_cluster::{KMeans, KMeansConfig};
+use targad_linalg::{rng as lrng, Matrix};
+use targad_metrics::{auroc, average_precision};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 128, 256] {
+        let mut rng = lrng::seeded(1);
+        let a = lrng::normal_matrix(&mut rng, n, n, 0.0, 1.0);
+        let b = lrng::normal_matrix(&mut rng, n, n, 0.0, 1.0);
+        group.bench_with_input(BenchmarkId::new("nn", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("tn", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul_tn(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("nt", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul_nt(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = lrng::seeded(2);
+    let logits = lrng::normal_matrix(&mut rng, 1024, 16, 0.0, 2.0);
+    c.bench_function("softmax_rows_1024x16", |b| {
+        b.iter(|| black_box(logits.softmax_rows()));
+    });
+    c.bench_function("log_softmax_rows_1024x16", |b| {
+        b.iter(|| black_box(logits.log_softmax_rows()));
+    });
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut rng = lrng::seeded(3);
+    let n = 20_000;
+    let scores: Vec<f64> = (0..n).map(|_| lrng::normal(&mut rng, 0.0, 1.0)).collect();
+    let labels: Vec<bool> = (0..n).map(|i| i % 17 == 0).collect();
+    c.bench_function("auroc_20k", |b| {
+        b.iter(|| black_box(auroc(&scores, &labels)));
+    });
+    c.bench_function("average_precision_20k", |b| {
+        b.iter(|| black_box(average_precision(&scores, &labels)));
+    });
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut rng = lrng::seeded(4);
+    let data = lrng::uniform_matrix(&mut rng, 2_000, 32, 0.0, 1.0);
+    c.bench_function("kmeans_fit_2000x32_k4", |b| {
+        b.iter(|| black_box(KMeans::fit(&data, KMeansConfig::new(4), 7)));
+    });
+    let km = KMeans::fit(&data, KMeansConfig::new(4), 7);
+    c.bench_function("kmeans_predict_2000x32", |b| {
+        b.iter(|| black_box(km.predict(&data)));
+    });
+}
+
+fn bench_iforest(c: &mut Criterion) {
+    let mut rng = lrng::seeded(5);
+    let data = lrng::uniform_matrix(&mut rng, 4_096, 32, 0.0, 1.0);
+    let view = TrainView { labeled: Matrix::zeros(0, 32), unlabeled: data.clone() };
+    c.bench_function("iforest_fit_4096x32", |b| {
+        b.iter(|| {
+            let mut forest = IForest::default();
+            forest.fit(&view, 3);
+            black_box(forest)
+        });
+    });
+    let mut forest = IForest::default();
+    forest.fit(&view, 3);
+    c.bench_function("iforest_score_4096x32", |b| {
+        b.iter(|| black_box(forest.score(&data)));
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_matmul,
+    bench_softmax,
+    bench_metrics,
+    bench_kmeans,
+    bench_iforest
+);
+criterion_main!(kernels);

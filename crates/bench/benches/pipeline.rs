@@ -1,0 +1,48 @@
+//! Criterion benchmarks of the TargAD training pipeline stages on a small
+//! seeded benchmark: candidate selection, full fit, and scoring.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use targad_core::candidate::CandidateSelection;
+use targad_core::{TargAd, TargAdConfig};
+use targad_data::GeneratorSpec;
+
+fn tiny_config() -> TargAdConfig {
+    let mut cfg = TargAdConfig::fast();
+    cfg.ae_epochs = 5;
+    cfg.clf_epochs = 8;
+    cfg
+}
+
+fn bench_candidate_selection(c: &mut Criterion) {
+    let bundle = GeneratorSpec::quick_demo().generate(1);
+    let (xu, _) = bundle.train.unlabeled_view();
+    let (xl, _) = bundle.train.labeled_view();
+    let cfg = tiny_config();
+    c.bench_function("candidate_selection_600x12", |b| {
+        b.iter(|| black_box(CandidateSelection::run(&xu, &xl, &cfg, 3)));
+    });
+}
+
+fn bench_full_fit(c: &mut Criterion) {
+    let bundle = GeneratorSpec::quick_demo().generate(2);
+    c.bench_function("targad_fit_quick_demo", |b| {
+        b.iter(|| {
+            let mut model = TargAd::new(tiny_config());
+            model.fit(&bundle.train, 5).expect("fit");
+            black_box(model)
+        });
+    });
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let bundle = GeneratorSpec::quick_demo().generate(3);
+    let mut model = TargAd::new(tiny_config());
+    model.fit(&bundle.train, 7).expect("fit");
+    c.bench_function("targad_score_400x12", |b| {
+        b.iter(|| black_box(model.score_matrix(&bundle.test.features)));
+    });
+}
+
+criterion_group!(pipeline, bench_candidate_selection, bench_full_fit, bench_scoring);
+criterion_main!(pipeline);

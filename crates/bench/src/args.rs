@@ -1,0 +1,110 @@
+//! Minimal command-line parsing shared by the experiment binaries.
+
+/// Common flags: `--scale <f>`, `--seeds <n>`, `--full`, `--part <name>`,
+/// `--data-seed <n>`.
+#[derive(Clone, Debug)]
+pub struct CommonArgs {
+    /// Dataset scale relative to Table I row counts.
+    pub scale: f64,
+    /// Number of independent model seeds to average (paper: 5).
+    pub seeds: usize,
+    /// Sub-experiment selector (`--part a` etc.).
+    pub part: Option<String>,
+    /// Seed for dataset generation (fixed across model runs, as the paper
+    /// fixes its datasets).
+    pub data_seed: u64,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        Self { scale: 0.03, seeds: 5, part: None, data_seed: 20_240_401 }
+    }
+}
+
+impl CommonArgs {
+    /// Parses `std::env::args`, ignoring unknown flags.
+    ///
+    /// # Panics
+    /// Panics with a usage message on malformed values.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Self::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = iter.next().expect("--scale needs a value");
+                    out.scale = v.parse().expect("--scale must be a float");
+                }
+                "--seeds" => {
+                    let v = iter.next().expect("--seeds needs a value");
+                    out.seeds = v.parse().expect("--seeds must be an integer");
+                }
+                "--full" => out.scale = 1.0,
+                "--part" => out.part = iter.next(),
+                "--data-seed" => {
+                    let v = iter.next().expect("--data-seed needs a value");
+                    out.data_seed = v.parse().expect("--data-seed must be an integer");
+                }
+                "--help" | "-h" => {
+                    println!(
+                        "flags: --scale <f> (default 0.03) | --full | --seeds <n> (default 5) \
+                         | --part <name> | --data-seed <n>"
+                    );
+                    std::process::exit(0);
+                }
+                other => eprintln!("note: ignoring unknown flag `{other}`"),
+            }
+        }
+        assert!(out.scale > 0.0, "--scale must be positive");
+        assert!(out.seeds > 0, "--seeds must be positive");
+        out
+    }
+
+    /// The model seeds to run.
+    pub fn seed_list(&self) -> Vec<u64> {
+        (1..=self.seeds as u64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> CommonArgs {
+        CommonArgs::from_args(s.iter().map(|v| v.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.scale, 0.03);
+        assert_eq!(a.seeds, 5);
+        assert_eq!(a.seed_list(), vec![1, 2, 3, 4, 5]);
+        assert!(a.part.is_none());
+    }
+
+    #[test]
+    fn flags_parse() {
+        let a = parse(&["--scale", "0.1", "--seeds", "3", "--part", "b"]);
+        assert_eq!(a.scale, 0.1);
+        assert_eq!(a.seeds, 3);
+        assert_eq!(a.part.as_deref(), Some("b"));
+    }
+
+    #[test]
+    fn full_overrides_scale() {
+        let a = parse(&["--full"]);
+        assert_eq!(a.scale, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "--scale must be a float")]
+    fn bad_scale_panics() {
+        let _ = parse(&["--scale", "abc"]);
+    }
+}

@@ -1,0 +1,8 @@
+//! Extension ablations beyond the paper's Table III (DESIGN.md §6).
+
+use targad_bench::{suites, CommonArgs};
+
+fn main() {
+    let args = CommonArgs::parse();
+    print!("{}", suites::ext_ablations(&args));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 3: convergence (loss per epoch, AUPRC per epoch).
+
+use targad_bench::{suites, CommonArgs};
+
+fn main() {
+    let args = CommonArgs::parse();
+    print!("{}", suites::fig3(&args));
+}

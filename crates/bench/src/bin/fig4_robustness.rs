@@ -1,0 +1,8 @@
+//! Regenerates Fig. 4: robustness scenarios (use `--part a|b|c|d`).
+
+use targad_bench::{suites, CommonArgs};
+
+fn main() {
+    let args = CommonArgs::parse();
+    print!("{}", suites::fig4(&args));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 5: weight-updating dynamics.
+
+use targad_bench::{suites, CommonArgs};
+
+fn main() {
+    let args = CommonArgs::parse();
+    print!("{}", suites::fig5(&args));
+}

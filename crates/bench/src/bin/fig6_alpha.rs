@@ -1,0 +1,8 @@
+//! Regenerates Fig. 6: alpha vs contamination sensitivity matrices.
+
+use targad_bench::{suites, CommonArgs};
+
+fn main() {
+    let args = CommonArgs::parse();
+    print!("{}", suites::fig6(&args));
+}

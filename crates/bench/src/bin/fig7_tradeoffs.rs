@@ -1,0 +1,8 @@
+//! Regenerates Fig. 7: trade-off sensitivity (use `--part eta|lambda`).
+
+use targad_bench::{suites, CommonArgs};
+
+fn main() {
+    let args = CommonArgs::parse();
+    print!("{}", suites::fig7(&args));
+}

@@ -1,0 +1,38 @@
+//! Runs every table/figure suite and writes each report to
+//! `results/<name>.txt` (plus stdout progress).
+
+use std::time::Instant;
+
+use targad_bench::report::save_result;
+use targad_bench::{suites, CommonArgs};
+
+type Suite = fn(&CommonArgs) -> String;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let suites: [(&str, Suite); 10] = [
+        ("table1_datasets", suites::table1),
+        ("table2_overall", suites::table2),
+        ("table3_ablation", suites::table3),
+        ("table4_ood", suites::table4),
+        ("fig3_convergence", suites::fig3),
+        ("fig4_robustness", suites::fig4),
+        ("fig5_weights", suites::fig5),
+        ("fig6_alpha", suites::fig6),
+        ("fig7_tradeoffs", suites::fig7),
+        ("ext_ablations", suites::ext_ablations),
+    ];
+
+    for (name, run) in suites {
+        let start = Instant::now();
+        eprintln!(">> running {name} …");
+        let output = run(&args);
+        let path = save_result(name, &output).expect("write results file");
+        eprintln!(
+            "   done in {:.1}s -> {}",
+            start.elapsed().as_secs_f64(),
+            path.display()
+        );
+        println!("{output}");
+    }
+}

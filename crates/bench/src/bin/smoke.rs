@@ -1,0 +1,8 @@
+//! Fast sanity pass: one tiny TargAD fit per preset (sub-minute total).
+
+use targad_bench::{suites, CommonArgs};
+
+fn main() {
+    let args = CommonArgs::parse();
+    print!("{}", suites::quick_smoke(&args));
+}

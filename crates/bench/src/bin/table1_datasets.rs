@@ -1,0 +1,8 @@
+//! Regenerates Table I: dataset statistics.
+
+use targad_bench::{suites, CommonArgs};
+
+fn main() {
+    let args = CommonArgs::parse();
+    print!("{}", suites::table1(&args));
+}

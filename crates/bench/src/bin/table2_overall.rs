@@ -1,0 +1,8 @@
+//! Regenerates Table II: TargAD vs eleven baselines on four benchmarks.
+
+use targad_bench::{suites, CommonArgs};
+
+fn main() {
+    let args = CommonArgs::parse();
+    print!("{}", suites::table2(&args));
+}

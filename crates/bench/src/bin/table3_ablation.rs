@@ -1,0 +1,8 @@
+//! Regenerates Table III: loss-term ablation on UNSW-NB15.
+
+use targad_bench::{suites, CommonArgs};
+
+fn main() {
+    let args = CommonArgs::parse();
+    print!("{}", suites::table3(&args));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table IV: three-way identification under MSP / ES / ED.
+
+use targad_bench::{suites, CommonArgs};
+
+fn main() {
+    let args = CommonArgs::parse();
+    print!("{}", suites::table4(&args));
+}

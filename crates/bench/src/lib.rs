@@ -1,0 +1,21 @@
+//! Experiment harness for the TargAD reproduction.
+//!
+//! One binary per table/figure of the paper lives in `src/bin/`; each
+//! prints the same rows/series the paper reports and also returns its
+//! output as a `String` through the functions in this library so
+//! `run_all` can collect everything into `results/`.
+//!
+//! Scaling: paper-scale datasets (Table I row counts) are reproduced at
+//! `--full`; the default `--scale 0.03` keeps the whole grid laptop-fast
+//! while preserving all trends (DESIGN.md §2). Runs are averaged over
+//! `--seeds N` independent model seeds, as in the paper (5 runs).
+
+pub mod args;
+pub mod experiments;
+pub mod report;
+pub mod robustness;
+pub mod sensitivity;
+pub mod suites;
+
+pub use args::CommonArgs;
+pub use experiments::{eval_model, run_suite, EvalResult, MeanStd};

@@ -1,0 +1,166 @@
+//! Fig. 4 robustness scenarios on the UNSW-NB15 preset.
+//!
+//! Four perturbations of the training distribution, each evaluated with
+//! TargAD plus the semi-supervised baselines the paper plots:
+//!
+//! - **(a)** novel non-target anomaly types: the training data contains
+//!   only a subset of the four non-target classes while the test set keeps
+//!   all four;
+//! - **(b)** number of target classes `m ∈ 1..=6` (non-target classes
+//!   `7 − m`, the UNSW taxonomy has 7 anomaly classes);
+//! - **(c)** labeled-anomaly budget per class;
+//! - **(d)** contamination rate of the unlabeled data
+//!   `∈ {3%, 5%, 7%, 9%}`.
+
+use targad_data::{GeneratorSpec, Preset};
+
+use crate::experiments::{
+    baseline_by_name, eval_model, eval_targad, harness_config, MeanStd,
+};
+use crate::report::Table;
+
+/// The semi-supervised baselines plotted in Fig. 4.
+pub const FIG4_BASELINES: [&str; 6] =
+    ["FEAWAD", "DevNet", "DeepSAD", "DPLAN", "PIA-WAL", "PReNet"];
+
+/// One scenario: a label for the x-axis plus the spec to generate.
+pub struct Scenario {
+    /// X-axis label (e.g. "2 new types").
+    pub label: String,
+    /// The dataset spec for this point.
+    pub spec: GeneratorSpec,
+}
+
+/// Fig. 4(a): 0–3 novel non-target types at test time.
+///
+/// Mirrors the paper's settings: train on {F,A,E,R} / {F,A,R} / {A,R} /
+/// {R} (class indices 0–3), always testing against all four.
+pub fn scenarios_new_types(scale: f64) -> Vec<Scenario> {
+    let subsets: [(usize, Vec<usize>); 4] = [
+        (0, vec![0, 1, 2, 3]),
+        (1, vec![0, 1, 3]),
+        (2, vec![1, 3]),
+        (3, vec![3]),
+    ];
+    subsets
+        .into_iter()
+        .map(|(new_types, classes)| {
+            let mut spec = Preset::UnswNb15.spec(scale);
+            spec.train_non_target_classes = Some(classes);
+            Scenario { label: format!("{new_types} new non-target types"), spec }
+        })
+        .collect()
+}
+
+/// Fig. 4(b): `m ∈ 1..=6` target classes (out of 7 anomaly classes).
+pub fn scenarios_target_classes(scale: f64) -> Vec<Scenario> {
+    (1..=6)
+        .map(|m| {
+            let mut spec = Preset::UnswNb15.spec(scale);
+            spec.target_classes = m;
+            spec.non_target_classes = 7 - m;
+            Scenario { label: format!("m = {m}"), spec }
+        })
+        .collect()
+}
+
+/// Fig. 4(c): labeled budget at {20%, 60%, 100%} of the preset's
+/// per-class allocation (the paper's absolute counts 20/60/100 at full
+/// scale).
+pub fn scenarios_labeled_counts(scale: f64) -> Vec<Scenario> {
+    [0.2, 0.6, 1.0]
+        .into_iter()
+        .map(|frac| {
+            let mut spec = Preset::UnswNb15.spec(scale);
+            spec.labeled_per_class =
+                ((spec.labeled_per_class as f64 * frac).round() as usize).max(2);
+            Scenario { label: format!("{} labels/class", spec.labeled_per_class), spec }
+        })
+        .collect()
+}
+
+/// Fig. 4(d): contamination rate of the unlabeled training data.
+pub fn scenarios_contamination(scale: f64) -> Vec<Scenario> {
+    [0.03, 0.05, 0.07, 0.09]
+        .into_iter()
+        .map(|rate| {
+            let mut spec = Preset::UnswNb15.spec(scale);
+            spec.contamination = rate;
+            Scenario { label: format!("{:.0}% contamination", rate * 100.0), spec }
+        })
+        .collect()
+}
+
+/// Runs TargAD + the Fig. 4 baselines over `scenarios`, returning a table
+/// with one column per model and one row per scenario (mean AUPRC over
+/// `seeds`, ± std).
+pub fn run_scenarios(scenarios: &[Scenario], seeds: &[u64], data_seed: u64) -> Table {
+    let mut header: Vec<&str> = vec!["scenario", "TargAD"];
+    header.extend(FIG4_BASELINES);
+    let mut table = Table::new(&header);
+
+    for scenario in scenarios {
+        let bundle = scenario.spec.generate(data_seed);
+        let mut cells = vec![scenario.label.clone()];
+
+        let mut targad_runs = Vec::new();
+        for &seed in seeds {
+            let cfg = harness_config(scenario.spec.normal_groups);
+            targad_runs.push(eval_targad(&bundle, cfg, seed).auprc);
+        }
+        cells.push(MeanStd::of(&targad_runs).fmt());
+
+        for name in FIG4_BASELINES {
+            let mut runs = Vec::new();
+            for &seed in seeds {
+                let mut model = baseline_by_name(name);
+                runs.push(eval_model(model.as_mut(), &bundle, seed).auprc);
+            }
+            cells.push(MeanStd::of(&runs).fmt());
+        }
+        table.row(&cells);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_type_scenarios_shrink_training_classes() {
+        let scenarios = scenarios_new_types(0.01);
+        assert_eq!(scenarios.len(), 4);
+        let sizes: Vec<usize> = scenarios
+            .iter()
+            .map(|s| s.spec.train_non_target_classes.as_ref().unwrap().len())
+            .collect();
+        assert_eq!(sizes, vec![4, 3, 2, 1]);
+        // Test taxonomy unchanged: all four classes exist in every spec.
+        assert!(scenarios.iter().all(|s| s.spec.non_target_classes == 4));
+    }
+
+    #[test]
+    fn target_class_scenarios_cover_one_to_six() {
+        let scenarios = scenarios_target_classes(0.01);
+        assert_eq!(scenarios.len(), 6);
+        for (i, s) in scenarios.iter().enumerate() {
+            assert_eq!(s.spec.target_classes, i + 1);
+            assert_eq!(s.spec.target_classes + s.spec.non_target_classes, 7);
+        }
+    }
+
+    #[test]
+    fn labeled_scenarios_increase() {
+        let scenarios = scenarios_labeled_counts(0.1);
+        let counts: Vec<usize> = scenarios.iter().map(|s| s.spec.labeled_per_class).collect();
+        assert!(counts.windows(2).all(|w| w[0] < w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn contamination_scenarios_match_paper_grid() {
+        let rates: Vec<f64> =
+            scenarios_contamination(0.01).iter().map(|s| s.spec.contamination).collect();
+        assert_eq!(rates, vec![0.03, 0.05, 0.07, 0.09]);
+    }
+}

@@ -1,0 +1,416 @@
+//! One function per table/figure of the paper. Each returns the rendered
+//! report as a `String`; the matching binary in `src/bin/` prints it and
+//! `run_all` persists all of them under `results/`.
+
+use targad_baselines::{DeepSad, Detector, DevNet, Feawad, PreNet, TrainView};
+use targad_core::ood::{calibrate_threshold, classify_three_way};
+use targad_core::{OodStrategy, TargAd, TargAdConfig};
+use targad_data::Preset;
+use targad_linalg::stats;
+use targad_metrics::{average_precision, ConfusionMatrix};
+
+use crate::args::CommonArgs;
+use crate::experiments::{eval_targad, harness_config, run_suite, MeanStd};
+use crate::report::Table;
+use crate::robustness::{
+    run_scenarios, scenarios_contamination, scenarios_labeled_counts, scenarios_new_types,
+    scenarios_target_classes,
+};
+use crate::sensitivity::{alpha_contamination_matrix, eta_sweep, lambda_grid};
+
+fn banner(title: &str, args: &CommonArgs) -> String {
+    format!(
+        "{title}\n(scale {}, {} seeds, data seed {})\n\n",
+        args.scale,
+        args.seeds,
+        args.data_seed
+    )
+}
+
+/// Table I — dataset statistics of the four (synthetic) benchmarks.
+pub fn table1(args: &CommonArgs) -> String {
+    let mut out = banner("Table I: dataset statistics", args);
+    let mut table = Table::new(&[
+        "dataset",
+        "D",
+        "labeled target",
+        "unlabeled",
+        "val norm/tar/non",
+        "test norm/tar/non",
+    ]);
+    for preset in Preset::all() {
+        let spec = preset.spec(args.scale);
+        let bundle = spec.generate(args.data_seed);
+        let tr = bundle.train.summary();
+        let va = bundle.val.summary();
+        let te = bundle.test.summary();
+        table.row(&[
+            preset.name().to_string(),
+            format!("{}", spec.dims),
+            format!("{}", tr.labeled_target),
+            format!("{}", tr.total() - tr.labeled_target),
+            format!("{}/{}/{}", va.normal, va.unlabeled_target, va.non_target),
+            format!("{}/{}/{}", te.normal, te.unlabeled_target, te.non_target),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// Table II — AUPRC and AUROC of TargAD and all eleven baselines on the
+/// four benchmarks, averaged over the model seeds.
+pub fn table2(args: &CommonArgs) -> String {
+    let mut out = banner("Table II: overall AUPRC / AUROC (target anomalies)", args);
+    let seeds = args.seed_list();
+    for preset in Preset::all() {
+        let spec = preset.spec(args.scale);
+        let bundle = spec.generate(args.data_seed);
+        let config = harness_config(spec.normal_groups);
+        let rows = run_suite(&bundle, &config, &seeds);
+        let mut table = Table::new(&["model", "AUPRC", "AUROC"]);
+        for row in rows {
+            table.row(&[row.name, row.auprc.fmt(), row.auroc.fmt()]);
+        }
+        out.push_str(&format!("== {} ==\n", preset.name()));
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Table III — ablation of the classifier loss terms on UNSW-NB15.
+pub fn table3(args: &CommonArgs) -> String {
+    let mut out = banner("Table III: loss-term ablation (UNSW-NB15)", args);
+    let spec = Preset::UnswNb15.spec(args.scale);
+    let bundle = spec.generate(args.data_seed);
+    let seeds = args.seed_list();
+
+    let variants: [(&str, bool, bool); 4] = [
+        ("TargAD", true, true),
+        ("TargAD -O", false, true),
+        ("TargAD -R", true, false),
+        ("TargAD -O-R", false, false),
+    ];
+    let mut table = Table::new(&["variant", "AUPRC", "AUROC"]);
+    for (name, use_oe, use_re) in variants {
+        let mut aps = Vec::new();
+        let mut rocs = Vec::new();
+        for &seed in &seeds {
+            let mut cfg = harness_config(spec.normal_groups);
+            cfg.use_oe = use_oe;
+            cfg.use_re = use_re;
+            let r = eval_targad(&bundle, cfg, seed);
+            aps.push(r.auprc);
+            rocs.push(r.auroc);
+        }
+        table.row(&[name.to_string(), MeanStd::of(&aps).fmt(), MeanStd::of(&rocs).fmt()]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// Table IV — three-way Precision/Recall/F1 under the MSP / ES / ED
+/// strategies, thresholds calibrated on the validation split.
+pub fn table4(args: &CommonArgs) -> String {
+    let mut out = banner("Table IV: 3-way identification via OOD strategies (UNSW-NB15)", args);
+    let spec = Preset::UnswNb15.spec(args.scale);
+    let bundle = spec.generate(args.data_seed);
+
+    let mut model = TargAd::new(harness_config(spec.normal_groups));
+    model.fit(&bundle.train, args.seed_list()[0]).expect("TargAD fit");
+    let clf = model.classifier().expect("fitted");
+
+    let truth_val = bundle.val.three_way_labels();
+    let truth_test = bundle.test.three_way_labels();
+    let class_names = ["normal instances", "target anomalies", "non-target anomalies"];
+
+    for strategy in OodStrategy::all() {
+        let tau = calibrate_threshold(clf, &bundle.val.features, &truth_val, strategy);
+        let pred = classify_three_way(clf, &bundle.test.features, strategy, tau);
+        let cm = ConfusionMatrix::from_predictions(&truth_test, &pred, 3);
+
+        let mut table = Table::new(&["class", "Precision", "Recall", "F1-Score"]);
+        for (c, name) in class_names.iter().enumerate() {
+            let r = cm.class_report(c);
+            table.row(&[
+                name.to_string(),
+                format!("{:.3}", r.precision),
+                format!("{:.3}", r.recall),
+                format!("{:.3}", r.f1),
+            ]);
+        }
+        let mac = cm.macro_avg();
+        table.row(&[
+            "macro avg".to_string(),
+            format!("{:.3}", mac.precision),
+            format!("{:.3}", mac.recall),
+            format!("{:.3}", mac.f1),
+        ]);
+        let w = cm.weighted_avg();
+        table.row(&[
+            "weighted avg".to_string(),
+            format!("{:.3}", w.precision),
+            format!("{:.3}", w.recall),
+            format!("{:.3}", w.f1),
+        ]);
+        out.push_str(&format!("== {} (tau = {tau:.4}) ==\n", strategy.name()));
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Fig. 3 — convergence: (a) TargAD loss per epoch; (b) test AUPRC per
+/// epoch for TargAD and the traced semi-supervised baselines.
+pub fn fig3(args: &CommonArgs) -> String {
+    let mut out = banner("Fig. 3: convergence analysis (UNSW-NB15)", args);
+    let spec = Preset::UnswNb15.spec(args.scale);
+    let bundle = spec.generate(args.data_seed);
+    let seed = args.seed_list()[0];
+    let labels = bundle.test.target_labels();
+
+    // (a)+(b) for TargAD via the epoch monitor.
+    let mut targad_curve = Vec::new();
+    let mut model = TargAd::new(harness_config(spec.normal_groups));
+    model
+        .fit_with_monitor(&bundle.train, seed, |_, clf| {
+            let scores = clf.target_scores(&bundle.test.features);
+            targad_curve.push(average_precision(&scores, &labels));
+        })
+        .expect("TargAD fit");
+
+    out.push_str("(a) TargAD loss per classifier epoch\n");
+    let mut loss_table = Table::new(&["epoch", "L_clf"]);
+    for (e, loss) in model.history().clf_loss.iter().enumerate() {
+        loss_table.row(&[format!("{e}"), format!("{loss:.4}")]);
+    }
+    out.push_str(&loss_table.render());
+
+    // (b) AUPRC-per-epoch traces.
+    let view = TrainView::from_dataset(&bundle.train);
+    let mut curves: Vec<(String, Vec<f64>)> = vec![("TargAD".to_string(), targad_curve)];
+    let traced: Vec<Box<dyn Detector>> = vec![
+        Box::new(DevNet::default()),
+        Box::new(DeepSad::default()),
+        Box::new(Feawad::default()),
+    ];
+    for mut detector in traced {
+        let mut curve = Vec::new();
+        let name = detector.name().to_string();
+        detector.fit_traced(&view, seed, &bundle.test.features, &mut |_, scores| {
+            curve.push(average_precision(&scores, &labels));
+        });
+        curves.push((name, curve));
+    }
+    // PReNet is step-trained; evaluate once at the end for reference.
+    let mut prenet = PreNet::default();
+    prenet.fit(&view, seed);
+    curves.push((
+        "PReNet (final)".to_string(),
+        vec![average_precision(&prenet.score(&bundle.test.features), &labels)],
+    ));
+
+    out.push_str("\n(b) test AUPRC per epoch\n");
+    let max_epochs = curves.iter().map(|(_, c)| c.len()).max().unwrap_or(0);
+    let mut header = vec!["epoch".to_string()];
+    header.extend(curves.iter().map(|(n, _)| n.clone()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+    for e in 0..max_epochs {
+        let mut cells = vec![format!("{e}")];
+        for (_, curve) in &curves {
+            cells.push(curve.get(e).map_or("-".to_string(), |v| format!("{v:.3}")));
+        }
+        table.row(&cells);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// Fig. 4 — the four robustness scenarios. `part` selects a/b/c/d; `None`
+/// runs all four.
+pub fn fig4(args: &CommonArgs) -> String {
+    let mut out = banner("Fig. 4: robustness analysis (UNSW-NB15, AUPRC)", args);
+    let seeds = args.seed_list();
+    let parts: Vec<&str> = match args.part.as_deref() {
+        Some(p) => vec![p],
+        None => vec!["a", "b", "c", "d"],
+    };
+    for part in parts {
+        let (title, scenarios) = match part {
+            "a" => ("(a) novel non-target types", scenarios_new_types(args.scale)),
+            "b" => ("(b) number of target classes", scenarios_target_classes(args.scale)),
+            "c" => ("(c) labeled anomalies per class", scenarios_labeled_counts(args.scale)),
+            "d" => ("(d) contamination rate", scenarios_contamination(args.scale)),
+            other => panic!("unknown fig4 part `{other}` (expected a/b/c/d)"),
+        };
+        out.push_str(&format!("{title}\n"));
+        out.push_str(&run_scenarios(&scenarios, &seeds, args.data_seed).render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Fig. 5 — the weight-updating mechanism: per-epoch mean weights by true
+/// candidate type and the final-epoch weight histogram.
+pub fn fig5(args: &CommonArgs) -> String {
+    let mut out = banner("Fig. 5: weight-updating dynamics (UNSW-NB15)", args);
+    let spec = Preset::UnswNb15.spec(args.scale);
+    let bundle = spec.generate(args.data_seed);
+
+    let mut model = TargAd::new(harness_config(spec.normal_groups));
+    model.fit(&bundle.train, args.seed_list()[0]).expect("TargAD fit");
+    let history = model.history();
+
+    let comp = history.candidate_composition;
+    out.push_str(&format!(
+        "candidate set D_U^A composition: {} normal / {} target / {} non-target\n\n",
+        comp.normal, comp.target, comp.non_target
+    ));
+
+    out.push_str("(a) mean candidate weight per true type, per epoch\n");
+    let mut table = Table::new(&["epoch", "normal", "target", "non-target"]);
+    for (e, w) in history.weight_means.iter().enumerate() {
+        let fmt = |v: f64| if v.is_nan() { "-".to_string() } else { format!("{v:.3}") };
+        table.row(&[format!("{e}"), fmt(w.normal), fmt(w.target), fmt(w.non_target)]);
+    }
+    out.push_str(&table.render());
+
+    out.push_str("\n(b) final-epoch weight histogram per true type (10 bins over [0,1])\n");
+    let mut hist = [[0usize; 10]; 3];
+    for &(truth, w) in &history.final_weights {
+        let bin = ((w * 10.0) as usize).min(9);
+        hist[truth][bin] += 1;
+    }
+    let mut table = Table::new(&["bin", "normal", "target", "non-target"]);
+    #[allow(clippy::needless_range_loop)] // three histograms share the bin index
+    for b in 0..10 {
+        table.row(&[
+            format!("[{:.1},{:.1})", b as f64 / 10.0, (b + 1) as f64 / 10.0),
+            format!("{}", hist[0][b]),
+            format!("{}", hist[1][b]),
+            format!("{}", hist[2][b]),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// Fig. 6 — `α` × contamination sensitivity matrices.
+pub fn fig6(args: &CommonArgs) -> String {
+    let mut out = banner("Fig. 6: alpha vs contamination sensitivity (UNSW-NB15)", args);
+    let (ap, roc) = alpha_contamination_matrix(args.scale, &args.seed_list(), args.data_seed);
+    out.push_str("(a) AUPRC\n");
+    out.push_str(&ap.render());
+    out.push_str("\n(b) AUROC\n");
+    out.push_str(&roc.render());
+    out
+}
+
+/// Fig. 7 — trade-off parameter sensitivity. `part` = `eta` or `lambda`;
+/// `None` runs both.
+pub fn fig7(args: &CommonArgs) -> String {
+    let mut out = banner("Fig. 7: trade-off parameter sensitivity (UNSW-NB15)", args);
+    let run_eta = args.part.as_deref().is_none_or(|p| p == "eta");
+    let run_lambda = args.part.as_deref().is_none_or(|p| p == "lambda");
+    if run_eta {
+        out.push_str("(a) eta sweep\n");
+        out.push_str(&eta_sweep(args.scale, &args.seed_list(), args.data_seed).render());
+        out.push('\n');
+    }
+    if run_lambda {
+        let (ap, roc) = lambda_grid(args.scale, &args.seed_list(), args.data_seed);
+        out.push_str("(b) AUPRC over lambda1 x lambda2\n");
+        out.push_str(&ap.render());
+        out.push_str("\n(c) AUROC over lambda1 x lambda2\n");
+        out.push_str(&roc.render());
+    }
+    out
+}
+
+/// Extension ablations called out in DESIGN.md §6 (beyond the paper's
+/// Table III): clustering, weight updating, pseudo-label design, and the
+/// optimizer.
+pub fn ext_ablations(args: &CommonArgs) -> String {
+    let mut out = banner("Extension ablations (UNSW-NB15, AUPRC)", args);
+    let spec = Preset::UnswNb15.spec(args.scale);
+    let bundle = spec.generate(args.data_seed);
+    let seeds = args.seed_list();
+
+    type Mutator = fn(&mut TargAdConfig);
+    let variants: [(&str, Mutator); 5] = [
+        ("full TargAD", |_| {}),
+        ("single global AE (k=1)", |c| c.k = Some(1)),
+        ("frozen Eq.5 weights", |c| c.update_weights = false),
+        ("vanilla OE pseudo-labels", |c| c.vanilla_oe_labels = true),
+        ("SGD classifier", |c| {
+            c.clf_sgd = true;
+            c.clf_lr = 5e-2;
+        }),
+    ];
+
+    let mut table = Table::new(&["variant", "AUPRC", "AUROC"]);
+    for (name, mutate) in variants {
+        let mut aps = Vec::new();
+        let mut rocs = Vec::new();
+        for &seed in &seeds {
+            let mut cfg = harness_config(spec.normal_groups);
+            mutate(&mut cfg);
+            let r = eval_targad(&bundle, cfg, seed);
+            aps.push(r.auprc);
+            rocs.push(r.auroc);
+        }
+        table.row(&[name.to_string(), MeanStd::of(&aps).fmt(), MeanStd::of(&rocs).fmt()]);
+    }
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nnote: AUPRC spread across seeds is reported as ±std; mean of runs = {}\n",
+        seeds.len()
+    ));
+    out
+}
+
+/// Convergence-epoch summary used by the quick smoke suite.
+pub fn quick_smoke(args: &CommonArgs) -> String {
+    let mut out = banner("Smoke: one TargAD fit per preset", args);
+    for preset in Preset::all() {
+        let spec = preset.spec(args.scale.min(0.01));
+        let bundle = spec.generate(args.data_seed);
+        let r = eval_targad(&bundle, harness_config(spec.normal_groups), 1);
+        out.push_str(&format!(
+            "{}: AUPRC {:.3} AUROC {:.3} (prevalence {:.3})\n",
+            preset.name(),
+            r.auprc,
+            r.auroc,
+            prevalence(&bundle.test.target_labels())
+        ));
+    }
+    out
+}
+
+fn prevalence(labels: &[bool]) -> f64 {
+    stats::mean(&labels.iter().map(|&l| f64::from(u8::from(l))).collect::<Vec<_>>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny end-to-end pass through the cheapest suites (tables I and
+    /// the smoke suite) to keep the harness itself tested.
+    #[test]
+    fn table1_renders_all_presets() {
+        let args = CommonArgs { scale: 0.002, seeds: 1, part: None, data_seed: 7 };
+        let out = table1(&args);
+        for name in ["UNSW-NB15", "KDDCUP99", "NSL-KDD", "SQB"] {
+            assert!(out.contains(name), "{out}");
+        }
+    }
+
+    #[test]
+    fn smoke_runs_every_preset() {
+        let args = CommonArgs { scale: 0.002, seeds: 1, part: None, data_seed: 7 };
+        let out = quick_smoke(&args);
+        assert_eq!(out.matches("AUPRC").count(), 4);
+    }
+}

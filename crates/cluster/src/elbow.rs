@@ -1,0 +1,98 @@
+//! The elbow method for choosing `k` (§IV-C of the paper).
+
+use crate::kmeans::{KMeans, KMeansConfig};
+use targad_linalg::Matrix;
+
+/// Picks `k` within `[k_min, k_max]` by the elbow (maximum-curvature)
+/// heuristic: fit k-means for each candidate, then select the `k` whose
+/// point on the inertia curve lies farthest from the chord connecting the
+/// curve's endpoints.
+///
+/// Returns `(k, inertias)` where `inertias[i]` is the inertia at
+/// `k = k_min + i`.
+///
+/// # Panics
+/// Panics if `k_min == 0`, `k_min > k_max`, or `data` has fewer rows than
+/// `k_max`.
+pub fn choose_k_elbow(data: &Matrix, k_min: usize, k_max: usize, seed: u64) -> (usize, Vec<f64>) {
+    assert!(k_min >= 1 && k_min <= k_max, "elbow: invalid range [{k_min}, {k_max}]");
+    assert!(data.rows() >= k_max, "elbow: need at least k_max rows");
+
+    let inertias: Vec<f64> = (k_min..=k_max)
+        .map(|k| KMeans::fit(data, KMeansConfig::new(k), seed ^ (k as u64).wrapping_mul(0x9e37)).inertia())
+        .collect();
+
+    if inertias.len() <= 2 {
+        return (k_min, inertias);
+    }
+
+    // Distance from each curve point to the chord between the endpoints.
+    // Work on log-inertia: the inertia of well-separated clusters drops by
+    // orders of magnitude at the true k, and a linear scale lets the first
+    // (largest) drop mask later decisive ones.
+    let n = inertias.len();
+    let logs: Vec<f64> = inertias.iter().map(|&v| (v + 1e-12).ln()).collect();
+    let y0 = logs[0];
+    let y1 = logs[n - 1];
+    let y_range = (y0 - y1).abs().max(1e-12);
+    let mut best = 0;
+    let mut best_dist = f64::NEG_INFINITY;
+    for (i, &y) in logs.iter().enumerate() {
+        let xn = i as f64 / (n - 1) as f64;
+        let yn = (y - y1) / y_range;
+        // chord from (0, y0n=1) to (1, 0): yn_chord = 1 − xn
+        let dist = (1.0 - xn) - yn;
+        // The elbow bulges *below* the chord: dist > 0.
+        if dist > best_dist {
+            best_dist = dist;
+            best = i;
+        }
+    }
+    (k_min + best, inertias)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use targad_linalg::rng as lrng;
+
+    fn blobs(k_true: usize, per: usize, seed: u64) -> Matrix {
+        let mut rng = lrng::seeded(seed);
+        let mut rows = Vec::new();
+        for c in 0..k_true {
+            let cx = (c as f64 + 0.5) / k_true as f64;
+            for _ in 0..per {
+                rows.push(vec![
+                    cx + lrng::normal(&mut rng, 0.0, 0.01),
+                    (cx * 7.0).sin() * 0.4 + 0.5 + lrng::normal(&mut rng, 0.0, 0.01),
+                ]);
+            }
+        }
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn finds_true_k_on_clean_blobs() {
+        for k_true in [2usize, 3, 4] {
+            let data = blobs(k_true, 60, 42 + k_true as u64);
+            let (k, inertias) = choose_k_elbow(&data, 1, 8, 7);
+            assert_eq!(inertias.len(), 8);
+            assert_eq!(k, k_true, "inertias {inertias:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_range_returns_k_min() {
+        let data = blobs(2, 10, 1);
+        let (k, inertias) = choose_k_elbow(&data, 2, 2, 3);
+        assert_eq!(k, 2);
+        assert_eq!(inertias.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn rejects_bad_range() {
+        let data = blobs(2, 10, 1);
+        let _ = choose_k_elbow(&data, 3, 2, 3);
+    }
+}

@@ -1,0 +1,304 @@
+//! Lloyd's k-means with k-means++ seeding.
+
+use rand::{Rng, RngExt};
+use targad_linalg::{rng as lrng, Matrix};
+
+/// Configuration for a k-means fit.
+#[derive(Clone, Copy, Debug)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iter: usize,
+    /// Convergence threshold on the relative inertia improvement.
+    pub tol: f64,
+}
+
+impl KMeansConfig {
+    /// Default configuration for `k` clusters (100 iterations, tol `1e-6`).
+    pub fn new(k: usize) -> Self {
+        Self { k, max_iter: 100, tol: 1e-6 }
+    }
+}
+
+/// A fitted k-means model.
+#[derive(Clone, Debug)]
+pub struct KMeans {
+    centroids: Matrix,
+    assignments: Vec<usize>,
+    inertia: f64,
+    iterations: usize,
+}
+
+impl KMeans {
+    /// Fits k-means to `data` (instances are rows) with k-means++ seeding.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `data` has fewer rows than `k`.
+    pub fn fit(data: &Matrix, config: KMeansConfig, seed: u64) -> Self {
+        let n = data.rows();
+        let k = config.k;
+        assert!(k > 0, "k-means: k must be positive");
+        assert!(n >= k, "k-means: need at least k={k} instances, got {n}");
+        let mut rng = lrng::seeded(seed);
+
+        let mut centroids = plus_plus_init(data, k, &mut rng);
+        let mut assignments = vec![0usize; n];
+        let mut inertia = f64::INFINITY;
+        let mut iterations = 0;
+
+        for it in 0..config.max_iter {
+            iterations = it + 1;
+            // Assignment step.
+            let mut new_inertia = 0.0;
+            for (i, slot) in assignments.iter_mut().enumerate() {
+                let (best, dist) = nearest_centroid(data.row(i), &centroids);
+                *slot = best;
+                new_inertia += dist;
+            }
+
+            // Update step.
+            let mut sums = Matrix::zeros(k, data.cols());
+            let mut counts = vec![0usize; k];
+            for (i, &c) in assignments.iter().enumerate() {
+                counts[c] += 1;
+                for (s, &v) in sums.row_mut(c).iter_mut().zip(data.row(i)) {
+                    *s += v;
+                }
+            }
+            #[allow(clippy::needless_range_loop)] // counts and sums walk in lockstep
+            for c in 0..k {
+                if counts[c] == 0 {
+                    // Empty-cluster repair: re-seed at the point farthest
+                    // from its current centroid.
+                    let far = (0..n)
+                        .max_by(|&a, &b| {
+                            let da = data.row_sq_dist(a, centroids.row(assignments[a]));
+                            let db = data.row_sq_dist(b, centroids.row(assignments[b]));
+                            da.partial_cmp(&db).expect("NaN distance")
+                        })
+                        .expect("nonempty data");
+                    sums.row_mut(c).copy_from_slice(data.row(far));
+                    counts[c] = 1;
+                }
+                let inv = 1.0 / counts[c] as f64;
+                for s in sums.row_mut(c) {
+                    *s *= inv;
+                }
+            }
+            centroids = sums;
+
+            let improved = inertia - new_inertia;
+            let converged = improved.abs() <= config.tol * inertia.max(1e-12);
+            inertia = new_inertia;
+            if converged && it > 0 {
+                break;
+            }
+        }
+
+        // Final assignment against the last centroid update.
+        let mut final_inertia = 0.0;
+        for (i, slot) in assignments.iter_mut().enumerate() {
+            let (best, dist) = nearest_centroid(data.row(i), &centroids);
+            *slot = best;
+            final_inertia += dist;
+        }
+
+        Self { centroids, assignments, inertia: final_inertia, iterations }
+    }
+
+    /// Cluster centroids, one per row.
+    pub fn centroids(&self) -> &Matrix {
+        &self.centroids
+    }
+
+    /// Training-data cluster assignments.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Sum of squared distances from instances to their centroids.
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    /// Number of Lloyd iterations run.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.rows()
+    }
+
+    /// Assigns a new instance to its nearest centroid.
+    pub fn predict_row(&self, row: &[f64]) -> usize {
+        nearest_centroid(row, &self.centroids).0
+    }
+
+    /// Assigns every row of `data` to its nearest centroid.
+    pub fn predict(&self, data: &Matrix) -> Vec<usize> {
+        (0..data.rows()).map(|i| self.predict_row(data.row(i))).collect()
+    }
+
+    /// Indices of training instances per cluster.
+    pub fn cluster_members(&self) -> Vec<Vec<usize>> {
+        let mut members = vec![Vec::new(); self.k()];
+        for (i, &c) in self.assignments.iter().enumerate() {
+            members[c].push(i);
+        }
+        members
+    }
+}
+
+fn nearest_centroid(row: &[f64], centroids: &Matrix) -> (usize, f64) {
+    let mut best = 0;
+    let mut best_dist = f64::INFINITY;
+    for c in 0..centroids.rows() {
+        let d: f64 = centroids.row(c).iter().zip(row).map(|(&a, &b)| (a - b) * (a - b)).sum();
+        if d < best_dist {
+            best = c;
+            best_dist = d;
+        }
+    }
+    (best, best_dist)
+}
+
+/// k-means++ seeding (Arthur & Vassilvitskii).
+fn plus_plus_init(data: &Matrix, k: usize, rng: &mut impl Rng) -> Matrix {
+    let n = data.rows();
+    let mut centers: Vec<usize> = Vec::with_capacity(k);
+    centers.push(rng.random_range(0..n));
+
+    let mut dists: Vec<f64> = (0..n).map(|i| data.row_sq_dist(i, data.row(centers[0]))).collect();
+
+    while centers.len() < k {
+        let total: f64 = dists.iter().sum();
+        let next = if total <= 0.0 {
+            // All remaining points coincide with chosen centers.
+            rng.random_range(0..n)
+        } else {
+            let mut draw = rng.random::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &d) in dists.iter().enumerate() {
+                draw -= d;
+                if draw <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centers.push(next);
+        for (i, best) in dists.iter_mut().enumerate() {
+            let d = data.row_sq_dist(i, data.row(next));
+            if d < *best {
+                *best = d;
+            }
+        }
+    }
+
+    data.take_rows(&centers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated 2-D blobs.
+    fn blobs(seed: u64, per_cluster: usize) -> (Matrix, Vec<usize>) {
+        let centers = [(0.1, 0.1), (0.9, 0.1), (0.5, 0.9)];
+        let mut rng = lrng::seeded(seed);
+        let mut rows = Vec::new();
+        let mut truth = Vec::new();
+        for (ci, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..per_cluster {
+                rows.push(vec![
+                    cx + lrng::normal(&mut rng, 0.0, 0.02),
+                    cy + lrng::normal(&mut rng, 0.0, 0.02),
+                ]);
+                truth.push(ci);
+            }
+        }
+        (Matrix::from_rows(&rows), truth)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let (data, truth) = blobs(1, 50);
+        let km = KMeans::fit(&data, KMeansConfig::new(3), 7);
+        // Every ground-truth blob should map to exactly one cluster.
+        for blob in 0..3 {
+            let ids: Vec<usize> = truth
+                .iter()
+                .enumerate()
+                .filter(|(_, &t)| t == blob)
+                .map(|(i, _)| km.assignments()[i])
+                .collect();
+            assert!(ids.windows(2).all(|w| w[0] == w[1]), "blob {blob} split across clusters");
+        }
+        assert!(km.inertia() < 1.0);
+    }
+
+    #[test]
+    fn k_equals_one_gives_mean_centroid() {
+        let data = Matrix::from_rows(&[vec![0.0, 0.0], vec![2.0, 4.0]]);
+        let km = KMeans::fit(&data, KMeansConfig::new(1), 3);
+        assert_eq!(km.centroids().row(0), &[1.0, 2.0]);
+        assert_eq!(km.assignments(), &[0, 0]);
+    }
+
+    #[test]
+    fn k_equals_n_achieves_zero_inertia() {
+        let (data, _) = blobs(2, 2);
+        let km = KMeans::fit(&data, KMeansConfig::new(6), 5);
+        assert!(km.inertia() < 1e-20, "inertia {}", km.inertia());
+    }
+
+    #[test]
+    fn more_clusters_never_increase_inertia() {
+        let (data, _) = blobs(3, 40);
+        let mut last = f64::INFINITY;
+        for k in 1..=5 {
+            // Best of 3 seeds to smooth out local minima.
+            let best = (0..3)
+                .map(|s| KMeans::fit(&data, KMeansConfig::new(k), s).inertia())
+                .fold(f64::INFINITY, f64::min);
+            assert!(best <= last + 1e-9, "k={k}: {best} > {last}");
+            last = best;
+        }
+    }
+
+    #[test]
+    fn predict_is_consistent_with_training_assignments() {
+        let (data, _) = blobs(4, 30);
+        let km = KMeans::fit(&data, KMeansConfig::new(3), 11);
+        assert_eq!(&km.predict(&data), km.assignments());
+    }
+
+    #[test]
+    fn duplicate_points_are_handled() {
+        let data = Matrix::from_rows(&vec![vec![1.0, 1.0]; 10]);
+        let km = KMeans::fit(&data, KMeansConfig::new(3), 2);
+        assert_eq!(km.inertia(), 0.0);
+        assert_eq!(km.predict(&data).len(), 10);
+    }
+
+    #[test]
+    fn cluster_members_partition_indices() {
+        let (data, _) = blobs(5, 20);
+        let km = KMeans::fit(&data, KMeansConfig::new(3), 9);
+        let members = km.cluster_members();
+        let mut all: Vec<usize> = members.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..60).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let data = Matrix::ones(3, 2);
+        let _ = KMeans::fit(&data, KMeansConfig::new(0), 1);
+    }
+}

@@ -1,0 +1,16 @@
+//! k-means clustering for TargAD's candidate selection.
+//!
+//! Algorithm 1 of the paper starts by partitioning the unlabeled data into
+//! `k` groups with k-means so that a per-group autoencoder can learn each
+//! normal pattern; `k` is "selected based on the elbow method" (§IV-C).
+//! This crate provides both pieces:
+//!
+//! - [`KMeans`]: Lloyd iterations with k-means++ seeding and empty-cluster
+//!   repair;
+//! - [`choose_k_elbow`]: the elbow heuristic over the inertia curve.
+
+pub mod elbow;
+pub mod kmeans;
+
+pub use elbow::choose_k_elbow;
+pub use kmeans::{KMeans, KMeansConfig};

@@ -1,0 +1,71 @@
+//! Property tests for k-means invariants.
+
+use proptest::prelude::*;
+use targad_cluster::{KMeans, KMeansConfig};
+use targad_linalg::Matrix;
+
+fn data_strategy() -> impl Strategy<Value = Matrix> {
+    (4usize..40, 1usize..5).prop_flat_map(|(rows, cols)| {
+        prop::collection::vec(0.0f64..1.0, rows * cols)
+            .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every instance is assigned to its nearest centroid (local optimality
+    /// of the assignment step).
+    #[test]
+    fn assignments_are_nearest(data in data_strategy(), seed in 0u64..1000) {
+        let k = 3.min(data.rows());
+        let km = KMeans::fit(&data, KMeansConfig::new(k), seed);
+        for i in 0..data.rows() {
+            let assigned = km.assignments()[i];
+            let d_assigned = data.row_sq_dist(i, km.centroids().row(assigned));
+            for c in 0..km.k() {
+                let d = data.row_sq_dist(i, km.centroids().row(c));
+                prop_assert!(d_assigned <= d + 1e-9, "row {i}: {d_assigned} > {d}");
+            }
+        }
+    }
+
+    /// Inertia equals the sum of assigned squared distances.
+    #[test]
+    fn inertia_is_consistent(data in data_strategy(), seed in 0u64..1000) {
+        let k = 2.min(data.rows());
+        let km = KMeans::fit(&data, KMeansConfig::new(k), seed);
+        let recomputed: f64 = (0..data.rows())
+            .map(|i| data.row_sq_dist(i, km.centroids().row(km.assignments()[i])))
+            .sum();
+        prop_assert!((km.inertia() - recomputed).abs() < 1e-9);
+    }
+
+    /// predict() on the training data reproduces the stored assignments.
+    #[test]
+    fn predict_matches_assignments(data in data_strategy(), seed in 0u64..1000) {
+        let k = 3.min(data.rows());
+        let km = KMeans::fit(&data, KMeansConfig::new(k), seed);
+        prop_assert_eq!(&km.predict(&data), km.assignments());
+    }
+
+    /// Cluster membership lists partition 0..n.
+    #[test]
+    fn members_partition(data in data_strategy(), seed in 0u64..1000) {
+        let k = 4.min(data.rows());
+        let km = KMeans::fit(&data, KMeansConfig::new(k), seed);
+        let mut all: Vec<usize> = km.cluster_members().into_iter().flatten().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..data.rows()).collect::<Vec<_>>());
+    }
+
+    /// Fitting is deterministic for a fixed seed.
+    #[test]
+    fn deterministic(data in data_strategy(), seed in 0u64..1000) {
+        let k = 2.min(data.rows());
+        let a = KMeans::fit(&data, KMeansConfig::new(k), seed);
+        let b = KMeans::fit(&data, KMeansConfig::new(k), seed);
+        prop_assert_eq!(a.assignments(), b.assignments());
+        prop_assert_eq!(a.centroids(), b.centroids());
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for TargAD training and inference.
+
+use std::fmt;
+
+/// Failures surfaced by [`crate::TargAd`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TargAdError {
+    /// `fit` requires at least one labeled target anomaly.
+    NoLabeledAnomalies,
+    /// Too little unlabeled data to run candidate selection.
+    TooFewUnlabeled {
+        /// Rows available.
+        have: usize,
+        /// Rows required.
+        need: usize,
+    },
+    /// Inference was requested before a successful `fit`.
+    NotFitted,
+    /// Feature dimensionality differs from the fitted model's.
+    DimMismatch {
+        /// Dimensionality the model was trained with.
+        expected: usize,
+        /// Dimensionality of the offending input.
+        got: usize,
+    },
+}
+
+impl fmt::Display for TargAdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TargAdError::NoLabeledAnomalies => {
+                write!(f, "training set contains no labeled target anomalies (D_L is empty)")
+            }
+            TargAdError::TooFewUnlabeled { have, need } => {
+                write!(f, "too few unlabeled instances: have {have}, need at least {need}")
+            }
+            TargAdError::NotFitted => write!(f, "model is not fitted; call fit() first"),
+            TargAdError::DimMismatch { expected, got } => {
+                write!(f, "feature dimensionality mismatch: model expects {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TargAdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(TargAdError::NoLabeledAnomalies.to_string().contains("D_L"));
+        assert!(TargAdError::TooFewUnlabeled { have: 3, need: 10 }.to_string().contains("3"));
+        assert!(TargAdError::NotFitted.to_string().contains("fit"));
+        assert!(TargAdError::DimMismatch { expected: 4, got: 7 }.to_string().contains("7"));
+    }
+}

@@ -1,0 +1,691 @@
+//! The TargAD detection component (§III-B2/B3, Lines 8–17 of Algorithm 1)
+//! and the public model API.
+
+use targad_autograd::{Tape, Var, VarStore};
+use targad_data::Dataset;
+use targad_linalg::{rng as lrng, stats, Matrix};
+use targad_nn::optim::clip_grad_norm;
+use targad_nn::{shuffled_batches, Activation, Adam, Mlp, Optimizer, Sgd};
+
+use crate::candidate::CandidateSelection;
+use crate::config::TargAdConfig;
+use crate::error::TargAdError;
+
+/// The trained `m + k`-way classifier `f`.
+///
+/// The first `m` output dimensions correspond to the target anomaly
+/// classes, the last `k` to the hidden normal groups discovered by k-means.
+pub struct Classifier {
+    store: VarStore,
+    mlp: Mlp,
+    m: usize,
+    k: usize,
+}
+
+impl Classifier {
+    /// Number of target anomaly classes `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of normal groups `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.mlp.in_dim()
+    }
+
+    /// Raw logits, one row per instance.
+    pub fn logits(&self, x: &Matrix) -> Matrix {
+        self.mlp.eval(&self.store, x)
+    }
+
+    /// Softmax probabilities over the `m + k` outputs.
+    pub fn probabilities(&self, x: &Matrix) -> Matrix {
+        self.logits(x).softmax_rows()
+    }
+
+    /// Target-anomaly scores (Eq. 9): `S^tar(x) = max_{j ≤ m} p_j(x)`.
+    pub fn target_scores(&self, x: &Matrix) -> Vec<f64> {
+        let p = self.probabilities(x);
+        (0..p.rows())
+            .map(|r| p.row(r)[..self.m].iter().copied().fold(f64::NEG_INFINITY, f64::max))
+            .collect()
+    }
+
+    /// §III-C normality rule: an instance is normal iff the probability
+    /// mass on the last `k` dimensions exceeds `k / (m + k)`.
+    pub fn is_normal_row(&self, prob_row: &[f64]) -> bool {
+        let mass: f64 = prob_row[self.m..].iter().sum();
+        mass > self.k as f64 / (self.m + self.k) as f64
+    }
+
+    /// The `[in, h1, …, m + k]` layer dimensions (for persistence).
+    pub fn layer_dims(&self) -> Vec<usize> {
+        self.mlp.dims()
+    }
+
+    /// All parameter matrices in layer order: `w1, b1, w2, b2, …`.
+    pub fn parameter_matrices(&self) -> Vec<Matrix> {
+        let mut out = Vec::with_capacity(2 * self.mlp.num_layers());
+        for layer in self.mlp.layers() {
+            let (w, b) = layer.params();
+            out.push(self.store.value(w).clone());
+            out.push(self.store.value(b).clone());
+        }
+        out
+    }
+
+    /// Builds an untrained classifier skeleton with the given architecture
+    /// (used by [`crate::snapshot`] before overwriting the parameters).
+    pub(crate) fn with_architecture(
+        dims: &[usize],
+        m: usize,
+        k: usize,
+        rng: &mut impl rand::Rng,
+    ) -> Self {
+        let mut store = VarStore::new();
+        let mlp = Mlp::new(&mut store, rng, dims, Activation::Relu, Activation::None);
+        Self { store, mlp, m, k }
+    }
+
+    /// Replaces all parameters with `matrices` (layer order `w1, b1, …`).
+    pub(crate) fn overwrite_parameters(&mut self, matrices: &[Matrix]) -> Result<(), String> {
+        let expected = 2 * self.mlp.num_layers();
+        if matrices.len() != expected {
+            return Err(format!("expected {expected} matrices, got {}", matrices.len()));
+        }
+        for (i, layer) in self.mlp.layers().to_vec().into_iter().enumerate() {
+            let (w, b) = layer.params();
+            for (id, matrix) in [(w, &matrices[2 * i]), (b, &matrices[2 * i + 1])] {
+                if self.store.value(id).shape() != matrix.shape() {
+                    return Err(format!(
+                        "matrix {i}: shape {:?} does not match architecture {:?}",
+                        matrix.shape(),
+                        self.store.value(id).shape()
+                    ));
+                }
+                *self.store.value_mut(id) = matrix.clone();
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-epoch mean weight of the three true instance types hiding inside the
+/// non-target anomaly candidate set (Fig. 5a). `NaN` when a type is absent.
+#[derive(Clone, Copy, Debug)]
+pub struct WeightMeans {
+    /// Mean weight of inaccurately-reconstructed *normal* instances.
+    pub normal: f64,
+    /// Mean weight of hidden *target* anomalies.
+    pub target: f64,
+    /// Mean weight of *non-target* anomalies.
+    pub non_target: f64,
+}
+
+/// Composition of the candidate set by ground truth (diagnostics).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CandidateComposition {
+    /// Normal instances erroneously selected.
+    pub normal: usize,
+    /// Hidden target anomalies selected.
+    pub target: usize,
+    /// Non-target anomalies selected (the intended content).
+    pub non_target: usize,
+}
+
+/// Telemetry captured during [`TargAd::fit`], sufficient to regenerate
+/// Fig. 3(a) and Fig. 5 of the paper.
+#[derive(Clone, Debug, Default)]
+pub struct TrainHistory {
+    /// Mean total classifier loss per epoch (Fig. 3a).
+    pub clf_loss: Vec<f64>,
+    /// Mean candidate weight per true instance type per epoch (Fig. 5a).
+    pub weight_means: Vec<WeightMeans>,
+    /// `(three_way_truth, weight)` per candidate at the final epoch
+    /// (Fig. 5b's density plot data). Codes: 0 normal / 1 target /
+    /// 2 non-target.
+    pub final_weights: Vec<(usize, f64)>,
+    /// Ground-truth composition of `D_U^A`.
+    pub candidate_composition: CandidateComposition,
+    /// Mean per-epoch autoencoder losses, averaged over clusters.
+    pub ae_loss: Vec<f64>,
+}
+
+/// The TargAD model. See the crate docs for the algorithm outline.
+pub struct TargAd {
+    config: TargAdConfig,
+    classifier: Option<Classifier>,
+    selection: Option<CandidateSelection>,
+    history: TrainHistory,
+}
+
+impl TargAd {
+    /// Creates an unfitted model.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see
+    /// [`TargAdConfig::validate`]).
+    pub fn new(config: TargAdConfig) -> Self {
+        config.validate();
+        Self { config, classifier: None, selection: None, history: TrainHistory::default() }
+    }
+
+    /// The configuration this model was built with.
+    pub fn config(&self) -> &TargAdConfig {
+        &self.config
+    }
+
+    /// Runs Algorithm 1 on `train`.
+    ///
+    /// # Errors
+    /// [`TargAdError::NoLabeledAnomalies`] if `D_L` is empty and
+    /// [`TargAdError::TooFewUnlabeled`] if `D_U` is smaller than the number
+    /// of requested clusters.
+    pub fn fit(&mut self, train: &Dataset, seed: u64) -> Result<(), TargAdError> {
+        self.fit_with_monitor(train, seed, |_, _| {})
+    }
+
+    /// Like [`TargAd::fit`], invoking `monitor(epoch, classifier)` after
+    /// every classifier epoch — used to trace test AUPRC per epoch
+    /// (Fig. 3b).
+    pub fn fit_with_monitor(
+        &mut self,
+        train: &Dataset,
+        seed: u64,
+        mut monitor: impl FnMut(usize, &Classifier),
+    ) -> Result<(), TargAdError> {
+        let (xl, labeled_classes) = train.labeled_view();
+        if xl.rows() == 0 {
+            return Err(TargAdError::NoLabeledAnomalies);
+        }
+        let (xu, u_idx) = train.unlabeled_view();
+        let need = self.config.k.unwrap_or(self.config.elbow_range.1).max(10);
+        if xu.rows() < need {
+            return Err(TargAdError::TooFewUnlabeled { have: xu.rows(), need });
+        }
+
+        let m = labeled_classes.iter().copied().max().expect("nonempty") + 1;
+
+        // ---- Candidate selection (Lines 1–7) ----------------------------
+        let selection = CandidateSelection::run(&xu, &xl, &self.config, seed);
+        let k = selection.k;
+
+        let mut history = TrainHistory::default();
+        if !selection.autoencoders.is_empty() {
+            let epochs = selection.autoencoders[0].loss_history.len();
+            history.ae_loss = (0..epochs)
+                .map(|e| {
+                    stats::mean(
+                        &selection
+                            .autoencoders
+                            .iter()
+                            .map(|ae| ae.loss_history[e])
+                            .collect::<Vec<_>>(),
+                    )
+                })
+                .collect();
+        }
+
+        // ---- Detection data assembly ------------------------------------
+        let xn = xu.take_rows(&selection.normal_candidates);
+        let xa = xu.take_rows(&selection.anomaly_candidates);
+
+        // Pseudo-labels (§III-B2). Targets: one-hot in the first m dims.
+        let yl = one_hot_rows(&labeled_classes, 0, m + k);
+        // Normal candidates: one-hot at m + cluster index.
+        let normal_clusters: Vec<usize> =
+            selection.normal_candidates.iter().map(|&i| m + selection.cluster_of[i]).collect();
+        let yn = one_hot_rows(&normal_clusters, 0, m + k);
+        // Non-target candidates: (1/m, …, 1/m, 0, …, 0) — or the vanilla OE
+        // uniform 1/(m+k) under the pseudo-label ablation.
+        let yo_row: Vec<f64> = if self.config.vanilla_oe_labels {
+            vec![1.0 / (m + k) as f64; m + k]
+        } else {
+            let mut row = vec![0.0; m + k];
+            for v in row.iter_mut().take(m) {
+                *v = 1.0 / m as f64;
+            }
+            row
+        };
+        let ya = Matrix::from_rows(&vec![yo_row; xa.rows().max(1)]).take_rows(
+            &(0..xa.rows()).collect::<Vec<_>>(),
+        );
+
+        // Candidate ground truth (telemetry only).
+        let cand_truth: Vec<usize> = selection
+            .anomaly_candidates
+            .iter()
+            .map(|&i| train.truth[u_idx[i]].three_way())
+            .collect();
+        for &t in &cand_truth {
+            match t {
+                0 => history.candidate_composition.normal += 1,
+                1 => history.candidate_composition.target += 1,
+                _ => history.candidate_composition.non_target += 1,
+            }
+        }
+
+        // Initial weights from reconstruction errors (Eq. 5).
+        let cand_errors: Vec<f64> =
+            selection.anomaly_candidates.iter().map(|&i| selection.recon_errors[i]).collect();
+        let mut weights = normalize_inverted(&cand_errors);
+
+        // ---- Classifier training (Lines 8–16) ---------------------------
+        let mut rng = lrng::seeded(seed ^ 0xCAFE);
+        let mut store = VarStore::new();
+        let mut dims = vec![train.dims()];
+        dims.extend_from_slice(&self.config.clf_hidden);
+        dims.push(m + k);
+        let mlp = Mlp::new(&mut store, &mut rng, &dims, Activation::Relu, Activation::None);
+        let mut clf = Classifier { store, mlp, m, k };
+        let mut opt: Box<dyn Optimizer> = if self.config.clf_sgd {
+            Box::new(Sgd::with_momentum(self.config.clf_lr, 0.9))
+        } else {
+            Box::new(Adam::new(self.config.clf_lr))
+        };
+
+        let bs = self.config.clf_batch;
+        for epoch in 0..self.config.clf_epochs {
+            if epoch > 0 && self.config.update_weights && !weights.is_empty() {
+                // Eq. 4: weight from the max predicted probability.
+                let p = clf.probabilities(&xa);
+                let eps: Vec<f64> = (0..p.rows()).map(|r| p.max_row(r)).collect();
+                weights = normalize_inverted(&eps);
+            }
+            record_weight_means(&mut history, &cand_truth, &weights);
+
+            let n_batches = shuffled_batches(&mut rng, xn.rows(), bs);
+            let steps = n_batches.len().max(1);
+            let a_chunk = xa.rows().div_ceil(steps).max(1);
+            let a_perm = lrng::permutation(&mut rng, xa.rows());
+            let l_perm = lrng::permutation(&mut rng, xl.rows());
+            let l_chunk = xl.rows().clamp(1, 256);
+
+            let mut epoch_loss = 0.0;
+            for (step, n_batch) in n_batches.iter().enumerate() {
+                let a_batch: Vec<usize> = a_perm
+                    .iter()
+                    .copied()
+                    .skip(step * a_chunk % xa.rows().max(1))
+                    .take(a_chunk.min(xa.rows()))
+                    .collect();
+                let l_start = (step * l_chunk) % xl.rows();
+                let l_batch: Vec<usize> =
+                    (0..l_chunk).map(|i| l_perm[(l_start + i) % xl.rows()]).collect();
+
+                epoch_loss += self.train_step(
+                    &mut clf, opt.as_mut(), &xl, &yl, &l_batch, &xn, &yn, n_batch, &xa, &ya,
+                    &weights, &a_batch,
+                );
+            }
+            history.clf_loss.push(epoch_loss / steps as f64);
+            monitor(epoch, &clf);
+        }
+
+        history.final_weights =
+            cand_truth.iter().copied().zip(weights.iter().copied()).collect();
+
+        self.classifier = Some(clf);
+        self.selection = Some(selection);
+        self.history = history;
+        Ok(())
+    }
+
+    /// One optimizer step over the three pseudo-labeled batches; returns the
+    /// scalar loss value.
+    #[allow(clippy::too_many_arguments)]
+    fn train_step(
+        &self,
+        clf: &mut Classifier,
+        opt: &mut dyn Optimizer,
+        xl: &Matrix,
+        yl: &Matrix,
+        l_batch: &[usize],
+        xn: &Matrix,
+        yn: &Matrix,
+        n_batch: &[usize],
+        xa: &Matrix,
+        ya: &Matrix,
+        weights: &[f64],
+        a_batch: &[usize],
+    ) -> f64 {
+        clf.store.zero_grads();
+        let mut tape = Tape::new();
+
+        // L_CE over D_L and D_U^N (Eq. 3): sum of the two per-set means.
+        let (zl, _) = forward_batch(&mut tape, clf, xl, l_batch);
+        let ce_l = cross_entropy_mean(&mut tape, zl, &yl.take_rows(l_batch));
+        let (zn, _) = forward_batch(&mut tape, clf, xn, n_batch);
+        let ce_n = cross_entropy_mean(&mut tape, zn, &yn.take_rows(n_batch));
+        let mut loss = tape.add(ce_l, ce_n);
+
+        // L_OE over D_U^A (Eq. 6) with per-instance weights.
+        if self.config.use_oe && !a_batch.is_empty() {
+            let (za, _) = forward_batch(&mut tape, clf, xa, a_batch);
+            let w: Vec<f64> = a_batch.iter().map(|&i| weights[i]).collect();
+            let oe = weighted_cross_entropy_mean(&mut tape, za, &ya.take_rows(a_batch), &w);
+            loss = tape.add_scaled(loss, oe, self.config.lambda1);
+        }
+
+        // L_RE over D_L ∪ D_U^N (Eq. 7): entropy of the predictions.
+        // Sign convention: we minimize the *entropy* H(p) = −Σ p log p so
+        // the regularizer boosts prediction confidence, which is the
+        // behaviour the paper describes for this term (its Eq. 7 prints
+        // Σ p log p; minimizing that literal expression would maximize
+        // entropy instead).
+        if self.config.use_re {
+            let ent_l = entropy_mean(&mut tape, zl);
+            let ent_n = entropy_mean(&mut tape, zn);
+            let w_l = xl.rows() as f64 / (xl.rows() + xn.rows()) as f64;
+            loss = tape.add_scaled(loss, ent_l, self.config.lambda2 * w_l);
+            loss = tape.add_scaled(loss, ent_n, self.config.lambda2 * (1.0 - w_l));
+        }
+
+        let value = tape.value(loss)[(0, 0)];
+        tape.backward(loss, &mut clf.store);
+        clip_grad_norm(&mut clf.store, self.config.grad_clip);
+        opt.step(&mut clf.store);
+        value
+    }
+
+    /// The fitted classifier.
+    ///
+    /// # Errors
+    /// [`TargAdError::NotFitted`] before a successful [`TargAd::fit`].
+    pub fn classifier(&self) -> Result<&Classifier, TargAdError> {
+        self.classifier.as_ref().ok_or(TargAdError::NotFitted)
+    }
+
+    /// The candidate-selection output of the last fit.
+    ///
+    /// # Errors
+    /// [`TargAdError::NotFitted`] before a successful [`TargAd::fit`].
+    pub fn selection(&self) -> Result<&CandidateSelection, TargAdError> {
+        self.selection.as_ref().ok_or(TargAdError::NotFitted)
+    }
+
+    /// Training telemetry of the last fit.
+    pub fn history(&self) -> &TrainHistory {
+        &self.history
+    }
+
+    /// Target-anomaly scores (Eq. 9) for each row of `x`.
+    ///
+    /// # Errors
+    /// [`TargAdError::NotFitted`] / [`TargAdError::DimMismatch`].
+    pub fn try_score_matrix(&self, x: &Matrix) -> Result<Vec<f64>, TargAdError> {
+        let clf = self.classifier()?;
+        if x.cols() != clf.input_dim() {
+            return Err(TargAdError::DimMismatch { expected: clf.input_dim(), got: x.cols() });
+        }
+        Ok(clf.target_scores(x))
+    }
+
+    /// Target-anomaly scores (Eq. 9) for each row of `x`.
+    ///
+    /// # Panics
+    /// Panics when unfitted or on a dimensionality mismatch; use
+    /// [`TargAd::try_score_matrix`] for a fallible variant.
+    pub fn score_matrix(&self, x: &Matrix) -> Vec<f64> {
+        self.try_score_matrix(x).expect("TargAd::score_matrix")
+    }
+
+    /// Convenience: scores a whole [`Dataset`].
+    ///
+    /// # Panics
+    /// Same contract as [`TargAd::score_matrix`].
+    pub fn score_dataset(&self, dataset: &Dataset) -> Vec<f64> {
+        self.score_matrix(&dataset.features)
+    }
+}
+
+/// Builds a one-hot matrix with ones at `offset + code[i]`.
+fn one_hot_rows(codes: &[usize], offset: usize, width: usize) -> Matrix {
+    let mut m = Matrix::zeros(codes.len(), width);
+    for (r, &c) in codes.iter().enumerate() {
+        m[(r, offset + c)] = 1.0;
+    }
+    m
+}
+
+/// `(max − v) / (max − min)` normalization shared by Eq. 4 and Eq. 5
+/// (all-ones when the values are degenerate).
+fn normalize_inverted(values: &[f64]) -> Vec<f64> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let max = stats::max(values);
+    let min = stats::min(values);
+    if max - min <= f64::EPSILON {
+        return vec![1.0; values.len()];
+    }
+    values.iter().map(|&v| (max - v) / (max - min)).collect()
+}
+
+fn record_weight_means(history: &mut TrainHistory, truth: &[usize], weights: &[f64]) {
+    let mean_of = |code: usize| -> f64 {
+        let vals: Vec<f64> = truth
+            .iter()
+            .zip(weights)
+            .filter(|(&t, _)| t == code)
+            .map(|(_, &w)| w)
+            .collect();
+        if vals.is_empty() {
+            f64::NAN
+        } else {
+            stats::mean(&vals)
+        }
+    };
+    history.weight_means.push(WeightMeans {
+        normal: mean_of(0),
+        target: mean_of(1),
+        non_target: mean_of(2),
+    });
+}
+
+fn forward_batch(tape: &mut Tape, clf: &Classifier, x: &Matrix, batch: &[usize]) -> (Var, usize) {
+    let xb = tape.input(x.take_rows(batch));
+    (clf.mlp.forward(tape, &clf.store, xb), batch.len())
+}
+
+/// `−mean_rows Σ_j y_j log p_j` from logits `z` and a constant target
+/// matrix.
+fn cross_entropy_mean(tape: &mut Tape, z: Var, targets: &Matrix) -> Var {
+    let n = targets.rows().max(1) as f64;
+    let y = tape.input(targets.clone());
+    let lp = tape.log_softmax_rows(z);
+    let prod = tape.mul(y, lp);
+    let total = tape.sum_all(prod);
+    tape.scale(total, -1.0 / n)
+}
+
+/// Weighted variant of [`cross_entropy_mean`] (Eq. 6).
+fn weighted_cross_entropy_mean(tape: &mut Tape, z: Var, targets: &Matrix, weights: &[f64]) -> Var {
+    let n = targets.rows().max(1) as f64;
+    let y = tape.input(targets.clone());
+    let w = tape.input(Matrix::col_vector(weights));
+    let lp = tape.log_softmax_rows(z);
+    let prod = tape.mul(y, lp);
+    let per_row = tape.row_sum(prod);
+    let weighted = tape.mul_col_broadcast(per_row, w);
+    let total = tape.sum_all(weighted);
+    tape.scale(total, -1.0 / n)
+}
+
+/// Mean entropy `H(p) = −Σ p log p` of the softmax of logits `z`.
+fn entropy_mean(tape: &mut Tape, z: Var) -> Var {
+    let p = tape.softmax_rows(z);
+    let lp = tape.log_softmax_rows(z);
+    let prod = tape.mul(p, lp);
+    let rows = tape.row_sum(prod);
+    let mean = tape.mean_all(rows);
+    tape.scale(mean, -1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use targad_data::GeneratorSpec;
+    use targad_metrics::{auroc, average_precision};
+
+    fn fitted_model(seed: u64) -> (TargAd, targad_data::DatasetBundle) {
+        let bundle = GeneratorSpec::quick_demo().generate(seed);
+        let mut model = TargAd::new(TargAdConfig::fast());
+        model.fit(&bundle.train, seed).expect("fit succeeds");
+        (model, bundle)
+    }
+
+    #[test]
+    fn fit_rejects_empty_labeled_set() {
+        let bundle = GeneratorSpec::quick_demo().generate(1);
+        let mut unlabeled = bundle.train.clone();
+        unlabeled.labeled.iter_mut().for_each(|l| *l = false);
+        let mut model = TargAd::new(TargAdConfig::fast());
+        assert_eq!(model.fit(&unlabeled, 1), Err(TargAdError::NoLabeledAnomalies));
+    }
+
+    #[test]
+    fn unfitted_model_errors() {
+        let model = TargAd::new(TargAdConfig::fast());
+        assert_eq!(model.classifier().err(), Some(TargAdError::NotFitted));
+        assert_eq!(
+            model.try_score_matrix(&Matrix::ones(1, 12)).err(),
+            Some(TargAdError::NotFitted)
+        );
+    }
+
+    #[test]
+    fn dim_mismatch_detected() {
+        let (model, _) = fitted_model(2);
+        assert!(matches!(
+            model.try_score_matrix(&Matrix::ones(1, 5)),
+            Err(TargAdError::DimMismatch { expected: 12, got: 5 })
+        ));
+    }
+
+    #[test]
+    fn detects_target_anomalies_well_above_chance() {
+        let (model, bundle) = fitted_model(3);
+        let scores = model.score_dataset(&bundle.test);
+        let labels = bundle.test.target_labels();
+        let prevalence =
+            labels.iter().filter(|&&l| l).count() as f64 / labels.len() as f64;
+        let ap = average_precision(&scores, &labels);
+        let roc = auroc(&scores, &labels);
+        assert!(ap > 3.0 * prevalence, "AP {ap} vs prevalence {prevalence}");
+        assert!(roc > 0.8, "AUROC {roc}");
+    }
+
+    #[test]
+    fn scores_are_valid_probabilities() {
+        let (model, bundle) = fitted_model(4);
+        let scores = model.score_dataset(&bundle.test);
+        assert!(scores.iter().all(|&s| (0.0..=1.0).contains(&s) && s.is_finite()));
+    }
+
+    #[test]
+    fn probabilities_rows_sum_to_one() {
+        let (model, bundle) = fitted_model(5);
+        let clf = model.classifier().unwrap();
+        let p = clf.probabilities(&bundle.test.features);
+        assert_eq!(p.cols(), clf.m() + clf.k());
+        for r in 0..p.rows().min(50) {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn history_records_all_epochs() {
+        let (model, _) = fitted_model(6);
+        let h = model.history();
+        let epochs = model.config().clf_epochs;
+        assert_eq!(h.clf_loss.len(), epochs);
+        assert_eq!(h.weight_means.len(), epochs);
+        assert!(!h.final_weights.is_empty());
+        assert!(!h.ae_loss.is_empty());
+        let comp = h.candidate_composition;
+        assert_eq!(
+            comp.normal + comp.target + comp.non_target,
+            model.selection().unwrap().anomaly_candidates.len()
+        );
+    }
+
+    #[test]
+    fn loss_decreases_during_training() {
+        let (model, _) = fitted_model(7);
+        let loss = &model.history().clf_loss;
+        let early = loss[..3].iter().sum::<f64>() / 3.0;
+        let late = loss[loss.len() - 3..].iter().sum::<f64>() / 3.0;
+        assert!(late < early, "loss did not decrease: early {early}, late {late}");
+    }
+
+    #[test]
+    fn weights_stay_in_unit_interval() {
+        let (model, _) = fitted_model(8);
+        assert!(model
+            .history()
+            .final_weights
+            .iter()
+            .all(|&(_, w)| (0.0..=1.0).contains(&w)));
+    }
+
+    #[test]
+    fn non_targets_gain_weight_over_training() {
+        // Fig. 5a's headline effect: by the final epochs the mean weight of
+        // true non-target anomalies exceeds the mean weight of normal
+        // instances hiding among the candidates.
+        let (model, _) = fitted_model(9);
+        let last = model.history().weight_means.last().unwrap();
+        if !last.non_target.is_nan() && !last.normal.is_nan() {
+            assert!(
+                last.non_target > last.normal,
+                "non-target {} vs normal {}",
+                last.non_target,
+                last.normal
+            );
+        }
+    }
+
+    #[test]
+    fn monitor_is_called_every_epoch() {
+        let bundle = GeneratorSpec::quick_demo().generate(10);
+        let mut model = TargAd::new(TargAdConfig::fast());
+        let mut calls = Vec::new();
+        model
+            .fit_with_monitor(&bundle.train, 10, |epoch, clf| {
+                assert_eq!(clf.input_dim(), 12);
+                calls.push(epoch);
+            })
+            .expect("fit");
+        assert_eq!(calls, (0..model.config().clf_epochs).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fit_is_deterministic_given_seed() {
+        let bundle = GeneratorSpec::quick_demo().generate(11);
+        let mut a = TargAd::new(TargAdConfig::fast());
+        a.fit(&bundle.train, 42).unwrap();
+        let mut b = TargAd::new(TargAdConfig::fast());
+        b.fit(&bundle.train, 42).unwrap();
+        assert_eq!(a.score_dataset(&bundle.test), b.score_dataset(&bundle.test));
+    }
+
+    #[test]
+    fn ablation_flags_change_the_model() {
+        let bundle = GeneratorSpec::quick_demo().generate(12);
+        let mut full = TargAd::new(TargAdConfig::fast());
+        full.fit(&bundle.train, 1).unwrap();
+        let mut cfg = TargAdConfig::fast();
+        cfg.use_oe = false;
+        cfg.use_re = false;
+        let mut ablated = TargAd::new(cfg);
+        ablated.fit(&bundle.train, 1).unwrap();
+        assert_ne!(full.score_dataset(&bundle.test), ablated.score_dataset(&bundle.test));
+    }
+}

@@ -1,0 +1,226 @@
+//! Out-of-distribution strategies for three-way identification (§III-C,
+//! Table IV).
+//!
+//! TargAD first separates normal instances via the probability-mass rule
+//! `Σ_{j>m} p_j > k/(m+k)`; the remaining (anomalous) instances are split
+//! into target vs non-target anomalies by thresholding an OOD score
+//! computed from the *target block* of the logits `z_{1..m}`:
+//!
+//! - **MSP** (maximum softmax probability, Hendrycks & Gimpel): target
+//!   anomalies receive a confident target-class prediction, non-targets a
+//!   near-uniform one.
+//! - **ES** (energy score, Liu et al.): the (negated) free energy
+//!   `logsumexp(z_{1..m})` is larger for in-distribution (target) logits.
+//! - **ED** (energy discrepancy): adaptation of SAFE-Student's
+//!   teacher/student energy-discrepancy idea to the single-classifier
+//!   setting — `logsumexp(z_{1..m}) − mean(z_{1..m})`, which keeps the
+//!   energy's nature while reflecting the whole logit distribution: exactly
+//!   `ln m` for uniform logits and larger the more peaked the block is.
+
+use targad_linalg::Matrix;
+use targad_metrics::ConfusionMatrix;
+
+use crate::model::Classifier;
+
+/// The three OOD strategies of Table IV.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OodStrategy {
+    /// Maximum softmax probability.
+    Msp,
+    /// Energy score.
+    EnergyScore,
+    /// Energy discrepancy.
+    EnergyDiscrepancy,
+}
+
+impl OodStrategy {
+    /// All strategies in Table IV order.
+    pub fn all() -> [OodStrategy; 3] {
+        [OodStrategy::Msp, OodStrategy::EnergyScore, OodStrategy::EnergyDiscrepancy]
+    }
+
+    /// Name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            OodStrategy::Msp => "MSP",
+            OodStrategy::EnergyScore => "ES",
+            OodStrategy::EnergyDiscrepancy => "ED",
+        }
+    }
+
+    /// "Target-likeness" score of one logit row; larger means more likely a
+    /// *target* (in-distribution) anomaly rather than a non-target one.
+    pub fn target_score(self, logits: &[f64], m: usize) -> f64 {
+        let block = &logits[..m];
+        match self {
+            OodStrategy::Msp => {
+                // Softmax over the full output, max over the target block —
+                // consistent with Eq. 9.
+                let max_all = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let denom: f64 = logits.iter().map(|&z| (z - max_all).exp()).sum();
+                block.iter().map(|&z| (z - max_all).exp() / denom).fold(f64::NEG_INFINITY, f64::max)
+            }
+            OodStrategy::EnergyScore => logsumexp(block),
+            OodStrategy::EnergyDiscrepancy => {
+                let mean = block.iter().sum::<f64>() / m as f64;
+                logsumexp(block) - mean
+            }
+        }
+    }
+}
+
+fn logsumexp(values: &[f64]) -> f64 {
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    max + values.iter().map(|&v| (v - max).exp()).sum::<f64>().ln()
+}
+
+/// Three-way prediction: 0 = normal, 1 = target anomaly, 2 = non-target
+/// anomaly. `tau` is the strategy's target-likeness threshold.
+pub fn classify_three_way(
+    clf: &Classifier,
+    x: &Matrix,
+    strategy: OodStrategy,
+    tau: f64,
+) -> Vec<usize> {
+    let logits = clf.logits(x);
+    let probs = logits.softmax_rows();
+    (0..x.rows())
+        .map(|r| {
+            if clf.is_normal_row(probs.row(r)) {
+                0
+            } else if strategy.target_score(logits.row(r), clf.m()) >= tau {
+                1
+            } else {
+                2
+            }
+        })
+        .collect()
+}
+
+/// Calibrates the target/non-target threshold on validation data by
+/// maximizing macro-F1 over a grid of candidate thresholds drawn from the
+/// validation scores of predicted-anomalous rows.
+///
+/// Returns the chosen threshold (0.0 if validation has no anomalous
+/// predictions — any tau then yields the same all-normal labeling).
+pub fn calibrate_threshold(
+    clf: &Classifier,
+    val_x: &Matrix,
+    val_truth3: &[usize],
+    strategy: OodStrategy,
+) -> f64 {
+    assert_eq!(val_x.rows(), val_truth3.len(), "calibrate_threshold: length mismatch");
+    let logits = clf.logits(val_x);
+    let probs = logits.softmax_rows();
+    let anomalous: Vec<usize> =
+        (0..val_x.rows()).filter(|&r| !clf.is_normal_row(probs.row(r))).collect();
+    if anomalous.is_empty() {
+        return 0.0;
+    }
+    let mut scores: Vec<f64> =
+        anomalous.iter().map(|&r| strategy.target_score(logits.row(r), clf.m())).collect();
+    scores.sort_by(|a, b| a.partial_cmp(b).expect("NaN OOD score"));
+    scores.dedup();
+
+    let mut best_tau = scores[0];
+    let mut best_f1 = f64::NEG_INFINITY;
+    // Midpoints between consecutive distinct scores, plus the extremes.
+    let mut candidates = vec![scores[0] - 1e-9];
+    candidates.extend(scores.windows(2).map(|w| (w[0] + w[1]) / 2.0));
+    candidates.push(scores[scores.len() - 1] + 1e-9);
+
+    for tau in candidates {
+        let pred = classify_three_way(clf, val_x, strategy, tau);
+        let cm = ConfusionMatrix::from_predictions(val_truth3, &pred, 3);
+        let f1 = cm.macro_avg().f1;
+        if f1 > best_f1 {
+            best_f1 = f1;
+            best_tau = tau;
+        }
+    }
+    best_tau
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TargAd, TargAdConfig};
+    use targad_data::GeneratorSpec;
+
+    #[test]
+    fn strategy_names_and_order() {
+        let names: Vec<&str> = OodStrategy::all().iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["MSP", "ES", "ED"]);
+    }
+
+    #[test]
+    fn msp_is_a_probability() {
+        let logits = [2.0, -1.0, 0.5, 0.0];
+        let s = OodStrategy::Msp.target_score(&logits, 2);
+        assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn energy_discrepancy_is_ln_m_for_uniform_logits() {
+        for m in 2..6 {
+            let logits = vec![0.7; m + 3];
+            let s = OodStrategy::EnergyDiscrepancy.target_score(&logits, m);
+            assert!((s - (m as f64).ln()).abs() < 1e-12, "m={m}: {s}");
+        }
+    }
+
+    #[test]
+    fn peaked_logits_score_higher_than_uniform() {
+        let uniform = [0.0, 0.0, 0.0, 0.0, 0.0];
+        let peaked = [6.0, 0.0, 0.0, 0.0, 0.0];
+        for strategy in OodStrategy::all() {
+            let u = strategy.target_score(&uniform, 3);
+            let p = strategy.target_score(&peaked, 3);
+            assert!(p > u, "{}: peaked {p} <= uniform {u}", strategy.name());
+        }
+    }
+
+    #[test]
+    fn energy_score_is_shift_sensitive_but_ed_is_not() {
+        let logits = [1.0, 2.0, 0.0];
+        let shifted = [4.0, 5.0, 3.0];
+        let es = OodStrategy::EnergyScore;
+        assert!(es.target_score(&shifted, 3) > es.target_score(&logits, 3));
+        let ed = OodStrategy::EnergyDiscrepancy;
+        assert!(
+            (ed.target_score(&shifted, 3) - ed.target_score(&logits, 3)).abs() < 1e-12,
+            "ED should be shift-invariant"
+        );
+    }
+
+    #[test]
+    fn three_way_classification_end_to_end() {
+        let bundle = GeneratorSpec::quick_demo().generate(31);
+        let mut model = TargAd::new(TargAdConfig::fast());
+        model.fit(&bundle.train, 31).expect("fit");
+        let clf = model.classifier().unwrap();
+
+        for strategy in OodStrategy::all() {
+            let tau = calibrate_threshold(
+                clf,
+                &bundle.val.features,
+                &bundle.val.three_way_labels(),
+                strategy,
+            );
+            let pred = classify_three_way(clf, &bundle.test.features, strategy, tau);
+            assert_eq!(pred.len(), bundle.test.len());
+            assert!(pred.iter().all(|&p| p <= 2));
+            let cm = ConfusionMatrix::from_predictions(&bundle.test.three_way_labels(), &pred, 3);
+            // Normal recall must be solid; target identification well above
+            // chance.
+            let normal = cm.class_report(0);
+            assert!(normal.recall > 0.7, "{}: normal recall {}", strategy.name(), normal.recall);
+            assert!(
+                cm.accuracy() > 0.6,
+                "{}: accuracy {}",
+                strategy.name(),
+                cm.accuracy()
+            );
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Trained-classifier persistence.
+//!
+//! A deployment needs to train once and score for days (the paper's SQB
+//! scenario scores ~150 k merchants daily). This module serializes the
+//! trained classifier `f` — architecture, `m`, `k`, and all weights — to a
+//! self-describing plain-text format (no serializer dependency), and
+//! reloads it into a scoring-ready [`Classifier`].
+//!
+//! Format (line oriented):
+//!
+//! ```text
+//! targad-classifier v1
+//! m <m>
+//! k <k>
+//! dims <d0> <d1> … <dn>
+//! matrix <rows> <cols>
+//! <row-major f64 values, one row per line>
+//! …
+//! ```
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use targad_linalg::{rng as lrng, Matrix};
+
+use crate::model::Classifier;
+
+const MAGIC: &str = "targad-classifier v1";
+
+/// Serializes a trained classifier to the v1 text format.
+pub fn to_string(clf: &Classifier) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{MAGIC}");
+    let _ = writeln!(out, "m {}", clf.m());
+    let _ = writeln!(out, "k {}", clf.k());
+    let dims: Vec<String> = clf.layer_dims().iter().map(|d| d.to_string()).collect();
+    let _ = writeln!(out, "dims {}", dims.join(" "));
+    for matrix in clf.parameter_matrices() {
+        let _ = writeln!(out, "matrix {} {}", matrix.rows(), matrix.cols());
+        for row in matrix.iter_rows() {
+            let cells: Vec<String> = row.iter().map(|v| format!("{v:?}")).collect();
+            let _ = writeln!(out, "{}", cells.join(" "));
+        }
+    }
+    out
+}
+
+/// Parses the v1 text format back into a scoring-ready classifier.
+///
+/// # Errors
+/// `io::ErrorKind::InvalidData` on malformed content or shape mismatches.
+pub fn from_string(text: &str) -> io::Result<Classifier> {
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let mut lines = text.lines();
+    if lines.next() != Some(MAGIC) {
+        return Err(bad(format!("missing `{MAGIC}` header")));
+    }
+    let m = parse_kv(lines.next(), "m").map_err(bad)?;
+    let k = parse_kv(lines.next(), "k").map_err(bad)?;
+    let dims_line = lines.next().ok_or_else(|| bad("missing dims line".into()))?;
+    let dims: Vec<usize> = dims_line
+        .strip_prefix("dims ")
+        .ok_or_else(|| bad(format!("expected `dims …`, got `{dims_line}`")))?
+        .split_whitespace()
+        .map(|tok| tok.parse::<usize>().map_err(|e| bad(format!("bad dim `{tok}`: {e}"))))
+        .collect::<Result<_, _>>()?;
+    if dims.len() < 2 {
+        return Err(bad("dims must list at least input and output".into()));
+    }
+    if *dims.last().expect("nonempty") != m + k {
+        return Err(bad(format!(
+            "output dim {} does not match m + k = {}",
+            dims.last().expect("nonempty"),
+            m + k
+        )));
+    }
+
+    let mut matrices = Vec::new();
+    while let Some(line) = lines.next() {
+        if line.is_empty() {
+            continue;
+        }
+        let header: Vec<&str> = line.split_whitespace().collect();
+        if header.len() != 3 || header[0] != "matrix" {
+            return Err(bad(format!("expected `matrix <r> <c>`, got `{line}`")));
+        }
+        let rows: usize = header[1].parse().map_err(|e| bad(format!("bad rows: {e}")))?;
+        let cols: usize = header[2].parse().map_err(|e| bad(format!("bad cols: {e}")))?;
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows {
+            let row_line = lines.next().ok_or_else(|| bad("truncated matrix".into()))?;
+            for tok in row_line.split_whitespace() {
+                data.push(tok.parse::<f64>().map_err(|e| bad(format!("bad value `{tok}`: {e}")))?);
+            }
+        }
+        if data.len() != rows * cols {
+            return Err(bad(format!(
+                "matrix body has {} values, expected {}",
+                data.len(),
+                rows * cols
+            )));
+        }
+        matrices.push(Matrix::from_vec(rows, cols, data));
+    }
+
+    // Rebuild the network skeleton, then overwrite its parameters.
+    let expected = 2 * (dims.len() - 1);
+    if matrices.len() != expected {
+        return Err(bad(format!("expected {expected} parameter matrices, got {}", matrices.len())));
+    }
+    // Initialization values are irrelevant — they are overwritten below.
+    let mut rng = lrng::seeded(0);
+    let mut clf = Classifier::with_architecture(&dims, m, k, &mut rng);
+    clf.overwrite_parameters(&matrices).map_err(bad)?;
+    Ok(clf)
+}
+
+/// Writes a classifier to `path`.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn save(clf: &Classifier, path: impl AsRef<Path>) -> io::Result<()> {
+    fs::write(path, to_string(clf))
+}
+
+/// Loads a classifier from `path`.
+///
+/// # Errors
+/// Propagates filesystem errors and format errors.
+pub fn load(path: impl AsRef<Path>) -> io::Result<Classifier> {
+    from_string(&fs::read_to_string(path)?)
+}
+
+fn parse_kv(line: Option<&str>, key: &str) -> Result<usize, String> {
+    let line = line.ok_or_else(|| format!("missing `{key}` line"))?;
+    let value = line
+        .strip_prefix(&format!("{key} "))
+        .ok_or_else(|| format!("expected `{key} <n>`, got `{line}`"))?;
+    value.parse().map_err(|e| format!("bad `{key}` value: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TargAd, TargAdConfig};
+    use targad_data::GeneratorSpec;
+
+    fn trained() -> (TargAd, targad_data::DatasetBundle) {
+        let bundle = GeneratorSpec::quick_demo().generate(55);
+        let mut cfg = TargAdConfig::fast();
+        cfg.ae_epochs = 4;
+        cfg.clf_epochs = 6;
+        let mut model = TargAd::new(cfg);
+        model.fit(&bundle.train, 55).expect("fit");
+        (model, bundle)
+    }
+
+    #[test]
+    fn round_trip_preserves_scores_exactly() {
+        let (model, bundle) = trained();
+        let clf = model.classifier().unwrap();
+        let text = to_string(clf);
+        let restored = from_string(&text).expect("parse");
+        assert_eq!(restored.m(), clf.m());
+        assert_eq!(restored.k(), clf.k());
+        assert_eq!(
+            restored.target_scores(&bundle.test.features),
+            clf.target_scores(&bundle.test.features)
+        );
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (model, bundle) = trained();
+        let path = std::env::temp_dir().join("targad_snapshot_test.txt");
+        save(model.classifier().unwrap(), &path).expect("save");
+        let restored = load(&path).expect("load");
+        assert_eq!(
+            restored.target_scores(&bundle.test.features),
+            model.classifier().unwrap().target_scores(&bundle.test.features)
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_malformed_snapshots() {
+        assert!(from_string("").is_err());
+        assert!(from_string("wrong header\n").is_err());
+        assert!(from_string(&format!("{MAGIC}\nm 2\nk 2\ndims 4 3\n")).is_err()); // 3 != m+k
+        assert!(from_string(&format!("{MAGIC}\nm 2\nk 1\ndims 4 3\nmatrix 2 2\n1 2\n")).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_parameter_count() {
+        let (model, _) = trained();
+        let text = to_string(model.classifier().unwrap());
+        // Drop the final matrix block.
+        let cut = text.rfind("matrix").unwrap();
+        assert!(from_string(&text[..cut]).is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! Plain CSV persistence for [`Dataset`] — lets generated benchmarks be
+//! inspected, shared, and reloaded without regeneration.
+//!
+//! Format: header `f0,f1,…,f{D-1},truth,labeled`, where `truth` is one of
+//! `normal:<group>`, `target:<class>`, `non_target:<class>` and `labeled`
+//! is `0`/`1`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use targad_linalg::Matrix;
+
+use crate::dataset::{Dataset, Truth};
+
+/// Serializes `dataset` to CSV text.
+pub fn to_csv_string(dataset: &Dataset) -> String {
+    let d = dataset.dims();
+    let mut out = String::new();
+    for c in 0..d {
+        let _ = write!(out, "f{c},");
+    }
+    out.push_str("truth,labeled\n");
+    for i in 0..dataset.len() {
+        for &v in dataset.features.row(i) {
+            let _ = write!(out, "{v},");
+        }
+        let truth = match dataset.truth[i] {
+            Truth::Normal { group } => format!("normal:{group}"),
+            Truth::Target { class } => format!("target:{class}"),
+            Truth::NonTarget { class } => format!("non_target:{class}"),
+        };
+        let _ = writeln!(out, "{truth},{}", u8::from(dataset.labeled[i]));
+    }
+    out
+}
+
+/// Parses a dataset from CSV text produced by [`to_csv_string`].
+///
+/// # Errors
+/// Returns `io::Error` (kind `InvalidData`) on malformed content.
+pub fn from_csv_string(text: &str) -> io::Result<Dataset> {
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| bad("empty CSV".into()))?;
+    let cols: Vec<&str> = header.split(',').collect();
+    if cols.len() < 3 || cols[cols.len() - 2] != "truth" || cols[cols.len() - 1] != "labeled" {
+        return Err(bad("missing truth/labeled header columns".into()));
+    }
+    let d = cols.len() - 2;
+
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut truth = Vec::new();
+    let mut labeled = Vec::new();
+    for (ln, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != d + 2 {
+            return Err(bad(format!("line {}: expected {} fields, got {}", ln + 2, d + 2, fields.len())));
+        }
+        let feats: Result<Vec<f64>, _> = fields[..d].iter().map(|f| f.parse::<f64>()).collect();
+        rows.push(feats.map_err(|e| bad(format!("line {}: {e}", ln + 2)))?);
+
+        let (kind, idx) = fields[d]
+            .split_once(':')
+            .ok_or_else(|| bad(format!("line {}: bad truth `{}`", ln + 2, fields[d])))?;
+        let idx: usize = idx.parse().map_err(|e| bad(format!("line {}: {e}", ln + 2)))?;
+        truth.push(match kind {
+            "normal" => Truth::Normal { group: idx },
+            "target" => Truth::Target { class: idx },
+            "non_target" => Truth::NonTarget { class: idx },
+            other => return Err(bad(format!("line {}: unknown truth kind `{other}`", ln + 2))),
+        });
+        labeled.push(match fields[d + 1] {
+            "0" => false,
+            "1" => true,
+            other => return Err(bad(format!("line {}: bad labeled flag `{other}`", ln + 2))),
+        });
+    }
+    if rows.is_empty() {
+        return Err(bad("CSV has a header but no rows".into()));
+    }
+    Ok(Dataset::new(Matrix::from_rows(&rows), truth, labeled))
+}
+
+/// Writes `dataset` to `path` as CSV.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn save_csv(dataset: &Dataset, path: impl AsRef<Path>) -> io::Result<()> {
+    fs::write(path, to_csv_string(dataset))
+}
+
+/// Loads a dataset from a CSV file written by [`save_csv`].
+///
+/// # Errors
+/// Propagates filesystem errors and malformed-content errors.
+pub fn load_csv(path: impl AsRef<Path>) -> io::Result<Dataset> {
+    from_csv_string(&fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::GeneratorSpec;
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let bundle = GeneratorSpec::quick_demo().generate(21);
+        let text = to_csv_string(&bundle.train);
+        let back = from_csv_string(&text).expect("parse back");
+        assert_eq!(back.truth, bundle.train.truth);
+        assert_eq!(back.labeled, bundle.train.labeled);
+        assert_eq!(back.features.shape(), bundle.train.features.shape());
+        for i in 0..back.len() {
+            for (a, b) in back.features.row(i).iter().zip(bundle.train.features.row(i)) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let bundle = GeneratorSpec::quick_demo().generate(22);
+        let path = std::env::temp_dir().join("targad_csv_roundtrip_test.csv");
+        save_csv(&bundle.val, &path).expect("save");
+        let back = load_csv(&path).expect("load");
+        assert_eq!(back.len(), bundle.val.len());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_malformed_content() {
+        assert!(from_csv_string("").is_err());
+        assert!(from_csv_string("f0,truth,labeled\n").is_err());
+        assert!(from_csv_string("f0,truth,labeled\n0.5,banana:0,0\n").is_err());
+        assert!(from_csv_string("f0,truth,labeled\n0.5,normal:0,7\n").is_err());
+        assert!(from_csv_string("f0,truth,labeled\nxyz,normal:0,0\n").is_err());
+        assert!(from_csv_string("f0,nope,labeled\n0.5,normal:0,0\n").is_err());
+    }
+}

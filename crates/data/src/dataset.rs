@@ -1,0 +1,288 @@
+//! The dataset representation shared by TargAD, the baselines, and the
+//! experiment harness.
+
+use serde::{Deserialize, Serialize};
+use targad_linalg::Matrix;
+
+/// Ground-truth identity of one instance.
+///
+/// Training code only sees the truth of *labeled* rows; the rest is used for
+/// evaluation and for diagnostics like Fig. 5 (weight trajectories per
+/// instance type).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Truth {
+    /// A normal instance from hidden group `group`.
+    Normal {
+        /// Index of the hidden normal group the instance was drawn from.
+        group: usize,
+    },
+    /// A target anomaly (anomaly of primary interest) of class `class`.
+    Target {
+        /// Target anomaly class index in `0..m`.
+        class: usize,
+    },
+    /// A non-target anomaly of class `class`.
+    NonTarget {
+        /// Non-target anomaly class index.
+        class: usize,
+    },
+}
+
+impl Truth {
+    /// True for target anomalies (the +1 class of the paper's task).
+    pub fn is_target(self) -> bool {
+        matches!(self, Truth::Target { .. })
+    }
+
+    /// True for any anomaly, target or not.
+    pub fn is_anomaly(self) -> bool {
+        !matches!(self, Truth::Normal { .. })
+    }
+
+    /// Three-way code: 0 = normal, 1 = target, 2 = non-target (Table IV).
+    pub fn three_way(self) -> usize {
+        match self {
+            Truth::Normal { .. } => 0,
+            Truth::Target { .. } => 1,
+            Truth::NonTarget { .. } => 2,
+        }
+    }
+}
+
+/// A split (train / validation / test) of a benchmark.
+///
+/// `features` rows are instances, already mapped to `[0, 1]` (the paper
+/// min-max normalizes everything). `truth[i]` is the hidden ground truth of
+/// row `i`, and `labeled[i]` is true exactly when row `i` belongs to the
+/// labeled target-anomaly set `D_L`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Dataset {
+    /// `n x D` instance matrix.
+    pub features: Matrix,
+    /// Ground truth per row (evaluation/diagnostics only for unlabeled rows).
+    pub truth: Vec<Truth>,
+    /// Membership in the labeled set `D_L`; implies `Truth::Target`.
+    pub labeled: Vec<bool>,
+}
+
+impl Dataset {
+    /// Builds a dataset, validating the invariants.
+    ///
+    /// # Panics
+    /// Panics if lengths disagree or a labeled row is not a target anomaly.
+    pub fn new(features: Matrix, truth: Vec<Truth>, labeled: Vec<bool>) -> Self {
+        assert_eq!(features.rows(), truth.len(), "Dataset: truth length mismatch");
+        assert_eq!(features.rows(), labeled.len(), "Dataset: labeled length mismatch");
+        for (i, (&l, &t)) in labeled.iter().zip(&truth).enumerate() {
+            assert!(!l || t.is_target(), "Dataset: labeled row {i} is not a target anomaly");
+        }
+        Self { features, truth, labeled }
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// True when the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Feature dimensionality `D`.
+    pub fn dims(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Indices of the labeled target anomalies (`D_L`).
+    pub fn labeled_indices(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.labeled[i]).collect()
+    }
+
+    /// Indices of the unlabeled instances (`D_U`).
+    pub fn unlabeled_indices(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| !self.labeled[i]).collect()
+    }
+
+    /// Features of `D_L` plus the target class of each labeled row.
+    pub fn labeled_view(&self) -> (Matrix, Vec<usize>) {
+        let idx = self.labeled_indices();
+        let classes = idx
+            .iter()
+            .map(|&i| match self.truth[i] {
+                Truth::Target { class } => class,
+                _ => unreachable!("validated in Dataset::new"),
+            })
+            .collect();
+        (self.features.take_rows(&idx), classes)
+    }
+
+    /// Features of `D_U` plus each row's index in the full dataset.
+    pub fn unlabeled_view(&self) -> (Matrix, Vec<usize>) {
+        let idx = self.unlabeled_indices();
+        (self.features.take_rows(&idx), idx)
+    }
+
+    /// Per-row boolean: is this instance a target anomaly? (evaluation)
+    pub fn target_labels(&self) -> Vec<bool> {
+        self.truth.iter().map(|t| t.is_target()).collect()
+    }
+
+    /// Per-row boolean: is this instance any kind of anomaly? (evaluation)
+    pub fn anomaly_labels(&self) -> Vec<bool> {
+        self.truth.iter().map(|t| t.is_anomaly()).collect()
+    }
+
+    /// Per-row three-way code (0 normal / 1 target / 2 non-target).
+    pub fn three_way_labels(&self) -> Vec<usize> {
+        self.truth.iter().map(|t| t.three_way()).collect()
+    }
+
+    /// Number of distinct target classes present.
+    pub fn num_target_classes(&self) -> usize {
+        self.truth
+            .iter()
+            .filter_map(|t| match t {
+                Truth::Target { class } => Some(class + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Count summary for Table I-style reporting.
+    pub fn summary(&self) -> SplitSummary {
+        let mut s = SplitSummary::default();
+        for (i, t) in self.truth.iter().enumerate() {
+            match t {
+                Truth::Normal { .. } => s.normal += 1,
+                Truth::Target { .. } => {
+                    if self.labeled[i] {
+                        s.labeled_target += 1;
+                    } else {
+                        s.unlabeled_target += 1;
+                    }
+                }
+                Truth::NonTarget { .. } => s.non_target += 1,
+            }
+        }
+        s
+    }
+
+    /// Concatenates two datasets (same dimensionality).
+    pub fn concat(&self, other: &Dataset) -> Dataset {
+        let features = self.features.vstack(&other.features);
+        let mut truth = self.truth.clone();
+        truth.extend_from_slice(&other.truth);
+        let mut labeled = self.labeled.clone();
+        labeled.extend_from_slice(&other.labeled);
+        Dataset::new(features, truth, labeled)
+    }
+
+    /// A dataset restricted to the listed rows.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset::new(
+            self.features.take_rows(indices),
+            indices.iter().map(|&i| self.truth[i]).collect(),
+            indices.iter().map(|&i| self.labeled[i]).collect(),
+        )
+    }
+}
+
+/// Row counts of one split, as printed by the Table I bench.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SplitSummary {
+    /// Normal instances.
+    pub normal: usize,
+    /// Labeled target anomalies (`D_L`).
+    pub labeled_target: usize,
+    /// Unlabeled (hidden) target anomalies.
+    pub unlabeled_target: usize,
+    /// Non-target anomalies.
+    pub non_target: usize,
+}
+
+impl SplitSummary {
+    /// Total instances.
+    pub fn total(&self) -> usize {
+        self.normal + self.labeled_target + self.unlabeled_target + self.non_target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let features = Matrix::from_rows(&[
+            vec![0.1, 0.2],
+            vec![0.9, 0.8],
+            vec![0.5, 0.5],
+            vec![0.3, 0.7],
+        ]);
+        let truth = vec![
+            Truth::Normal { group: 0 },
+            Truth::Target { class: 1 },
+            Truth::NonTarget { class: 0 },
+            Truth::Target { class: 0 },
+        ];
+        let labeled = vec![false, true, false, false];
+        Dataset::new(features, truth, labeled)
+    }
+
+    #[test]
+    fn views_and_labels() {
+        let d = tiny();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.dims(), 2);
+        assert_eq!(d.labeled_indices(), vec![1]);
+        assert_eq!(d.unlabeled_indices(), vec![0, 2, 3]);
+        let (lx, lc) = d.labeled_view();
+        assert_eq!(lx.shape(), (1, 2));
+        assert_eq!(lc, vec![1]);
+        let (ux, ui) = d.unlabeled_view();
+        assert_eq!(ux.shape(), (3, 2));
+        assert_eq!(ui, vec![0, 2, 3]);
+        assert_eq!(d.target_labels(), vec![false, true, false, true]);
+        assert_eq!(d.anomaly_labels(), vec![false, true, true, true]);
+        assert_eq!(d.three_way_labels(), vec![0, 1, 2, 1]);
+        assert_eq!(d.num_target_classes(), 2);
+    }
+
+    #[test]
+    fn summary_counts() {
+        let s = tiny().summary();
+        assert_eq!(
+            s,
+            SplitSummary { normal: 1, labeled_target: 1, unlabeled_target: 1, non_target: 1 }
+        );
+        assert_eq!(s.total(), 4);
+    }
+
+    #[test]
+    fn concat_and_subset() {
+        let d = tiny();
+        let both = d.concat(&d);
+        assert_eq!(both.len(), 8);
+        assert_eq!(both.truth[4], Truth::Normal { group: 0 });
+        let sub = both.subset(&[1, 5]);
+        assert_eq!(sub.len(), 2);
+        assert!(sub.labeled.iter().all(|&l| l));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a target anomaly")]
+    fn rejects_labeled_normals() {
+        let features = Matrix::ones(1, 2);
+        let _ = Dataset::new(features, vec![Truth::Normal { group: 0 }], vec![true]);
+    }
+
+    #[test]
+    fn truth_helpers() {
+        assert!(Truth::Target { class: 0 }.is_target());
+        assert!(Truth::Target { class: 0 }.is_anomaly());
+        assert!(Truth::NonTarget { class: 3 }.is_anomaly());
+        assert!(!Truth::Normal { group: 2 }.is_anomaly());
+        assert_eq!(Truth::NonTarget { class: 0 }.three_way(), 2);
+    }
+}

@@ -1,0 +1,622 @@
+//! The synthetic benchmark generator.
+//!
+//! See the crate docs and DESIGN.md §2 for the substitution rationale. The
+//! generative model:
+//!
+//! - **Normal groups.** Each of `normal_groups` hidden groups is an axis-
+//!   aligned Gaussian with center in `[0.25, 0.75]^D` and per-dimension
+//!   standard deviation around `cluster_std`. Group weights are uneven.
+//! - **Anomaly classes.** Each target or non-target class picks a random
+//!   *subspace* (a fraction `subspace_frac` of the dimensions) and shifts
+//!   those dimensions away from a base normal center by `separation`-scaled
+//!   offsets — mimicking attacks that deviate on specific feature groups.
+//!   Non-target classes get a larger spread (they are more heterogeneous in
+//!   the paper's scenarios).
+//! - **Splits.** Unlabeled training data mixes normals with a controlled
+//!   `contamination` fraction of anomalies; `D_L` holds `labeled_per_class`
+//!   target anomalies per class; validation/test follow explicit counts and
+//!   always contain *all* non-target classes, so restricting
+//!   `train_non_target_classes` creates the "new non-target anomaly types"
+//!   scenario of Fig. 4(a).
+//!
+//! All sampling is driven by one seed; identical seeds give identical
+//! bundles.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use targad_linalg::{rng as lrng, Matrix};
+
+use crate::dataset::{Dataset, Truth};
+
+/// Row counts for a validation or test split.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SplitCounts {
+    /// Normal rows.
+    pub normal: usize,
+    /// Target anomaly rows.
+    pub target: usize,
+    /// Non-target anomaly rows.
+    pub non_target: usize,
+}
+
+/// Full configuration of a synthetic benchmark.
+#[derive(Clone, Debug)]
+pub struct GeneratorSpec {
+    /// Dataset name (used in reports).
+    pub name: String,
+    /// Feature dimensionality `D`.
+    pub dims: usize,
+    /// Number of hidden normal groups (the paper's `k`).
+    pub normal_groups: usize,
+    /// Number of target anomaly classes (the paper's `m`).
+    pub target_classes: usize,
+    /// Number of non-target anomaly classes in the taxonomy.
+    pub non_target_classes: usize,
+    /// Labeled target anomalies per class in `D_L`.
+    pub labeled_per_class: usize,
+    /// Size of the unlabeled training set `D_U`.
+    pub train_unlabeled: usize,
+    /// Fraction of `D_U` that is anomalous (paper default 5%).
+    pub contamination: f64,
+    /// Portion of the contamination that is target (the rest non-target).
+    pub target_share_of_contamination: f64,
+    /// Validation split counts.
+    pub val_counts: SplitCounts,
+    /// Test split counts.
+    pub test_counts: SplitCounts,
+    /// Non-target classes present in training; `None` = all. Restricting
+    /// this makes the held-out classes *novel* at test time (Fig. 4a).
+    pub train_non_target_classes: Option<Vec<usize>>,
+    /// Distance scale between anomaly manifolds and normal data.
+    pub separation: f64,
+    /// Normal group standard deviation.
+    pub cluster_std: f64,
+    /// Anomaly class standard deviation (non-targets get 1.5x).
+    pub anomaly_std: f64,
+    /// Fraction of dimensions each anomaly class deviates on.
+    pub subspace_frac: f64,
+    /// Fraction of each anomaly class's deviating dimensions drawn from a
+    /// *shared anomaly signature* with common offsets. Real attack classes
+    /// overlap in feature space (all deviate on similar traffic
+    /// statistics), which is what makes semi-supervised detectors rank
+    /// non-target anomalies high (false positives) — the phenomenon TargAD
+    /// addresses. 0.0 = fully disjoint classes; 1.0 = identical
+    /// signatures.
+    pub anomaly_signature_overlap: f64,
+    /// Per-instance probability that each deviating dimension reverts to
+    /// its normal value. Real attack instances don't express their class's
+    /// full signature on every record; this instance-level heterogeneity is
+    /// what keeps a handful of labels from pinning a class down exactly.
+    pub signature_dropout: f64,
+    /// Probability that a *normal* instance exhibits a benign rare
+    /// behaviour: a small random-subspace deviation. These rows are still
+    /// normal, but they reconstruct poorly — the "inaccurately
+    /// reconstructed normal instances" that the paper expects to appear
+    /// among the non-target anomaly candidates (Fig. 5), and a realistic
+    /// false-positive source for purely reconstruction-driven detectors.
+    pub benign_deviation_prob: f64,
+    /// Fraction of "normal" evaluation rows that are secretly anomalies —
+    /// reproduces SQB's unlabeled-as-normal evaluation (Table I footnote).
+    pub eval_label_noise: f64,
+}
+
+impl GeneratorSpec {
+    /// A small, fast benchmark used by doctests and examples: 12 dims,
+    /// 2 normal groups, 2 target + 2 non-target classes.
+    pub fn quick_demo() -> Self {
+        Self {
+            name: "quick-demo".to_string(),
+            dims: 12,
+            normal_groups: 2,
+            target_classes: 2,
+            non_target_classes: 2,
+            labeled_per_class: 10,
+            train_unlabeled: 600,
+            contamination: 0.08,
+            target_share_of_contamination: 0.35,
+            val_counts: SplitCounts { normal: 150, target: 20, non_target: 30 },
+            test_counts: SplitCounts { normal: 300, target: 40, non_target: 60 },
+            train_non_target_classes: None,
+            separation: 1.0,
+            cluster_std: 0.05,
+            anomaly_std: 0.05,
+            subspace_frac: 0.25,
+            anomaly_signature_overlap: 0.5,
+            signature_dropout: 0.3,
+            benign_deviation_prob: 0.04,
+            eval_label_noise: 0.0,
+        }
+    }
+
+    /// Generates the train/validation/test bundle for this spec.
+    ///
+    /// # Panics
+    /// Panics on inconsistent configurations (zero classes with non-zero
+    /// counts, contamination outside `[0, 1)`, …).
+    pub fn generate(&self, seed: u64) -> DatasetBundle {
+        self.validate();
+        let mut rng = lrng::seeded(seed);
+        let geometry = Geometry::sample(self, &mut rng);
+
+        let train = self.build_train(&geometry, &mut rng);
+        let val = self.build_eval_split(&geometry, self.val_counts, &mut rng);
+        let test = self.build_eval_split(&geometry, self.test_counts, &mut rng);
+
+        DatasetBundle { spec: self.clone(), train, val, test }
+    }
+
+    fn validate(&self) {
+        assert!(self.dims > 0, "spec: dims must be positive");
+        assert!(self.normal_groups > 0, "spec: need at least one normal group");
+        assert!(self.target_classes > 0, "spec: need at least one target class");
+        assert!(
+            (0.0..1.0).contains(&self.contamination),
+            "spec: contamination {} outside [0, 1)",
+            self.contamination
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.target_share_of_contamination),
+            "spec: target share outside [0, 1]"
+        );
+        if let Some(classes) = &self.train_non_target_classes {
+            assert!(
+                classes.iter().all(|&c| c < self.non_target_classes),
+                "spec: train_non_target_classes out of range"
+            );
+        }
+        let eval_nt = self.val_counts.non_target + self.test_counts.non_target;
+        assert!(
+            self.non_target_classes > 0 || eval_nt == 0,
+            "spec: non-target rows requested but no non-target classes"
+        );
+    }
+
+    fn build_train(&self, geo: &Geometry, rng: &mut StdRng) -> Dataset {
+        let n_u = self.train_unlabeled;
+        let n_anom = (self.contamination * n_u as f64).round() as usize;
+        let n_target = (self.target_share_of_contamination * n_anom as f64).round() as usize;
+        let n_non_target = n_anom - n_target;
+        let n_normal = n_u - n_anom;
+
+        let allowed_nt: Vec<usize> = match &self.train_non_target_classes {
+            Some(classes) => classes.clone(),
+            None => (0..self.non_target_classes).collect(),
+        };
+
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(n_u + self.labeled_total());
+        let mut truth: Vec<Truth> = Vec::with_capacity(rows.capacity());
+        let mut labeled: Vec<bool> = Vec::with_capacity(rows.capacity());
+
+        for _ in 0..n_normal {
+            let g = geo.pick_group(rng);
+            rows.push(geo.sample_normal(g, rng));
+            truth.push(Truth::Normal { group: g });
+            labeled.push(false);
+        }
+        for i in 0..n_target {
+            let c = i % self.target_classes;
+            rows.push(geo.sample_target(c, rng));
+            truth.push(Truth::Target { class: c });
+            labeled.push(false);
+        }
+        for i in 0..n_non_target {
+            // When no non-target class is allowed in training, backfill with
+            // normals to keep |D_U| as configured.
+            if allowed_nt.is_empty() || self.non_target_classes == 0 {
+                let g = geo.pick_group(rng);
+                rows.push(geo.sample_normal(g, rng));
+                truth.push(Truth::Normal { group: g });
+            } else {
+                let c = allowed_nt[i % allowed_nt.len()];
+                rows.push(geo.sample_non_target(c, rng));
+                truth.push(Truth::NonTarget { class: c });
+            }
+            labeled.push(false);
+        }
+
+        // Labeled target anomalies D_L.
+        for c in 0..self.target_classes {
+            for _ in 0..self.labeled_per_class {
+                rows.push(geo.sample_target(c, rng));
+                truth.push(Truth::Target { class: c });
+                labeled.push(true);
+            }
+        }
+
+        shuffle_rows(&mut rows, &mut truth, &mut labeled, rng);
+        Dataset::new(Matrix::from_rows(&rows), truth, labeled)
+    }
+
+    fn build_eval_split(&self, geo: &Geometry, counts: SplitCounts, rng: &mut StdRng) -> Dataset {
+        let mut rows = Vec::with_capacity(counts.normal + counts.target + counts.non_target);
+        let mut truth = Vec::with_capacity(rows.capacity());
+
+        for _ in 0..counts.normal {
+            let g = geo.pick_group(rng);
+            // SQB-style evaluation noise: the "normal" pool is really
+            // unlabeled data hiding some anomalies.
+            if self.eval_label_noise > 0.0 && rng.random::<f64>() < self.eval_label_noise {
+                let row = if rng.random::<f64>() < self.target_share_of_contamination
+                    || self.non_target_classes == 0
+                {
+                    geo.sample_target(rng.random_range(0..self.target_classes), rng)
+                } else {
+                    geo.sample_non_target(rng.random_range(0..self.non_target_classes), rng)
+                };
+                rows.push(row);
+            } else {
+                rows.push(geo.sample_normal(g, rng));
+            }
+            truth.push(Truth::Normal { group: g });
+        }
+        for i in 0..counts.target {
+            let c = i % self.target_classes;
+            rows.push(geo.sample_target(c, rng));
+            truth.push(Truth::Target { class: c });
+        }
+        for i in 0..counts.non_target {
+            let c = i % self.non_target_classes.max(1);
+            rows.push(geo.sample_non_target(c, rng));
+            truth.push(Truth::NonTarget { class: c });
+        }
+
+        let mut labeled = vec![false; rows.len()];
+        shuffle_rows(&mut rows, &mut truth, &mut labeled, rng);
+        Dataset::new(Matrix::from_rows(&rows), truth, labeled)
+    }
+
+    /// Total size of `D_L`.
+    pub fn labeled_total(&self) -> usize {
+        self.labeled_per_class * self.target_classes
+    }
+}
+
+/// A generated train/validation/test triple plus the spec that produced it.
+#[derive(Clone, Debug)]
+pub struct DatasetBundle {
+    /// The configuration that produced this bundle.
+    pub spec: GeneratorSpec,
+    /// Training split (`D_L ∪ D_U`).
+    pub train: Dataset,
+    /// Validation split (hyper-parameter selection).
+    pub val: Dataset,
+    /// Test split (reported metrics).
+    pub test: Dataset,
+}
+
+/// Sampled class geometry: centers, stds, and anomaly subspaces.
+struct Geometry {
+    dims: usize,
+    group_weights: Vec<f64>,
+    group_centers: Vec<Vec<f64>>,
+    group_stds: Vec<Vec<f64>>,
+    target_defs: Vec<AnomalyClass>,
+    non_target_defs: Vec<AnomalyClass>,
+    benign_deviation_prob: f64,
+    benign_subspace: usize,
+    benign_offset: f64,
+}
+
+struct AnomalyClass {
+    /// The normal-group center the class deviates from.
+    center: Vec<f64>,
+    /// `(dimension, offset)` signature; applied per instance subject to
+    /// dropout.
+    offsets: Vec<(usize, f64)>,
+    std: f64,
+    dropout: f64,
+}
+
+impl Geometry {
+    fn sample(spec: &GeneratorSpec, rng: &mut StdRng) -> Self {
+        let dims = spec.dims;
+        let mut group_centers: Vec<Vec<f64>> = Vec::with_capacity(spec.normal_groups);
+        let mut group_stds: Vec<Vec<f64>> = Vec::with_capacity(spec.normal_groups);
+        let mut group_weights = Vec::with_capacity(spec.normal_groups);
+        for _ in 0..spec.normal_groups {
+            group_centers.push((0..dims).map(|_| rng.random_range(0.25..0.75)).collect());
+            group_stds
+                .push((0..dims).map(|_| spec.cluster_std * rng.random_range(0.5..1.5)).collect());
+            group_weights.push(rng.random_range(0.5..1.5));
+        }
+        let total: f64 = group_weights.iter().sum();
+        for w in &mut group_weights {
+            *w /= total;
+        }
+
+        let subspace = ((spec.subspace_frac * dims as f64).ceil() as usize).clamp(1, dims);
+        // Shared anomaly signature: a pool of dimensions with fixed offsets
+        // that every anomaly class partially reuses, making target and
+        // non-target anomalies correlated (see the field docs on
+        // `anomaly_signature_overlap`).
+        let signature_pool = lrng::sample_indices(rng, dims, subspace);
+        let signature_offsets: Vec<f64> = signature_pool
+            .iter()
+            .map(|_| {
+                let sign = if rng.random::<bool>() { 1.0 } else { -1.0 };
+                sign * spec.separation * rng.random_range(0.12..0.28)
+            })
+            .collect();
+        let n_shared =
+            ((spec.anomaly_signature_overlap * subspace as f64).round() as usize).min(subspace);
+
+        // Target classes deviate on a *subset* of the shared pool (plus a
+        // few private dims); non-target classes deviate on the *entire*
+        // pool plus private extras. Target signatures are therefore nearly
+        // contained in non-target signatures: telling them apart requires
+        // negative evidence ("no extra deviations") that labeled target
+        // anomalies alone cannot provide — the structural reason the
+        // paper's baselines keep flagging non-target anomalies.
+        let mut make_class = |std_scale: f64, is_target: bool| -> AnomalyClass {
+            let base = rng.random_range(0..spec.normal_groups);
+            let center = group_centers[base].clone();
+            let mut offsets: Vec<(usize, f64)> = Vec::with_capacity(2 * subspace);
+            let (pool_count, private_count) = if is_target {
+                (n_shared, subspace - n_shared)
+            } else {
+                (signature_pool.len(), subspace.div_ceil(2))
+            };
+            let picks = lrng::sample_indices(rng, signature_pool.len(), pool_count);
+            for &p in &picks {
+                offsets.push((signature_pool[p], signature_offsets[p]));
+            }
+            // Private part: class-specific dims and directions.
+            let private: Vec<usize> = lrng::permutation(rng, dims)
+                .into_iter()
+                .filter(|d| !signature_pool.contains(d))
+                .take(private_count)
+                .collect();
+            for &d in &private {
+                let sign = if rng.random::<bool>() { 1.0 } else { -1.0 };
+                offsets.push((d, sign * spec.separation * rng.random_range(0.12..0.28)));
+            }
+            AnomalyClass {
+                center,
+                offsets,
+                std: spec.anomaly_std * std_scale,
+                dropout: spec.signature_dropout,
+            }
+        };
+
+        let target_defs = (0..spec.target_classes).map(|_| make_class(1.0, true)).collect();
+        let non_target_defs =
+            (0..spec.non_target_classes).map(|_| make_class(1.5, false)).collect();
+
+        Self {
+            dims,
+            group_weights,
+            group_centers,
+            group_stds,
+            target_defs,
+            non_target_defs,
+            benign_deviation_prob: spec.benign_deviation_prob,
+            benign_subspace: subspace.div_ceil(2),
+            benign_offset: spec.separation * 0.18,
+        }
+    }
+
+    fn pick_group(&self, rng: &mut StdRng) -> usize {
+        let mut draw = rng.random::<f64>();
+        for (g, &w) in self.group_weights.iter().enumerate() {
+            draw -= w;
+            if draw <= 0.0 {
+                return g;
+            }
+        }
+        self.group_weights.len() - 1
+    }
+
+    fn sample_normal(&self, group: usize, rng: &mut StdRng) -> Vec<f64> {
+        let mut row: Vec<f64> = (0..self.dims)
+            .map(|d| {
+                self.group_centers[group][d] + lrng::normal(rng, 0.0, self.group_stds[group][d])
+            })
+            .collect();
+        // Benign rare behaviour: a small random-subspace excursion that
+        // keeps the instance normal but inflates its reconstruction error.
+        if self.benign_deviation_prob > 0.0 && rng.random::<f64>() < self.benign_deviation_prob {
+            let count = self.benign_subspace.max(1);
+            let dims = lrng::sample_indices(rng, self.dims, count.min(self.dims));
+            for d in dims {
+                let sign = if rng.random::<bool>() { 1.0 } else { -1.0 };
+                row[d] += sign * self.benign_offset * rng.random_range(0.5..1.0);
+            }
+        }
+        for v in &mut row {
+            *v = v.clamp(0.0, 1.0);
+        }
+        row
+    }
+
+    fn sample_from_class(&self, class: &AnomalyClass, rng: &mut StdRng) -> Vec<f64> {
+        let mut row: Vec<f64> = (0..self.dims)
+            .map(|d| class.center[d] + lrng::normal(rng, 0.0, class.std))
+            .collect();
+        for &(d, off) in &class.offsets {
+            if class.dropout == 0.0 || rng.random::<f64>() >= class.dropout {
+                // Per-instance magnitude jitter: real attack records express
+                // their signature with varying intensity, so no single
+                // residual direction identifies a class exactly.
+                row[d] += off * rng.random_range(0.5..1.5);
+            }
+        }
+        for v in &mut row {
+            *v = v.clamp(0.0, 1.0);
+        }
+        row
+    }
+
+    fn sample_target(&self, class: usize, rng: &mut StdRng) -> Vec<f64> {
+        self.sample_from_class(&self.target_defs[class], rng)
+    }
+
+    fn sample_non_target(&self, class: usize, rng: &mut StdRng) -> Vec<f64> {
+        self.sample_from_class(&self.non_target_defs[class], rng)
+    }
+}
+
+fn shuffle_rows(
+    rows: &mut [Vec<f64>],
+    truth: &mut [Truth],
+    labeled: &mut [bool],
+    rng: &mut StdRng,
+) {
+    let n = rows.len();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        rows.swap(i, j);
+        truth.swap(i, j);
+        labeled.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SplitSummary;
+
+    #[test]
+    fn quick_demo_counts_match_spec() {
+        let spec = GeneratorSpec::quick_demo();
+        let bundle = spec.generate(1);
+
+        let tr = bundle.train.summary();
+        assert_eq!(tr.labeled_target, spec.labeled_total());
+        assert_eq!(tr.total(), spec.train_unlabeled + spec.labeled_total());
+        let expected_anoms = (spec.contamination * spec.train_unlabeled as f64).round() as usize;
+        assert_eq!(tr.unlabeled_target + tr.non_target, expected_anoms);
+
+        let te = bundle.test.summary();
+        assert_eq!(
+            te,
+            SplitSummary {
+                normal: 300,
+                labeled_target: 0,
+                unlabeled_target: 40,
+                non_target: 60
+            }
+        );
+        assert_eq!(bundle.val.summary().total(), 200);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = GeneratorSpec::quick_demo();
+        let a = spec.generate(99);
+        let b = spec.generate(99);
+        assert_eq!(a.train.features, b.train.features);
+        assert_eq!(a.test.truth, b.test.truth);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = GeneratorSpec::quick_demo();
+        let a = spec.generate(1);
+        let b = spec.generate(2);
+        assert_ne!(a.train.features, b.train.features);
+    }
+
+    #[test]
+    fn features_are_in_unit_interval() {
+        let bundle = GeneratorSpec::quick_demo().generate(3);
+        for split in [&bundle.train, &bundle.val, &bundle.test] {
+            assert!(split.features.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn anomalies_sit_away_from_normals() {
+        // Anomalies must sit farther from their *nearest normal group mean*
+        // than normal rows do — the property every detector relies on.
+        let bundle = GeneratorSpec::quick_demo().generate(5);
+        let d = &bundle.test;
+        let normals: Vec<usize> =
+            (0..d.len()).filter(|&i| !d.truth[i].is_anomaly()).collect();
+        let anoms: Vec<usize> = (0..d.len()).filter(|&i| d.truth[i].is_anomaly()).collect();
+        let groups = bundle.spec.normal_groups;
+        let dims = d.dims();
+        let mut means = vec![vec![0.0; dims]; groups];
+        let mut counts = vec![0usize; groups];
+        for &i in &normals {
+            if let Truth::Normal { group } = d.truth[i] {
+                counts[group] += 1;
+                for (m, &v) in means[group].iter_mut().zip(d.features.row(i)) {
+                    *m += v;
+                }
+            }
+        }
+        for (mean, &c) in means.iter_mut().zip(&counts) {
+            for m in mean {
+                *m /= c.max(1) as f64;
+            }
+        }
+        let nearest = |i: usize| -> f64 {
+            means.iter().map(|m| d.features.row_sq_dist(i, m)).fold(f64::INFINITY, f64::min)
+        };
+        let avg = |idx: &[usize]| idx.iter().map(|&i| nearest(i)).sum::<f64>() / idx.len() as f64;
+        assert!(
+            avg(&anoms) > 2.0 * avg(&normals),
+            "anomaly dist {} vs normal dist {}",
+            avg(&anoms),
+            avg(&normals)
+        );
+    }
+
+    #[test]
+    fn restricting_train_non_target_classes_works() {
+        let mut spec = GeneratorSpec::quick_demo();
+        spec.train_non_target_classes = Some(vec![0]);
+        let bundle = spec.generate(7);
+        let train_classes: std::collections::HashSet<usize> = bundle
+            .train
+            .truth
+            .iter()
+            .filter_map(|t| match t {
+                Truth::NonTarget { class } => Some(*class),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(train_classes, std::collections::HashSet::from([0]));
+        // ... while the test split still contains both classes.
+        let test_classes: std::collections::HashSet<usize> = bundle
+            .test
+            .truth
+            .iter()
+            .filter_map(|t| match t {
+                Truth::NonTarget { class } => Some(*class),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(test_classes, std::collections::HashSet::from([0, 1]));
+    }
+
+    #[test]
+    fn empty_allowed_non_target_backfills_with_normals() {
+        let mut spec = GeneratorSpec::quick_demo();
+        spec.train_non_target_classes = Some(vec![]);
+        let bundle = spec.generate(11);
+        let s = bundle.train.summary();
+        assert_eq!(s.non_target, 0);
+        assert_eq!(s.total(), spec.train_unlabeled + spec.labeled_total());
+    }
+
+    #[test]
+    fn eval_label_noise_contaminates_normal_pool() {
+        let mut spec = GeneratorSpec::quick_demo();
+        spec.eval_label_noise = 0.5; // exaggerated for the test
+        let noisy = spec.generate(13);
+        spec.eval_label_noise = 0.0;
+        let clean = spec.generate(13);
+        // Same truth counts, different feature content for "normal" rows:
+        assert_eq!(noisy.test.summary(), clean.test.summary());
+        assert_ne!(noisy.test.features, clean.test.features);
+    }
+
+    #[test]
+    #[should_panic(expected = "contamination")]
+    fn invalid_contamination_rejected() {
+        let mut spec = GeneratorSpec::quick_demo();
+        spec.contamination = 1.5;
+        let _ = spec.generate(1);
+    }
+}

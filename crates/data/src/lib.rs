@@ -1,0 +1,34 @@
+//! Tabular datasets for the TargAD reproduction.
+//!
+//! The paper evaluates on three public network-intrusion datasets
+//! (UNSW-NB15, KDDCUP99, NSL-KDD) and one proprietary payment-platform
+//! dataset (SQB). None of those can ship with this repository, so this crate
+//! provides a **synthetic benchmark engine** that reproduces the structural
+//! properties the paper's experiments actually exercise (see DESIGN.md §2):
+//!
+//! - multi-modal normal data (`k` hidden groups — the reason TargAD
+//!   clusters before candidate selection);
+//! - `m` *target* anomaly classes and several *non-target* anomaly classes,
+//!   each deviating from the normal manifold in its own feature subspace,
+//!   so both kinds look "anomalous" to unsupervised detectors while staying
+//!   mutually distinguishable;
+//! - a tiny labeled set `D_L` of target anomalies (0.16%–0.48% of training
+//!   data), an unlabeled set `D_U` with a controlled contamination rate,
+//!   and validation/test splits per Table I;
+//! - the SQB quirk of evaluating against unlabeled-as-normal rows.
+//!
+//! Modules: [`dataset`] (the labeled-view types), [`generator`] (the
+//! configurable synthesizer), [`presets`] (Table I configurations),
+//! [`preprocess`] (min-max scaling & one-hot encoding, as in §IV-A), and
+//! [`csvio`] (plain CSV round-trips for interop).
+
+pub mod csvio;
+pub mod dataset;
+pub mod generator;
+pub mod presets;
+pub mod preprocess;
+
+pub use dataset::{Dataset, SplitSummary, Truth};
+pub use generator::{DatasetBundle, GeneratorSpec, SplitCounts};
+pub use presets::Preset;
+pub use preprocess::{MinMaxScaler, OneHotEncoder};

@@ -1,0 +1,192 @@
+//! Feature preprocessing: min-max normalization and one-hot encoding.
+//!
+//! §IV-A of the paper: "applied one-hot encoding to the categorical
+//! features (where applicable), and mapped all features to the range of
+//! `[0, 1]` using min-max normalization." Scalers are fitted on training
+//! data and applied to validation/test, so evaluation rows can fall outside
+//! the fitted range; they are clamped (standard practice for bounded
+//! models like sigmoid-output autoencoders).
+
+use targad_linalg::{stats, Matrix};
+
+/// Per-column min-max scaler into `[0, 1]`.
+#[derive(Clone, Debug)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Fits column ranges on `data`.
+    ///
+    /// # Panics
+    /// Panics on an empty matrix.
+    pub fn fit(data: &Matrix) -> Self {
+        assert!(!data.is_empty(), "MinMaxScaler: empty data");
+        let d = data.cols();
+        let mut mins = vec![f64::INFINITY; d];
+        let mut maxs = vec![f64::NEG_INFINITY; d];
+        for row in data.iter_rows() {
+            for ((mn, mx), &v) in mins.iter_mut().zip(&mut maxs).zip(row) {
+                if v < *mn {
+                    *mn = v;
+                }
+                if v > *mx {
+                    *mx = v;
+                }
+            }
+        }
+        Self { mins, maxs }
+    }
+
+    /// Applies the fitted scaling, clamping to `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics on a column-count mismatch.
+    pub fn transform(&self, data: &Matrix) -> Matrix {
+        assert_eq!(data.cols(), self.mins.len(), "MinMaxScaler: column mismatch");
+        let mut out = data.clone();
+        for r in 0..out.rows() {
+            for (c, v) in out.row_mut(r).iter_mut().enumerate() {
+                *v = stats::min_max_scale(*v, self.mins[c], self.maxs[c]);
+            }
+        }
+        out
+    }
+
+    /// `fit` + `transform` in one call.
+    pub fn fit_transform(data: &Matrix) -> (Self, Matrix) {
+        let scaler = Self::fit(data);
+        let out = scaler.transform(data);
+        (scaler, out)
+    }
+
+    /// The fitted per-column `(min, max)` ranges.
+    pub fn ranges(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.mins.iter().zip(&self.maxs).map(|(&a, &b)| (a, b))
+    }
+}
+
+/// One-hot encoder for integer-coded categorical columns.
+///
+/// Categories are learned at fit time; unseen categories at transform time
+/// map to the all-zeros vector (the "none of the known levels" encoding).
+#[derive(Clone, Debug)]
+pub struct OneHotEncoder {
+    /// Sorted distinct levels per encoded column.
+    levels: Vec<Vec<i64>>,
+    /// Which input columns are categorical.
+    columns: Vec<usize>,
+}
+
+impl OneHotEncoder {
+    /// Fits level sets for the listed categorical `columns` of `data`
+    /// (values are rounded to the nearest integer).
+    ///
+    /// # Panics
+    /// Panics if a column index is out of range.
+    pub fn fit(data: &Matrix, columns: &[usize]) -> Self {
+        let mut levels = Vec::with_capacity(columns.len());
+        for &c in columns {
+            assert!(c < data.cols(), "OneHotEncoder: column {c} out of range");
+            let mut vals: Vec<i64> =
+                (0..data.rows()).map(|r| data[(r, c)].round() as i64).collect();
+            vals.sort_unstable();
+            vals.dedup();
+            levels.push(vals);
+        }
+        Self { levels, columns: columns.to_vec() }
+    }
+
+    /// Output dimensionality after encoding `input_cols`-wide data.
+    pub fn encoded_dims(&self, input_cols: usize) -> usize {
+        input_cols - self.columns.len() + self.levels.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Applies the encoding: categorical columns are replaced (in order,
+    /// appended after the numeric columns) by their indicator blocks.
+    pub fn transform(&self, data: &Matrix) -> Matrix {
+        let numeric: Vec<usize> =
+            (0..data.cols()).filter(|c| !self.columns.contains(c)).collect();
+        let out_cols = self.encoded_dims(data.cols());
+        let mut out = Matrix::zeros(data.rows(), out_cols);
+        for r in 0..data.rows() {
+            let mut j = 0;
+            for &c in &numeric {
+                out[(r, j)] = data[(r, c)];
+                j += 1;
+            }
+            for (ci, &c) in self.columns.iter().enumerate() {
+                let val = data[(r, c)].round() as i64;
+                if let Ok(pos) = self.levels[ci].binary_search(&val) {
+                    out[(r, j + pos)] = 1.0;
+                }
+                j += self.levels[ci].len();
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minmax_maps_train_to_unit_interval() {
+        let data = Matrix::from_rows(&[vec![0.0, 10.0], vec![5.0, 20.0], vec![10.0, 30.0]]);
+        let (scaler, scaled) = MinMaxScaler::fit_transform(&data);
+        assert_eq!(scaled.row(0), &[0.0, 0.0]);
+        assert_eq!(scaled.row(1), &[0.5, 0.5]);
+        assert_eq!(scaled.row(2), &[1.0, 1.0]);
+        let ranges: Vec<(f64, f64)> = scaler.ranges().collect();
+        assert_eq!(ranges, vec![(0.0, 10.0), (10.0, 30.0)]);
+    }
+
+    #[test]
+    fn minmax_clamps_out_of_range_eval_rows() {
+        let train = Matrix::from_rows(&[vec![0.0], vec![10.0]]);
+        let scaler = MinMaxScaler::fit(&train);
+        let test = Matrix::from_rows(&[vec![-5.0], vec![15.0], vec![5.0]]);
+        let out = scaler.transform(&test);
+        assert_eq!(out.as_slice(), &[0.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn minmax_constant_column_maps_to_half() {
+        let train = Matrix::from_rows(&[vec![7.0], vec![7.0]]);
+        let scaler = MinMaxScaler::fit(&train);
+        assert_eq!(scaler.transform(&train).as_slice(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn one_hot_basic_encoding() {
+        // column 1 is categorical with levels {0, 2, 5}.
+        let data = Matrix::from_rows(&[vec![1.0, 0.0], vec![2.0, 5.0], vec![3.0, 2.0]]);
+        let enc = OneHotEncoder::fit(&data, &[1]);
+        assert_eq!(enc.encoded_dims(2), 4);
+        let out = enc.transform(&data);
+        assert_eq!(out.row(0), &[1.0, 1.0, 0.0, 0.0]);
+        assert_eq!(out.row(1), &[2.0, 0.0, 0.0, 1.0]);
+        assert_eq!(out.row(2), &[3.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn one_hot_unseen_level_is_all_zeros() {
+        let train = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let enc = OneHotEncoder::fit(&train, &[0]);
+        let test = Matrix::from_rows(&[vec![9.0]]);
+        assert_eq!(enc.transform(&test).as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn one_hot_multiple_columns() {
+        let data = Matrix::from_rows(&[vec![0.0, 1.0, 0.5], vec![1.0, 0.0, 0.7]]);
+        let enc = OneHotEncoder::fit(&data, &[0, 1]);
+        // numeric col 2 first, then 2 levels + 2 levels.
+        assert_eq!(enc.encoded_dims(3), 5);
+        let out = enc.transform(&data);
+        assert_eq!(out.row(0), &[0.5, 1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(out.row(1), &[0.7, 0.0, 1.0, 1.0, 0.0]);
+    }
+}

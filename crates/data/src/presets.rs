@@ -1,0 +1,243 @@
+//! Table I dataset presets.
+//!
+//! Each preset mirrors the corresponding row of Table I in the paper:
+//! dimensionality, split sizes, number of target / non-target anomaly
+//! classes, and the labeled-anomaly budget. A `scale` factor shrinks the
+//! row counts uniformly (class structure and dimensionality are preserved)
+//! so the full experiment grid runs on a laptop; `scale = 1.0` reproduces
+//! paper-scale sizes.
+
+use crate::generator::{GeneratorSpec, SplitCounts};
+
+/// The four benchmarks of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Preset {
+    /// UNSW-NB15: 196 dims; targets {Generic, Backdoor, DoS}; non-targets
+    /// {Fuzzers, Analysis, Exploits, Reconnaissance}.
+    UnswNb15,
+    /// KDDCUP99 (32 retained features): targets {R2L, DoS}; non-target
+    /// {Probe}.
+    KddCup99,
+    /// NSL-KDD (41 features): same class taxonomy as KDDCUP99.
+    NslKdd,
+    /// SQB: 182-dim merchant transactions; targets {fraud, gambling
+    /// recharge}; non-targets {click farming, cash out}. Evaluation treats
+    /// unlabeled data as normal (reproduced via `eval_label_noise`).
+    Sqb,
+}
+
+impl Preset {
+    /// All four presets in the paper's order.
+    pub fn all() -> [Preset; 4] {
+        [Preset::UnswNb15, Preset::KddCup99, Preset::NslKdd, Preset::Sqb]
+    }
+
+    /// Human-readable name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Preset::UnswNb15 => "UNSW-NB15",
+            Preset::KddCup99 => "KDDCUP99",
+            Preset::NslKdd => "NSL-KDD",
+            Preset::Sqb => "SQB",
+        }
+    }
+
+    /// The generator spec at the given `scale` (1.0 = paper-scale counts).
+    ///
+    /// Counts never scale below small floors so that tiny scales still
+    /// exercise every code path (at least 5 labeled anomalies per class,
+    /// 20 anomalies per evaluation split, …).
+    ///
+    /// # Panics
+    /// Panics if `scale` is not positive.
+    pub fn spec(self, scale: f64) -> GeneratorSpec {
+        assert!(scale > 0.0, "preset scale must be positive");
+        let n = |v: usize| ((v as f64 * scale).round() as usize).max(20);
+        let lab = |v: usize| ((v as f64 * scale).round() as usize).max(5);
+
+        match self {
+            Preset::UnswNb15 => GeneratorSpec {
+                name: self.name().to_string(),
+                dims: 196,
+                normal_groups: 4,
+                target_classes: 3,
+                non_target_classes: 4,
+                labeled_per_class: lab(100),
+                train_unlabeled: n(62_631),
+                contamination: 0.05,
+                target_share_of_contamination: 0.10,
+                val_counts: SplitCounts {
+                    normal: n(14_899),
+                    target: n(334),
+                    non_target: n(450),
+                },
+                test_counts: SplitCounts {
+                    normal: n(18_601),
+                    target: n(1_666),
+                    non_target: n(2_335),
+                },
+                train_non_target_classes: None,
+                separation: 1.0,
+                cluster_std: 0.05,
+                anomaly_std: 0.08,
+                subspace_frac: 0.15,
+                anomaly_signature_overlap: 0.90,
+                signature_dropout: 0.30,
+                benign_deviation_prob: 0.04,
+                eval_label_noise: 0.0,
+            },
+            Preset::KddCup99 => GeneratorSpec {
+                name: self.name().to_string(),
+                dims: 32,
+                normal_groups: 3,
+                target_classes: 2,
+                non_target_classes: 1,
+                labeled_per_class: lab(100),
+                train_unlabeled: n(58_524),
+                contamination: 0.05,
+                target_share_of_contamination: 0.40,
+                val_counts: SplitCounts {
+                    normal: n(13_918),
+                    target: n(419),
+                    non_target: n(188),
+                },
+                test_counts: SplitCounts {
+                    normal: n(17_380),
+                    target: n(799),
+                    non_target: n(352),
+                },
+                train_non_target_classes: None,
+                separation: 1.0,
+                cluster_std: 0.05,
+                anomaly_std: 0.06,
+                subspace_frac: 0.25,
+                anomaly_signature_overlap: 0.80,
+                signature_dropout: 0.25,
+                benign_deviation_prob: 0.04,
+                eval_label_noise: 0.0,
+            },
+            Preset::NslKdd => GeneratorSpec {
+                name: self.name().to_string(),
+                dims: 41,
+                normal_groups: 3,
+                target_classes: 2,
+                non_target_classes: 1,
+                labeled_per_class: lab(100),
+                train_unlabeled: n(45_385),
+                contamination: 0.05,
+                target_share_of_contamination: 0.25,
+                val_counts: SplitCounts {
+                    normal: n(10_743),
+                    target: n(487),
+                    non_target: n(366),
+                },
+                test_counts: SplitCounts {
+                    normal: n(13_492),
+                    target: n(749),
+                    non_target: n(629),
+                },
+                train_non_target_classes: None,
+                separation: 1.0,
+                cluster_std: 0.05,
+                anomaly_std: 0.07,
+                subspace_frac: 0.22,
+                anomaly_signature_overlap: 0.85,
+                signature_dropout: 0.30,
+                benign_deviation_prob: 0.04,
+                eval_label_noise: 0.0,
+            },
+            Preset::Sqb => GeneratorSpec {
+                name: self.name().to_string(),
+                dims: 182,
+                normal_groups: 5,
+                target_classes: 2,
+                non_target_classes: 2,
+                labeled_per_class: lab(106),
+                train_unlabeled: n(132_028),
+                // "the exact proportion of contamination remains unknown";
+                // we fix a plausible low rate.
+                contamination: 0.05,
+                target_share_of_contamination: 0.05,
+                val_counts: SplitCounts {
+                    normal: n(14_671),
+                    target: n(23),
+                    non_target: n(142),
+                },
+                test_counts: SplitCounts {
+                    normal: n(148_323),
+                    target: n(236),
+                    non_target: n(1_502),
+                },
+                train_non_target_classes: None,
+                separation: 1.0,
+                cluster_std: 0.06,
+                anomaly_std: 0.08,
+                subspace_frac: 0.15,
+                anomaly_signature_overlap: 0.90,
+                signature_dropout: 0.45,
+                benign_deviation_prob: 0.04,
+                // Unlabeled-as-normal evaluation hides some anomalies in the
+                // "normal" pool.
+                eval_label_noise: 0.01,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_names_match_paper() {
+        assert_eq!(Preset::UnswNb15.name(), "UNSW-NB15");
+        assert_eq!(Preset::KddCup99.name(), "KDDCUP99");
+        assert_eq!(Preset::NslKdd.name(), "NSL-KDD");
+        assert_eq!(Preset::Sqb.name(), "SQB");
+    }
+
+    #[test]
+    fn full_scale_matches_table_one() {
+        let spec = Preset::UnswNb15.spec(1.0);
+        assert_eq!(spec.dims, 196);
+        assert_eq!(spec.labeled_total(), 300);
+        assert_eq!(spec.train_unlabeled, 62_631);
+        assert_eq!(spec.test_counts.target, 1_666);
+        assert_eq!(spec.target_classes, 3);
+        assert_eq!(spec.non_target_classes, 4);
+
+        let kdd = Preset::KddCup99.spec(1.0);
+        assert_eq!(kdd.dims, 32);
+        assert_eq!(kdd.labeled_total(), 200);
+        assert_eq!(kdd.non_target_classes, 1);
+
+        let sqb = Preset::Sqb.spec(1.0);
+        assert_eq!(sqb.dims, 182);
+        assert_eq!(sqb.labeled_total(), 212);
+        assert_eq!(sqb.test_counts.normal, 148_323);
+    }
+
+    #[test]
+    fn scaled_specs_keep_structure_and_floors() {
+        let spec = Preset::UnswNb15.spec(0.01);
+        assert_eq!(spec.dims, 196);
+        assert_eq!(spec.target_classes, 3);
+        assert!(spec.labeled_per_class >= 5);
+        assert!(spec.val_counts.target >= 20);
+        assert!(spec.train_unlabeled >= 600);
+    }
+
+    #[test]
+    fn scaled_generation_runs() {
+        let bundle = Preset::KddCup99.spec(0.01).generate(42);
+        assert_eq!(bundle.train.dims(), 32);
+        assert!(bundle.train.summary().labeled_target >= 10);
+        assert!(!bundle.test.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        let _ = Preset::NslKdd.spec(0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the synthetic benchmark generator.
+
+use proptest::prelude::*;
+use targad_data::{GeneratorSpec, SplitCounts, Truth};
+
+fn spec_strategy() -> impl Strategy<Value = GeneratorSpec> {
+    (
+        2usize..24,
+        1usize..4,
+        1usize..4,
+        0usize..4,
+        0.0f64..0.2,
+        0.0f64..0.8,
+        0.0f64..0.9,
+    )
+        .prop_map(
+            |(dims, groups, targets, non_targets, contamination, overlap, dropout)| {
+                let mut spec = GeneratorSpec::quick_demo();
+                spec.dims = dims;
+                spec.normal_groups = groups;
+                spec.target_classes = targets;
+                spec.non_target_classes = non_targets;
+                spec.contamination = contamination;
+                spec.anomaly_signature_overlap = overlap;
+                spec.signature_dropout = dropout;
+                spec.train_unlabeled = 120;
+                spec.labeled_per_class = 4;
+                spec.val_counts =
+                    SplitCounts { normal: 30, target: 6, non_target: 3 * non_targets };
+                spec.test_counts =
+                    SplitCounts { normal: 40, target: 8, non_target: 4 * non_targets };
+                spec
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Split sizes always match the spec exactly.
+    #[test]
+    fn split_sizes_match(spec in spec_strategy(), seed in 0u64..10_000) {
+        let bundle = spec.generate(seed);
+        prop_assert_eq!(
+            bundle.train.len(),
+            spec.train_unlabeled + spec.labeled_total()
+        );
+        let v = bundle.val.summary();
+        prop_assert_eq!(v.normal, spec.val_counts.normal);
+        prop_assert_eq!(v.unlabeled_target, spec.val_counts.target);
+        prop_assert_eq!(v.non_target, spec.val_counts.non_target);
+        let t = bundle.test.summary();
+        prop_assert_eq!(t.normal, spec.test_counts.normal);
+    }
+
+    /// Labeled rows are always target anomalies and only appear in train.
+    #[test]
+    fn labeled_invariants(spec in spec_strategy(), seed in 0u64..10_000) {
+        let bundle = spec.generate(seed);
+        for (i, &labeled) in bundle.train.labeled.iter().enumerate() {
+            if labeled {
+                prop_assert!(bundle.train.truth[i].is_target());
+            }
+        }
+        prop_assert!(bundle.val.labeled.iter().all(|&l| !l));
+        prop_assert!(bundle.test.labeled.iter().all(|&l| !l));
+        prop_assert_eq!(
+            bundle.train.labeled.iter().filter(|&&l| l).count(),
+            spec.labeled_total()
+        );
+    }
+
+    /// Features always live in [0, 1]^D.
+    #[test]
+    fn features_bounded(spec in spec_strategy(), seed in 0u64..10_000) {
+        let bundle = spec.generate(seed);
+        for split in [&bundle.train, &bundle.val, &bundle.test] {
+            prop_assert!(split.features.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    /// Class indices stay within the spec's taxonomy.
+    #[test]
+    fn class_indices_in_range(spec in spec_strategy(), seed in 0u64..10_000) {
+        let bundle = spec.generate(seed);
+        for split in [&bundle.train, &bundle.val, &bundle.test] {
+            for t in &split.truth {
+                match *t {
+                    Truth::Normal { group } => prop_assert!(group < spec.normal_groups),
+                    Truth::Target { class } => prop_assert!(class < spec.target_classes),
+                    Truth::NonTarget { class } => {
+                        prop_assert!(class < spec.non_target_classes.max(1))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Same seed → identical bundle; different seeds → different features.
+    #[test]
+    fn determinism(spec in spec_strategy(), seed in 0u64..10_000) {
+        let a = spec.generate(seed);
+        let b = spec.generate(seed);
+        prop_assert_eq!(&a.train.features, &b.train.features);
+        let c = spec.generate(seed ^ 0xFFFF_FFFF);
+        prop_assert_ne!(&c.train.features, &b.train.features);
+    }
+
+    /// Contamination in the unlabeled pool matches the requested rate.
+    #[test]
+    fn contamination_respected(spec in spec_strategy(), seed in 0u64..10_000) {
+        let bundle = spec.generate(seed);
+        let s = bundle.train.summary();
+        let anoms = s.unlabeled_target + s.non_target;
+        let n_anom = (spec.contamination * spec.train_unlabeled as f64).round() as usize;
+        let n_target =
+            (spec.target_share_of_contamination * n_anom as f64).round() as usize;
+        // With no non-target classes, the generator backfills the
+        // non-target quota with normal rows.
+        let expected = if spec.non_target_classes == 0 { n_target } else { n_anom };
+        prop_assert_eq!(anoms, expected);
+    }
+}

@@ -1,0 +1,98 @@
+//! Guards the generator property that drives the Table II reproduction:
+//! target-class signatures are (nearly) contained in non-target signatures,
+//! so identifying target anomalies requires negative evidence.
+
+use std::collections::HashSet;
+
+use targad_data::{GeneratorSpec, SplitCounts, Truth};
+
+/// Dimensions where a class's empirical mean deviates from the overall
+/// normal mean by more than `threshold`.
+fn deviation_dims(
+    dataset: &targad_data::Dataset,
+    select: impl Fn(Truth) -> bool,
+    normal_mean: &[f64],
+    threshold: f64,
+) -> HashSet<usize> {
+    let rows: Vec<usize> =
+        (0..dataset.len()).filter(|&i| select(dataset.truth[i])).collect();
+    assert!(!rows.is_empty(), "no rows selected");
+    let dims = dataset.dims();
+    let mut mean = vec![0.0; dims];
+    for &i in &rows {
+        for (m, &v) in mean.iter_mut().zip(dataset.features.row(i)) {
+            *m += v / rows.len() as f64;
+        }
+    }
+    (0..dims).filter(|&d| (mean[d] - normal_mean[d]).abs() > threshold).collect()
+}
+
+#[test]
+fn target_signatures_are_nearly_contained_in_non_target_signatures() {
+    // High overlap, no dropout/jitter noise sources beyond the Gaussian.
+    let mut spec = GeneratorSpec::quick_demo();
+    spec.dims = 20;
+    spec.normal_groups = 1; // single normal mode keeps the mean test exact
+    spec.target_classes = 2;
+    spec.non_target_classes = 2;
+    spec.anomaly_signature_overlap = 0.9;
+    spec.signature_dropout = 0.0;
+    spec.benign_deviation_prob = 0.0;
+    spec.contamination = 0.0;
+    spec.train_unlabeled = 50;
+    spec.labeled_per_class = 5;
+    spec.val_counts = SplitCounts { normal: 10, target: 4, non_target: 4 };
+    // Large test split → tight empirical means.
+    spec.test_counts = SplitCounts { normal: 400, target: 400, non_target: 400 };
+    let bundle = spec.generate(17);
+    let d = &bundle.test;
+
+    let normals: Vec<usize> = (0..d.len()).filter(|&i| !d.truth[i].is_anomaly()).collect();
+    let mut normal_mean = vec![0.0; d.dims()];
+    for &i in &normals {
+        for (m, &v) in normal_mean.iter_mut().zip(d.features.row(i)) {
+            *m += v / normals.len() as f64;
+        }
+    }
+
+    let threshold = 0.05;
+    let non_target_union = deviation_dims(
+        d,
+        |t| matches!(t, Truth::NonTarget { .. }),
+        &normal_mean,
+        threshold,
+    );
+    for class in 0..spec.target_classes {
+        let target_dims = deviation_dims(
+            d,
+            |t| t == Truth::Target { class },
+            &normal_mean,
+            threshold,
+        );
+        assert!(!target_dims.is_empty(), "target class {class} deviates nowhere");
+        let contained = target_dims.intersection(&non_target_union).count();
+        let frac = contained as f64 / target_dims.len() as f64;
+        // At 90% overlap, target deviation dims should overwhelmingly be a
+        // subset of the non-target deviation dims (per-class bases differ,
+        // so allow a small remainder).
+        assert!(
+            frac >= 0.7,
+            "target class {class}: only {frac:.2} of its deviation dims are \
+             covered by non-target signatures ({target_dims:?} vs {non_target_union:?})"
+        );
+    }
+
+    // …while non-targets must deviate on strictly more dims than any single
+    // target class (their private extras).
+    let max_target_dims = (0..spec.target_classes)
+        .map(|class| {
+            deviation_dims(d, |t| t == Truth::Target { class }, &normal_mean, threshold).len()
+        })
+        .max()
+        .unwrap();
+    assert!(
+        non_target_union.len() > max_target_dims,
+        "non-target union {} should exceed the largest target signature {max_target_dims}",
+        non_target_union.len()
+    );
+}

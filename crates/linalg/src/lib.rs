@@ -1,0 +1,23 @@
+//! Dense linear algebra substrate for the TargAD reproduction.
+//!
+//! The paper's models (autoencoders, MLP classifiers, GAN baselines) are all
+//! small, tabular-data networks; a single dense row-major `f64` matrix type
+//! with the handful of kernels backpropagation needs is the entire linear
+//! algebra surface required. This crate provides:
+//!
+//! - [`Matrix`]: a row-major dense matrix with matmul variants tuned for
+//!   backprop (`matmul`, [`Matrix::matmul_tn`], [`Matrix::matmul_nt`]),
+//!   broadcasting helpers, reductions, and stable softmax kernels;
+//! - [`rng`]: seeded random initialization (uniform, Xavier/Glorot,
+//!   Box–Muller Gaussians) so every experiment is reproducible;
+//! - [`stats`]: scalar statistics (mean/std/quantiles) shared by the
+//!   clustering, metric, and experiment crates.
+//!
+//! Everything is `f64`: dataset sizes in the paper are ≤ a few hundred
+//! thousand rows, so numerical robustness is worth more than the memory.
+
+pub mod matrix;
+pub mod rng;
+pub mod stats;
+
+pub use matrix::Matrix;

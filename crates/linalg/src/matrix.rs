@@ -1,0 +1,731 @@
+//! Row-major dense `f64` matrix with the kernels reverse-mode autodiff needs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense row-major matrix of `f64` values.
+///
+/// Row-major storage keeps a row (one instance of a tabular dataset)
+/// contiguous, which is the access pattern of every kernel in this
+/// reproduction: batched forward/backward passes, per-row softmax,
+/// per-row reconstruction errors, and distance computations.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A `rows x cols` matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f64) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// A `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::full(rows, cols, 0.0)
+    }
+
+    /// A `rows x cols` matrix of ones.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::full(rows, cols, 1.0)
+    }
+
+    /// The `n x n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "from_vec: {} values cannot fill a {rows}x{cols} matrix",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix from row slices; all rows must share one length.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths or `rows` is empty.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "from_rows: need at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "from_rows: row {i} has length {} != {cols}", r.len());
+            data.extend_from_slice(r);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// A `1 x n` row vector.
+    pub fn row_vector(values: &[f64]) -> Self {
+        Self::from_vec(1, values.len(), values.to_vec())
+    }
+
+    /// An `n x 1` column vector.
+    pub fn col_vector(values: &[f64]) -> Self {
+        Self::from_vec(values.len(), 1, values.to_vec())
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The underlying row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its row-major data.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterator over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// A new matrix containing the listed rows (in order, duplicates allowed).
+    pub fn take_rows(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix::from_vec(indices.len(), self.cols, data)
+    }
+
+    /// Stacks `self` on top of `other` (column counts must match).
+    pub fn vstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "vstack: column mismatch {} vs {}", self.cols, other.cols);
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Matrix::from_vec(self.rows + other.rows, self.cols, data)
+    }
+
+    /// Concatenates `self` and `other` side by side (row counts must match).
+    pub fn hstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hstack: row mismatch {} vs {}", self.rows, other.rows);
+        let cols = self.cols + other.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(self.row(r));
+            data.extend_from_slice(other.row(r));
+        }
+        Matrix::from_vec(self.rows, cols, data)
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// Uses the i-k-j loop order so the inner loop walks both operands
+    /// contiguously, letting LLVM autovectorize (perf-book guidance).
+    ///
+    /// # Panics
+    /// Panics on an inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: inner dimension mismatch ({}x{}) * ({}x{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let n = other.cols;
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * n..(k + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self^T * other` without materializing the transpose.
+    ///
+    /// This is the shape of the weight gradient in a linear layer
+    /// (`dW = X^T * dY`), so it is a hot kernel during training.
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn: row mismatch ({}x{})^T * ({}x{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        let n = other.cols;
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let b_row = other.row(r);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[k * n..(k + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self * other^T` without materializing the transpose.
+    ///
+    /// This is the shape of the input gradient in a linear layer
+    /// (`dX = dY * W^T`) and of pairwise-dot-product distance kernels.
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt: column mismatch ({}x{}) * ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = other.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// The transpose of this matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Combines two same-shape matrices elementwise with `f`.
+    ///
+    /// # Panics
+    /// Panics on a shape mismatch.
+    pub fn zip_map(&self, other: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "zip_map: shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// Elementwise product (Hadamard).
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Scales every element by `s`.
+    pub fn scale(&self, s: f64) -> Matrix {
+        self.map(|v| v * s)
+    }
+
+    /// Adds `s` to every element.
+    pub fn add_scalar(&self, s: f64) -> Matrix {
+        self.map(|v| v + s)
+    }
+
+    /// In-place `self += other * s` (axpy). Shapes must match.
+    pub fn add_scaled_inplace(&mut self, other: &Matrix, s: f64) {
+        assert_eq!(self.shape(), other.shape(), "add_scaled_inplace: shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b * s;
+        }
+    }
+
+    /// Adds a `1 x cols` row vector to every row.
+    ///
+    /// # Panics
+    /// Panics unless `row` is `1 x self.cols()`.
+    pub fn add_row_broadcast(&self, row: &Matrix) -> Matrix {
+        assert_eq!(row.rows, 1, "add_row_broadcast: expected a row vector");
+        assert_eq!(row.cols, self.cols, "add_row_broadcast: column mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(&row.data) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Multiplies row `r` of `self` by `col[r]` (an `rows x 1` column vector).
+    ///
+    /// This is the kernel behind per-instance loss weights `w(x)` (Eq. 6 of
+    /// the paper).
+    ///
+    /// # Panics
+    /// Panics unless `col` is `self.rows() x 1`.
+    pub fn mul_col_broadcast(&self, col: &Matrix) -> Matrix {
+        assert_eq!(col.cols, 1, "mul_col_broadcast: expected a column vector");
+        assert_eq!(col.rows, self.rows, "mul_col_broadcast: row mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let w = col.data[r];
+            for o in out.row_mut(r) {
+                *o *= w;
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty matrix).
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Per-row sums as an `rows x 1` column vector.
+    pub fn row_sums(&self) -> Matrix {
+        let sums: Vec<f64> = self.iter_rows().map(|r| r.iter().sum()).collect();
+        Matrix::col_vector(&sums)
+    }
+
+    /// Per-column sums as a `1 x cols` row vector.
+    pub fn col_sums(&self) -> Matrix {
+        let mut sums = vec![0.0; self.cols];
+        for row in self.iter_rows() {
+            for (s, &v) in sums.iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+        Matrix::row_vector(&sums)
+    }
+
+    /// Per-row squared Euclidean norms, as a plain vector.
+    pub fn row_sq_norms(&self) -> Vec<f64> {
+        self.iter_rows().map(|r| r.iter().map(|v| v * v).sum()).collect()
+    }
+
+    /// Squared Frobenius norm.
+    pub fn sq_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Index of the maximum value in row `r` (first one on ties).
+    pub fn argmax_row(&self, r: usize) -> usize {
+        let row = self.row(r);
+        let mut best = 0;
+        for (i, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Maximum value in row `r`.
+    pub fn max_row(&self, r: usize) -> f64 {
+        self.row(r).iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Numerically stable row-wise softmax.
+    pub fn softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = out.row_mut(r);
+            let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+        out
+    }
+
+    /// Numerically stable row-wise log-softmax.
+    pub fn log_softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = out.row_mut(r);
+            let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let lse = max + row.iter().map(|&v| (v - max).exp()).sum::<f64>().ln();
+            for v in row.iter_mut() {
+                *v -= lse;
+            }
+        }
+        out
+    }
+
+    /// Row-wise `log(sum(exp(.)))`, numerically stable, as an `rows x 1`
+    /// column vector.
+    pub fn logsumexp_rows(&self) -> Matrix {
+        let vals: Vec<f64> = self
+            .iter_rows()
+            .map(|row| {
+                let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                max + row.iter().map(|&v| (v - max).exp()).sum::<f64>().ln()
+            })
+            .collect();
+        Matrix::col_vector(&vals)
+    }
+
+    /// Squared Euclidean distance between row `r` of `self` and `point`.
+    pub fn row_sq_dist(&self, r: usize, point: &[f64]) -> f64 {
+        debug_assert_eq!(point.len(), self.cols);
+        self.row(r).iter().zip(point).map(|(&a, &b)| (a - b) * (a - b)).sum()
+    }
+
+    /// True if all elements are finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        self.zip_map(rhs, |a, b| a + b)
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        self.zip_map(rhs, |a, b| a - b)
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: f64) -> Matrix {
+        self.scale(rhs)
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+    fn neg(self) -> Matrix {
+        self.map(|v| -v)
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show = self.rows.min(6);
+        for r in 0..show {
+            write!(f, "  [")?;
+            let cols = self.cols.min(8);
+            for c in 0..cols {
+                write!(f, "{:9.4}", self[(r, c)])?;
+                if c + 1 < cols {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > 8 {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > show {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_shape() {
+        let m = Matrix::zeros(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.len(), 6);
+        assert!(!m.is_empty());
+        assert_eq!(Matrix::eye(3)[(1, 1)], 1.0);
+        assert_eq!(Matrix::eye(3)[(0, 1)], 0.0);
+        assert_eq!(Matrix::ones(1, 2).sum(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_vec")]
+    fn from_vec_checks_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f64 * 0.5 - 1.0);
+        let b = Matrix::from_fn(4, 2, |r, c| (r + c) as f64 * 0.25);
+        let fast = a.matmul_tn(&b);
+        let slow = a.transpose().matmul(&b);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f64 - 5.0);
+        let b = Matrix::from_fn(2, 4, |r, c| (r as f64 - c as f64) * 0.3);
+        let fast = a.matmul_nt(&b);
+        let slow = a.matmul(&b.transpose());
+        for r in 0..3 {
+            for c in 0..2 {
+                assert!((fast[(r, c)] - slow[(r, c)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_is_matmul_neutral() {
+        let a = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f64);
+        assert_eq!(a.matmul(&Matrix::eye(3)), a);
+        assert_eq!(Matrix::eye(3).matmul(&a), a);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(2, 5, |r, c| (r * 5 + c) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn broadcast_add_row() {
+        let m = Matrix::zeros(2, 3);
+        let b = Matrix::row_vector(&[1.0, 2.0, 3.0]);
+        let out = m.add_row_broadcast(&b);
+        assert_eq!(out.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(out.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn broadcast_mul_col() {
+        let m = Matrix::ones(3, 2);
+        let w = Matrix::col_vector(&[0.0, 1.0, 2.0]);
+        let out = m.mul_col_broadcast(&w);
+        assert_eq!(out.row(0), &[0.0, 0.0]);
+        assert_eq!(out.row(1), &[1.0, 1.0]);
+        assert_eq!(out.row(2), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.sum(), 10.0);
+        assert_eq!(m.mean(), 2.5);
+        assert_eq!(m.row_sums().as_slice(), &[3.0, 7.0]);
+        assert_eq!(m.col_sums().as_slice(), &[4.0, 6.0]);
+        assert_eq!(m.row_sq_norms(), vec![5.0, 25.0]);
+        assert_eq!(m.sq_norm(), 30.0);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order_preserved() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let s = m.softmax_rows();
+        for r in 0..2 {
+            let sum: f64 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+            assert!(s[(r, 0)] < s[(r, 1)] && s[(r, 1)] < s[(r, 2)]);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let m = Matrix::from_vec(1, 3, vec![1000.0, 1001.0, 1002.0]);
+        let s = m.softmax_rows();
+        let t = Matrix::from_vec(1, 3, vec![0.0, 1.0, 2.0]).softmax_rows();
+        for c in 0..3 {
+            assert!((s[(0, c)] - t[(0, c)]).abs() < 1e-12);
+        }
+        assert!(s.all_finite());
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let m = Matrix::from_vec(1, 4, vec![0.1, -2.0, 3.0, 0.5]);
+        let ls = m.log_softmax_rows();
+        let s = m.softmax_rows();
+        for c in 0..4 {
+            assert!((ls[(0, c)].exp() - s[(0, c)]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn logsumexp_rows_matches_naive() {
+        let m = Matrix::from_vec(2, 2, vec![0.0, 1.0, -3.0, 2.0]);
+        let lse = m.logsumexp_rows();
+        assert!((lse[(0, 0)] - (1.0f64.exp() + 1.0).ln()).abs() < 1e-12);
+        assert!((lse[(1, 0)] - ((-3.0f64).exp() + 2.0f64.exp()).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stack_and_take_rows() {
+        let a = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = Matrix::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]);
+        let v = a.vstack(&b);
+        assert_eq!(v.shape(), (3, 2));
+        assert_eq!(v.row(2), &[5.0, 6.0]);
+        let h = b.hstack(&b);
+        assert_eq!(h.shape(), (2, 4));
+        assert_eq!(h.row(0), &[3.0, 4.0, 3.0, 4.0]);
+        let t = v.take_rows(&[2, 0]);
+        assert_eq!(t.row(0), &[5.0, 6.0]);
+        assert_eq!(t.row(1), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn argmax_and_distances() {
+        let m = Matrix::from_vec(2, 3, vec![0.0, 5.0, 2.0, -1.0, -2.0, -3.0]);
+        assert_eq!(m.argmax_row(0), 1);
+        assert_eq!(m.argmax_row(1), 0);
+        assert_eq!(m.max_row(0), 5.0);
+        assert_eq!(m.row_sq_dist(0, &[0.0, 5.0, 2.0]), 0.0);
+        assert_eq!(m.row_sq_dist(0, &[1.0, 5.0, 2.0]), 1.0);
+    }
+
+    #[test]
+    fn operators() {
+        let a = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = Matrix::from_vec(1, 2, vec![10.0, 20.0]);
+        assert_eq!((&a + &b).as_slice(), &[11.0, 22.0]);
+        assert_eq!((&b - &a).as_slice(), &[9.0, 18.0]);
+        assert_eq!((&a * 3.0).as_slice(), &[3.0, 6.0]);
+        assert_eq!((-&a).as_slice(), &[-1.0, -2.0]);
+        assert_eq!(a.hadamard(&b).as_slice(), &[10.0, 40.0]);
+    }
+
+}

@@ -1,0 +1,167 @@
+//! Seeded random initialization helpers.
+//!
+//! Every stochastic component in the reproduction (weight init, k-means++
+//! seeding, data generation, mini-batch shuffling) draws from a seeded
+//! [`rand::rngs::StdRng`] so that all experiments are bit-reproducible.
+//! Gaussian sampling uses the Box–Muller transform to avoid depending on
+//! `rand_distr`.
+
+use crate::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Creates a deterministic RNG from a `u64` seed.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// One standard-normal draw via the Box–Muller transform.
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    // Avoid ln(0): u1 in (0, 1].
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A draw from `N(mean, std^2)`.
+pub fn normal(rng: &mut impl Rng, mean: f64, std: f64) -> f64 {
+    mean + std * standard_normal(rng)
+}
+
+/// A `rows x cols` matrix with i.i.d. `N(mean, std^2)` entries.
+pub fn normal_matrix(rng: &mut impl Rng, rows: usize, cols: usize, mean: f64, std: f64) -> Matrix {
+    let data = (0..rows * cols).map(|_| normal(rng, mean, std)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// A `rows x cols` matrix with i.i.d. `U[lo, hi)` entries.
+pub fn uniform_matrix(rng: &mut impl Rng, rows: usize, cols: usize, lo: f64, hi: f64) -> Matrix {
+    let data = (0..rows * cols).map(|_| rng.random_range(lo..hi)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Xavier/Glorot uniform initialization for a `fan_in x fan_out` weight
+/// matrix — the initialization used for all MLPs and autoencoders in the
+/// reproduction.
+pub fn xavier_uniform(rng: &mut impl Rng, fan_in: usize, fan_out: usize) -> Matrix {
+    let bound = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    uniform_matrix(rng, fan_in, fan_out, -bound, bound)
+}
+
+/// Kaiming/He normal initialization (for ReLU nets).
+pub fn kaiming_normal(rng: &mut impl Rng, fan_in: usize, fan_out: usize) -> Matrix {
+    let std = (2.0 / fan_in as f64).sqrt();
+    normal_matrix(rng, fan_in, fan_out, 0.0, std)
+}
+
+/// Fisher–Yates shuffle of a slice.
+pub fn shuffle<T>(rng: &mut impl Rng, values: &mut [T]) {
+    let n = values.len();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        values.swap(i, j);
+    }
+}
+
+/// A shuffled `0..n` index permutation.
+pub fn permutation(rng: &mut impl Rng, n: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    shuffle(rng, &mut idx);
+    idx
+}
+
+/// Samples `count` distinct indices from `0..n` (reservoir style).
+///
+/// # Panics
+/// Panics if `count > n`.
+pub fn sample_indices(rng: &mut impl Rng, n: usize, count: usize) -> Vec<usize> {
+    assert!(count <= n, "sample_indices: cannot draw {count} from {n}");
+    // For small ratios do rejection-free reservoir sampling; otherwise take a
+    // prefix of a permutation.
+    if count * 4 <= n {
+        let mut chosen = std::collections::HashSet::with_capacity(count);
+        let mut out = Vec::with_capacity(count);
+        while out.len() < count {
+            let i = rng.random_range(0..n);
+            if chosen.insert(i) {
+                out.push(i);
+            }
+        }
+        out
+    } else {
+        let mut idx = permutation(rng, n);
+        idx.truncate(count);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = seeded(42);
+        let mut b = seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = seeded(7);
+        let n = 50_000;
+        let draws: Vec<f64> = (0..n).map(|_| normal(&mut rng, 2.0, 3.0)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn uniform_bounds_respected() {
+        let mut rng = seeded(9);
+        let m = uniform_matrix(&mut rng, 10, 10, -0.5, 0.5);
+        assert!(m.as_slice().iter().all(|&v| (-0.5..0.5).contains(&v)));
+    }
+
+    #[test]
+    fn xavier_bound() {
+        let mut rng = seeded(1);
+        let m = xavier_uniform(&mut rng, 10, 20);
+        let bound = (6.0f64 / 30.0).sqrt();
+        assert!(m.as_slice().iter().all(|&v| v.abs() <= bound));
+        assert_eq!(m.shape(), (10, 20));
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = seeded(3);
+        let mut p = permutation(&mut rng, 100);
+        p.sort_unstable();
+        assert_eq!(p, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = seeded(5);
+        for &(n, c) in &[(100usize, 5usize), (10, 9), (10, 10), (1000, 400)] {
+            let s = sample_indices(&mut rng, n, c);
+            assert_eq!(s.len(), c);
+            let set: std::collections::HashSet<_> = s.iter().collect();
+            assert_eq!(set.len(), c, "duplicates for n={n}, c={c}");
+            assert!(s.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let mut rng = seeded(11);
+        let mut v = vec![1, 1, 2, 3, 5, 8];
+        shuffle(&mut rng, &mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 1, 2, 3, 5, 8]);
+    }
+}

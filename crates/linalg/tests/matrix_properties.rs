@@ -1,0 +1,103 @@
+//! Property tests for the dense matrix kernels.
+
+use proptest::prelude::*;
+use targad_linalg::{rng as lrng, Matrix};
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    /// (A·B)·C == A·(B·C) up to floating-point tolerance.
+    #[test]
+    fn matmul_associativity(a in matrix(3, 4), b in matrix(4, 2), c in matrix(2, 5)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    /// (A·B)^T == B^T·A^T.
+    #[test]
+    fn matmul_transpose_identity(a in matrix(3, 4), b in matrix(4, 2)) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        prop_assert_eq!(left.shape(), right.shape());
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    /// The fused transpose kernels agree with explicit transposition.
+    #[test]
+    fn fused_kernels_match_explicit(a in matrix(4, 3), b in matrix(4, 2), c in matrix(5, 3)) {
+        let tn = a.matmul_tn(&b);
+        let tn_explicit = a.transpose().matmul(&b);
+        for (x, y) in tn.as_slice().iter().zip(tn_explicit.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+        let nt = a.matmul_nt(&c);
+        let nt_explicit = a.matmul(&c.transpose());
+        for (x, y) in nt.as_slice().iter().zip(nt_explicit.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    /// Softmax rows are probability distributions preserving argmax.
+    #[test]
+    fn softmax_rows_are_distributions(m in matrix(4, 6)) {
+        let s = m.softmax_rows();
+        for r in 0..4 {
+            let sum: f64 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(s.row(r).iter().all(|&p| (0.0..=1.0).contains(&p)));
+            prop_assert_eq!(m.argmax_row(r), s.argmax_row(r));
+        }
+    }
+
+    /// logsumexp never underflows/overflows for bounded inputs and
+    /// dominates the row max.
+    #[test]
+    fn logsumexp_bounds(m in matrix(3, 5)) {
+        let lse = m.logsumexp_rows();
+        for r in 0..3 {
+            let max = m.max_row(r);
+            prop_assert!(lse[(r, 0)] >= max - 1e-12);
+            prop_assert!(lse[(r, 0)] <= max + (5f64).ln() + 1e-12);
+        }
+    }
+
+    /// Row/column reductions are consistent with the full sum.
+    #[test]
+    fn reduction_consistency(m in matrix(4, 3)) {
+        let total = m.sum();
+        prop_assert!((m.row_sums().sum() - total).abs() < 1e-9);
+        prop_assert!((m.col_sums().sum() - total).abs() < 1e-9);
+        prop_assert!((m.mean() * 12.0 - total).abs() < 1e-9);
+    }
+
+    /// hstack/vstack shapes and content are preserved.
+    #[test]
+    fn stacking_round_trip(a in matrix(2, 3), b in matrix(2, 3)) {
+        let v = a.vstack(&b);
+        prop_assert_eq!(v.shape(), (4, 3));
+        prop_assert_eq!(v.row(0), a.row(0));
+        prop_assert_eq!(v.row(2), b.row(0));
+        let h = a.hstack(&b);
+        prop_assert_eq!(h.shape(), (2, 6));
+        prop_assert_eq!(&h.row(0)[..3], a.row(0));
+        prop_assert_eq!(&h.row(1)[3..], b.row(1));
+    }
+
+    /// Seeded sampling helpers stay within bounds.
+    #[test]
+    fn sampled_indices_in_range(seed in 0u64..10_000, n in 1usize..200) {
+        let mut rng = lrng::seeded(seed);
+        let count = (n / 2).max(1);
+        let idx = lrng::sample_indices(&mut rng, n, count);
+        prop_assert_eq!(idx.len(), count);
+        prop_assert!(idx.iter().all(|&i| i < n));
+    }
+}

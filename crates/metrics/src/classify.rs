@@ -1,0 +1,184 @@
+//! Multi-class confusion matrices and derived scores (Table IV metrics).
+
+/// Per-class precision/recall/F1 plus support, as reported in Table IV.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClassReport {
+    /// `TP / (TP + FP)`; 0 when the class is never predicted.
+    pub precision: f64,
+    /// `TP / (TP + FN)`; 0 when the class has no true instances.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall; 0 when both are 0.
+    pub f1: f64,
+    /// Number of true instances of the class.
+    pub support: usize,
+}
+
+/// A `c x c` confusion matrix; `counts[true][pred]`.
+#[derive(Clone, Debug)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from parallel true/predicted class-index slices.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or an index `>= num_classes`.
+    pub fn from_predictions(truth: &[usize], predicted: &[usize], num_classes: usize) -> Self {
+        assert_eq!(truth.len(), predicted.len(), "confusion matrix: length mismatch");
+        let mut counts = vec![vec![0usize; num_classes]; num_classes];
+        for (&t, &p) in truth.iter().zip(predicted) {
+            assert!(t < num_classes && p < num_classes, "class index out of range");
+            counts[t][p] += 1;
+        }
+        Self { counts }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Raw count of instances with true class `t` predicted as `p`.
+    pub fn count(&self, t: usize, p: usize) -> usize {
+        self.counts[t][p]
+    }
+
+    /// Total instances.
+    pub fn total(&self) -> usize {
+        self.counts.iter().map(|row| row.iter().sum::<usize>()).sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..self.num_classes()).map(|i| self.counts[i][i]).sum();
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Precision/recall/F1 for class `c`.
+    pub fn class_report(&self, c: usize) -> ClassReport {
+        let tp = self.counts[c][c];
+        let fp: usize = (0..self.num_classes()).filter(|&t| t != c).map(|t| self.counts[t][c]).sum();
+        let fn_: usize = (0..self.num_classes()).filter(|&p| p != c).map(|p| self.counts[c][p]).sum();
+        let support = tp + fn_;
+        let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+        let recall = if support == 0 { 0.0 } else { tp as f64 / support as f64 };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        ClassReport { precision, recall, f1, support }
+    }
+
+    /// Unweighted mean of per-class reports ("macro avg" row of Table IV).
+    pub fn macro_avg(&self) -> ClassReport {
+        let n = self.num_classes() as f64;
+        let mut acc = ClassReport { precision: 0.0, recall: 0.0, f1: 0.0, support: 0 };
+        for c in 0..self.num_classes() {
+            let r = self.class_report(c);
+            acc.precision += r.precision / n;
+            acc.recall += r.recall / n;
+            acc.f1 += r.f1 / n;
+            acc.support += r.support;
+        }
+        acc
+    }
+
+    /// Support-weighted mean of per-class reports ("weighted avg" row).
+    pub fn weighted_avg(&self) -> ClassReport {
+        let total = self.total() as f64;
+        let mut acc = ClassReport { precision: 0.0, recall: 0.0, f1: 0.0, support: 0 };
+        if total == 0.0 {
+            return acc;
+        }
+        for c in 0..self.num_classes() {
+            let r = self.class_report(c);
+            let w = r.support as f64 / total;
+            acc.precision += r.precision * w;
+            acc.recall += r.recall * w;
+            acc.f1 += r.f1 * w;
+            acc.support += r.support;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 3-class fixture with hand-computed entries.
+    fn fixture() -> ConfusionMatrix {
+        // truth:     0 0 0 0 1 1 1 2 2 2
+        // predicted: 0 0 1 2 1 1 0 2 2 1
+        let truth = [0, 0, 0, 0, 1, 1, 1, 2, 2, 2];
+        let pred = [0, 0, 1, 2, 1, 1, 0, 2, 2, 1];
+        ConfusionMatrix::from_predictions(&truth, &pred, 3)
+    }
+
+    #[test]
+    fn counts_and_accuracy() {
+        let cm = fixture();
+        assert_eq!(cm.total(), 10);
+        assert_eq!(cm.count(0, 0), 2);
+        assert_eq!(cm.count(0, 1), 1);
+        assert_eq!(cm.count(1, 0), 1);
+        assert_eq!(cm.accuracy(), 0.6);
+    }
+
+    #[test]
+    fn class_reports_hand_checked() {
+        let cm = fixture();
+        // class 0: TP=2, FP=1 (one truth-1 predicted 0), FN=2 → P=2/3, R=1/2
+        let r0 = cm.class_report(0);
+        assert!((r0.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r0.recall - 0.5).abs() < 1e-12);
+        assert_eq!(r0.support, 4);
+        // class 1: TP=2, FP=2, FN=1 → P=1/2, R=2/3, F1 = 2*(1/2)(2/3)/(7/6)
+        let r1 = cm.class_report(1);
+        assert!((r1.precision - 0.5).abs() < 1e-12);
+        assert!((r1.recall - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r1.f1 - 4.0 / 7.0).abs() < 1e-12);
+        // class 2: TP=2, FP=1, FN=1 → P=2/3, R=2/3.
+        let r2 = cm.class_report(2);
+        assert!((r2.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r2.recall - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_and_weighted_averages() {
+        let cm = fixture();
+        let macro_ = cm.macro_avg();
+        let expected_p = (2.0 / 3.0 + 0.5 + 2.0 / 3.0) / 3.0;
+        assert!((macro_.precision - expected_p).abs() < 1e-12);
+        assert_eq!(macro_.support, 10);
+
+        let weighted = cm.weighted_avg();
+        let expected_wp = (2.0 / 3.0) * 0.4 + 0.5 * 0.3 + (2.0 / 3.0) * 0.3;
+        assert!((weighted.precision - expected_wp).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_classes_yield_zero_not_nan() {
+        // Class 1 never occurs and is never predicted.
+        let cm = ConfusionMatrix::from_predictions(&[0, 0], &[0, 0], 2);
+        let r = cm.class_report(1);
+        assert_eq!(r.precision, 0.0);
+        assert_eq!(r.recall, 0.0);
+        assert_eq!(r.f1, 0.0);
+        assert_eq!(r.support, 0);
+        assert!(cm.accuracy() == 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_length_mismatch() {
+        let _ = ConfusionMatrix::from_predictions(&[0], &[0, 1], 2);
+    }
+}

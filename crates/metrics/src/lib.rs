@@ -1,0 +1,17 @@
+//! Evaluation metrics for the TargAD reproduction.
+//!
+//! The paper reports AUROC and AUPRC for target-anomaly ranking (Table II,
+//! Figs. 3–4, 6–7) and confusion-matrix derived Precision/Recall/F1 with
+//! macro and weighted averages for three-way identification (Table IV).
+//!
+//! - [`ranking`]: exact tie-corrected AUROC (Mann–Whitney form), average
+//!   precision (the AUPRC estimator scikit-learn uses, which the paper's
+//!   Python stack reports), and full ROC / PR curves;
+//! - [`classify`]: multi-class confusion matrices and per-class /
+//!   macro / weighted precision, recall, and F1.
+
+pub mod classify;
+pub mod ranking;
+
+pub use classify::{ClassReport, ConfusionMatrix};
+pub use ranking::{auroc, average_precision, pr_curve, roc_curve};

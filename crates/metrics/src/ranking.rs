@@ -1,0 +1,250 @@
+//! Threshold-free ranking metrics: AUROC and AUPRC.
+
+/// Area under the ROC curve, computed exactly via the Mann–Whitney U
+/// statistic with tie correction (ties contribute ½).
+///
+/// Returns 0.5 when either class is empty (no ranking information).
+///
+/// # Panics
+/// Panics if `scores` and `labels` have different lengths.
+pub fn auroc(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "auroc: length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+
+    // Rank-sum with average ranks for ties.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("NaN score in auroc"));
+
+    let mut rank_sum_pos = 0.0;
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        // Average rank of the tied block [i, j], 1-based ranks.
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            if labels[idx] {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// Average precision — the step-wise AUPRC estimator
+/// `AP = Σ_n (R_n − R_{n−1}) · P_n`, matching
+/// `sklearn.metrics.average_precision_score` (the estimator behind the
+/// paper's AUPRC numbers). Instances tied on score are processed as one
+/// block so the result is permutation-invariant.
+///
+/// Returns 0.0 when there are no positives.
+///
+/// # Panics
+/// Panics if `scores` and `labels` have different lengths.
+pub fn average_precision(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "average_precision: length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    if n_pos == 0 {
+        return 0.0;
+    }
+
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN score in AP"));
+
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut ap = 0.0;
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        let mut block_tp = 0usize;
+        let mut block_fp = 0usize;
+        while j < order.len() && scores[order[j]] == scores[order[i]] {
+            if labels[order[j]] {
+                block_tp += 1;
+            } else {
+                block_fp += 1;
+            }
+            j += 1;
+        }
+        let prev_recall = tp as f64 / n_pos as f64;
+        tp += block_tp;
+        fp += block_fp;
+        let recall = tp as f64 / n_pos as f64;
+        let precision = tp as f64 / (tp + fp) as f64;
+        ap += (recall - prev_recall) * precision;
+        i = j;
+    }
+    ap
+}
+
+/// ROC curve as `(fpr, tpr)` pairs, one per distinct threshold, beginning at
+/// `(0, 0)` and ending at `(1, 1)`.
+pub fn roc_curve(scores: &[f64], labels: &[bool]) -> Vec<(f64, f64)> {
+    assert_eq!(scores.len(), labels.len(), "roc_curve: length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN score"));
+
+    let mut curve = vec![(0.0, 0.0)];
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j < order.len() && scores[order[j]] == scores[order[i]] {
+            if labels[order[j]] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            j += 1;
+        }
+        curve.push((
+            if n_neg > 0 { fp as f64 / n_neg as f64 } else { 0.0 },
+            if n_pos > 0 { tp as f64 / n_pos as f64 } else { 0.0 },
+        ));
+        i = j;
+    }
+    curve
+}
+
+/// Precision-recall curve as `(recall, precision)` pairs per distinct
+/// threshold, starting at `(0, 1)`.
+pub fn pr_curve(scores: &[f64], labels: &[bool]) -> Vec<(f64, f64)> {
+    assert_eq!(scores.len(), labels.len(), "pr_curve: length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN score"));
+
+    let mut curve = vec![(0.0, 1.0)];
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j < order.len() && scores[order[j]] == scores[order[i]] {
+            if labels[order[j]] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            j += 1;
+        }
+        if n_pos > 0 {
+            curve.push((tp as f64 / n_pos as f64, tp as f64 / (tp + fp) as f64));
+        }
+        i = j;
+    }
+    curve
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auroc_perfect_and_inverted() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert_eq!(auroc(&scores, &labels), 1.0);
+        let inverted = [false, false, true, true];
+        assert_eq!(auroc(&scores, &inverted), 0.0);
+    }
+
+    #[test]
+    fn auroc_known_value() {
+        // scores: pos {3,1}, neg {2,0}; pairs won: (3>2),(3>0),(1>0) = 3/4
+        let scores = [3.0, 1.0, 2.0, 0.0];
+        let labels = [true, true, false, false];
+        assert!((auroc(&scores, &labels) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auroc_ties_count_half() {
+        let scores = [1.0, 1.0];
+        let labels = [true, false];
+        assert_eq!(auroc(&scores, &labels), 0.5);
+        // All equal scores → 0.5 regardless of class sizes.
+        let scores = [2.0; 10];
+        let labels: Vec<bool> = (0..10).map(|i| i < 3).collect();
+        assert_eq!(auroc(&scores, &labels), 0.5);
+    }
+
+    #[test]
+    fn auroc_degenerate_classes() {
+        assert_eq!(auroc(&[1.0, 2.0], &[true, true]), 0.5);
+        assert_eq!(auroc(&[1.0, 2.0], &[false, false]), 0.5);
+        assert_eq!(auroc(&[], &[]), 0.5);
+    }
+
+    #[test]
+    fn ap_perfect_ranking_is_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert_eq!(average_precision(&scores, &labels), 1.0);
+    }
+
+    #[test]
+    fn ap_known_value() {
+        // Ranking: pos, neg, pos, neg.
+        // AP = 0.5*1.0 (first pos, P=1/1) + 0.5*(2/3) = 5/6.
+        let scores = [0.9, 0.8, 0.7, 0.6];
+        let labels = [true, false, true, false];
+        assert!((average_precision(&scores, &labels) - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_equals_prevalence_for_constant_scores() {
+        let scores = [1.0; 8];
+        let labels: Vec<bool> = (0..8).map(|i| i < 2).collect();
+        assert!((average_precision(&scores, &labels) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_no_positives_is_zero() {
+        assert_eq!(average_precision(&[1.0, 2.0], &[false, false]), 0.0);
+    }
+
+    #[test]
+    fn roc_curve_endpoints() {
+        let scores = [0.9, 0.4, 0.6, 0.1];
+        let labels = [true, false, true, false];
+        let curve = roc_curve(&scores, &labels);
+        assert_eq!(curve.first(), Some(&(0.0, 0.0)));
+        assert_eq!(curve.last(), Some(&(1.0, 1.0)));
+        // Monotone in both coordinates.
+        for w in curve.windows(2) {
+            assert!(w[1].0 >= w[0].0 && w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn pr_curve_starts_at_full_precision() {
+        let scores = [0.9, 0.4, 0.6, 0.1];
+        let labels = [true, false, true, false];
+        let curve = pr_curve(&scores, &labels);
+        assert_eq!(curve[0], (0.0, 1.0));
+        assert_eq!(curve.last().unwrap().0, 1.0);
+    }
+
+    #[test]
+    fn auroc_matches_trapezoid_of_roc() {
+        let scores = [0.9, 0.8, 0.75, 0.6, 0.55, 0.5, 0.4, 0.3];
+        let labels = [true, false, true, true, false, false, true, false];
+        let curve = roc_curve(&scores, &labels);
+        let trap: f64 = curve
+            .windows(2)
+            .map(|w| (w[1].0 - w[0].0) * (w[1].1 + w[0].1) / 2.0)
+            .sum();
+        assert!((auroc(&scores, &labels) - trap).abs() < 1e-12);
+    }
+}

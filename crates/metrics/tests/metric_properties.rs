@@ -1,0 +1,115 @@
+//! Property tests for ranking metrics.
+
+use proptest::prelude::*;
+use targad_metrics::{auroc, average_precision, pr_curve, roc_curve};
+
+fn scores_and_labels() -> impl Strategy<Value = (Vec<f64>, Vec<bool>)> {
+    prop::collection::vec((-100.0f64..100.0, any::<bool>()), 2..64)
+        .prop_map(|pairs| pairs.into_iter().unzip())
+}
+
+proptest! {
+    /// AUROC is always within [0, 1].
+    #[test]
+    fn auroc_bounded((scores, labels) in scores_and_labels()) {
+        let v = auroc(&scores, &labels);
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    /// AP is always within [0, 1].
+    #[test]
+    fn ap_bounded((scores, labels) in scores_and_labels()) {
+        let v = average_precision(&scores, &labels);
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    /// AUROC is invariant to strictly monotone score transforms.
+    #[test]
+    fn auroc_monotone_invariant((scores, labels) in scores_and_labels()) {
+        let base = auroc(&scores, &labels);
+        let warped: Vec<f64> = scores.iter().map(|&s| (s / 50.0).tanh() * 3.0 + 7.0).collect();
+        prop_assert!((auroc(&warped, &labels) - base).abs() < 1e-9);
+    }
+
+    /// AP is invariant to strictly monotone score transforms.
+    #[test]
+    fn ap_monotone_invariant((scores, labels) in scores_and_labels()) {
+        let base = average_precision(&scores, &labels);
+        let warped: Vec<f64> = scores.iter().map(|&s| s.exp().min(1e300)).collect();
+        prop_assert!((average_precision(&warped, &labels) - base).abs() < 1e-9);
+    }
+
+    /// Flipping all labels maps AUROC to 1 − AUROC (when both classes exist).
+    #[test]
+    fn auroc_label_flip_symmetry((scores, labels) in scores_and_labels()) {
+        let n_pos = labels.iter().filter(|&&l| l).count();
+        prop_assume!(n_pos > 0 && n_pos < labels.len());
+        let flipped: Vec<bool> = labels.iter().map(|&l| !l).collect();
+        let a = auroc(&scores, &labels);
+        let b = auroc(&scores, &flipped);
+        prop_assert!((a + b - 1.0).abs() < 1e-9);
+    }
+
+    /// AP is permutation-invariant (ties handled as blocks).
+    #[test]
+    fn ap_permutation_invariant((scores, labels) in scores_and_labels(), seed in 0u64..1000) {
+        use rand_shuffle::shuffle_together;
+        let base = average_precision(&scores, &labels);
+        let (s2, l2) = shuffle_together(&scores, &labels, seed);
+        prop_assert!((average_precision(&s2, &l2) - base).abs() < 1e-9);
+    }
+
+    /// ROC curves are monotone staircases from (0,0) to (1,1), and their
+    /// trapezoid area equals the Mann–Whitney AUROC.
+    #[test]
+    fn roc_curve_consistency((scores, labels) in scores_and_labels()) {
+        let n_pos = labels.iter().filter(|&&l| l).count();
+        prop_assume!(n_pos > 0 && n_pos < labels.len());
+        let curve = roc_curve(&scores, &labels);
+        prop_assert_eq!(curve.first(), Some(&(0.0, 0.0)));
+        prop_assert_eq!(curve.last(), Some(&(1.0, 1.0)));
+        for w in curve.windows(2) {
+            prop_assert!(w[1].0 >= w[0].0 - 1e-12 && w[1].1 >= w[0].1 - 1e-12);
+        }
+        let trapezoid: f64 = curve
+            .windows(2)
+            .map(|w| (w[1].0 - w[0].0) * (w[1].1 + w[0].1) / 2.0)
+            .sum();
+        prop_assert!((trapezoid - auroc(&scores, &labels)).abs() < 1e-9);
+    }
+
+    /// PR curves start at precision 1, reach recall 1, and stay in the
+    /// unit square; AP never exceeds the maximum precision on the curve.
+    #[test]
+    fn pr_curve_consistency((scores, labels) in scores_and_labels()) {
+        let n_pos = labels.iter().filter(|&&l| l).count();
+        prop_assume!(n_pos > 0);
+        let curve = pr_curve(&scores, &labels);
+        prop_assert_eq!(curve[0], (0.0, 1.0));
+        prop_assert!((curve.last().unwrap().0 - 1.0).abs() < 1e-12);
+        for &(r, p) in &curve {
+            prop_assert!((0.0..=1.0).contains(&r) && (0.0..=1.0).contains(&p));
+        }
+        let max_precision = curve[1..].iter().map(|&(_, p)| p).fold(0.0f64, f64::max);
+        let ap = average_precision(&scores, &labels);
+        prop_assert!(ap <= max_precision + 1e-9, "AP {ap} > max precision {max_precision}");
+    }
+}
+
+mod rand_shuffle {
+    /// Deterministic xorshift-based co-shuffle (avoids a rand dev-dependency).
+    pub fn shuffle_together(scores: &[f64], labels: &[bool], seed: u64) -> (Vec<f64>, Vec<bool>) {
+        let mut s: Vec<f64> = scores.to_vec();
+        let mut l: Vec<bool> = labels.to_vec();
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for i in (1..s.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let j = (state % (i as u64 + 1)) as usize;
+            s.swap(i, j);
+            l.swap(i, j);
+        }
+        (s, l)
+    }
+}

@@ -1,0 +1,45 @@
+//! Mini-batch index iteration.
+
+use rand::Rng;
+use targad_linalg::rng as lrng;
+
+/// Splits `0..n` into shuffled mini-batches of size `batch_size` (last batch
+/// may be smaller). A fresh call per epoch gives a fresh shuffle.
+///
+/// # Panics
+/// Panics if `batch_size == 0`.
+pub fn shuffled_batches(rng: &mut impl Rng, n: usize, batch_size: usize) -> Vec<Vec<usize>> {
+    assert!(batch_size > 0, "shuffled_batches: batch_size must be positive");
+    let perm = lrng::permutation(rng, n);
+    perm.chunks(batch_size).map(|c| c.to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let mut rng = lrng::seeded(1);
+        let batches = shuffled_batches(&mut rng, 103, 10);
+        assert_eq!(batches.len(), 11);
+        assert_eq!(batches.last().unwrap().len(), 3);
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..103).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_gives_no_batches() {
+        let mut rng = lrng::seeded(2);
+        assert!(shuffled_batches(&mut rng, 0, 8).is_empty());
+    }
+
+    #[test]
+    fn batch_larger_than_n_is_one_batch() {
+        let mut rng = lrng::seeded(3);
+        let batches = shuffled_batches(&mut rng, 5, 100);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].len(), 5);
+    }
+}

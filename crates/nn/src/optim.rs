@@ -1,0 +1,201 @@
+//! First-order optimizers.
+//!
+//! The paper trains everything with Adam (§IV-C); SGD is provided for the
+//! optimizer ablation bench.
+
+use targad_autograd::VarStore;
+use targad_linalg::Matrix;
+
+/// A gradient-based parameter updater over a [`VarStore`].
+pub trait Optimizer {
+    /// Applies one update step using the gradients accumulated in `store`.
+    fn step(&mut self, store: &mut VarStore);
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+pub struct Sgd {
+    lr: f64,
+    momentum: f64,
+    velocity: Vec<Matrix>,
+}
+
+impl Sgd {
+    /// SGD with learning rate `lr` and no momentum.
+    pub fn new(lr: f64) -> Self {
+        Self::with_momentum(lr, 0.0)
+    }
+
+    /// SGD with learning rate `lr` and momentum `momentum`.
+    pub fn with_momentum(lr: f64, momentum: f64) -> Self {
+        Self { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut VarStore) {
+        let lr = self.lr;
+        let mu = self.momentum;
+        let velocity = &mut self.velocity;
+        let mut i = 0;
+        store.update_each(|value, grad| {
+            if velocity.len() <= i {
+                velocity.push(Matrix::zeros(value.rows(), value.cols()));
+            }
+            let v = &mut velocity[i];
+            if mu != 0.0 {
+                v.map_inplace(|x| x * mu);
+                v.add_scaled_inplace(grad, 1.0);
+                value.add_scaled_inplace(v, -lr);
+            } else {
+                value.add_scaled_inplace(grad, -lr);
+            }
+            i += 1;
+        });
+    }
+}
+
+/// Adaptive Moment Estimation (Kingma & Ba), the optimizer used for both the
+/// autoencoders and the classifier in the paper (§IV-C).
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Adam with default `β₁ = 0.9`, `β₂ = 0.999`, `ε = 1e-8`.
+    pub fn new(lr: f64) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Adam with explicit hyper-parameters.
+    pub fn with_params(lr: f64, beta1: f64, beta2: f64, eps: f64) -> Self {
+        Self { lr, beta1, beta2, eps, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// The configured learning rate.
+    pub fn lr(&self) -> f64 {
+        self.lr
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut VarStore) {
+        self.t += 1;
+        let (b1, b2, eps) = (self.beta1, self.beta2, self.eps);
+        let bias1 = 1.0 - b1.powi(self.t as i32);
+        let bias2 = 1.0 - b2.powi(self.t as i32);
+        let lr_t = self.lr * bias2.sqrt() / bias1;
+        let (m, v) = (&mut self.m, &mut self.v);
+        let mut i = 0;
+        store.update_each(|value, grad| {
+            if m.len() <= i {
+                m.push(Matrix::zeros(value.rows(), value.cols()));
+                v.push(Matrix::zeros(value.rows(), value.cols()));
+            }
+            let mi = &mut m[i];
+            let vi = &mut v[i];
+            for ((mm, vv), (&g, val)) in mi
+                .as_mut_slice()
+                .iter_mut()
+                .zip(vi.as_mut_slice())
+                .zip(grad.as_slice().iter().zip(value.as_mut_slice()))
+            {
+                *mm = b1 * *mm + (1.0 - b1) * g;
+                *vv = b2 * *vv + (1.0 - b2) * g * g;
+                *val -= lr_t * *mm / (vv.sqrt() + eps);
+            }
+            i += 1;
+        });
+    }
+}
+
+/// Rescales gradients in `store` so their global L2 norm is at most
+/// `max_norm`. Returns the pre-clipping norm.
+pub fn clip_grad_norm(store: &mut VarStore, max_norm: f64) -> f64 {
+    let norm = store.grad_norm();
+    if norm > max_norm && norm > 0.0 {
+        store.scale_grads(max_norm / norm);
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use targad_autograd::Tape;
+
+    /// Minimizes `(w - 3)^2` and expects convergence to 3.
+    fn converges_to_three(opt: &mut dyn Optimizer, steps: usize) -> f64 {
+        let mut vs = VarStore::new();
+        let w = vs.add(Matrix::from_vec(1, 1, vec![0.0]));
+        for _ in 0..steps {
+            vs.zero_grads();
+            let mut t = Tape::new();
+            let wv = t.param(&vs, w);
+            let shifted = t.add_scalar(wv, -3.0);
+            let sq = t.square(shifted);
+            let loss = t.mean_all(sq);
+            t.backward(loss, &mut vs);
+            opt.step(&mut vs);
+        }
+        vs.value(w)[(0, 0)]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let w = converges_to_three(&mut opt, 200);
+        assert!((w - 3.0).abs() < 1e-6, "w = {w}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut opt = Sgd::with_momentum(0.05, 0.9);
+        let w = converges_to_three(&mut opt, 200);
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        let w = converges_to_three(&mut opt, 500);
+        assert!((w - 3.0).abs() < 1e-4, "w = {w}");
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction the very first Adam step has magnitude ≈ lr.
+        let mut vs = VarStore::new();
+        let w = vs.add(Matrix::from_vec(1, 1, vec![0.0]));
+        let mut t = Tape::new();
+        let wv = t.param(&vs, w);
+        let scaled = t.scale(wv, 5.0); // dL/dw = 5
+        let loss = t.mean_all(scaled);
+        t.backward(loss, &mut vs);
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut vs);
+        assert!((vs.value(w)[(0, 0)] + 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clip_grad_norm_caps_large_gradients() {
+        let mut vs = VarStore::new();
+        let id = vs.add(Matrix::zeros(1, 2));
+        vs.update_each(|_, _| {});
+        // Inject a gradient of norm 5 via a fake backward.
+        let mut t = Tape::new();
+        let wv = t.param(&vs, id);
+        let target = t.input(Matrix::from_vec(1, 2, vec![-3.0, -4.0]));
+        let prod = t.mul(wv, target);
+        let loss = t.sum_all(prod);
+        t.backward(loss, &mut vs);
+        let pre = clip_grad_norm(&mut vs, 1.0);
+        assert!((pre - 5.0).abs() < 1e-12);
+        assert!((vs.grad_norm() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests: small nets must be trainable on random regression
+//! problems, and training must strictly reduce the loss for benign
+//! configurations.
+
+use proptest::prelude::*;
+use targad_autograd::{Tape, VarStore};
+use targad_linalg::{rng as lrng, Matrix};
+use targad_nn::{Activation, Adam, Mlp, Optimizer, Sgd};
+
+fn mse_loss(mlp: &Mlp, store: &VarStore, x: &Matrix, y: &Matrix) -> f64 {
+    let pred = mlp.eval(store, x);
+    (&pred - y).sq_norm() / (y.rows() as f64 * y.cols() as f64)
+}
+
+fn train_steps(
+    mlp: &Mlp,
+    store: &mut VarStore,
+    opt: &mut dyn Optimizer,
+    x: &Matrix,
+    y: &Matrix,
+    steps: usize,
+) {
+    for _ in 0..steps {
+        store.zero_grads();
+        let mut tape = Tape::new();
+        let xv = tape.input(x.clone());
+        let yv = tape.input(y.clone());
+        let pred = mlp.forward(&mut tape, store, xv);
+        let loss = tape.mse(pred, yv);
+        tape.backward(loss, store);
+        opt.step(store);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Adam reduces the loss of a random linear-regression problem.
+    #[test]
+    fn adam_reduces_regression_loss(seed in 0u64..100_000, hidden in 2usize..8) {
+        let mut rng = lrng::seeded(seed);
+        let x = lrng::normal_matrix(&mut rng, 24, 3, 0.0, 1.0);
+        let true_w = lrng::normal_matrix(&mut rng, 3, 2, 0.0, 1.0);
+        let y = x.matmul(&true_w);
+
+        let mut store = VarStore::new();
+        let mlp = Mlp::new(&mut store, &mut rng, &[3, hidden, 2], Activation::Tanh, Activation::None);
+        let before = mse_loss(&mlp, &store, &x, &y);
+        let mut opt = Adam::new(1e-2);
+        train_steps(&mlp, &mut store, &mut opt, &x, &y, 150);
+        let after = mse_loss(&mlp, &store, &x, &y);
+        prop_assert!(after < before * 0.8, "before {before}, after {after}");
+        prop_assert!(after.is_finite());
+    }
+
+    /// SGD also makes progress (slower is fine).
+    #[test]
+    fn sgd_reduces_regression_loss(seed in 0u64..100_000) {
+        let mut rng = lrng::seeded(seed);
+        let x = lrng::normal_matrix(&mut rng, 16, 2, 0.0, 1.0);
+        let y = x.map(|v| v * 0.5);
+        let y = Matrix::from_vec(16, 2, y.as_slice().to_vec());
+
+        let mut store = VarStore::new();
+        let mlp = Mlp::new(&mut store, &mut rng, &[2, 2], Activation::None, Activation::None);
+        let before = mse_loss(&mlp, &store, &x, &y);
+        let mut opt = Sgd::new(5e-2);
+        train_steps(&mlp, &mut store, &mut opt, &x, &y, 200);
+        let after = mse_loss(&mlp, &store, &x, &y);
+        prop_assert!(after < before, "before {before}, after {after}");
+    }
+
+    /// forward() on the tape and eval() off-tape always agree.
+    #[test]
+    fn tape_and_eval_agree(seed in 0u64..100_000, rows in 1usize..10) {
+        let mut rng = lrng::seeded(seed);
+        let mlp_store = &mut VarStore::new();
+        let mlp = Mlp::new(mlp_store, &mut rng, &[4, 5, 3], Activation::Relu, Activation::Sigmoid);
+        let x = lrng::normal_matrix(&mut rng, rows, 4, 0.0, 2.0);
+        let via_eval = mlp.eval(mlp_store, &x);
+        let mut tape = Tape::new();
+        let xv = tape.input(x);
+        let out = mlp.forward(&mut tape, mlp_store, xv);
+        let via_tape = tape.value(out);
+        for (a, b) in via_tape.as_slice().iter().zip(via_eval.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    /// Frozen forward produces the same values but never gradients.
+    #[test]
+    fn frozen_forward_matches_but_keeps_store_clean(seed in 0u64..100_000) {
+        let mut rng = lrng::seeded(seed);
+        let mut store = VarStore::new();
+        let mlp = Mlp::new(&mut store, &mut rng, &[3, 4, 1], Activation::Tanh, Activation::None);
+        let _warmup = lrng::normal_matrix(&mut rng, 5, 3, 0.0, 1.0);
+
+        let mut other = VarStore::new();
+        let probe = other.add(Matrix::ones(5, 3));
+
+        let mut tape = Tape::new();
+        let xv = tape.param(&other, probe);
+        let out = mlp.forward_frozen(&mut tape, &store, xv);
+        let loss = tape.mean_all(out);
+        tape.backward(loss, &mut other);
+
+        // Gradient flowed to the probe parameter…
+        prop_assert!(other.grad(probe).sq_norm() > 0.0);
+        // …and the frozen module's own store was never touched.
+        prop_assert!(store.ids().all(|id| store.grad(id).sq_norm() == 0.0));
+        // Values agree with eval.
+        let expected = mlp.eval(&store, &Matrix::ones(5, 3));
+        prop_assert!((tape.value(out).sum() - expected.sum()).abs() < 1e-9);
+    }
+}

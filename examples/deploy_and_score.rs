@@ -1,0 +1,59 @@
+//! Train-once / score-forever deployment: persist the trained classifier
+//! to disk and reload it in a (simulated) scoring service.
+//!
+//! The paper's SQB deployment scores ~150k merchants per day against a
+//! model trained offline; this example shows the snapshot round trip.
+//!
+//! Run with: `cargo run --release --example deploy_and_score`
+
+use targad::core::snapshot;
+use targad::prelude::*;
+
+fn main() {
+    // ---- offline training job ------------------------------------------
+    let bundle = GeneratorSpec::quick_demo().generate(99);
+    let mut model = TargAd::new(TargAdConfig::fast());
+    model.fit(&bundle.train, 99).expect("training succeeds");
+    let clf = model.classifier().expect("fitted");
+
+    let path = std::env::temp_dir().join("targad_deployed_model.txt");
+    snapshot::save(clf, &path).expect("persist classifier");
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "trained classifier persisted to {} ({bytes} bytes, dims {:?}, m={} k={})",
+        path.display(),
+        clf.layer_dims(),
+        clf.m(),
+        clf.k()
+    );
+
+    // ---- scoring service (separate process in real life) ----------------
+    let restored = snapshot::load(&path).expect("reload classifier");
+    let scores = restored.target_scores(&bundle.test.features);
+    let original = clf.target_scores(&bundle.test.features);
+    assert_eq!(scores, original, "snapshot must preserve scores bit-exactly");
+
+    let labels = bundle.test.target_labels();
+    println!(
+        "restored model: target AUPRC {:.3}, AUROC {:.3} on {} streamed instances",
+        average_precision(&scores, &labels),
+        auroc(&scores, &labels),
+        scores.len()
+    );
+
+    // Daily triage: everything above a fixed operating threshold goes to
+    // the analyst queue.
+    let threshold = 0.8;
+    let flagged = scores.iter().filter(|&&s| s >= threshold).count();
+    let hits = scores
+        .iter()
+        .zip(&labels)
+        .filter(|(&s, &l)| s >= threshold && l)
+        .count();
+    println!(
+        "operating point {threshold}: {flagged} flagged, {hits} true target anomalies \
+         (precision {:.0}%)",
+        100.0 * hits as f64 / flagged.max(1) as f64
+    );
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,53 @@
+//! Quickstart: generate a small benchmark, train TargAD, and evaluate its
+//! target-anomaly ranking against an unsupervised baseline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use targad::baselines::{Detector, IForest, TrainView};
+use targad::prelude::*;
+
+fn main() {
+    // A seeded benchmark: 2 hidden normal groups, 2 target anomaly classes
+    // (what we care about), 2 non-target anomaly classes (noise we don't).
+    let spec = GeneratorSpec::quick_demo();
+    let bundle = spec.generate(7);
+    println!(
+        "train: {} instances ({} labeled target anomalies), test: {}",
+        bundle.train.len(),
+        bundle.train.summary().labeled_target,
+        bundle.test.len()
+    );
+
+    // Fit TargAD. `fast()` is a small configuration for demos;
+    // `TargAdConfig::paper()` mirrors §IV-C of the paper.
+    let mut model = TargAd::new(TargAdConfig::fast());
+    model.fit(&bundle.train, 7).expect("training succeeds");
+
+    // Score the test set: S^tar(x) = max_{j<=m} p_j(x)  (Eq. 9).
+    let scores = model.score_dataset(&bundle.test);
+    let labels = bundle.test.target_labels();
+    println!(
+        "TargAD   target AUPRC {:.3}, AUROC {:.3}",
+        average_precision(&scores, &labels),
+        auroc(&scores, &labels)
+    );
+
+    // Compare with isolation forest, which cannot tell target anomalies
+    // from non-target ones.
+    let mut forest = IForest::default();
+    forest.fit(&TrainView::from_dataset(&bundle.train), 7);
+    let forest_scores = forest.score(&bundle.test.features);
+    println!(
+        "iForest  target AUPRC {:.3}, AUROC {:.3}",
+        average_precision(&forest_scores, &labels),
+        auroc(&forest_scores, &labels)
+    );
+
+    // Where does the difference come from? iForest also ranks *non-target*
+    // anomalies high — false positives for the analyst.
+    let anomaly_labels = bundle.test.anomaly_labels();
+    println!(
+        "iForest  any-anomaly AUROC {:.3}  (it detects anomalies fine — just not the right ones)",
+        auroc(&forest_scores, &anomaly_labels)
+    );
+}

@@ -1,0 +1,37 @@
+//! # targad — target-class anomaly detection
+//!
+//! A from-scratch Rust reproduction of **TargAD** (ICDE 2024): *"A Robust
+//! Prioritized Anomaly Detection when Not All Anomalies are of Primary
+//! Interest"*. This facade crate re-exports the whole workspace and provides
+//! a [`prelude`] for the common workflow:
+//!
+//! ```
+//! use targad::prelude::*;
+//!
+//! // A small seeded benchmark with 2 target / 2 non-target anomaly classes.
+//! let spec = GeneratorSpec::quick_demo();
+//! let bundle = spec.generate(7);
+//! let mut model = TargAd::new(TargAdConfig::fast());
+//! model.fit(&bundle.train, 7).expect("training succeeds");
+//! let scores = model.score_matrix(&bundle.test.features);
+//! let auprc = average_precision(&scores, &bundle.test.target_labels());
+//! assert!(auprc > 0.0);
+//! ```
+
+pub use targad_autograd as autograd;
+pub use targad_baselines as baselines;
+pub use targad_cluster as cluster;
+pub use targad_core as core;
+pub use targad_data as data;
+pub use targad_linalg as linalg;
+pub use targad_metrics as metrics;
+pub use targad_nn as nn;
+
+/// The common import surface for examples, tests, and downstream users.
+pub mod prelude {
+    pub use targad_baselines::{Detector, TrainView};
+    pub use targad_core::{OodStrategy, TargAd, TargAdConfig};
+    pub use targad_data::{Dataset, DatasetBundle, GeneratorSpec, Preset, SplitCounts, Truth};
+    pub use targad_linalg::Matrix;
+    pub use targad_metrics::{auroc, average_precision};
+}

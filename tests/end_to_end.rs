@@ -1,0 +1,101 @@
+//! Cross-crate integration tests: the full TargAD pipeline (data →
+//! clustering → autoencoders → classifier → metrics) against the paper's
+//! headline claims.
+
+use targad::baselines::{Detector, IForest, TrainView};
+use targad::prelude::*;
+
+fn fitted(seed: u64) -> (TargAd, DatasetBundle) {
+    let bundle = GeneratorSpec::quick_demo().generate(seed);
+    let mut model = TargAd::new(TargAdConfig::fast());
+    model.fit(&bundle.train, seed).expect("fit succeeds");
+    (model, bundle)
+}
+
+#[test]
+fn targad_beats_unsupervised_baseline_on_target_auprc() {
+    let (model, bundle) = fitted(7);
+    let labels = bundle.test.target_labels();
+    let targad_ap = average_precision(&model.score_dataset(&bundle.test), &labels);
+
+    let mut forest = IForest::default();
+    forest.fit(&TrainView::from_dataset(&bundle.train), 7);
+    let forest_ap = average_precision(&forest.score(&bundle.test.features), &labels);
+
+    assert!(
+        targad_ap > forest_ap + 0.2,
+        "TargAD {targad_ap:.3} should clearly beat iForest {forest_ap:.3}"
+    );
+}
+
+#[test]
+fn targad_suppresses_non_target_anomalies() {
+    // Core claim: among anomalies, target ones outrank non-target ones.
+    let (model, bundle) = fitted(8);
+    let scores = model.score_dataset(&bundle.test);
+    let three = bundle.test.three_way_labels();
+    let mean = |code: usize| {
+        let v: Vec<f64> = scores
+            .iter()
+            .zip(&three)
+            .filter(|(_, &t)| t == code)
+            .map(|(&s, _)| s)
+            .collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    let (normal, target, non_target) = (mean(0), mean(1), mean(2));
+    assert!(
+        target > non_target + 0.05,
+        "target mean {target:.3} vs non-target mean {non_target:.3}"
+    );
+    assert!(target > normal, "target mean {target:.3} vs normal mean {normal:.3}");
+}
+
+#[test]
+fn robust_to_novel_non_target_types() {
+    // Fig. 4a in miniature: hold out one non-target class from training.
+    let mut spec = GeneratorSpec::quick_demo();
+    spec.train_non_target_classes = Some(vec![0]); // class 1 is novel
+    let bundle = spec.generate(9);
+    let mut model = TargAd::new(TargAdConfig::fast());
+    model.fit(&bundle.train, 9).expect("fit succeeds");
+    let labels = bundle.test.target_labels();
+    let ap = average_precision(&model.score_dataset(&bundle.test), &labels);
+    let prevalence = labels.iter().filter(|&&l| l).count() as f64 / labels.len() as f64;
+    assert!(ap > 5.0 * prevalence, "AP {ap:.3} vs prevalence {prevalence:.3}");
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let (a, bundle) = fitted(10);
+    let (b, _) = fitted(10);
+    assert_eq!(a.score_dataset(&bundle.test), b.score_dataset(&bundle.test));
+}
+
+#[test]
+fn validation_performance_transfers_to_test() {
+    // Val and test are drawn from the same geometry, so a model good on
+    // one must be good on the other (guards against split leakage bugs).
+    let (model, bundle) = fitted(11);
+    let val_ap = average_precision(
+        &model.score_dataset(&bundle.val),
+        &bundle.val.target_labels(),
+    );
+    let test_ap = average_precision(
+        &model.score_dataset(&bundle.test),
+        &bundle.test.target_labels(),
+    );
+    assert!((val_ap - test_ap).abs() < 0.3, "val {val_ap:.3} vs test {test_ap:.3}");
+    assert!(val_ap > 0.5 && test_ap > 0.5);
+}
+
+#[test]
+fn history_supports_figure_reproduction() {
+    let (model, _) = fitted(12);
+    let h = model.history();
+    // Fig. 3a needs the loss curve, Fig. 5 the weight telemetry.
+    assert_eq!(h.clf_loss.len(), model.config().clf_epochs);
+    assert_eq!(h.weight_means.len(), model.config().clf_epochs);
+    assert!(!h.final_weights.is_empty());
+    assert!(h.clf_loss.iter().all(|l| l.is_finite()));
+}

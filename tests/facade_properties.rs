@@ -1,0 +1,58 @@
+//! Property tests over the public facade: random benchmark specs must
+//! produce structurally valid bundles and models with sane score ranges.
+
+use proptest::prelude::*;
+use targad::prelude::*;
+
+fn small_spec_strategy() -> impl Strategy<Value = GeneratorSpec> {
+    (
+        4usize..16,   // dims
+        1usize..3,    // normal groups
+        1usize..3,    // target classes
+        0usize..3,    // non-target classes
+        0.02f64..0.12, // contamination
+    )
+        .prop_map(|(dims, groups, targets, non_targets, contamination)| {
+            let mut spec = GeneratorSpec::quick_demo();
+            spec.dims = dims;
+            spec.normal_groups = groups;
+            spec.target_classes = targets;
+            spec.non_target_classes = non_targets;
+            spec.contamination = contamination;
+            spec.train_unlabeled = 200;
+            spec.labeled_per_class = 5;
+            spec.val_counts = SplitCounts { normal: 40, target: 8, non_target: 4 * non_targets };
+            spec.test_counts = SplitCounts { normal: 60, target: 10, non_target: 5 * non_targets };
+            spec
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every random spec yields consistent splits in [0,1]^D.
+    #[test]
+    fn random_specs_generate_valid_bundles(spec in small_spec_strategy(), seed in 0u64..1000) {
+        let bundle = spec.generate(seed);
+        for split in [&bundle.train, &bundle.val, &bundle.test] {
+            prop_assert_eq!(split.dims(), spec.dims);
+            prop_assert!(split.features.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+            prop_assert_eq!(split.truth.len(), split.len());
+        }
+        prop_assert_eq!(bundle.train.summary().labeled_target, spec.labeled_total());
+    }
+
+    /// TargAD scores are always valid probabilities on any spec it accepts.
+    #[test]
+    fn scores_are_probabilities(spec in small_spec_strategy(), seed in 0u64..100) {
+        let bundle = spec.generate(seed);
+        let mut cfg = TargAdConfig::fast();
+        cfg.ae_epochs = 3;
+        cfg.clf_epochs = 4;
+        cfg.k = Some(spec.normal_groups);
+        let mut model = TargAd::new(cfg);
+        model.fit(&bundle.train, seed).expect("fit");
+        let scores = model.score_dataset(&bundle.test);
+        prop_assert!(scores.iter().all(|&s| s.is_finite() && (0.0..=1.0).contains(&s)));
+    }
+}

@@ -1,0 +1,44 @@
+//! Dataset persistence integration: CSV round-trips must preserve the
+//! training outcome exactly.
+
+use targad::data::csvio;
+use targad::prelude::*;
+
+#[test]
+fn csv_round_trip_preserves_training_outcome() {
+    let bundle = GeneratorSpec::quick_demo().generate(31);
+    let dir = std::env::temp_dir().join("targad_persistence_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("train.csv");
+    csvio::save_csv(&bundle.train, &path).expect("save");
+    let reloaded = csvio::load_csv(&path).expect("load");
+
+    let mut fast = TargAdConfig::fast();
+    fast.clf_epochs = 10;
+    fast.ae_epochs = 5;
+
+    let mut original = TargAd::new(fast.clone());
+    original.fit(&bundle.train, 1).expect("fit original");
+    let mut roundtrip = TargAd::new(fast);
+    roundtrip.fit(&reloaded, 1).expect("fit reloaded");
+
+    let a = original.score_dataset(&bundle.test);
+    let b = roundtrip.score_dataset(&bundle.test);
+    for (x, y) in a.iter().zip(&b) {
+        assert!((x - y).abs() < 1e-9, "scores diverged after CSV round trip");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn all_splits_serialize() {
+    let bundle = GeneratorSpec::quick_demo().generate(32);
+    for (name, split) in
+        [("train", &bundle.train), ("val", &bundle.val), ("test", &bundle.test)]
+    {
+        let text = csvio::to_csv_string(split);
+        let back = csvio::from_csv_string(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(back.len(), split.len(), "{name}");
+        assert_eq!(back.truth, split.truth, "{name}");
+    }
+}
