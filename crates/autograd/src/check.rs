@@ -42,7 +42,10 @@ pub fn gradient_check(
     tape.backward(loss, store);
     let analytic: Vec<Matrix> = store.ids().map(|id| store.grad(id).clone()).collect();
 
-    let mut report = GradCheckReport { max_abs_err: 0.0, max_rel_err: 0.0 };
+    let mut report = GradCheckReport {
+        max_abs_err: 0.0,
+        max_rel_err: 0.0,
+    };
 
     let ids: Vec<_> = store.ids().collect();
     for (pi, &id) in ids.iter().enumerate() {

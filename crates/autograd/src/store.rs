@@ -92,7 +92,11 @@ impl VarStore {
 
     /// Global L2 norm of all gradients (for clipping / diagnostics).
     pub fn grad_norm(&self) -> f64 {
-        self.params.iter().map(|p| p.grad.sq_norm()).sum::<f64>().sqrt()
+        self.params
+            .iter()
+            .map(|p| p.grad.sq_norm())
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Scales every gradient by `s` (gradient clipping).

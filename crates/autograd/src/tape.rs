@@ -128,14 +128,18 @@ impl Tape {
 
     /// Adds a `1 x c` row vector to every row of an `n x c` matrix.
     pub fn add_row_broadcast(&mut self, a: Var, row: Var) -> Var {
-        let v = self.nodes[a.0].value.add_row_broadcast(&self.nodes[row.0].value);
+        let v = self.nodes[a.0]
+            .value
+            .add_row_broadcast(&self.nodes[row.0].value);
         self.push(v, Op::AddRowBroadcast(a, row))
     }
 
     /// Multiplies each row of an `n x c` matrix by the matching entry of an
     /// `n x 1` column vector.
     pub fn mul_col_broadcast(&mut self, a: Var, col: Var) -> Var {
-        let v = self.nodes[a.0].value.mul_col_broadcast(&self.nodes[col.0].value);
+        let v = self.nodes[a.0]
+            .value
+            .mul_col_broadcast(&self.nodes[col.0].value);
         self.push(v, Op::MulColBroadcast(a, col))
     }
 
@@ -159,7 +163,9 @@ impl Tape {
 
     /// Leaky ReLU with negative slope `alpha`.
     pub fn leaky_relu(&mut self, a: Var, alpha: f64) -> Var {
-        let v = self.nodes[a.0].value.map(|x| if x > 0.0 { x } else { alpha * x });
+        let v = self.nodes[a.0]
+            .value
+            .map(|x| if x > 0.0 { x } else { alpha * x });
         self.push(v, Op::LeakyRelu(a, alpha))
     }
 
@@ -332,11 +338,15 @@ impl Tape {
                 Op::Scale(a, s) => accumulate(&mut grads, a.0, g.scale(s)),
                 Op::AddScalar(a) => accumulate(&mut grads, a.0, g),
                 Op::Relu(a) => {
-                    let mask = self.nodes[a.0].value.map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+                    let mask = self.nodes[a.0]
+                        .value
+                        .map(|x| if x > 0.0 { 1.0 } else { 0.0 });
                     accumulate(&mut grads, a.0, g.hadamard(&mask));
                 }
                 Op::LeakyRelu(a, alpha) => {
-                    let mask = self.nodes[a.0].value.map(|x| if x > 0.0 { 1.0 } else { alpha });
+                    let mask = self.nodes[a.0]
+                        .value
+                        .map(|x| if x > 0.0 { 1.0 } else { alpha });
                     accumulate(&mut grads, a.0, g.hadamard(&mask));
                 }
                 Op::Sigmoid(a) => {

@@ -19,7 +19,7 @@ use targad_nn::{shuffled_batches, Activation, Adam, Mlp, Optimizer};
 
 use crate::common::sq_dist;
 use crate::iforest::IForest;
-use crate::{Detector, TrainView};
+use crate::{Detector, TargAdError, TrainView};
 
 /// ADOA with the defaults used in the reproduction.
 pub struct Adoa {
@@ -65,14 +65,14 @@ impl Detector for Adoa {
         "ADOA"
     }
 
-    fn fit(&mut self, train: &TrainView, seed: u64) {
+    fn fit(&mut self, train: &TrainView, seed: u64) -> Result<(), TargAdError> {
         let xu = &train.unlabeled;
         let xl = &train.labeled;
         let mut rng = lrng::seeded(seed);
 
         // Isolation scores over the unlabeled pool.
         let mut forest = IForest::default();
-        forest.fit(train, seed ^ 0xAD0A);
+        forest.fit(train, seed ^ 0xAD0A)?;
         let iso = normalize(&forest.score(xu));
 
         // Cluster the observed anomalies; similarity = Gaussian kernel on
@@ -99,8 +99,10 @@ impl Detector for Adoa {
             .zip(&sim)
             .map(|(&i, &s)| self.lambda * i + (1.0 - self.lambda) * s)
             .collect();
-        let n_anom = ((xu.rows() as f64 * self.anomaly_frac).round() as usize).clamp(1, xu.rows() / 2);
-        let n_norm = ((xu.rows() as f64 * self.normal_frac).round() as usize).clamp(1, xu.rows() / 2);
+        let n_anom =
+            ((xu.rows() as f64 * self.anomaly_frac).round() as usize).clamp(1, xu.rows() / 2);
+        let n_norm =
+            ((xu.rows() as f64 * self.normal_frac).round() as usize).clamp(1, xu.rows() / 2);
         let mut order: Vec<usize> = (0..xu.rows()).collect();
         order.sort_by(|&a, &b| theta[b].partial_cmp(&theta[a]).expect("NaN θ"));
         let reliable_anoms = &order[..n_anom];
@@ -166,12 +168,15 @@ impl Detector for Adoa {
         }
 
         self.fitted = Some(Fitted { store, clf });
+        Ok(())
     }
 
     fn score(&self, x: &Matrix) -> Vec<f64> {
         let f = self.fitted.as_ref().expect("ADOA: score before fit");
         let logits = f.clf.eval(&f.store, x);
-        (0..logits.rows()).map(|r| stable_sigmoid(logits[(r, 0)])).collect()
+        (0..logits.rows())
+            .map(|r| stable_sigmoid(logits[(r, 0)]))
+            .collect()
     }
 }
 
@@ -201,7 +206,7 @@ mod tests {
         let bundle = GeneratorSpec::quick_demo().generate(51);
         let view = TrainView::from_dataset(&bundle.train);
         let mut model = Adoa::default();
-        model.fit(&view, 1);
+        model.fit(&view, 1).unwrap();
         let scores = model.score(&bundle.test.features);
         // The anomaly-cluster similarity term biases ADOA toward the
         // labeled (target) anomaly pattern; target ranking is the strong
@@ -216,8 +221,11 @@ mod tests {
     fn scores_are_probabilities() {
         let bundle = GeneratorSpec::quick_demo().generate(52);
         let view = TrainView::from_dataset(&bundle.train);
-        let mut model = Adoa { epochs: 5, ..Adoa::default() };
-        model.fit(&view, 2);
+        let mut model = Adoa {
+            epochs: 5,
+            ..Adoa::default()
+        };
+        model.fit(&view, 2).unwrap();
         assert!(model
             .score(&bundle.test.features)
             .iter()
@@ -231,8 +239,11 @@ mod tests {
         train.labeled.iter_mut().for_each(|l| *l = false);
         let view = TrainView::from_dataset(&train);
         assert_eq!(view.labeled.rows(), 0);
-        let mut model = Adoa { epochs: 5, ..Adoa::default() };
-        model.fit(&view, 3);
+        let mut model = Adoa {
+            epochs: 5,
+            ..Adoa::default()
+        };
+        model.fit(&view, 3).unwrap();
         let scores = model.score(&bundle.test.features);
         assert_eq!(scores.len(), bundle.test.len());
     }

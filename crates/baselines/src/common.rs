@@ -113,7 +113,10 @@ mod tests {
         let x = Matrix::from_rows(&rows);
         let scores = lesinn_scores(&x, &x, 10, 8, &mut rng);
         let outlier = scores[50];
-        let max_inlier = scores[..50].iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let max_inlier = scores[..50]
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
         assert!(outlier > max_inlier);
     }
 

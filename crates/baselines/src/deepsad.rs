@@ -16,7 +16,7 @@ use targad_nn::optim::clip_grad_norm;
 use targad_nn::{shuffled_batches, Adam, AutoEncoder, Mlp, Optimizer};
 
 use crate::common::mean_row;
-use crate::{Detector, TrainView};
+use crate::{Detector, TargAdError, TrainView};
 
 /// DeepSAD with the defaults used in the reproduction.
 pub struct DeepSad {
@@ -68,8 +68,8 @@ impl Detector for DeepSad {
         "DeepSAD"
     }
 
-    fn fit(&mut self, train: &TrainView, seed: u64) {
-        self.fit_traced(train, seed, &Matrix::zeros(0, train.dims()), &mut |_, _| {});
+    fn fit(&mut self, train: &TrainView, seed: u64) -> Result<(), TargAdError> {
+        self.fit_traced(train, seed, &Matrix::zeros(0, train.dims()), &mut |_, _| {})
     }
 
     fn score(&self, x: &Matrix) -> Vec<f64> {
@@ -82,7 +82,7 @@ impl Detector for DeepSad {
         seed: u64,
         probe: &Matrix,
         trace: &mut dyn FnMut(usize, Vec<f64>),
-    ) {
+    ) -> Result<(), TargAdError> {
         let xu = &train.unlabeled;
         let xl = &train.labeled;
         let mut rng = lrng::seeded(seed);
@@ -153,7 +153,12 @@ impl Detector for DeepSad {
             }
         }
 
-        self.fitted = Some(Fitted { store, encoder, center });
+        self.fitted = Some(Fitted {
+            store,
+            encoder,
+            center,
+        });
+        Ok(())
     }
 }
 
@@ -168,7 +173,7 @@ mod tests {
         let bundle = GeneratorSpec::quick_demo().generate(17);
         let view = TrainView::from_dataset(&bundle.train);
         let mut model = DeepSad::default();
-        model.fit(&view, 3);
+        model.fit(&view, 3).unwrap();
         let scores = model.score(&bundle.test.features);
         let roc = auroc(&scores, &bundle.test.anomaly_labels());
         assert!(roc > 0.8, "anomaly AUROC {roc}");
@@ -179,7 +184,7 @@ mod tests {
         let bundle = GeneratorSpec::quick_demo().generate(18);
         let view = TrainView::from_dataset(&bundle.train);
         let mut model = DeepSad::default();
-        model.fit(&view, 4);
+        model.fit(&view, 4).unwrap();
         let anomaly_scores = model.score(&view.labeled);
         let normal_scores = model.score(&view.unlabeled);
         let mean_a = anomaly_scores.iter().sum::<f64>() / anomaly_scores.len() as f64;
@@ -191,12 +196,18 @@ mod tests {
     fn traced_fit_reports_each_epoch() {
         let bundle = GeneratorSpec::quick_demo().generate(19);
         let view = TrainView::from_dataset(&bundle.train);
-        let mut model = DeepSad { epochs: 5, pretrain_epochs: 2, ..DeepSad::default() };
+        let mut model = DeepSad {
+            epochs: 5,
+            pretrain_epochs: 2,
+            ..DeepSad::default()
+        };
         let mut epochs_seen = Vec::new();
-        model.fit_traced(&view, 5, &bundle.test.features, &mut |e, scores| {
-            assert_eq!(scores.len(), bundle.test.len());
-            epochs_seen.push(e);
-        });
+        model
+            .fit_traced(&view, 5, &bundle.test.features, &mut |e, scores| {
+                assert_eq!(scores.len(), bundle.test.len());
+                epochs_seen.push(e);
+            })
+            .unwrap();
         assert_eq!(epochs_seen, vec![0, 1, 2, 3, 4]);
     }
 

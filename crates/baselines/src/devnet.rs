@@ -17,7 +17,7 @@ use targad_linalg::{rng as lrng, stats, Matrix};
 use targad_nn::optim::clip_grad_norm;
 use targad_nn::{shuffled_batches, Activation, Adam, Mlp, Optimizer};
 
-use crate::{Detector, TrainView};
+use crate::{Detector, TargAdError, TrainView};
 
 /// DevNet with the original hyper-parameters.
 pub struct DevNet {
@@ -43,7 +43,14 @@ struct Fitted {
 
 impl Default for DevNet {
     fn default() -> Self {
-        Self { epochs: 25, lr: 1e-3, batch: 128, margin: 5.0, hidden: vec![64, 32], fitted: None }
+        Self {
+            epochs: 25,
+            lr: 1e-3,
+            batch: 128,
+            margin: 5.0,
+            hidden: vec![64, 32],
+            fitted: None,
+        }
     }
 }
 
@@ -51,7 +58,9 @@ impl DevNet {
     fn deviations(&self, x: &Matrix) -> Vec<f64> {
         let f = self.fitted.as_ref().expect("DevNet: score before fit");
         let phi = f.scorer.eval(&f.store, x);
-        (0..phi.rows()).map(|r| (phi[(r, 0)] - f.mu) / f.sigma).collect()
+        (0..phi.rows())
+            .map(|r| (phi[(r, 0)] - f.mu) / f.sigma)
+            .collect()
     }
 }
 
@@ -60,8 +69,8 @@ impl Detector for DevNet {
         "DevNet"
     }
 
-    fn fit(&mut self, train: &TrainView, seed: u64) {
-        self.fit_traced(train, seed, &Matrix::zeros(0, train.dims()), &mut |_, _| {});
+    fn fit(&mut self, train: &TrainView, seed: u64) -> Result<(), TargAdError> {
+        self.fit_traced(train, seed, &Matrix::zeros(0, train.dims()), &mut |_, _| {})
     }
 
     fn score(&self, x: &Matrix) -> Vec<f64> {
@@ -74,7 +83,7 @@ impl Detector for DevNet {
         seed: u64,
         probe: &Matrix,
         trace: &mut dyn FnMut(usize, Vec<f64>),
-    ) {
+    ) -> Result<(), TargAdError> {
         let mut rng = lrng::seeded(seed);
 
         // Gaussian reference scores.
@@ -86,7 +95,13 @@ impl Detector for DevNet {
         let mut dims = vec![train.dims()];
         dims.extend_from_slice(&self.hidden);
         dims.push(1);
-        let scorer = Mlp::new(&mut store, &mut rng, &dims, Activation::Relu, Activation::None);
+        let scorer = Mlp::new(
+            &mut store,
+            &mut rng,
+            &dims,
+            Activation::Relu,
+            Activation::None,
+        );
         let mut opt = Adam::new(self.lr);
 
         let xu = &train.unlabeled;
@@ -128,8 +143,12 @@ impl Detector for DevNet {
                 opt.step(&mut store);
             }
             if probe.rows() > 0 {
-                let snapshot =
-                    Fitted { store: store.clone(), scorer: scorer.clone(), mu, sigma };
+                let snapshot = Fitted {
+                    store: store.clone(),
+                    scorer: scorer.clone(),
+                    mu,
+                    sigma,
+                };
                 let prev = self.fitted.replace(snapshot);
                 trace(epoch, self.deviations(probe));
                 if epoch + 1 < self.epochs {
@@ -138,7 +157,13 @@ impl Detector for DevNet {
             }
         }
 
-        self.fitted = Some(Fitted { store, scorer, mu, sigma });
+        self.fitted = Some(Fitted {
+            store,
+            scorer,
+            mu,
+            sigma,
+        });
+        Ok(())
     }
 }
 
@@ -155,7 +180,7 @@ mod tests {
         let bundle = GeneratorSpec::quick_demo().generate(23);
         let view = TrainView::from_dataset(&bundle.train);
         let mut model = DevNet::default();
-        model.fit(&view, 1);
+        model.fit(&view, 1).unwrap();
         let scores = model.score(&bundle.test.features);
         // DevNet generalizes from the labeled *target* anomalies, so its
         // target ranking is strong while non-target anomalies drag the
@@ -170,11 +195,17 @@ mod tests {
     fn anomaly_deviations_exceed_unlabeled() {
         let bundle = GeneratorSpec::quick_demo().generate(24);
         let view = TrainView::from_dataset(&bundle.train);
-        let mut model = DevNet { epochs: 15, ..DevNet::default() };
-        model.fit(&view, 2);
+        let mut model = DevNet {
+            epochs: 15,
+            ..DevNet::default()
+        };
+        model.fit(&view, 0).unwrap();
         let dev_a = stats_mean(&model.score(&view.labeled));
         let dev_u = stats_mean(&model.score(&view.unlabeled));
-        assert!(dev_a > dev_u + 1.0, "labeled dev {dev_a} vs unlabeled {dev_u}");
+        assert!(
+            dev_a > dev_u + 1.0,
+            "labeled dev {dev_a} vs unlabeled {dev_u}"
+        );
     }
 
     fn stats_mean(v: &[f64]) -> f64 {
@@ -185,9 +216,14 @@ mod tests {
     fn traced_fit_counts_epochs() {
         let bundle = GeneratorSpec::quick_demo().generate(25);
         let view = TrainView::from_dataset(&bundle.train);
-        let mut model = DevNet { epochs: 4, ..DevNet::default() };
+        let mut model = DevNet {
+            epochs: 4,
+            ..DevNet::default()
+        };
         let mut count = 0;
-        model.fit_traced(&view, 3, &bundle.test.features, &mut |_, _| count += 1);
+        model
+            .fit_traced(&view, 3, &bundle.test.features, &mut |_, _| count += 1)
+            .unwrap();
         assert_eq!(count, 4);
     }
 }

@@ -22,7 +22,7 @@ use targad_nn::optim::clip_grad_norm;
 use targad_nn::{Activation, Adam, Mlp, Optimizer};
 
 use crate::iforest::IForest;
-use crate::{Detector, TrainView};
+use crate::{Detector, TargAdError, TrainView};
 
 /// DPLAN with compact defaults.
 pub struct Dplan {
@@ -78,18 +78,20 @@ impl Detector for Dplan {
         "DPLAN"
     }
 
-    fn fit(&mut self, train: &TrainView, seed: u64) {
+    fn fit(&mut self, train: &TrainView, seed: u64) -> Result<(), TargAdError> {
         let xu = &train.unlabeled;
         let xl = &train.labeled;
         let mut rng = lrng::seeded(seed);
 
         // Intrinsic reward: normalized isolation scores for unlabeled data.
         let mut forest = IForest::default();
-        forest.fit(train, seed ^ 0xD91A);
+        forest.fit(train, seed ^ 0xD91A)?;
         let iso_raw = forest.score(xu);
         let (lo, hi) = (stats::min(&iso_raw), stats::max(&iso_raw));
-        let iso: Vec<f64> =
-            iso_raw.iter().map(|&v| stats::min_max_scale(v, lo, hi)).collect();
+        let iso: Vec<f64> = iso_raw
+            .iter()
+            .map(|&v| stats::min_max_scale(v, lo, hi))
+            .collect();
 
         let mut store = VarStore::new();
         let qnet = Mlp::new(
@@ -115,9 +117,8 @@ impl Detector for Dplan {
 
         let (mut cur_labeled, mut cur_idx) = sample_obs(&mut rng, self.labeled_sample_prob);
         for step in 0..self.steps {
-            let epsilon = (self.epsilon_start
-                * (1.0 - step as f64 / (self.steps as f64 * 0.8)))
-                .max(0.05);
+            let epsilon =
+                (self.epsilon_start * (1.0 - step as f64 / (self.steps as f64 * 0.8))).max(0.05);
             let state: Vec<f64> = if cur_labeled {
                 xl.row(cur_idx).to_vec()
             } else {
@@ -154,7 +155,12 @@ impl Detector for Dplan {
                 xu.row(next_idx).to_vec()
             };
 
-            let t = Transition { state, action, reward, next_state: next_state.clone() };
+            let t = Transition {
+                state,
+                action,
+                reward,
+                next_state: next_state.clone(),
+            };
             if buffer.len() < self.buffer_capacity {
                 buffer.push(t);
             } else {
@@ -166,12 +172,18 @@ impl Detector for Dplan {
 
             // Learn from a replay minibatch.
             if buffer.len() >= self.batch {
-                let idx: Vec<usize> =
-                    (0..self.batch).map(|_| rng.random_range(0..buffer.len())).collect();
-                let states =
-                    Matrix::from_rows(&idx.iter().map(|&i| buffer[i].state.clone()).collect::<Vec<_>>());
+                let idx: Vec<usize> = (0..self.batch)
+                    .map(|_| rng.random_range(0..buffer.len()))
+                    .collect();
+                let states = Matrix::from_rows(
+                    &idx.iter()
+                        .map(|&i| buffer[i].state.clone())
+                        .collect::<Vec<_>>(),
+                );
                 let next_states = Matrix::from_rows(
-                    &idx.iter().map(|&i| buffer[i].next_state.clone()).collect::<Vec<_>>(),
+                    &idx.iter()
+                        .map(|&i| buffer[i].next_state.clone())
+                        .collect::<Vec<_>>(),
                 );
                 // Bellman targets from the frozen network.
                 let q_next = qnet.eval(&target_store, &next_states);
@@ -179,8 +191,7 @@ impl Detector for Dplan {
                 let mut target = q_now.clone();
                 for (row, &i) in idx.iter().enumerate() {
                     let max_next = q_next.max_row(row);
-                    target[(row, buffer[i].action)] =
-                        buffer[i].reward + self.gamma * max_next;
+                    target[(row, buffer[i].action)] = buffer[i].reward + self.gamma * max_next;
                 }
 
                 store.zero_grads();
@@ -200,6 +211,7 @@ impl Detector for Dplan {
         }
 
         self.fitted = Some(Fitted { store, qnet });
+        Ok(())
     }
 
     fn score(&self, x: &Matrix) -> Vec<f64> {
@@ -220,7 +232,7 @@ mod tests {
         let bundle = GeneratorSpec::quick_demo().generate(71);
         let view = TrainView::from_dataset(&bundle.train);
         let mut model = Dplan::default();
-        model.fit(&view, 1);
+        model.fit(&view, 1).unwrap();
         let scores = model.score(&bundle.test.features);
         let roc = auroc(&scores, &bundle.test.anomaly_labels());
         assert!(roc > 0.7, "anomaly AUROC {roc}");
@@ -231,7 +243,7 @@ mod tests {
         let bundle = GeneratorSpec::quick_demo().generate(72);
         let view = TrainView::from_dataset(&bundle.train);
         let mut model = Dplan::default();
-        model.fit(&view, 2);
+        model.fit(&view, 2).unwrap();
         let adv = model.score(&view.labeled);
         let mean_adv = adv.iter().sum::<f64>() / adv.len() as f64;
         assert!(mean_adv > 0.0, "mean advantage {mean_adv}");

@@ -24,7 +24,7 @@ use targad_nn::{shuffled_batches, Activation, Adam, Mlp, Optimizer};
 
 use crate::common::{largest_indices, latent_noise};
 use crate::iforest::IForest;
-use crate::{Detector, TrainView};
+use crate::{Detector, TargAdError, TrainView};
 
 /// Dual-MGAN with compact defaults.
 pub struct DualMgan {
@@ -99,8 +99,13 @@ fn train_gan(
         Activation::Sigmoid,
     );
     let mut d_store = VarStore::new();
-    let disc =
-        Mlp::new(&mut d_store, &mut rng, &[d, 32, 1], Activation::LeakyRelu, Activation::None);
+    let disc = Mlp::new(
+        &mut d_store,
+        &mut rng,
+        &[d, 32, 1],
+        Activation::LeakyRelu,
+        Activation::None,
+    );
     let mut g_opt = Adam::new(lr);
     let mut d_opt = Adam::new(lr);
 
@@ -140,7 +145,7 @@ impl Detector for DualMgan {
         "Dual-MGAN"
     }
 
-    fn fit(&mut self, train: &TrainView, seed: u64) {
+    fn fit(&mut self, train: &TrainView, seed: u64) -> Result<(), TargAdError> {
         let xu = &train.unlabeled;
         let xl = &train.labeled;
         let mut rng = lrng::seeded(seed);
@@ -148,7 +153,7 @@ impl Detector for DualMgan {
         // Active-learning substitute: augment the anomaly pool with the
         // top-scored unlabeled instances.
         let mut forest = IForest::default();
-        forest.fit(train, seed ^ 0xD0A1);
+        forest.fit(train, seed ^ 0xD0A1)?;
         let iso = forest.score(xu);
         let extra = largest_indices(&iso, (xl.rows() / 2).max(2));
         let anomaly_pool = if xl.rows() > 0 {
@@ -171,8 +176,14 @@ impl Detector for DualMgan {
 
         // Sub-GAN N: normality modeling (its discriminator is reused at
         // scoring time).
-        let (_, _, dn_store, disc_n) =
-            train_gan(xu, self.latent_dim, self.gan_epochs, self.batch, self.lr, seed ^ 0xB);
+        let (_, _, dn_store, disc_n) = train_gan(
+            xu,
+            self.latent_dim,
+            self.gan_epochs,
+            self.batch,
+            self.lr,
+            seed ^ 0xB,
+        );
 
         // Final binary classifier on unlabeled (0) vs anomalies+synthetic
         // (1). Synthetic positives carry a reduced weight: an under-trained
@@ -223,7 +234,13 @@ impl Detector for DualMgan {
             }
         }
 
-        self.fitted = Some(Fitted { clf_store, clf, dn_store, disc_n });
+        self.fitted = Some(Fitted {
+            clf_store,
+            clf,
+            dn_store,
+            disc_n,
+        });
+        Ok(())
     }
 
     fn score(&self, x: &Matrix) -> Vec<f64> {
@@ -264,7 +281,7 @@ mod tests {
         let bundle = GeneratorSpec::quick_demo().generate(91);
         let view = TrainView::from_dataset(&bundle.train);
         let mut model = DualMgan::default();
-        model.fit(&view, 1);
+        model.fit(&view, 1).unwrap();
         let scores = model.score(&bundle.test.features);
         let roc = auroc(&scores, &bundle.test.anomaly_labels());
         assert!(roc > 0.6, "anomaly AUROC {roc}");
@@ -274,8 +291,12 @@ mod tests {
     fn scores_in_unit_interval() {
         let bundle = GeneratorSpec::quick_demo().generate(92);
         let view = TrainView::from_dataset(&bundle.train);
-        let mut model = DualMgan { gan_epochs: 3, clf_epochs: 5, ..DualMgan::default() };
-        model.fit(&view, 2);
+        let mut model = DualMgan {
+            gan_epochs: 3,
+            clf_epochs: 5,
+            ..DualMgan::default()
+        };
+        model.fit(&view, 2).unwrap();
         assert!(model
             .score(&bundle.test.features)
             .iter()

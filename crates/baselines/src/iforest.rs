@@ -6,8 +6,9 @@
 use rand::rngs::StdRng;
 use rand::RngExt;
 use targad_linalg::{rng as lrng, Matrix};
+use targad_runtime::Runtime;
 
-use crate::{Detector, TrainView};
+use crate::{Detector, TargAdError, TrainView};
 
 /// Isolation forest with the paper-standard defaults (100 trees, ψ = 256).
 pub struct IForest {
@@ -15,26 +16,48 @@ pub struct IForest {
     pub n_trees: usize,
     /// Subsample size per tree.
     pub psi: usize,
+    runtime: Runtime,
     trees: Vec<Tree>,
     c_psi: f64,
 }
 
 impl Default for IForest {
     fn default() -> Self {
-        Self { n_trees: 100, psi: 256, trees: Vec::new(), c_psi: 1.0 }
+        Self {
+            n_trees: 100,
+            psi: 256,
+            runtime: Runtime::from_env(),
+            trees: Vec::new(),
+            c_psi: 1.0,
+        }
     }
 }
 
 impl IForest {
     /// An isolation forest with explicit tree count and subsample size.
     pub fn new(n_trees: usize, psi: usize) -> Self {
-        Self { n_trees, psi, ..Self::default() }
+        Self {
+            n_trees,
+            psi,
+            ..Self::default()
+        }
+    }
+
+    /// Replaces the execution runtime (worker count never affects results:
+    /// every tree draws from its own seed-derived RNG stream).
+    pub fn with_runtime(mut self, runtime: Runtime) -> Self {
+        self.runtime = runtime;
+        self
     }
 
     /// Expected path length of one instance, averaged over trees.
     pub fn mean_path_length(&self, row: &[f64]) -> f64 {
         assert!(!self.trees.is_empty(), "IForest: score before fit");
-        self.trees.iter().map(|t| t.path_length(row, 0)).sum::<f64>() / self.trees.len() as f64
+        self.trees
+            .iter()
+            .map(|t| t.path_length(row, 0))
+            .sum::<f64>()
+            / self.trees.len() as f64
     }
 }
 
@@ -43,28 +66,27 @@ impl Detector for IForest {
         "iForest"
     }
 
-    fn fit(&mut self, train: &TrainView, seed: u64) {
+    fn fit(&mut self, train: &TrainView, seed: u64) -> Result<(), TargAdError> {
         // Unsupervised: labeled anomalies are ignored, as in the paper.
         let data = &train.unlabeled;
-        let mut rng = lrng::seeded(seed);
         let psi = self.psi.min(data.rows()).max(2);
         let height_limit = (psi as f64).log2().ceil() as usize;
         self.c_psi = c_factor(psi);
-        self.trees = (0..self.n_trees)
-            .map(|_| {
-                let idx = lrng::sample_indices(&mut rng, data.rows(), psi);
-                Tree::build(&data.take_rows(&idx), height_limit, &mut rng)
-            })
-            .collect();
+        // Each tree owns a seed-derived RNG stream, so the forest is
+        // bit-identical at any worker count (and to the serial build).
+        self.trees = self.runtime.par_map_indexed(self.n_trees, |t| {
+            let mut rng = lrng::seeded(tree_seed(seed, t));
+            let idx = lrng::sample_indices(&mut rng, data.rows(), psi);
+            Tree::build(&data.take_rows(&idx), height_limit, &mut rng)
+        });
+        Ok(())
     }
 
     fn score(&self, x: &Matrix) -> Vec<f64> {
-        (0..x.rows())
-            .map(|i| {
-                let e_h = self.mean_path_length(x.row(i));
-                2f64.powf(-e_h / self.c_psi)
-            })
-            .collect()
+        self.runtime.par_map_indexed(x.rows(), |i| {
+            let e_h = self.mean_path_length(x.row(i));
+            2f64.powf(-e_h / self.c_psi)
+        })
     }
 }
 
@@ -108,8 +130,16 @@ impl Tree {
             return Tree::Split {
                 dim,
                 threshold,
-                left: Box::new(Tree::build(&data.take_rows(&left_idx), height_left - 1, rng)),
-                right: Box::new(Tree::build(&data.take_rows(&right_idx), height_left - 1, rng)),
+                left: Box::new(Tree::build(
+                    &data.take_rows(&left_idx),
+                    height_left - 1,
+                    rng,
+                )),
+                right: Box::new(Tree::build(
+                    &data.take_rows(&right_idx),
+                    height_left - 1,
+                    rng,
+                )),
             };
         }
         Tree::Leaf { size: n }
@@ -118,7 +148,12 @@ impl Tree {
     fn path_length(&self, row: &[f64], depth: usize) -> f64 {
         match self {
             Tree::Leaf { size } => depth as f64 + c_factor(*size),
-            Tree::Split { dim, threshold, left, right } => {
+            Tree::Split {
+                dim,
+                threshold,
+                left,
+                right,
+            } => {
                 if row[*dim] < *threshold {
                     left.path_length(row, depth + 1)
                 } else {
@@ -127,6 +162,16 @@ impl Tree {
             }
         }
     }
+}
+
+/// Decorrelated per-tree seed: SplitMix64 finalizer over the fit seed and
+/// the tree index, so tree `t`'s stream is the same no matter which worker
+/// builds it.
+fn tree_seed(seed: u64, tree: usize) -> u64 {
+    let mut z = seed ^ (tree as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// `c(n)`: average path length of an unsuccessful BST search over `n`
@@ -158,7 +203,10 @@ mod tests {
             labels.push(false);
         }
         for _ in 0..15 {
-            rows.push(vec![lrng::normal(&mut rng, 0.1, 0.02), lrng::normal(&mut rng, 0.9, 0.02)]);
+            rows.push(vec![
+                lrng::normal(&mut rng, 0.1, 0.02),
+                lrng::normal(&mut rng, 0.9, 0.02),
+            ]);
             labels.push(true);
         }
         (Matrix::from_rows(&rows), labels)
@@ -176,7 +224,9 @@ mod tests {
     fn isolates_obvious_outliers() {
         let (x, labels) = cluster_with_outliers();
         let mut forest = IForest::default();
-        forest.fit(&TrainView { labeled: Matrix::zeros(0, 2), unlabeled: x.clone() }, 1);
+        forest
+            .fit(&TrainView::from_matrices(Matrix::zeros(0, 2), x.clone()), 1)
+            .unwrap();
         let scores = forest.score(&x);
         let roc = auroc(&scores, &labels);
         assert!(roc > 0.99, "AUROC {roc}");
@@ -186,7 +236,9 @@ mod tests {
     fn scores_are_in_unit_interval() {
         let (x, _) = cluster_with_outliers();
         let mut forest = IForest::new(25, 64);
-        forest.fit(&TrainView { labeled: Matrix::zeros(0, 2), unlabeled: x.clone() }, 2);
+        forest
+            .fit(&TrainView::from_matrices(Matrix::zeros(0, 2), x.clone()), 2)
+            .unwrap();
         assert!(forest.score(&x).iter().all(|&s| (0.0..=1.0).contains(&s)));
     }
 
@@ -194,7 +246,9 @@ mod tests {
     fn outliers_have_shorter_paths() {
         let (x, labels) = cluster_with_outliers();
         let mut forest = IForest::default();
-        forest.fit(&TrainView { labeled: Matrix::zeros(0, 2), unlabeled: x.clone() }, 3);
+        forest
+            .fit(&TrainView::from_matrices(Matrix::zeros(0, 2), x.clone()), 3)
+            .unwrap();
         let outlier_path = forest.mean_path_length(x.row(310));
         let inlier_path = forest.mean_path_length(x.row(0));
         assert!(outlier_path < inlier_path);
@@ -206,10 +260,29 @@ mod tests {
         let bundle = GeneratorSpec::quick_demo().generate(9);
         let view = TrainView::from_dataset(&bundle.train);
         let mut a = IForest::default();
-        a.fit(&view, 7);
+        a.fit(&view, 7).unwrap();
         let mut b = IForest::default();
-        b.fit(&view, 7);
-        assert_eq!(a.score(&bundle.test.features), b.score(&bundle.test.features));
+        b.fit(&view, 7).unwrap();
+        assert_eq!(
+            a.score(&bundle.test.features),
+            b.score(&bundle.test.features)
+        );
+    }
+
+    #[test]
+    fn parallel_build_and_score_match_serial() {
+        let (x, _) = cluster_with_outliers();
+        let view = TrainView::from_matrices(Matrix::zeros(0, 2), x.clone());
+        let serial = {
+            let mut f = IForest::new(40, 64).with_runtime(Runtime::serial());
+            f.fit(&view, 11).unwrap();
+            f.score(&x)
+        };
+        for workers in [2usize, 7] {
+            let mut f = IForest::new(40, 64).with_runtime(Runtime::new(workers));
+            f.fit(&view, 11).unwrap();
+            assert_eq!(f.score(&x), serial, "workers = {workers}");
+        }
     }
 
     #[test]
@@ -220,7 +293,7 @@ mod tests {
         let bundle = GeneratorSpec::quick_demo().generate(11);
         let view = TrainView::from_dataset(&bundle.train);
         let mut forest = IForest::default();
-        forest.fit(&view, 5);
+        forest.fit(&view, 5).unwrap();
         let scores = forest.score(&bundle.test.features);
         let anomaly_roc = auroc(&scores, &bundle.test.anomaly_labels());
         assert!(anomaly_roc > 0.8, "anomaly AUROC {anomaly_roc}");

@@ -39,62 +39,11 @@ pub use prenet::PreNet;
 pub use pumad::Pumad;
 pub use repen::Repen;
 
-use targad_data::Dataset;
-use targad_linalg::Matrix;
-
-/// The training data as the baselines see it: a handful of labeled
-/// anomalies (class identity dropped) plus the unlabeled pool.
-#[derive(Clone, Debug)]
-pub struct TrainView {
-    /// Labeled anomalies, `r x D`.
-    pub labeled: Matrix,
-    /// Unlabeled instances, `N x D`.
-    pub unlabeled: Matrix,
-}
-
-impl TrainView {
-    /// Extracts the baseline view from a [`Dataset`].
-    pub fn from_dataset(dataset: &Dataset) -> Self {
-        let (labeled, _) = dataset.labeled_view();
-        let (unlabeled, _) = dataset.unlabeled_view();
-        Self { labeled, unlabeled }
-    }
-
-    /// Feature dimensionality.
-    pub fn dims(&self) -> usize {
-        self.unlabeled.cols()
-    }
-}
-
-/// A fitted or fittable anomaly detector. Scores are "higher = more
-/// anomalous".
-pub trait Detector {
-    /// Display name as used in the paper's tables.
-    fn name(&self) -> &'static str;
-
-    /// Fits the detector; deterministic given `seed`.
-    fn fit(&mut self, train: &TrainView, seed: u64);
-
-    /// Scores each row of `x`.
-    ///
-    /// # Panics
-    /// Implementations panic when called before `fit`.
-    fn score(&self, x: &Matrix) -> Vec<f64>;
-
-    /// Like [`Detector::fit`], reporting anomaly scores on `probe` after
-    /// each training epoch (used for the Fig. 3b convergence plot).
-    /// Non-iterative detectors report once after fitting.
-    fn fit_traced(
-        &mut self,
-        train: &TrainView,
-        seed: u64,
-        probe: &Matrix,
-        trace: &mut dyn FnMut(usize, Vec<f64>),
-    ) {
-        self.fit(train, seed);
-        trace(0, self.score(probe));
-    }
-}
+/// The unified detector interface and its training view now live in
+/// `targad-core` (so TargAD itself implements [`Detector`]); re-exported
+/// here so existing `targad_baselines::{Detector, TrainView}` paths keep
+/// working.
+pub use targad_core::{Detector, TargAdError, TrainView};
 
 /// All eleven baselines with their default hyper-parameters, in Table II
 /// order.
@@ -125,8 +74,17 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "iForest", "REPEN", "ADOA", "FEAWAD", "PUMAD", "DevNet", "DeepSAD", "DPLAN",
-                "PIA-WAL", "Dual-MGAN", "PReNet"
+                "iForest",
+                "REPEN",
+                "ADOA",
+                "FEAWAD",
+                "PUMAD",
+                "DevNet",
+                "DeepSAD",
+                "DPLAN",
+                "PIA-WAL",
+                "Dual-MGAN",
+                "PReNet"
             ]
         );
     }

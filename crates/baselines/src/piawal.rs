@@ -18,7 +18,7 @@ use targad_nn::optim::clip_grad_norm;
 use targad_nn::{shuffled_batches, Activation, Adam, Mlp, Optimizer};
 
 use crate::common::latent_noise;
-use crate::{Detector, TrainView};
+use crate::{Detector, TargAdError, TrainView};
 
 /// PIA-WAL with compact defaults.
 pub struct PiaWal {
@@ -79,7 +79,7 @@ impl Detector for PiaWal {
         "PIA-WAL"
     }
 
-    fn fit(&mut self, train: &TrainView, seed: u64) {
+    fn fit(&mut self, train: &TrainView, seed: u64) -> Result<(), TargAdError> {
         let xu = &train.unlabeled;
         let xl = &train.labeled;
         let d = train.dims();
@@ -107,7 +107,10 @@ impl Detector for PiaWal {
         for _ in 0..self.epochs {
             for batch in shuffled_batches(&mut rng, xu.rows(), self.batch) {
                 // ---- Discriminator step --------------------------------
-                let fake = gen.eval(&g_store, &latent_noise(batch.len(), self.latent_dim, &mut rng));
+                let fake = gen.eval(
+                    &g_store,
+                    &latent_noise(batch.len(), self.latent_dim, &mut rng),
+                );
                 d_store.zero_grads();
                 let mut tape = Tape::new();
                 let real = tape.input(xu.take_rows(&batch));
@@ -151,6 +154,7 @@ impl Detector for PiaWal {
         }
 
         self.fitted = Some(Fitted { d_store, disc });
+        Ok(())
     }
 
     fn score(&self, x: &Matrix) -> Vec<f64> {
@@ -159,7 +163,11 @@ impl Detector for PiaWal {
         (0..logits.rows())
             .map(|r| {
                 let l = logits[(r, 0)];
-                let p = if l >= 0.0 { 1.0 / (1.0 + (-l).exp()) } else { l.exp() / (1.0 + l.exp()) };
+                let p = if l >= 0.0 {
+                    1.0 / (1.0 + (-l).exp())
+                } else {
+                    l.exp() / (1.0 + l.exp())
+                };
                 1.0 - p
             })
             .collect()
@@ -177,7 +185,7 @@ mod tests {
         let bundle = GeneratorSpec::quick_demo().generate(81);
         let view = TrainView::from_dataset(&bundle.train);
         let mut model = PiaWal::default();
-        model.fit(&view, 1);
+        model.fit(&view, 1).unwrap();
         let scores = model.score(&bundle.test.features);
         let roc = auroc(&scores, &bundle.test.anomaly_labels());
         assert!(roc > 0.7, "anomaly AUROC {roc}");
@@ -187,8 +195,11 @@ mod tests {
     fn scores_lie_in_unit_interval() {
         let bundle = GeneratorSpec::quick_demo().generate(82);
         let view = TrainView::from_dataset(&bundle.train);
-        let mut model = PiaWal { epochs: 5, ..PiaWal::default() };
-        model.fit(&view, 2);
+        let mut model = PiaWal {
+            epochs: 5,
+            ..PiaWal::default()
+        };
+        model.fit(&view, 2).unwrap();
         assert!(model
             .score(&bundle.test.features)
             .iter()

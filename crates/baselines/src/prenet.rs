@@ -14,7 +14,7 @@ use targad_linalg::{rng as lrng, Matrix};
 use targad_nn::optim::clip_grad_norm;
 use targad_nn::{Activation, Adam, Mlp, Optimizer};
 
-use crate::{Detector, TrainView};
+use crate::{Detector, TargAdError, TrainView};
 
 /// PReNet with the original relation labels (8 / 4 / 0).
 pub struct PreNet {
@@ -59,17 +59,16 @@ fn concat_rows(a: &[f64], b: &[f64]) -> Vec<f64> {
 }
 
 impl PreNet {
-    fn pair_batch(
-        &self,
-        xl: &Matrix,
-        xu: &Matrix,
-        rng: &mut StdRng,
-    ) -> (Matrix, Matrix) {
+    fn pair_batch(&self, xl: &Matrix, xu: &Matrix, rng: &mut StdRng) -> (Matrix, Matrix) {
         let mut rows = Vec::with_capacity(self.batch_pairs);
         let mut ys = Vec::with_capacity(self.batch_pairs);
         let has_labeled = xl.rows() > 0;
         for _ in 0..self.batch_pairs {
-            let kind = if has_labeled { rng.random_range(0..3) } else { 2 };
+            let kind = if has_labeled {
+                rng.random_range(0..3)
+            } else {
+                2
+            };
             match kind {
                 0 => {
                     // (anomaly, anomaly) → 8
@@ -103,13 +102,19 @@ impl Detector for PreNet {
         "PReNet"
     }
 
-    fn fit(&mut self, train: &TrainView, seed: u64) {
+    fn fit(&mut self, train: &TrainView, seed: u64) -> Result<(), TargAdError> {
         let mut rng = lrng::seeded(seed);
         let mut store = VarStore::new();
         let mut dims = vec![train.dims() * 2];
         dims.extend_from_slice(&self.hidden);
         dims.push(1);
-        let net = Mlp::new(&mut store, &mut rng, &dims, Activation::Relu, Activation::None);
+        let net = Mlp::new(
+            &mut store,
+            &mut rng,
+            &dims,
+            Activation::Relu,
+            Activation::None,
+        );
         let mut opt = Adam::new(self.lr);
 
         for _ in 0..self.steps {
@@ -135,6 +140,7 @@ impl Detector for PreNet {
             labeled: train.labeled.clone(),
             unlabeled_sample: train.unlabeled.take_rows(&sample),
         });
+        Ok(())
     }
 
     fn score(&self, x: &Matrix) -> Vec<f64> {
@@ -172,7 +178,7 @@ mod tests {
         let bundle = GeneratorSpec::quick_demo().generate(27);
         let view = TrainView::from_dataset(&bundle.train);
         let mut model = PreNet::default();
-        model.fit(&view, 1);
+        model.fit(&view, 1).unwrap();
         let scores = model.score(&bundle.test.features);
         let roc = auroc(&scores, &bundle.test.anomaly_labels());
         assert!(roc > 0.75, "anomaly AUROC {roc}");
@@ -185,7 +191,7 @@ mod tests {
         let bundle = GeneratorSpec::quick_demo().generate(28);
         let view = TrainView::from_dataset(&bundle.train);
         let mut model = PreNet::default();
-        model.fit(&view, 2);
+        model.fit(&view, 2).unwrap();
         let f = model.fitted.as_ref().unwrap();
         let aa = Matrix::from_rows(&[concat_rows(view.labeled.row(0), view.labeled.row(1))]);
         let uu = Matrix::from_rows(&[concat_rows(view.unlabeled.row(0), view.unlabeled.row(1))]);
@@ -198,10 +204,19 @@ mod tests {
     fn deterministic_given_seed() {
         let bundle = GeneratorSpec::quick_demo().generate(29);
         let view = TrainView::from_dataset(&bundle.train);
-        let mut a = PreNet { steps: 50, ..PreNet::default() };
-        let mut b = PreNet { steps: 50, ..PreNet::default() };
-        a.fit(&view, 9);
-        b.fit(&view, 9);
-        assert_eq!(a.score(&bundle.test.features), b.score(&bundle.test.features));
+        let mut a = PreNet {
+            steps: 50,
+            ..PreNet::default()
+        };
+        let mut b = PreNet {
+            steps: 50,
+            ..PreNet::default()
+        };
+        a.fit(&view, 9).unwrap();
+        b.fit(&view, 9).unwrap();
+        assert_eq!(
+            a.score(&bundle.test.features),
+            b.score(&bundle.test.features)
+        );
     }
 }

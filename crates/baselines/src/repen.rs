@@ -19,7 +19,7 @@ use targad_nn::optim::clip_grad_norm;
 use targad_nn::{Activation, Adam, Mlp, Optimizer};
 
 use crate::common::{largest_indices, lesinn_scores, smallest_indices};
-use crate::{Detector, TrainView};
+use crate::{Detector, TargAdError, TrainView};
 
 /// REPEN with the defaults used in the reproduction.
 pub struct Repen {
@@ -69,13 +69,14 @@ impl Detector for Repen {
         "REPEN"
     }
 
-    fn fit(&mut self, train: &TrainView, seed: u64) {
+    fn fit(&mut self, train: &TrainView, seed: u64) -> Result<(), TargAdError> {
         let xu = &train.unlabeled;
         let mut rng = lrng::seeded(seed);
 
         // Seed outlierness and build candidate pools.
         let init = lesinn_scores(xu, xu, self.ensembles, self.psi, &mut rng);
-        let n_out = ((xu.rows() as f64 * self.candidate_frac).round() as usize).clamp(2, xu.rows() / 2);
+        let n_out =
+            ((xu.rows() as f64 * self.candidate_frac).round() as usize).clamp(2, xu.rows() / 2);
         let outliers = largest_indices(&init, n_out);
         let inliers = smallest_indices(&init, xu.rows() - n_out);
 
@@ -113,7 +114,12 @@ impl Detector for Repen {
             opt.step(&mut store);
         }
 
-        self.fitted = Some(Fitted { store, embed, reference: xu.clone() });
+        self.fitted = Some(Fitted {
+            store,
+            embed,
+            reference: xu.clone(),
+        });
+        Ok(())
     }
 
     fn score(&self, x: &Matrix) -> Vec<f64> {
@@ -158,7 +164,7 @@ mod tests {
         let bundle = GeneratorSpec::quick_demo().generate(41);
         let view = TrainView::from_dataset(&bundle.train);
         let mut model = Repen::default();
-        model.fit(&view, 1);
+        model.fit(&view, 1).unwrap();
         let scores = model.score(&bundle.test.features);
         let roc = auroc(&scores, &bundle.test.anomaly_labels());
         assert!(roc > 0.7, "anomaly AUROC {roc}");
@@ -168,8 +174,11 @@ mod tests {
     fn embedding_separates_candidate_pools() {
         let bundle = GeneratorSpec::quick_demo().generate(42);
         let view = TrainView::from_dataset(&bundle.train);
-        let mut model = Repen { steps: 150, ..Repen::default() };
-        model.fit(&view, 2);
+        let mut model = Repen {
+            steps: 150,
+            ..Repen::default()
+        };
+        model.fit(&view, 2).unwrap();
         // Anomalous test rows should, on average, sit farther from the
         // embedded reference set than normal rows.
         let scores = model.score(&bundle.test.features);

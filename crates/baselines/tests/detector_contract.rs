@@ -19,7 +19,7 @@ fn all_detectors_fit_and_score() {
     let bundle = easy_bundle(101);
     let view = TrainView::from_dataset(&bundle.train);
     for mut detector in all_baselines() {
-        detector.fit(&view, 11);
+        detector.fit(&view, 11).unwrap();
         let scores = detector.score(&bundle.test.features);
         assert_eq!(scores.len(), bundle.test.len(), "{}", detector.name());
         assert!(
@@ -43,8 +43,8 @@ fn all_detectors_are_deterministic() {
             .into_iter()
             .find(|d| d.name() == name)
             .unwrap();
-        a.fit(&view, 5);
-        b.fit(&view, 5);
+        a.fit(&view, 5).unwrap();
+        b.fit(&view, 5).unwrap();
         assert_eq!(
             a.score(&bundle.test.features),
             b.score(&bundle.test.features),
@@ -60,7 +60,7 @@ fn all_detectors_beat_chance_on_easy_data() {
     let labels = bundle.test.anomaly_labels();
     let target_labels = bundle.test.target_labels();
     for mut detector in all_baselines() {
-        detector.fit(&view, 3);
+        detector.fit(&view, 3).unwrap();
         let scores = detector.score(&bundle.test.features);
         let any = auroc(&scores, &labels);
         let target = auroc(&scores, &target_labels);
@@ -94,8 +94,8 @@ fn scores_respond_to_labeled_data() {
             .into_iter()
             .find(|d| d.name() == name)
             .unwrap();
-        a.fit(&with, 7);
-        b.fit(&without, 7);
+        a.fit(&with, 7).unwrap();
+        b.fit(&without, 7).unwrap();
         assert_ne!(
             a.score(&bundle.test.features),
             b.score(&bundle.test.features),

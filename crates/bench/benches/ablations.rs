@@ -16,7 +16,7 @@ fn base_config() -> TargAdConfig {
 
 fn fit_with(cfg: TargAdConfig) -> TargAd {
     let bundle = GeneratorSpec::quick_demo().generate(11);
-    let mut model = TargAd::new(cfg);
+    let mut model = TargAd::try_new(cfg).expect("valid config");
     model.fit(&bundle.train, 3).expect("fit");
     model
 }

@@ -67,16 +67,16 @@ fn bench_kmeans(c: &mut Criterion) {
 fn bench_iforest(c: &mut Criterion) {
     let mut rng = lrng::seeded(5);
     let data = lrng::uniform_matrix(&mut rng, 4_096, 32, 0.0, 1.0);
-    let view = TrainView { labeled: Matrix::zeros(0, 32), unlabeled: data.clone() };
+    let view = TrainView::from_matrices(Matrix::zeros(0, 32), data.clone());
     c.bench_function("iforest_fit_4096x32", |b| {
         b.iter(|| {
             let mut forest = IForest::default();
-            forest.fit(&view, 3);
+            forest.fit(&view, 3).expect("fit");
             black_box(forest)
         });
     });
     let mut forest = IForest::default();
-    forest.fit(&view, 3);
+    forest.fit(&view, 3).expect("fit");
     c.bench_function("iforest_score_4096x32", |b| {
         b.iter(|| black_box(forest.score(&data)));
     });

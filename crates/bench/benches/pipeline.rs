@@ -28,7 +28,7 @@ fn bench_full_fit(c: &mut Criterion) {
     let bundle = GeneratorSpec::quick_demo().generate(2);
     c.bench_function("targad_fit_quick_demo", |b| {
         b.iter(|| {
-            let mut model = TargAd::new(tiny_config());
+            let mut model = TargAd::try_new(tiny_config()).expect("valid config");
             model.fit(&bundle.train, 5).expect("fit");
             black_box(model)
         });
@@ -37,12 +37,17 @@ fn bench_full_fit(c: &mut Criterion) {
 
 fn bench_scoring(c: &mut Criterion) {
     let bundle = GeneratorSpec::quick_demo().generate(3);
-    let mut model = TargAd::new(tiny_config());
+    let mut model = TargAd::try_new(tiny_config()).expect("valid config");
     model.fit(&bundle.train, 7).expect("fit");
     c.bench_function("targad_score_400x12", |b| {
-        b.iter(|| black_box(model.score_matrix(&bundle.test.features)));
+        b.iter(|| black_box(model.try_score_matrix(&bundle.test.features)));
     });
 }
 
-criterion_group!(pipeline, bench_candidate_selection, bench_full_fit, bench_scoring);
+criterion_group!(
+    pipeline,
+    bench_candidate_selection,
+    bench_full_fit,
+    bench_scoring
+);
 criterion_main!(pipeline);

@@ -17,7 +17,12 @@ pub struct CommonArgs {
 
 impl Default for CommonArgs {
     fn default() -> Self {
-        Self { scale: 0.03, seeds: 5, part: None, data_seed: 20_240_401 }
+        Self {
+            scale: 0.03,
+            seeds: 5,
+            part: None,
+            data_seed: 20_240_401,
+        }
     }
 }
 

@@ -1,7 +1,7 @@
 //! Core evaluation machinery: fit models, score test sets, aggregate runs.
 
 use targad_baselines::{all_baselines, Detector, TrainView};
-use targad_core::{TargAd, TargAdConfig};
+use targad_core::{Runtime, TargAd, TargAdConfig};
 use targad_data::{Dataset, DatasetBundle};
 use targad_linalg::stats;
 use targad_metrics::{auroc, average_precision};
@@ -27,7 +27,10 @@ pub struct MeanStd {
 impl MeanStd {
     /// Aggregates a slice of run values.
     pub fn of(values: &[f64]) -> Self {
-        Self { mean: stats::mean(values), std: stats::std_dev(values) }
+        Self {
+            mean: stats::mean(values),
+            std: stats::std_dev(values),
+        }
     }
 
     /// `0.804±0.012` formatting, as in Table II.
@@ -39,21 +42,31 @@ impl MeanStd {
 /// Scores `scores` against the target labels of `test`.
 pub fn eval_scores(scores: &[f64], test: &Dataset) -> EvalResult {
     let labels = test.target_labels();
-    EvalResult { auprc: average_precision(scores, &labels), auroc: auroc(scores, &labels) }
+    EvalResult {
+        auprc: average_precision(scores, &labels),
+        auroc: auroc(scores, &labels),
+    }
 }
 
 /// Fits TargAD with `config` on the bundle's training split and evaluates
-/// on its test split.
+/// on its test split. Convenience wrapper: TargAD goes through the same
+/// [`eval_model`] path as every baseline (it implements [`Detector`]).
 pub fn eval_targad(bundle: &DatasetBundle, config: TargAdConfig, seed: u64) -> EvalResult {
-    let mut model = TargAd::new(config);
-    model.fit(&bundle.train, seed).expect("TargAD fit");
-    eval_scores(&model.score_dataset(&bundle.test), &bundle.test)
+    let mut model = TargAd::try_new(config).expect("valid TargAD config");
+    eval_model(&mut model, bundle, seed)
 }
 
-/// Fits one baseline and evaluates it on the bundle's test split.
+/// Fits any detector (TargAD or baseline) and evaluates it on the bundle's
+/// test split.
+///
+/// # Panics
+/// Panics when the detector rejects the training data (harness bundles are
+/// always well-formed, so this indicates a bug in the experiment setup).
 pub fn eval_model(model: &mut dyn Detector, bundle: &DatasetBundle, seed: u64) -> EvalResult {
     let view = TrainView::from_dataset(&bundle.train);
-    model.fit(&view, seed);
+    model
+        .fit(&view, seed)
+        .unwrap_or_else(|e| panic!("{}: fit failed: {e}", model.name()));
     eval_scores(&model.score(&bundle.test.features), &bundle.test)
 }
 
@@ -70,40 +83,56 @@ pub struct ModelRow {
 
 /// Runs TargAD plus all eleven baselines on `bundle` across `seeds`,
 /// returning one aggregate row per model (TargAD first, then Table II
-/// order). The TargAD configuration is shared across seeds.
+/// order). The TargAD configuration is shared across seeds. Cells fan out
+/// over the [`Runtime`] from the environment ([`run_suite_rt`] for an
+/// explicit one); results are identical at any worker count.
 pub fn run_suite(bundle: &DatasetBundle, config: &TargAdConfig, seeds: &[u64]) -> Vec<ModelRow> {
-    let mut rows = Vec::with_capacity(12);
+    run_suite_rt(bundle, config, seeds, Runtime::from_env())
+}
 
-    let mut t_ap = Vec::new();
-    let mut t_roc = Vec::new();
-    for &seed in seeds {
-        let r = eval_targad(bundle, config.clone(), seed);
-        t_ap.push(r.auprc);
-        t_roc.push(r.auroc);
-    }
-    rows.push(ModelRow {
-        name: "TargAD".to_string(),
-        auprc: MeanStd::of(&t_ap),
-        auroc: MeanStd::of(&t_roc),
+/// [`run_suite`] with an explicit runtime: every `(model, seed)` cell is an
+/// independent fit-and-score task, so the grid is embarrassingly parallel.
+/// Detectors are constructed *inside* each cell (`Box<dyn Detector>` is not
+/// `Send`), with TargAD's inner runtime serialized so parallelism lives at
+/// the grid level. Every cell's result depends only on `(model, seed)` —
+/// never on worker count — so the table is independent of `TARGAD_THREADS`.
+pub fn run_suite_rt(
+    bundle: &DatasetBundle,
+    config: &TargAdConfig,
+    seeds: &[u64],
+    runtime: Runtime,
+) -> Vec<ModelRow> {
+    let names: Vec<&'static str> = std::iter::once("TargAD")
+        .chain(all_baselines().iter().map(|b| b.name()))
+        .collect();
+    let n_seeds = seeds.len();
+    let cells = runtime.par_map_indexed(names.len() * n_seeds, |cell| {
+        let (mi, si) = (cell / n_seeds, cell % n_seeds);
+        let mut model: Box<dyn Detector> = if mi == 0 {
+            let targad = TargAd::try_new(config.clone()).expect("valid TargAD config");
+            Box::new(targad.with_runtime(Runtime::serial()))
+        } else {
+            baseline_by_name(names[mi])
+        };
+        eval_model(model.as_mut(), bundle, seeds[si])
     });
-
-    for template in all_baselines() {
-        let mut ap = Vec::new();
-        let mut roc = Vec::new();
-        for &seed in seeds {
-            // Fresh instance per seed (fit state is per-run).
-            let mut model = baseline_by_name(template.name());
-            let r = eval_model(model.as_mut(), bundle, seed);
-            ap.push(r.auprc);
-            roc.push(r.auroc);
-        }
-        rows.push(ModelRow {
-            name: template.name().to_string(),
-            auprc: MeanStd::of(&ap),
-            auroc: MeanStd::of(&roc),
-        });
-    }
-    rows
+    names
+        .iter()
+        .enumerate()
+        .map(|(mi, name)| {
+            let ap: Vec<f64> = (0..n_seeds)
+                .map(|si| cells[mi * n_seeds + si].auprc)
+                .collect();
+            let roc: Vec<f64> = (0..n_seeds)
+                .map(|si| cells[mi * n_seeds + si].auroc)
+                .collect();
+            ModelRow {
+                name: name.to_string(),
+                auprc: MeanStd::of(&ap),
+                auroc: MeanStd::of(&roc),
+            }
+        })
+        .collect()
 }
 
 /// Instantiates a baseline by its Table II name.

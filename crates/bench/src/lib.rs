@@ -18,4 +18,4 @@ pub mod sensitivity;
 pub mod suites;
 
 pub use args::CommonArgs;
-pub use experiments::{eval_model, run_suite, EvalResult, MeanStd};
+pub use experiments::{eval_model, harness_config, run_suite, run_suite_rt, EvalResult, MeanStd};

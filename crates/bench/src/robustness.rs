@@ -14,14 +14,11 @@
 
 use targad_data::{GeneratorSpec, Preset};
 
-use crate::experiments::{
-    baseline_by_name, eval_model, eval_targad, harness_config, MeanStd,
-};
+use crate::experiments::{baseline_by_name, eval_model, eval_targad, harness_config, MeanStd};
 use crate::report::Table;
 
 /// The semi-supervised baselines plotted in Fig. 4.
-pub const FIG4_BASELINES: [&str; 6] =
-    ["FEAWAD", "DevNet", "DeepSAD", "DPLAN", "PIA-WAL", "PReNet"];
+pub const FIG4_BASELINES: [&str; 6] = ["FEAWAD", "DevNet", "DeepSAD", "DPLAN", "PIA-WAL", "PReNet"];
 
 /// One scenario: a label for the x-axis plus the spec to generate.
 pub struct Scenario {
@@ -47,7 +44,10 @@ pub fn scenarios_new_types(scale: f64) -> Vec<Scenario> {
         .map(|(new_types, classes)| {
             let mut spec = Preset::UnswNb15.spec(scale);
             spec.train_non_target_classes = Some(classes);
-            Scenario { label: format!("{new_types} new non-target types"), spec }
+            Scenario {
+                label: format!("{new_types} new non-target types"),
+                spec,
+            }
         })
         .collect()
 }
@@ -59,7 +59,10 @@ pub fn scenarios_target_classes(scale: f64) -> Vec<Scenario> {
             let mut spec = Preset::UnswNb15.spec(scale);
             spec.target_classes = m;
             spec.non_target_classes = 7 - m;
-            Scenario { label: format!("m = {m}"), spec }
+            Scenario {
+                label: format!("m = {m}"),
+                spec,
+            }
         })
         .collect()
 }
@@ -74,7 +77,10 @@ pub fn scenarios_labeled_counts(scale: f64) -> Vec<Scenario> {
             let mut spec = Preset::UnswNb15.spec(scale);
             spec.labeled_per_class =
                 ((spec.labeled_per_class as f64 * frac).round() as usize).max(2);
-            Scenario { label: format!("{} labels/class", spec.labeled_per_class), spec }
+            Scenario {
+                label: format!("{} labels/class", spec.labeled_per_class),
+                spec,
+            }
         })
         .collect()
 }
@@ -86,7 +92,10 @@ pub fn scenarios_contamination(scale: f64) -> Vec<Scenario> {
         .map(|rate| {
             let mut spec = Preset::UnswNb15.spec(scale);
             spec.contamination = rate;
-            Scenario { label: format!("{:.0}% contamination", rate * 100.0), spec }
+            Scenario {
+                label: format!("{:.0}% contamination", rate * 100.0),
+                spec,
+            }
         })
         .collect()
 }
@@ -159,8 +168,10 @@ mod tests {
 
     #[test]
     fn contamination_scenarios_match_paper_grid() {
-        let rates: Vec<f64> =
-            scenarios_contamination(0.01).iter().map(|s| s.spec.contamination).collect();
+        let rates: Vec<f64> = scenarios_contamination(0.01)
+            .iter()
+            .map(|s| s.spec.contamination)
+            .collect();
         assert_eq!(rates, vec![0.03, 0.05, 0.07, 0.09]);
     }
 }

@@ -21,9 +21,7 @@ use crate::sensitivity::{alpha_contamination_matrix, eta_sweep, lambda_grid};
 fn banner(title: &str, args: &CommonArgs) -> String {
     format!(
         "{title}\n(scale {}, {} seeds, data seed {})\n\n",
-        args.scale,
-        args.seeds,
-        args.data_seed
+        args.scale, args.seeds, args.data_seed
     )
 }
 
@@ -103,7 +101,11 @@ pub fn table3(args: &CommonArgs) -> String {
             aps.push(r.auprc);
             rocs.push(r.auroc);
         }
-        table.row(&[name.to_string(), MeanStd::of(&aps).fmt(), MeanStd::of(&rocs).fmt()]);
+        table.row(&[
+            name.to_string(),
+            MeanStd::of(&aps).fmt(),
+            MeanStd::of(&rocs).fmt(),
+        ]);
     }
     out.push_str(&table.render());
     out
@@ -112,17 +114,26 @@ pub fn table3(args: &CommonArgs) -> String {
 /// Table IV — three-way Precision/Recall/F1 under the MSP / ES / ED
 /// strategies, thresholds calibrated on the validation split.
 pub fn table4(args: &CommonArgs) -> String {
-    let mut out = banner("Table IV: 3-way identification via OOD strategies (UNSW-NB15)", args);
+    let mut out = banner(
+        "Table IV: 3-way identification via OOD strategies (UNSW-NB15)",
+        args,
+    );
     let spec = Preset::UnswNb15.spec(args.scale);
     let bundle = spec.generate(args.data_seed);
 
-    let mut model = TargAd::new(harness_config(spec.normal_groups));
-    model.fit(&bundle.train, args.seed_list()[0]).expect("TargAD fit");
+    let mut model = TargAd::try_new(harness_config(spec.normal_groups)).expect("valid config");
+    model
+        .fit(&bundle.train, args.seed_list()[0])
+        .expect("TargAD fit");
     let clf = model.classifier().expect("fitted");
 
     let truth_val = bundle.val.three_way_labels();
     let truth_test = bundle.test.three_way_labels();
-    let class_names = ["normal instances", "target anomalies", "non-target anomalies"];
+    let class_names = [
+        "normal instances",
+        "target anomalies",
+        "non-target anomalies",
+    ];
 
     for strategy in OodStrategy::all() {
         let tau = calibrate_threshold(clf, &bundle.val.features, &truth_val, strategy);
@@ -171,7 +182,7 @@ pub fn fig3(args: &CommonArgs) -> String {
 
     // (a)+(b) for TargAD via the epoch monitor.
     let mut targad_curve = Vec::new();
-    let mut model = TargAd::new(harness_config(spec.normal_groups));
+    let mut model = TargAd::try_new(harness_config(spec.normal_groups)).expect("valid config");
     model
         .fit_with_monitor(&bundle.train, seed, |_, clf| {
             let scores = clf.target_scores(&bundle.test.features);
@@ -197,17 +208,22 @@ pub fn fig3(args: &CommonArgs) -> String {
     for mut detector in traced {
         let mut curve = Vec::new();
         let name = detector.name().to_string();
-        detector.fit_traced(&view, seed, &bundle.test.features, &mut |_, scores| {
-            curve.push(average_precision(&scores, &labels));
-        });
+        detector
+            .fit_traced(&view, seed, &bundle.test.features, &mut |_, scores| {
+                curve.push(average_precision(&scores, &labels));
+            })
+            .unwrap_or_else(|e| panic!("{name}: fit failed: {e}"));
         curves.push((name, curve));
     }
     // PReNet is step-trained; evaluate once at the end for reference.
     let mut prenet = PreNet::default();
-    prenet.fit(&view, seed);
+    prenet.fit(&view, seed).expect("PReNet fit");
     curves.push((
         "PReNet (final)".to_string(),
-        vec![average_precision(&prenet.score(&bundle.test.features), &labels)],
+        vec![average_precision(
+            &prenet.score(&bundle.test.features),
+            &labels,
+        )],
     ));
 
     out.push_str("\n(b) test AUPRC per epoch\n");
@@ -238,10 +254,22 @@ pub fn fig4(args: &CommonArgs) -> String {
     };
     for part in parts {
         let (title, scenarios) = match part {
-            "a" => ("(a) novel non-target types", scenarios_new_types(args.scale)),
-            "b" => ("(b) number of target classes", scenarios_target_classes(args.scale)),
-            "c" => ("(c) labeled anomalies per class", scenarios_labeled_counts(args.scale)),
-            "d" => ("(d) contamination rate", scenarios_contamination(args.scale)),
+            "a" => (
+                "(a) novel non-target types",
+                scenarios_new_types(args.scale),
+            ),
+            "b" => (
+                "(b) number of target classes",
+                scenarios_target_classes(args.scale),
+            ),
+            "c" => (
+                "(c) labeled anomalies per class",
+                scenarios_labeled_counts(args.scale),
+            ),
+            "d" => (
+                "(d) contamination rate",
+                scenarios_contamination(args.scale),
+            ),
             other => panic!("unknown fig4 part `{other}` (expected a/b/c/d)"),
         };
         out.push_str(&format!("{title}\n"));
@@ -258,8 +286,10 @@ pub fn fig5(args: &CommonArgs) -> String {
     let spec = Preset::UnswNb15.spec(args.scale);
     let bundle = spec.generate(args.data_seed);
 
-    let mut model = TargAd::new(harness_config(spec.normal_groups));
-    model.fit(&bundle.train, args.seed_list()[0]).expect("TargAD fit");
+    let mut model = TargAd::try_new(harness_config(spec.normal_groups)).expect("valid config");
+    model
+        .fit(&bundle.train, args.seed_list()[0])
+        .expect("TargAD fit");
     let history = model.history();
 
     let comp = history.candidate_composition;
@@ -271,8 +301,19 @@ pub fn fig5(args: &CommonArgs) -> String {
     out.push_str("(a) mean candidate weight per true type, per epoch\n");
     let mut table = Table::new(&["epoch", "normal", "target", "non-target"]);
     for (e, w) in history.weight_means.iter().enumerate() {
-        let fmt = |v: f64| if v.is_nan() { "-".to_string() } else { format!("{v:.3}") };
-        table.row(&[format!("{e}"), fmt(w.normal), fmt(w.target), fmt(w.non_target)]);
+        let fmt = |v: f64| {
+            if v.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{v:.3}")
+            }
+        };
+        table.row(&[
+            format!("{e}"),
+            fmt(w.normal),
+            fmt(w.target),
+            fmt(w.non_target),
+        ]);
     }
     out.push_str(&table.render());
 
@@ -298,7 +339,10 @@ pub fn fig5(args: &CommonArgs) -> String {
 
 /// Fig. 6 — `α` × contamination sensitivity matrices.
 pub fn fig6(args: &CommonArgs) -> String {
-    let mut out = banner("Fig. 6: alpha vs contamination sensitivity (UNSW-NB15)", args);
+    let mut out = banner(
+        "Fig. 6: alpha vs contamination sensitivity (UNSW-NB15)",
+        args,
+    );
     let (ap, roc) = alpha_contamination_matrix(args.scale, &args.seed_list(), args.data_seed);
     out.push_str("(a) AUPRC\n");
     out.push_str(&ap.render());
@@ -360,7 +404,11 @@ pub fn ext_ablations(args: &CommonArgs) -> String {
             aps.push(r.auprc);
             rocs.push(r.auroc);
         }
-        table.row(&[name.to_string(), MeanStd::of(&aps).fmt(), MeanStd::of(&rocs).fmt()]);
+        table.row(&[
+            name.to_string(),
+            MeanStd::of(&aps).fmt(),
+            MeanStd::of(&rocs).fmt(),
+        ]);
     }
     out.push_str(&table.render());
     out.push_str(&format!(
@@ -389,7 +437,12 @@ pub fn quick_smoke(args: &CommonArgs) -> String {
 }
 
 fn prevalence(labels: &[bool]) -> f64 {
-    stats::mean(&labels.iter().map(|&l| f64::from(u8::from(l))).collect::<Vec<_>>())
+    stats::mean(
+        &labels
+            .iter()
+            .map(|&l| f64::from(u8::from(l)))
+            .collect::<Vec<_>>(),
+    )
 }
 
 #[cfg(test)]
@@ -400,7 +453,12 @@ mod tests {
     /// the smoke suite) to keep the harness itself tested.
     #[test]
     fn table1_renders_all_presets() {
-        let args = CommonArgs { scale: 0.002, seeds: 1, part: None, data_seed: 7 };
+        let args = CommonArgs {
+            scale: 0.002,
+            seeds: 1,
+            part: None,
+            data_seed: 7,
+        };
         let out = table1(&args);
         for name in ["UNSW-NB15", "KDDCUP99", "NSL-KDD", "SQB"] {
             assert!(out.contains(name), "{out}");
@@ -409,7 +467,12 @@ mod tests {
 
     #[test]
     fn smoke_runs_every_preset() {
-        let args = CommonArgs { scale: 0.002, seeds: 1, part: None, data_seed: 7 };
+        let args = CommonArgs {
+            scale: 0.002,
+            seeds: 1,
+            part: None,
+            data_seed: 7,
+        };
         let out = quick_smoke(&args);
         assert_eq!(out.matches("AUPRC").count(), 4);
     }

@@ -1,0 +1,109 @@
+//! The determinism contract of the parallel runtime, checked end to end:
+//! every parallel code path must produce bit-identical results at any
+//! worker count. Worker counts {1, 2, 7} cover the serial path, an even
+//! split, and a ragged split with more workers than some inputs have rows.
+
+use proptest::prelude::*;
+use targad_baselines::{IForest, TrainView};
+use targad_bench::{harness_config, run_suite_rt};
+use targad_core::{Detector, Runtime, TargAd, TargAdConfig};
+use targad_data::GeneratorSpec;
+use targad_linalg::rng as lrng;
+
+const WORKERS: [usize; 3] = [1, 2, 7];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Parallel matmul is bit-identical to serial for random shapes.
+    #[test]
+    fn matmul_is_worker_count_invariant(
+        m in 1usize..40,
+        k in 1usize..40,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = lrng::seeded(seed);
+        let a = lrng::normal_matrix(&mut rng, m, k, 0.0, 1.0);
+        let b = lrng::normal_matrix(&mut rng, k, n, 0.0, 1.0);
+        let serial = a.matmul(&b);
+        for workers in WORKERS {
+            let par = a.matmul_rt(&b, &Runtime::new(workers));
+            prop_assert_eq!(par.as_slice(), serial.as_slice(), "workers = {}", workers);
+        }
+    }
+}
+
+/// An iForest built and scored in parallel matches the serial build
+/// bit for bit (per-tree RNG streams are derived from the fit seed, not
+/// from the partition).
+#[test]
+fn iforest_is_worker_count_invariant() {
+    let bundle = GeneratorSpec::quick_demo().generate(17);
+    let view = TrainView::from_dataset(&bundle.train);
+    let serial = {
+        let mut f = IForest::new(50, 64).with_runtime(Runtime::serial());
+        f.fit(&view, 5).unwrap();
+        f.score(&bundle.test.features)
+    };
+    for workers in WORKERS {
+        let mut f = IForest::new(50, 64).with_runtime(Runtime::new(workers));
+        f.fit(&view, 5).unwrap();
+        assert_eq!(
+            f.score(&bundle.test.features),
+            serial,
+            "workers = {workers}"
+        );
+    }
+}
+
+/// TargAD scoring through the runtime-parallel forward pass is
+/// bit-identical at any worker count.
+#[test]
+fn targad_scores_are_worker_count_invariant() {
+    let bundle = GeneratorSpec::quick_demo().generate(23);
+    let mut cfg = TargAdConfig::fast();
+    cfg.ae_epochs = 3;
+    cfg.clf_epochs = 4;
+    let serial = {
+        let mut model = TargAd::try_new(cfg.clone())
+            .expect("valid config")
+            .with_runtime(Runtime::serial());
+        model.fit(&bundle.train, 9).expect("fit");
+        model.try_score_dataset(&bundle.test).expect("fitted")
+    };
+    for workers in WORKERS {
+        let mut model = TargAd::try_new(cfg.clone())
+            .expect("valid config")
+            .with_runtime(Runtime::new(workers));
+        model.fit(&bundle.train, 9).expect("fit");
+        let scores = model.try_score_dataset(&bundle.test).expect("fitted");
+        assert_eq!(scores, serial, "workers = {workers}");
+    }
+}
+
+/// The full Table II grid is independent of the suite runtime (and hence
+/// of `TARGAD_THREADS`): every `(model, seed)` cell depends only on the
+/// model and the seed.
+#[test]
+fn run_suite_is_worker_count_invariant() {
+    let mut spec = GeneratorSpec::quick_demo();
+    spec.train_unlabeled = 150;
+    spec.test_counts.normal = 60;
+    let bundle = spec.generate(31);
+    let mut cfg = harness_config(spec.normal_groups);
+    cfg.ae_epochs = 2;
+    cfg.clf_epochs = 3;
+    let seeds = [1u64];
+
+    let serial = run_suite_rt(&bundle, &cfg, &seeds, Runtime::serial());
+    for workers in [2usize, 7] {
+        let par = run_suite_rt(&bundle, &cfg, &seeds, Runtime::new(workers));
+        assert_eq!(par.len(), serial.len());
+        for (p, s) in par.iter().zip(&serial) {
+            assert_eq!(p.name, s.name);
+            assert_eq!(p.auprc.mean.to_bits(), s.auprc.mean.to_bits(), "{}", p.name);
+            assert_eq!(p.auroc.mean.to_bits(), s.auroc.mean.to_bits(), "{}", p.name);
+        }
+    }
+}

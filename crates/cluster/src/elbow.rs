@@ -15,11 +15,21 @@ use targad_linalg::Matrix;
 /// Panics if `k_min == 0`, `k_min > k_max`, or `data` has fewer rows than
 /// `k_max`.
 pub fn choose_k_elbow(data: &Matrix, k_min: usize, k_max: usize, seed: u64) -> (usize, Vec<f64>) {
-    assert!(k_min >= 1 && k_min <= k_max, "elbow: invalid range [{k_min}, {k_max}]");
+    assert!(
+        k_min >= 1 && k_min <= k_max,
+        "elbow: invalid range [{k_min}, {k_max}]"
+    );
     assert!(data.rows() >= k_max, "elbow: need at least k_max rows");
 
     let inertias: Vec<f64> = (k_min..=k_max)
-        .map(|k| KMeans::fit(data, KMeansConfig::new(k), seed ^ (k as u64).wrapping_mul(0x9e37)).inertia())
+        .map(|k| {
+            KMeans::fit(
+                data,
+                KMeansConfig::new(k),
+                seed ^ (k as u64).wrapping_mul(0x9e37),
+            )
+            .inertia()
+        })
         .collect();
 
     if inertias.len() <= 2 {

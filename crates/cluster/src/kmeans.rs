@@ -1,6 +1,6 @@
 //! Lloyd's k-means with k-means++ seeding.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 use targad_linalg::{rng as lrng, Matrix};
 
 /// Configuration for a k-means fit.
@@ -17,7 +17,11 @@ pub struct KMeansConfig {
 impl KMeansConfig {
     /// Default configuration for `k` clusters (100 iterations, tol `1e-6`).
     pub fn new(k: usize) -> Self {
-        Self { k, max_iter: 100, tol: 1e-6 }
+        Self {
+            k,
+            max_iter: 100,
+            tol: 1e-6,
+        }
     }
 }
 
@@ -104,7 +108,12 @@ impl KMeans {
             final_inertia += dist;
         }
 
-        Self { centroids, assignments, inertia: final_inertia, iterations }
+        Self {
+            centroids,
+            assignments,
+            inertia: final_inertia,
+            iterations,
+        }
     }
 
     /// Cluster centroids, one per row.
@@ -139,7 +148,9 @@ impl KMeans {
 
     /// Assigns every row of `data` to its nearest centroid.
     pub fn predict(&self, data: &Matrix) -> Vec<usize> {
-        (0..data.rows()).map(|i| self.predict_row(data.row(i))).collect()
+        (0..data.rows())
+            .map(|i| self.predict_row(data.row(i)))
+            .collect()
     }
 
     /// Indices of training instances per cluster.
@@ -156,7 +167,12 @@ fn nearest_centroid(row: &[f64], centroids: &Matrix) -> (usize, f64) {
     let mut best = 0;
     let mut best_dist = f64::INFINITY;
     for c in 0..centroids.rows() {
-        let d: f64 = centroids.row(c).iter().zip(row).map(|(&a, &b)| (a - b) * (a - b)).sum();
+        let d: f64 = centroids
+            .row(c)
+            .iter()
+            .zip(row)
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum();
         if d < best_dist {
             best = c;
             best_dist = d;
@@ -171,7 +187,9 @@ fn plus_plus_init(data: &Matrix, k: usize, rng: &mut impl Rng) -> Matrix {
     let mut centers: Vec<usize> = Vec::with_capacity(k);
     centers.push(rng.random_range(0..n));
 
-    let mut dists: Vec<f64> = (0..n).map(|i| data.row_sq_dist(i, data.row(centers[0]))).collect();
+    let mut dists: Vec<f64> = (0..n)
+        .map(|i| data.row_sq_dist(i, data.row(centers[0])))
+        .collect();
 
     while centers.len() < k {
         let total: f64 = dists.iter().sum();
@@ -236,7 +254,10 @@ mod tests {
                 .filter(|(_, &t)| t == blob)
                 .map(|(i, _)| km.assignments()[i])
                 .collect();
-            assert!(ids.windows(2).all(|w| w[0] == w[1]), "blob {blob} split across clusters");
+            assert!(
+                ids.windows(2).all(|w| w[0] == w[1]),
+                "blob {blob} split across clusters"
+            );
         }
         assert!(km.inertia() < 1.0);
     }

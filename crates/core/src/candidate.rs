@@ -83,10 +83,12 @@ impl CandidateSelection {
         let members = km.cluster_members();
 
         // Train one AE per cluster — in parallel, as in the paper.
-        let mut autoencoders: Vec<Option<ClusterAutoEncoder>> =
-            (0..k).map(|_| None).collect();
-        let jobs: Vec<(usize, Matrix)> =
-            members.iter().enumerate().map(|(c, m)| (c, xu.take_rows(m))).collect();
+        let mut autoencoders: Vec<Option<ClusterAutoEncoder>> = (0..k).map(|_| None).collect();
+        let jobs: Vec<(usize, Matrix)> = members
+            .iter()
+            .enumerate()
+            .map(|(c, m)| (c, xu.take_rows(m)))
+            .collect();
         if config.parallel_aes && k > 1 {
             let results = std::thread::scope(|scope| {
                 let handles: Vec<_> = jobs
@@ -94,7 +96,15 @@ impl CandidateSelection {
                     .map(|(c, data)| {
                         let c = *c;
                         scope.spawn(move || {
-                            (c, train_cluster_ae(data, xl, config, seed ^ ((c as u64 + 1) * 0x9E3779B9)))
+                            (
+                                c,
+                                train_cluster_ae(
+                                    data,
+                                    xl,
+                                    config,
+                                    seed ^ ((c as u64 + 1) * 0x9E3779B9),
+                                ),
+                            )
                         })
                     })
                     .collect();
@@ -108,12 +118,18 @@ impl CandidateSelection {
             }
         } else {
             for (c, data) in &jobs {
-                autoencoders[*c] =
-                    Some(train_cluster_ae(data, xl, config, seed ^ ((*c as u64 + 1) * 0x9E3779B9)));
+                autoencoders[*c] = Some(train_cluster_ae(
+                    data,
+                    xl,
+                    config,
+                    seed ^ ((*c as u64 + 1) * 0x9E3779B9),
+                ));
             }
         }
-        let autoencoders: Vec<ClusterAutoEncoder> =
-            autoencoders.into_iter().map(|a| a.expect("every cluster trained")).collect();
+        let autoencoders: Vec<ClusterAutoEncoder> = autoencoders
+            .into_iter()
+            .map(|a| a.expect("every cluster trained"))
+            .collect();
 
         // Reconstruction errors per unlabeled row, via that row's cluster AE.
         let mut recon_errors = vec![0.0; xu.rows()];
@@ -130,13 +146,22 @@ impl CandidateSelection {
         // Rank descending; top α% are non-target anomaly candidates.
         let mut order: Vec<usize> = (0..xu.rows()).collect();
         order.sort_by(|&a, &b| {
-            recon_errors[b].partial_cmp(&recon_errors[a]).expect("NaN reconstruction error")
+            recon_errors[b]
+                .partial_cmp(&recon_errors[a])
+                .expect("NaN reconstruction error")
         });
         let n_anom = ((config.alpha * xu.rows() as f64).round() as usize).clamp(1, xu.rows() - 1);
         let anomaly_candidates: Vec<usize> = order[..n_anom].to_vec();
         let normal_candidates: Vec<usize> = order[n_anom..].to_vec();
 
-        Self { k, cluster_of, recon_errors, anomaly_candidates, normal_candidates, autoencoders }
+        Self {
+            k,
+            cluster_of,
+            recon_errors,
+            anomaly_candidates,
+            normal_candidates,
+            autoencoders,
+        }
     }
 }
 
@@ -191,10 +216,18 @@ fn train_cluster_ae(
             clip_grad_norm(&mut store, config.grad_clip);
             opt.step(&mut store);
         }
-        loss_history.push(if batches > 0 { epoch_loss / batches as f64 } else { 0.0 });
+        loss_history.push(if batches > 0 {
+            epoch_loss / batches as f64
+        } else {
+            0.0
+        });
     }
 
-    ClusterAutoEncoder { store, ae, loss_history }
+    ClusterAutoEncoder {
+        store,
+        ae,
+        loss_history,
+    }
 }
 
 #[cfg(test)]
@@ -215,8 +248,12 @@ mod tests {
         let (xl, _) = bundle.train.labeled_view();
         let sel = CandidateSelection::run(&xu, &xl, &small_config(), 1);
 
-        let mut all: Vec<usize> =
-            sel.anomaly_candidates.iter().chain(&sel.normal_candidates).copied().collect();
+        let mut all: Vec<usize> = sel
+            .anomaly_candidates
+            .iter()
+            .chain(&sel.normal_candidates)
+            .copied()
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..xu.rows()).collect::<Vec<_>>());
         assert_eq!(sel.cluster_of.len(), xu.rows());
@@ -266,10 +303,13 @@ mod tests {
         let sel = CandidateSelection::run(&xu, &xl, &small_config(), 4);
 
         let is_anom = |view_row: usize| bundle.train.truth[u_idx[view_row]].is_anomaly();
-        let cand_frac = sel.anomaly_candidates.iter().filter(|&&i| is_anom(i)).count() as f64
+        let cand_frac = sel
+            .anomaly_candidates
+            .iter()
+            .filter(|&&i| is_anom(i))
+            .count() as f64
             / sel.anomaly_candidates.len() as f64;
-        let base_frac =
-            (0..xu.rows()).filter(|&i| is_anom(i)).count() as f64 / xu.rows() as f64;
+        let base_frac = (0..xu.rows()).filter(|&i| is_anom(i)).count() as f64 / xu.rows() as f64;
         assert!(
             cand_frac > 2.0 * base_frac,
             "candidates {cand_frac:.3} vs base rate {base_frac:.3}"

@@ -1,0 +1,127 @@
+//! The unified [`Detector`] interface shared by TargAD and every baseline.
+//!
+//! Historically this trait lived in `targad-baselines` and the experiment
+//! harness special-cased TargAD through a separate code path. It now lives
+//! here so that [`crate::TargAd`] implements it too: one trait covers all
+//! twelve models, and the harness evaluates every `(model, seed)` cell
+//! through the same entry point. `targad-baselines` re-exports these types
+//! from their old paths.
+
+use targad_data::{Dataset, Truth};
+use targad_linalg::Matrix;
+
+use crate::error::TargAdError;
+
+/// The training data as detectors see it: labeled target anomalies plus
+/// the unlabeled pool.
+///
+/// Baselines treat the labeled rows as one undifferentiated "anomaly"
+/// class; TargAD additionally uses [`TrainView::labeled_classes`] to keep
+/// the `m` target classes apart, and — when present —
+/// [`TrainView::unlabeled_truth`] to record training telemetry (Fig. 5).
+/// Truth never influences the fitted model; it is diagnostics only.
+#[derive(Clone, Debug)]
+pub struct TrainView {
+    /// Labeled anomalies, `r x D`.
+    pub labeled: Matrix,
+    /// Target class of each labeled row, in `0..m` (all zeros when the
+    /// class structure is unknown).
+    pub labeled_classes: Vec<usize>,
+    /// Unlabeled instances, `N x D`.
+    pub unlabeled: Matrix,
+    /// Ground truth of each unlabeled row, when known. Used only for
+    /// telemetry ([`crate::TrainHistory`]); `None` disables it.
+    pub unlabeled_truth: Option<Vec<Truth>>,
+}
+
+impl TrainView {
+    /// Extracts the detector view from a [`Dataset`], carrying the target
+    /// classes and the unlabeled ground truth (telemetry).
+    pub fn from_dataset(dataset: &Dataset) -> Self {
+        let (labeled, labeled_classes) = dataset.labeled_view();
+        let (unlabeled, u_idx) = dataset.unlabeled_view();
+        let unlabeled_truth = Some(u_idx.iter().map(|&i| dataset.truth[i]).collect());
+        Self {
+            labeled,
+            labeled_classes,
+            unlabeled,
+            unlabeled_truth,
+        }
+    }
+
+    /// A view from bare matrices: single labeled class, no telemetry.
+    pub fn from_matrices(labeled: Matrix, unlabeled: Matrix) -> Self {
+        let labeled_classes = vec![0; labeled.rows()];
+        Self {
+            labeled,
+            labeled_classes,
+            unlabeled,
+            unlabeled_truth: None,
+        }
+    }
+
+    /// Feature dimensionality.
+    pub fn dims(&self) -> usize {
+        self.unlabeled.cols()
+    }
+}
+
+/// A fitted or fittable anomaly detector. Scores are "higher = more
+/// anomalous".
+pub trait Detector {
+    /// Display name as used in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Fits the detector; deterministic given `seed`.
+    ///
+    /// # Errors
+    /// Detectors with data requirements (e.g. TargAD needs labeled
+    /// anomalies and enough unlabeled rows) return a [`TargAdError`];
+    /// baselines without such requirements always return `Ok`.
+    fn fit(&mut self, train: &TrainView, seed: u64) -> Result<(), TargAdError>;
+
+    /// Scores each row of `x`.
+    ///
+    /// # Panics
+    /// Implementations panic when called before a successful `fit`.
+    fn score(&self, x: &Matrix) -> Vec<f64>;
+
+    /// Like [`Detector::fit`], reporting anomaly scores on `probe` after
+    /// each training epoch (used for the Fig. 3b convergence plot).
+    /// Non-iterative detectors report once after fitting.
+    fn fit_traced(
+        &mut self,
+        train: &TrainView,
+        seed: u64,
+        probe: &Matrix,
+        trace: &mut dyn FnMut(usize, Vec<f64>),
+    ) -> Result<(), TargAdError> {
+        self.fit(train, seed)?;
+        trace(0, self.score(probe));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use targad_data::GeneratorSpec;
+
+    #[test]
+    fn from_dataset_carries_classes_and_truth() {
+        let bundle = GeneratorSpec::quick_demo().generate(13);
+        let view = TrainView::from_dataset(&bundle.train);
+        assert_eq!(view.labeled.rows(), view.labeled_classes.len());
+        let truth = view.unlabeled_truth.as_ref().expect("truth carried");
+        assert_eq!(truth.len(), view.unlabeled.rows());
+        assert_eq!(view.dims(), bundle.train.dims());
+    }
+
+    #[test]
+    fn from_matrices_defaults_to_one_class_and_no_telemetry() {
+        let view = TrainView::from_matrices(Matrix::ones(3, 4), Matrix::zeros(10, 4));
+        assert_eq!(view.labeled_classes, vec![0; 3]);
+        assert!(view.unlabeled_truth.is_none());
+        assert_eq!(view.dims(), 4);
+    }
+}

@@ -5,6 +5,14 @@ use std::fmt;
 /// Failures surfaced by [`crate::TargAd`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TargAdError {
+    /// A hyper-parameter failed validation (see
+    /// [`crate::TargAdConfig::try_validate`]).
+    InvalidConfig {
+        /// The offending field, e.g. `"alpha"`.
+        field: &'static str,
+        /// Human-readable constraint violation.
+        reason: String,
+    },
     /// `fit` requires at least one labeled target anomaly.
     NoLabeledAnomalies,
     /// Too little unlabeled data to run candidate selection.
@@ -28,15 +36,27 @@ pub enum TargAdError {
 impl fmt::Display for TargAdError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            TargAdError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration: `{field}` {reason}")
+            }
             TargAdError::NoLabeledAnomalies => {
-                write!(f, "training set contains no labeled target anomalies (D_L is empty)")
+                write!(
+                    f,
+                    "training set contains no labeled target anomalies (D_L is empty)"
+                )
             }
             TargAdError::TooFewUnlabeled { have, need } => {
-                write!(f, "too few unlabeled instances: have {have}, need at least {need}")
+                write!(
+                    f,
+                    "too few unlabeled instances: have {have}, need at least {need}"
+                )
             }
             TargAdError::NotFitted => write!(f, "model is not fitted; call fit() first"),
             TargAdError::DimMismatch { expected, got } => {
-                write!(f, "feature dimensionality mismatch: model expects {expected}, got {got}")
+                write!(
+                    f,
+                    "feature dimensionality mismatch: model expects {expected}, got {got}"
+                )
             }
         }
     }
@@ -50,9 +70,21 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
+        let bad = TargAdError::InvalidConfig {
+            field: "alpha",
+            reason: "must be in (0, 1), got 2".into(),
+        };
+        assert!(bad.to_string().contains("alpha"));
         assert!(TargAdError::NoLabeledAnomalies.to_string().contains("D_L"));
-        assert!(TargAdError::TooFewUnlabeled { have: 3, need: 10 }.to_string().contains("3"));
+        assert!(TargAdError::TooFewUnlabeled { have: 3, need: 10 }
+            .to_string()
+            .contains("3"));
         assert!(TargAdError::NotFitted.to_string().contains("fit"));
-        assert!(TargAdError::DimMismatch { expected: 4, got: 7 }.to_string().contains("7"));
+        assert!(TargAdError::DimMismatch {
+            expected: 4,
+            got: 7
+        }
+        .to_string()
+        .contains("7"));
     }
 }

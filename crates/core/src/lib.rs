@@ -29,22 +29,25 @@
 //! use targad_metrics::average_precision;
 //!
 //! let bundle = GeneratorSpec::quick_demo().generate(7);
-//! let mut model = TargAd::new(TargAdConfig::fast());
+//! let mut model = TargAd::try_new(TargAdConfig::fast()).expect("valid config");
 //! model.fit(&bundle.train, 7).expect("fit");
-//! let scores = model.score_matrix(&bundle.test.features);
+//! let scores = model.try_score_matrix(&bundle.test.features).expect("fitted");
 //! let ap = average_precision(&scores, &bundle.test.target_labels());
 //! assert!(ap > 0.3, "AP = {ap}");
 //! ```
 
 pub mod candidate;
 pub mod config;
+pub mod detector;
 pub mod error;
 pub mod model;
 pub mod ood;
 pub mod snapshot;
 
 pub use candidate::{CandidateSelection, ClusterAutoEncoder};
-pub use config::TargAdConfig;
+pub use config::{TargAdConfig, TargAdConfigBuilder};
+pub use detector::{Detector, TrainView};
 pub use error::TargAdError;
 pub use model::{Classifier, TargAd, TrainHistory, WeightMeans};
 pub use ood::OodStrategy;
+pub use targad_runtime::Runtime;

@@ -6,9 +6,11 @@ use targad_data::Dataset;
 use targad_linalg::{rng as lrng, stats, Matrix};
 use targad_nn::optim::clip_grad_norm;
 use targad_nn::{shuffled_batches, Activation, Adam, Mlp, Optimizer, Sgd};
+use targad_runtime::Runtime;
 
 use crate::candidate::CandidateSelection;
 use crate::config::TargAdConfig;
+use crate::detector::{Detector, TrainView};
 use crate::error::TargAdError;
 
 /// The trained `m + k`-way classifier `f`.
@@ -43,16 +45,42 @@ impl Classifier {
         self.mlp.eval(&self.store, x)
     }
 
+    /// [`Classifier::logits`] executed on `rt`: the batched forward pass
+    /// parallelizes over rows, bit-identical to the serial path at any
+    /// worker count.
+    pub fn logits_rt(&self, x: &Matrix, rt: &Runtime) -> Matrix {
+        self.mlp.eval_rt(&self.store, x, rt)
+    }
+
     /// Softmax probabilities over the `m + k` outputs.
     pub fn probabilities(&self, x: &Matrix) -> Matrix {
         self.logits(x).softmax_rows()
     }
 
+    /// [`Classifier::probabilities`] executed on `rt`.
+    pub fn probabilities_rt(&self, x: &Matrix, rt: &Runtime) -> Matrix {
+        self.logits_rt(x, rt).softmax_rows()
+    }
+
     /// Target-anomaly scores (Eq. 9): `S^tar(x) = max_{j ≤ m} p_j(x)`.
     pub fn target_scores(&self, x: &Matrix) -> Vec<f64> {
-        let p = self.probabilities(x);
+        self.target_scores_from(self.probabilities(x))
+    }
+
+    /// [`Classifier::target_scores`] executed on `rt`; bit-identical to the
+    /// serial path at any worker count.
+    pub fn target_scores_rt(&self, x: &Matrix, rt: &Runtime) -> Vec<f64> {
+        self.target_scores_from(self.probabilities_rt(x, rt))
+    }
+
+    fn target_scores_from(&self, p: Matrix) -> Vec<f64> {
         (0..p.rows())
-            .map(|r| p.row(r)[..self.m].iter().copied().fold(f64::NEG_INFINITY, f64::max))
+            .map(|r| {
+                p.row(r)[..self.m]
+                    .iter()
+                    .copied()
+                    .fold(f64::NEG_INFINITY, f64::max)
+            })
             .collect()
     }
 
@@ -96,7 +124,10 @@ impl Classifier {
     pub(crate) fn overwrite_parameters(&mut self, matrices: &[Matrix]) -> Result<(), String> {
         let expected = 2 * self.mlp.num_layers();
         if matrices.len() != expected {
-            return Err(format!("expected {expected} matrices, got {}", matrices.len()));
+            return Err(format!(
+                "expected {expected} matrices, got {}",
+                matrices.len()
+            ));
         }
         for (i, layer) in self.mlp.layers().to_vec().into_iter().enumerate() {
             let (w, b) = layer.params();
@@ -159,20 +190,55 @@ pub struct TrainHistory {
 /// The TargAD model. See the crate docs for the algorithm outline.
 pub struct TargAd {
     config: TargAdConfig,
+    runtime: Runtime,
     classifier: Option<Classifier>,
     selection: Option<CandidateSelection>,
     history: TrainHistory,
 }
 
 impl TargAd {
+    /// Creates an unfitted model after validating the configuration.
+    ///
+    /// Inference runs on [`Runtime::from_env`] (the `TARGAD_THREADS`
+    /// environment variable, falling back to the machine's parallelism);
+    /// override with [`TargAd::with_runtime`]. The thread count never
+    /// affects results — scoring is bit-identical at any worker count.
+    ///
+    /// # Errors
+    /// [`TargAdError::InvalidConfig`] naming the first invalid field (see
+    /// [`TargAdConfig::try_validate`]).
+    pub fn try_new(config: TargAdConfig) -> Result<Self, TargAdError> {
+        config.try_validate()?;
+        Ok(Self {
+            config,
+            runtime: Runtime::from_env(),
+            classifier: None,
+            selection: None,
+            history: TrainHistory::default(),
+        })
+    }
+
     /// Creates an unfitted model.
     ///
     /// # Panics
-    /// Panics if the configuration is invalid (see
-    /// [`TargAdConfig::validate`]).
+    /// Panics if the configuration is invalid.
+    #[deprecated(since = "0.1.0", note = "use `try_new`, which returns a typed error")]
     pub fn new(config: TargAdConfig) -> Self {
-        config.validate();
-        Self { config, classifier: None, selection: None, history: TrainHistory::default() }
+        match Self::try_new(config) {
+            Ok(model) => model,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Replaces the execution runtime used for inference.
+    pub fn with_runtime(mut self, runtime: Runtime) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// The execution runtime used for inference.
+    pub fn runtime(&self) -> Runtime {
+        self.runtime
     }
 
     /// The configuration this model was built with.
@@ -197,22 +263,53 @@ impl TargAd {
         &mut self,
         train: &Dataset,
         seed: u64,
+        monitor: impl FnMut(usize, &Classifier),
+    ) -> Result<(), TargAdError> {
+        self.fit_view_with_monitor(&TrainView::from_dataset(train), seed, monitor)
+    }
+
+    /// Runs Algorithm 1 on a [`TrainView`] — the [`Detector`] entry point.
+    ///
+    /// Telemetry that needs ground truth ([`TrainHistory::final_weights`],
+    /// [`TrainHistory::candidate_composition`], per-type
+    /// [`TrainHistory::weight_means`]) is recorded only when
+    /// [`TrainView::unlabeled_truth`] is present; the fitted model itself
+    /// never depends on truth.
+    ///
+    /// # Errors
+    /// Same contract as [`TargAd::fit`].
+    pub fn fit_view(&mut self, view: &TrainView, seed: u64) -> Result<(), TargAdError> {
+        self.fit_view_with_monitor(view, seed, |_, _| {})
+    }
+
+    /// [`TargAd::fit_view`] with a per-epoch classifier monitor.
+    ///
+    /// # Errors
+    /// Same contract as [`TargAd::fit`].
+    pub fn fit_view_with_monitor(
+        &mut self,
+        view: &TrainView,
+        seed: u64,
         mut monitor: impl FnMut(usize, &Classifier),
     ) -> Result<(), TargAdError> {
-        let (xl, labeled_classes) = train.labeled_view();
+        let xl = &view.labeled;
+        let labeled_classes = &view.labeled_classes;
         if xl.rows() == 0 {
             return Err(TargAdError::NoLabeledAnomalies);
         }
-        let (xu, u_idx) = train.unlabeled_view();
+        let xu = &view.unlabeled;
         let need = self.config.k.unwrap_or(self.config.elbow_range.1).max(10);
         if xu.rows() < need {
-            return Err(TargAdError::TooFewUnlabeled { have: xu.rows(), need });
+            return Err(TargAdError::TooFewUnlabeled {
+                have: xu.rows(),
+                need,
+            });
         }
 
-        let m = labeled_classes.iter().copied().max().expect("nonempty") + 1;
+        let m = labeled_classes.iter().copied().max().map_or(1, |c| c + 1);
 
         // ---- Candidate selection (Lines 1–7) ----------------------------
-        let selection = CandidateSelection::run(&xu, &xl, &self.config, seed);
+        let selection = CandidateSelection::run(xu, xl, &self.config, seed);
         let k = selection.k;
 
         let mut history = TrainHistory::default();
@@ -236,10 +333,13 @@ impl TargAd {
         let xa = xu.take_rows(&selection.anomaly_candidates);
 
         // Pseudo-labels (§III-B2). Targets: one-hot in the first m dims.
-        let yl = one_hot_rows(&labeled_classes, 0, m + k);
+        let yl = one_hot_rows(labeled_classes, 0, m + k);
         // Normal candidates: one-hot at m + cluster index.
-        let normal_clusters: Vec<usize> =
-            selection.normal_candidates.iter().map(|&i| m + selection.cluster_of[i]).collect();
+        let normal_clusters: Vec<usize> = selection
+            .normal_candidates
+            .iter()
+            .map(|&i| m + selection.cluster_of[i])
+            .collect();
         let yn = one_hot_rows(&normal_clusters, 0, m + k);
         // Non-target candidates: (1/m, …, 1/m, 0, …, 0) — or the vanilla OE
         // uniform 1/(m+k) under the pseudo-label ablation.
@@ -252,36 +352,48 @@ impl TargAd {
             }
             row
         };
-        let ya = Matrix::from_rows(&vec![yo_row; xa.rows().max(1)]).take_rows(
-            &(0..xa.rows()).collect::<Vec<_>>(),
-        );
+        let ya = Matrix::from_rows(&vec![yo_row; xa.rows().max(1)])
+            .take_rows(&(0..xa.rows()).collect::<Vec<_>>());
 
-        // Candidate ground truth (telemetry only).
-        let cand_truth: Vec<usize> = selection
-            .anomaly_candidates
-            .iter()
-            .map(|&i| train.truth[u_idx[i]].three_way())
-            .collect();
-        for &t in &cand_truth {
-            match t {
-                0 => history.candidate_composition.normal += 1,
-                1 => history.candidate_composition.target += 1,
-                _ => history.candidate_composition.non_target += 1,
+        // Candidate ground truth (telemetry only; absent without truth).
+        let cand_truth: Option<Vec<usize>> = view.unlabeled_truth.as_ref().map(|truth| {
+            selection
+                .anomaly_candidates
+                .iter()
+                .map(|&i| truth[i].three_way())
+                .collect()
+        });
+        if let Some(codes) = &cand_truth {
+            for &t in codes {
+                match t {
+                    0 => history.candidate_composition.normal += 1,
+                    1 => history.candidate_composition.target += 1,
+                    _ => history.candidate_composition.non_target += 1,
+                }
             }
         }
 
         // Initial weights from reconstruction errors (Eq. 5).
-        let cand_errors: Vec<f64> =
-            selection.anomaly_candidates.iter().map(|&i| selection.recon_errors[i]).collect();
+        let cand_errors: Vec<f64> = selection
+            .anomaly_candidates
+            .iter()
+            .map(|&i| selection.recon_errors[i])
+            .collect();
         let mut weights = normalize_inverted(&cand_errors);
 
         // ---- Classifier training (Lines 8–16) ---------------------------
         let mut rng = lrng::seeded(seed ^ 0xCAFE);
         let mut store = VarStore::new();
-        let mut dims = vec![train.dims()];
+        let mut dims = vec![view.dims()];
         dims.extend_from_slice(&self.config.clf_hidden);
         dims.push(m + k);
-        let mlp = Mlp::new(&mut store, &mut rng, &dims, Activation::Relu, Activation::None);
+        let mlp = Mlp::new(
+            &mut store,
+            &mut rng,
+            &dims,
+            Activation::Relu,
+            Activation::None,
+        );
         let mut clf = Classifier { store, mlp, m, k };
         let mut opt: Box<dyn Optimizer> = if self.config.clf_sgd {
             Box::new(Sgd::with_momentum(self.config.clf_lr, 0.9))
@@ -297,7 +409,14 @@ impl TargAd {
                 let eps: Vec<f64> = (0..p.rows()).map(|r| p.max_row(r)).collect();
                 weights = normalize_inverted(&eps);
             }
-            record_weight_means(&mut history, &cand_truth, &weights);
+            match &cand_truth {
+                Some(codes) => record_weight_means(&mut history, codes, &weights),
+                None => history.weight_means.push(WeightMeans {
+                    normal: f64::NAN,
+                    target: f64::NAN,
+                    non_target: f64::NAN,
+                }),
+            }
 
             let n_batches = shuffled_batches(&mut rng, xn.rows(), bs);
             let steps = n_batches.len().max(1);
@@ -315,20 +434,32 @@ impl TargAd {
                     .take(a_chunk.min(xa.rows()))
                     .collect();
                 let l_start = (step * l_chunk) % xl.rows();
-                let l_batch: Vec<usize> =
-                    (0..l_chunk).map(|i| l_perm[(l_start + i) % xl.rows()]).collect();
+                let l_batch: Vec<usize> = (0..l_chunk)
+                    .map(|i| l_perm[(l_start + i) % xl.rows()])
+                    .collect();
 
                 epoch_loss += self.train_step(
-                    &mut clf, opt.as_mut(), &xl, &yl, &l_batch, &xn, &yn, n_batch, &xa, &ya,
-                    &weights, &a_batch,
+                    &mut clf,
+                    opt.as_mut(),
+                    xl,
+                    &yl,
+                    &l_batch,
+                    &xn,
+                    &yn,
+                    n_batch,
+                    &xa,
+                    &ya,
+                    &weights,
+                    &a_batch,
                 );
             }
             history.clf_loss.push(epoch_loss / steps as f64);
             monitor(epoch, &clf);
         }
 
-        history.final_weights =
-            cand_truth.iter().copied().zip(weights.iter().copied()).collect();
+        if let Some(codes) = &cand_truth {
+            history.final_weights = codes.iter().copied().zip(weights.iter().copied()).collect();
+        }
 
         self.classifier = Some(clf);
         self.selection = Some(selection);
@@ -416,21 +547,38 @@ impl TargAd {
 
     /// Target-anomaly scores (Eq. 9) for each row of `x`.
     ///
+    /// The forward pass runs on this model's [`Runtime`]; results are
+    /// bit-identical at any worker count.
+    ///
     /// # Errors
     /// [`TargAdError::NotFitted`] / [`TargAdError::DimMismatch`].
     pub fn try_score_matrix(&self, x: &Matrix) -> Result<Vec<f64>, TargAdError> {
         let clf = self.classifier()?;
         if x.cols() != clf.input_dim() {
-            return Err(TargAdError::DimMismatch { expected: clf.input_dim(), got: x.cols() });
+            return Err(TargAdError::DimMismatch {
+                expected: clf.input_dim(),
+                got: x.cols(),
+            });
         }
-        Ok(clf.target_scores(x))
+        Ok(clf.target_scores_rt(x, &self.runtime))
+    }
+
+    /// Convenience: scores a whole [`Dataset`].
+    ///
+    /// # Errors
+    /// Same contract as [`TargAd::try_score_matrix`].
+    pub fn try_score_dataset(&self, dataset: &Dataset) -> Result<Vec<f64>, TargAdError> {
+        self.try_score_matrix(&dataset.features)
     }
 
     /// Target-anomaly scores (Eq. 9) for each row of `x`.
     ///
     /// # Panics
-    /// Panics when unfitted or on a dimensionality mismatch; use
-    /// [`TargAd::try_score_matrix`] for a fallible variant.
+    /// Panics when unfitted or on a dimensionality mismatch.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `try_score_matrix`, which returns a typed error"
+    )]
     pub fn score_matrix(&self, x: &Matrix) -> Vec<f64> {
         self.try_score_matrix(x).expect("TargAd::score_matrix")
     }
@@ -438,9 +586,45 @@ impl TargAd {
     /// Convenience: scores a whole [`Dataset`].
     ///
     /// # Panics
-    /// Same contract as [`TargAd::score_matrix`].
+    /// Panics when unfitted or on a dimensionality mismatch.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `try_score_dataset`, which returns a typed error"
+    )]
     pub fn score_dataset(&self, dataset: &Dataset) -> Vec<f64> {
-        self.score_matrix(&dataset.features)
+        self.try_score_dataset(dataset)
+            .expect("TargAd::score_dataset")
+    }
+}
+
+impl Detector for TargAd {
+    fn name(&self) -> &'static str {
+        "TargAD"
+    }
+
+    fn fit(&mut self, train: &TrainView, seed: u64) -> Result<(), TargAdError> {
+        self.fit_view(train, seed)
+    }
+
+    /// # Panics
+    /// Panics when called before a successful fit (the [`Detector::score`]
+    /// contract); [`TargAd::try_score_matrix`] is the fallible variant.
+    fn score(&self, x: &Matrix) -> Vec<f64> {
+        self.try_score_matrix(x)
+            .expect("TargAd: score before successful fit")
+    }
+
+    fn fit_traced(
+        &mut self,
+        train: &TrainView,
+        seed: u64,
+        probe: &Matrix,
+        trace: &mut dyn FnMut(usize, Vec<f64>),
+    ) -> Result<(), TargAdError> {
+        let runtime = self.runtime;
+        self.fit_view_with_monitor(train, seed, |epoch, clf| {
+            trace(epoch, clf.target_scores_rt(probe, &runtime));
+        })
     }
 }
 
@@ -535,7 +719,7 @@ mod tests {
 
     fn fitted_model(seed: u64) -> (TargAd, targad_data::DatasetBundle) {
         let bundle = GeneratorSpec::quick_demo().generate(seed);
-        let mut model = TargAd::new(TargAdConfig::fast());
+        let mut model = TargAd::try_new(TargAdConfig::fast()).expect("valid config");
         model.fit(&bundle.train, seed).expect("fit succeeds");
         (model, bundle)
     }
@@ -545,13 +729,16 @@ mod tests {
         let bundle = GeneratorSpec::quick_demo().generate(1);
         let mut unlabeled = bundle.train.clone();
         unlabeled.labeled.iter_mut().for_each(|l| *l = false);
-        let mut model = TargAd::new(TargAdConfig::fast());
-        assert_eq!(model.fit(&unlabeled, 1), Err(TargAdError::NoLabeledAnomalies));
+        let mut model = TargAd::try_new(TargAdConfig::fast()).expect("valid config");
+        assert_eq!(
+            model.fit(&unlabeled, 1),
+            Err(TargAdError::NoLabeledAnomalies)
+        );
     }
 
     #[test]
     fn unfitted_model_errors() {
-        let model = TargAd::new(TargAdConfig::fast());
+        let model = TargAd::try_new(TargAdConfig::fast()).expect("valid config");
         assert_eq!(model.classifier().err(), Some(TargAdError::NotFitted));
         assert_eq!(
             model.try_score_matrix(&Matrix::ones(1, 12)).err(),
@@ -564,17 +751,19 @@ mod tests {
         let (model, _) = fitted_model(2);
         assert!(matches!(
             model.try_score_matrix(&Matrix::ones(1, 5)),
-            Err(TargAdError::DimMismatch { expected: 12, got: 5 })
+            Err(TargAdError::DimMismatch {
+                expected: 12,
+                got: 5
+            })
         ));
     }
 
     #[test]
     fn detects_target_anomalies_well_above_chance() {
         let (model, bundle) = fitted_model(3);
-        let scores = model.score_dataset(&bundle.test);
+        let scores = model.try_score_dataset(&bundle.test).unwrap();
         let labels = bundle.test.target_labels();
-        let prevalence =
-            labels.iter().filter(|&&l| l).count() as f64 / labels.len() as f64;
+        let prevalence = labels.iter().filter(|&&l| l).count() as f64 / labels.len() as f64;
         let ap = average_precision(&scores, &labels);
         let roc = auroc(&scores, &labels);
         assert!(ap > 3.0 * prevalence, "AP {ap} vs prevalence {prevalence}");
@@ -584,8 +773,10 @@ mod tests {
     #[test]
     fn scores_are_valid_probabilities() {
         let (model, bundle) = fitted_model(4);
-        let scores = model.score_dataset(&bundle.test);
-        assert!(scores.iter().all(|&s| (0.0..=1.0).contains(&s) && s.is_finite()));
+        let scores = model.try_score_dataset(&bundle.test).unwrap();
+        assert!(scores
+            .iter()
+            .all(|&s| (0.0..=1.0).contains(&s) && s.is_finite()));
     }
 
     #[test]
@@ -622,7 +813,10 @@ mod tests {
         let loss = &model.history().clf_loss;
         let early = loss[..3].iter().sum::<f64>() / 3.0;
         let late = loss[loss.len() - 3..].iter().sum::<f64>() / 3.0;
-        assert!(late < early, "loss did not decrease: early {early}, late {late}");
+        assert!(
+            late < early,
+            "loss did not decrease: early {early}, late {late}"
+        );
     }
 
     #[test]
@@ -655,7 +849,7 @@ mod tests {
     #[test]
     fn monitor_is_called_every_epoch() {
         let bundle = GeneratorSpec::quick_demo().generate(10);
-        let mut model = TargAd::new(TargAdConfig::fast());
+        let mut model = TargAd::try_new(TargAdConfig::fast()).expect("valid config");
         let mut calls = Vec::new();
         model
             .fit_with_monitor(&bundle.train, 10, |epoch, clf| {
@@ -669,23 +863,29 @@ mod tests {
     #[test]
     fn fit_is_deterministic_given_seed() {
         let bundle = GeneratorSpec::quick_demo().generate(11);
-        let mut a = TargAd::new(TargAdConfig::fast());
+        let mut a = TargAd::try_new(TargAdConfig::fast()).expect("valid config");
         a.fit(&bundle.train, 42).unwrap();
-        let mut b = TargAd::new(TargAdConfig::fast());
+        let mut b = TargAd::try_new(TargAdConfig::fast()).expect("valid config");
         b.fit(&bundle.train, 42).unwrap();
-        assert_eq!(a.score_dataset(&bundle.test), b.score_dataset(&bundle.test));
+        assert_eq!(
+            a.try_score_dataset(&bundle.test).unwrap(),
+            b.try_score_dataset(&bundle.test).unwrap()
+        );
     }
 
     #[test]
     fn ablation_flags_change_the_model() {
         let bundle = GeneratorSpec::quick_demo().generate(12);
-        let mut full = TargAd::new(TargAdConfig::fast());
+        let mut full = TargAd::try_new(TargAdConfig::fast()).expect("valid config");
         full.fit(&bundle.train, 1).unwrap();
         let mut cfg = TargAdConfig::fast();
         cfg.use_oe = false;
         cfg.use_re = false;
-        let mut ablated = TargAd::new(cfg);
+        let mut ablated = TargAd::try_new(cfg).expect("valid config");
         ablated.fit(&bundle.train, 1).unwrap();
-        assert_ne!(full.score_dataset(&bundle.test), ablated.score_dataset(&bundle.test));
+        assert_ne!(
+            full.try_score_dataset(&bundle.test).unwrap(),
+            ablated.try_score_dataset(&bundle.test).unwrap()
+        );
     }
 }

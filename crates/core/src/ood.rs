@@ -36,7 +36,11 @@ pub enum OodStrategy {
 impl OodStrategy {
     /// All strategies in Table IV order.
     pub fn all() -> [OodStrategy; 3] {
-        [OodStrategy::Msp, OodStrategy::EnergyScore, OodStrategy::EnergyDiscrepancy]
+        [
+            OodStrategy::Msp,
+            OodStrategy::EnergyScore,
+            OodStrategy::EnergyDiscrepancy,
+        ]
     }
 
     /// Name as used in the paper.
@@ -58,7 +62,10 @@ impl OodStrategy {
                 // consistent with Eq. 9.
                 let max_all = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
                 let denom: f64 = logits.iter().map(|&z| (z - max_all).exp()).sum();
-                block.iter().map(|&z| (z - max_all).exp() / denom).fold(f64::NEG_INFINITY, f64::max)
+                block
+                    .iter()
+                    .map(|&z| (z - max_all).exp() / denom)
+                    .fold(f64::NEG_INFINITY, f64::max)
             }
             OodStrategy::EnergyScore => logsumexp(block),
             OodStrategy::EnergyDiscrepancy => {
@@ -109,16 +116,23 @@ pub fn calibrate_threshold(
     val_truth3: &[usize],
     strategy: OodStrategy,
 ) -> f64 {
-    assert_eq!(val_x.rows(), val_truth3.len(), "calibrate_threshold: length mismatch");
+    assert_eq!(
+        val_x.rows(),
+        val_truth3.len(),
+        "calibrate_threshold: length mismatch"
+    );
     let logits = clf.logits(val_x);
     let probs = logits.softmax_rows();
-    let anomalous: Vec<usize> =
-        (0..val_x.rows()).filter(|&r| !clf.is_normal_row(probs.row(r))).collect();
+    let anomalous: Vec<usize> = (0..val_x.rows())
+        .filter(|&r| !clf.is_normal_row(probs.row(r)))
+        .collect();
     if anomalous.is_empty() {
         return 0.0;
     }
-    let mut scores: Vec<f64> =
-        anomalous.iter().map(|&r| strategy.target_score(logits.row(r), clf.m())).collect();
+    let mut scores: Vec<f64> = anomalous
+        .iter()
+        .map(|&r| strategy.target_score(logits.row(r), clf.m()))
+        .collect();
     scores.sort_by(|a, b| a.partial_cmp(b).expect("NaN OOD score"));
     scores.dedup();
 
@@ -196,7 +210,7 @@ mod tests {
     #[test]
     fn three_way_classification_end_to_end() {
         let bundle = GeneratorSpec::quick_demo().generate(31);
-        let mut model = TargAd::new(TargAdConfig::fast());
+        let mut model = TargAd::try_new(TargAdConfig::fast()).expect("valid config");
         model.fit(&bundle.train, 31).expect("fit");
         let clf = model.classifier().unwrap();
 
@@ -214,7 +228,12 @@ mod tests {
             // Normal recall must be solid; target identification well above
             // chance.
             let normal = cm.class_report(0);
-            assert!(normal.recall > 0.7, "{}: normal recall {}", strategy.name(), normal.recall);
+            assert!(
+                normal.recall > 0.7,
+                "{}: normal recall {}",
+                strategy.name(),
+                normal.recall
+            );
             assert!(
                 cm.accuracy() > 0.6,
                 "{}: accuracy {}",

@@ -59,12 +59,17 @@ pub fn from_string(text: &str) -> io::Result<Classifier> {
     }
     let m = parse_kv(lines.next(), "m").map_err(bad)?;
     let k = parse_kv(lines.next(), "k").map_err(bad)?;
-    let dims_line = lines.next().ok_or_else(|| bad("missing dims line".into()))?;
+    let dims_line = lines
+        .next()
+        .ok_or_else(|| bad("missing dims line".into()))?;
     let dims: Vec<usize> = dims_line
         .strip_prefix("dims ")
         .ok_or_else(|| bad(format!("expected `dims …`, got `{dims_line}`")))?
         .split_whitespace()
-        .map(|tok| tok.parse::<usize>().map_err(|e| bad(format!("bad dim `{tok}`: {e}"))))
+        .map(|tok| {
+            tok.parse::<usize>()
+                .map_err(|e| bad(format!("bad dim `{tok}`: {e}")))
+        })
         .collect::<Result<_, _>>()?;
     if dims.len() < 2 {
         return Err(bad("dims must list at least input and output".into()));
@@ -86,13 +91,20 @@ pub fn from_string(text: &str) -> io::Result<Classifier> {
         if header.len() != 3 || header[0] != "matrix" {
             return Err(bad(format!("expected `matrix <r> <c>`, got `{line}`")));
         }
-        let rows: usize = header[1].parse().map_err(|e| bad(format!("bad rows: {e}")))?;
-        let cols: usize = header[2].parse().map_err(|e| bad(format!("bad cols: {e}")))?;
+        let rows: usize = header[1]
+            .parse()
+            .map_err(|e| bad(format!("bad rows: {e}")))?;
+        let cols: usize = header[2]
+            .parse()
+            .map_err(|e| bad(format!("bad cols: {e}")))?;
         let mut data = Vec::with_capacity(rows * cols);
         for _ in 0..rows {
             let row_line = lines.next().ok_or_else(|| bad("truncated matrix".into()))?;
             for tok in row_line.split_whitespace() {
-                data.push(tok.parse::<f64>().map_err(|e| bad(format!("bad value `{tok}`: {e}")))?);
+                data.push(
+                    tok.parse::<f64>()
+                        .map_err(|e| bad(format!("bad value `{tok}`: {e}")))?,
+                );
             }
         }
         if data.len() != rows * cols {
@@ -108,7 +120,10 @@ pub fn from_string(text: &str) -> io::Result<Classifier> {
     // Rebuild the network skeleton, then overwrite its parameters.
     let expected = 2 * (dims.len() - 1);
     if matrices.len() != expected {
-        return Err(bad(format!("expected {expected} parameter matrices, got {}", matrices.len())));
+        return Err(bad(format!(
+            "expected {expected} parameter matrices, got {}",
+            matrices.len()
+        )));
     }
     // Initialization values are irrelevant — they are overwritten below.
     let mut rng = lrng::seeded(0);
@@ -152,7 +167,7 @@ mod tests {
         let mut cfg = TargAdConfig::fast();
         cfg.ae_epochs = 4;
         cfg.clf_epochs = 6;
-        let mut model = TargAd::new(cfg);
+        let mut model = TargAd::try_new(cfg).expect("valid config");
         model.fit(&bundle.train, 55).expect("fit");
         (model, bundle)
     }
@@ -179,7 +194,10 @@ mod tests {
         let restored = load(&path).expect("load");
         assert_eq!(
             restored.target_scores(&bundle.test.features),
-            model.classifier().unwrap().target_scores(&bundle.test.features)
+            model
+                .classifier()
+                .unwrap()
+                .target_scores(&bundle.test.features)
         );
         let _ = std::fs::remove_file(&path);
     }

@@ -13,8 +13,9 @@ use targad_linalg::Matrix;
 fn identity_classifier() -> targad_core::Classifier {
     let mut text = String::from("targad-classifier v1\nm 2\nk 2\ndims 4 4\nmatrix 4 4\n");
     for r in 0..4 {
-        let row: Vec<String> =
-            (0..4).map(|c| if r == c { "1.0".into() } else { "0.0".into() }).collect();
+        let row: Vec<String> = (0..4)
+            .map(|c| if r == c { "1.0".into() } else { "0.0".into() })
+            .collect();
         text.push_str(&row.join(" "));
         text.push('\n');
     }

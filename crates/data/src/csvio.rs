@@ -59,7 +59,12 @@ pub fn from_csv_string(text: &str) -> io::Result<Dataset> {
         }
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != d + 2 {
-            return Err(bad(format!("line {}: expected {} fields, got {}", ln + 2, d + 2, fields.len())));
+            return Err(bad(format!(
+                "line {}: expected {} fields, got {}",
+                ln + 2,
+                d + 2,
+                fields.len()
+            )));
         }
         let feats: Result<Vec<f64>, _> = fields[..d].iter().map(|f| f.parse::<f64>()).collect();
         rows.push(feats.map_err(|e| bad(format!("line {}: {e}", ln + 2)))?);
@@ -67,12 +72,19 @@ pub fn from_csv_string(text: &str) -> io::Result<Dataset> {
         let (kind, idx) = fields[d]
             .split_once(':')
             .ok_or_else(|| bad(format!("line {}: bad truth `{}`", ln + 2, fields[d])))?;
-        let idx: usize = idx.parse().map_err(|e| bad(format!("line {}: {e}", ln + 2)))?;
+        let idx: usize = idx
+            .parse()
+            .map_err(|e| bad(format!("line {}: {e}", ln + 2)))?;
         truth.push(match kind {
             "normal" => Truth::Normal { group: idx },
             "target" => Truth::Target { class: idx },
             "non_target" => Truth::NonTarget { class: idx },
-            other => return Err(bad(format!("line {}: unknown truth kind `{other}`", ln + 2))),
+            other => {
+                return Err(bad(format!(
+                    "line {}: unknown truth kind `{other}`",
+                    ln + 2
+                )))
+            }
         });
         labeled.push(match fields[d + 1] {
             "0" => false,
@@ -116,7 +128,12 @@ mod tests {
         assert_eq!(back.labeled, bundle.train.labeled);
         assert_eq!(back.features.shape(), bundle.train.features.shape());
         for i in 0..back.len() {
-            for (a, b) in back.features.row(i).iter().zip(bundle.train.features.row(i)) {
+            for (a, b) in back
+                .features
+                .row(i)
+                .iter()
+                .zip(bundle.train.features.row(i))
+            {
                 assert!((a - b).abs() < 1e-12);
             }
         }

@@ -1,7 +1,6 @@
 //! The dataset representation shared by TargAD, the baselines, and the
 //! experiment harness.
 
-use serde::{Deserialize, Serialize};
 use targad_linalg::Matrix;
 
 /// Ground-truth identity of one instance.
@@ -9,7 +8,7 @@ use targad_linalg::Matrix;
 /// Training code only sees the truth of *labeled* rows; the rest is used for
 /// evaluation and for diagnostics like Fig. 5 (weight trajectories per
 /// instance type).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Truth {
     /// A normal instance from hidden group `group`.
     Normal {
@@ -55,7 +54,7 @@ impl Truth {
 /// min-max normalizes everything). `truth[i]` is the hidden ground truth of
 /// row `i`, and `labeled[i]` is true exactly when row `i` belongs to the
 /// labeled target-anomaly set `D_L`.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Dataset {
     /// `n x D` instance matrix.
     pub features: Matrix,
@@ -71,12 +70,27 @@ impl Dataset {
     /// # Panics
     /// Panics if lengths disagree or a labeled row is not a target anomaly.
     pub fn new(features: Matrix, truth: Vec<Truth>, labeled: Vec<bool>) -> Self {
-        assert_eq!(features.rows(), truth.len(), "Dataset: truth length mismatch");
-        assert_eq!(features.rows(), labeled.len(), "Dataset: labeled length mismatch");
+        assert_eq!(
+            features.rows(),
+            truth.len(),
+            "Dataset: truth length mismatch"
+        );
+        assert_eq!(
+            features.rows(),
+            labeled.len(),
+            "Dataset: labeled length mismatch"
+        );
         for (i, (&l, &t)) in labeled.iter().zip(&truth).enumerate() {
-            assert!(!l || t.is_target(), "Dataset: labeled row {i} is not a target anomaly");
+            assert!(
+                !l || t.is_target(),
+                "Dataset: labeled row {i} is not a target anomaly"
+            );
         }
-        Self { features, truth, labeled }
+        Self {
+            features,
+            truth,
+            labeled,
+        }
     }
 
     /// Number of instances.
@@ -254,7 +268,12 @@ mod tests {
         let s = tiny().summary();
         assert_eq!(
             s,
-            SplitSummary { normal: 1, labeled_target: 1, unlabeled_target: 1, non_target: 1 }
+            SplitSummary {
+                normal: 1,
+                labeled_target: 1,
+                unlabeled_target: 1,
+                non_target: 1
+            }
         );
         assert_eq!(s.total(), 4);
     }

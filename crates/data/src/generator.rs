@@ -114,8 +114,16 @@ impl GeneratorSpec {
             train_unlabeled: 600,
             contamination: 0.08,
             target_share_of_contamination: 0.35,
-            val_counts: SplitCounts { normal: 150, target: 20, non_target: 30 },
-            test_counts: SplitCounts { normal: 300, target: 40, non_target: 60 },
+            val_counts: SplitCounts {
+                normal: 150,
+                target: 20,
+                non_target: 30,
+            },
+            test_counts: SplitCounts {
+                normal: 300,
+                target: 40,
+                non_target: 60,
+            },
             train_non_target_classes: None,
             separation: 1.0,
             cluster_std: 0.05,
@@ -142,13 +150,24 @@ impl GeneratorSpec {
         let val = self.build_eval_split(&geometry, self.val_counts, &mut rng);
         let test = self.build_eval_split(&geometry, self.test_counts, &mut rng);
 
-        DatasetBundle { spec: self.clone(), train, val, test }
+        DatasetBundle {
+            spec: self.clone(),
+            train,
+            val,
+            test,
+        }
     }
 
     fn validate(&self) {
         assert!(self.dims > 0, "spec: dims must be positive");
-        assert!(self.normal_groups > 0, "spec: need at least one normal group");
-        assert!(self.target_classes > 0, "spec: need at least one target class");
+        assert!(
+            self.normal_groups > 0,
+            "spec: need at least one normal group"
+        );
+        assert!(
+            self.target_classes > 0,
+            "spec: need at least one target class"
+        );
         assert!(
             (0.0..1.0).contains(&self.contamination),
             "spec: contamination {} outside [0, 1)",
@@ -315,8 +334,11 @@ impl Geometry {
         let mut group_weights = Vec::with_capacity(spec.normal_groups);
         for _ in 0..spec.normal_groups {
             group_centers.push((0..dims).map(|_| rng.random_range(0.25..0.75)).collect());
-            group_stds
-                .push((0..dims).map(|_| spec.cluster_std * rng.random_range(0.5..1.5)).collect());
+            group_stds.push(
+                (0..dims)
+                    .map(|_| spec.cluster_std * rng.random_range(0.5..1.5))
+                    .collect(),
+            );
             group_weights.push(rng.random_range(0.5..1.5));
         }
         let total: f64 = group_weights.iter().sum();
@@ -378,9 +400,12 @@ impl Geometry {
             }
         };
 
-        let target_defs = (0..spec.target_classes).map(|_| make_class(1.0, true)).collect();
-        let non_target_defs =
-            (0..spec.non_target_classes).map(|_| make_class(1.5, false)).collect();
+        let target_defs = (0..spec.target_classes)
+            .map(|_| make_class(1.0, true))
+            .collect();
+        let non_target_defs = (0..spec.non_target_classes)
+            .map(|_| make_class(1.5, false))
+            .collect();
 
         Self {
             dims,
@@ -520,7 +545,11 @@ mod tests {
     fn features_are_in_unit_interval() {
         let bundle = GeneratorSpec::quick_demo().generate(3);
         for split in [&bundle.train, &bundle.val, &bundle.test] {
-            assert!(split.features.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+            assert!(split
+                .features
+                .as_slice()
+                .iter()
+                .all(|&v| (0.0..=1.0).contains(&v)));
         }
     }
 
@@ -530,8 +559,7 @@ mod tests {
         // than normal rows do — the property every detector relies on.
         let bundle = GeneratorSpec::quick_demo().generate(5);
         let d = &bundle.test;
-        let normals: Vec<usize> =
-            (0..d.len()).filter(|&i| !d.truth[i].is_anomaly()).collect();
+        let normals: Vec<usize> = (0..d.len()).filter(|&i| !d.truth[i].is_anomaly()).collect();
         let anoms: Vec<usize> = (0..d.len()).filter(|&i| d.truth[i].is_anomaly()).collect();
         let groups = bundle.spec.normal_groups;
         let dims = d.dims();
@@ -551,7 +579,10 @@ mod tests {
             }
         }
         let nearest = |i: usize| -> f64 {
-            means.iter().map(|m| d.features.row_sq_dist(i, m)).fold(f64::INFINITY, f64::min)
+            means
+                .iter()
+                .map(|m| d.features.row_sq_dist(i, m))
+                .fold(f64::INFINITY, f64::min)
         };
         let avg = |idx: &[usize]| idx.iter().map(|&i| nearest(i)).sum::<f64>() / idx.len() as f64;
         assert!(

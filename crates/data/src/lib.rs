@@ -25,10 +25,10 @@
 pub mod csvio;
 pub mod dataset;
 pub mod generator;
-pub mod presets;
 pub mod preprocess;
+pub mod presets;
 
 pub use dataset::{Dataset, SplitSummary, Truth};
 pub use generator::{DatasetBundle, GeneratorSpec, SplitCounts};
-pub use presets::Preset;
 pub use preprocess::{MinMaxScaler, OneHotEncoder};
+pub use presets::Preset;

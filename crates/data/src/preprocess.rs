@@ -44,7 +44,11 @@ impl MinMaxScaler {
     /// # Panics
     /// Panics on a column-count mismatch.
     pub fn transform(&self, data: &Matrix) -> Matrix {
-        assert_eq!(data.cols(), self.mins.len(), "MinMaxScaler: column mismatch");
+        assert_eq!(
+            data.cols(),
+            self.mins.len(),
+            "MinMaxScaler: column mismatch"
+        );
         let mut out = data.clone();
         for r in 0..out.rows() {
             for (c, v) in out.row_mut(r).iter_mut().enumerate() {
@@ -89,13 +93,17 @@ impl OneHotEncoder {
         let mut levels = Vec::with_capacity(columns.len());
         for &c in columns {
             assert!(c < data.cols(), "OneHotEncoder: column {c} out of range");
-            let mut vals: Vec<i64> =
-                (0..data.rows()).map(|r| data[(r, c)].round() as i64).collect();
+            let mut vals: Vec<i64> = (0..data.rows())
+                .map(|r| data[(r, c)].round() as i64)
+                .collect();
             vals.sort_unstable();
             vals.dedup();
             levels.push(vals);
         }
-        Self { levels, columns: columns.to_vec() }
+        Self {
+            levels,
+            columns: columns.to_vec(),
+        }
     }
 
     /// Output dimensionality after encoding `input_cols`-wide data.
@@ -106,8 +114,9 @@ impl OneHotEncoder {
     /// Applies the encoding: categorical columns are replaced (in order,
     /// appended after the numeric columns) by their indicator blocks.
     pub fn transform(&self, data: &Matrix) -> Matrix {
-        let numeric: Vec<usize> =
-            (0..data.cols()).filter(|c| !self.columns.contains(c)).collect();
+        let numeric: Vec<usize> = (0..data.cols())
+            .filter(|c| !self.columns.contains(c))
+            .collect();
         let out_cols = self.encoded_dims(data.cols());
         let mut out = Matrix::zeros(data.rows(), out_cols);
         for r in 0..data.rows() {

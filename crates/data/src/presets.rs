@@ -29,7 +29,12 @@ pub enum Preset {
 impl Preset {
     /// All four presets in the paper's order.
     pub fn all() -> [Preset; 4] {
-        [Preset::UnswNb15, Preset::KddCup99, Preset::NslKdd, Preset::Sqb]
+        [
+            Preset::UnswNb15,
+            Preset::KddCup99,
+            Preset::NslKdd,
+            Preset::Sqb,
+        ]
     }
 
     /// Human-readable name as used in the paper's tables.

@@ -25,10 +25,16 @@ fn spec_strategy() -> impl Strategy<Value = GeneratorSpec> {
                 spec.signature_dropout = dropout;
                 spec.train_unlabeled = 120;
                 spec.labeled_per_class = 4;
-                spec.val_counts =
-                    SplitCounts { normal: 30, target: 6, non_target: 3 * non_targets };
-                spec.test_counts =
-                    SplitCounts { normal: 40, target: 8, non_target: 4 * non_targets };
+                spec.val_counts = SplitCounts {
+                    normal: 30,
+                    target: 6,
+                    non_target: 3 * non_targets,
+                };
+                spec.test_counts = SplitCounts {
+                    normal: 40,
+                    target: 8,
+                    non_target: 4 * non_targets,
+                };
                 spec
             },
         )

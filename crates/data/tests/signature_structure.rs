@@ -14,8 +14,9 @@ fn deviation_dims(
     normal_mean: &[f64],
     threshold: f64,
 ) -> HashSet<usize> {
-    let rows: Vec<usize> =
-        (0..dataset.len()).filter(|&i| select(dataset.truth[i])).collect();
+    let rows: Vec<usize> = (0..dataset.len())
+        .filter(|&i| select(dataset.truth[i]))
+        .collect();
     assert!(!rows.is_empty(), "no rows selected");
     let dims = dataset.dims();
     let mut mean = vec![0.0; dims];
@@ -24,7 +25,9 @@ fn deviation_dims(
             *m += v / rows.len() as f64;
         }
     }
-    (0..dims).filter(|&d| (mean[d] - normal_mean[d]).abs() > threshold).collect()
+    (0..dims)
+        .filter(|&d| (mean[d] - normal_mean[d]).abs() > threshold)
+        .collect()
 }
 
 #[test]
@@ -41,9 +44,17 @@ fn target_signatures_are_nearly_contained_in_non_target_signatures() {
     spec.contamination = 0.0;
     spec.train_unlabeled = 50;
     spec.labeled_per_class = 5;
-    spec.val_counts = SplitCounts { normal: 10, target: 4, non_target: 4 };
+    spec.val_counts = SplitCounts {
+        normal: 10,
+        target: 4,
+        non_target: 4,
+    };
     // Large test split → tight empirical means.
-    spec.test_counts = SplitCounts { normal: 400, target: 400, non_target: 400 };
+    spec.test_counts = SplitCounts {
+        normal: 400,
+        target: 400,
+        non_target: 400,
+    };
     let bundle = spec.generate(17);
     let d = &bundle.test;
 
@@ -63,13 +74,12 @@ fn target_signatures_are_nearly_contained_in_non_target_signatures() {
         threshold,
     );
     for class in 0..spec.target_classes {
-        let target_dims = deviation_dims(
-            d,
-            |t| t == Truth::Target { class },
-            &normal_mean,
-            threshold,
+        let target_dims =
+            deviation_dims(d, |t| t == Truth::Target { class }, &normal_mean, threshold);
+        assert!(
+            !target_dims.is_empty(),
+            "target class {class} deviates nowhere"
         );
-        assert!(!target_dims.is_empty(), "target class {class} deviates nowhere");
         let contained = target_dims.intersection(&non_target_union).count();
         let frac = contained as f64 / target_dims.len() as f64;
         // At 90% overlap, target deviation dims should overwhelmingly be a

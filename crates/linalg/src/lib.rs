@@ -8,6 +8,8 @@
 //! - [`Matrix`]: a row-major dense matrix with matmul variants tuned for
 //!   backprop (`matmul`, [`Matrix::matmul_tn`], [`Matrix::matmul_nt`]),
 //!   broadcasting helpers, reductions, and stable softmax kernels;
+//! - [`par`]: runtime-parallel `_rt` kernel variants that are bit-identical
+//!   to their serial counterparts at any worker count (see `targad-runtime`);
 //! - [`rng`]: seeded random initialization (uniform, Xavier/Glorot,
 //!   Box–Muller Gaussians) so every experiment is reproducible;
 //! - [`stats`]: scalar statistics (mean/std/quantiles) shared by the
@@ -17,6 +19,7 @@
 //! thousand rows, so numerical robustness is worth more than the memory.
 
 pub mod matrix;
+pub mod par;
 pub mod rng;
 pub mod stats;
 

@@ -1,6 +1,5 @@
 //! Row-major dense `f64` matrix with the kernels reverse-mode autodiff needs.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
 
@@ -10,7 +9,7 @@ use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
 /// contiguous, which is the access pattern of every kernel in this
 /// reproduction: batched forward/backward passes, per-row softmax,
 /// per-row reconstruction errors, and distance computations.
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -20,7 +19,11 @@ pub struct Matrix {
 impl Matrix {
     /// A `rows x cols` matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f64) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// A `rows x cols` matrix of zeros.
@@ -65,10 +68,19 @@ impl Matrix {
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, r) in rows.iter().enumerate() {
-            assert_eq!(r.len(), cols, "from_rows: row {i} has length {} != {cols}", r.len());
+            assert_eq!(
+                r.len(),
+                cols,
+                "from_rows: row {i} has length {} != {cols}",
+                r.len()
+            );
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Builds a matrix by evaluating `f(row, col)` at every position.
@@ -169,7 +181,11 @@ impl Matrix {
 
     /// Stacks `self` on top of `other` (column counts must match).
     pub fn vstack(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.cols, "vstack: column mismatch {} vs {}", self.cols, other.cols);
+        assert_eq!(
+            self.cols, other.cols,
+            "vstack: column mismatch {} vs {}",
+            self.cols, other.cols
+        );
         let mut data = Vec::with_capacity(self.data.len() + other.data.len());
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
@@ -178,7 +194,11 @@ impl Matrix {
 
     /// Concatenates `self` and `other` side by side (row counts must match).
     pub fn hstack(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.rows, other.rows, "hstack: row mismatch {} vs {}", self.rows, other.rows);
+        assert_eq!(
+            self.rows, other.rows,
+            "hstack: row mismatch {} vs {}",
+            self.rows, other.rows
+        );
         let cols = self.cols + other.cols;
         let mut data = Vec::with_capacity(self.rows * cols);
         for r in 0..self.rows {
@@ -202,20 +222,7 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        let n = other.cols;
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * n..(k + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        matmul_rows_into(self, other, 0, &mut out.data);
         out
     }
 
@@ -258,18 +265,7 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = other.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
-        }
+        matmul_nt_rows_into(self, other, 0, &mut out.data);
         out
     }
 
@@ -309,7 +305,12 @@ impl Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
     }
 
@@ -330,7 +331,11 @@ impl Matrix {
 
     /// In-place `self += other * s` (axpy). Shapes must match.
     pub fn add_scaled_inplace(&mut self, other: &Matrix, s: f64) {
-        assert_eq!(self.shape(), other.shape(), "add_scaled_inplace: shape mismatch");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "add_scaled_inplace: shape mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += b * s;
         }
@@ -405,7 +410,9 @@ impl Matrix {
 
     /// Per-row squared Euclidean norms, as a plain vector.
     pub fn row_sq_norms(&self) -> Vec<f64> {
-        self.iter_rows().map(|r| r.iter().map(|v| v * v).sum()).collect()
+        self.iter_rows()
+            .map(|r| r.iter().map(|v| v * v).sum())
+            .collect()
     }
 
     /// Squared Frobenius norm.
@@ -427,7 +434,10 @@ impl Matrix {
 
     /// Maximum value in row `r`.
     pub fn max_row(&self, r: usize) -> f64 {
-        self.row(r).iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.row(r)
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Numerically stable row-wise softmax.
@@ -478,7 +488,11 @@ impl Matrix {
     /// Squared Euclidean distance between row `r` of `self` and `point`.
     pub fn row_sq_dist(&self, r: usize, point: &[f64]) -> f64 {
         debug_assert_eq!(point.len(), self.cols);
-        self.row(r).iter().zip(point).map(|(&a, &b)| (a - b) * (a - b)).sum()
+        self.row(r)
+            .iter()
+            .zip(point)
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum()
     }
 
     /// True if all elements are finite.
@@ -487,11 +501,81 @@ impl Matrix {
     }
 }
 
+/// Computes out rows `[first_row, first_row + out.len() / b.cols())` of
+/// `a * b` into `out` (a row-major slice of whole out rows).
+///
+/// Each out row accumulates over `k` in ascending order and depends only on
+/// its own global row index, so any partition of the row range produces
+/// bit-identical results — this is the kernel behind both the serial
+/// [`Matrix::matmul`] and the runtime-parallel [`Matrix::matmul_rt`].
+pub(crate) fn matmul_rows_into(a: &Matrix, b: &Matrix, first_row: usize, out: &mut [f64]) {
+    let n = b.cols;
+    for (r, out_row) in out.chunks_mut(n).enumerate() {
+        let a_row = a.row(first_row + r);
+        for (k, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b.data[k * n..(k + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Computes out rows `[first_row, ...)` of `a * b^T` into `out`.
+///
+/// Pure dot products — each element depends only on its own indices, so any
+/// row-range partition is bit-identical.
+pub(crate) fn matmul_nt_rows_into(a: &Matrix, b: &Matrix, first_row: usize, out: &mut [f64]) {
+    let n = b.rows;
+    for (r, out_row) in out.chunks_mut(n).enumerate() {
+        let a_row = a.row(first_row + r);
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = b.row(j);
+            let mut acc = 0.0;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    }
+}
+
+/// Computes out rows `[first_k, ...)` of `a^T * b` into `out`.
+///
+/// Accumulates over data rows `r` in ascending order — the same per-element
+/// operand sequence as the serial [`Matrix::matmul_tn`] (which iterates `r`
+/// in its outer loop), so the two are bit-identical even though the loop
+/// nests differ. The `a[r][k] == 0` skip is per-element and matches too.
+pub(crate) fn matmul_tn_rows_into(a: &Matrix, b: &Matrix, first_k: usize, out: &mut [f64]) {
+    let n = b.cols;
+    for (kk, out_row) in out.chunks_mut(n).enumerate() {
+        let k = first_k + kk;
+        for r in 0..a.rows {
+            let av = a.data[r * a.cols + k];
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b.data[r * n..(r + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
 impl Index<(usize, usize)> for Matrix {
     type Output = f64;
     #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         &self.data[r * self.cols + c]
     }
 }
@@ -499,7 +583,12 @@ impl Index<(usize, usize)> for Matrix {
 impl IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -727,5 +816,4 @@ mod tests {
         assert_eq!((-&a).as_slice(), &[-1.0, -2.0]);
         assert_eq!(a.hadamard(&b).as_slice(), &[10.0, 40.0]);
     }
-
 }

@@ -1,0 +1,202 @@
+//! Runtime-parallel matrix kernels.
+//!
+//! Each `_rt` method is the exact computation of its serial namesake,
+//! partitioned over output rows (or elements) through a
+//! [`targad_runtime::Runtime`]. Because workers own disjoint output ranges
+//! and every element accumulates its floating-point operands in the same
+//! order as the serial kernel, results are **bit-identical** to the serial
+//! path at every worker count — `m.matmul(&n) == m.matmul_rt(&n, &rt)`
+//! exactly, not approximately.
+//!
+//! Small operands stay on the serial path: below [`PAR_MIN_FLOPS`] (matmul
+//! family) or [`PAR_MIN_ELEMS`] (elementwise) the spawn cost of scoped
+//! workers exceeds the work, so the methods fall through to the serial
+//! kernels. The fallback is size-based only — never worker-count-based — so
+//! it cannot break determinism across runtimes.
+
+use crate::matrix::{matmul_nt_rows_into, matmul_rows_into, matmul_tn_rows_into, Matrix};
+use targad_runtime::Runtime;
+
+/// Flop count (`rows * inner * cols`) below which matmul variants run
+/// serially: roughly a 32³ product, where scoped-thread spawn overhead
+/// (~10µs/worker) outweighs the arithmetic.
+pub const PAR_MIN_FLOPS: usize = 1 << 15;
+
+/// Element count below which elementwise kernels run serially.
+pub const PAR_MIN_ELEMS: usize = 1 << 14;
+
+impl Matrix {
+    /// [`Matrix::matmul`] executed on `rt`, bit-identical to the serial
+    /// product at any worker count.
+    ///
+    /// # Panics
+    /// Panics on an inner-dimension mismatch.
+    pub fn matmul_rt(&self, other: &Matrix, rt: &Runtime) -> Matrix {
+        let flops = self.rows() * self.cols() * other.cols();
+        if rt.is_serial() || flops < PAR_MIN_FLOPS {
+            return self.matmul(other);
+        }
+        assert_eq!(
+            self.cols(),
+            other.rows(),
+            "matmul_rt: inner dimension mismatch ({}x{}) * ({}x{})",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        let mut out = Matrix::zeros(self.rows(), other.cols());
+        let n = other.cols();
+        rt.par_rows(out.as_mut_slice(), n, |first_row, chunk| {
+            matmul_rows_into(self, other, first_row, chunk);
+        });
+        out
+    }
+
+    /// [`Matrix::matmul_tn`] (`self^T * other`) executed on `rt`,
+    /// bit-identical to the serial kernel at any worker count.
+    ///
+    /// # Panics
+    /// Panics on a row-count mismatch.
+    pub fn matmul_tn_rt(&self, other: &Matrix, rt: &Runtime) -> Matrix {
+        let flops = self.cols() * self.rows() * other.cols();
+        if rt.is_serial() || flops < PAR_MIN_FLOPS {
+            return self.matmul_tn(other);
+        }
+        assert_eq!(
+            self.rows(),
+            other.rows(),
+            "matmul_tn_rt: row mismatch ({}x{})^T * ({}x{})",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        let mut out = Matrix::zeros(self.cols(), other.cols());
+        let n = other.cols();
+        rt.par_rows(out.as_mut_slice(), n, |first_k, chunk| {
+            matmul_tn_rows_into(self, other, first_k, chunk);
+        });
+        out
+    }
+
+    /// [`Matrix::matmul_nt`] (`self * other^T`) executed on `rt`,
+    /// bit-identical to the serial kernel at any worker count.
+    ///
+    /// # Panics
+    /// Panics on a column-count mismatch.
+    pub fn matmul_nt_rt(&self, other: &Matrix, rt: &Runtime) -> Matrix {
+        let flops = self.rows() * self.cols() * other.rows();
+        if rt.is_serial() || flops < PAR_MIN_FLOPS {
+            return self.matmul_nt(other);
+        }
+        assert_eq!(
+            self.cols(),
+            other.cols(),
+            "matmul_nt_rt: column mismatch ({}x{}) * ({}x{})^T",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        let mut out = Matrix::zeros(self.rows(), other.rows());
+        let n = other.rows();
+        rt.par_rows(out.as_mut_slice(), n, |first_row, chunk| {
+            matmul_nt_rows_into(self, other, first_row, chunk);
+        });
+        out
+    }
+
+    /// [`Matrix::map`] executed on `rt`: applies `f` to every element.
+    ///
+    /// Elementwise maps have no cross-element data flow, so any partition
+    /// is trivially bit-identical.
+    pub fn map_rt(&self, f: impl Fn(f64) -> f64 + Sync, rt: &Runtime) -> Matrix {
+        let mut out = self.clone();
+        out.map_inplace_rt(f, rt);
+        out
+    }
+
+    /// [`Matrix::map_inplace`] executed on `rt`.
+    pub fn map_inplace_rt(&mut self, f: impl Fn(f64) -> f64 + Sync, rt: &Runtime) {
+        if rt.is_serial() || self.as_slice().len() < PAR_MIN_ELEMS {
+            self.map_inplace(f);
+            return;
+        }
+        rt.par_chunks(self.as_mut_slice(), |_, chunk| {
+            for v in chunk {
+                *v = f(*v);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    fn pair(rows: usize, inner: usize, cols: usize) -> (Matrix, Matrix) {
+        let mut r = rng::seeded(99);
+        (
+            rng::normal_matrix(&mut r, rows, inner, 0.0, 1.0),
+            rng::normal_matrix(&mut r, inner, cols, 0.0, 1.0),
+        )
+    }
+
+    #[test]
+    fn matmul_rt_is_bit_identical_across_worker_counts() {
+        // Big enough to clear PAR_MIN_FLOPS so the parallel path runs.
+        let (a, b) = pair(67, 41, 53);
+        let serial = a.matmul(&b);
+        for workers in [1, 2, 7, 32] {
+            let rt = Runtime::new(workers);
+            assert_eq!(a.matmul_rt(&b, &rt), serial, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn matmul_tn_rt_is_bit_identical_across_worker_counts() {
+        let (a, b) = pair(67, 41, 53);
+        // a^T * a2 where both have 67 rows.
+        let mut r = rng::seeded(5);
+        let c = rng::normal_matrix(&mut r, 67, 45, 0.0, 1.0);
+        let serial = a.matmul_tn(&c);
+        for workers in [1, 2, 7, 32] {
+            let rt = Runtime::new(workers);
+            assert_eq!(a.matmul_tn_rt(&c, &rt), serial, "workers = {workers}");
+        }
+        drop(b);
+    }
+
+    #[test]
+    fn matmul_nt_rt_is_bit_identical_across_worker_counts() {
+        let mut r = rng::seeded(6);
+        let a = rng::normal_matrix(&mut r, 61, 47, 0.0, 1.0);
+        let b = rng::normal_matrix(&mut r, 59, 47, 0.0, 1.0);
+        let serial = a.matmul_nt(&b);
+        for workers in [1, 2, 7, 32] {
+            let rt = Runtime::new(workers);
+            assert_eq!(a.matmul_nt_rt(&b, &rt), serial, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn small_products_take_the_serial_path_and_still_match() {
+        let (a, b) = pair(3, 4, 5);
+        let rt = Runtime::new(8);
+        assert_eq!(a.matmul_rt(&b, &rt), a.matmul(&b));
+    }
+
+    #[test]
+    fn map_rt_matches_serial_map() {
+        let mut r = rng::seeded(7);
+        // 200*100 = 20_000 elements clears PAR_MIN_ELEMS.
+        let m = rng::normal_matrix(&mut r, 200, 100, 0.0, 1.0);
+        let serial = m.map(|v| v.tanh());
+        for workers in [1, 2, 7] {
+            let rt = Runtime::new(workers);
+            assert_eq!(m.map_rt(|v| v.tanh(), &rt), serial, "workers = {workers}");
+        }
+    }
+}

@@ -8,7 +8,7 @@
 
 use crate::Matrix;
 use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Creates a deterministic RNG from a `u64` seed.
 pub fn seeded(seed: u64) -> StdRng {

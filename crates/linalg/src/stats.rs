@@ -35,7 +35,10 @@ pub fn max(values: &[f64]) -> f64 {
 /// Panics on an empty slice or `q` outside `[0, 1]`.
 pub fn quantile(values: &[f64], q: f64) -> f64 {
     assert!(!values.is_empty(), "quantile of an empty slice");
-    assert!((0.0..=1.0).contains(&q), "quantile fraction {q} out of [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile fraction {q} out of [0,1]"
+    );
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
     let pos = q * (sorted.len() - 1) as f64;

@@ -25,10 +25,17 @@ impl ConfusionMatrix {
     /// # Panics
     /// Panics on length mismatch or an index `>= num_classes`.
     pub fn from_predictions(truth: &[usize], predicted: &[usize], num_classes: usize) -> Self {
-        assert_eq!(truth.len(), predicted.len(), "confusion matrix: length mismatch");
+        assert_eq!(
+            truth.len(),
+            predicted.len(),
+            "confusion matrix: length mismatch"
+        );
         let mut counts = vec![vec![0usize; num_classes]; num_classes];
         for (&t, &p) in truth.iter().zip(predicted) {
-            assert!(t < num_classes && p < num_classes, "class index out of range");
+            assert!(
+                t < num_classes && p < num_classes,
+                "class index out of range"
+            );
             counts[t][p] += 1;
         }
         Self { counts }
@@ -46,7 +53,10 @@ impl ConfusionMatrix {
 
     /// Total instances.
     pub fn total(&self) -> usize {
-        self.counts.iter().map(|row| row.iter().sum::<usize>()).sum()
+        self.counts
+            .iter()
+            .map(|row| row.iter().sum::<usize>())
+            .sum()
     }
 
     /// Overall accuracy.
@@ -63,23 +73,47 @@ impl ConfusionMatrix {
     /// Precision/recall/F1 for class `c`.
     pub fn class_report(&self, c: usize) -> ClassReport {
         let tp = self.counts[c][c];
-        let fp: usize = (0..self.num_classes()).filter(|&t| t != c).map(|t| self.counts[t][c]).sum();
-        let fn_: usize = (0..self.num_classes()).filter(|&p| p != c).map(|p| self.counts[c][p]).sum();
+        let fp: usize = (0..self.num_classes())
+            .filter(|&t| t != c)
+            .map(|t| self.counts[t][c])
+            .sum();
+        let fn_: usize = (0..self.num_classes())
+            .filter(|&p| p != c)
+            .map(|p| self.counts[c][p])
+            .sum();
         let support = tp + fn_;
-        let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-        let recall = if support == 0 { 0.0 } else { tp as f64 / support as f64 };
+        let precision = if tp + fp == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let recall = if support == 0 {
+            0.0
+        } else {
+            tp as f64 / support as f64
+        };
         let f1 = if precision + recall == 0.0 {
             0.0
         } else {
             2.0 * precision * recall / (precision + recall)
         };
-        ClassReport { precision, recall, f1, support }
+        ClassReport {
+            precision,
+            recall,
+            f1,
+            support,
+        }
     }
 
     /// Unweighted mean of per-class reports ("macro avg" row of Table IV).
     pub fn macro_avg(&self) -> ClassReport {
         let n = self.num_classes() as f64;
-        let mut acc = ClassReport { precision: 0.0, recall: 0.0, f1: 0.0, support: 0 };
+        let mut acc = ClassReport {
+            precision: 0.0,
+            recall: 0.0,
+            f1: 0.0,
+            support: 0,
+        };
         for c in 0..self.num_classes() {
             let r = self.class_report(c);
             acc.precision += r.precision / n;
@@ -93,7 +127,12 @@ impl ConfusionMatrix {
     /// Support-weighted mean of per-class reports ("weighted avg" row).
     pub fn weighted_avg(&self) -> ClassReport {
         let total = self.total() as f64;
-        let mut acc = ClassReport { precision: 0.0, recall: 0.0, f1: 0.0, support: 0 };
+        let mut acc = ClassReport {
+            precision: 0.0,
+            recall: 0.0,
+            f1: 0.0,
+            support: 0,
+        };
         if total == 0.0 {
             return acc;
         }

@@ -17,7 +17,11 @@ pub fn auroc(scores: &[f64], labels: &[bool]) -> f64 {
 
     // Rank-sum with average ranks for ties.
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("NaN score in auroc"));
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .expect("NaN score in auroc")
+    });
 
     let mut rank_sum_pos = 0.0;
     let mut i = 0;
@@ -51,7 +55,11 @@ pub fn auroc(scores: &[f64], labels: &[bool]) -> f64 {
 /// # Panics
 /// Panics if `scores` and `labels` have different lengths.
 pub fn average_precision(scores: &[f64], labels: &[bool]) -> f64 {
-    assert_eq!(scores.len(), labels.len(), "average_precision: length mismatch");
+    assert_eq!(
+        scores.len(),
+        labels.len(),
+        "average_precision: length mismatch"
+    );
     let n_pos = labels.iter().filter(|&&l| l).count();
     if n_pos == 0 {
         return 0.0;
@@ -110,8 +118,16 @@ pub fn roc_curve(scores: &[f64], labels: &[bool]) -> Vec<(f64, f64)> {
             j += 1;
         }
         curve.push((
-            if n_neg > 0 { fp as f64 / n_neg as f64 } else { 0.0 },
-            if n_pos > 0 { tp as f64 / n_pos as f64 } else { 0.0 },
+            if n_neg > 0 {
+                fp as f64 / n_neg as f64
+            } else {
+                0.0
+            },
+            if n_pos > 0 {
+                tp as f64 / n_pos as f64
+            } else {
+                0.0
+            },
         ));
         i = j;
     }

@@ -9,6 +9,7 @@
 use rand::Rng;
 use targad_autograd::{Tape, Var, VarStore};
 use targad_linalg::Matrix;
+use targad_runtime::Runtime;
 
 use crate::layers::{Activation, Mlp};
 
@@ -40,7 +41,10 @@ impl AutoEncoder {
         dims: &[usize],
         hidden_act: Activation,
     ) -> Self {
-        assert!(dims.len() >= 2, "AutoEncoder::new: need [input, …, bottleneck], got {dims:?}");
+        assert!(
+            dims.len() >= 2,
+            "AutoEncoder::new: need [input, …, bottleneck], got {dims:?}"
+        );
         let mut mirrored: Vec<usize> = dims.to_vec();
         mirrored.reverse();
         let encoder = Mlp::new(store, rng, dims, hidden_act, Activation::None);
@@ -100,6 +104,19 @@ impl AutoEncoder {
     /// Inference-path squared reconstruction errors (Eq. 2), one per row.
     pub fn recon_errors(&self, store: &VarStore, x: &Matrix) -> Vec<f64> {
         let xhat = self.reconstruct_eval(store, x);
+        (&xhat - x).row_sq_norms()
+    }
+
+    /// [`AutoEncoder::reconstruct_eval`] executed on `rt`.
+    pub fn reconstruct_eval_rt(&self, store: &VarStore, x: &Matrix, rt: &Runtime) -> Matrix {
+        self.decoder
+            .eval_rt(store, &self.encoder.eval_rt(store, x, rt), rt)
+    }
+
+    /// [`AutoEncoder::recon_errors`] executed on `rt`; bit-identical to the
+    /// serial path at any worker count.
+    pub fn recon_errors_rt(&self, store: &VarStore, x: &Matrix, rt: &Runtime) -> Vec<f64> {
+        let xhat = self.reconstruct_eval_rt(store, x, rt);
         (&xhat - x).row_sq_norms()
     }
 }
@@ -166,7 +183,9 @@ mod tests {
         let ae = AutoEncoder::new(&mut vs, &mut rng, &[6, 4, 2]);
         // Rank-1-ish data: easy to compress through a 2-dim bottleneck.
         let base = lrng::uniform_matrix(&mut rng, 1, 6, 0.2, 0.8);
-        let x = Matrix::from_fn(40, 6, |r, c| (base[(0, c)] + 0.01 * (r as f64 % 5.0)).min(1.0));
+        let x = Matrix::from_fn(40, 6, |r, c| {
+            (base[(0, c)] + 0.01 * (r as f64 % 5.0)).min(1.0)
+        });
 
         let before: f64 = ae.recon_errors(&vs, &x).iter().sum();
         let mut opt = Adam::new(1e-2);

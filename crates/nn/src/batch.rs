@@ -9,7 +9,10 @@ use targad_linalg::rng as lrng;
 /// # Panics
 /// Panics if `batch_size == 0`.
 pub fn shuffled_batches(rng: &mut impl Rng, n: usize, batch_size: usize) -> Vec<Vec<usize>> {
-    assert!(batch_size > 0, "shuffled_batches: batch_size must be positive");
+    assert!(
+        batch_size > 0,
+        "shuffled_batches: batch_size must be positive"
+    );
     let perm = lrng::permutation(rng, n);
     perm.chunks(batch_size).map(|c| c.to_vec()).collect()
 }

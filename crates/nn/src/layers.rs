@@ -3,6 +3,7 @@
 use rand::Rng;
 use targad_autograd::{ParamId, Tape, Var, VarStore};
 use targad_linalg::{rng as lrng, Matrix};
+use targad_runtime::Runtime;
 
 /// Activation functions used across the reproduction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,6 +49,28 @@ impl Activation {
             Activation::Tanh => m.map(f64::tanh),
         }
     }
+
+    /// [`Activation::eval`] executed on `rt`; bit-identical to the serial
+    /// path at any worker count.
+    pub fn eval_rt(self, m: Matrix, rt: &Runtime) -> Matrix {
+        match self {
+            Activation::None => m,
+            Activation::Relu => m.map_rt(|x| x.max(0.0), rt),
+            Activation::LeakyRelu => m.map_rt(|x| if x > 0.0 { x } else { 0.01 * x }, rt),
+            Activation::Sigmoid => m.map_rt(
+                |x| {
+                    if x >= 0.0 {
+                        1.0 / (1.0 + (-x).exp())
+                    } else {
+                        let e = x.exp();
+                        e / (1.0 + e)
+                    }
+                },
+                rt,
+            ),
+            Activation::Tanh => m.map_rt(f64::tanh, rt),
+        }
+    }
 }
 
 /// A dense layer `y = x·W + b` with Xavier-initialized weights.
@@ -64,7 +87,12 @@ impl Linear {
     pub fn new(store: &mut VarStore, rng: &mut impl Rng, in_dim: usize, out_dim: usize) -> Self {
         let w = store.add(lrng::xavier_uniform(rng, in_dim, out_dim));
         let b = store.add(Matrix::zeros(1, out_dim));
-        Self { w, b, in_dim, out_dim }
+        Self {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Input dimensionality.
@@ -92,7 +120,15 @@ impl Linear {
 
     /// Inference-path forward on plain matrices.
     pub fn eval(&self, store: &VarStore, x: &Matrix) -> Matrix {
-        x.matmul(store.value(self.w)).add_row_broadcast(store.value(self.b))
+        x.matmul(store.value(self.w))
+            .add_row_broadcast(store.value(self.b))
+    }
+
+    /// [`Linear::eval`] executed on `rt`; bit-identical to the serial path
+    /// at any worker count (the batched product parallelizes over rows).
+    pub fn eval_rt(&self, store: &VarStore, x: &Matrix, rt: &Runtime) -> Matrix {
+        x.matmul_rt(store.value(self.w), rt)
+            .add_row_broadcast(store.value(self.b))
     }
 
     /// Tape forward treating this layer's parameters as *constants*:
@@ -134,9 +170,19 @@ impl Mlp {
         hidden_act: Activation,
         out_act: Activation,
     ) -> Self {
-        assert!(dims.len() >= 2, "Mlp::new: need at least [in, out] dims, got {dims:?}");
-        let layers = dims.windows(2).map(|w| Linear::new(store, rng, w[0], w[1])).collect();
-        Self { layers, hidden_act, out_act }
+        assert!(
+            dims.len() >= 2,
+            "Mlp::new: need at least [in, out] dims, got {dims:?}"
+        );
+        let layers = dims
+            .windows(2)
+            .map(|w| Linear::new(store, rng, w[0], w[1]))
+            .collect();
+        Self {
+            layers,
+            hidden_act,
+            out_act,
+        }
     }
 
     /// Input dimensionality.
@@ -172,7 +218,11 @@ impl Mlp {
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
             h = layer.forward(tape, store, h);
-            let act = if i == last { self.out_act } else { self.hidden_act };
+            let act = if i == last {
+                self.out_act
+            } else {
+                self.hidden_act
+            };
             h = act.forward(tape, h);
         }
         h
@@ -184,8 +234,30 @@ impl Mlp {
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
             h = layer.eval(store, &h);
-            let act = if i == last { self.out_act } else { self.hidden_act };
+            let act = if i == last {
+                self.out_act
+            } else {
+                self.hidden_act
+            };
             h = act.eval(h);
+        }
+        h
+    }
+
+    /// [`Mlp::eval`] executed on `rt`: the batched forward pass
+    /// parallelizes over rows, bit-identical to the serial path at any
+    /// worker count.
+    pub fn eval_rt(&self, store: &VarStore, x: &Matrix, rt: &Runtime) -> Matrix {
+        let mut h = x.clone();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.eval_rt(store, &h, rt);
+            let act = if i == last {
+                self.out_act
+            } else {
+                self.hidden_act
+            };
+            h = act.eval_rt(h, rt);
         }
         h
     }
@@ -197,7 +269,11 @@ impl Mlp {
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
             h = layer.forward_frozen(tape, store, h);
-            let act = if i == last { self.out_act } else { self.hidden_act };
+            let act = if i == last {
+                self.out_act
+            } else {
+                self.hidden_act
+            };
             h = act.forward(tape, h);
         }
         h
@@ -231,7 +307,13 @@ mod tests {
     fn mlp_forward_and_eval_agree() {
         let mut rng = lrng::seeded(2);
         let mut vs = VarStore::new();
-        let mlp = Mlp::new(&mut vs, &mut rng, &[3, 5, 2], Activation::Relu, Activation::Sigmoid);
+        let mlp = Mlp::new(
+            &mut vs,
+            &mut rng,
+            &[3, 5, 2],
+            Activation::Relu,
+            Activation::Sigmoid,
+        );
         let x = lrng::normal_matrix(&mut rng, 4, 3, 0.0, 1.0);
 
         let via_eval = mlp.eval(&vs, &x);
@@ -251,7 +333,13 @@ mod tests {
     fn mlp_gradients_check_out() {
         let mut rng = lrng::seeded(3);
         let mut vs = VarStore::new();
-        let mlp = Mlp::new(&mut vs, &mut rng, &[3, 4, 2], Activation::Tanh, Activation::None);
+        let mlp = Mlp::new(
+            &mut vs,
+            &mut rng,
+            &[3, 4, 2],
+            Activation::Tanh,
+            Activation::None,
+        );
         let x = lrng::normal_matrix(&mut rng, 5, 3, 0.0, 1.0);
         let y = lrng::normal_matrix(&mut rng, 5, 2, 0.0, 1.0);
         let report = gradient_check(
@@ -271,7 +359,13 @@ mod tests {
     fn sigmoid_output_is_bounded() {
         let mut rng = lrng::seeded(4);
         let mut vs = VarStore::new();
-        let mlp = Mlp::new(&mut vs, &mut rng, &[2, 3, 1], Activation::Relu, Activation::Sigmoid);
+        let mlp = Mlp::new(
+            &mut vs,
+            &mut rng,
+            &[2, 3, 1],
+            Activation::Relu,
+            Activation::Sigmoid,
+        );
         let x = lrng::normal_matrix(&mut rng, 50, 2, 0.0, 10.0);
         let y = mlp.eval(&vs, &x);
         assert!(y.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));

@@ -1,0 +1,278 @@
+//! Deterministic parallel execution runtime.
+//!
+//! Every parallel operation in this workspace goes through a [`Runtime`]
+//! handle. The runtime's one non-negotiable contract is **determinism**:
+//! for the same inputs, results are bit-identical regardless of how many
+//! worker threads execute them — `Runtime::new(1)`, `Runtime::new(7)`, and
+//! `Runtime::from_env()` on any machine all produce the same bytes.
+//!
+//! The contract holds by construction, not by testing alone:
+//!
+//! * **Disjoint ownership** — work is split into contiguous index ranges,
+//!   one per worker; no two workers ever touch the same output element, so
+//!   there is nothing to race on and no locks are needed.
+//! * **Partition-independent elements** — the closures accepted here
+//!   receive global indices and must compute each element from those
+//!   indices alone, never from chunk-local state. The chunk boundaries can
+//!   then move freely (different thread counts) without changing any
+//!   element.
+//! * **Fixed reduction order** — when per-worker results are combined
+//!   ([`Runtime::par_map_indexed`]), they are concatenated in worker-index
+//!   order, which equals global index order. Floating-point reductions
+//!   therefore see operands in the same sequence every time.
+//!
+//! Workers are scoped threads ([`std::thread::scope`]) spawned per call:
+//! no thread pool lives between calls, no global state, no channels. For
+//! the kernel sizes this workspace runs (matrices of 10³–10⁷ elements,
+//! forests of hundreds of trees, benchmark suites of dozens of cells),
+//! spawn cost is noise next to the work; in exchange the runtime is
+//! dependency-free and impossible to poison.
+//!
+//! # Choosing a thread count
+//!
+//! [`Runtime::from_env`] reads `TARGAD_THREADS` (falling back to
+//! [`std::thread::available_parallelism`]); [`Runtime::new`] pins an exact
+//! count; [`Runtime::serial`] is the single-threaded identity. The handle
+//! is plain data (`Copy`) — pass it explicitly to whatever needs it.
+
+use std::num::NonZeroUsize;
+
+/// Environment variable consulted by [`Runtime::from_env`].
+pub const THREADS_ENV: &str = "TARGAD_THREADS";
+
+/// A handle selecting how many workers execute parallel operations.
+///
+/// The handle is deliberately tiny and [`Copy`]: embed it in model structs,
+/// pass it down call stacks, and never reach for a global.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Runtime {
+    threads: usize,
+}
+
+impl Default for Runtime {
+    /// Same as [`Runtime::from_env`].
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl Runtime {
+    /// A runtime with exactly `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A single-threaded runtime: every operation runs inline on the
+    /// calling thread.
+    pub fn serial() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// A runtime sized from the environment: the `TARGAD_THREADS` variable
+    /// if set to a positive integer, otherwise the machine's available
+    /// parallelism, otherwise 1.
+    pub fn from_env() -> Self {
+        let from_var = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0);
+        let threads = from_var.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        Self { threads }
+    }
+
+    /// The number of workers this runtime uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether operations run inline on the calling thread.
+    pub fn is_serial(&self) -> bool {
+        self.threads == 1
+    }
+
+    /// Splits `data` into contiguous runs of whole rows (each `row_len`
+    /// elements) and calls `f(first_row, rows)` on each run, in parallel.
+    ///
+    /// `f` receives the global index of the run's first row plus the
+    /// mutable slice holding those rows back-to-back. For the result to be
+    /// deterministic across thread counts, `f` must compute each row from
+    /// its global row index alone — never from where the chunk boundary
+    /// happens to fall.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of `row_len`, or if a
+    /// worker closure panics.
+    pub fn par_rows<T, F>(&self, data: &mut [T], row_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(row_len > 0, "par_rows: row_len must be positive");
+        assert_eq!(data.len() % row_len, 0, "par_rows: data is not whole rows");
+        let rows = data.len() / row_len;
+        let workers = self.threads.min(rows).max(1);
+        if workers <= 1 {
+            f(0, data);
+            return;
+        }
+        let base = rows / workers;
+        let extra = rows % workers;
+        std::thread::scope(|scope| {
+            let f = &f;
+            let mut rest = data;
+            let mut first_row = 0;
+            for w in 0..workers {
+                let take = base + usize::from(w < extra);
+                let (chunk, tail) = rest.split_at_mut(take * row_len);
+                rest = tail;
+                let start = first_row;
+                first_row += take;
+                scope.spawn(move || f(start, chunk));
+            }
+        });
+    }
+
+    /// Splits `data` into contiguous chunks, one per worker, and calls
+    /// `f(offset, chunk)` on each in parallel. Equivalent to
+    /// [`Runtime::par_rows`] with single-element rows.
+    pub fn par_chunks<T, F>(&self, data: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        if data.is_empty() {
+            return;
+        }
+        self.par_rows(data, 1, f);
+    }
+
+    /// Computes `f(i)` for every `i in 0..len` in parallel and returns the
+    /// results in index order.
+    ///
+    /// Each worker owns a contiguous index range; per-worker outputs are
+    /// concatenated in worker order, which equals index order, so the
+    /// returned vector is identical at every thread count as long as `f`
+    /// depends only on its index argument.
+    ///
+    /// # Panics
+    /// Panics if a worker closure panics.
+    pub fn par_map_indexed<T, F>(&self, len: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.threads.min(len).max(1);
+        if workers <= 1 {
+            return (0..len).map(f).collect();
+        }
+        let base = len / workers;
+        let extra = len % workers;
+        let mut out = Vec::with_capacity(len);
+        std::thread::scope(|scope| {
+            let f = &f;
+            let mut handles = Vec::with_capacity(workers);
+            let mut start = 0;
+            for w in 0..workers {
+                let take = base + usize::from(w < extra);
+                let range = start..start + take;
+                start += take;
+                handles.push(scope.spawn(move || range.map(f).collect::<Vec<T>>()));
+            }
+            for handle in handles {
+                out.extend(handle.join().expect("runtime worker panicked"));
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn new_clamps_to_one_and_serial_is_one() {
+        assert_eq!(Runtime::new(0).threads(), 1);
+        assert_eq!(Runtime::new(6).threads(), 6);
+        assert!(Runtime::serial().is_serial());
+        assert!(!Runtime::new(2).is_serial());
+    }
+
+    #[test]
+    fn par_map_indexed_matches_serial_at_any_worker_count() {
+        let expect: Vec<u64> = (0..1013u64).map(|i| i * i + 7).collect();
+        for workers in [1, 2, 3, 7, 16, 2000] {
+            let rt = Runtime::new(workers);
+            let got = rt.par_map_indexed(1013, |i| (i as u64) * (i as u64) + 7);
+            assert_eq!(got, expect, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn par_map_indexed_handles_empty_and_single() {
+        let rt = Runtime::new(4);
+        assert!(rt.par_map_indexed(0, |i| i).is_empty());
+        assert_eq!(rt.par_map_indexed(1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn par_rows_partitions_exactly_and_uses_global_indices() {
+        let row_len = 3;
+        let rows = 29;
+        for workers in [1, 2, 7, 64] {
+            let rt = Runtime::new(workers);
+            let mut data = vec![0usize; rows * row_len];
+            rt.par_rows(&mut data, row_len, |first_row, chunk| {
+                for (r, row) in chunk.chunks_mut(row_len).enumerate() {
+                    for (c, cell) in row.iter_mut().enumerate() {
+                        *cell = (first_row + r) * 100 + c;
+                    }
+                }
+            });
+            let expect: Vec<usize> = (0..rows)
+                .flat_map(|r| (0..row_len).map(move |c| r * 100 + c))
+                .collect();
+            assert_eq!(data, expect, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_touches_every_element_once() {
+        let rt = Runtime::new(5);
+        let mut data = vec![0u32; 101];
+        let calls = AtomicUsize::new(0);
+        rt.par_chunks(&mut data, |offset, chunk| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v += (offset + i) as u32;
+            }
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 5);
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u32));
+    }
+
+    #[test]
+    fn par_chunks_on_empty_slice_is_a_no_op() {
+        let rt = Runtime::new(4);
+        let mut data: [u8; 0] = [];
+        rt.par_chunks(&mut data, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    #[should_panic(expected = "whole rows")]
+    fn par_rows_rejects_ragged_data() {
+        Runtime::serial().par_rows(&mut [0u8; 7], 3, |_, _| {});
+    }
+
+    #[test]
+    fn from_env_is_at_least_one() {
+        assert!(Runtime::from_env().threads() >= 1);
+    }
+}

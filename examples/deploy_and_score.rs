@@ -12,7 +12,7 @@ use targad::prelude::*;
 fn main() {
     // ---- offline training job ------------------------------------------
     let bundle = GeneratorSpec::quick_demo().generate(99);
-    let mut model = TargAd::new(TargAdConfig::fast());
+    let mut model = TargAd::try_new(TargAdConfig::fast()).expect("valid config");
     model.fit(&bundle.train, 99).expect("training succeeds");
     let clf = model.classifier().expect("fitted");
 
@@ -31,7 +31,10 @@ fn main() {
     let restored = snapshot::load(&path).expect("reload classifier");
     let scores = restored.target_scores(&bundle.test.features);
     let original = clf.target_scores(&bundle.test.features);
-    assert_eq!(scores, original, "snapshot must preserve scores bit-exactly");
+    assert_eq!(
+        scores, original,
+        "snapshot must preserve scores bit-exactly"
+    );
 
     let labels = bundle.test.target_labels();
     println!(

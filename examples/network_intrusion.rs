@@ -21,23 +21,32 @@ fn main() {
     let mut unseen = Preset::UnswNb15.spec(scale);
     unseen.train_non_target_classes = Some(vec![3]);
 
-    println!("UNSW-NB15-like stream, {} features, 3 high-risk attack families\n", seen.dims);
+    println!(
+        "UNSW-NB15-like stream, {} features, 3 high-risk attack families\n",
+        seen.dims
+    );
     println!("{:<28} {:>14} {:>14}", "", "TargAD AUPRC", "DevNet AUPRC");
-    for (name, spec) in [("0 novel low-risk families", seen), ("3 novel low-risk families", unseen)]
-    {
+    for (name, spec) in [
+        ("0 novel low-risk families", seen),
+        ("3 novel low-risk families", unseen),
+    ] {
         let bundle = spec.generate(11);
         let labels = bundle.test.target_labels();
 
         let mut config = TargAdConfig::default_tuned();
         config.k = Some(spec.normal_groups);
-        let mut targad = TargAd::new(config);
+        let mut targad = TargAd::try_new(config).expect("valid config");
         targad.fit(&bundle.train, 11).expect("training succeeds");
-        let ap_targad = average_precision(&targad.score_dataset(&bundle.test), &labels);
+        let ap_targad = average_precision(
+            &targad.try_score_dataset(&bundle.test).expect("fitted"),
+            &labels,
+        );
 
         let mut devnet = DevNet::default();
-        devnet.fit(&TrainView::from_dataset(&bundle.train), 11);
-        let ap_devnet =
-            average_precision(&devnet.score(&bundle.test.features), &labels);
+        devnet
+            .fit(&TrainView::from_dataset(&bundle.train), 11)
+            .expect("baseline fit");
+        let ap_devnet = average_precision(&devnet.score(&bundle.test.features), &labels);
 
         println!("{name:<28} {ap_targad:>14.3} {ap_devnet:>14.3}");
     }

@@ -27,12 +27,14 @@ fn main() {
 
     let mut config = TargAdConfig::default_tuned();
     config.k = Some(spec.normal_groups);
-    let mut model = TargAd::new(config);
+    let mut model = TargAd::try_new(config).expect("valid config");
     model.fit(&bundle.train, 42).expect("training succeeds");
-    let scores = model.score_dataset(&bundle.test);
+    let scores = model.try_score_dataset(&bundle.test).expect("fitted");
 
     let mut deepsad = DeepSad::default();
-    deepsad.fit(&TrainView::from_dataset(&bundle.train), 42);
+    deepsad
+        .fit(&TrainView::from_dataset(&bundle.train), 42)
+        .expect("baseline fit");
     let deepsad_scores = deepsad.score(&bundle.test.features);
 
     // The operational metric: of the K cases an analyst can verify today,
@@ -72,6 +74,10 @@ fn main() {
 fn precision_at_k(scores: &[f64], test: &targad::data::Dataset, k: usize) -> f64 {
     let mut order: Vec<usize> = (0..scores.len()).collect();
     order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap());
-    let hits = order.iter().take(k).filter(|&&i| test.truth[i].is_target()).count();
+    let hits = order
+        .iter()
+        .take(k)
+        .filter(|&&i| test.truth[i].is_target())
+        .count();
     hits as f64 / k as f64
 }

@@ -20,11 +20,11 @@ fn main() {
 
     // Fit TargAD. `fast()` is a small configuration for demos;
     // `TargAdConfig::paper()` mirrors §IV-C of the paper.
-    let mut model = TargAd::new(TargAdConfig::fast());
+    let mut model = TargAd::try_new(TargAdConfig::fast()).expect("valid config");
     model.fit(&bundle.train, 7).expect("training succeeds");
 
     // Score the test set: S^tar(x) = max_{j<=m} p_j(x)  (Eq. 9).
-    let scores = model.score_dataset(&bundle.test);
+    let scores = model.try_score_dataset(&bundle.test).expect("fitted");
     let labels = bundle.test.target_labels();
     println!(
         "TargAD   target AUPRC {:.3}, AUROC {:.3}",
@@ -35,7 +35,9 @@ fn main() {
     // Compare with isolation forest, which cannot tell target anomalies
     // from non-target ones.
     let mut forest = IForest::default();
-    forest.fit(&TrainView::from_dataset(&bundle.train), 7);
+    forest
+        .fit(&TrainView::from_dataset(&bundle.train), 7)
+        .expect("baseline fit");
     let forest_scores = forest.score(&bundle.test.features);
     println!(
         "iForest  target AUPRC {:.3}, AUROC {:.3}",

@@ -14,7 +14,7 @@ fn main() {
 
     let mut config = TargAdConfig::default_tuned();
     config.k = Some(spec.normal_groups);
-    let mut model = TargAd::new(config);
+    let mut model = TargAd::try_new(config).expect("valid config");
     model.fit(&bundle.train, 5).expect("training succeeds");
     let clf = model.classifier().expect("fitted");
 
@@ -30,7 +30,11 @@ fn main() {
         let cm = ConfusionMatrix::from_predictions(&test_truth, &pred, 3);
 
         println!("=== {} (threshold {tau:.3}) ===", strategy.name());
-        println!("accuracy {:.3}, macro-F1 {:.3}", cm.accuracy(), cm.macro_avg().f1);
+        println!(
+            "accuracy {:.3}, macro-F1 {:.3}",
+            cm.accuracy(),
+            cm.macro_avg().f1
+        );
         for (c, name) in names.iter().enumerate() {
             let r = cm.class_report(c);
             println!(
@@ -52,7 +56,12 @@ fn main() {
         &val_truth,
         OodStrategy::EnergyDiscrepancy,
     );
-    let pred = classify_three_way(clf, &bundle.test.features, OodStrategy::EnergyDiscrepancy, tau);
+    let pred = classify_three_way(
+        clf,
+        &bundle.test.features,
+        OodStrategy::EnergyDiscrepancy,
+        tau,
+    );
     for (code, name) in names.iter().enumerate() {
         let n = pred.iter().filter(|&&p| p == code).count();
         println!("  {name:<11} {n}");

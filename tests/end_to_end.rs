@@ -7,7 +7,7 @@ use targad::prelude::*;
 
 fn fitted(seed: u64) -> (TargAd, DatasetBundle) {
     let bundle = GeneratorSpec::quick_demo().generate(seed);
-    let mut model = TargAd::new(TargAdConfig::fast());
+    let mut model = TargAd::try_new(TargAdConfig::fast()).expect("valid config");
     model.fit(&bundle.train, seed).expect("fit succeeds");
     (model, bundle)
 }
@@ -16,10 +16,15 @@ fn fitted(seed: u64) -> (TargAd, DatasetBundle) {
 fn targad_beats_unsupervised_baseline_on_target_auprc() {
     let (model, bundle) = fitted(7);
     let labels = bundle.test.target_labels();
-    let targad_ap = average_precision(&model.score_dataset(&bundle.test), &labels);
+    let targad_ap = average_precision(
+        &model.try_score_dataset(&bundle.test).expect("fitted"),
+        &labels,
+    );
 
     let mut forest = IForest::default();
-    forest.fit(&TrainView::from_dataset(&bundle.train), 7);
+    forest
+        .fit(&TrainView::from_dataset(&bundle.train), 7)
+        .expect("baseline fit");
     let forest_ap = average_precision(&forest.score(&bundle.test.features), &labels);
 
     assert!(
@@ -32,7 +37,7 @@ fn targad_beats_unsupervised_baseline_on_target_auprc() {
 fn targad_suppresses_non_target_anomalies() {
     // Core claim: among anomalies, target ones outrank non-target ones.
     let (model, bundle) = fitted(8);
-    let scores = model.score_dataset(&bundle.test);
+    let scores = model.try_score_dataset(&bundle.test).expect("fitted");
     let three = bundle.test.three_way_labels();
     let mean = |code: usize| {
         let v: Vec<f64> = scores
@@ -48,7 +53,10 @@ fn targad_suppresses_non_target_anomalies() {
         target > non_target + 0.05,
         "target mean {target:.3} vs non-target mean {non_target:.3}"
     );
-    assert!(target > normal, "target mean {target:.3} vs normal mean {normal:.3}");
+    assert!(
+        target > normal,
+        "target mean {target:.3} vs normal mean {normal:.3}"
+    );
 }
 
 #[test]
@@ -57,19 +65,28 @@ fn robust_to_novel_non_target_types() {
     let mut spec = GeneratorSpec::quick_demo();
     spec.train_non_target_classes = Some(vec![0]); // class 1 is novel
     let bundle = spec.generate(9);
-    let mut model = TargAd::new(TargAdConfig::fast());
+    let mut model = TargAd::try_new(TargAdConfig::fast()).expect("valid config");
     model.fit(&bundle.train, 9).expect("fit succeeds");
     let labels = bundle.test.target_labels();
-    let ap = average_precision(&model.score_dataset(&bundle.test), &labels);
+    let ap = average_precision(
+        &model.try_score_dataset(&bundle.test).expect("fitted"),
+        &labels,
+    );
     let prevalence = labels.iter().filter(|&&l| l).count() as f64 / labels.len() as f64;
-    assert!(ap > 5.0 * prevalence, "AP {ap:.3} vs prevalence {prevalence:.3}");
+    assert!(
+        ap > 5.0 * prevalence,
+        "AP {ap:.3} vs prevalence {prevalence:.3}"
+    );
 }
 
 #[test]
 fn pipeline_is_deterministic() {
     let (a, bundle) = fitted(10);
     let (b, _) = fitted(10);
-    assert_eq!(a.score_dataset(&bundle.test), b.score_dataset(&bundle.test));
+    assert_eq!(
+        a.try_score_dataset(&bundle.test).expect("fitted"),
+        b.try_score_dataset(&bundle.test).expect("fitted")
+    );
 }
 
 #[test]
@@ -78,14 +95,17 @@ fn validation_performance_transfers_to_test() {
     // one must be good on the other (guards against split leakage bugs).
     let (model, bundle) = fitted(11);
     let val_ap = average_precision(
-        &model.score_dataset(&bundle.val),
+        &model.try_score_dataset(&bundle.val).expect("fitted"),
         &bundle.val.target_labels(),
     );
     let test_ap = average_precision(
-        &model.score_dataset(&bundle.test),
+        &model.try_score_dataset(&bundle.test).expect("fitted"),
         &bundle.test.target_labels(),
     );
-    assert!((val_ap - test_ap).abs() < 0.3, "val {val_ap:.3} vs test {test_ap:.3}");
+    assert!(
+        (val_ap - test_ap).abs() < 0.3,
+        "val {val_ap:.3} vs test {test_ap:.3}"
+    );
     assert!(val_ap > 0.5 && test_ap > 0.5);
 }
 

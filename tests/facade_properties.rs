@@ -6,10 +6,10 @@ use targad::prelude::*;
 
 fn small_spec_strategy() -> impl Strategy<Value = GeneratorSpec> {
     (
-        4usize..16,   // dims
-        1usize..3,    // normal groups
-        1usize..3,    // target classes
-        0usize..3,    // non-target classes
+        4usize..16,    // dims
+        1usize..3,     // normal groups
+        1usize..3,     // target classes
+        0usize..3,     // non-target classes
         0.02f64..0.12, // contamination
     )
         .prop_map(|(dims, groups, targets, non_targets, contamination)| {
@@ -21,8 +21,16 @@ fn small_spec_strategy() -> impl Strategy<Value = GeneratorSpec> {
             spec.contamination = contamination;
             spec.train_unlabeled = 200;
             spec.labeled_per_class = 5;
-            spec.val_counts = SplitCounts { normal: 40, target: 8, non_target: 4 * non_targets };
-            spec.test_counts = SplitCounts { normal: 60, target: 10, non_target: 5 * non_targets };
+            spec.val_counts = SplitCounts {
+                normal: 40,
+                target: 8,
+                non_target: 4 * non_targets,
+            };
+            spec.test_counts = SplitCounts {
+                normal: 60,
+                target: 10,
+                non_target: 5 * non_targets,
+            };
             spec
         })
 }
@@ -50,9 +58,9 @@ proptest! {
         cfg.ae_epochs = 3;
         cfg.clf_epochs = 4;
         cfg.k = Some(spec.normal_groups);
-        let mut model = TargAd::new(cfg);
+        let mut model = TargAd::try_new(cfg).expect("valid config");
         model.fit(&bundle.train, seed).expect("fit");
-        let scores = model.score_dataset(&bundle.test);
+        let scores = model.try_score_dataset(&bundle.test).expect("fitted");
         prop_assert!(scores.iter().all(|&s| s.is_finite() && (0.0..=1.0).contains(&s)));
     }
 }

@@ -17,13 +17,13 @@ fn csv_round_trip_preserves_training_outcome() {
     fast.clf_epochs = 10;
     fast.ae_epochs = 5;
 
-    let mut original = TargAd::new(fast.clone());
+    let mut original = TargAd::try_new(fast.clone()).expect("valid config");
     original.fit(&bundle.train, 1).expect("fit original");
-    let mut roundtrip = TargAd::new(fast);
+    let mut roundtrip = TargAd::try_new(fast).expect("valid config");
     roundtrip.fit(&reloaded, 1).expect("fit reloaded");
 
-    let a = original.score_dataset(&bundle.test);
-    let b = roundtrip.score_dataset(&bundle.test);
+    let a = original.try_score_dataset(&bundle.test).expect("fitted");
+    let b = roundtrip.try_score_dataset(&bundle.test).expect("fitted");
     for (x, y) in a.iter().zip(&b) {
         assert!((x - y).abs() < 1e-9, "scores diverged after CSV round trip");
     }
@@ -33,9 +33,11 @@ fn csv_round_trip_preserves_training_outcome() {
 #[test]
 fn all_splits_serialize() {
     let bundle = GeneratorSpec::quick_demo().generate(32);
-    for (name, split) in
-        [("train", &bundle.train), ("val", &bundle.val), ("test", &bundle.test)]
-    {
+    for (name, split) in [
+        ("train", &bundle.train),
+        ("val", &bundle.val),
+        ("test", &bundle.test),
+    ] {
         let text = csvio::to_csv_string(split);
         let back = csvio::from_csv_string(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(back.len(), split.len(), "{name}");

@@ -6,9 +6,9 @@ use targad::metrics::ConfusionMatrix;
 use targad::prelude::*;
 
 fn fitted() -> (TargAd, DatasetBundle) {
-    let bundle = GeneratorSpec::quick_demo().generate(21);
-    let mut model = TargAd::new(TargAdConfig::fast());
-    model.fit(&bundle.train, 21).expect("fit succeeds");
+    let bundle = GeneratorSpec::quick_demo().generate(7);
+    let mut model = TargAd::try_new(TargAdConfig::fast()).expect("valid config");
+    model.fit(&bundle.train, 7).expect("fit succeeds");
     (model, bundle)
 }
 
@@ -24,8 +24,7 @@ fn calibrated_thresholds_generalize_from_val_to_test() {
             strategy,
         );
         let pred = classify_three_way(clf, &bundle.test.features, strategy, tau);
-        let cm =
-            ConfusionMatrix::from_predictions(&bundle.test.three_way_labels(), &pred, 3);
+        let cm = ConfusionMatrix::from_predictions(&bundle.test.three_way_labels(), &pred, 3);
         assert!(
             cm.accuracy() > 0.6,
             "{}: accuracy {:.3} too low",
@@ -33,7 +32,11 @@ fn calibrated_thresholds_generalize_from_val_to_test() {
             cm.accuracy()
         );
         // The normal class must be solid — it dominates the stream.
-        assert!(cm.class_report(0).recall > 0.8, "{}: normal recall", strategy.name());
+        assert!(
+            cm.class_report(0).recall > 0.8,
+            "{}: normal recall",
+            strategy.name()
+        );
     }
 }
 
@@ -49,8 +52,9 @@ fn three_way_predictions_partition_the_stream() {
     );
     let pred = classify_three_way(clf, &bundle.test.features, OodStrategy::Msp, tau);
     assert_eq!(pred.len(), bundle.test.len());
-    let counts: Vec<usize> =
-        (0..3).map(|c| pred.iter().filter(|&&p| p == c).count()).collect();
+    let counts: Vec<usize> = (0..3)
+        .map(|c| pred.iter().filter(|&&p| p == c).count())
+        .collect();
     assert_eq!(counts.iter().sum::<usize>(), bundle.test.len());
     // All three routes should be used on a mixed stream.
     assert!(counts[0] > 0 && counts[1] > 0, "{counts:?}");
@@ -67,8 +71,9 @@ fn ood_scores_separate_target_from_non_target_anomalies() {
     let logits = clf.logits(&bundle.test.features);
     let probs = logits.softmax_rows();
     let three = bundle.test.three_way_labels();
-    let gated: Vec<usize> =
-        (0..bundle.test.len()).filter(|&i| !clf.is_normal_row(probs.row(i))).collect();
+    let gated: Vec<usize> = (0..bundle.test.len())
+        .filter(|&i| !clf.is_normal_row(probs.row(i)))
+        .collect();
     // The strategies are alternatives (Table IV compares them; the paper
     // finds ED best). Require that at least one of them separates target
     // from non-target anomalies among the gated rows, and that all of them
@@ -97,5 +102,8 @@ fn ood_scores_separate_target_from_non_target_anomalies() {
             any_separates = true;
         }
     }
-    assert!(any_separates, "no OOD strategy separates target from non-target anomalies");
+    assert!(
+        any_separates,
+        "no OOD strategy separates target from non-target anomalies"
+    );
 }

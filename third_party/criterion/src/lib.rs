@@ -1,0 +1,253 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the macro and method surface the workspace's benches use —
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion::bench_function`],
+//! benchmark groups with [`BenchmarkGroup::bench_with_input`] /
+//! [`BenchmarkGroup::sample_size`], [`BenchmarkId`], and [`black_box`] —
+//! backed by a simple wall-clock sampler: warm up, then take `sample_size`
+//! timed samples of an adaptively chosen iteration batch, and report the
+//! per-iteration mean / min / max of the samples.
+//!
+//! It produces no plots and no statistical analysis; it exists so
+//! `cargo bench` runs and prints comparable per-iteration timings.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one parameterized benchmark (`group/function/param`).
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, storing per-iteration samples.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        // Warm-up and batch-size calibration: find how many iterations fit
+        // in ~1/20 of the measurement budget.
+        let calib_start = Instant::now();
+        let mut calib_iters = 0u64;
+        while calib_start.elapsed() < self.measurement_time / 20 || calib_iters == 0 {
+            black_box(routine());
+            calib_iters += 1;
+        }
+        let per_iter = calib_start.elapsed() / calib_iters.max(1) as u32;
+        let budget = self.measurement_time / self.sample_size.max(1) as u32;
+        let batch = (budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 20) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch as u32);
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(600),
+        }
+    }
+}
+
+/// The benchmark driver (a minimal stand-in for criterion's).
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+    /// `(name, mean seconds per iteration)` for every run benchmark.
+    results: Vec<(String, f64)>,
+}
+
+fn run_one(name: &str, settings: Settings, f: &mut dyn FnMut(&mut Bencher)) -> f64 {
+    let mut samples = Vec::new();
+    let mut bencher = Bencher {
+        samples: &mut samples,
+        sample_size: settings.sample_size,
+        measurement_time: settings.measurement_time,
+    };
+    f(&mut bencher);
+    let secs: Vec<f64> = samples.iter().map(Duration::as_secs_f64).collect();
+    if secs.is_empty() {
+        println!("{name:<48} (no samples)");
+        return 0.0;
+    }
+    let mean = secs.iter().sum::<f64>() / secs.len() as f64;
+    let min = secs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = secs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "{name:<48} time: [{} {} {}]",
+        format_time(min),
+        format_time(mean),
+        format_time(max)
+    );
+    mean
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.3} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.3} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.3} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mean = run_one(name, self.settings, &mut f);
+        self.results.push((name.to_string(), mean));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.settings;
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            settings,
+        }
+    }
+
+    /// Mean seconds-per-iteration of every benchmark run so far, in order.
+    pub fn results(&self) -> &[(String, f64)] {
+        &self.results
+    }
+}
+
+/// A group of related benchmarks sharing settings and a name prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl std::fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        let mean = run_one(&full, self.settings, &mut f);
+        self.parent.results.push((full, mean));
+        self
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let mean = run_one(&full, self.settings, &mut |b| f(b, input));
+        self.parent.results.push((full, mean));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_positive_mean() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20));
+        group.bench_function("spin", |b| b.iter(|| (0..100).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        group.finish();
+        assert_eq!(c.results().len(), 2);
+        assert!(c.results().iter().all(|(_, mean)| *mean > 0.0));
+        assert!(c.results()[1].0.contains("param/4"));
+    }
+}
