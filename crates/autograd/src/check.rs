@@ -35,7 +35,8 @@ pub fn gradient_check(
     mut build: impl FnMut(&mut Tape, &VarStore) -> Var,
     eps: f64,
 ) -> GradCheckReport {
-    // Analytic pass.
+    // Analytic pass. A single pooled tape serves every evaluation below —
+    // the checker is also an incidental stress test of buffer recycling.
     store.zero_grads();
     let mut tape = Tape::new();
     let loss = build(&mut tape, store);
@@ -55,14 +56,14 @@ pub fn gradient_check(
                 let orig = store.value(id)[(r, c)];
 
                 store.value_mut(id)[(r, c)] = orig + eps;
-                let mut tp = Tape::new();
-                let lp = build(&mut tp, store);
-                let fp = tp.value(lp)[(0, 0)];
+                tape.reset();
+                let lp = build(&mut tape, store);
+                let fp = tape.value(lp)[(0, 0)];
 
                 store.value_mut(id)[(r, c)] = orig - eps;
-                let mut tm = Tape::new();
-                let lm = build(&mut tm, store);
-                let fm = tm.value(lm)[(0, 0)];
+                tape.reset();
+                let lm = build(&mut tape, store);
+                let fm = tape.value(lm)[(0, 0)];
 
                 store.value_mut(id)[(r, c)] = orig;
 

@@ -1,6 +1,16 @@
 //! The computation tape: define-by-run forward ops and reverse-mode backward.
+//!
+//! The tape owns a shape-keyed buffer pool so that steady-state training
+//! performs **zero heap allocations**: call [`Tape::reset`] between steps
+//! instead of building a fresh tape, and every forward value, gradient
+//! buffer, and backward temporary is recycled from the previous step. The
+//! pooled path computes exactly the same floating-point operations in the
+//! same order as a freshly constructed tape — results are bit-identical
+//! (`crates/bench/tests/alloc_zero.rs` asserts the allocation count,
+//! the autograd test suite asserts the bit-identity).
 
 use crate::store::{ParamId, VarStore};
+use std::collections::HashMap;
 use targad_linalg::Matrix;
 
 /// Handle to a node on a [`Tape`].
@@ -58,11 +68,41 @@ struct Node {
     op: Op,
 }
 
-/// A single-use computation graph. Build one per forward pass, call
-/// [`Tape::backward`] once, then drop it.
+/// Shape-keyed free list of recycled matrices.
+///
+/// Buffers come back dirty: every consumer must fully overwrite what it
+/// takes (all `Matrix::*_into` kernels do).
+#[derive(Default)]
+struct Pool {
+    free: HashMap<(usize, usize), Vec<Matrix>>,
+}
+
+impl Pool {
+    /// A `rows x cols` buffer with arbitrary contents — recycled when one of
+    /// that shape is free, freshly allocated otherwise (warm-up only).
+    fn take(&mut self, rows: usize, cols: usize) -> Matrix {
+        match self.free.get_mut(&(rows, cols)).and_then(Vec::pop) {
+            Some(m) => m,
+            None => Matrix::zeros(rows, cols),
+        }
+    }
+
+    /// Returns a buffer to the free list for its shape.
+    fn put(&mut self, m: Matrix) {
+        self.free.entry(m.shape()).or_default().push(m);
+    }
+}
+
+/// A reusable computation graph. Build the forward pass, call
+/// [`Tape::backward`] once, then either drop the tape or — in a training
+/// loop — call [`Tape::reset`] and record the next step into the same
+/// storage. After one warm-up step every buffer the step needs lives in the
+/// tape's pool, so subsequent steps allocate nothing.
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    grads: Vec<Option<Matrix>>,
+    pool: Pool,
 }
 
 impl Tape {
@@ -81,6 +121,18 @@ impl Tape {
         self.nodes.is_empty()
     }
 
+    /// Clears the recorded graph, recycling every node value (and any
+    /// leftover gradient buffer) into the pool. Call between training steps:
+    /// the next forward pass reuses the freed buffers instead of allocating.
+    pub fn reset(&mut self) {
+        for node in self.nodes.drain(..) {
+            self.pool.put(node.value);
+        }
+        for g in self.grads.drain(..).flatten() {
+            self.pool.put(g);
+        }
+    }
+
     /// The forward value of `v`.
     pub fn value(&self, v: Var) -> &Matrix {
         &self.nodes[v.0].value
@@ -92,171 +144,222 @@ impl Tape {
         Var(self.nodes.len() - 1)
     }
 
-    /// Registers a constant (non-trainable) leaf.
+    /// A pooled buffer shaped like the value of `v`.
+    fn take_like(&mut self, v: Var) -> Matrix {
+        let (r, c) = self.nodes[v.0].value.shape();
+        self.pool.take(r, c)
+    }
+
+    /// Registers a constant (non-trainable) leaf, taking ownership.
+    ///
+    /// The buffer joins the pool on [`Tape::reset`]. In steady-state loops
+    /// prefer [`Tape::input_from`] / [`Tape::input_rows_from`], which copy
+    /// into pooled storage instead of allocating per step.
     pub fn input(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Input)
+    }
+
+    /// Registers a constant leaf as a pooled copy of `src`.
+    pub fn input_from(&mut self, src: &Matrix) -> Var {
+        let mut value = self.pool.take(src.rows(), src.cols());
+        value.copy_from(src);
+        self.push(value, Op::Input)
+    }
+
+    /// Registers a constant leaf holding the listed rows of `src` (the
+    /// pooled equivalent of `input(src.take_rows(rows))` — the mini-batch
+    /// gather of every epoch loop).
+    pub fn input_rows_from(&mut self, src: &Matrix, rows: &[usize]) -> Var {
+        let mut value = self.pool.take(rows.len(), src.cols());
+        src.take_rows_into(rows, &mut value);
         self.push(value, Op::Input)
     }
 
     /// Registers a trainable parameter from `store` as a leaf.
     pub fn param(&mut self, store: &VarStore, id: ParamId) -> Var {
-        self.push(store.value(id).clone(), Op::Param(id))
+        let src = store.value(id);
+        let mut value = self.pool.take(src.rows(), src.cols());
+        value.copy_from(src);
+        self.push(value, Op::Param(id))
     }
 
     /// Matrix product.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
-        self.push(v, Op::MatMul(a, b))
+        let (r, c) = (self.nodes[a.0].value.rows(), self.nodes[b.0].value.cols());
+        let mut out = self.pool.take(r, c);
+        self.nodes[a.0]
+            .value
+            .matmul_into(&self.nodes[b.0].value, &mut out);
+        self.push(out, Op::MatMul(a, b))
     }
 
     /// Elementwise sum of two same-shape matrices.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = &self.nodes[a.0].value + &self.nodes[b.0].value;
-        self.push(v, Op::Add(a, b))
+        let mut out = self.take_like(a);
+        self.nodes[a.0]
+            .value
+            .zip_map_into(&self.nodes[b.0].value, |x, y| x + y, &mut out);
+        self.push(out, Op::Add(a, b))
     }
 
     /// Elementwise difference.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = &self.nodes[a.0].value - &self.nodes[b.0].value;
-        self.push(v, Op::Sub(a, b))
+        let mut out = self.take_like(a);
+        self.nodes[a.0]
+            .value
+            .zip_map_into(&self.nodes[b.0].value, |x, y| x - y, &mut out);
+        self.push(out, Op::Sub(a, b))
     }
 
     /// Elementwise (Hadamard) product.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.hadamard(&self.nodes[b.0].value);
-        self.push(v, Op::MulElem(a, b))
+        let mut out = self.take_like(a);
+        self.nodes[a.0]
+            .value
+            .zip_map_into(&self.nodes[b.0].value, |x, y| x * y, &mut out);
+        self.push(out, Op::MulElem(a, b))
     }
 
     /// Adds a `1 x c` row vector to every row of an `n x c` matrix.
     pub fn add_row_broadcast(&mut self, a: Var, row: Var) -> Var {
-        let v = self.nodes[a.0]
+        let mut out = self.take_like(a);
+        self.nodes[a.0]
             .value
-            .add_row_broadcast(&self.nodes[row.0].value);
-        self.push(v, Op::AddRowBroadcast(a, row))
+            .add_row_broadcast_into(&self.nodes[row.0].value, &mut out);
+        self.push(out, Op::AddRowBroadcast(a, row))
     }
 
     /// Multiplies each row of an `n x c` matrix by the matching entry of an
     /// `n x 1` column vector.
     pub fn mul_col_broadcast(&mut self, a: Var, col: Var) -> Var {
-        let v = self.nodes[a.0]
+        let mut out = self.take_like(a);
+        self.nodes[a.0]
             .value
-            .mul_col_broadcast(&self.nodes[col.0].value);
-        self.push(v, Op::MulColBroadcast(a, col))
+            .mul_col_broadcast_into(&self.nodes[col.0].value, &mut out);
+        self.push(out, Op::MulColBroadcast(a, col))
     }
 
     /// Multiplication by a scalar constant.
     pub fn scale(&mut self, a: Var, s: f64) -> Var {
-        let v = self.nodes[a.0].value.scale(s);
-        self.push(v, Op::Scale(a, s))
+        self.unary(a, Op::Scale(a, s), move |x| x * s)
     }
 
     /// Addition of a scalar constant.
     pub fn add_scalar(&mut self, a: Var, s: f64) -> Var {
-        let v = self.nodes[a.0].value.add_scalar(s);
-        self.push(v, Op::AddScalar(a))
+        self.unary(a, Op::AddScalar(a), move |x| x + s)
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
-        self.push(v, Op::Relu(a))
+        self.unary(a, Op::Relu(a), |x| x.max(0.0))
     }
 
     /// Leaky ReLU with negative slope `alpha`.
     pub fn leaky_relu(&mut self, a: Var, alpha: f64) -> Var {
-        let v = self.nodes[a.0]
-            .value
-            .map(|x| if x > 0.0 { x } else { alpha * x });
-        self.push(v, Op::LeakyRelu(a, alpha))
+        self.unary(a, Op::LeakyRelu(a, alpha), move |x| {
+            if x > 0.0 {
+                x
+            } else {
+                alpha * x
+            }
+        })
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(stable_sigmoid);
-        self.push(v, Op::Sigmoid(a))
+        self.unary(a, Op::Sigmoid(a), stable_sigmoid)
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(f64::tanh);
-        self.push(v, Op::Tanh(a))
+        self.unary(a, Op::Tanh(a), f64::tanh)
     }
 
     /// Elementwise exponential.
     pub fn exp(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(f64::exp);
-        self.push(v, Op::Exp(a))
+        self.unary(a, Op::Exp(a), f64::exp)
     }
 
     /// Elementwise `ln(max(x, 1e-12))` (guarded natural log).
     pub fn ln(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(|x| x.max(EPS).ln());
-        self.push(v, Op::Ln(a))
+        self.unary(a, Op::Ln(a), |x| x.max(EPS).ln())
     }
 
     /// Elementwise absolute value.
     pub fn abs(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(f64::abs);
-        self.push(v, Op::Abs(a))
+        self.unary(a, Op::Abs(a), f64::abs)
     }
 
     /// Elementwise square.
     pub fn square(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(|x| x * x);
-        self.push(v, Op::Square(a))
+        self.unary(a, Op::Square(a), |x| x * x)
     }
 
     /// Elementwise square root (input must be non-negative).
     pub fn sqrt(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(f64::sqrt);
-        self.push(v, Op::Sqrt(a))
+        self.unary(a, Op::Sqrt(a), f64::sqrt)
     }
 
     /// Elementwise `1 / max(x, 1e-12)` (guarded reciprocal).
     pub fn recip(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(|x| 1.0 / x.max(EPS));
-        self.push(v, Op::Recip(a))
+        self.unary(a, Op::Recip(a), |x| 1.0 / x.max(EPS))
     }
 
     /// Elementwise negation.
     pub fn neg(&mut self, a: Var) -> Var {
-        let v = -&self.nodes[a.0].value;
-        self.push(v, Op::Neg(a))
+        self.unary(a, Op::Neg(a), |x| -x)
+    }
+
+    /// Records a unary elementwise op into a pooled output buffer.
+    fn unary(&mut self, a: Var, op: Op, f: impl Fn(f64) -> f64) -> Var {
+        let mut out = self.take_like(a);
+        self.nodes[a.0].value.map_into(f, &mut out);
+        self.push(out, op)
     }
 
     /// Matrix transpose.
     pub fn transpose(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.transpose();
-        self.push(v, Op::Transpose(a))
+        let (r, c) = self.nodes[a.0].value.shape();
+        let mut out = self.pool.take(c, r);
+        self.nodes[a.0].value.transpose_into(&mut out);
+        self.push(out, Op::Transpose(a))
     }
 
     /// Sum of all entries as a `1 x 1` matrix.
     pub fn sum_all(&mut self, a: Var) -> Var {
-        let v = Matrix::from_vec(1, 1, vec![self.nodes[a.0].value.sum()]);
-        self.push(v, Op::SumAll(a))
+        let mut out = self.pool.take(1, 1);
+        out.as_mut_slice()[0] = self.nodes[a.0].value.sum();
+        self.push(out, Op::SumAll(a))
     }
 
     /// Mean of all entries as a `1 x 1` matrix.
     pub fn mean_all(&mut self, a: Var) -> Var {
-        let v = Matrix::from_vec(1, 1, vec![self.nodes[a.0].value.mean()]);
-        self.push(v, Op::MeanAll(a))
+        let mut out = self.pool.take(1, 1);
+        out.as_mut_slice()[0] = self.nodes[a.0].value.mean();
+        self.push(out, Op::MeanAll(a))
     }
 
     /// Row sums as an `n x 1` column vector.
     pub fn row_sum(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.row_sums();
-        self.push(v, Op::RowSum(a))
+        let mut out = self.pool.take(self.nodes[a.0].value.rows(), 1);
+        self.nodes[a.0].value.row_sums_into(&mut out);
+        self.push(out, Op::RowSum(a))
     }
 
     /// Numerically stable row-wise softmax.
     pub fn softmax_rows(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.softmax_rows();
-        self.push(v, Op::SoftmaxRows(a))
+        let mut out = self.take_like(a);
+        out.copy_from(&self.nodes[a.0].value);
+        out.softmax_rows_inplace();
+        self.push(out, Op::SoftmaxRows(a))
     }
 
     /// Numerically stable row-wise log-softmax.
     pub fn log_softmax_rows(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.log_softmax_rows();
-        self.push(v, Op::LogSoftmaxRows(a))
+        let mut out = self.take_like(a);
+        out.copy_from(&self.nodes[a.0].value);
+        out.log_softmax_rows_inplace();
+        self.push(out, Op::LogSoftmaxRows(a))
     }
 
     // ---- composite convenience ops -------------------------------------
@@ -284,89 +387,120 @@ impl Tape {
     /// gradients into `store`.
     ///
     /// Gradients **accumulate** in the store; call [`VarStore::zero_grads`]
-    /// between optimizer steps.
+    /// between optimizer steps. Every gradient buffer and temporary comes
+    /// from (and returns to) the tape's pool, so after the warm-up step the
+    /// sweep is allocation-free.
     ///
     /// # Panics
     /// Panics if `loss` is not a `1 x 1` matrix.
-    pub fn backward(&self, loss: Var, store: &mut VarStore) {
+    pub fn backward(&mut self, loss: Var, store: &mut VarStore) {
         assert_eq!(
             self.nodes[loss.0].value.shape(),
             (1, 1),
             "backward: loss must be a 1x1 matrix"
         );
-        let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
-        grads[loss.0] = Some(Matrix::ones(1, 1));
+        let Tape { nodes, grads, pool } = self;
+        for g in grads.drain(..).flatten() {
+            pool.put(g);
+        }
+        grads.resize_with(nodes.len(), || None);
+        let mut seed = pool.take(1, 1);
+        seed.fill(1.0);
+        grads[loss.0] = Some(seed);
 
-        for i in (0..self.nodes.len()).rev() {
-            let g = match grads[i].take() {
+        for i in (0..nodes.len()).rev() {
+            let mut g = match grads[i].take() {
                 Some(g) => g,
                 None => continue,
             };
-            match self.nodes[i].op {
-                Op::Input => {}
-                Op::Param(id) => store.accumulate_grad(id, &g),
+            match nodes[i].op {
+                Op::Input => pool.put(g),
+                Op::Param(id) => {
+                    store.accumulate_grad(id, &g);
+                    pool.put(g);
+                }
                 Op::MatMul(a, b) => {
-                    let da = g.matmul_nt(&self.nodes[b.0].value);
-                    let db = self.nodes[a.0].value.matmul_tn(&g);
-                    accumulate(&mut grads, a.0, da);
-                    accumulate(&mut grads, b.0, db);
+                    let va = &nodes[a.0].value;
+                    let vb = &nodes[b.0].value;
+                    let mut da = pool.take(va.rows(), va.cols());
+                    g.matmul_nt_into(vb, &mut da);
+                    let mut db = pool.take(vb.rows(), vb.cols());
+                    va.matmul_tn_into(&g, &mut db);
+                    pool.put(g);
+                    accumulate(grads, pool, a.0, da);
+                    accumulate(grads, pool, b.0, db);
                 }
                 Op::Add(a, b) => {
-                    accumulate(&mut grads, a.0, g.clone());
-                    accumulate(&mut grads, b.0, g);
+                    let mut da = pool.take(g.rows(), g.cols());
+                    da.copy_from(&g);
+                    accumulate(grads, pool, a.0, da);
+                    accumulate(grads, pool, b.0, g);
                 }
                 Op::Sub(a, b) => {
-                    accumulate(&mut grads, a.0, g.clone());
-                    accumulate(&mut grads, b.0, -&g);
+                    let mut da = pool.take(g.rows(), g.cols());
+                    da.copy_from(&g);
+                    accumulate(grads, pool, a.0, da);
+                    g.map_inplace(|x| -x);
+                    accumulate(grads, pool, b.0, g);
                 }
                 Op::MulElem(a, b) => {
-                    let da = g.hadamard(&self.nodes[b.0].value);
-                    let db = g.hadamard(&self.nodes[a.0].value);
-                    accumulate(&mut grads, a.0, da);
-                    accumulate(&mut grads, b.0, db);
+                    let mut da = pool.take(g.rows(), g.cols());
+                    g.zip_map_into(&nodes[b.0].value, |gv, y| gv * y, &mut da);
+                    g.zip_map_inplace(&nodes[a.0].value, |gv, x| gv * x);
+                    accumulate(grads, pool, a.0, da);
+                    accumulate(grads, pool, b.0, g);
                 }
                 Op::AddRowBroadcast(a, row) => {
-                    accumulate(&mut grads, row.0, g.col_sums());
-                    accumulate(&mut grads, a.0, g);
+                    let mut drow = pool.take(1, g.cols());
+                    g.col_sums_into(&mut drow);
+                    accumulate(grads, pool, row.0, drow);
+                    accumulate(grads, pool, a.0, g);
                 }
                 Op::MulColBroadcast(a, col) => {
-                    let da = g.mul_col_broadcast(&self.nodes[col.0].value);
-                    let dcol = g.hadamard(&self.nodes[a.0].value).row_sums();
-                    accumulate(&mut grads, a.0, da);
-                    accumulate(&mut grads, col.0, dcol);
+                    let mut gx = pool.take(g.rows(), g.cols());
+                    g.zip_map_into(&nodes[a.0].value, |gv, x| gv * x, &mut gx);
+                    let mut dcol = pool.take(g.rows(), 1);
+                    gx.row_sums_into(&mut dcol);
+                    pool.put(gx);
+                    g.mul_col_broadcast_inplace(&nodes[col.0].value);
+                    accumulate(grads, pool, a.0, g);
+                    accumulate(grads, pool, col.0, dcol);
                 }
-                Op::Scale(a, s) => accumulate(&mut grads, a.0, g.scale(s)),
-                Op::AddScalar(a) => accumulate(&mut grads, a.0, g),
+                Op::Scale(a, s) => {
+                    g.map_inplace(|x| x * s);
+                    accumulate(grads, pool, a.0, g);
+                }
+                Op::AddScalar(a) => accumulate(grads, pool, a.0, g),
                 Op::Relu(a) => {
-                    let mask = self.nodes[a.0]
-                        .value
-                        .map(|x| if x > 0.0 { 1.0 } else { 0.0 });
-                    accumulate(&mut grads, a.0, g.hadamard(&mask));
+                    g.zip_map_inplace(&nodes[a.0].value, |gv, x| if x > 0.0 { gv } else { 0.0 });
+                    accumulate(grads, pool, a.0, g);
                 }
                 Op::LeakyRelu(a, alpha) => {
-                    let mask = self.nodes[a.0]
-                        .value
-                        .map(|x| if x > 0.0 { 1.0 } else { alpha });
-                    accumulate(&mut grads, a.0, g.hadamard(&mask));
+                    g.zip_map_inplace(
+                        &nodes[a.0].value,
+                        |gv, x| if x > 0.0 { gv } else { alpha * gv },
+                    );
+                    accumulate(grads, pool, a.0, g);
                 }
                 Op::Sigmoid(a) => {
-                    let dy = self.nodes[i].value.map(|y| y * (1.0 - y));
-                    accumulate(&mut grads, a.0, g.hadamard(&dy));
+                    g.zip_map_inplace(&nodes[i].value, |gv, y| gv * (y * (1.0 - y)));
+                    accumulate(grads, pool, a.0, g);
                 }
                 Op::Tanh(a) => {
-                    let dy = self.nodes[i].value.map(|y| 1.0 - y * y);
-                    accumulate(&mut grads, a.0, g.hadamard(&dy));
+                    g.zip_map_inplace(&nodes[i].value, |gv, y| gv * (1.0 - y * y));
+                    accumulate(grads, pool, a.0, g);
                 }
                 Op::Exp(a) => {
-                    accumulate(&mut grads, a.0, g.hadamard(&self.nodes[i].value));
+                    g.zip_map_inplace(&nodes[i].value, |gv, y| gv * y);
+                    accumulate(grads, pool, a.0, g);
                 }
                 Op::Ln(a) => {
-                    let dx = self.nodes[a.0].value.map(|x| 1.0 / x.max(EPS));
-                    accumulate(&mut grads, a.0, g.hadamard(&dx));
+                    g.zip_map_inplace(&nodes[a.0].value, |gv, x| gv * (1.0 / x.max(EPS)));
+                    accumulate(grads, pool, a.0, g);
                 }
                 Op::Abs(a) => {
-                    let sign = self.nodes[a.0].value.map(|x| {
-                        if x > 0.0 {
+                    g.zip_map_inplace(&nodes[a.0].value, |gv, x| {
+                        gv * if x > 0.0 {
                             1.0
                         } else if x < 0.0 {
                             -1.0
@@ -374,59 +508,113 @@ impl Tape {
                             0.0
                         }
                     });
-                    accumulate(&mut grads, a.0, g.hadamard(&sign));
+                    accumulate(grads, pool, a.0, g);
                 }
                 Op::Square(a) => {
-                    let dx = self.nodes[a.0].value.scale(2.0);
-                    accumulate(&mut grads, a.0, g.hadamard(&dx));
+                    g.zip_map_inplace(&nodes[a.0].value, |gv, x| gv * (2.0 * x));
+                    accumulate(grads, pool, a.0, g);
                 }
                 Op::Sqrt(a) => {
-                    let dy = self.nodes[i].value.map(|y| 0.5 / y.max(EPS));
-                    accumulate(&mut grads, a.0, g.hadamard(&dy));
+                    g.zip_map_inplace(&nodes[i].value, |gv, y| gv * (0.5 / y.max(EPS)));
+                    accumulate(grads, pool, a.0, g);
                 }
                 Op::Recip(a) => {
                     // d(1/x)/dx = -1/x^2 = -y^2 on the guarded domain.
-                    let dy = self.nodes[i].value.map(|y| -y * y);
-                    accumulate(&mut grads, a.0, g.hadamard(&dy));
+                    g.zip_map_inplace(&nodes[i].value, |gv, y| gv * (-y * y));
+                    accumulate(grads, pool, a.0, g);
                 }
-                Op::Neg(a) => accumulate(&mut grads, a.0, -&g),
-                Op::Transpose(a) => accumulate(&mut grads, a.0, g.transpose()),
+                Op::Neg(a) => {
+                    g.map_inplace(|x| -x);
+                    accumulate(grads, pool, a.0, g);
+                }
+                Op::Transpose(a) => {
+                    let mut da = pool.take(g.cols(), g.rows());
+                    g.transpose_into(&mut da);
+                    pool.put(g);
+                    accumulate(grads, pool, a.0, da);
+                }
                 Op::SumAll(a) => {
-                    let (r, c) = self.nodes[a.0].value.shape();
-                    accumulate(&mut grads, a.0, Matrix::full(r, c, g[(0, 0)]));
+                    let (r, c) = nodes[a.0].value.shape();
+                    let mut da = pool.take(r, c);
+                    da.fill(g[(0, 0)]);
+                    pool.put(g);
+                    accumulate(grads, pool, a.0, da);
                 }
                 Op::MeanAll(a) => {
-                    let (r, c) = self.nodes[a.0].value.shape();
+                    let (r, c) = nodes[a.0].value.shape();
                     let n = (r * c) as f64;
-                    accumulate(&mut grads, a.0, Matrix::full(r, c, g[(0, 0)] / n));
+                    let mut da = pool.take(r, c);
+                    da.fill(g[(0, 0)] / n);
+                    pool.put(g);
+                    accumulate(grads, pool, a.0, da);
                 }
                 Op::RowSum(a) => {
-                    let (r, c) = self.nodes[a.0].value.shape();
-                    accumulate(&mut grads, a.0, Matrix::ones(r, c).mul_col_broadcast(&g));
+                    // Each row of da is the row's scalar gradient, broadcast.
+                    let (r, c) = nodes[a.0].value.shape();
+                    let mut da = pool.take(r, c);
+                    for (row, &gv) in da.as_mut_slice().chunks_mut(c.max(1)).zip(g.as_slice()) {
+                        row.fill(gv);
+                    }
+                    pool.put(g);
+                    accumulate(grads, pool, a.0, da);
                 }
                 Op::SoftmaxRows(a) => {
                     // dx = y ⊙ (g − rowsum(g ⊙ y)).
-                    let y = &self.nodes[i].value;
-                    let gy = g.hadamard(y);
-                    let dot = gy.row_sums();
-                    let centered = &g - &Matrix::ones(g.rows(), g.cols()).mul_col_broadcast(&dot);
-                    accumulate(&mut grads, a.0, centered.hadamard(y));
+                    let y = &nodes[i].value;
+                    let mut dx = pool.take(g.rows(), g.cols());
+                    g.zip_map_into(y, |gv, yv| gv * yv, &mut dx);
+                    let mut dot = pool.take(g.rows(), 1);
+                    dx.row_sums_into(&mut dot);
+                    let cols = g.cols().max(1);
+                    for ((dx_row, g_row), (y_row, &d)) in dx
+                        .as_mut_slice()
+                        .chunks_mut(cols)
+                        .zip(g.as_slice().chunks(cols))
+                        .zip(y.as_slice().chunks(cols).zip(dot.as_slice()))
+                    {
+                        for ((o, &gv), &yv) in dx_row.iter_mut().zip(g_row).zip(y_row) {
+                            *o = (gv - d) * yv;
+                        }
+                    }
+                    pool.put(g);
+                    pool.put(dot);
+                    accumulate(grads, pool, a.0, dx);
                 }
                 Op::LogSoftmaxRows(a) => {
                     // dx = g − softmax(x) ⊙ rowsum(g) broadcast.
-                    let soft = self.nodes[a.0].value.softmax_rows();
-                    let rs = g.row_sums();
-                    let dx = &g - &soft.mul_col_broadcast(&rs);
-                    accumulate(&mut grads, a.0, dx);
+                    let mut soft = pool.take(g.rows(), g.cols());
+                    soft.copy_from(&nodes[a.0].value);
+                    soft.softmax_rows_inplace();
+                    let mut rs = pool.take(g.rows(), 1);
+                    g.row_sums_into(&mut rs);
+                    let cols = g.cols().max(1);
+                    for ((g_row, s_row), &r) in g
+                        .as_mut_slice()
+                        .chunks_mut(cols)
+                        .zip(soft.as_slice().chunks(cols))
+                        .zip(rs.as_slice())
+                    {
+                        for (o, &s) in g_row.iter_mut().zip(s_row) {
+                            *o -= s * r;
+                        }
+                    }
+                    pool.put(soft);
+                    pool.put(rs);
+                    accumulate(grads, pool, a.0, g);
                 }
             }
         }
     }
 }
 
-fn accumulate(grads: &mut [Option<Matrix>], idx: usize, delta: Matrix) {
+/// Adds `delta` into the gradient slot for node `idx`, recycling `delta`
+/// when the slot already holds a buffer.
+fn accumulate(grads: &mut [Option<Matrix>], pool: &mut Pool, idx: usize, delta: Matrix) {
     match &mut grads[idx] {
-        Some(existing) => existing.add_scaled_inplace(&delta, 1.0),
+        Some(existing) => {
+            existing.add_scaled_inplace(&delta, 1.0);
+            pool.put(delta);
+        }
         slot @ None => *slot = Some(delta),
     }
 }
@@ -540,5 +728,83 @@ mod tests {
         // row1: p_1 = e^0/(e^2+e^0); -log p_1 = log(1+e^2) * 2
         let expected = 0.5 * (-(0.5f64.ln()) + 2.0 * (1.0 + 2.0f64.exp()).ln());
         assert!((t.value(loss)[(0, 0)] - expected).abs() < 1e-10);
+    }
+
+    #[test]
+    fn input_from_variants_match_input() {
+        let data = Matrix::from_fn(5, 3, |r, c| (r * 3 + c) as f64 * 0.5);
+        let mut t = Tape::new();
+        let a = t.input(data.clone());
+        let b = t.input_from(&data);
+        assert_eq!(t.value(a), t.value(b));
+        let rows = [4, 0, 2];
+        let c = t.input_rows_from(&data, &rows);
+        assert_eq!(t.value(c), &data.take_rows(&rows));
+    }
+
+    /// One gradient-descent step on `loss = mean((x*w + b - y)^2)` built on
+    /// `tape`; returns (loss, grad_w, grad_b) for bit-level comparison.
+    fn lsq_step(tape: &mut Tape, vs: &mut VarStore, ids: &[ParamId]) -> (f64, Matrix, Matrix) {
+        vs.zero_grads();
+        let x = tape.input(Matrix::from_fn(8, 3, |r, c| {
+            ((r * 3 + c) % 7) as f64 * 0.25 - 0.5
+        }));
+        let y = tape.input(Matrix::from_fn(8, 2, |r, c| {
+            ((r * 2 + c) % 5) as f64 * 0.3 - 0.4
+        }));
+        let w = tape.param(vs, ids[0]);
+        let b = tape.param(vs, ids[1]);
+        let xw = tape.matmul(x, w);
+        let pred = tape.add_row_broadcast(xw, b);
+        let sm = tape.softmax_rows(pred);
+        let loss = tape.mse(sm, y);
+        tape.backward(loss, vs);
+        (
+            tape.value(loss)[(0, 0)],
+            vs.grad(ids[0]).clone(),
+            vs.grad(ids[1]).clone(),
+        )
+    }
+
+    #[test]
+    fn reset_tape_is_bit_identical_to_fresh_tape() {
+        let params = [
+            Matrix::from_fn(3, 2, |r, c| (r as f64 - c as f64) * 0.21),
+            Matrix::from_fn(1, 2, |_, c| c as f64 * 0.11 - 0.05),
+        ];
+        let (mut vs_fresh, ids_fresh) = store_with(&params);
+        let (mut vs_pooled, ids_pooled) = store_with(&params);
+
+        let mut pooled = Tape::new();
+        for step in 0..5 {
+            let mut fresh = Tape::new();
+            let a = lsq_step(&mut fresh, &mut vs_fresh, &ids_fresh);
+            pooled.reset();
+            let b = lsq_step(&mut pooled, &mut vs_pooled, &ids_pooled);
+            assert_eq!(a.0.to_bits(), b.0.to_bits(), "loss at step {step}");
+            assert_eq!(a.1, b.1, "grad_w at step {step}");
+            assert_eq!(a.2, b.2, "grad_b at step {step}");
+            // Apply identical updates so later steps see identical params.
+            for (&idf, &idp) in ids_fresh.iter().zip(&ids_pooled) {
+                let gf = vs_fresh.grad(idf).clone();
+                vs_fresh.value_mut(idf).add_scaled_inplace(&gf, -0.1);
+                let gp = vs_pooled.grad(idp).clone();
+                vs_pooled.value_mut(idp).add_scaled_inplace(&gp, -0.1);
+            }
+        }
+    }
+
+    #[test]
+    fn reset_recycles_buffers() {
+        let mut t = Tape::new();
+        for _ in 0..3 {
+            t.reset();
+            let a = t.input(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+            let b = t.square(a);
+            let loss = t.mean_all(b);
+            let mut vs = VarStore::new();
+            t.backward(loss, &mut vs);
+            assert_eq!(t.len(), 3);
+        }
     }
 }

@@ -139,13 +139,14 @@ impl Detector for Adoa {
         let mut opt = Adam::new(self.lr);
         let y = Matrix::col_vector(&labels);
         let w = Matrix::col_vector(&weights);
+        let mut tape = Tape::new();
         for _ in 0..self.epochs {
             for batch in shuffled_batches(&mut rng, features.rows(), self.batch) {
                 store.zero_grads();
-                let mut tape = Tape::new();
-                let xb = tape.input(features.take_rows(&batch));
-                let yb = tape.input(y.take_rows(&batch));
-                let wb = tape.input(w.take_rows(&batch));
+                tape.reset();
+                let xb = tape.input_rows_from(&features, &batch);
+                let yb = tape.input_rows_from(&y, &batch);
+                let wb = tape.input_rows_from(&w, &batch);
                 let logit = clf.forward(&mut tape, &store, xb);
                 let p = tape.sigmoid(logit);
                 // weighted BCE: −w·(y ln p + (1−y) ln(1−p))

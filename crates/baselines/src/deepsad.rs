@@ -94,11 +94,12 @@ impl Detector for DeepSad {
         let mut opt = Adam::new(self.lr);
 
         // Stage 1: reconstruction pretraining.
+        let mut tape = Tape::new();
         for _ in 0..self.pretrain_epochs {
             for batch in shuffled_batches(&mut rng, xu.rows(), self.batch) {
                 store.zero_grads();
-                let mut tape = Tape::new();
-                let xb = tape.input(xu.take_rows(&batch));
+                tape.reset();
+                let xb = tape.input_rows_from(xu, &batch);
                 let err = ae.recon_error_rows(&mut tape, &store, xb);
                 let loss = tape.mean_all(err);
                 tape.backward(loss, &mut store);
@@ -114,18 +115,19 @@ impl Detector for DeepSad {
 
         // Stage 2: one-class fine-tuning with labeled anomalies.
         let mut opt2 = Adam::new(self.lr);
+        let neg_center = -&center_row;
         for epoch in 0..self.epochs {
             for batch in shuffled_batches(&mut rng, xu.rows(), self.batch) {
                 store.zero_grads();
-                let mut tape = Tape::new();
-                let neg_c = tape.input(-&center_row);
-                let xb = tape.input(xu.take_rows(&batch));
+                tape.reset();
+                let neg_c = tape.input_from(&neg_center);
+                let xb = tape.input_rows_from(xu, &batch);
                 let z = encoder.forward(&mut tape, &store, xb);
                 let centered = tape.add_row_broadcast(z, neg_c);
                 let dist = tape.row_sq_norm(centered);
                 let pull = tape.mean_all(dist);
                 let loss = if xl.rows() > 0 && self.eta > 0.0 {
-                    let xlv = tape.input(xl.clone());
+                    let xlv = tape.input_from(xl);
                     let zl = encoder.forward(&mut tape, &store, xlv);
                     let cl = tape.add_row_broadcast(zl, neg_c);
                     let dl = tape.row_sq_norm(cl);

@@ -108,13 +108,14 @@ impl Detector for DevNet {
         let xl = &train.labeled;
         let half = (self.batch / 2).max(1);
 
+        let mut tape = Tape::new();
         for epoch in 0..self.epochs {
             for u_batch in shuffled_batches(&mut rng, xu.rows(), half) {
                 store.zero_grads();
-                let mut tape = Tape::new();
+                tape.reset();
 
                 // Unlabeled term: |dev| → 0.
-                let xb = tape.input(xu.take_rows(&u_batch));
+                let xb = tape.input_rows_from(xu, &u_batch);
                 let phi_u = scorer.forward(&mut tape, &store, xb);
                 let dev_u = tape.add_scalar(phi_u, -mu);
                 let dev_u = tape.scale(dev_u, 1.0 / sigma);
@@ -126,7 +127,7 @@ impl Detector for DevNet {
                 let loss = if xl.rows() > 0 {
                     let idx: Vec<usize> =
                         (0..half).map(|_| rng.random_range(0..xl.rows())).collect();
-                    let xa = tape.input(xl.take_rows(&idx));
+                    let xa = tape.input_rows_from(xl, &idx);
                     let phi_a = scorer.forward(&mut tape, &store, xa);
                     let dev_a = tape.add_scalar(phi_a, -mu);
                     let dev_a = tape.scale(dev_a, -1.0 / sigma);

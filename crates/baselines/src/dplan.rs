@@ -116,6 +116,7 @@ impl Detector for Dplan {
         };
 
         let (mut cur_labeled, mut cur_idx) = sample_obs(&mut rng, self.labeled_sample_prob);
+        let mut tape = Tape::new();
         for step in 0..self.steps {
             let epsilon =
                 (self.epsilon_start * (1.0 - step as f64 / (self.steps as f64 * 0.8))).max(0.05);
@@ -195,7 +196,7 @@ impl Detector for Dplan {
                 }
 
                 store.zero_grads();
-                let mut tape = Tape::new();
+                tape.reset();
                 let sb = tape.input(states);
                 let tb = tape.input(target);
                 let q = qnet.forward(&mut tape, &store, sb);

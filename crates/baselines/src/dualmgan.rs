@@ -109,12 +109,13 @@ fn train_gan(
     let mut g_opt = Adam::new(lr);
     let mut d_opt = Adam::new(lr);
 
+    let mut tape = Tape::new();
     for _ in 0..epochs {
         for b in shuffled_batches(&mut rng, real.rows(), batch) {
             let fake = gen.eval(&g_store, &latent_noise(b.len(), latent_dim, &mut rng));
             d_store.zero_grads();
-            let mut tape = Tape::new();
-            let real_v = tape.input(real.take_rows(&b));
+            tape.reset();
+            let real_v = tape.input_rows_from(real, &b);
             let rl = disc.forward(&mut tape, &d_store, real_v);
             let l_real = bce(&mut tape, rl, true);
             let fake_v = tape.input(fake);
@@ -126,7 +127,7 @@ fn train_gan(
             d_opt.step(&mut d_store);
 
             g_store.zero_grads();
-            let mut tape = Tape::new();
+            tape.reset();
             let z = tape.input(latent_noise(b.len(), latent_dim, &mut rng));
             let out = gen.forward(&mut tape, &g_store, z);
             // Frozen discriminator pass — gradients stop at the generator.
@@ -207,13 +208,14 @@ impl Detector for DualMgan {
             Activation::None,
         );
         let mut opt = Adam::new(self.lr);
+        let mut tape = Tape::new();
         for _ in 0..self.clf_epochs {
             for b in shuffled_batches(&mut rng, features.rows(), self.batch) {
                 clf_store.zero_grads();
-                let mut tape = Tape::new();
-                let xb = tape.input(features.take_rows(&b));
-                let yb = tape.input(y.take_rows(&b));
-                let wb = tape.input(w.take_rows(&b));
+                tape.reset();
+                let xb = tape.input_rows_from(&features, &b);
+                let yb = tape.input_rows_from(&y, &b);
+                let wb = tape.input_rows_from(&w, &b);
                 let logit = clf.forward(&mut tape, &clf_store, xb);
                 let p = tape.sigmoid(logit);
                 let lp = tape.ln(p);

@@ -110,11 +110,12 @@ impl Detector for Feawad {
         let dims = [d, (d / 2).max(2), (d / 4).max(2)];
         let ae = AutoEncoder::new(&mut ae_store, &mut rng, &dims);
         let mut ae_opt = Adam::new(self.lr);
+        let mut tape = Tape::new();
         for _ in 0..self.pretrain_epochs {
             for batch in shuffled_batches(&mut rng, xu.rows(), self.batch) {
                 ae_store.zero_grads();
-                let mut tape = Tape::new();
-                let xb = tape.input(xu.take_rows(&batch));
+                tape.reset();
+                let xb = tape.input_rows_from(xu, &batch);
                 let err = ae.recon_error_rows(&mut tape, &ae_store, xb);
                 let loss = tape.mean_all(err);
                 tape.backward(loss, &mut ae_store);
@@ -144,8 +145,8 @@ impl Detector for Feawad {
         for epoch in 0..self.epochs {
             for u_batch in shuffled_batches(&mut rng, rep_u.rows(), half) {
                 scorer_store.zero_grads();
-                let mut tape = Tape::new();
-                let xb = tape.input(rep_u.take_rows(&u_batch));
+                tape.reset();
+                let xb = tape.input_rows_from(&rep_u, &u_batch);
                 let s_u = scorer.forward(&mut tape, &scorer_store, xb);
                 let abs_u = tape.abs(s_u);
                 let term_u = tape.mean_all(abs_u);
@@ -153,7 +154,7 @@ impl Detector for Feawad {
                     let idx: Vec<usize> = (0..half)
                         .map(|_| rng.random_range(0..rep_l.rows()))
                         .collect();
-                    let xa = tape.input(rep_l.take_rows(&idx));
+                    let xa = tape.input_rows_from(&rep_l, &idx);
                     let s_a = scorer.forward(&mut tape, &scorer_store, xa);
                     let neg = tape.scale(s_a, -1.0);
                     let hinge = tape.add_scalar(neg, self.margin);

@@ -104,6 +104,7 @@ impl Detector for PiaWal {
         let mut g_opt = Adam::new(self.lr);
         let mut d_opt = Adam::new(self.lr);
 
+        let mut tape = Tape::new();
         for _ in 0..self.epochs {
             for batch in shuffled_batches(&mut rng, xu.rows(), self.batch) {
                 // ---- Discriminator step --------------------------------
@@ -112,8 +113,8 @@ impl Detector for PiaWal {
                     &latent_noise(batch.len(), self.latent_dim, &mut rng),
                 );
                 d_store.zero_grads();
-                let mut tape = Tape::new();
-                let real = tape.input(xu.take_rows(&batch));
+                tape.reset();
+                let real = tape.input_rows_from(xu, &batch);
                 let real_logit = disc.forward(&mut tape, &d_store, real);
                 let loss_real = bce_toward_one(&mut tape, real_logit);
                 let fake_v = tape.input(fake);
@@ -122,7 +123,7 @@ impl Detector for PiaWal {
                 let mut d_loss = tape.add(loss_real, loss_fake);
                 if xl.rows() > 0 {
                     // Weighted adversarial guidance from labeled anomalies.
-                    let anoms = tape.input(xl.clone());
+                    let anoms = tape.input_from(xl);
                     let a_logit = disc.forward(&mut tape, &d_store, anoms);
                     let loss_anom = bce_toward_zero(&mut tape, a_logit);
                     d_loss = tape.add_scaled(d_loss, loss_anom, self.anomaly_weight);
@@ -133,7 +134,7 @@ impl Detector for PiaWal {
 
                 // ---- Generator step ------------------------------------
                 g_store.zero_grads();
-                let mut tape = Tape::new();
+                tape.reset();
                 let z = tape.input(latent_noise(batch.len(), self.latent_dim, &mut rng));
                 let gen_out = gen.forward(&mut tape, &g_store, z);
                 // Frozen pass: the generator step must not touch (nor

@@ -117,10 +117,11 @@ impl Detector for PreNet {
         );
         let mut opt = Adam::new(self.lr);
 
+        let mut tape = Tape::new();
         for _ in 0..self.steps {
             let (pairs, ys) = self.pair_batch(&train.labeled, &train.unlabeled, &mut rng);
             store.zero_grads();
-            let mut tape = Tape::new();
+            tape.reset();
             let xb = tape.input(pairs);
             let yv = tape.input(ys);
             let pred = net.forward(&mut tape, &store, xb);

@@ -80,6 +80,7 @@ impl Detector for Pumad {
             ((xu.rows() as f64 * self.reliable_frac).round() as usize).clamp(1, xu.rows());
         let mut prototype = mean_row(&embed.eval(&store, xu));
 
+        let mut tape = Tape::new();
         for _ in 0..self.epochs {
             // Hashing-substitute filter: keep the unlabeled rows closest to
             // the current prototype as reliable normals.
@@ -89,19 +90,19 @@ impl Detector for Pumad {
                 .collect();
             let reliable = smallest_indices(&dists, n_reliable);
 
-            let proto_row = Matrix::row_vector(&prototype);
+            let neg_proto_row = -&Matrix::row_vector(&prototype);
             for batch in shuffled_batches(&mut rng, reliable.len(), self.batch) {
                 let rows: Vec<usize> = batch.iter().map(|&b| reliable[b]).collect();
                 store.zero_grads();
-                let mut tape = Tape::new();
-                let neg_proto = tape.input(-&proto_row);
-                let xb = tape.input(xu.take_rows(&rows));
+                tape.reset();
+                let neg_proto = tape.input_from(&neg_proto_row);
+                let xb = tape.input_rows_from(xu, &rows);
                 let zb = embed.forward(&mut tape, &store, xb);
                 let centered = tape.add_row_broadcast(zb, neg_proto);
                 let dist = tape.row_sq_norm(centered);
                 let pull = tape.mean_all(dist);
                 let loss = if xl.rows() > 0 {
-                    let xa = tape.input(xl.clone());
+                    let xa = tape.input_from(xl);
                     let za = embed.forward(&mut tape, &store, xa);
                     let ca = tape.add_row_broadcast(za, neg_proto);
                     let da = tape.row_sq_norm(ca);

@@ -90,11 +90,12 @@ impl Detector for Repen {
         );
         let mut opt = Adam::new(self.lr);
 
+        let mut tape = Tape::new();
         for _ in 0..self.steps {
             let (anchors, positives, negatives) =
                 self.triplet_batch(xu, &inliers, &outliers, &mut rng);
             store.zero_grads();
-            let mut tape = Tape::new();
+            tape.reset();
             let a = tape.input(anchors);
             let p = tape.input(positives);
             let n = tape.input(negatives);

@@ -1,0 +1,183 @@
+//! Training-path micro-benchmarks: one pooled-tape optimizer step for the
+//! per-cluster autoencoder (Eq. 1) and the m+k classifier (Eqs. 3–8) at
+//! three matrix sizes, plus the classifier's dominant GEMM sequence
+//! (forward `x·w`, backward `x^T·g` and `g·w^T` at 1024×256×256) timed on
+//! both the blocked kernels and the retained pre-blocking `reference`
+//! kernels. Writes `results/bench_training.json`; the recorded
+//! `speedup_clf_gemm_1024x256x256` is the acceptance metric for the
+//! blocked-GEMM rewrite (must stay ≥ 2).
+//!
+//! Set `TARGAD_BENCH_QUICK=1` for a seconds-long smoke run (CI uses this to
+//! catch kernel regressions without paying full measurement budgets).
+
+use criterion::Criterion;
+use std::hint::black_box;
+use std::time::Duration;
+use targad_autograd::{Tape, VarStore};
+use targad_linalg::{matrix::reference, rng as lrng, Matrix};
+use targad_nn::{Activation, Adam, AutoEncoder, Mlp, Optimizer};
+
+fn quick_mode() -> bool {
+    std::env::var("TARGAD_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Applies the session's sampling budget to a group: tiny in quick mode,
+/// enough samples for stable means otherwise.
+fn tune<'a, 'b>(
+    group: &'a mut criterion::BenchmarkGroup<'b>,
+) -> &'a mut criterion::BenchmarkGroup<'b> {
+    if quick_mode() {
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(25))
+    } else {
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(1))
+    }
+}
+
+/// One pooled-tape autoencoder step (Eq. 1 without the labeled term):
+/// forward reconstruction, mean squared-error loss, backward, Adam update.
+fn bench_ae_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training_ae_step");
+    tune(&mut group);
+    for (batch, d) in [(128usize, 32usize), (256, 64), (512, 128)] {
+        let mut rng = lrng::seeded(11);
+        let x = lrng::uniform_matrix(&mut rng, batch, d, 0.0, 1.0);
+        let mut vs = VarStore::new();
+        let ae = AutoEncoder::new(&mut vs, &mut rng, &[d, d / 2, d / 4]);
+        let mut opt = Adam::new(1e-3);
+        let mut tape = Tape::new();
+        group.bench_function(format!("{batch}x{d}"), |b| {
+            b.iter(|| {
+                vs.zero_grads();
+                tape.reset();
+                let xv = tape.input_from(&x);
+                let err = ae.recon_error_rows(&mut tape, &vs, xv);
+                let loss = tape.mean_all(err);
+                tape.backward(loss, &mut vs);
+                opt.step(&mut vs);
+                black_box(tape.value(loss)[(0, 0)])
+            });
+        });
+    }
+    group.finish();
+}
+
+/// One pooled-tape classifier step: MLP forward, cross-entropy against
+/// one-hot pseudo-labels, backward, Adam update. The `1024x256x256` entry
+/// is the acceptance-criteria size (batch 1024, input 256, hidden 256).
+fn bench_clf_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training_clf_step");
+    tune(&mut group);
+    for (batch, d, hidden) in [
+        (256usize, 64usize, 64usize),
+        (512, 128, 128),
+        (1024, 256, 256),
+    ] {
+        let classes = 8usize;
+        let mut rng = lrng::seeded(13);
+        let x = lrng::normal_matrix(&mut rng, batch, d, 0.0, 1.0);
+        let y = Matrix::from_fn(batch, classes, |r, c| f64::from(r % classes == c));
+        let mut vs = VarStore::new();
+        let mlp = Mlp::new(
+            &mut vs,
+            &mut rng,
+            &[d, hidden, classes],
+            Activation::Relu,
+            Activation::None,
+        );
+        let mut opt = Adam::new(1e-3);
+        let mut tape = Tape::new();
+        group.bench_function(format!("{batch}x{d}x{hidden}"), |b| {
+            b.iter(|| {
+                vs.zero_grads();
+                tape.reset();
+                let xv = tape.input_from(&x);
+                let yv = tape.input_from(&y);
+                let z = mlp.forward(&mut tape, &vs, xv);
+                let lp = tape.log_softmax_rows(z);
+                let prod = tape.mul(yv, lp);
+                let total = tape.sum_all(prod);
+                let loss = tape.scale(total, -1.0 / batch as f64);
+                tape.backward(loss, &mut vs);
+                opt.step(&mut vs);
+                black_box(tape.value(loss)[(0, 0)])
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The classifier step's dominant GEMM sequence at the acceptance size —
+/// forward `x·w` plus the two backward products `x^T·g` and `g·w^T` —
+/// on the blocked kernels vs. the retained pre-PR `reference` kernels.
+fn bench_clf_gemm(c: &mut Criterion) {
+    let mut rng = lrng::seeded(17);
+    let x = lrng::normal_matrix(&mut rng, 1024, 256, 0.0, 1.0);
+    let w = lrng::normal_matrix(&mut rng, 256, 256, 0.0, 0.1);
+    let g = lrng::normal_matrix(&mut rng, 1024, 256, 0.0, 1.0);
+    let mut group = c.benchmark_group("clf_gemm_1024x256x256");
+    tune(&mut group);
+    group.bench_function("blocked", |b| {
+        b.iter(|| {
+            let fwd = x.matmul(&w);
+            let dw = x.matmul_tn(&g);
+            let dx = g.matmul_nt(&w);
+            black_box((fwd, dw, dx))
+        });
+    });
+    group.bench_function("reference", |b| {
+        b.iter(|| {
+            let fwd = reference::matmul(&x, &w);
+            let dw = reference::matmul_tn(&x, &g);
+            let dx = reference::matmul_nt(&g, &w);
+            black_box((fwd, dw, dx))
+        });
+    });
+    group.finish();
+}
+
+/// Writes `results/bench_training.json`: every benchmark mean plus the
+/// blocked-vs-reference speedup on the acceptance-size GEMM sequence.
+fn write_json(results: &[(String, f64)]) {
+    let mean_of = |name: &str| {
+        results
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, m)| m)
+            .unwrap_or(0.0)
+    };
+    let blocked = mean_of("clf_gemm_1024x256x256/blocked");
+    let reference = mean_of("clf_gemm_1024x256x256/reference");
+    let speedup = if blocked > 0.0 {
+        reference / blocked
+    } else {
+        0.0
+    };
+
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, (name, mean)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{ \"name\": \"{name}\", \"mean_seconds\": {mean:e} }}{comma}\n"
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"speedup_clf_gemm_1024x256x256\": {speedup:.2}\n}}\n"
+    ));
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/bench_training.json");
+    std::fs::create_dir_all(path.parent().expect("parent")).expect("create results dir");
+    std::fs::write(&path, out).expect("write bench_training.json");
+    println!("\nwrote {} (speedup {speedup:.2}x)", path.display());
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_ae_step(&mut criterion);
+    bench_clf_step(&mut criterion);
+    bench_clf_gemm(&mut criterion);
+    write_json(criterion.results());
+}

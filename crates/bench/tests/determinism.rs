@@ -82,6 +82,44 @@ fn targad_scores_are_worker_count_invariant() {
     }
 }
 
+/// The pooled-tape training path produces bit-identical per-epoch losses
+/// (AE and classifier) at every worker count: buffer recycling replays the
+/// same floating-point operations in the same order regardless of how
+/// scoring work is partitioned.
+#[test]
+fn pooled_tape_training_losses_are_worker_count_invariant() {
+    let bundle = GeneratorSpec::quick_demo().generate(41);
+    let mut cfg = TargAdConfig::fast();
+    cfg.ae_epochs = 3;
+    cfg.clf_epochs = 4;
+    let serial = {
+        let mut model = TargAd::try_new(cfg.clone())
+            .expect("valid config")
+            .with_runtime(Runtime::serial());
+        model.fit(&bundle.train, 13).expect("fit");
+        model.history().clone()
+    };
+    assert!(!serial.clf_loss.is_empty());
+    for workers in WORKERS {
+        let mut model = TargAd::try_new(cfg.clone())
+            .expect("valid config")
+            .with_runtime(Runtime::new(workers));
+        model.fit(&bundle.train, 13).expect("fit");
+        let history = model.history();
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&history.clf_loss),
+            bits(&serial.clf_loss),
+            "clf losses diverged at workers = {workers}"
+        );
+        assert_eq!(
+            bits(&history.ae_loss),
+            bits(&serial.ae_loss),
+            "AE losses diverged at workers = {workers}"
+        );
+    }
+}
+
 /// The full Table II grid is independent of the suite runtime (and hence
 /// of `TARGAD_THREADS`): every `(model, seed)` cell depends only on the
 /// model and the seed.

@@ -50,6 +50,10 @@ impl KMeans {
         let mut assignments = vec![0usize; n];
         let mut inertia = f64::INFINITY;
         let mut iterations = 0;
+        // Per-sweep accumulators, allocated once and re-zeroed each Lloyd
+        // iteration (`sums` doubles as the next centroid matrix via swap).
+        let mut sums = Matrix::zeros(k, data.cols());
+        let mut counts = vec![0usize; k];
 
         for it in 0..config.max_iter {
             iterations = it + 1;
@@ -62,8 +66,8 @@ impl KMeans {
             }
 
             // Update step.
-            let mut sums = Matrix::zeros(k, data.cols());
-            let mut counts = vec![0usize; k];
+            sums.fill(0.0);
+            counts.fill(0);
             for (i, &c) in assignments.iter().enumerate() {
                 counts[c] += 1;
                 for (s, &v) in sums.row_mut(c).iter_mut().zip(data.row(i)) {
@@ -90,7 +94,10 @@ impl KMeans {
                     *s *= inv;
                 }
             }
-            centroids = sums;
+            // The repair above reads the *old* centroids, so the swap must
+            // come last; the retired centroid matrix becomes next sweep's
+            // accumulator.
+            std::mem::swap(&mut centroids, &mut sums);
 
             let improved = inertia - new_inertia;
             let converged = improved.abs() <= config.tol * inertia.max(1e-12);

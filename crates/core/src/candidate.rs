@@ -189,20 +189,21 @@ fn train_cluster_ae(
     let mut opt = Adam::new(config.ae_lr);
     let use_labeled = config.eta > 0.0 && xl.rows() > 0;
     let mut loss_history = Vec::with_capacity(config.ae_epochs);
+    let mut tape = Tape::new();
 
     for _ in 0..config.ae_epochs {
         let mut epoch_loss = 0.0;
         let mut batches = 0usize;
         for batch in shuffled_batches(&mut rng, data.rows(), config.ae_batch) {
             store.zero_grads();
-            let mut tape = Tape::new();
-            let xb = tape.input(data.take_rows(&batch));
+            tape.reset();
+            let xb = tape.input_rows_from(data, &batch);
             let err = ae.recon_error_rows(&mut tape, &store, xb);
             let term_u = tape.mean_all(err);
             let loss = if use_labeled {
                 // Whole D_L each step — it is tiny by construction (§IV-A:
                 // 0.16%–0.48% of the training data).
-                let xl_v = tape.input(xl.clone());
+                let xl_v = tape.input_from(xl);
                 let err_l = ae.recon_error_rows(&mut tape, &store, xl_v);
                 let inv = tape.recip(err_l);
                 let term_l = tape.mean_all(inv);

@@ -402,6 +402,7 @@ impl TargAd {
         };
 
         let bs = self.config.clf_batch;
+        let mut tape = Tape::new();
         for epoch in 0..self.config.clf_epochs {
             if epoch > 0 && self.config.update_weights && !weights.is_empty() {
                 // Eq. 4: weight from the max predicted probability.
@@ -439,6 +440,7 @@ impl TargAd {
                     .collect();
 
                 epoch_loss += self.train_step(
+                    &mut tape,
                     &mut clf,
                     opt.as_mut(),
                     xl,
@@ -472,6 +474,7 @@ impl TargAd {
     #[allow(clippy::too_many_arguments)]
     fn train_step(
         &self,
+        tape: &mut Tape,
         clf: &mut Classifier,
         opt: &mut dyn Optimizer,
         xl: &Matrix,
@@ -486,20 +489,20 @@ impl TargAd {
         a_batch: &[usize],
     ) -> f64 {
         clf.store.zero_grads();
-        let mut tape = Tape::new();
+        tape.reset();
 
         // L_CE over D_L and D_U^N (Eq. 3): sum of the two per-set means.
-        let (zl, _) = forward_batch(&mut tape, clf, xl, l_batch);
-        let ce_l = cross_entropy_mean(&mut tape, zl, &yl.take_rows(l_batch));
-        let (zn, _) = forward_batch(&mut tape, clf, xn, n_batch);
-        let ce_n = cross_entropy_mean(&mut tape, zn, &yn.take_rows(n_batch));
+        let (zl, _) = forward_batch(tape, clf, xl, l_batch);
+        let ce_l = cross_entropy_mean(tape, zl, yl, l_batch);
+        let (zn, _) = forward_batch(tape, clf, xn, n_batch);
+        let ce_n = cross_entropy_mean(tape, zn, yn, n_batch);
         let mut loss = tape.add(ce_l, ce_n);
 
         // L_OE over D_U^A (Eq. 6) with per-instance weights.
         if self.config.use_oe && !a_batch.is_empty() {
-            let (za, _) = forward_batch(&mut tape, clf, xa, a_batch);
+            let (za, _) = forward_batch(tape, clf, xa, a_batch);
             let w: Vec<f64> = a_batch.iter().map(|&i| weights[i]).collect();
-            let oe = weighted_cross_entropy_mean(&mut tape, za, &ya.take_rows(a_batch), &w);
+            let oe = weighted_cross_entropy_mean(tape, za, ya, a_batch, &w);
             loss = tape.add_scaled(loss, oe, self.config.lambda1);
         }
 
@@ -510,8 +513,8 @@ impl TargAd {
         // Σ p log p; minimizing that literal expression would maximize
         // entropy instead).
         if self.config.use_re {
-            let ent_l = entropy_mean(&mut tape, zl);
-            let ent_n = entropy_mean(&mut tape, zn);
+            let ent_l = entropy_mean(tape, zl);
+            let ent_n = entropy_mean(tape, zn);
             let w_l = xl.rows() as f64 / (xl.rows() + xn.rows()) as f64;
             loss = tape.add_scaled(loss, ent_l, self.config.lambda2 * w_l);
             loss = tape.add_scaled(loss, ent_n, self.config.lambda2 * (1.0 - w_l));
@@ -673,15 +676,15 @@ fn record_weight_means(history: &mut TrainHistory, truth: &[usize], weights: &[f
 }
 
 fn forward_batch(tape: &mut Tape, clf: &Classifier, x: &Matrix, batch: &[usize]) -> (Var, usize) {
-    let xb = tape.input(x.take_rows(batch));
+    let xb = tape.input_rows_from(x, batch);
     (clf.mlp.forward(tape, &clf.store, xb), batch.len())
 }
 
-/// `−mean_rows Σ_j y_j log p_j` from logits `z` and a constant target
-/// matrix.
-fn cross_entropy_mean(tape: &mut Tape, z: Var, targets: &Matrix) -> Var {
-    let n = targets.rows().max(1) as f64;
-    let y = tape.input(targets.clone());
+/// `−mean_rows Σ_j y_j log p_j` from logits `z` and the listed rows of a
+/// constant target matrix.
+fn cross_entropy_mean(tape: &mut Tape, z: Var, targets: &Matrix, batch: &[usize]) -> Var {
+    let n = batch.len().max(1) as f64;
+    let y = tape.input_rows_from(targets, batch);
     let lp = tape.log_softmax_rows(z);
     let prod = tape.mul(y, lp);
     let total = tape.sum_all(prod);
@@ -689,9 +692,15 @@ fn cross_entropy_mean(tape: &mut Tape, z: Var, targets: &Matrix) -> Var {
 }
 
 /// Weighted variant of [`cross_entropy_mean`] (Eq. 6).
-fn weighted_cross_entropy_mean(tape: &mut Tape, z: Var, targets: &Matrix, weights: &[f64]) -> Var {
-    let n = targets.rows().max(1) as f64;
-    let y = tape.input(targets.clone());
+fn weighted_cross_entropy_mean(
+    tape: &mut Tape,
+    z: Var,
+    targets: &Matrix,
+    batch: &[usize],
+    weights: &[f64],
+) -> Var {
+    let n = batch.len().max(1) as f64;
+    let y = tape.input_rows_from(targets, batch);
     let w = tape.input(Matrix::col_vector(weights));
     let lp = tape.log_softmax_rows(z);
     let prod = tape.mul(y, lp);

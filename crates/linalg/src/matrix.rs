@@ -179,6 +179,19 @@ impl Matrix {
         Matrix::from_vec(indices.len(), self.cols, data)
     }
 
+    /// Copies the listed rows of `self` into `out` (an
+    /// `indices.len() x self.cols()` matrix), overwriting its contents.
+    pub fn take_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (indices.len(), self.cols),
+            "take_rows_into: bad output shape"
+        );
+        for (dst, &i) in out.data.chunks_mut(self.cols.max(1)).zip(indices) {
+            dst.copy_from_slice(self.row(i));
+        }
+    }
+
     /// Stacks `self` on top of `other` (column counts must match).
     pub fn vstack(&self, other: &Matrix) -> Matrix {
         assert_eq!(
@@ -226,6 +239,30 @@ impl Matrix {
         out
     }
 
+    /// Writes `self * other` into `out`, overwriting its contents.
+    ///
+    /// Allocation-free: this is [`Matrix::matmul`] for callers that recycle
+    /// output buffers (the pooled autograd tape). `out` may hold arbitrary
+    /// stale values; it is fully overwritten. Bit-identical to `matmul`.
+    ///
+    /// # Panics
+    /// Panics on an inner-dimension mismatch or if `out` is not
+    /// `self.rows() x other.cols()`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul_into: inner dimension mismatch ({}x{}) * ({}x{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.cols),
+            "matmul_into: bad output shape"
+        );
+        out.fill(0.0);
+        matmul_rows_into(self, other, 0, &mut out.data);
+    }
+
     /// `self^T * other` without materializing the transpose.
     ///
     /// This is the shape of the weight gradient in a linear layer
@@ -237,21 +274,29 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.cols, other.cols);
-        let n = other.cols;
-        for r in 0..self.rows {
-            let a_row = self.row(r);
-            let b_row = other.row(r);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[k * n..(k + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        matmul_tn_rows_into(self, other, 0, &mut out.data);
         out
+    }
+
+    /// Writes `self^T * other` into `out`, overwriting its contents.
+    /// Allocation-free twin of [`Matrix::matmul_tn`]; bit-identical to it.
+    ///
+    /// # Panics
+    /// Panics on a row mismatch or if `out` is not
+    /// `self.cols() x other.cols()`.
+    pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn_into: row mismatch ({}x{})^T * ({}x{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            out.shape(),
+            (self.cols, other.cols),
+            "matmul_tn_into: bad output shape"
+        );
+        out.fill(0.0);
+        matmul_tn_rows_into(self, other, 0, &mut out.data);
     }
 
     /// `self * other^T` without materializing the transpose.
@@ -269,15 +314,47 @@ impl Matrix {
         out
     }
 
+    /// Writes `self * other^T` into `out`, overwriting its contents.
+    /// Allocation-free twin of [`Matrix::matmul_nt`]; bit-identical to it.
+    ///
+    /// # Panics
+    /// Panics on a column mismatch or if `out` is not
+    /// `self.rows() x other.rows()`.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt_into: column mismatch ({}x{}) * ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.rows),
+            "matmul_nt_into: bad output shape"
+        );
+        out.fill(0.0);
+        matmul_nt_rows_into(self, other, 0, &mut out.data);
+    }
+
     /// The transpose of this matrix.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Writes the transpose of `self` into `out` (must be
+    /// `self.cols() x self.rows()`), overwriting its contents.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (self.cols, self.rows),
+            "transpose_into: bad output shape"
+        );
         for r in 0..self.rows {
             for c in 0..self.cols {
-                out[(c, r)] = self[(r, c)];
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
             }
         }
-        out
     }
 
     /// Applies `f` to every element, returning a new matrix.
@@ -296,6 +373,15 @@ impl Matrix {
         }
     }
 
+    /// Writes `f` applied to every element of `self` into `out` (same
+    /// shape), overwriting its contents.
+    pub fn map_into(&self, f: impl Fn(f64) -> f64, out: &mut Matrix) {
+        assert_eq!(self.shape(), out.shape(), "map_into: shape mismatch");
+        for (o, &v) in out.data.iter_mut().zip(&self.data) {
+            *o = f(v);
+        }
+    }
+
     /// Combines two same-shape matrices elementwise with `f`.
     ///
     /// # Panics
@@ -311,6 +397,28 @@ impl Matrix {
                 .zip(&other.data)
                 .map(|(&a, &b)| f(a, b))
                 .collect(),
+        }
+    }
+
+    /// Writes `f(self, other)` elementwise into `out` (all three the same
+    /// shape), overwriting its contents.
+    pub fn zip_map_into(&self, other: &Matrix, f: impl Fn(f64, f64) -> f64, out: &mut Matrix) {
+        assert_eq!(self.shape(), other.shape(), "zip_map_into: shape mismatch");
+        assert_eq!(self.shape(), out.shape(), "zip_map_into: bad output shape");
+        for (o, (&a, &b)) in out.data.iter_mut().zip(self.data.iter().zip(&other.data)) {
+            *o = f(a, b);
+        }
+    }
+
+    /// Replaces `self` with `f(self, other)` elementwise (shapes must match).
+    pub fn zip_map_inplace(&mut self, other: &Matrix, f: impl Fn(f64, f64) -> f64) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "zip_map_inplace: shape mismatch"
+        );
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a = f(*a, b);
         }
     }
 
@@ -341,6 +449,17 @@ impl Matrix {
         }
     }
 
+    /// Overwrites `self` with the contents of `src` (shapes must match).
+    pub fn copy_from(&mut self, src: &Matrix) {
+        assert_eq!(self.shape(), src.shape(), "copy_from: shape mismatch");
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// Sets every element to `value`.
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
     /// Adds a `1 x cols` row vector to every row.
     ///
     /// # Panics
@@ -357,6 +476,30 @@ impl Matrix {
         out
     }
 
+    /// Writes `self` with `row` added to every row into `out` (same shape
+    /// as `self`), overwriting its contents.
+    pub fn add_row_broadcast_into(&self, row: &Matrix, out: &mut Matrix) {
+        assert_eq!(row.rows, 1, "add_row_broadcast_into: expected a row vector");
+        assert_eq!(
+            row.cols, self.cols,
+            "add_row_broadcast_into: column mismatch"
+        );
+        assert_eq!(
+            self.shape(),
+            out.shape(),
+            "add_row_broadcast_into: bad output shape"
+        );
+        for (out_row, src_row) in out
+            .data
+            .chunks_mut(self.cols)
+            .zip(self.data.chunks(self.cols))
+        {
+            for ((o, &a), &b) in out_row.iter_mut().zip(src_row).zip(&row.data) {
+                *o = a + b;
+            }
+        }
+    }
+
     /// Multiplies row `r` of `self` by `col[r]` (an `rows x 1` column vector).
     ///
     /// This is the kernel behind per-instance loss weights `w(x)` (Eq. 6 of
@@ -368,13 +511,54 @@ impl Matrix {
         assert_eq!(col.cols, 1, "mul_col_broadcast: expected a column vector");
         assert_eq!(col.rows, self.rows, "mul_col_broadcast: row mismatch");
         let mut out = self.clone();
-        for r in 0..out.rows {
-            let w = col.data[r];
-            for o in out.row_mut(r) {
+        out.mul_col_broadcast_inplace(col);
+        out
+    }
+
+    /// Multiplies row `r` of `self` by `col[r]` in place.
+    ///
+    /// # Panics
+    /// Panics unless `col` is `self.rows() x 1`.
+    pub fn mul_col_broadcast_inplace(&mut self, col: &Matrix) {
+        assert_eq!(
+            col.cols, 1,
+            "mul_col_broadcast_inplace: expected a column vector"
+        );
+        assert_eq!(
+            col.rows, self.rows,
+            "mul_col_broadcast_inplace: row mismatch"
+        );
+        for (row, &w) in self.data.chunks_mut(self.cols.max(1)).zip(&col.data) {
+            for o in row {
                 *o *= w;
             }
         }
-        out
+    }
+
+    /// Writes `self` with row `r` scaled by `col[r]` into `out` (same shape
+    /// as `self`), overwriting its contents.
+    pub fn mul_col_broadcast_into(&self, col: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            col.cols, 1,
+            "mul_col_broadcast_into: expected a column vector"
+        );
+        assert_eq!(col.rows, self.rows, "mul_col_broadcast_into: row mismatch");
+        assert_eq!(
+            self.shape(),
+            out.shape(),
+            "mul_col_broadcast_into: bad output shape"
+        );
+        let cols = self.cols.max(1);
+        for ((out_row, src_row), &w) in out
+            .data
+            .chunks_mut(cols)
+            .zip(self.data.chunks(cols))
+            .zip(&col.data)
+        {
+            for (o, &a) in out_row.iter_mut().zip(src_row) {
+                *o = a * w;
+            }
+        }
     }
 
     /// Sum of all elements.
@@ -393,19 +577,45 @@ impl Matrix {
 
     /// Per-row sums as an `rows x 1` column vector.
     pub fn row_sums(&self) -> Matrix {
-        let sums: Vec<f64> = self.iter_rows().map(|r| r.iter().sum()).collect();
-        Matrix::col_vector(&sums)
+        let mut out = Matrix::zeros(self.rows, 1);
+        self.row_sums_into(&mut out);
+        out
+    }
+
+    /// Writes the per-row sums into `out` (an `rows x 1` column vector),
+    /// overwriting its contents.
+    pub fn row_sums_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (self.rows, 1),
+            "row_sums_into: bad output shape"
+        );
+        for (o, row) in out.data.iter_mut().zip(self.iter_rows()) {
+            *o = row.iter().sum();
+        }
     }
 
     /// Per-column sums as a `1 x cols` row vector.
     pub fn col_sums(&self) -> Matrix {
-        let mut sums = vec![0.0; self.cols];
+        let mut out = Matrix::zeros(1, self.cols);
+        self.col_sums_into(&mut out);
+        out
+    }
+
+    /// Writes the per-column sums into `out` (a `1 x cols` row vector),
+    /// overwriting its contents.
+    pub fn col_sums_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (1, self.cols),
+            "col_sums_into: bad output shape"
+        );
+        out.fill(0.0);
         for row in self.iter_rows() {
-            for (s, &v) in sums.iter_mut().zip(row) {
+            for (s, &v) in out.data.iter_mut().zip(row) {
                 *s += v;
             }
         }
-        Matrix::row_vector(&sums)
     }
 
     /// Per-row squared Euclidean norms, as a plain vector.
@@ -443,8 +653,14 @@ impl Matrix {
     /// Numerically stable row-wise softmax.
     pub fn softmax_rows(&self) -> Matrix {
         let mut out = self.clone();
-        for r in 0..out.rows {
-            let row = out.row_mut(r);
+        out.softmax_rows_inplace();
+        out
+    }
+
+    /// Replaces every row with its numerically stable softmax.
+    pub fn softmax_rows_inplace(&mut self) {
+        for r in 0..self.rows {
+            let row = self.row_mut(r);
             let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             let mut sum = 0.0;
             for v in row.iter_mut() {
@@ -455,21 +671,25 @@ impl Matrix {
                 *v /= sum;
             }
         }
-        out
     }
 
     /// Numerically stable row-wise log-softmax.
     pub fn log_softmax_rows(&self) -> Matrix {
         let mut out = self.clone();
-        for r in 0..out.rows {
-            let row = out.row_mut(r);
+        out.log_softmax_rows_inplace();
+        out
+    }
+
+    /// Replaces every row with its numerically stable log-softmax.
+    pub fn log_softmax_rows_inplace(&mut self) {
+        for r in 0..self.rows {
+            let row = self.row_mut(r);
             let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             let lse = max + row.iter().map(|&v| (v - max).exp()).sum::<f64>().ln();
             for v in row.iter_mut() {
                 *v -= lse;
             }
         }
-        out
     }
 
     /// Row-wise `log(sum(exp(.)))`, numerically stable, as an `rows x 1`
@@ -501,21 +721,192 @@ impl Matrix {
     }
 }
 
-/// Computes out rows `[first_row, first_row + out.len() / b.cols())` of
-/// `a * b` into `out` (a row-major slice of whole out rows).
-///
-/// Each out row accumulates over `k` in ascending order and depends only on
-/// its own global row index, so any partition of the row range produces
-/// bit-identical results — this is the kernel behind both the serial
-/// [`Matrix::matmul`] and the runtime-parallel [`Matrix::matmul_rt`].
-pub(crate) fn matmul_rows_into(a: &Matrix, b: &Matrix, first_row: usize, out: &mut [f64]) {
+// ---------------------------------------------------------------------------
+// Blocked GEMM kernels.
+//
+// All three variants share one determinism contract: every output element is
+// a single accumulator chain over its contraction index in ascending order,
+// independent of how the output rows are partitioned across workers and of
+// which code path (packed-blocked or small-problem naive) executes it.
+// Spilling a partial sum to `out` between k-blocks and reloading it is exact
+// (an f64 store/load round-trip loses nothing), so cache blocking does not
+// perturb the chain. Zero-padding the packed panels only feeds the unused
+// register lanes, which are never stored. DESIGN.md §9 has the full argument.
+
+/// Register tile height: output rows held in registers per micro-kernel call.
+const MR: usize = 4;
+/// Register tile width: output columns held in registers per micro-kernel
+/// call. `MR * NR = 32` accumulators fit the 16 × 256-bit vector registers
+/// of any x86-64 with room for the `a`/`b` operands.
+const NR: usize = 8;
+/// Contraction-dimension block: one packed B panel spans `KC x NR` and stays
+/// L1-resident while `MC / MR` micro-tiles stream over it.
+const KC: usize = 256;
+/// Output-row block: one packed A block spans `MC x KC` (512 KiB / 8 =
+/// 128 KiB at f64) and stays L2-resident across the `j` sweep.
+const MC: usize = 64;
+/// Problems below this many multiply-adds skip packing entirely; the naive
+/// i-k-j loop wins there and computes the identical accumulation chains.
+const BLOCK_MIN_FLOPS: usize = 1 << 18;
+
+/// The innermost register tile: `acc[m][c] += a[kk*MR+m] * b[kk*NR+c]` for
+/// `kk` ascending. `apack` is kk-major with `MR` A values per step; `bpack`
+/// is kk-major with `NR` B values per step. Fixed-size rows let LLVM keep
+/// the whole tile in vector registers.
+#[inline(always)]
+fn gemm_micro(apack: &[f64], bpack: &[f64], kb: usize, acc: &mut [[f64; NR]; MR]) {
+    for (a_step, b_step) in apack.chunks_exact(MR).zip(bpack.chunks_exact(NR)).take(kb) {
+        // Fixed-size views so the compiler sees exact trip counts and keeps
+        // the whole tile in vector registers with no bounds checks.
+        let a_step: &[f64; MR] = a_step.try_into().expect("MR chunk");
+        let b_step: &[f64; NR] = b_step.try_into().expect("NR chunk");
+        for (acc_row, &av) in acc.iter_mut().zip(a_step) {
+            for (o, &bv) in acc_row.iter_mut().zip(b_step) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Packs the A block `[i0, i0+ib) x [k0, k0+kb)` into `apack`, tile-major:
+/// tile `t` holds rows `i0 + t*MR ..`, laid out kk-major with `MR` values per
+/// step, rows past `ib` padded with zeros. The source element for (row `i`,
+/// contraction `k`) is `data[base + i*i_stride + k*k_stride]` — `(i_stride,
+/// k_stride) = (cols, 1)` packs A for `A*B`, `(1, cols)` packs it transposed
+/// for `A^T*B`, so both GEMM variants share this routine and the driver.
+#[allow(clippy::too_many_arguments)]
+fn pack_a_block(
+    data: &[f64],
+    base: usize,
+    i_stride: usize,
+    k_stride: usize,
+    i0: usize,
+    ib: usize,
+    k0: usize,
+    kb: usize,
+    apack: &mut [f64; MC * KC],
+) {
+    let tiles = ib.div_ceil(MR);
+    for (t, tile) in apack.chunks_exact_mut(KC * MR).take(tiles).enumerate() {
+        let mb = (ib - t * MR).min(MR);
+        for (kk, dst) in tile.chunks_exact_mut(MR).take(kb).enumerate() {
+            let src = base + (i0 + t * MR) * i_stride + (k0 + kk) * k_stride;
+            for (m, d) in dst.iter_mut().enumerate() {
+                *d = if m < mb {
+                    data[src + m * i_stride]
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// Packs the B panel `[k0, k0+kb) x [j0, j0+jb)` into `bpack`, kk-major with
+/// `NR` values per step, columns past `jb` padded with zeros.
+fn pack_b_panel(
+    b: &Matrix,
+    k0: usize,
+    kb: usize,
+    j0: usize,
+    jb: usize,
+    bpack: &mut [f64; KC * NR],
+) {
+    for (kk, dst) in bpack.chunks_exact_mut(NR).take(kb).enumerate() {
+        let start = (k0 + kk) * b.cols + j0;
+        dst[..jb].copy_from_slice(&b.data[start..start + jb]);
+        dst[jb..].fill(0.0);
+    }
+}
+
+/// [`pack_b_panel`] for a transposed B: panel column `c` is row `j0 + c` of
+/// `b`, so the contraction index walks `b`'s rows contiguously. This is how
+/// `a * b^T` reuses the straight GEMM driver — the packed panel is laid out
+/// exactly as [`pack_b_panel`] would lay out a materialized `b^T`.
+fn pack_bt_panel(
+    b: &Matrix,
+    k0: usize,
+    kb: usize,
+    j0: usize,
+    jb: usize,
+    bpack: &mut [f64; KC * NR],
+) {
+    for c in 0..NR {
+        if c < jb {
+            let start = (j0 + c) * b.cols + k0;
+            for (kk, &v) in b.data[start..start + kb].iter().enumerate() {
+                bpack[kk * NR + c] = v;
+            }
+        } else {
+            for kk in 0..kb {
+                bpack[kk * NR + c] = 0.0;
+            }
+        }
+    }
+}
+
+/// The shared blocked driver behind all three `matmul_*_rows_into` kernels:
+/// accumulates `A * B` into `out` where `A` is the `rows x kdim` operand
+/// addressed through `(a_base, a_istride, a_kstride)` as in
+/// [`pack_a_block`], and `B` is delivered in packed `KC x NR` panels by
+/// `pack_b` ([`pack_b_panel`] for a row-major B, [`pack_bt_panel`] for a
+/// transposed one). `out` holds `rows` full rows of `n` and is accumulated
+/// into (callers pre-zero it), k-blocks ascending.
+#[allow(clippy::too_many_arguments)]
+fn gemm_blocked(
+    a_data: &[f64],
+    a_base: usize,
+    a_istride: usize,
+    a_kstride: usize,
+    kdim: usize,
+    n: usize,
+    pack_b: impl Fn(usize, usize, usize, usize, &mut [f64; KC * NR]),
+    out: &mut [f64],
+) {
+    let rows = out.len() / n;
+    let mut apack = [0.0f64; MC * KC];
+    let mut bpack = [0.0f64; KC * NR];
+    let mut i0 = 0;
+    while i0 < rows {
+        let ib = (rows - i0).min(MC);
+        let tiles = ib.div_ceil(MR);
+        let mut k0 = 0;
+        while k0 < kdim {
+            let kb = (kdim - k0).min(KC);
+            pack_a_block(
+                a_data, a_base, a_istride, a_kstride, i0, ib, k0, kb, &mut apack,
+            );
+            let mut j0 = 0;
+            while j0 < n {
+                let jb = (n - j0).min(NR);
+                pack_b(k0, kb, j0, jb, &mut bpack);
+                for t in 0..tiles {
+                    let mb = (ib - t * MR).min(MR);
+                    let base = (i0 + t * MR) * n + j0;
+                    let mut acc = [[0.0f64; NR]; MR];
+                    for (m, acc_row) in acc.iter_mut().enumerate().take(mb) {
+                        acc_row[..jb].copy_from_slice(&out[base + m * n..base + m * n + jb]);
+                    }
+                    gemm_micro(&apack[t * KC * MR..(t + 1) * KC * MR], &bpack, kb, &mut acc);
+                    for (m, acc_row) in acc.iter().enumerate().take(mb) {
+                        out[base + m * n..base + m * n + jb].copy_from_slice(&acc_row[..jb]);
+                    }
+                }
+                j0 += NR;
+            }
+            k0 += KC;
+        }
+        i0 += MC;
+    }
+}
+
+/// The packing-free i-k-j loop for problems too small to amortize panel
+/// packing. Identical accumulation chains to [`gemm_blocked`].
+fn gemm_nn_naive(a: &Matrix, b: &Matrix, first_row: usize, out: &mut [f64]) {
     let n = b.cols;
     for (r, out_row) in out.chunks_mut(n).enumerate() {
         let a_row = a.row(first_row + r);
         for (k, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
             let b_row = &b.data[k * n..(k + 1) * n];
             for (o, &bv) in out_row.iter_mut().zip(b_row) {
                 *o += av * bv;
@@ -524,45 +915,193 @@ pub(crate) fn matmul_rows_into(a: &Matrix, b: &Matrix, first_row: usize, out: &m
     }
 }
 
-/// Computes out rows `[first_row, ...)` of `a * b^T` into `out`.
-///
-/// Pure dot products — each element depends only on its own indices, so any
-/// row-range partition is bit-identical.
-pub(crate) fn matmul_nt_rows_into(a: &Matrix, b: &Matrix, first_row: usize, out: &mut [f64]) {
+/// [`gemm_nn_naive`] for the transposed-B variant: scalar dot products,
+/// each a single ascending-`k` chain accumulated onto `out`.
+fn gemm_nt_naive(a: &Matrix, b: &Matrix, first_row: usize, out: &mut [f64]) {
     let n = b.rows;
     for (r, out_row) in out.chunks_mut(n).enumerate() {
         let a_row = a.row(first_row + r);
         for (j, o) in out_row.iter_mut().enumerate() {
-            let b_row = b.row(j);
             let mut acc = 0.0;
-            for (&av, &bv) in a_row.iter().zip(b_row) {
+            for (&av, &bv) in a_row.iter().zip(b.row(j)) {
                 acc += av * bv;
             }
-            *o = acc;
+            *o += acc;
         }
     }
 }
 
-/// Computes out rows `[first_k, ...)` of `a^T * b` into `out`.
-///
-/// Accumulates over data rows `r` in ascending order — the same per-element
-/// operand sequence as the serial [`Matrix::matmul_tn`] (which iterates `r`
-/// in its outer loop), so the two are bit-identical even though the loop
-/// nests differ. The `a[r][k] == 0` skip is per-element and matches too.
-pub(crate) fn matmul_tn_rows_into(a: &Matrix, b: &Matrix, first_k: usize, out: &mut [f64]) {
+/// `gemm_nn_naive` for the transposed-A variant: out row `k`, ascending `r`.
+fn gemm_tn_naive(a: &Matrix, b: &Matrix, first_k: usize, out: &mut [f64]) {
     let n = b.cols;
     for (kk, out_row) in out.chunks_mut(n).enumerate() {
         let k = first_k + kk;
         for r in 0..a.rows {
             let av = a.data[r * a.cols + k];
-            if av == 0.0 {
-                continue;
-            }
             let b_row = &b.data[r * n..(r + 1) * n];
             for (o, &bv) in out_row.iter_mut().zip(b_row) {
                 *o += av * bv;
             }
         }
+    }
+}
+
+/// Computes out rows `[first_row, first_row + out.len() / b.cols())` of
+/// `a * b` into `out` (a row-major slice of whole out rows), accumulating
+/// into the existing contents (callers pre-zero `out`).
+///
+/// Each out element accumulates over `k` in ascending order and depends only
+/// on its own global indices, so any partition of the row range produces
+/// bit-identical results — this is the kernel behind both the serial
+/// [`Matrix::matmul`] and the runtime-parallel [`Matrix::matmul_rt`].
+pub(crate) fn matmul_rows_into(a: &Matrix, b: &Matrix, first_row: usize, out: &mut [f64]) {
+    let n = b.cols;
+    if n == 0 || out.is_empty() {
+        return;
+    }
+    let rows = out.len() / n;
+    if rows * n * a.cols < BLOCK_MIN_FLOPS {
+        gemm_nn_naive(a, b, first_row, out);
+    } else {
+        let pack_b = |k0, kb, j0, jb, bp: &mut _| pack_b_panel(b, k0, kb, j0, jb, bp);
+        gemm_blocked(
+            &a.data,
+            first_row * a.cols,
+            a.cols,
+            1,
+            a.cols,
+            n,
+            pack_b,
+            out,
+        );
+    }
+}
+
+/// Computes out rows `[first_row, ...)` of `a * b^T` into `out`,
+/// accumulating into the existing contents (callers pre-zero `out`).
+///
+/// Every element is a single dot-product chain over `k` ascending — each
+/// depends only on its own indices, so any row-range partition is
+/// bit-identical. The blocked path packs rows of `b` as transposed panels
+/// ([`pack_bt_panel`]) and reuses the straight GEMM driver.
+pub(crate) fn matmul_nt_rows_into(a: &Matrix, b: &Matrix, first_row: usize, out: &mut [f64]) {
+    let n = b.rows;
+    if n == 0 || out.is_empty() {
+        return;
+    }
+    let rows = out.len() / n;
+    if rows * n * a.cols < BLOCK_MIN_FLOPS {
+        gemm_nt_naive(a, b, first_row, out);
+    } else {
+        let pack_b = |k0, kb, j0, jb, bp: &mut _| pack_bt_panel(b, k0, kb, j0, jb, bp);
+        gemm_blocked(
+            &a.data,
+            first_row * a.cols,
+            a.cols,
+            1,
+            a.cols,
+            n,
+            pack_b,
+            out,
+        );
+    }
+}
+
+/// Computes out rows `[first_k, ...)` of `a^T * b` into `out`, accumulating
+/// into the existing contents (callers pre-zero `out`).
+///
+/// Accumulates over data rows `r` in ascending order — the same per-element
+/// operand sequence as `a.transpose().matmul(&b)`, so the two are
+/// bit-identical. The blocked path reuses [`gemm_blocked`] with A addressed
+/// through its transpose strides; the packed panels are identical to what a
+/// materialized transpose would produce, so the chains match exactly.
+pub(crate) fn matmul_tn_rows_into(a: &Matrix, b: &Matrix, first_k: usize, out: &mut [f64]) {
+    let n = b.cols;
+    if n == 0 || out.is_empty() {
+        return;
+    }
+    let rows = out.len() / n;
+    if rows * n * a.rows < BLOCK_MIN_FLOPS {
+        gemm_tn_naive(a, b, first_k, out);
+    } else {
+        let pack_b = |k0, kb, j0, jb, bp: &mut _| pack_b_panel(b, k0, kb, j0, jb, bp);
+        gemm_blocked(&a.data, first_k, 1, a.cols, a.rows, n, pack_b, out);
+    }
+}
+
+/// The pre-blocking scalar kernels, retained verbatim as the baseline the
+/// blocked implementations are measured and tested against
+/// (`bench_training`'s speedup rows, the odd-shape equivalence tests).
+///
+/// Values are identical to the blocked path up to the sign of exact zeros:
+/// these kernels skip zero multiplicands, which can turn a `-0.0` sum into
+/// `0.0`. `PartialEq` on `f64` treats the two as equal, so `assert_eq!`
+/// comparisons against the blocked kernels hold.
+pub mod reference {
+    use super::Matrix;
+
+    /// Pre-blocking `a * b` (naive i-k-j with zero-skip).
+    pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols, b.rows, "reference::matmul: inner mismatch");
+        let n = b.cols;
+        let mut out = Matrix::zeros(a.rows, n);
+        if n == 0 {
+            return out;
+        }
+        for (r, out_row) in out.data.chunks_mut(n).enumerate() {
+            for (k, &av) in a.row(r).iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b.data[k * n..(k + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Pre-blocking `a^T * b` (r-outer accumulation with zero-skip).
+    pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.rows, b.rows, "reference::matmul_tn: row mismatch");
+        let n = b.cols;
+        let mut out = Matrix::zeros(a.cols, n);
+        for r in 0..a.rows {
+            let a_row = a.row(r);
+            let b_row = b.row(r);
+            for (k, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[k * n..(k + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Pre-blocking `a * b^T` (scalar dot products).
+    pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols, b.cols, "reference::matmul_nt: column mismatch");
+        let n = b.rows;
+        let mut out = Matrix::zeros(a.rows, n);
+        if n == 0 {
+            return out;
+        }
+        for (r, out_row) in out.data.chunks_mut(n).enumerate() {
+            let a_row = a.row(r);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (&av, &bv) in a_row.iter().zip(b.row(j)) {
+                    acc += av * bv;
+                }
+                *o = acc;
+            }
+        }
+        out
     }
 }
 
@@ -815,5 +1354,147 @@ mod tests {
         assert_eq!((&a * 3.0).as_slice(), &[3.0, 6.0]);
         assert_eq!((-&a).as_slice(), &[-1.0, -2.0]);
         assert_eq!(a.hadamard(&b).as_slice(), &[10.0, 40.0]);
+    }
+
+    /// A deterministic dense test matrix with non-trivial values (including
+    /// exact zeros so the reference kernels' zero-skip is exercised).
+    fn probe(rows: usize, cols: usize, seed: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            let i = r * cols + c + seed;
+            if i % 17 == 0 {
+                0.0
+            } else {
+                ((i % 23) as f64 - 11.0) * 0.37 + (i % 5) as f64 * 0.011
+            }
+        })
+    }
+
+    /// Shapes chosen to hit every edge of the blocking scheme: degenerate
+    /// single elements, below/above the naive-path threshold, non-multiples
+    /// of MR/NR/KC/MC, and dimensions straddling exactly one block boundary.
+    const ODD_SHAPES: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (3, 5, 7),
+        (17, 9, 23),
+        (4, 300, 4),
+        (65, 33, 129),
+        (100, 1, 100),
+        (1, 700, 1),
+        (130, 257, 9),
+        (96, 256, 64),
+    ];
+
+    #[test]
+    fn blocked_matmul_matches_reference_on_odd_shapes() {
+        for &(m, k, n) in ODD_SHAPES {
+            let a = probe(m, k, 1);
+            let b = probe(k, n, 2);
+            assert_eq!(a.matmul(&b), reference::matmul(&a, &b), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_tn_matches_reference_on_odd_shapes() {
+        for &(m, k, n) in ODD_SHAPES {
+            // Contraction runs over the shared row count k.
+            let a = probe(k, m, 3);
+            let b = probe(k, n, 4);
+            assert_eq!(
+                a.matmul_tn(&b),
+                reference::matmul_tn(&a, &b),
+                "({k}x{m})^T * ({k}x{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_nt_matches_reference_on_odd_shapes() {
+        for &(m, k, n) in ODD_SHAPES {
+            let a = probe(m, k, 5);
+            let b = probe(n, k, 6);
+            assert_eq!(
+                a.matmul_nt(&b),
+                reference::matmul_nt(&a, &b),
+                "({m}x{k}) * ({n}x{k})^T"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_into_family_matches_allocating_kernels() {
+        let a = probe(33, 17, 7);
+        let b = probe(17, 29, 8);
+        // Dirty output buffers must be fully overwritten.
+        let mut out = Matrix::full(33, 29, f64::NAN);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+
+        let c = probe(33, 29, 9);
+        let mut out_tn = Matrix::full(17, 29, f64::NAN);
+        let at = probe(33, 17, 10);
+        at.matmul_tn_into(&c, &mut out_tn);
+        assert_eq!(out_tn, at.matmul_tn(&c));
+
+        let d = probe(21, 17, 11);
+        let mut out_nt = Matrix::full(33, 21, f64::NAN);
+        a.matmul_nt_into(&d, &mut out_nt);
+        assert_eq!(out_nt, a.matmul_nt(&d));
+    }
+
+    #[test]
+    fn into_helpers_match_allocating_counterparts() {
+        let a = probe(7, 5, 1);
+        let b = probe(7, 5, 2);
+        let mut out = Matrix::full(7, 5, f64::NAN);
+
+        a.map_into(|v| v * 2.0 - 1.0, &mut out);
+        assert_eq!(out, a.map(|v| v * 2.0 - 1.0));
+
+        a.zip_map_into(&b, |x, y| x * y + 1.0, &mut out);
+        assert_eq!(out, a.zip_map(&b, |x, y| x * y + 1.0));
+
+        let mut c = a.clone();
+        c.zip_map_inplace(&b, |x, y| x - 2.0 * y);
+        assert_eq!(c, a.zip_map(&b, |x, y| x - 2.0 * y));
+
+        let row = probe(1, 5, 3);
+        a.add_row_broadcast_into(&row, &mut out);
+        assert_eq!(out, a.add_row_broadcast(&row));
+
+        let col = probe(7, 1, 4);
+        a.mul_col_broadcast_into(&col, &mut out);
+        assert_eq!(out, a.mul_col_broadcast(&col));
+        let mut d = a.clone();
+        d.mul_col_broadcast_inplace(&col);
+        assert_eq!(d, a.mul_col_broadcast(&col));
+
+        let mut tr = Matrix::full(5, 7, f64::NAN);
+        a.transpose_into(&mut tr);
+        assert_eq!(tr, a.transpose());
+
+        let mut rs = Matrix::full(7, 1, f64::NAN);
+        a.row_sums_into(&mut rs);
+        assert_eq!(rs, a.row_sums());
+
+        let mut cs = Matrix::full(1, 5, f64::NAN);
+        a.col_sums_into(&mut cs);
+        assert_eq!(cs, a.col_sums());
+
+        let mut sm = a.clone();
+        sm.softmax_rows_inplace();
+        assert_eq!(sm, a.softmax_rows());
+        let mut lsm = a.clone();
+        lsm.log_softmax_rows_inplace();
+        assert_eq!(lsm, a.log_softmax_rows());
+
+        let mut taken = Matrix::full(3, 5, f64::NAN);
+        a.take_rows_into(&[6, 0, 3], &mut taken);
+        assert_eq!(taken, a.take_rows(&[6, 0, 3]));
+
+        let mut copied = Matrix::full(7, 5, f64::NAN);
+        copied.copy_from(&a);
+        assert_eq!(copied, a);
+        copied.fill(2.5);
+        assert_eq!(copied, Matrix::full(7, 5, 2.5));
     }
 }

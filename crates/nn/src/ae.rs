@@ -189,10 +189,11 @@ mod tests {
 
         let before: f64 = ae.recon_errors(&vs, &x).iter().sum();
         let mut opt = Adam::new(1e-2);
+        let mut t = Tape::new();
         for _ in 0..200 {
             vs.zero_grads();
-            let mut t = Tape::new();
-            let xv = t.input(x.clone());
+            t.reset();
+            let xv = t.input_from(&x);
             let err = ae.recon_error_rows(&mut t, &vs, xv);
             let loss = t.mean_all(err);
             t.backward(loss, &mut vs);

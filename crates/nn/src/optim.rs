@@ -153,9 +153,10 @@ mod tests {
     fn converges_to_three(opt: &mut dyn Optimizer, steps: usize) -> f64 {
         let mut vs = VarStore::new();
         let w = vs.add(Matrix::from_vec(1, 1, vec![0.0]));
+        let mut t = Tape::new();
         for _ in 0..steps {
             vs.zero_grads();
-            let mut t = Tape::new();
+            t.reset();
             let wv = t.param(&vs, w);
             let shifted = t.add_scalar(wv, -3.0);
             let sq = t.square(shifted);

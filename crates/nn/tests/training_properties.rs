@@ -20,11 +20,12 @@ fn train_steps(
     y: &Matrix,
     steps: usize,
 ) {
+    let mut tape = Tape::new();
     for _ in 0..steps {
         store.zero_grads();
-        let mut tape = Tape::new();
-        let xv = tape.input(x.clone());
-        let yv = tape.input(y.clone());
+        tape.reset();
+        let xv = tape.input_from(x);
+        let yv = tape.input_from(y);
         let pred = mlp.forward(&mut tape, store, xv);
         let loss = tape.mse(pred, yv);
         tape.backward(loss, store);

@@ -11,9 +11,11 @@
 //! // A small seeded benchmark with 2 target / 2 non-target anomaly classes.
 //! let spec = GeneratorSpec::quick_demo();
 //! let bundle = spec.generate(7);
-//! let mut model = TargAd::new(TargAdConfig::fast());
+//! let mut model = TargAd::try_new(TargAdConfig::fast()).expect("valid config");
 //! model.fit(&bundle.train, 7).expect("training succeeds");
-//! let scores = model.score_matrix(&bundle.test.features);
+//! let scores = model
+//!     .try_score_matrix(&bundle.test.features)
+//!     .expect("model is fitted");
 //! let auprc = average_precision(&scores, &bundle.test.target_labels());
 //! assert!(auprc > 0.0);
 //! ```
