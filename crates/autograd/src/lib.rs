@@ -24,5 +24,5 @@ pub mod check;
 pub mod store;
 pub mod tape;
 
-pub use store::{ParamId, VarStore};
+pub use store::{GradSet, ParamId, VarStore};
 pub use tape::{Tape, Var};

@@ -107,6 +107,79 @@ impl VarStore {
     }
 }
 
+/// A detached set of gradient accumulators mirroring a [`VarStore`]'s
+/// parameters, one buffer per parameter in registration order.
+///
+/// This is the per-shard gradient buffer of data-parallel training: each
+/// shard's [`crate::Tape::backward_into`] flushes into its own `GradSet`
+/// (disjoint from every other shard's), and the training driver then
+/// [`GradSet::flush_into`]s the sets into the store **in ascending shard
+/// order** — a fixed floating-point reduction order, so accumulated
+/// gradients are bit-identical at any worker count.
+#[derive(Clone, Default)]
+pub struct GradSet {
+    grads: Vec<Matrix>,
+}
+
+impl GradSet {
+    /// An empty set; shape it against a store with [`GradSet::reset`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Matches this set's buffers to `store`'s parameter shapes and zeroes
+    /// them. Allocation-free once shapes match (steady-state training).
+    pub fn reset(&mut self, store: &VarStore) {
+        self.grads.truncate(store.len());
+        for (i, p) in store.params.iter().enumerate() {
+            match self.grads.get_mut(i) {
+                Some(g) if g.shape() == p.value.shape() => g.fill(0.0),
+                Some(g) => *g = Matrix::zeros(p.value.rows(), p.value.cols()),
+                None => self
+                    .grads
+                    .push(Matrix::zeros(p.value.rows(), p.value.cols())),
+            }
+        }
+    }
+
+    /// Number of gradient buffers.
+    pub fn len(&self) -> usize {
+        self.grads.len()
+    }
+
+    /// Whether the set holds no buffers.
+    pub fn is_empty(&self) -> bool {
+        self.grads.is_empty()
+    }
+
+    /// The accumulated gradient for `id`.
+    pub fn grad(&self, id: ParamId) -> &Matrix {
+        &self.grads[id.0]
+    }
+
+    /// Adds `delta` into the accumulator for `id` (the
+    /// [`crate::Tape::backward_into`] flush target).
+    pub(crate) fn accumulate(&mut self, id: ParamId, delta: &Matrix) {
+        self.grads[id.0].add_scaled_inplace(delta, 1.0);
+    }
+
+    /// Adds every accumulator into `store`'s gradients.
+    ///
+    /// # Panics
+    /// Panics if the set was not [`GradSet::reset`] against a store of the
+    /// same layout.
+    pub fn flush_into(&self, store: &mut VarStore) {
+        assert_eq!(
+            self.grads.len(),
+            store.len(),
+            "flush_into: GradSet does not match the store"
+        );
+        for (i, g) in self.grads.iter().enumerate() {
+            store.accumulate_grad(ParamId(i), g);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +207,39 @@ mod tests {
         vs.accumulate_grad(id, &Matrix::from_vec(1, 2, vec![0.25, 0.5]));
         vs.update_each(|v, g| v.add_scaled_inplace(g, -1.0));
         assert_eq!(vs.value(id).as_slice(), &[0.75, 0.5]);
+    }
+
+    #[test]
+    fn grad_set_reset_accumulate_flush() {
+        let mut vs = VarStore::new();
+        let a = vs.add(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        let b = vs.add(Matrix::zeros(2, 1));
+
+        let mut set = GradSet::new();
+        set.reset(&vs);
+        assert_eq!(set.len(), 2);
+        set.accumulate(a, &Matrix::from_vec(1, 2, vec![0.5, 1.0]));
+        set.accumulate(b, &Matrix::from_vec(2, 1, vec![1.0, -1.0]));
+        set.accumulate(b, &Matrix::from_vec(2, 1, vec![1.0, 1.0]));
+        assert_eq!(set.grad(b).as_slice(), &[2.0, 0.0]);
+
+        set.flush_into(&mut vs);
+        set.flush_into(&mut vs);
+        assert_eq!(vs.grad(a).as_slice(), &[1.0, 2.0]);
+        assert_eq!(vs.grad(b).as_slice(), &[4.0, 0.0]);
+
+        // Reset zeroes without reallocating or changing layout.
+        set.reset(&vs);
+        assert_eq!(set.grad(a).as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn grad_set_flush_rejects_layout_mismatch() {
+        let mut vs = VarStore::new();
+        vs.add(Matrix::zeros(1, 1));
+        let set = GradSet::new();
+        set.flush_into(&mut vs);
     }
 
     #[test]

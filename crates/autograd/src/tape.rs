@@ -9,7 +9,7 @@
 //! (`crates/bench/tests/alloc_zero.rs` asserts the allocation count,
 //! the autograd test suite asserts the bit-identity).
 
-use crate::store::{ParamId, VarStore};
+use crate::store::{GradSet, ParamId, VarStore};
 use std::collections::HashMap;
 use targad_linalg::Matrix;
 
@@ -57,6 +57,9 @@ enum Op {
     SumAll(Var),
     /// Mean of all entries, producing a `1 x 1` matrix.
     MeanAll(Var),
+    /// Sum of all entries divided by an explicit count, producing a
+    /// `1 x 1` matrix — the shard-local slice of a global mean.
+    SumDiv(Var, f64),
     /// Row sums, producing an `n x 1` column vector.
     RowSum(Var),
     SoftmaxRows(Var),
@@ -172,6 +175,35 @@ impl Tape {
     pub fn input_rows_from(&mut self, src: &Matrix, rows: &[usize]) -> Var {
         let mut value = self.pool.take(rows.len(), src.cols());
         src.take_rows_into(rows, &mut value);
+        self.push(value, Op::Input)
+    }
+
+    /// Registers a constant leaf holding the contiguous rows `lo..hi` of
+    /// `src` (the pooled shard gather of data-parallel training over a
+    /// pre-built batch matrix).
+    pub fn input_row_slice_from(&mut self, src: &Matrix, lo: usize, hi: usize) -> Var {
+        assert!(
+            lo <= hi && hi <= src.rows(),
+            "input_row_slice_from: bad row range {lo}..{hi} for {} rows",
+            src.rows()
+        );
+        let cols = src.cols();
+        let mut value = self.pool.take(hi - lo, cols);
+        value
+            .as_mut_slice()
+            .copy_from_slice(&src.as_slice()[lo * cols..hi * cols]);
+        self.push(value, Op::Input)
+    }
+
+    /// Registers a constant `idx.len() x 1` leaf with entries
+    /// `values[idx[i]]` — the pooled equivalent of
+    /// `input(Matrix::col_vector(&gathered))` for per-instance loss
+    /// weights gathered by batch index (Eq. 6).
+    pub fn input_gather_col(&mut self, values: &[f64], idx: &[usize]) -> Var {
+        let mut value = self.pool.take(idx.len(), 1);
+        for (slot, &i) in value.as_mut_slice().iter_mut().zip(idx) {
+            *slot = values[i];
+        }
         self.push(value, Op::Input)
     }
 
@@ -339,6 +371,20 @@ impl Tape {
         self.push(out, Op::MeanAll(a))
     }
 
+    /// Sum of all entries divided by the explicit count `denom`, as
+    /// `1 x 1`.
+    ///
+    /// This is the shard-local slice of a global mean: adding
+    /// `sum_div(shard, n)` over all shards of a batch of `n` elements
+    /// equals the batch mean, and on a single shard covering the whole
+    /// batch both the forward value and the backward fill (`g / denom`)
+    /// are bit-identical to [`Tape::mean_all`].
+    pub fn sum_div(&mut self, a: Var, denom: f64) -> Var {
+        let mut out = self.pool.take(1, 1);
+        out.as_mut_slice()[0] = self.nodes[a.0].value.sum() / denom;
+        self.push(out, Op::SumDiv(a, denom))
+    }
+
     /// Row sums as an `n x 1` column vector.
     pub fn row_sum(&mut self, a: Var) -> Var {
         let mut out = self.pool.take(self.nodes[a.0].value.rows(), 1);
@@ -394,6 +440,26 @@ impl Tape {
     /// # Panics
     /// Panics if `loss` is not a `1 x 1` matrix.
     pub fn backward(&mut self, loss: Var, store: &mut VarStore) {
+        self.backward_sink(loss, &mut GradSink::Store(store));
+    }
+
+    /// [`Tape::backward`], but flushing parameter gradients into a
+    /// detached [`GradSet`] instead of the store.
+    ///
+    /// This is the per-shard backward of data-parallel training: each
+    /// shard sweeps into its own set (the same floating-point operations
+    /// in the same order as [`Tape::backward`]), and the caller reduces
+    /// the sets into the store in fixed shard order afterwards. `grads`
+    /// must have been [`GradSet::reset`] against the store the graph's
+    /// [`Tape::param`] leaves came from.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not a `1 x 1` matrix.
+    pub fn backward_into(&mut self, loss: Var, grads: &mut GradSet) {
+        self.backward_sink(loss, &mut GradSink::Set(grads));
+    }
+
+    fn backward_sink(&mut self, loss: Var, sink: &mut GradSink) {
         assert_eq!(
             self.nodes[loss.0].value.shape(),
             (1, 1),
@@ -416,7 +482,7 @@ impl Tape {
             match nodes[i].op {
                 Op::Input => pool.put(g),
                 Op::Param(id) => {
-                    store.accumulate_grad(id, &g);
+                    sink.accumulate(id, &g);
                     pool.put(g);
                 }
                 Op::MatMul(a, b) => {
@@ -548,6 +614,13 @@ impl Tape {
                     pool.put(g);
                     accumulate(grads, pool, a.0, da);
                 }
+                Op::SumDiv(a, denom) => {
+                    let (r, c) = nodes[a.0].value.shape();
+                    let mut da = pool.take(r, c);
+                    da.fill(g[(0, 0)] / denom);
+                    pool.put(g);
+                    accumulate(grads, pool, a.0, da);
+                }
                 Op::RowSum(a) => {
                     // Each row of da is the row's scalar gradient, broadcast.
                     let (r, c) = nodes[a.0].value.shape();
@@ -603,6 +676,23 @@ impl Tape {
                     accumulate(grads, pool, a.0, g);
                 }
             }
+        }
+    }
+}
+
+/// Where a backward sweep flushes parameter gradients: straight into the
+/// store ([`Tape::backward`]) or into a detached per-shard set
+/// ([`Tape::backward_into`]).
+enum GradSink<'a> {
+    Store(&'a mut VarStore),
+    Set(&'a mut GradSet),
+}
+
+impl GradSink<'_> {
+    fn accumulate(&mut self, id: ParamId, delta: &Matrix) {
+        match self {
+            GradSink::Store(store) => store.accumulate_grad(id, delta),
+            GradSink::Set(set) => set.accumulate(id, delta),
         }
     }
 }
@@ -792,6 +882,122 @@ mod tests {
                 vs_pooled.value_mut(idp).add_scaled_inplace(&gp, -0.1);
             }
         }
+    }
+
+    #[test]
+    fn sum_div_over_the_whole_matrix_is_bit_identical_to_mean_all() {
+        let data = Matrix::from_fn(7, 3, |r, c| ((r * 3 + c) as f64).sin());
+        let (mut vs_a, ids_a) = store_with(std::slice::from_ref(&data));
+        let (mut vs_b, ids_b) = store_with(std::slice::from_ref(&data));
+
+        let mut ta = Tape::new();
+        let wa = ta.param(&vs_a, ids_a[0]);
+        let sq_a = ta.square(wa);
+        let la = ta.mean_all(sq_a);
+        ta.backward(la, &mut vs_a);
+
+        let mut tb = Tape::new();
+        let wb = tb.param(&vs_b, ids_b[0]);
+        let sq_b = tb.square(wb);
+        let lb = tb.sum_div(sq_b, (7 * 3) as f64);
+        tb.backward(lb, &mut vs_b);
+
+        assert_eq!(
+            ta.value(la)[(0, 0)].to_bits(),
+            tb.value(lb)[(0, 0)].to_bits()
+        );
+        assert_eq!(vs_a.grad(ids_a[0]), vs_b.grad(ids_b[0]));
+    }
+
+    #[test]
+    fn sum_div_shards_reduce_to_the_whole_batch_gradient() {
+        // mean over 10 rows == sum of two sum_div(…, 10) shard partials;
+        // gradients agree to fp-roundoff (exactly, for the fill pattern).
+        let data = Matrix::from_fn(10, 2, |r, c| (r * 2 + c) as f64 * 0.25 - 1.0);
+        let (mut vs, ids) = store_with(&[Matrix::from_vec(2, 1, vec![0.7, -0.3])]);
+
+        let mut t = Tape::new();
+        let w = t.param(&vs, ids[0]);
+        let x = t.input_from(&data);
+        let p = t.matmul(x, w);
+        let sq = t.square(p);
+        let loss = t.mean_all(sq);
+        t.backward(loss, &mut vs);
+        let whole = vs.grad(ids[0]).clone();
+        let whole_loss = t.value(loss)[(0, 0)];
+
+        vs.zero_grads();
+        let mut partials = 0.0;
+        for (lo, hi) in [(0usize, 6usize), (6, 10)] {
+            let mut ts = Tape::new();
+            let w = ts.param(&vs, ids[0]);
+            let x = ts.input_row_slice_from(&data, lo, hi);
+            let p = ts.matmul(x, w);
+            let sq = ts.square(p);
+            let part = ts.sum_div(sq, 10.0);
+            partials += ts.value(part)[(0, 0)];
+            ts.backward(part, &mut vs);
+        }
+        assert!((whole_loss - partials).abs() < 1e-12);
+        let sharded = vs.grad(ids[0]);
+        for (a, b) in whole.as_slice().iter().zip(sharded.as_slice()) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn backward_into_matches_backward_bit_for_bit() {
+        let params = [
+            Matrix::from_fn(3, 2, |r, c| (r as f64 - c as f64) * 0.21),
+            Matrix::from_fn(1, 2, |_, c| c as f64 * 0.11 - 0.05),
+        ];
+        let (mut vs_direct, ids_direct) = store_with(&params);
+        let (mut vs_set, ids_set) = store_with(&params);
+
+        let mut t = Tape::new();
+        let (_, gw, gb) = lsq_step(&mut t, &mut vs_direct, &ids_direct);
+
+        let mut t2 = Tape::new();
+        vs_set.zero_grads();
+        let x = t2.input(Matrix::from_fn(8, 3, |r, c| {
+            ((r * 3 + c) % 7) as f64 * 0.25 - 0.5
+        }));
+        let y = t2.input(Matrix::from_fn(8, 2, |r, c| {
+            ((r * 2 + c) % 5) as f64 * 0.3 - 0.4
+        }));
+        let w = t2.param(&vs_set, ids_set[0]);
+        let b = t2.param(&vs_set, ids_set[1]);
+        let xw = t2.matmul(x, w);
+        let pred = t2.add_row_broadcast(xw, b);
+        let sm = t2.softmax_rows(pred);
+        let loss = t2.mse(sm, y);
+        let mut set = GradSet::new();
+        set.reset(&vs_set);
+        t2.backward_into(loss, &mut set);
+        assert_eq!(set.grad(ids_set[0]), &gw);
+        assert_eq!(set.grad(ids_set[1]), &gb);
+        set.flush_into(&mut vs_set);
+        assert_eq!(vs_set.grad(ids_set[0]), &gw);
+        assert_eq!(vs_set.grad(ids_set[1]), &gb);
+    }
+
+    #[test]
+    fn pooled_input_variants_gather_correctly() {
+        let data = Matrix::from_fn(6, 4, |r, c| (r * 4 + c) as f64);
+        let mut t = Tape::new();
+        let slice = t.input_row_slice_from(&data, 2, 5);
+        assert_eq!(t.value(slice), &data.take_rows(&[2, 3, 4]));
+        let weights = [0.5, 1.5, 2.5, 3.5];
+        let col = t.input_gather_col(&weights, &[3, 0, 2]);
+        assert_eq!(t.value(col), &Matrix::col_vector(&[3.5, 0.5, 2.5]));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad row range")]
+    fn input_row_slice_rejects_out_of_bounds() {
+        let data = Matrix::zeros(3, 2);
+        let mut t = Tape::new();
+        t.input_row_slice_from(&data, 1, 4);
     }
 
     #[test]

@@ -11,11 +11,12 @@
 //! Simplification vs the original: the final model is a weighted-BCE MLP
 //! rather than a tree ensemble.
 
-use targad_autograd::{Tape, VarStore};
+use targad_autograd::VarStore;
 use targad_cluster::{KMeans, KMeansConfig};
 use targad_linalg::{rng as lrng, stats, Matrix};
 use targad_nn::optim::clip_grad_norm;
-use targad_nn::{shuffled_batches, Activation, Adam, Mlp, Optimizer};
+use targad_nn::{shuffled_batches, Activation, Adam, Mlp, Optimizer, ShardedStep};
+use targad_runtime::Runtime;
 
 use crate::common::sq_dist;
 use crate::iforest::IForest;
@@ -37,6 +38,7 @@ pub struct Adoa {
     pub lr: f64,
     /// Batch size.
     pub batch: usize,
+    runtime: Runtime,
     fitted: Option<Fitted>,
 }
 
@@ -55,8 +57,18 @@ impl Default for Adoa {
             epochs: 60,
             lr: 2e-3,
             batch: 64,
+            runtime: Runtime::from_env(),
             fitted: None,
         }
+    }
+}
+
+impl Adoa {
+    /// Replaces the execution runtime. Training shards deterministically,
+    /// so the fitted model is bit-identical at any worker count.
+    pub fn with_runtime(mut self, runtime: Runtime) -> Self {
+        self.runtime = runtime;
+        self
     }
 }
 
@@ -139,30 +151,35 @@ impl Detector for Adoa {
         let mut opt = Adam::new(self.lr);
         let y = Matrix::col_vector(&labels);
         let w = Matrix::col_vector(&weights);
-        let mut tape = Tape::new();
+        let rt = self.runtime;
+        let mut step = ShardedStep::new();
         for _ in 0..self.epochs {
             for batch in shuffled_batches(&mut rng, features.rows(), self.batch) {
                 store.zero_grads();
-                tape.reset();
-                let xb = tape.input_rows_from(&features, &batch);
-                let yb = tape.input_rows_from(&y, &batch);
-                let wb = tape.input_rows_from(&w, &batch);
-                let logit = clf.forward(&mut tape, &store, xb);
-                let p = tape.sigmoid(logit);
-                // weighted BCE: −w·(y ln p + (1−y) ln(1−p))
-                let lp = tape.ln(p);
-                let term1 = tape.mul(yb, lp);
-                let one_minus_p = tape.neg(p);
-                let one_minus_p = tape.add_scalar(one_minus_p, 1.0);
-                let lq = tape.ln(one_minus_p);
-                let one_minus_y = tape.neg(yb);
-                let one_minus_y = tape.add_scalar(one_minus_y, 1.0);
-                let term2 = tape.mul(one_minus_y, lq);
-                let sum_terms = tape.add(term1, term2);
-                let weighted = tape.mul(sum_terms, wb);
-                let total = tape.mean_all(weighted);
-                let loss = tape.scale(total, -1.0);
-                tape.backward(loss, &mut store);
+                let n = batch.len();
+                let clf = &clf;
+                let (features, y, w) = (&features, &y, &w);
+                step.accumulate(&rt, &mut store, n, |tape, store, range| {
+                    let rows = &batch[range];
+                    let xb = tape.input_rows_from(features, rows);
+                    let yb = tape.input_rows_from(y, rows);
+                    let wb = tape.input_rows_from(w, rows);
+                    let logit = clf.forward(tape, store, xb);
+                    let p = tape.sigmoid(logit);
+                    // weighted BCE: −w·(y ln p + (1−y) ln(1−p))
+                    let lp = tape.ln(p);
+                    let term1 = tape.mul(yb, lp);
+                    let one_minus_p = tape.neg(p);
+                    let one_minus_p = tape.add_scalar(one_minus_p, 1.0);
+                    let lq = tape.ln(one_minus_p);
+                    let one_minus_y = tape.neg(yb);
+                    let one_minus_y = tape.add_scalar(one_minus_y, 1.0);
+                    let term2 = tape.mul(one_minus_y, lq);
+                    let sum_terms = tape.add(term1, term2);
+                    let weighted = tape.mul(sum_terms, wb);
+                    let total = tape.sum_div(weighted, n as f64);
+                    tape.scale(total, -1.0)
+                });
                 clip_grad_norm(&mut store, 5.0);
                 opt.step(&mut store);
             }

@@ -10,10 +10,11 @@
 //! Simplification vs the original: pretraining epochs are merged into the
 //! same budget and no weight-decay schedule is used.
 
-use targad_autograd::{Tape, VarStore};
+use targad_autograd::VarStore;
 use targad_linalg::{rng as lrng, Matrix};
 use targad_nn::optim::clip_grad_norm;
-use targad_nn::{shuffled_batches, Adam, AutoEncoder, Mlp, Optimizer};
+use targad_nn::{shuffled_batches, Adam, AutoEncoder, Mlp, Optimizer, ShardedStep};
+use targad_runtime::Runtime;
 
 use crate::common::mean_row;
 use crate::{Detector, TargAdError, TrainView};
@@ -32,6 +33,7 @@ pub struct DeepSad {
     pub eta: f64,
     /// Embedding dimensionality.
     pub embed_dim: usize,
+    runtime: Runtime,
     fitted: Option<Fitted>,
 }
 
@@ -50,12 +52,20 @@ impl Default for DeepSad {
             batch: 128,
             eta: 1.0,
             embed_dim: 16,
+            runtime: Runtime::from_env(),
             fitted: None,
         }
     }
 }
 
 impl DeepSad {
+    /// Replaces the execution runtime. Training shards deterministically,
+    /// so the fitted model is bit-identical at any worker count.
+    pub fn with_runtime(mut self, runtime: Runtime) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
     fn sq_dists_to_center(&self, x: &Matrix) -> Vec<f64> {
         let f = self.fitted.as_ref().expect("DeepSAD: score before fit");
         let z = f.encoder.eval(&f.store, x);
@@ -93,16 +103,19 @@ impl Detector for DeepSad {
         let ae = AutoEncoder::new(&mut store, &mut rng, &dims);
         let mut opt = Adam::new(self.lr);
 
-        // Stage 1: reconstruction pretraining.
-        let mut tape = Tape::new();
+        // Stage 1: reconstruction pretraining, sharded deterministically
+        // across the runtime's workers.
+        let rt = self.runtime;
+        let mut step = ShardedStep::new();
         for _ in 0..self.pretrain_epochs {
             for batch in shuffled_batches(&mut rng, xu.rows(), self.batch) {
                 store.zero_grads();
-                tape.reset();
-                let xb = tape.input_rows_from(xu, &batch);
-                let err = ae.recon_error_rows(&mut tape, &store, xb);
-                let loss = tape.mean_all(err);
-                tape.backward(loss, &mut store);
+                let n = batch.len();
+                step.accumulate(&rt, &mut store, n, |tape, store, range| {
+                    let xb = tape.input_rows_from(xu, &batch[range]);
+                    let err = ae.recon_error_rows(tape, store, xb);
+                    tape.sum_div(err, n as f64)
+                });
                 clip_grad_norm(&mut store, 5.0);
                 opt.step(&mut store);
             }
@@ -116,28 +129,34 @@ impl Detector for DeepSad {
         // Stage 2: one-class fine-tuning with labeled anomalies.
         let mut opt2 = Adam::new(self.lr);
         let neg_center = -&center_row;
+        let use_push = xl.rows() > 0 && self.eta > 0.0;
+        let eta = self.eta;
         for epoch in 0..self.epochs {
             for batch in shuffled_batches(&mut rng, xu.rows(), self.batch) {
                 store.zero_grads();
-                tape.reset();
-                let neg_c = tape.input_from(&neg_center);
-                let xb = tape.input_rows_from(xu, &batch);
-                let z = encoder.forward(&mut tape, &store, xb);
-                let centered = tape.add_row_broadcast(z, neg_c);
-                let dist = tape.row_sq_norm(centered);
-                let pull = tape.mean_all(dist);
-                let loss = if xl.rows() > 0 && self.eta > 0.0 {
-                    let xlv = tape.input_from(xl);
-                    let zl = encoder.forward(&mut tape, &store, xlv);
-                    let cl = tape.add_row_broadcast(zl, neg_c);
-                    let dl = tape.row_sq_norm(cl);
-                    let inv = tape.recip(dl);
-                    let push = tape.mean_all(inv);
-                    tape.add_scaled(pull, push, self.eta)
-                } else {
-                    pull
-                };
-                tape.backward(loss, &mut store);
+                let n = batch.len();
+                let encoder = &encoder;
+                let neg_center = &neg_center;
+                step.accumulate(&rt, &mut store, n, |tape, store, range| {
+                    let neg_c = tape.input_from(neg_center);
+                    let xb = tape.input_rows_from(xu, &batch[range.clone()]);
+                    let z = encoder.forward(tape, store, xb);
+                    let centered = tape.add_row_broadcast(z, neg_c);
+                    let dist = tape.row_sq_norm(centered);
+                    let pull = tape.sum_div(dist, n as f64);
+                    // Whole-set push-away term: built once, on shard 0.
+                    if use_push && range.start == 0 {
+                        let xlv = tape.input_from(xl);
+                        let zl = encoder.forward(tape, store, xlv);
+                        let cl = tape.add_row_broadcast(zl, neg_c);
+                        let dl = tape.row_sq_norm(cl);
+                        let inv = tape.recip(dl);
+                        let push = tape.mean_all(inv);
+                        tape.add_scaled(pull, push, eta)
+                    } else {
+                        pull
+                    }
+                });
                 clip_grad_norm(&mut store, 5.0);
                 opt2.step(&mut store);
             }

@@ -12,10 +12,11 @@
 //!
 //! with `a = 5`, exactly as in the original.
 
-use targad_autograd::{Tape, VarStore};
+use targad_autograd::VarStore;
 use targad_linalg::{rng as lrng, stats, Matrix};
 use targad_nn::optim::clip_grad_norm;
-use targad_nn::{shuffled_batches, Activation, Adam, Mlp, Optimizer};
+use targad_nn::{shuffled_batches, Activation, Adam, Mlp, Optimizer, ShardedStep};
+use targad_runtime::Runtime;
 
 use crate::{Detector, TargAdError, TrainView};
 
@@ -31,6 +32,7 @@ pub struct DevNet {
     pub margin: f64,
     /// Hidden layer sizes of the scorer.
     pub hidden: Vec<usize>,
+    runtime: Runtime,
     fitted: Option<Fitted>,
 }
 
@@ -49,12 +51,20 @@ impl Default for DevNet {
             batch: 128,
             margin: 5.0,
             hidden: vec![64, 32],
+            runtime: Runtime::from_env(),
             fitted: None,
         }
     }
 }
 
 impl DevNet {
+    /// Replaces the execution runtime. Training shards deterministically,
+    /// so the fitted model is bit-identical at any worker count.
+    pub fn with_runtime(mut self, runtime: Runtime) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
     fn deviations(&self, x: &Matrix) -> Vec<f64> {
         let f = self.fitted.as_ref().expect("DevNet: score before fit");
         let phi = f.scorer.eval(&f.store, x);
@@ -108,38 +118,46 @@ impl Detector for DevNet {
         let xl = &train.labeled;
         let half = (self.batch / 2).max(1);
 
-        let mut tape = Tape::new();
+        let rt = self.runtime;
+        let margin = self.margin;
+        let mut step = ShardedStep::new();
         for epoch in 0..self.epochs {
             for u_batch in shuffled_batches(&mut rng, xu.rows(), half) {
                 store.zero_grads();
-                tape.reset();
-
-                // Unlabeled term: |dev| → 0.
-                let xb = tape.input_rows_from(xu, &u_batch);
-                let phi_u = scorer.forward(&mut tape, &store, xb);
-                let dev_u = tape.add_scalar(phi_u, -mu);
-                let dev_u = tape.scale(dev_u, 1.0 / sigma);
-                let abs_u = tape.abs(dev_u);
-                let term_u = tape.mean_all(abs_u);
-
-                // Labeled term: hinge pushing dev ≥ margin (labeled
-                // anomalies oversampled to half the batch).
-                let loss = if xl.rows() > 0 {
-                    let idx: Vec<usize> =
-                        (0..half).map(|_| rng.random_range(0..xl.rows())).collect();
-                    let xa = tape.input_rows_from(xl, &idx);
-                    let phi_a = scorer.forward(&mut tape, &store, xa);
-                    let dev_a = tape.add_scalar(phi_a, -mu);
-                    let dev_a = tape.scale(dev_a, -1.0 / sigma);
-                    let hinge = tape.add_scalar(dev_a, self.margin);
-                    let hinge = tape.relu(hinge);
-                    let term_a = tape.mean_all(hinge);
-                    tape.add(term_u, term_a)
+                let n = u_batch.len();
+                // Oversampled labeled indices are drawn before dispatch so
+                // the RNG stream never depends on shard execution order.
+                let idx: Vec<usize> = if xl.rows() > 0 {
+                    (0..half).map(|_| rng.random_range(0..xl.rows())).collect()
                 } else {
-                    term_u
+                    Vec::new()
                 };
+                let scorer = &scorer;
+                step.accumulate(&rt, &mut store, n, |tape, store, range| {
+                    // Unlabeled term: |dev| → 0.
+                    let xb = tape.input_rows_from(xu, &u_batch[range.clone()]);
+                    let phi_u = scorer.forward(tape, store, xb);
+                    let dev_u = tape.add_scalar(phi_u, -mu);
+                    let dev_u = tape.scale(dev_u, 1.0 / sigma);
+                    let abs_u = tape.abs(dev_u);
+                    let term_u = tape.sum_div(abs_u, n as f64);
 
-                tape.backward(loss, &mut store);
+                    // Labeled term: hinge pushing dev ≥ margin (labeled
+                    // anomalies oversampled to half the batch). Built once,
+                    // on shard 0.
+                    if !idx.is_empty() && range.start == 0 {
+                        let xa = tape.input_rows_from(xl, &idx);
+                        let phi_a = scorer.forward(tape, store, xa);
+                        let dev_a = tape.add_scalar(phi_a, -mu);
+                        let dev_a = tape.scale(dev_a, -1.0 / sigma);
+                        let hinge = tape.add_scalar(dev_a, margin);
+                        let hinge = tape.relu(hinge);
+                        let term_a = tape.mean_all(hinge);
+                        tape.add(term_u, term_a)
+                    } else {
+                        term_u
+                    }
+                });
                 clip_grad_norm(&mut store, 5.0);
                 opt.step(&mut store);
             }

@@ -16,10 +16,11 @@
 
 use rand::rngs::StdRng;
 use rand::RngExt;
-use targad_autograd::{Tape, VarStore};
+use targad_autograd::VarStore;
 use targad_linalg::{rng as lrng, stats, Matrix};
 use targad_nn::optim::clip_grad_norm;
-use targad_nn::{Activation, Adam, Mlp, Optimizer};
+use targad_nn::{Activation, Adam, Mlp, Optimizer, ShardedStep};
+use targad_runtime::Runtime;
 
 use crate::iforest::IForest;
 use crate::{Detector, TargAdError, TrainView};
@@ -42,6 +43,7 @@ pub struct Dplan {
     pub lr: f64,
     /// Probability of sampling the next observation from the labeled pool.
     pub labeled_sample_prob: f64,
+    runtime: Runtime,
     fitted: Option<Fitted>,
 }
 
@@ -68,8 +70,18 @@ impl Default for Dplan {
             epsilon_start: 1.0,
             lr: 1e-3,
             labeled_sample_prob: 0.5,
+            runtime: Runtime::from_env(),
             fitted: None,
         }
+    }
+}
+
+impl Dplan {
+    /// Replaces the execution runtime. Training shards deterministically,
+    /// so the fitted model is bit-identical at any worker count.
+    pub fn with_runtime(mut self, runtime: Runtime) -> Self {
+        self.runtime = runtime;
+        self
     }
 }
 
@@ -116,7 +128,8 @@ impl Detector for Dplan {
         };
 
         let (mut cur_labeled, mut cur_idx) = sample_obs(&mut rng, self.labeled_sample_prob);
-        let mut tape = Tape::new();
+        let rt = self.runtime;
+        let mut sharded = ShardedStep::new();
         for step in 0..self.steps {
             let epsilon =
                 (self.epsilon_start * (1.0 - step as f64 / (self.steps as f64 * 0.8))).max(0.05);
@@ -196,12 +209,19 @@ impl Detector for Dplan {
                 }
 
                 store.zero_grads();
-                tape.reset();
-                let sb = tape.input(states);
-                let tb = tape.input(target);
-                let q = qnet.forward(&mut tape, &store, sb);
-                let loss = tape.mse(q, tb);
-                tape.backward(loss, &mut store);
+                let n = idx.len();
+                let qnet = &qnet;
+                let (states, target) = (&states, &target);
+                sharded.accumulate(&rt, &mut store, n, |tape, store, range| {
+                    let sb = tape.input_row_slice_from(states, range.start, range.end);
+                    let tb = tape.input_row_slice_from(target, range.start, range.end);
+                    let q = qnet.forward(tape, store, sb);
+                    // MSE partial over the full batch: the serial `mse`
+                    // averages over rows*cols (2 Q-values per row).
+                    let diff = tape.sub(q, tb);
+                    let sq = tape.square(diff);
+                    tape.sum_div(sq, (n * 2) as f64)
+                });
                 clip_grad_norm(&mut store, 5.0);
                 opt.step(&mut store);
             }

@@ -20,7 +20,8 @@
 use targad_autograd::{Tape, Var, VarStore};
 use targad_linalg::{rng as lrng, Matrix};
 use targad_nn::optim::clip_grad_norm;
-use targad_nn::{shuffled_batches, Activation, Adam, Mlp, Optimizer};
+use targad_nn::{shuffled_batches, Activation, Adam, Mlp, Optimizer, ShardedStep};
+use targad_runtime::Runtime;
 
 use crate::common::{largest_indices, latent_noise};
 use crate::iforest::IForest;
@@ -40,6 +41,7 @@ pub struct DualMgan {
     pub lr: f64,
     /// Synthetic anomalies generated per labeled anomaly.
     pub augment_factor: usize,
+    runtime: Runtime,
     fitted: Option<Fitted>,
 }
 
@@ -59,12 +61,24 @@ impl Default for DualMgan {
             batch: 64,
             lr: 1e-3,
             augment_factor: 3,
+            runtime: Runtime::from_env(),
             fitted: None,
         }
     }
 }
 
-fn bce(tape: &mut Tape, logit: Var, toward_one: bool) -> Var {
+impl DualMgan {
+    /// Replaces the execution runtime. Training shards deterministically,
+    /// so the fitted model is bit-identical at any worker count.
+    pub fn with_runtime(mut self, runtime: Runtime) -> Self {
+        self.runtime = runtime;
+        self
+    }
+}
+
+/// Shard-partial BCE toward 1 (or 0): `−Σ ln target / n`, where `n` is the
+/// full batch size so shard partials sum to the serial mean.
+fn bce_partial(tape: &mut Tape, logit: Var, toward_one: bool, n: usize) -> Var {
     let p = tape.sigmoid(logit);
     let target = if toward_one {
         p
@@ -73,8 +87,8 @@ fn bce(tape: &mut Tape, logit: Var, toward_one: bool) -> Var {
         tape.add_scalar(q, 1.0)
     };
     let lp = tape.ln(target);
-    let m = tape.mean_all(lp);
-    tape.scale(m, -1.0)
+    let s = tape.sum_div(lp, n as f64);
+    tape.scale(s, -1.0)
 }
 
 /// Trains one GAN on `real`, returning `(generator store, generator,
@@ -87,6 +101,7 @@ fn train_gan(
     batch: usize,
     lr: f64,
     seed: u64,
+    rt: &Runtime,
 ) -> (VarStore, Mlp, VarStore, Mlp) {
     let mut rng = lrng::seeded(seed);
     let d = real.cols();
@@ -109,31 +124,40 @@ fn train_gan(
     let mut g_opt = Adam::new(lr);
     let mut d_opt = Adam::new(lr);
 
-    let mut tape = Tape::new();
+    let mut step = ShardedStep::new();
+    let (gen_ref, disc_ref) = (&gen, &disc);
     for _ in 0..epochs {
         for b in shuffled_batches(&mut rng, real.rows(), batch) {
-            let fake = gen.eval(&g_store, &latent_noise(b.len(), latent_dim, &mut rng));
+            // All RNG draws happen before dispatch: the fake batch and the
+            // generator's latent noise are prebuilt matrices that shards
+            // slice by row range.
+            let n = b.len();
+            let fake = gen.eval(&g_store, &latent_noise(n, latent_dim, &mut rng));
             d_store.zero_grads();
-            tape.reset();
-            let real_v = tape.input_rows_from(real, &b);
-            let rl = disc.forward(&mut tape, &d_store, real_v);
-            let l_real = bce(&mut tape, rl, true);
-            let fake_v = tape.input(fake);
-            let fl = disc.forward(&mut tape, &d_store, fake_v);
-            let l_fake = bce(&mut tape, fl, false);
-            let d_loss = tape.add(l_real, l_fake);
-            tape.backward(d_loss, &mut d_store);
+            let fake_ref = &fake;
+            step.accumulate(rt, &mut d_store, n, |tape, store, range| {
+                let real_v = tape.input_rows_from(real, &b[range.clone()]);
+                let rl = disc_ref.forward(tape, store, real_v);
+                let l_real = bce_partial(tape, rl, true, n);
+                let fake_v = tape.input_row_slice_from(fake_ref, range.start, range.end);
+                let fl = disc_ref.forward(tape, store, fake_v);
+                let l_fake = bce_partial(tape, fl, false, n);
+                tape.add(l_real, l_fake)
+            });
             clip_grad_norm(&mut d_store, 5.0);
             d_opt.step(&mut d_store);
 
+            let noise = latent_noise(n, latent_dim, &mut rng);
             g_store.zero_grads();
-            tape.reset();
-            let z = tape.input(latent_noise(b.len(), latent_dim, &mut rng));
-            let out = gen.forward(&mut tape, &g_store, z);
-            // Frozen discriminator pass — gradients stop at the generator.
-            let gl = disc.forward_frozen(&mut tape, &d_store, out);
-            let g_loss = bce(&mut tape, gl, true);
-            tape.backward(g_loss, &mut g_store);
+            let (noise_ref, d_store_ref) = (&noise, &d_store);
+            step.accumulate(rt, &mut g_store, n, |tape, store, range| {
+                let z = tape.input_row_slice_from(noise_ref, range.start, range.end);
+                let out = gen_ref.forward(tape, store, z);
+                // Frozen discriminator pass — gradients stop at the
+                // generator.
+                let gl = disc_ref.forward_frozen(tape, d_store_ref, out);
+                bce_partial(tape, gl, true, n)
+            });
             clip_grad_norm(&mut g_store, 5.0);
             g_opt.step(&mut g_store);
         }
@@ -171,6 +195,7 @@ impl Detector for DualMgan {
             self.batch.min(anomaly_pool.rows().max(2)),
             self.lr,
             seed ^ 0xA,
+            &self.runtime,
         );
         let n_synth = anomaly_pool.rows() * self.augment_factor;
         let synth = gen_a.eval(&ga_store, &latent_noise(n_synth, self.latent_dim, &mut rng));
@@ -184,6 +209,7 @@ impl Detector for DualMgan {
             self.batch,
             self.lr,
             seed ^ 0xB,
+            &self.runtime,
         );
 
         // Final binary classifier on unlabeled (0) vs anomalies+synthetic
@@ -208,29 +234,34 @@ impl Detector for DualMgan {
             Activation::None,
         );
         let mut opt = Adam::new(self.lr);
-        let mut tape = Tape::new();
+        let rt = self.runtime;
+        let mut step = ShardedStep::new();
         for _ in 0..self.clf_epochs {
             for b in shuffled_batches(&mut rng, features.rows(), self.batch) {
                 clf_store.zero_grads();
-                tape.reset();
-                let xb = tape.input_rows_from(&features, &b);
-                let yb = tape.input_rows_from(&y, &b);
-                let wb = tape.input_rows_from(&w, &b);
-                let logit = clf.forward(&mut tape, &clf_store, xb);
-                let p = tape.sigmoid(logit);
-                let lp = tape.ln(p);
-                let t1 = tape.mul(yb, lp);
-                let q = tape.neg(p);
-                let q = tape.add_scalar(q, 1.0);
-                let lq = tape.ln(q);
-                let ny = tape.neg(yb);
-                let ny = tape.add_scalar(ny, 1.0);
-                let t2 = tape.mul(ny, lq);
-                let s = tape.add(t1, t2);
-                let weighted = tape.mul(s, wb);
-                let mean = tape.mean_all(weighted);
-                let loss = tape.scale(mean, -1.0);
-                tape.backward(loss, &mut clf_store);
+                let n = b.len();
+                let clf = &clf;
+                let (features, y, w) = (&features, &y, &w);
+                step.accumulate(&rt, &mut clf_store, n, |tape, store, range| {
+                    let rows = &b[range];
+                    let xb = tape.input_rows_from(features, rows);
+                    let yb = tape.input_rows_from(y, rows);
+                    let wb = tape.input_rows_from(w, rows);
+                    let logit = clf.forward(tape, store, xb);
+                    let p = tape.sigmoid(logit);
+                    let lp = tape.ln(p);
+                    let t1 = tape.mul(yb, lp);
+                    let q = tape.neg(p);
+                    let q = tape.add_scalar(q, 1.0);
+                    let lq = tape.ln(q);
+                    let ny = tape.neg(yb);
+                    let ny = tape.add_scalar(ny, 1.0);
+                    let t2 = tape.mul(ny, lq);
+                    let s = tape.add(t1, t2);
+                    let weighted = tape.mul(s, wb);
+                    let total = tape.sum_div(weighted, n as f64);
+                    tape.scale(total, -1.0)
+                });
                 clip_grad_norm(&mut clf_store, 5.0);
                 opt.step(&mut clf_store);
             }

@@ -13,10 +13,11 @@
 //! report performs comparably.
 
 use rand::RngExt;
-use targad_autograd::{Tape, VarStore};
+use targad_autograd::VarStore;
 use targad_linalg::{rng as lrng, Matrix};
 use targad_nn::optim::clip_grad_norm;
-use targad_nn::{shuffled_batches, Activation, Adam, AutoEncoder, Mlp, Optimizer};
+use targad_nn::{shuffled_batches, Activation, Adam, AutoEncoder, Mlp, Optimizer, ShardedStep};
+use targad_runtime::Runtime;
 
 use crate::{Detector, TargAdError, TrainView};
 
@@ -32,6 +33,7 @@ pub struct Feawad {
     pub batch: usize,
     /// Deviation margin for labeled anomalies.
     pub margin: f64,
+    runtime: Runtime,
     fitted: Option<Fitted>,
 }
 
@@ -50,8 +52,18 @@ impl Default for Feawad {
             lr: 1e-3,
             batch: 128,
             margin: 5.0,
+            runtime: Runtime::from_env(),
             fitted: None,
         }
+    }
+}
+
+impl Feawad {
+    /// Replaces the execution runtime. Training shards deterministically,
+    /// so the fitted model is bit-identical at any worker count.
+    pub fn with_runtime(mut self, runtime: Runtime) -> Self {
+        self.runtime = runtime;
+        self
     }
 }
 
@@ -110,15 +122,18 @@ impl Detector for Feawad {
         let dims = [d, (d / 2).max(2), (d / 4).max(2)];
         let ae = AutoEncoder::new(&mut ae_store, &mut rng, &dims);
         let mut ae_opt = Adam::new(self.lr);
-        let mut tape = Tape::new();
+        let rt = self.runtime;
+        let mut step = ShardedStep::new();
         for _ in 0..self.pretrain_epochs {
             for batch in shuffled_batches(&mut rng, xu.rows(), self.batch) {
                 ae_store.zero_grads();
-                tape.reset();
-                let xb = tape.input_rows_from(xu, &batch);
-                let err = ae.recon_error_rows(&mut tape, &ae_store, xb);
-                let loss = tape.mean_all(err);
-                tape.backward(loss, &mut ae_store);
+                let n = batch.len();
+                let ae = &ae;
+                step.accumulate(&rt, &mut ae_store, n, |tape, store, range| {
+                    let xb = tape.input_rows_from(xu, &batch[range]);
+                    let err = ae.recon_error_rows(tape, store, xb);
+                    tape.sum_div(err, n as f64)
+                });
                 clip_grad_norm(&mut ae_store, 5.0);
                 ae_opt.step(&mut ae_store);
             }
@@ -142,29 +157,40 @@ impl Detector for Feawad {
         let mut opt = Adam::new(self.lr);
         let half = (self.batch / 2).max(1);
 
+        let margin = self.margin;
         for epoch in 0..self.epochs {
             for u_batch in shuffled_batches(&mut rng, rep_u.rows(), half) {
                 scorer_store.zero_grads();
-                tape.reset();
-                let xb = tape.input_rows_from(&rep_u, &u_batch);
-                let s_u = scorer.forward(&mut tape, &scorer_store, xb);
-                let abs_u = tape.abs(s_u);
-                let term_u = tape.mean_all(abs_u);
-                let loss = if rep_l.rows() > 0 {
-                    let idx: Vec<usize> = (0..half)
+                let n = u_batch.len();
+                // Oversampled labeled indices are drawn before dispatch so
+                // the RNG stream never depends on shard execution order.
+                let idx: Vec<usize> = if rep_l.rows() > 0 {
+                    (0..half)
                         .map(|_| rng.random_range(0..rep_l.rows()))
-                        .collect();
-                    let xa = tape.input_rows_from(&rep_l, &idx);
-                    let s_a = scorer.forward(&mut tape, &scorer_store, xa);
-                    let neg = tape.scale(s_a, -1.0);
-                    let hinge = tape.add_scalar(neg, self.margin);
-                    let hinge = tape.relu(hinge);
-                    let term_a = tape.mean_all(hinge);
-                    tape.add(term_u, term_a)
+                        .collect()
                 } else {
-                    term_u
+                    Vec::new()
                 };
-                tape.backward(loss, &mut scorer_store);
+                let scorer = &scorer;
+                let (rep_u, rep_l) = (&rep_u, &rep_l);
+                step.accumulate(&rt, &mut scorer_store, n, |tape, store, range| {
+                    let xb = tape.input_rows_from(rep_u, &u_batch[range.clone()]);
+                    let s_u = scorer.forward(tape, store, xb);
+                    let abs_u = tape.abs(s_u);
+                    let term_u = tape.sum_div(abs_u, n as f64);
+                    // Labeled hinge term: built once, on shard 0.
+                    if !idx.is_empty() && range.start == 0 {
+                        let xa = tape.input_rows_from(rep_l, &idx);
+                        let s_a = scorer.forward(tape, store, xa);
+                        let neg = tape.scale(s_a, -1.0);
+                        let hinge = tape.add_scalar(neg, margin);
+                        let hinge = tape.relu(hinge);
+                        let term_a = tape.mean_all(hinge);
+                        tape.add(term_u, term_a)
+                    } else {
+                        term_u
+                    }
+                });
                 clip_grad_norm(&mut scorer_store, 5.0);
                 opt.step(&mut scorer_store);
             }

@@ -15,7 +15,8 @@
 use targad_autograd::{Tape, Var, VarStore};
 use targad_linalg::{rng as lrng, Matrix};
 use targad_nn::optim::clip_grad_norm;
-use targad_nn::{shuffled_batches, Activation, Adam, Mlp, Optimizer};
+use targad_nn::{shuffled_batches, Activation, Adam, Mlp, Optimizer, ShardedStep};
+use targad_runtime::Runtime;
 
 use crate::common::latent_noise;
 use crate::{Detector, TargAdError, TrainView};
@@ -34,6 +35,7 @@ pub struct PiaWal {
     pub anomaly_weight: f64,
     /// Weight of the peripheral (boundary-seeking) generator term.
     pub peripheral_weight: f64,
+    runtime: Runtime,
     fitted: Option<Fitted>,
 }
 
@@ -51,20 +53,31 @@ impl Default for PiaWal {
             lr: 1e-3,
             anomaly_weight: 1.0,
             peripheral_weight: 0.5,
+            runtime: Runtime::from_env(),
             fitted: None,
         }
     }
 }
 
-/// `−mean ln σ(logit)` — BCE toward label 1.
-fn bce_toward_one(tape: &mut Tape, logit: Var) -> Var {
-    let p = tape.sigmoid(logit);
-    let lp = tape.ln(p);
-    let m = tape.mean_all(lp);
-    tape.scale(m, -1.0)
+impl PiaWal {
+    /// Replaces the execution runtime. Training shards deterministically,
+    /// so the fitted model is bit-identical at any worker count.
+    pub fn with_runtime(mut self, runtime: Runtime) -> Self {
+        self.runtime = runtime;
+        self
+    }
 }
 
-/// `−mean ln (1 − σ(logit))` — BCE toward label 0.
+/// Shard partial of `−mean ln σ(logit)`: sums the shard's rows and divides
+/// by the full batch size `n`, so shard partials add up to the batch mean.
+fn bce_toward_one_partial(tape: &mut Tape, logit: Var, n: usize) -> Var {
+    let p = tape.sigmoid(logit);
+    let lp = tape.ln(p);
+    let s = tape.sum_div(lp, n as f64);
+    tape.scale(s, -1.0)
+}
+
+/// `−mean ln (1 − σ(logit))` — BCE toward label 0, over the whole set.
 fn bce_toward_zero(tape: &mut Tape, logit: Var) -> Var {
     let p = tape.sigmoid(logit);
     let q = tape.neg(p);
@@ -72,6 +85,16 @@ fn bce_toward_zero(tape: &mut Tape, logit: Var) -> Var {
     let lq = tape.ln(q);
     let m = tape.mean_all(lq);
     tape.scale(m, -1.0)
+}
+
+/// Shard partial of `−mean ln (1 − σ(logit))` with full-batch denominator.
+fn bce_toward_zero_partial(tape: &mut Tape, logit: Var, n: usize) -> Var {
+    let p = tape.sigmoid(logit);
+    let q = tape.neg(p);
+    let q = tape.add_scalar(q, 1.0);
+    let lq = tape.ln(q);
+    let s = tape.sum_div(lq, n as f64);
+    tape.scale(s, -1.0)
 }
 
 impl Detector for PiaWal {
@@ -104,51 +127,61 @@ impl Detector for PiaWal {
         let mut g_opt = Adam::new(self.lr);
         let mut d_opt = Adam::new(self.lr);
 
-        let mut tape = Tape::new();
+        let rt = self.runtime;
+        let anomaly_weight = self.anomaly_weight;
+        let peripheral_weight = self.peripheral_weight;
+        let mut step = ShardedStep::new();
+        let (gen_ref, disc_ref) = (&gen, &disc);
         for _ in 0..self.epochs {
             for batch in shuffled_batches(&mut rng, xu.rows(), self.batch) {
                 // ---- Discriminator step --------------------------------
-                let fake = gen.eval(
-                    &g_store,
-                    &latent_noise(batch.len(), self.latent_dim, &mut rng),
-                );
+                // RNG draws happen before dispatch; shards slice the
+                // prebuilt fake batch by row range.
+                let n = batch.len();
+                let fake = gen.eval(&g_store, &latent_noise(n, self.latent_dim, &mut rng));
                 d_store.zero_grads();
-                tape.reset();
-                let real = tape.input_rows_from(xu, &batch);
-                let real_logit = disc.forward(&mut tape, &d_store, real);
-                let loss_real = bce_toward_one(&mut tape, real_logit);
-                let fake_v = tape.input(fake);
-                let fake_logit = disc.forward(&mut tape, &d_store, fake_v);
-                let loss_fake = bce_toward_zero(&mut tape, fake_logit);
-                let mut d_loss = tape.add(loss_real, loss_fake);
-                if xl.rows() > 0 {
-                    // Weighted adversarial guidance from labeled anomalies.
-                    let anoms = tape.input_from(xl);
-                    let a_logit = disc.forward(&mut tape, &d_store, anoms);
-                    let loss_anom = bce_toward_zero(&mut tape, a_logit);
-                    d_loss = tape.add_scaled(d_loss, loss_anom, self.anomaly_weight);
-                }
-                tape.backward(d_loss, &mut d_store);
+                let fake_ref = &fake;
+                step.accumulate(&rt, &mut d_store, n, |tape, store, range| {
+                    let real = tape.input_rows_from(xu, &batch[range.clone()]);
+                    let real_logit = disc_ref.forward(tape, store, real);
+                    let loss_real = bce_toward_one_partial(tape, real_logit, n);
+                    let fake_v = tape.input_row_slice_from(fake_ref, range.start, range.end);
+                    let fake_logit = disc_ref.forward(tape, store, fake_v);
+                    let loss_fake = bce_toward_zero_partial(tape, fake_logit, n);
+                    let d_loss = tape.add(loss_real, loss_fake);
+                    // Weighted adversarial guidance from the whole labeled
+                    // pool: built once, on shard 0.
+                    if xl.rows() > 0 && range.start == 0 {
+                        let anoms = tape.input_from(xl);
+                        let a_logit = disc_ref.forward(tape, store, anoms);
+                        let loss_anom = bce_toward_zero(tape, a_logit);
+                        tape.add_scaled(d_loss, loss_anom, anomaly_weight)
+                    } else {
+                        d_loss
+                    }
+                });
                 clip_grad_norm(&mut d_store, 5.0);
                 d_opt.step(&mut d_store);
 
                 // ---- Generator step ------------------------------------
+                let noise = latent_noise(n, self.latent_dim, &mut rng);
                 g_store.zero_grads();
-                tape.reset();
-                let z = tape.input(latent_noise(batch.len(), self.latent_dim, &mut rng));
-                let gen_out = gen.forward(&mut tape, &g_store, z);
-                // Frozen pass: the generator step must not touch (nor
-                // mis-route gradients into) the discriminator's store.
-                let g_logit = disc.forward_frozen(&mut tape, &d_store, gen_out);
-                let fool = bce_toward_one(&mut tape, g_logit);
-                // Peripheral emphasis: hold generated instances near the
-                // decision boundary D ≈ 0.5.
-                let p = tape.sigmoid(g_logit);
-                let centered = tape.add_scalar(p, -0.5);
-                let sq = tape.square(centered);
-                let boundary = tape.mean_all(sq);
-                let g_loss = tape.add_scaled(fool, boundary, self.peripheral_weight);
-                tape.backward(g_loss, &mut g_store);
+                let (noise_ref, d_store_ref) = (&noise, &d_store);
+                step.accumulate(&rt, &mut g_store, n, |tape, store, range| {
+                    let z = tape.input_row_slice_from(noise_ref, range.start, range.end);
+                    let gen_out = gen_ref.forward(tape, store, z);
+                    // Frozen pass: the generator step must not touch (nor
+                    // mis-route gradients into) the discriminator's store.
+                    let g_logit = disc_ref.forward_frozen(tape, d_store_ref, gen_out);
+                    let fool = bce_toward_one_partial(tape, g_logit, n);
+                    // Peripheral emphasis: hold generated instances near the
+                    // decision boundary D ≈ 0.5.
+                    let p = tape.sigmoid(g_logit);
+                    let centered = tape.add_scalar(p, -0.5);
+                    let sq = tape.square(centered);
+                    let boundary = tape.sum_div(sq, n as f64);
+                    tape.add_scaled(fool, boundary, peripheral_weight)
+                });
                 clip_grad_norm(&mut g_store, 5.0);
                 g_opt.step(&mut g_store);
             }

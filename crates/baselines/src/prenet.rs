@@ -9,10 +9,11 @@
 
 use rand::rngs::StdRng;
 use rand::RngExt;
-use targad_autograd::{Tape, VarStore};
+use targad_autograd::VarStore;
 use targad_linalg::{rng as lrng, Matrix};
 use targad_nn::optim::clip_grad_norm;
-use targad_nn::{Activation, Adam, Mlp, Optimizer};
+use targad_nn::{Activation, Adam, Mlp, Optimizer, ShardedStep};
+use targad_runtime::Runtime;
 
 use crate::{Detector, TargAdError, TrainView};
 
@@ -28,6 +29,7 @@ pub struct PreNet {
     pub hidden: Vec<usize>,
     /// Anomaly/unlabeled pairs sampled per instance at scoring time.
     pub score_pairs: usize,
+    runtime: Runtime,
     fitted: Option<Fitted>,
 }
 
@@ -46,8 +48,18 @@ impl Default for PreNet {
             lr: 1e-3,
             hidden: vec![64, 32],
             score_pairs: 16,
+            runtime: Runtime::from_env(),
             fitted: None,
         }
+    }
+}
+
+impl PreNet {
+    /// Replaces the execution runtime. Training shards deterministically,
+    /// so the fitted model is bit-identical at any worker count.
+    pub fn with_runtime(mut self, runtime: Runtime) -> Self {
+        self.runtime = runtime;
+        self
     }
 }
 
@@ -117,16 +129,26 @@ impl Detector for PreNet {
         );
         let mut opt = Adam::new(self.lr);
 
-        let mut tape = Tape::new();
+        let rt = self.runtime;
+        let mut step = ShardedStep::new();
         for _ in 0..self.steps {
+            // The pair batch is drawn up front; shards slice it by row
+            // range, so the RNG stream never depends on worker count.
             let (pairs, ys) = self.pair_batch(&train.labeled, &train.unlabeled, &mut rng);
             store.zero_grads();
-            tape.reset();
-            let xb = tape.input(pairs);
-            let yv = tape.input(ys);
-            let pred = net.forward(&mut tape, &store, xb);
-            let loss = tape.mse(pred, yv);
-            tape.backward(loss, &mut store);
+            let n = pairs.rows();
+            let net = &net;
+            let (pairs, ys) = (&pairs, &ys);
+            step.accumulate(&rt, &mut store, n, |tape, store, range| {
+                let xb = tape.input_row_slice_from(pairs, range.start, range.end);
+                let yv = tape.input_row_slice_from(ys, range.start, range.end);
+                let pred = net.forward(tape, store, xb);
+                // MSE partial with the full-batch denominator (1 output
+                // column, so elements == rows).
+                let diff = tape.sub(pred, yv);
+                let sq = tape.square(diff);
+                tape.sum_div(sq, n as f64)
+            });
             clip_grad_norm(&mut store, 5.0);
             opt.step(&mut store);
         }

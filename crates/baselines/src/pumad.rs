@@ -12,10 +12,11 @@
 //! likely-anomalous unlabeled points from the "normal" side of the metric
 //! loss).
 
-use targad_autograd::{Tape, VarStore};
+use targad_autograd::VarStore;
 use targad_linalg::{rng as lrng, Matrix};
 use targad_nn::optim::clip_grad_norm;
-use targad_nn::{shuffled_batches, Activation, Adam, Mlp, Optimizer};
+use targad_nn::{shuffled_batches, Activation, Adam, Mlp, Optimizer, ShardedStep};
+use targad_runtime::Runtime;
 
 use crate::common::{mean_row, smallest_indices};
 use crate::{Detector, TargAdError, TrainView};
@@ -34,6 +35,7 @@ pub struct Pumad {
     pub margin: f64,
     /// Fraction of unlabeled data kept as reliable normals each epoch.
     pub reliable_frac: f64,
+    runtime: Runtime,
     fitted: Option<Fitted>,
 }
 
@@ -52,8 +54,18 @@ impl Default for Pumad {
             batch: 128,
             margin: 2.0,
             reliable_frac: 0.7,
+            runtime: Runtime::from_env(),
             fitted: None,
         }
+    }
+}
+
+impl Pumad {
+    /// Replaces the execution runtime. Training shards deterministically,
+    /// so the fitted model is bit-identical at any worker count.
+    pub fn with_runtime(mut self, runtime: Runtime) -> Self {
+        self.runtime = runtime;
+        self
     }
 }
 
@@ -80,7 +92,9 @@ impl Detector for Pumad {
             ((xu.rows() as f64 * self.reliable_frac).round() as usize).clamp(1, xu.rows());
         let mut prototype = mean_row(&embed.eval(&store, xu));
 
-        let mut tape = Tape::new();
+        let rt = self.runtime;
+        let margin = self.margin;
+        let mut step = ShardedStep::new();
         for _ in 0..self.epochs {
             // Hashing-substitute filter: keep the unlabeled rows closest to
             // the current prototype as reliable normals.
@@ -94,28 +108,33 @@ impl Detector for Pumad {
             for batch in shuffled_batches(&mut rng, reliable.len(), self.batch) {
                 let rows: Vec<usize> = batch.iter().map(|&b| reliable[b]).collect();
                 store.zero_grads();
-                tape.reset();
-                let neg_proto = tape.input_from(&neg_proto_row);
-                let xb = tape.input_rows_from(xu, &rows);
-                let zb = embed.forward(&mut tape, &store, xb);
-                let centered = tape.add_row_broadcast(zb, neg_proto);
-                let dist = tape.row_sq_norm(centered);
-                let pull = tape.mean_all(dist);
-                let loss = if xl.rows() > 0 {
-                    let xa = tape.input_from(xl);
-                    let za = embed.forward(&mut tape, &store, xa);
-                    let ca = tape.add_row_broadcast(za, neg_proto);
-                    let da = tape.row_sq_norm(ca);
-                    // hinge: max(0, margin − d)
-                    let neg_da = tape.scale(da, -1.0);
-                    let hinge = tape.add_scalar(neg_da, self.margin);
-                    let hinge = tape.relu(hinge);
-                    let push = tape.mean_all(hinge);
-                    tape.add(pull, push)
-                } else {
-                    pull
-                };
-                tape.backward(loss, &mut store);
+                let n = rows.len();
+                let embed = &embed;
+                let neg_proto_row = &neg_proto_row;
+                step.accumulate(&rt, &mut store, n, |tape, store, range| {
+                    let neg_proto = tape.input_from(neg_proto_row);
+                    let xb = tape.input_rows_from(xu, &rows[range.clone()]);
+                    let zb = embed.forward(tape, store, xb);
+                    let centered = tape.add_row_broadcast(zb, neg_proto);
+                    let dist = tape.row_sq_norm(centered);
+                    let pull = tape.sum_div(dist, n as f64);
+                    // Whole-set push term over the labeled pool: built
+                    // once, on shard 0.
+                    if xl.rows() > 0 && range.start == 0 {
+                        let xa = tape.input_from(xl);
+                        let za = embed.forward(tape, store, xa);
+                        let ca = tape.add_row_broadcast(za, neg_proto);
+                        let da = tape.row_sq_norm(ca);
+                        // hinge: max(0, margin − d)
+                        let neg_da = tape.scale(da, -1.0);
+                        let hinge = tape.add_scalar(neg_da, margin);
+                        let hinge = tape.relu(hinge);
+                        let push = tape.mean_all(hinge);
+                        tape.add(pull, push)
+                    } else {
+                        pull
+                    }
+                });
                 clip_grad_norm(&mut store, 5.0);
                 opt.step(&mut store);
             }

@@ -13,10 +13,11 @@
 
 use rand::rngs::StdRng;
 use rand::RngExt;
-use targad_autograd::{Tape, VarStore};
+use targad_autograd::VarStore;
 use targad_linalg::{rng as lrng, Matrix};
 use targad_nn::optim::clip_grad_norm;
-use targad_nn::{Activation, Adam, Mlp, Optimizer};
+use targad_nn::{Activation, Adam, Mlp, Optimizer, ShardedStep};
+use targad_runtime::Runtime;
 
 use crate::common::{largest_indices, lesinn_scores, smallest_indices};
 use crate::{Detector, TargAdError, TrainView};
@@ -39,6 +40,7 @@ pub struct Repen {
     pub ensembles: usize,
     /// LeSiNN subsample size.
     pub psi: usize,
+    runtime: Runtime,
     fitted: Option<Fitted>,
 }
 
@@ -59,8 +61,18 @@ impl Default for Repen {
             candidate_frac: 0.05,
             ensembles: 20,
             psi: 16,
+            runtime: Runtime::from_env(),
             fitted: None,
         }
+    }
+}
+
+impl Repen {
+    /// Replaces the execution runtime. Training shards deterministically,
+    /// so the fitted model is bit-identical at any worker count.
+    pub fn with_runtime(mut self, runtime: Runtime) -> Self {
+        self.runtime = runtime;
+        self
     }
 }
 
@@ -90,27 +102,34 @@ impl Detector for Repen {
         );
         let mut opt = Adam::new(self.lr);
 
-        let mut tape = Tape::new();
+        let rt = self.runtime;
+        let margin = self.margin;
+        let mut step = ShardedStep::new();
         for _ in 0..self.steps {
+            // Triplets are sampled up front; shards slice all three
+            // matrices by the same row range.
             let (anchors, positives, negatives) =
                 self.triplet_batch(xu, &inliers, &outliers, &mut rng);
             store.zero_grads();
-            tape.reset();
-            let a = tape.input(anchors);
-            let p = tape.input(positives);
-            let n = tape.input(negatives);
-            let za = embed.forward(&mut tape, &store, a);
-            let zp = embed.forward(&mut tape, &store, p);
-            let zn = embed.forward(&mut tape, &store, n);
-            let dp = tape.sub(za, zp);
-            let dp = tape.row_sq_norm(dp);
-            let dn = tape.sub(za, zn);
-            let dn = tape.row_sq_norm(dn);
-            let diff = tape.sub(dp, dn);
-            let shifted = tape.add_scalar(diff, self.margin);
-            let hinge = tape.relu(shifted);
-            let loss = tape.mean_all(hinge);
-            tape.backward(loss, &mut store);
+            let nt = anchors.rows();
+            let embed = &embed;
+            let (anchors, positives, negatives) = (&anchors, &positives, &negatives);
+            step.accumulate(&rt, &mut store, nt, |tape, store, range| {
+                let a = tape.input_row_slice_from(anchors, range.start, range.end);
+                let p = tape.input_row_slice_from(positives, range.start, range.end);
+                let n = tape.input_row_slice_from(negatives, range.start, range.end);
+                let za = embed.forward(tape, store, a);
+                let zp = embed.forward(tape, store, p);
+                let zn = embed.forward(tape, store, n);
+                let dp = tape.sub(za, zp);
+                let dp = tape.row_sq_norm(dp);
+                let dn = tape.sub(za, zn);
+                let dn = tape.row_sq_norm(dn);
+                let diff = tape.sub(dp, dn);
+                let shifted = tape.add_scalar(diff, margin);
+                let hinge = tape.relu(shifted);
+                tape.sum_div(hinge, nt as f64)
+            });
             clip_grad_norm(&mut store, 5.0);
             opt.step(&mut store);
         }

@@ -14,6 +14,8 @@ use criterion::Criterion;
 use std::hint::black_box;
 use std::time::Duration;
 use targad_autograd::{Tape, VarStore};
+use targad_core::{Runtime, TargAd, TargAdConfig};
+use targad_data::GeneratorSpec;
 use targad_linalg::{matrix::reference, rng as lrng, Matrix};
 use targad_nn::{Activation, Adam, AutoEncoder, Mlp, Optimizer};
 
@@ -139,6 +141,76 @@ fn bench_clf_gemm(c: &mut Criterion) {
     group.finish();
 }
 
+/// End-to-end `TargAd::fit` — candidate selection, per-cluster AE
+/// pretraining, and the sharded classifier loop — at 1, 2, and 4 workers.
+/// Every configuration trains the *same* model (losses and weights are
+/// bit-identical by the determinism contract); only wall-clock may differ.
+fn bench_fit_dp(c: &mut Criterion) {
+    let bundle = GeneratorSpec::quick_demo().generate(29);
+    let mut cfg = TargAdConfig::fast();
+    cfg.ae_epochs = 2;
+    cfg.clf_epochs = 3;
+    let mut group = c.benchmark_group("fit_dp");
+    tune(&mut group);
+    for workers in [1usize, 2, 4] {
+        group.bench_function(format!("workers{workers}"), |b| {
+            b.iter(|| {
+                let mut model = TargAd::try_new(cfg.clone())
+                    .expect("valid config")
+                    .with_runtime(Runtime::new(workers));
+                model.fit(&bundle.train, 7).expect("fit");
+                black_box(model.history().clf_loss.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Writes `results/bench_dp.json`: the `fit_dp` shard-scaling sweep, the
+/// measured 2- and 4-worker fit speedups over the 1-worker baseline, and
+/// `host_parallelism` so readers can tell a kernel regression from a
+/// hardware limit — on a host with fewer cores than workers the extra
+/// workers are clamped and the honest speedup is ≈ 1.0.
+fn write_dp_json(results: &[(String, f64)]) {
+    let mean_of = |name: &str| {
+        results
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, m)| m)
+            .unwrap_or(0.0)
+    };
+    let w1 = mean_of("fit_dp/workers1");
+    let w2 = mean_of("fit_dp/workers2");
+    let w4 = mean_of("fit_dp/workers4");
+    let ratio = |base: f64, par: f64| if par > 0.0 { base / par } else { 0.0 };
+    let host = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    let dp: Vec<&(String, f64)> = results
+        .iter()
+        .filter(|(n, _)| n.starts_with("fit_dp/"))
+        .collect();
+    for (i, (name, mean)) in dp.iter().enumerate() {
+        let comma = if i + 1 < dp.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{ \"name\": \"{name}\", \"mean_seconds\": {mean:e} }}{comma}\n"
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"host_parallelism\": {host},\n  \"speedup_fit_2workers\": {:.2},\n  \"speedup_fit_4workers\": {:.2}\n}}\n",
+        ratio(w1, w2),
+        ratio(w1, w4),
+    ));
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/bench_dp.json");
+    std::fs::create_dir_all(path.parent().expect("parent")).expect("create results dir");
+    std::fs::write(&path, out).expect("write bench_dp.json");
+    println!(
+        "\nwrote {} (host parallelism {host}, 4-worker fit speedup {:.2}x)",
+        path.display(),
+        ratio(w1, w4)
+    );
+}
+
 /// Writes `results/bench_training.json`: every benchmark mean plus the
 /// blocked-vs-reference speedup on the acceptance-size GEMM sequence.
 fn write_json(results: &[(String, f64)]) {
@@ -158,8 +230,12 @@ fn write_json(results: &[(String, f64)]) {
     };
 
     let mut out = String::from("{\n  \"benchmarks\": [\n");
-    for (i, (name, mean)) in results.iter().enumerate() {
-        let comma = if i + 1 < results.len() { "," } else { "" };
+    let own: Vec<&(String, f64)> = results
+        .iter()
+        .filter(|(n, _)| !n.starts_with("fit_dp/"))
+        .collect();
+    for (i, (name, mean)) in own.iter().enumerate() {
+        let comma = if i + 1 < own.len() { "," } else { "" };
         out.push_str(&format!(
             "    {{ \"name\": \"{name}\", \"mean_seconds\": {mean:e} }}{comma}\n"
         ));
@@ -179,5 +255,7 @@ fn main() {
     bench_ae_step(&mut criterion);
     bench_clf_step(&mut criterion);
     bench_clf_gemm(&mut criterion);
+    bench_fit_dp(&mut criterion);
     write_json(criterion.results());
+    write_dp_json(criterion.results());
 }

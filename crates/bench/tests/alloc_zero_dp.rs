@@ -1,0 +1,139 @@
+//! Zero-allocation contract for the **data-parallel** training path:
+//! after one warm-up step, a sharded optimizer step — per-shard forward +
+//! backward on pooled tapes, fixed-order gradient reduction, clip, Adam —
+//! performs **zero** heap allocations, on every participating worker
+//! thread. Run in CI with `TARGAD_THREADS=4`; the dispatch itself is
+//! allocation-free (the pool publishes a borrowed `&dyn Fn` and parks on
+//! condvars), so the counter stays at zero even when shards execute on
+//! pool workers. A separate binary from `alloc_zero.rs` because
+//! `#[global_allocator]` is per-binary, and `harness = false` because the
+//! libtest harness keeps a main thread alive whose occasional allocations
+//! would trip the process-global counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use targad_autograd::VarStore;
+use targad_core::Runtime;
+use targad_linalg::{rng as lrng, Matrix};
+use targad_nn::optim::clip_grad_norm;
+use targad_nn::{Activation, Adam, AutoEncoder, Mlp, Optimizer, ShardedStep};
+
+/// Counts allocation events (alloc + realloc) while the gate is open;
+/// frees are untracked since only acquisition breaks the contract.
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Runs `step` under the allocation counter and returns the event count.
+fn count_allocs(mut step: impl FnMut()) -> u64 {
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    step();
+    COUNTING.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+fn main() {
+    // `from_env` honors the CI job's TARGAD_THREADS=4; Runtime::new(4)
+    // pins the multi-worker configuration regardless of environment. The
+    // 391-row batch splits into 4 ragged shards, so shard dispatch, the
+    // per-shard GradSets, and the fixed-order reduction all run for real.
+    for rt in [Runtime::from_env(), Runtime::new(4)] {
+        // ---- Autoencoder step (the Eq. 1 per-cluster loop shape) -------
+        let rows = 391usize;
+        let mut rng = lrng::seeded(7);
+        let x = lrng::uniform_matrix(&mut rng, rows, 16, 0.0, 1.0);
+        let batch: Vec<usize> = (0..rows).collect();
+        let mut vs = VarStore::new();
+        let ae = AutoEncoder::new(&mut vs, &mut rng, &[16, 8, 4]);
+        let mut opt = Adam::new(1e-3);
+        let mut step = ShardedStep::new();
+        let mut ae_step = || {
+            vs.zero_grads();
+            step.accumulate(&rt, &mut vs, rows, |tape, vs, range| {
+                let xv = tape.input_rows_from(&x, &batch[range]);
+                let err = ae.recon_error_rows(tape, vs, xv);
+                tape.sum_div(err, rows as f64)
+            });
+            clip_grad_norm(&mut vs, 5.0);
+            opt.step(&mut vs);
+        };
+        // Warm-up: spawn pool workers, grow tape pools, GradSets, and
+        // Adam moments.
+        for _ in 0..3 {
+            ae_step();
+        }
+        for i in 0..5 {
+            let n = count_allocs(&mut ae_step);
+            assert_eq!(n, 0, "sharded AE step {i} performed {n} allocations");
+        }
+
+        // ---- Classifier step with OE weights (the Eqs. 3–8 shape) ------
+        let mut rng = lrng::seeded(9);
+        let x = lrng::normal_matrix(&mut rng, rows, 12, 0.0, 1.0);
+        let y = Matrix::from_fn(rows, 4, |r, c| f64::from(r % 4 == c));
+        let weights: Vec<f64> = (0..rows).map(|r| 0.5 + (r % 3) as f64 * 0.25).collect();
+        let batch: Vec<usize> = (0..rows).collect();
+        let mut vs = VarStore::new();
+        let mlp = Mlp::new(
+            &mut vs,
+            &mut rng,
+            &[12, 10, 4],
+            Activation::Relu,
+            Activation::None,
+        );
+        let mut opt = Adam::new(1e-3);
+        let mut step = ShardedStep::new();
+        let mut clf_step = || {
+            vs.zero_grads();
+            step.accumulate(&rt, &mut vs, rows, |tape, vs, range| {
+                let rb = &batch[range];
+                let xv = tape.input_rows_from(&x, rb);
+                let yv = tape.input_rows_from(&y, rb);
+                let wv = tape.input_gather_col(&weights, rb);
+                let z = mlp.forward(tape, vs, xv);
+                let lp = tape.log_softmax_rows(z);
+                let prod = tape.mul(yv, lp);
+                let per_row = tape.row_sum(prod);
+                let weighted = tape.mul_col_broadcast(per_row, wv);
+                let total = tape.sum_div(weighted, rows as f64);
+                tape.scale(total, -1.0)
+            });
+            clip_grad_norm(&mut vs, 5.0);
+            opt.step(&mut vs);
+        };
+        for _ in 0..3 {
+            clf_step();
+        }
+        for i in 0..5 {
+            let n = count_allocs(&mut clf_step);
+            assert_eq!(n, 0, "sharded clf step {i} performed {n} allocations");
+        }
+    }
+    println!("alloc_zero_dp: steady-state sharded steps performed 0 allocations");
+}

@@ -4,7 +4,7 @@
 //! split, and a ragged split with more workers than some inputs have rows.
 
 use proptest::prelude::*;
-use targad_baselines::{IForest, TrainView};
+use targad_baselines::{DeepSad, IForest, TrainView};
 use targad_bench::{harness_config, run_suite_rt};
 use targad_core::{Detector, Runtime, TargAd, TargAdConfig};
 use targad_data::GeneratorSpec;
@@ -117,6 +117,70 @@ fn pooled_tape_training_losses_are_worker_count_invariant() {
             bits(&serial.ae_loss),
             "AE losses diverged at workers = {workers}"
         );
+    }
+}
+
+/// The trained classifier itself — not just its loss trace — is
+/// bit-identical at every worker count: each step's shard gradients land in
+/// disjoint buffers and are reduced in fixed shard order before the single
+/// optimizer apply, so the whole parameter trajectory is worker-count-free.
+#[test]
+fn targad_trained_weights_are_worker_count_invariant() {
+    let bundle = GeneratorSpec::quick_demo().generate(47);
+    let mut cfg = TargAdConfig::fast();
+    cfg.ae_epochs = 2;
+    cfg.clf_epochs = 3;
+    let serial = {
+        let mut model = TargAd::try_new(cfg.clone())
+            .expect("valid config")
+            .with_runtime(Runtime::serial());
+        model.fit(&bundle.train, 29).expect("fit");
+        model.classifier().expect("fitted").parameter_matrices()
+    };
+    assert!(!serial.is_empty());
+    for workers in WORKERS {
+        let mut model = TargAd::try_new(cfg.clone())
+            .expect("valid config")
+            .with_runtime(Runtime::new(workers));
+        model.fit(&bundle.train, 29).expect("fit");
+        let params = model.classifier().expect("fitted").parameter_matrices();
+        assert_eq!(params.len(), serial.len());
+        for (i, (p, s)) in params.iter().zip(&serial).enumerate() {
+            let bits = |m: &targad_linalg::Matrix| {
+                m.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            };
+            assert_eq!(
+                bits(p),
+                bits(s),
+                "parameter {i} diverged at workers = {workers}"
+            );
+        }
+    }
+}
+
+/// A sharded baseline trains to the same model at every worker count —
+/// DeepSAD stands in for the eleven converted epoch loops.
+#[test]
+fn deepsad_fit_is_worker_count_invariant() {
+    let bundle = GeneratorSpec::quick_demo().generate(53);
+    let view = TrainView::from_dataset(&bundle.train);
+    let build = || {
+        let mut m = DeepSad::default();
+        m.pretrain_epochs = 3;
+        m.epochs = 4;
+        m
+    };
+    let serial = {
+        let mut m = build().with_runtime(Runtime::serial());
+        m.fit(&view, 19).unwrap();
+        m.score(&bundle.test.features)
+    };
+    for workers in WORKERS {
+        let mut m = build().with_runtime(Runtime::new(workers));
+        m.fit(&view, 19).unwrap();
+        let scores = m.score(&bundle.test.features);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&scores), bits(&serial), "workers = {workers}");
     }
 }
 

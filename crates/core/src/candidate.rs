@@ -13,11 +13,12 @@
 //! (Eq. 2); the top `α%` become the non-target anomaly candidate set
 //! `D_U^A`, the rest the normal candidate set `D_U^N`.
 
-use targad_autograd::{Tape, VarStore};
+use targad_autograd::VarStore;
 use targad_cluster::{choose_k_elbow, KMeans, KMeansConfig};
 use targad_linalg::{rng as lrng, Matrix};
 use targad_nn::optim::clip_grad_norm;
-use targad_nn::{shuffled_batches, Adam, AutoEncoder, Optimizer};
+use targad_nn::{shuffled_batches, Adam, AutoEncoder, Optimizer, ShardedStep};
+use targad_runtime::Runtime;
 
 use crate::config::TargAdConfig;
 
@@ -65,8 +66,21 @@ pub struct CandidateSelection {
 
 impl CandidateSelection {
     /// Runs candidate selection on the unlabeled features `xu` using the
-    /// labeled target anomalies `xl`.
+    /// labeled target anomalies `xl`, on [`Runtime::from_env`].
     pub fn run(xu: &Matrix, xl: &Matrix, config: &TargAdConfig, seed: u64) -> Self {
+        Self::run_rt(xu, xl, config, seed, &Runtime::from_env())
+    }
+
+    /// [`CandidateSelection::run`] on an explicit [`Runtime`]: autoencoder
+    /// training steps shard across `rt`'s workers, bit-identical to serial
+    /// execution at any worker count.
+    pub fn run_rt(
+        xu: &Matrix,
+        xl: &Matrix,
+        config: &TargAdConfig,
+        seed: u64,
+        rt: &Runtime,
+    ) -> Self {
         let k = match config.k {
             Some(k) => k.min(xu.rows()),
             None => {
@@ -103,6 +117,7 @@ impl CandidateSelection {
                                     xl,
                                     config,
                                     seed ^ ((c as u64 + 1) * 0x9E3779B9),
+                                    rt,
                                 ),
                             )
                         })
@@ -123,6 +138,7 @@ impl CandidateSelection {
                     xl,
                     config,
                     seed ^ ((*c as u64 + 1) * 0x9E3779B9),
+                    rt,
                 ));
             }
         }
@@ -176,11 +192,18 @@ fn elbow_subsample(xu: &Matrix, seed: u64) -> Matrix {
 }
 
 /// Trains the autoencoder of one cluster with the Eq. 1 loss.
+///
+/// Each mini-batch shards across `rt`'s workers with a fixed partition and
+/// fixed-order gradient reduction, so the trained parameters are
+/// bit-identical at any worker count. The labeled push-away term (the
+/// whole of `D_L`) is a whole-set term: it is built exactly once per step,
+/// on the shard whose range starts at row 0.
 fn train_cluster_ae(
     data: &Matrix,
     xl: &Matrix,
     config: &TargAdConfig,
     seed: u64,
+    rt: &Runtime,
 ) -> ClusterAutoEncoder {
     let mut rng = lrng::seeded(seed);
     let mut store = VarStore::new();
@@ -188,32 +211,34 @@ fn train_cluster_ae(
     let ae = AutoEncoder::new(&mut store, &mut rng, &dims);
     let mut opt = Adam::new(config.ae_lr);
     let use_labeled = config.eta > 0.0 && xl.rows() > 0;
+    let eta = config.eta;
     let mut loss_history = Vec::with_capacity(config.ae_epochs);
-    let mut tape = Tape::new();
+    let mut step = ShardedStep::new();
 
     for _ in 0..config.ae_epochs {
         let mut epoch_loss = 0.0;
         let mut batches = 0usize;
         for batch in shuffled_batches(&mut rng, data.rows(), config.ae_batch) {
             store.zero_grads();
-            tape.reset();
-            let xb = tape.input_rows_from(data, &batch);
-            let err = ae.recon_error_rows(&mut tape, &store, xb);
-            let term_u = tape.mean_all(err);
-            let loss = if use_labeled {
-                // Whole D_L each step — it is tiny by construction (§IV-A:
-                // 0.16%–0.48% of the training data).
-                let xl_v = tape.input_from(xl);
-                let err_l = ae.recon_error_rows(&mut tape, &store, xl_v);
-                let inv = tape.recip(err_l);
-                let term_l = tape.mean_all(inv);
-                tape.add_scaled(term_u, term_l, config.eta)
-            } else {
-                term_u
-            };
-            epoch_loss += tape.value(loss)[(0, 0)];
+            let n_total = batch.len();
+            let loss = step.accumulate(rt, &mut store, n_total, |tape, store, range| {
+                let xb = tape.input_rows_from(data, &batch[range.clone()]);
+                let err = ae.recon_error_rows(tape, store, xb);
+                let term_u = tape.sum_div(err, n_total as f64);
+                if use_labeled && range.start == 0 {
+                    // Whole D_L each step — it is tiny by construction
+                    // (§IV-A: 0.16%–0.48% of the training data).
+                    let xl_v = tape.input_from(xl);
+                    let err_l = ae.recon_error_rows(tape, store, xl_v);
+                    let inv = tape.recip(err_l);
+                    let term_l = tape.mean_all(inv);
+                    tape.add_scaled(term_u, term_l, eta)
+                } else {
+                    term_u
+                }
+            });
+            epoch_loss += loss;
             batches += 1;
-            tape.backward(loss, &mut store);
             clip_grad_norm(&mut store, config.grad_clip);
             opt.step(&mut store);
         }

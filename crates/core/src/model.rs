@@ -5,7 +5,7 @@ use targad_autograd::{Tape, Var, VarStore};
 use targad_data::Dataset;
 use targad_linalg::{rng as lrng, stats, Matrix};
 use targad_nn::optim::clip_grad_norm;
-use targad_nn::{shuffled_batches, Activation, Adam, Mlp, Optimizer, Sgd};
+use targad_nn::{shuffled_batches, Activation, Adam, Mlp, Optimizer, Sgd, ShardedStep};
 use targad_runtime::Runtime;
 
 use crate::candidate::CandidateSelection;
@@ -309,7 +309,7 @@ impl TargAd {
         let m = labeled_classes.iter().copied().max().map_or(1, |c| c + 1);
 
         // ---- Candidate selection (Lines 1–7) ----------------------------
-        let selection = CandidateSelection::run(xu, xl, &self.config, seed);
+        let selection = CandidateSelection::run_rt(xu, xl, &self.config, seed, &self.runtime);
         let k = selection.k;
 
         let mut history = TrainHistory::default();
@@ -402,7 +402,10 @@ impl TargAd {
         };
 
         let bs = self.config.clf_batch;
-        let mut tape = Tape::new();
+        // One sharded-step driver for the whole fit: its per-worker tape
+        // pools and per-shard gradient buffers are allocated on the first
+        // step and reused by every later one.
+        let mut sharded = ShardedStep::new();
         for epoch in 0..self.config.clf_epochs {
             if epoch > 0 && self.config.update_weights && !weights.is_empty() {
                 // Eq. 4: weight from the max predicted probability.
@@ -440,7 +443,7 @@ impl TargAd {
                     .collect();
 
                 epoch_loss += self.train_step(
-                    &mut tape,
+                    &mut sharded,
                     &mut clf,
                     opt.as_mut(),
                     xl,
@@ -471,10 +474,16 @@ impl TargAd {
 
     /// One optimizer step over the three pseudo-labeled batches; returns the
     /// scalar loss value.
+    ///
+    /// Each set's batch is split into fixed worker-count-independent shards
+    /// ([`targad_nn::SHARD_ROWS`] rows each); shard gradients accumulate in
+    /// disjoint buffers and reduce into the store in ascending shard order,
+    /// so the step — and hence the whole fit — is bit-identical at any
+    /// `TARGAD_THREADS`.
     #[allow(clippy::too_many_arguments)]
     fn train_step(
         &self,
-        tape: &mut Tape,
+        step: &mut ShardedStep,
         clf: &mut Classifier,
         opt: &mut dyn Optimizer,
         xl: &Matrix,
@@ -488,43 +497,63 @@ impl TargAd {
         weights: &[f64],
         a_batch: &[usize],
     ) -> f64 {
-        clf.store.zero_grads();
-        tape.reset();
+        let rt = &self.runtime;
+        let store = &mut clf.store;
+        let mlp = &clf.mlp;
+        store.zero_grads();
 
-        // L_CE over D_L and D_U^N (Eq. 3): sum of the two per-set means.
-        let (zl, _) = forward_batch(tape, clf, xl, l_batch);
-        let ce_l = cross_entropy_mean(tape, zl, yl, l_batch);
-        let (zn, _) = forward_batch(tape, clf, xn, n_batch);
-        let ce_n = cross_entropy_mean(tape, zn, yn, n_batch);
-        let mut loss = tape.add(ce_l, ce_n);
+        let use_re = self.config.use_re;
+        let lambda2 = self.config.lambda2;
+        let w_l = xl.rows() as f64 / (xl.rows() + xn.rows()) as f64;
 
-        // L_OE over D_U^A (Eq. 6) with per-instance weights.
-        if self.config.use_oe && !a_batch.is_empty() {
-            let (za, _) = forward_batch(tape, clf, xa, a_batch);
-            let w: Vec<f64> = a_batch.iter().map(|&i| weights[i]).collect();
-            let oe = weighted_cross_entropy_mean(tape, za, ya, a_batch, &w);
-            loss = tape.add_scaled(loss, oe, self.config.lambda1);
-        }
-
-        // L_RE over D_L ∪ D_U^N (Eq. 7): entropy of the predictions.
-        // Sign convention: we minimize the *entropy* H(p) = −Σ p log p so
-        // the regularizer boosts prediction confidence, which is the
+        // L_CE over D_L (Eq. 3) plus D_L's share of L_RE (Eq. 7). Sign
+        // convention for L_RE: we minimize the *entropy* H(p) = −Σ p log p
+        // so the regularizer boosts prediction confidence, which is the
         // behaviour the paper describes for this term (its Eq. 7 prints
         // Σ p log p; minimizing that literal expression would maximize
         // entropy instead).
-        if self.config.use_re {
-            let ent_l = entropy_mean(tape, zl);
-            let ent_n = entropy_mean(tape, zn);
-            let w_l = xl.rows() as f64 / (xl.rows() + xn.rows()) as f64;
-            loss = tape.add_scaled(loss, ent_l, self.config.lambda2 * w_l);
-            loss = tape.add_scaled(loss, ent_n, self.config.lambda2 * (1.0 - w_l));
+        let mut loss = step.accumulate(rt, store, l_batch.len(), |tape, store, range| {
+            let rows = &l_batch[range];
+            let xb = tape.input_rows_from(xl, rows);
+            let z = mlp.forward(tape, store, xb);
+            let ce = ce_partial(tape, z, yl, rows, l_batch.len());
+            if use_re {
+                let ent = entropy_partial(tape, z, l_batch.len());
+                tape.add_scaled(ce, ent, lambda2 * w_l)
+            } else {
+                ce
+            }
+        });
+
+        // L_CE and L_RE over D_U^N.
+        loss += step.accumulate(rt, store, n_batch.len(), |tape, store, range| {
+            let rows = &n_batch[range];
+            let xb = tape.input_rows_from(xn, rows);
+            let z = mlp.forward(tape, store, xb);
+            let ce = ce_partial(tape, z, yn, rows, n_batch.len());
+            if use_re {
+                let ent = entropy_partial(tape, z, n_batch.len());
+                tape.add_scaled(ce, ent, lambda2 * (1.0 - w_l))
+            } else {
+                ce
+            }
+        });
+
+        // L_OE over D_U^A (Eq. 6) with the per-instance Eq. 4/5 weights.
+        if self.config.use_oe && !a_batch.is_empty() {
+            let lambda1 = self.config.lambda1;
+            loss += step.accumulate(rt, store, a_batch.len(), |tape, store, range| {
+                let rows = &a_batch[range];
+                let xb = tape.input_rows_from(xa, rows);
+                let z = mlp.forward(tape, store, xb);
+                let oe = weighted_ce_partial(tape, z, ya, rows, weights, a_batch.len());
+                tape.scale(oe, lambda1)
+            });
         }
 
-        let value = tape.value(loss)[(0, 0)];
-        tape.backward(loss, &mut clf.store);
-        clip_grad_norm(&mut clf.store, self.config.grad_clip);
-        opt.step(&mut clf.store);
-        value
+        clip_grad_norm(store, self.config.grad_clip);
+        opt.step(store);
+        loss
     }
 
     /// The fitted classifier.
@@ -675,33 +704,32 @@ fn record_weight_means(history: &mut TrainHistory, truth: &[usize], weights: &[f
     });
 }
 
-fn forward_batch(tape: &mut Tape, clf: &Classifier, x: &Matrix, batch: &[usize]) -> (Var, usize) {
-    let xb = tape.input_rows_from(x, batch);
-    (clf.mlp.forward(tape, &clf.store, xb), batch.len())
-}
-
-/// `−mean_rows Σ_j y_j log p_j` from logits `z` and the listed rows of a
-/// constant target matrix.
-fn cross_entropy_mean(tape: &mut Tape, z: Var, targets: &Matrix, batch: &[usize]) -> Var {
-    let n = batch.len().max(1) as f64;
-    let y = tape.input_rows_from(targets, batch);
+/// Shard partial of `−(1/n_total) Σ_rows Σ_j y_j log p_j` from logits `z`
+/// and the listed rows of a constant target matrix. Partials over a shard
+/// partition of a batch sum to the batch's cross-entropy mean.
+fn ce_partial(tape: &mut Tape, z: Var, targets: &Matrix, rows: &[usize], n_total: usize) -> Var {
+    let n = n_total.max(1) as f64;
+    let y = tape.input_rows_from(targets, rows);
     let lp = tape.log_softmax_rows(z);
     let prod = tape.mul(y, lp);
     let total = tape.sum_all(prod);
     tape.scale(total, -1.0 / n)
 }
 
-/// Weighted variant of [`cross_entropy_mean`] (Eq. 6).
-fn weighted_cross_entropy_mean(
+/// Weighted variant of [`ce_partial`] (Eq. 6): row `i` of the shard is
+/// weighted by `weights[rows[i]]`, gathered straight into a pooled tape
+/// input (no per-step `Vec` of weights).
+fn weighted_ce_partial(
     tape: &mut Tape,
     z: Var,
     targets: &Matrix,
-    batch: &[usize],
+    rows: &[usize],
     weights: &[f64],
+    n_total: usize,
 ) -> Var {
-    let n = batch.len().max(1) as f64;
-    let y = tape.input_rows_from(targets, batch);
-    let w = tape.input(Matrix::col_vector(weights));
+    let n = n_total.max(1) as f64;
+    let y = tape.input_rows_from(targets, rows);
+    let w = tape.input_gather_col(weights, rows);
     let lp = tape.log_softmax_rows(z);
     let prod = tape.mul(y, lp);
     let per_row = tape.row_sum(prod);
@@ -710,14 +738,15 @@ fn weighted_cross_entropy_mean(
     tape.scale(total, -1.0 / n)
 }
 
-/// Mean entropy `H(p) = −Σ p log p` of the softmax of logits `z`.
-fn entropy_mean(tape: &mut Tape, z: Var) -> Var {
+/// Shard partial of the mean entropy `H(p) = −Σ p log p` of the softmax of
+/// logits `z`: the shard's entropy sum divided by the full batch size.
+fn entropy_partial(tape: &mut Tape, z: Var, n_total: usize) -> Var {
     let p = tape.softmax_rows(z);
     let lp = tape.log_softmax_rows(z);
     let prod = tape.mul(p, lp);
     let rows = tape.row_sum(prod);
-    let mean = tape.mean_all(rows);
-    tape.scale(mean, -1.0)
+    let sum = tape.sum_div(rows, n_total.max(1) as f64);
+    tape.scale(sum, -1.0)
 }
 
 #[cfg(test)]

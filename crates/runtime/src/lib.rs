@@ -19,14 +19,20 @@
 //! * **Fixed reduction order** — when per-worker results are combined
 //!   ([`Runtime::par_map_indexed`]), they are concatenated in worker-index
 //!   order, which equals global index order. Floating-point reductions
-//!   therefore see operands in the same sequence every time.
+//!   therefore see operands in the same sequence every time. Work whose
+//!   reduction the *caller* performs ([`Runtime::par_shards`]) is split
+//!   into worker-count-independent shards so the caller can reduce them in
+//!   fixed shard order.
 //!
-//! Workers are scoped threads ([`std::thread::scope`]) spawned per call:
-//! no thread pool lives between calls, no global state, no channels. For
-//! the kernel sizes this workspace runs (matrices of 10³–10⁷ elements,
-//! forests of hundreds of trees, benchmark suites of dozens of cells),
-//! spawn cost is noise next to the work; in exchange the runtime is
-//! dependency-free and impossible to poison.
+//! Workers live in a process-wide persistent pool ([`pool`]) spawned
+//! lazily on the first multi-worker dispatch and parked on a condvar
+//! between jobs. Dispatch is allocation-free — required by the
+//! zero-allocation training contract, which a scoped-thread spawn per
+//! optimizer step would break. Because results never depend on the worker
+//! count, the runtime clamps *execution* to the machine's available
+//! parallelism: requesting more workers than cores changes nothing but
+//! the oversubscription overhead, so the extra workers simply aren't used
+//! ([`Runtime::threads`] still reports the requested count).
 //!
 //! # Choosing a thread count
 //!
@@ -35,10 +41,35 @@
 //! count; [`Runtime::serial`] is the single-threaded identity. The handle
 //! is plain data (`Copy`) — pass it explicitly to whatever needs it.
 
-use std::num::NonZeroUsize;
+mod pool;
 
 /// Environment variable consulted by [`Runtime::from_env`].
 pub const THREADS_ENV: &str = "TARGAD_THREADS";
+
+/// A raw pointer that may cross thread boundaries. Every use derives
+/// disjoint regions from worker indices, so no two workers alias.
+struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    /// Accessor, so closures capture the `Sync` wrapper rather than the
+    /// raw pointer field itself (disjoint closure capture).
+    #[inline]
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+/// `(start, len)` of worker `w`'s contiguous share of `n` items split
+/// across `workers` (the first `n % workers` workers get one extra).
+#[inline]
+fn worker_share(n: usize, workers: usize, w: usize) -> (usize, usize) {
+    let base = n / workers;
+    let extra = n % workers;
+    (w * base + w.min(extra), base + usize::from(w < extra))
+}
 
 /// A handle selecting how many workers execute parallel operations.
 ///
@@ -78,11 +109,7 @@ impl Runtime {
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
             .filter(|&n| n > 0);
-        let threads = from_var.unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(NonZeroUsize::get)
-                .unwrap_or(1)
-        });
+        let threads = from_var.unwrap_or_else(pool::host_workers);
         Self { threads }
     }
 
@@ -94,6 +121,24 @@ impl Runtime {
     /// Whether operations run inline on the calling thread.
     pub fn is_serial(&self) -> bool {
         self.threads == 1
+    }
+
+    /// A copy of this runtime using at most `max_workers` workers. Callers
+    /// use this to impose a work grain — e.g. "at least 64 rows per
+    /// worker" — without touching the configured thread count.
+    pub fn capped(&self, max_workers: usize) -> Runtime {
+        Runtime::new(self.threads.min(max_workers.max(1)))
+    }
+
+    /// Workers that will actually execute `work_items` items: the
+    /// requested count, clamped to the work size and to the machine's
+    /// available parallelism (oversubscribing cores can only slow the
+    /// identical result down).
+    fn executing_workers(&self, work_items: usize) -> usize {
+        self.threads
+            .min(work_items)
+            .min(pool::host_workers())
+            .max(1)
     }
 
     /// Splits `data` into contiguous runs of whole rows (each `row_len`
@@ -116,26 +161,22 @@ impl Runtime {
         assert!(row_len > 0, "par_rows: row_len must be positive");
         assert_eq!(data.len() % row_len, 0, "par_rows: data is not whole rows");
         let rows = data.len() / row_len;
-        let workers = self.threads.min(rows).max(1);
+        let workers = self.executing_workers(rows);
         if workers <= 1 {
             f(0, data);
             return;
         }
-        let base = rows / workers;
-        let extra = rows % workers;
-        std::thread::scope(|scope| {
-            let f = &f;
-            let mut rest = data;
-            let mut first_row = 0;
-            for w in 0..workers {
-                let take = base + usize::from(w < extra);
-                let (chunk, tail) = rest.split_at_mut(take * row_len);
-                rest = tail;
-                let start = first_row;
-                first_row += take;
-                scope.spawn(move || f(start, chunk));
-            }
-        });
+        let ptr = SendPtr(data.as_mut_ptr());
+        let job = |w: usize| {
+            let (start, take) = worker_share(rows, workers, w);
+            // SAFETY: worker shares are disjoint row ranges of `data`,
+            // which outlives the dispatch.
+            let chunk = unsafe {
+                std::slice::from_raw_parts_mut(ptr.get().add(start * row_len), take * row_len)
+            };
+            f(start, chunk);
+        };
+        pool::pool().run(workers, &job);
     }
 
     /// Splits `data` into contiguous chunks, one per worker, and calls
@@ -155,10 +196,10 @@ impl Runtime {
     /// Computes `f(i)` for every `i in 0..len` in parallel and returns the
     /// results in index order.
     ///
-    /// Each worker owns a contiguous index range; per-worker outputs are
-    /// concatenated in worker order, which equals index order, so the
-    /// returned vector is identical at every thread count as long as `f`
-    /// depends only on its index argument.
+    /// Each worker owns a contiguous index range and writes results
+    /// straight into their final slots, so the returned vector is
+    /// identical at every thread count as long as `f` depends only on its
+    /// index argument.
     ///
     /// # Panics
     /// Panics if a worker closure panics.
@@ -167,28 +208,81 @@ impl Runtime {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        let workers = self.threads.min(len).max(1);
+        let workers = self.executing_workers(len);
         if workers <= 1 {
             return (0..len).map(f).collect();
         }
-        let base = len / workers;
-        let extra = len % workers;
-        let mut out = Vec::with_capacity(len);
-        std::thread::scope(|scope| {
-            let f = &f;
-            let mut handles = Vec::with_capacity(workers);
-            let mut start = 0;
-            for w in 0..workers {
-                let take = base + usize::from(w < extra);
-                let range = start..start + take;
-                start += take;
-                handles.push(scope.spawn(move || range.map(f).collect::<Vec<T>>()));
+        let mut out: Vec<std::mem::MaybeUninit<T>> = Vec::with_capacity(len);
+        out.resize_with(len, std::mem::MaybeUninit::uninit);
+        let ptr = SendPtr(out.as_mut_ptr());
+        let job = |w: usize| {
+            let (start, take) = worker_share(len, workers, w);
+            for i in start..start + take {
+                // SAFETY: worker shares are disjoint index ranges.
+                unsafe { ptr.get().add(i).write(std::mem::MaybeUninit::new(f(i))) };
             }
-            for handle in handles {
-                out.extend(handle.join().expect("runtime worker panicked"));
+        };
+        pool::pool().run(workers, &job);
+        // SAFETY: the dispatch returned normally, so every slot was
+        // written exactly once. (On a worker panic we unwind above and the
+        // initialized elements leak rather than double-drop.)
+        unsafe {
+            let mut out = std::mem::ManuallyDrop::new(out);
+            Vec::from_raw_parts(out.as_mut_ptr().cast::<T>(), len, out.capacity())
+        }
+    }
+
+    /// Runs `f(shard, &mut shards[shard], &mut states[worker])` for every
+    /// shard, in parallel, with a contiguous run of shards per worker.
+    ///
+    /// This is the data-parallel training primitive: `shards` holds one
+    /// disjoint output buffer per **shard** (a fixed, worker-count-
+    /// independent partition of the work — gradient accumulators, loss
+    /// partials), while `states` holds one scratch value per **worker**
+    /// (a pooled tape). Because every shard is computed in full by exactly
+    /// one worker and shard boundaries never depend on the worker count,
+    /// the shard buffers are bit-identical at any thread count; the caller
+    /// then reduces them in ascending shard order for a deterministic sum.
+    ///
+    /// At most `states.len()` workers execute (serially inline when only
+    /// one is available — every shard is still processed individually, in
+    /// ascending order, so the sharded code path is identical).
+    ///
+    /// # Panics
+    /// Panics if `states` is empty while `shards` is not, or if a worker
+    /// closure panics.
+    pub fn par_shards<T, S, F>(&self, shards: &mut [T], states: &mut [S], f: F)
+    where
+        T: Send,
+        S: Send,
+        F: Fn(usize, &mut T, &mut S) + Sync,
+    {
+        let n = shards.len();
+        if n == 0 {
+            return;
+        }
+        assert!(!states.is_empty(), "par_shards: need at least one state");
+        let workers = self.executing_workers(n).min(states.len());
+        if workers <= 1 {
+            let state = &mut states[0];
+            for (s, shard) in shards.iter_mut().enumerate() {
+                f(s, shard, state);
             }
-        });
-        out
+            return;
+        }
+        let shard_ptr = SendPtr(shards.as_mut_ptr());
+        let state_ptr = SendPtr(states.as_mut_ptr());
+        let job = |w: usize| {
+            let (start, take) = worker_share(n, workers, w);
+            // SAFETY: state `w` is touched only by worker `w`; shard
+            // ranges are disjoint across workers.
+            let state = unsafe { &mut *state_ptr.get().add(w) };
+            for s in start..start + take {
+                let shard = unsafe { &mut *shard_ptr.get().add(s) };
+                f(s, shard, state);
+            }
+        };
+        pool::pool().run(workers, &job);
     }
 }
 
@@ -206,6 +300,13 @@ mod tests {
     }
 
     #[test]
+    fn capped_limits_but_never_zeroes() {
+        assert_eq!(Runtime::new(8).capped(3).threads(), 3);
+        assert_eq!(Runtime::new(2).capped(5).threads(), 2);
+        assert_eq!(Runtime::new(8).capped(0).threads(), 1);
+    }
+
+    #[test]
     fn par_map_indexed_matches_serial_at_any_worker_count() {
         let expect: Vec<u64> = (0..1013u64).map(|i| i * i + 7).collect();
         for workers in [1, 2, 3, 7, 16, 2000] {
@@ -220,6 +321,16 @@ mod tests {
         let rt = Runtime::new(4);
         assert!(rt.par_map_indexed(0, |i| i).is_empty());
         assert_eq!(rt.par_map_indexed(1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn par_map_indexed_moves_nontrivial_values() {
+        let rt = Runtime::new(3);
+        let got = rt.par_map_indexed(97, |i| vec![i; i % 5]);
+        for (i, v) in got.iter().enumerate() {
+            assert_eq!(v.len(), i % 5);
+            assert!(v.iter().all(|&x| x == i));
+        }
     }
 
     #[test]
@@ -254,7 +365,11 @@ mod tests {
                 *v += (offset + i) as u32;
             }
         });
-        assert_eq!(calls.load(Ordering::SeqCst), 5);
+        // Execution is clamped to the machine's parallelism, so anywhere
+        // from one chunk (single-core host) to five is legal — but every
+        // element must be produced exactly once either way.
+        let calls = calls.load(Ordering::SeqCst);
+        assert!((1..=5).contains(&calls), "got {calls} chunks");
         assert!(data.iter().enumerate().all(|(i, &v)| v == i as u32));
     }
 
@@ -274,5 +389,60 @@ mod tests {
     #[test]
     fn from_env_is_at_least_one() {
         assert!(Runtime::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn par_shards_visits_every_shard_once_in_its_own_buffer() {
+        for workers in [1, 2, 3, 7, 16] {
+            let rt = Runtime::new(workers);
+            let mut shards = vec![0usize; 11];
+            let mut states = vec![0usize; workers];
+            rt.par_shards(&mut shards, &mut states, |s, shard, state| {
+                *shard += s * 10 + 1;
+                *state += 1;
+            });
+            let expect: Vec<usize> = (0..11).map(|s| s * 10 + 1).collect();
+            assert_eq!(shards, expect, "workers = {workers}");
+            let visits: usize = states.iter().sum();
+            assert_eq!(visits, 11, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn par_shards_results_are_worker_count_invariant() {
+        let run = |workers: usize| {
+            let rt = Runtime::new(workers);
+            let mut shards = vec![0.0f64; 23];
+            let mut states = vec![(); workers];
+            rt.par_shards(&mut shards, &mut states, |s, shard, ()| {
+                *shard = (s as f64 + 0.1).sin() * 1e3;
+            });
+            shards
+        };
+        let serial = run(1);
+        for workers in [2, 5, 23, 100] {
+            assert_eq!(run(workers), serial, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn par_shards_with_no_shards_is_a_no_op() {
+        let rt = Runtime::new(4);
+        let mut shards: [u8; 0] = [];
+        let mut states: [u8; 0] = [];
+        rt.par_shards(&mut shards, &mut states, |_, _, _| {
+            panic!("must not be called")
+        });
+    }
+
+    #[test]
+    fn nested_parallel_calls_run_inline_and_stay_correct() {
+        let rt = Runtime::new(4);
+        let outer = rt.par_map_indexed(8, |i| {
+            let inner = rt.par_map_indexed(5, move |j| i * 10 + j);
+            inner.iter().sum::<usize>()
+        });
+        let expect: Vec<usize> = (0..8).map(|i| (0..5).map(|j| i * 10 + j).sum()).collect();
+        assert_eq!(outer, expect);
     }
 }

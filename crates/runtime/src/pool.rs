@@ -1,0 +1,214 @@
+//! The persistent worker pool behind every [`crate::Runtime`] operation.
+//!
+//! Workers are spawned once (lazily, on the first multi-worker dispatch)
+//! and then parked on a condvar between jobs. Dispatching a job is
+//! **allocation-free**: the job is published as a lifetime-erased
+//! `&dyn Fn(usize)` pointer in a mutex-protected slot, workers are woken
+//! with `notify_all`, and completion is signalled by counting participants
+//! down under the same mutex. This matters for the zero-allocation
+//! training contract — a scoped-thread spawn per step would heap-allocate
+//! join handles and spawn packets on every optimizer step.
+//!
+//! Only one dispatch runs at a time. A caller that finds the pool busy
+//! (another thread mid-dispatch, or a nested parallel call from inside a
+//! job) runs its partition inline on the calling thread instead of
+//! blocking; results are unchanged because every partition of the same
+//! work is bit-identical by the runtime's determinism contract.
+
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock, PoisonError, TryLockError};
+
+/// The machine's available parallelism (cached; 1 if unknown).
+pub(crate) fn host_workers() -> usize {
+    static HOST: OnceLock<usize> = OnceLock::new();
+    *HOST.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// The process-wide pool; spawning happens on first use.
+pub(crate) fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool::spawn(host_workers() - 1))
+}
+
+/// A published job: a lifetime-erased pointer to the dispatch closure.
+/// Valid strictly until the round's last participant decrements `active`;
+/// `Pool::run` does not return (or unwind) before that.
+#[derive(Clone, Copy)]
+struct RawJob(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared across workers by reference) and
+// outlives every dereference — see `RawJob` and `Pool::run`.
+unsafe impl Send for RawJob {}
+
+struct Slot {
+    /// Bumped once per dispatched round; workers wait for a change.
+    generation: u64,
+    job: Option<RawJob>,
+    /// Participating workers this round (index 0 is the dispatching
+    /// thread; pool workers 1..workers join in).
+    workers: usize,
+    /// Pool workers still running the current round.
+    active: usize,
+    /// Set when any worker's closure panicked this round.
+    panicked: bool,
+}
+
+struct Shared {
+    slot: Mutex<Slot>,
+    /// Signals a new generation to parked workers.
+    work: Condvar,
+    /// Signals `active == 0` to the dispatching thread.
+    done: Condvar,
+}
+
+pub(crate) struct Pool {
+    shared: &'static Shared,
+    /// Number of parked worker threads (worker indices `1..=capacity`).
+    capacity: usize,
+    /// Held for the whole of [`Pool::run`]; `try_lock` failure means the
+    /// pool is busy and the caller runs inline.
+    dispatch: Mutex<()>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Pool {
+    fn spawn(capacity: usize) -> Self {
+        let shared: &'static Shared = Box::leak(Box::new(Shared {
+            slot: Mutex::new(Slot {
+                generation: 0,
+                job: None,
+                workers: 0,
+                active: 0,
+                panicked: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        }));
+        for index in 1..=capacity {
+            std::thread::Builder::new()
+                .name(format!("targad-worker-{index}"))
+                .spawn(move || worker_loop(shared, index))
+                .expect("spawn runtime worker");
+        }
+        Self {
+            shared,
+            capacity,
+            dispatch: Mutex::new(()),
+        }
+    }
+
+    /// Highest worker count a dispatch can use (pool workers + caller).
+    pub(crate) fn max_workers(&self) -> usize {
+        self.capacity + 1
+    }
+
+    /// Runs `f(w)` for every worker index `w in 0..workers`, index 0 on
+    /// the calling thread and the rest on pool workers. Returns only after
+    /// every index completed; panics with "runtime worker panicked" if any
+    /// pool worker's closure panicked (the caller's own panic is resumed
+    /// as-is). Falls back to running all indices inline, sequentially,
+    /// when the pool is busy or too small — same results either way.
+    pub(crate) fn run(&self, workers: usize, f: &(dyn Fn(usize) + Sync)) {
+        if workers <= 1 {
+            if workers == 1 {
+                f(0);
+            }
+            return;
+        }
+        let _guard = match self.dispatch.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                for w in 0..workers {
+                    f(w);
+                }
+                return;
+            }
+        };
+        if workers > self.max_workers() {
+            for w in 0..workers {
+                f(w);
+            }
+            return;
+        }
+
+        // SAFETY: erasing the borrow's lifetime is sound because this
+        // function blocks until `active == 0`, i.e. until no worker can
+        // still dereference the pointer.
+        let raw = RawJob(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + '_),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(f as *const _)
+        });
+        {
+            let mut slot = lock(&self.shared.slot);
+            slot.job = Some(raw);
+            slot.workers = workers;
+            slot.active = workers - 1;
+            slot.panicked = false;
+            slot.generation = slot.generation.wrapping_add(1);
+        }
+        self.shared.work.notify_all();
+
+        let own = catch_unwind(AssertUnwindSafe(|| f(0)));
+
+        let worker_panicked = {
+            let mut slot = lock(&self.shared.slot);
+            while slot.active > 0 {
+                slot = self
+                    .shared
+                    .done
+                    .wait(slot)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            slot.job = None;
+            std::mem::replace(&mut slot.panicked, false)
+        };
+        if let Err(payload) = own {
+            resume_unwind(payload);
+        }
+        assert!(!worker_panicked, "runtime worker panicked");
+    }
+}
+
+fn worker_loop(shared: &'static Shared, index: usize) {
+    let mut seen = 0u64;
+    loop {
+        let (job, workers) = {
+            let mut slot = lock(&shared.slot);
+            while slot.generation == seen {
+                slot = shared
+                    .work
+                    .wait(slot)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            seen = slot.generation;
+            (slot.job, slot.workers)
+        };
+        let Some(job) = job else { continue };
+        if index >= workers {
+            continue;
+        }
+        // SAFETY: we participate in the current round, so the dispatcher
+        // is blocked in `Pool::run` until we decrement `active` below;
+        // the closure outlives this call.
+        let result = catch_unwind(AssertUnwindSafe(|| (unsafe { &*job.0 })(index)));
+        let mut slot = lock(&shared.slot);
+        if result.is_err() {
+            slot.panicked = true;
+        }
+        slot.active -= 1;
+        if slot.active == 0 {
+            shared.done.notify_all();
+        }
+    }
+}

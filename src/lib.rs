@@ -32,7 +32,7 @@ pub use targad_nn as nn;
 /// The common import surface for examples, tests, and downstream users.
 pub mod prelude {
     pub use targad_baselines::{Detector, TrainView};
-    pub use targad_core::{OodStrategy, TargAd, TargAdConfig};
+    pub use targad_core::{OodStrategy, Runtime, TargAd, TargAdConfig};
     pub use targad_data::{Dataset, DatasetBundle, GeneratorSpec, Preset, SplitCounts, Truth};
     pub use targad_linalg::Matrix;
     pub use targad_metrics::{auroc, average_precision};
