@@ -85,8 +85,14 @@ impl Pool {
     /// that shape is free, freshly allocated otherwise (warm-up only).
     fn take(&mut self, rows: usize, cols: usize) -> Matrix {
         match self.free.get_mut(&(rows, cols)).and_then(Vec::pop) {
-            Some(m) => m,
-            None => Matrix::zeros(rows, cols),
+            Some(m) => {
+                targad_obs::metrics::TAPE_POOL_HITS.inc();
+                m
+            }
+            None => {
+                targad_obs::metrics::TAPE_POOL_MISSES.inc();
+                Matrix::zeros(rows, cols)
+            }
         }
     }
 

@@ -18,7 +18,7 @@ use targad_nn::optim::clip_grad_norm;
 use targad_nn::{shuffled_batches, Activation, Adam, Mlp, Optimizer, ShardedStep};
 use targad_runtime::Runtime;
 
-use crate::common::sq_dist;
+use crate::common::{observe_epoch, sq_dist};
 use crate::iforest::IForest;
 use crate::{Detector, TargAdError, TrainView};
 
@@ -153,13 +153,15 @@ impl Detector for Adoa {
         let w = Matrix::col_vector(&weights);
         let rt = self.runtime;
         let mut step = ShardedStep::new();
-        for _ in 0..self.epochs {
+        for epoch in 0..self.epochs {
+            let mut epoch_loss = 0.0;
+            let mut batches = 0usize;
             for batch in shuffled_batches(&mut rng, features.rows(), self.batch) {
                 store.zero_grads();
                 let n = batch.len();
                 let clf = &clf;
                 let (features, y, w) = (&features, &y, &w);
-                step.accumulate(&rt, &mut store, n, |tape, store, range| {
+                let loss = step.accumulate(&rt, &mut store, n, |tape, store, range| {
                     let rows = &batch[range];
                     let xb = tape.input_rows_from(features, rows);
                     let yb = tape.input_rows_from(y, rows);
@@ -180,9 +182,12 @@ impl Detector for Adoa {
                     let total = tape.sum_div(weighted, n as f64);
                     tape.scale(total, -1.0)
                 });
+                epoch_loss += loss;
+                batches += 1;
                 clip_grad_norm(&mut store, 5.0);
                 opt.step(&mut store);
             }
+            observe_epoch("adoa", epoch, epoch_loss / batches.max(1) as f64);
         }
 
         self.fitted = Some(Fitted { store, clf });

@@ -4,6 +4,16 @@ use rand::rngs::StdRng;
 use rand::RngExt;
 use targad_linalg::{rng as lrng, Matrix};
 
+/// Reports one training-epoch loss for a baseline to the telemetry hub.
+///
+/// Always bumps the `train.epochs` counter; when telemetry is enabled and
+/// a JSONL sink is installed (see [`targad_obs::hub`]), also emits a
+/// `model_epoch` event line. A no-op otherwise — baselines stay
+/// observer-free and pay nothing when telemetry is off.
+pub fn observe_epoch(model: &'static str, epoch: usize, loss: f64) {
+    targad_obs::hub::training_epoch(model, epoch, loss);
+}
+
 /// Squared Euclidean distance between two feature rows.
 pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()

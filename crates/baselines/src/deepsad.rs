@@ -16,7 +16,7 @@ use targad_nn::optim::clip_grad_norm;
 use targad_nn::{shuffled_batches, Adam, AutoEncoder, Mlp, Optimizer, ShardedStep};
 use targad_runtime::Runtime;
 
-use crate::common::mean_row;
+use crate::common::{mean_row, observe_epoch};
 use crate::{Detector, TargAdError, TrainView};
 
 /// DeepSAD with the defaults used in the reproduction.
@@ -132,12 +132,14 @@ impl Detector for DeepSad {
         let use_push = xl.rows() > 0 && self.eta > 0.0;
         let eta = self.eta;
         for epoch in 0..self.epochs {
+            let mut epoch_loss = 0.0;
+            let mut batches = 0usize;
             for batch in shuffled_batches(&mut rng, xu.rows(), self.batch) {
                 store.zero_grads();
                 let n = batch.len();
                 let encoder = &encoder;
                 let neg_center = &neg_center;
-                step.accumulate(&rt, &mut store, n, |tape, store, range| {
+                let loss = step.accumulate(&rt, &mut store, n, |tape, store, range| {
                     let neg_c = tape.input_from(neg_center);
                     let xb = tape.input_rows_from(xu, &batch[range.clone()]);
                     let z = encoder.forward(tape, store, xb);
@@ -157,9 +159,12 @@ impl Detector for DeepSad {
                         pull
                     }
                 });
+                epoch_loss += loss;
+                batches += 1;
                 clip_grad_norm(&mut store, 5.0);
                 opt2.step(&mut store);
             }
+            observe_epoch("deepsad", epoch, epoch_loss / batches.max(1) as f64);
             if probe.rows() > 0 {
                 let snapshot = Fitted {
                     store: store.clone(),

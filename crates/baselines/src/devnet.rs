@@ -122,6 +122,8 @@ impl Detector for DevNet {
         let margin = self.margin;
         let mut step = ShardedStep::new();
         for epoch in 0..self.epochs {
+            let mut epoch_loss = 0.0;
+            let mut batches = 0usize;
             for u_batch in shuffled_batches(&mut rng, xu.rows(), half) {
                 store.zero_grads();
                 let n = u_batch.len();
@@ -133,7 +135,7 @@ impl Detector for DevNet {
                     Vec::new()
                 };
                 let scorer = &scorer;
-                step.accumulate(&rt, &mut store, n, |tape, store, range| {
+                let loss = step.accumulate(&rt, &mut store, n, |tape, store, range| {
                     // Unlabeled term: |dev| → 0.
                     let xb = tape.input_rows_from(xu, &u_batch[range.clone()]);
                     let phi_u = scorer.forward(tape, store, xb);
@@ -158,9 +160,12 @@ impl Detector for DevNet {
                         term_u
                     }
                 });
+                epoch_loss += loss;
+                batches += 1;
                 clip_grad_norm(&mut store, 5.0);
                 opt.step(&mut store);
             }
+            crate::common::observe_epoch("devnet", epoch, epoch_loss / batches.max(1) as f64);
             if probe.rows() > 0 {
                 let snapshot = Fitted {
                     store: store.clone(),

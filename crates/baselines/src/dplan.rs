@@ -212,7 +212,7 @@ impl Detector for Dplan {
                 let n = idx.len();
                 let qnet = &qnet;
                 let (states, target) = (&states, &target);
-                sharded.accumulate(&rt, &mut store, n, |tape, store, range| {
+                let td_loss = sharded.accumulate(&rt, &mut store, n, |tape, store, range| {
                     let sb = tape.input_row_slice_from(states, range.start, range.end);
                     let tb = tape.input_row_slice_from(target, range.start, range.end);
                     let q = qnet.forward(tape, store, sb);
@@ -224,6 +224,11 @@ impl Detector for Dplan {
                 });
                 clip_grad_norm(&mut store, 5.0);
                 opt.step(&mut store);
+                // DPLAN has no epoch notion; report the TD loss once per
+                // target-network sync instead.
+                if (step + 1) % self.sync_every == 0 {
+                    crate::common::observe_epoch("dplan", step + 1, td_loss);
+                }
             }
 
             if (step + 1) % self.sync_every == 0 {

@@ -93,8 +93,9 @@ fn bce_partial(tape: &mut Tape, logit: Var, toward_one: bool, n: usize) -> Var {
 
 /// Trains one GAN on `real`, returning `(generator store, generator,
 /// discriminator store, discriminator)`.
-#[allow(clippy::type_complexity)]
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
 fn train_gan(
+    label: &'static str,
     real: &Matrix,
     latent_dim: usize,
     epochs: usize,
@@ -126,7 +127,9 @@ fn train_gan(
 
     let mut step = ShardedStep::new();
     let (gen_ref, disc_ref) = (&gen, &disc);
-    for _ in 0..epochs {
+    for epoch in 0..epochs {
+        let mut epoch_loss = 0.0;
+        let mut batches = 0usize;
         for b in shuffled_batches(&mut rng, real.rows(), batch) {
             // All RNG draws happen before dispatch: the fake batch and the
             // generator's latent noise are prebuilt matrices that shards
@@ -135,7 +138,7 @@ fn train_gan(
             let fake = gen.eval(&g_store, &latent_noise(n, latent_dim, &mut rng));
             d_store.zero_grads();
             let fake_ref = &fake;
-            step.accumulate(rt, &mut d_store, n, |tape, store, range| {
+            let d_loss = step.accumulate(rt, &mut d_store, n, |tape, store, range| {
                 let real_v = tape.input_rows_from(real, &b[range.clone()]);
                 let rl = disc_ref.forward(tape, store, real_v);
                 let l_real = bce_partial(tape, rl, true, n);
@@ -160,7 +163,10 @@ fn train_gan(
             });
             clip_grad_norm(&mut g_store, 5.0);
             g_opt.step(&mut g_store);
+            epoch_loss += d_loss;
+            batches += 1;
         }
+        crate::common::observe_epoch(label, epoch, epoch_loss / batches.max(1) as f64);
     }
     (g_store, gen, d_store, disc)
 }
@@ -189,6 +195,7 @@ impl Detector for DualMgan {
 
         // Sub-GAN A: anomaly augmentation.
         let (ga_store, gen_a, _, _) = train_gan(
+            "dualmgan.gan_a",
             &anomaly_pool,
             self.latent_dim,
             self.gan_epochs,
@@ -203,6 +210,7 @@ impl Detector for DualMgan {
         // Sub-GAN N: normality modeling (its discriminator is reused at
         // scoring time).
         let (_, _, dn_store, disc_n) = train_gan(
+            "dualmgan.gan_n",
             xu,
             self.latent_dim,
             self.gan_epochs,
@@ -236,13 +244,15 @@ impl Detector for DualMgan {
         let mut opt = Adam::new(self.lr);
         let rt = self.runtime;
         let mut step = ShardedStep::new();
-        for _ in 0..self.clf_epochs {
+        for epoch in 0..self.clf_epochs {
+            let mut epoch_loss = 0.0;
+            let mut batches = 0usize;
             for b in shuffled_batches(&mut rng, features.rows(), self.batch) {
                 clf_store.zero_grads();
                 let n = b.len();
                 let clf = &clf;
                 let (features, y, w) = (&features, &y, &w);
-                step.accumulate(&rt, &mut clf_store, n, |tape, store, range| {
+                let loss = step.accumulate(&rt, &mut clf_store, n, |tape, store, range| {
                     let rows = &b[range];
                     let xb = tape.input_rows_from(features, rows);
                     let yb = tape.input_rows_from(y, rows);
@@ -262,9 +272,12 @@ impl Detector for DualMgan {
                     let total = tape.sum_div(weighted, n as f64);
                     tape.scale(total, -1.0)
                 });
+                epoch_loss += loss;
+                batches += 1;
                 clip_grad_norm(&mut clf_store, 5.0);
                 opt.step(&mut clf_store);
             }
+            crate::common::observe_epoch("dualmgan.clf", epoch, epoch_loss / batches.max(1) as f64);
         }
 
         self.fitted = Some(Fitted {

@@ -159,6 +159,8 @@ impl Detector for Feawad {
 
         let margin = self.margin;
         for epoch in 0..self.epochs {
+            let mut epoch_loss = 0.0;
+            let mut batches = 0usize;
             for u_batch in shuffled_batches(&mut rng, rep_u.rows(), half) {
                 scorer_store.zero_grads();
                 let n = u_batch.len();
@@ -173,7 +175,7 @@ impl Detector for Feawad {
                 };
                 let scorer = &scorer;
                 let (rep_u, rep_l) = (&rep_u, &rep_l);
-                step.accumulate(&rt, &mut scorer_store, n, |tape, store, range| {
+                let loss = step.accumulate(&rt, &mut scorer_store, n, |tape, store, range| {
                     let xb = tape.input_rows_from(rep_u, &u_batch[range.clone()]);
                     let s_u = scorer.forward(tape, store, xb);
                     let abs_u = tape.abs(s_u);
@@ -191,9 +193,12 @@ impl Detector for Feawad {
                         term_u
                     }
                 });
+                epoch_loss += loss;
+                batches += 1;
                 clip_grad_norm(&mut scorer_store, 5.0);
                 opt.step(&mut scorer_store);
             }
+            crate::common::observe_epoch("feawad", epoch, epoch_loss / batches.max(1) as f64);
             if probe.rows() > 0 {
                 let snapshot = Fitted {
                     ae_store: ae_store.clone(),

@@ -79,6 +79,14 @@ impl Detector for IForest {
             let idx = lrng::sample_indices(&mut rng, data.rows(), psi);
             Tree::build(&data.take_rows(&idx), height_limit, &mut rng)
         });
+        // Tree ensembles have no loss curve; report the build as a single
+        // event whose scalar is the mean node count per tree (a proxy for
+        // how deeply the subsamples were isolated).
+        if targad_obs::enabled() {
+            let mean_nodes = self.trees.iter().map(Tree::node_count).sum::<usize>() as f64
+                / self.trees.len().max(1) as f64;
+            crate::common::observe_epoch("iforest", self.n_trees, mean_nodes);
+        }
         Ok(())
     }
 
@@ -157,6 +165,13 @@ impl Tree {
             };
         }
         Tree::Leaf { size: n }
+    }
+
+    fn node_count(&self) -> usize {
+        match self {
+            Tree::Leaf { .. } => 1,
+            Tree::Split { left, right, .. } => 1 + left.node_count() + right.node_count(),
+        }
     }
 
     fn path_length(&self, row: &[f64], depth: usize) -> f64 {

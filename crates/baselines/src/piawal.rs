@@ -132,7 +132,9 @@ impl Detector for PiaWal {
         let peripheral_weight = self.peripheral_weight;
         let mut step = ShardedStep::new();
         let (gen_ref, disc_ref) = (&gen, &disc);
-        for _ in 0..self.epochs {
+        for epoch in 0..self.epochs {
+            let mut epoch_loss = 0.0;
+            let mut batches = 0usize;
             for batch in shuffled_batches(&mut rng, xu.rows(), self.batch) {
                 // ---- Discriminator step --------------------------------
                 // RNG draws happen before dispatch; shards slice the
@@ -141,7 +143,7 @@ impl Detector for PiaWal {
                 let fake = gen.eval(&g_store, &latent_noise(n, self.latent_dim, &mut rng));
                 d_store.zero_grads();
                 let fake_ref = &fake;
-                step.accumulate(&rt, &mut d_store, n, |tape, store, range| {
+                let d_loss = step.accumulate(&rt, &mut d_store, n, |tape, store, range| {
                     let real = tape.input_rows_from(xu, &batch[range.clone()]);
                     let real_logit = disc_ref.forward(tape, store, real);
                     let loss_real = bce_toward_one_partial(tape, real_logit, n);
@@ -184,7 +186,10 @@ impl Detector for PiaWal {
                 });
                 clip_grad_norm(&mut g_store, 5.0);
                 g_opt.step(&mut g_store);
+                epoch_loss += d_loss;
+                batches += 1;
             }
+            crate::common::observe_epoch("piawal", epoch, epoch_loss / batches.max(1) as f64);
         }
 
         self.fitted = Some(Fitted { d_store, disc });

@@ -131,7 +131,7 @@ impl Detector for PreNet {
 
         let rt = self.runtime;
         let mut step = ShardedStep::new();
-        for _ in 0..self.steps {
+        for train_step in 0..self.steps {
             // The pair batch is drawn up front; shards slice it by row
             // range, so the RNG stream never depends on worker count.
             let (pairs, ys) = self.pair_batch(&train.labeled, &train.unlabeled, &mut rng);
@@ -139,7 +139,7 @@ impl Detector for PreNet {
             let n = pairs.rows();
             let net = &net;
             let (pairs, ys) = (&pairs, &ys);
-            step.accumulate(&rt, &mut store, n, |tape, store, range| {
+            let loss = step.accumulate(&rt, &mut store, n, |tape, store, range| {
                 let xb = tape.input_row_slice_from(pairs, range.start, range.end);
                 let yv = tape.input_row_slice_from(ys, range.start, range.end);
                 let pred = net.forward(tape, store, xb);
@@ -151,6 +151,7 @@ impl Detector for PreNet {
             });
             clip_grad_norm(&mut store, 5.0);
             opt.step(&mut store);
+            crate::common::observe_epoch("prenet", train_step, loss);
         }
 
         // Freeze the scoring reference sets.

@@ -95,7 +95,9 @@ impl Detector for Pumad {
         let rt = self.runtime;
         let margin = self.margin;
         let mut step = ShardedStep::new();
-        for _ in 0..self.epochs {
+        for epoch in 0..self.epochs {
+            let mut epoch_loss = 0.0;
+            let mut batches = 0usize;
             // Hashing-substitute filter: keep the unlabeled rows closest to
             // the current prototype as reliable normals.
             let z = embed.eval(&store, xu);
@@ -111,7 +113,7 @@ impl Detector for Pumad {
                 let n = rows.len();
                 let embed = &embed;
                 let neg_proto_row = &neg_proto_row;
-                step.accumulate(&rt, &mut store, n, |tape, store, range| {
+                let loss = step.accumulate(&rt, &mut store, n, |tape, store, range| {
                     let neg_proto = tape.input_from(neg_proto_row);
                     let xb = tape.input_rows_from(xu, &rows[range.clone()]);
                     let zb = embed.forward(tape, store, xb);
@@ -135,9 +137,12 @@ impl Detector for Pumad {
                         pull
                     }
                 });
+                epoch_loss += loss;
+                batches += 1;
                 clip_grad_norm(&mut store, 5.0);
                 opt.step(&mut store);
             }
+            crate::common::observe_epoch("pumad", epoch, epoch_loss / batches.max(1) as f64);
 
             // Refresh the prototype from the reliable set.
             let z_rel = embed.eval(&store, &xu.take_rows(&reliable));

@@ -105,7 +105,7 @@ impl Detector for Repen {
         let rt = self.runtime;
         let margin = self.margin;
         let mut step = ShardedStep::new();
-        for _ in 0..self.steps {
+        for train_step in 0..self.steps {
             // Triplets are sampled up front; shards slice all three
             // matrices by the same row range.
             let (anchors, positives, negatives) =
@@ -114,7 +114,7 @@ impl Detector for Repen {
             let nt = anchors.rows();
             let embed = &embed;
             let (anchors, positives, negatives) = (&anchors, &positives, &negatives);
-            step.accumulate(&rt, &mut store, nt, |tape, store, range| {
+            let loss = step.accumulate(&rt, &mut store, nt, |tape, store, range| {
                 let a = tape.input_row_slice_from(anchors, range.start, range.end);
                 let p = tape.input_row_slice_from(positives, range.start, range.end);
                 let n = tape.input_row_slice_from(negatives, range.start, range.end);
@@ -132,6 +132,7 @@ impl Detector for Repen {
             });
             clip_grad_norm(&mut store, 5.0);
             opt.step(&mut store);
+            crate::common::observe_epoch("repen", train_step, loss);
         }
 
         self.fitted = Some(Fitted {

@@ -1,0 +1,140 @@
+//! Telemetry overhead benchmark: the same end-to-end `TargAd::fit` with
+//! the global telemetry gate off (the default), on (metrics + phase
+//! spans), and on with a JSONL event sink attached. Writes
+//! `results/bench_obs.json` with the measured enabled-vs-disabled
+//! overhead; the ISSUE acceptance target is < 2% with telemetry enabled
+//! and ~0% when disabled (the disabled path is a handful of relaxed
+//! atomic loads per step).
+//!
+//! Set `TARGAD_BENCH_QUICK=1` for a seconds-long smoke run.
+
+use criterion::Criterion;
+use std::hint::black_box;
+use std::time::Duration;
+use targad_core::{Runtime, TargAd, TargAdConfig};
+use targad_data::GeneratorSpec;
+use targad_obs::sink::JsonlSink;
+
+fn quick_mode() -> bool {
+    std::env::var("TARGAD_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn tune<'a, 'b>(
+    group: &'a mut criterion::BenchmarkGroup<'b>,
+) -> &'a mut criterion::BenchmarkGroup<'b> {
+    if quick_mode() {
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(25))
+    } else {
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(2))
+    }
+}
+
+fn fit_config() -> TargAdConfig {
+    let mut cfg = TargAdConfig::fast();
+    cfg.ae_epochs = 2;
+    cfg.clf_epochs = 3;
+    cfg
+}
+
+/// End-to-end fit under the three telemetry states. All three train the
+/// same model — telemetry is read-only by contract (asserted bit-exactly
+/// in `tests/obs_smoke.rs`); only wall-clock may differ.
+fn bench_obs_fit(c: &mut Criterion) {
+    let bundle = GeneratorSpec::quick_demo().generate(29);
+    let cfg = fit_config();
+    let mut group = c.benchmark_group("obs_fit");
+    tune(&mut group);
+
+    targad_obs::set_enabled(false);
+    group.bench_function("disabled", |b| {
+        b.iter(|| {
+            let mut model = TargAd::try_new(cfg.clone())
+                .expect("valid config")
+                .with_runtime(Runtime::new(2));
+            model.fit(&bundle.train, 7).expect("fit");
+            black_box(model.history().clf_loss.len())
+        });
+    });
+
+    targad_obs::set_enabled(true);
+    group.bench_function("enabled", |b| {
+        b.iter(|| {
+            let mut model = TargAd::try_new(cfg.clone())
+                .expect("valid config")
+                .with_runtime(Runtime::new(2));
+            model.fit(&bundle.train, 7).expect("fit");
+            black_box(model.history().clf_loss.len())
+        });
+    });
+
+    group.bench_function("enabled_jsonl", |b| {
+        b.iter(|| {
+            let mut model = TargAd::try_new(cfg.clone())
+                .expect("valid config")
+                .with_runtime(Runtime::new(2));
+            let mut sink = JsonlSink::new(std::io::sink());
+            model
+                .fit_observed(&bundle.train, 7, &mut sink)
+                .expect("fit");
+            black_box(model.history().clf_loss.len())
+        });
+    });
+
+    targad_obs::set_enabled(false);
+    group.finish();
+}
+
+/// Writes `results/bench_obs.json`: the three fit means and the relative
+/// overhead of each telemetry state over the disabled baseline.
+fn write_json(results: &[(String, f64)]) {
+    let mean_of = |name: &str| {
+        results
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, m)| m)
+            .unwrap_or(0.0)
+    };
+    let disabled = mean_of("obs_fit/disabled");
+    let enabled = mean_of("obs_fit/enabled");
+    let jsonl = mean_of("obs_fit/enabled_jsonl");
+    let pct = |v: f64| {
+        if disabled > 0.0 {
+            (v / disabled - 1.0) * 100.0
+        } else {
+            0.0
+        }
+    };
+
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, (name, mean)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{ \"name\": \"{name}\", \"mean_seconds\": {mean:e} }}{comma}\n"
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"overhead_enabled_pct\": {:.2},\n  \"overhead_enabled_jsonl_pct\": {:.2},\n  \"target_enabled_pct\": 2.0\n}}\n",
+        pct(enabled),
+        pct(jsonl),
+    ));
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/bench_obs.json");
+    std::fs::create_dir_all(path.parent().expect("parent")).expect("create results dir");
+    std::fs::write(&path, out).expect("write bench_obs.json");
+    println!(
+        "\nwrote {} (telemetry overhead {:.2}%, with JSONL sink {:.2}%)",
+        path.display(),
+        pct(enabled),
+        pct(jsonl)
+    );
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_obs_fit(&mut criterion);
+    write_json(criterion.results());
+}

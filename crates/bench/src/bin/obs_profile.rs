@@ -1,0 +1,65 @@
+//! Observability profile run: one telemetry-enabled TargAD fit plus one
+//! baseline fit, with every structured event captured.
+//!
+//! Writes:
+//! - `results/obs_fit.jsonl` — the JSON Lines event stream (TargAD's
+//!   typed events followed by the baselines' hub `model_epoch` lines);
+//! - `results/obs_profile.json` — the aggregated phase-timer tree and the
+//!   full metrics snapshot;
+//!
+//! and prints the human-readable phase tree to stdout.
+
+use std::fs::File;
+use std::path::Path;
+
+use targad_baselines::DevNet;
+use targad_core::detector::{Detector, TrainView};
+use targad_core::{TargAd, TargAdConfig};
+use targad_data::GeneratorSpec;
+use targad_obs::sink::JsonlSink;
+
+fn main() {
+    let results = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&results).expect("create results dir");
+
+    targad_obs::set_enabled(true);
+    targad_obs::metrics::reset_all();
+    targad_obs::profile::reset_all();
+
+    let bundle = GeneratorSpec::quick_demo().generate(29);
+    let mut cfg = TargAdConfig::fast();
+    cfg.ae_epochs = 5;
+    cfg.clf_epochs = 10;
+
+    // TargAD: typed events straight into the JSONL file.
+    let jsonl_path = results.join("obs_fit.jsonl");
+    let file = File::create(&jsonl_path).expect("create obs_fit.jsonl");
+    let mut sink = JsonlSink::new(file);
+    let mut model = TargAd::try_new(cfg).expect("valid config");
+    model
+        .fit_observed(&bundle.train, 29, &mut sink)
+        .expect("TargAD fit");
+    let file = sink.into_inner();
+
+    // A baseline: its epoch loop reports through the process-global hub.
+    targad_obs::hub::install(Box::new(file));
+    let view = TrainView::from_dataset(&bundle.train);
+    let mut devnet = DevNet::default();
+    devnet.fit(&view, 29).expect("DevNet fit");
+    targad_obs::hub::flush();
+    targad_obs::hub::uninstall();
+
+    // Aggregates: phase tree + metrics snapshot.
+    let profile_path = results.join("obs_profile.json");
+    let json = format!(
+        "{{\n  \"phases\": {},\n  \"metrics\": {}\n}}\n",
+        targad_obs::profile::tree_json(),
+        targad_obs::metrics::snapshot_json(),
+    );
+    std::fs::write(&profile_path, json).expect("write obs_profile.json");
+    targad_obs::set_enabled(false);
+
+    println!("{}", targad_obs::profile::render_tree());
+    println!("wrote {}", jsonl_path.display());
+    println!("wrote {}", profile_path.display());
+}

@@ -180,12 +180,12 @@ pub fn fig3(args: &CommonArgs) -> String {
     let seed = args.seed_list()[0];
     let labels = bundle.test.target_labels();
 
-    // (a)+(b) for TargAD via the epoch monitor.
+    // (a)+(b) for TargAD via the per-epoch score trace.
+    let view = TrainView::from_dataset(&bundle.train);
     let mut targad_curve = Vec::new();
     let mut model = TargAd::try_new(harness_config(spec.normal_groups)).expect("valid config");
     model
-        .fit_with_monitor(&bundle.train, seed, |_, clf| {
-            let scores = clf.target_scores(&bundle.test.features);
+        .fit_traced(&view, seed, &bundle.test.features, &mut |_, scores| {
             targad_curve.push(average_precision(&scores, &labels));
         })
         .expect("TargAD fit");
@@ -198,7 +198,6 @@ pub fn fig3(args: &CommonArgs) -> String {
     out.push_str(&loss_table.render());
 
     // (b) AUPRC-per-epoch traces.
-    let view = TrainView::from_dataset(&bundle.train);
     let mut curves: Vec<(String, Vec<f64>)> = vec![("TargAD".to_string(), targad_curve)];
     let traced: Vec<Box<dyn Detector>> = vec![
         Box::new(DevNet::default()),

@@ -134,6 +134,37 @@ fn main() {
             let n = count_allocs(&mut clf_step);
             assert_eq!(n, 0, "sharded clf step {i} performed {n} allocations");
         }
+
+        // ---- Telemetry gate states --------------------------------------
+        // Disabled (the default): every instrumented call site must be a
+        // true no-op — the contract is zero allocations AND no recorded
+        // metric movement.
+        targad_obs::set_enabled(false);
+        targad_obs::metrics::reset_all();
+        for i in 0..3 {
+            let n = count_allocs(&mut clf_step);
+            assert_eq!(n, 0, "telemetry-off clf step {i} allocated {n} times");
+        }
+        assert_eq!(
+            targad_obs::metrics::POOL_JOBS.get() + targad_obs::metrics::TAPE_POOL_HITS.get(),
+            0,
+            "disabled telemetry recorded metrics"
+        );
+
+        // Enabled, metrics + span path (no sink): counters, histograms,
+        // and phase timers are atomics — the hot path stays allocation-free
+        // with telemetry on.
+        targad_obs::set_enabled(true);
+        clf_step(); // warm-up under the new gate state
+        for i in 0..3 {
+            let n = count_allocs(&mut clf_step);
+            assert_eq!(n, 0, "telemetry-on clf step {i} allocated {n} times");
+        }
+        assert!(
+            targad_obs::metrics::TAPE_POOL_HITS.get() > 0,
+            "enabled telemetry recorded nothing"
+        );
+        targad_obs::set_enabled(false);
     }
     println!("alloc_zero_dp: steady-state sharded steps performed 0 allocations");
 }

@@ -1,0 +1,104 @@
+//! CI observability smoke test: telemetry is **read-only**.
+//!
+//! Trains the same model with telemetry globally disabled and globally
+//! enabled (metrics + spans + a JSONL sink receiving every event) at 1 and
+//! 4 workers, and asserts the fitted classifier parameters are
+//! **bit-identical** in all four runs. Also validates the JSONL stream
+//! structurally: one object per line, self-describing `"type"` fields, in
+//! emission order.
+//!
+//! Everything lives in one `#[test]` because the telemetry gate is
+//! process-global; concurrent tests toggling it would race.
+
+use targad_core::{Runtime, TargAd, TargAdConfig};
+use targad_data::GeneratorSpec;
+use targad_obs::events::Recorder;
+use targad_obs::sink::JsonlSink;
+use targad_obs::Tee;
+
+fn config() -> TargAdConfig {
+    let mut c = TargAdConfig::fast();
+    c.ae_epochs = 2;
+    c.clf_epochs = 3;
+    c
+}
+
+fn param_bits(model: &TargAd) -> Vec<Vec<u64>> {
+    model
+        .classifier()
+        .expect("fitted")
+        .parameter_matrices()
+        .iter()
+        .map(|m| m.as_slice().iter().map(|x| x.to_bits()).collect())
+        .collect()
+}
+
+#[test]
+fn telemetry_is_bit_identical_and_jsonl_is_well_formed() {
+    let seed = 23;
+    let bundle = GeneratorSpec::quick_demo().generate(seed);
+
+    // Reference: telemetry off, serial.
+    targad_obs::set_enabled(false);
+    let reference = {
+        let mut model = TargAd::try_new(config())
+            .expect("valid config")
+            .with_runtime(Runtime::serial());
+        model.fit(&bundle.train, seed).expect("fit");
+        param_bits(&model)
+    };
+    assert!(!reference.is_empty());
+
+    for workers in [1usize, 4] {
+        for enabled in [false, true] {
+            targad_obs::set_enabled(enabled);
+            let mut model = TargAd::try_new(config())
+                .expect("valid config")
+                .with_runtime(Runtime::new(workers));
+            let mut rec = Recorder::new();
+            let mut sink = JsonlSink::new(Vec::new());
+            let mut tee = Tee(&mut rec, &mut sink);
+            model
+                .fit_observed(&bundle.train, seed, &mut tee)
+                .expect("fit");
+            assert_eq!(
+                param_bits(&model),
+                reference,
+                "trained weights drifted (workers={workers}, telemetry={enabled})"
+            );
+
+            // The observer stream is emitted regardless of the metrics
+            // gate; its payload must match the reference run's shape.
+            assert_eq!(rec.epochs.len(), 3);
+            assert!(rec.fit_start.is_some() && rec.selection.is_some());
+
+            // JSONL round-trip: fit_start, selection, 2 AE epochs,
+            // 3 classifier epochs, fit_end = 8 self-describing lines.
+            let out = String::from_utf8(sink.into_inner()).expect("utf8");
+            let lines: Vec<&str> = out.lines().collect();
+            let types: Vec<&str> = lines
+                .iter()
+                .map(|l| {
+                    assert!(l.starts_with('{') && l.ends_with('}'), "not JSON: {l}");
+                    let start = l.find("\"type\":\"").expect("type field") + 8;
+                    &l[start..start + l[start..].find('"').expect("closing quote")]
+                })
+                .collect();
+            assert_eq!(
+                types,
+                [
+                    "fit_start",
+                    "ae_epoch",
+                    "ae_epoch",
+                    "selection",
+                    "epoch",
+                    "epoch",
+                    "epoch",
+                    "fit_end",
+                ],
+                "unexpected stream: {out}"
+            );
+        }
+    }
+    targad_obs::set_enabled(false);
+}

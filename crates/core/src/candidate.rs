@@ -81,22 +81,26 @@ impl CandidateSelection {
         seed: u64,
         rt: &Runtime,
     ) -> Self {
-        let k = match config.k {
-            Some(k) => k.min(xu.rows()),
-            None => {
-                let (lo, hi) = config.elbow_range;
-                let sub = elbow_subsample(xu, seed);
-                let hi = hi.min(sub.rows());
-                let (k, _) = choose_k_elbow(&sub, lo.min(hi), hi, seed);
-                k
-            }
+        let _select_span = targad_obs::span(&targad_obs::profile::PHASE_SELECT);
+        let (k, km) = {
+            let _kmeans_span = targad_obs::span(&targad_obs::profile::PHASE_SELECT_KMEANS);
+            let k = match config.k {
+                Some(k) => k.min(xu.rows()),
+                None => {
+                    let (lo, hi) = config.elbow_range;
+                    let sub = elbow_subsample(xu, seed);
+                    let hi = hi.min(sub.rows());
+                    let (k, _) = choose_k_elbow(&sub, lo.min(hi), hi, seed);
+                    k
+                }
+            };
+            (k, KMeans::fit(xu, KMeansConfig::new(k), seed ^ 0xC1D2))
         };
-
-        let km = KMeans::fit(xu, KMeansConfig::new(k), seed ^ 0xC1D2);
         let cluster_of = km.assignments().to_vec();
         let members = km.cluster_members();
 
         // Train one AE per cluster — in parallel, as in the paper.
+        let _ae_span = targad_obs::span(&targad_obs::profile::PHASE_SELECT_AE);
         let mut autoencoders: Vec<Option<ClusterAutoEncoder>> = (0..k).map(|_| None).collect();
         let jobs: Vec<(usize, Matrix)> = members
             .iter()
@@ -147,7 +151,10 @@ impl CandidateSelection {
             .map(|a| a.expect("every cluster trained"))
             .collect();
 
+        drop(_ae_span);
+
         // Reconstruction errors per unlabeled row, via that row's cluster AE.
+        let _rank_span = targad_obs::span(&targad_obs::profile::PHASE_SELECT_RANK);
         let mut recon_errors = vec![0.0; xu.rows()];
         for (c, member_rows) in members.iter().enumerate() {
             if member_rows.is_empty() {

@@ -48,6 +48,7 @@ pub use candidate::{CandidateSelection, ClusterAutoEncoder};
 pub use config::{TargAdConfig, TargAdConfigBuilder};
 pub use detector::{Detector, TrainView};
 pub use error::TargAdError;
-pub use model::{Classifier, TargAd, TrainHistory, WeightMeans};
+pub use model::{CandidateComposition, Classifier, TargAd, TrainHistory, WeightMeans};
 pub use ood::OodStrategy;
+pub use targad_obs::{NullObserver, TrainObserver};
 pub use targad_runtime::Runtime;

@@ -5,13 +5,24 @@ use targad_autograd::{Tape, Var, VarStore};
 use targad_data::Dataset;
 use targad_linalg::{rng as lrng, stats, Matrix};
 use targad_nn::optim::clip_grad_norm;
-use targad_nn::{shuffled_batches, Activation, Adam, Mlp, Optimizer, Sgd, ShardedStep};
+use targad_nn::{shuffled_batches, Activation, Adam, Mlp, Optimizer, Parts, Sgd, ShardedStep};
+use targad_obs::{
+    AeEpochEvent, EpochEvent, FitEndEvent, FitStartEvent, LossDecomposition, NullObserver,
+    SelectionEvent, TrainObserver, WeightSummary,
+};
 use targad_runtime::Runtime;
 
 use crate::candidate::CandidateSelection;
 use crate::config::TargAdConfig;
 use crate::detector::{Detector, TrainView};
 use crate::error::TargAdError;
+
+/// Index of the `L_CE` partial in a step's [`Parts`] array.
+const PART_CE: usize = 0;
+/// Index of the (unscaled) `L_OE` partial.
+const PART_OE: usize = 1;
+/// Index of the (unscaled) `L_RE` partial.
+const PART_RE: usize = 2;
 
 /// The trained `m + k`-way classifier `f`.
 ///
@@ -146,31 +157,17 @@ impl Classifier {
     }
 }
 
-/// Per-epoch mean weight of the three true instance types hiding inside the
-/// non-target anomaly candidate set (Fig. 5a). `NaN` when a type is absent.
-#[derive(Clone, Copy, Debug)]
-pub struct WeightMeans {
-    /// Mean weight of inaccurately-reconstructed *normal* instances.
-    pub normal: f64,
-    /// Mean weight of hidden *target* anomalies.
-    pub target: f64,
-    /// Mean weight of *non-target* anomalies.
-    pub non_target: f64,
-}
-
-/// Composition of the candidate set by ground truth (diagnostics).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct CandidateComposition {
-    /// Normal instances erroneously selected.
-    pub normal: usize,
-    /// Hidden target anomalies selected.
-    pub target: usize,
-    /// Non-target anomalies selected (the intended content).
-    pub non_target: usize,
-}
+// The per-epoch summary structs now live in `targad-obs` (they are event
+// payloads); re-exported here so existing `targad_core` paths keep
+// resolving.
+pub use targad_obs::{CandidateComposition, WeightMeans};
 
 /// Telemetry captured during [`TargAd::fit`], sufficient to regenerate
 /// Fig. 3(a) and Fig. 5 of the paper.
+///
+/// `TrainHistory` is itself a [`TrainObserver`]: every fit drives one
+/// internally (that is how [`TargAd::history`] is populated), and tests
+/// or tools can attach their own instance to any observed fit.
 #[derive(Clone, Debug, Default)]
 pub struct TrainHistory {
     /// Mean total classifier loss per epoch (Fig. 3a).
@@ -185,6 +182,31 @@ pub struct TrainHistory {
     pub candidate_composition: CandidateComposition,
     /// Mean per-epoch autoencoder losses, averaged over clusters.
     pub ae_loss: Vec<f64>,
+}
+
+impl TrainObserver for TrainHistory {
+    fn on_selection(&mut self, e: &SelectionEvent<'_>) {
+        self.candidate_composition = e.composition.unwrap_or_default();
+    }
+
+    fn on_ae_epoch(&mut self, e: &AeEpochEvent) {
+        self.ae_loss.push(e.mean_loss);
+    }
+
+    fn on_epoch(&mut self, e: &EpochEvent<'_>) {
+        self.clf_loss.push(e.loss.total);
+        self.weight_means.push(e.weight_means);
+    }
+
+    fn on_fit_end(&mut self, e: &FitEndEvent<'_>) {
+        if let Some(codes) = e.truth_codes {
+            self.final_weights = codes
+                .iter()
+                .copied()
+                .zip(e.final_weights.iter().copied())
+                .collect();
+        }
+    }
 }
 
 /// The TargAD model. See the crate docs for the algorithm outline.
@@ -253,19 +275,48 @@ impl TargAd {
     /// [`TargAdError::TooFewUnlabeled`] if `D_U` is smaller than the number
     /// of requested clusters.
     pub fn fit(&mut self, train: &Dataset, seed: u64) -> Result<(), TargAdError> {
-        self.fit_with_monitor(train, seed, |_, _| {})
+        self.fit_observed(train, seed, &mut NullObserver)
+    }
+
+    /// Like [`TargAd::fit`], streaming structured telemetry into
+    /// `observer` (see [`TrainObserver`]): typed per-epoch events carrying
+    /// the `L_CE`/`L_OE`/`L_RE` loss decomposition, OE-weight summaries
+    /// (Eqs. 4–5), candidate churn, and gradient-clip activations.
+    ///
+    /// Telemetry is strictly read-only: the fitted model is bit-identical
+    /// with any observer attached, including none.
+    ///
+    /// # Errors
+    /// Same contract as [`TargAd::fit`].
+    pub fn fit_observed(
+        &mut self,
+        train: &Dataset,
+        seed: u64,
+        observer: &mut dyn TrainObserver,
+    ) -> Result<(), TargAdError> {
+        self.fit_view_observed(&TrainView::from_dataset(train), seed, observer)
     }
 
     /// Like [`TargAd::fit`], invoking `monitor(epoch, classifier)` after
     /// every classifier epoch — used to trace test AUPRC per epoch
     /// (Fig. 3b).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `fit_observed` (typed `TrainObserver` events) or \
+                `Detector::fit_traced` (per-epoch probe scores)"
+    )]
     pub fn fit_with_monitor(
         &mut self,
         train: &Dataset,
         seed: u64,
-        monitor: impl FnMut(usize, &Classifier),
+        mut monitor: impl FnMut(usize, &Classifier),
     ) -> Result<(), TargAdError> {
-        self.fit_view_with_monitor(&TrainView::from_dataset(train), seed, monitor)
+        self.fit_inner(
+            &TrainView::from_dataset(train),
+            seed,
+            &mut NullObserver,
+            &mut monitor,
+        )
     }
 
     /// Runs Algorithm 1 on a [`TrainView`] — the [`Detector`] entry point.
@@ -279,18 +330,51 @@ impl TargAd {
     /// # Errors
     /// Same contract as [`TargAd::fit`].
     pub fn fit_view(&mut self, view: &TrainView, seed: u64) -> Result<(), TargAdError> {
-        self.fit_view_with_monitor(view, seed, |_, _| {})
+        self.fit_view_observed(view, seed, &mut NullObserver)
+    }
+
+    /// [`TargAd::fit_view`] streaming telemetry into `observer` — the
+    /// [`TrainView`] variant of [`TargAd::fit_observed`].
+    ///
+    /// # Errors
+    /// Same contract as [`TargAd::fit`].
+    pub fn fit_view_observed(
+        &mut self,
+        view: &TrainView,
+        seed: u64,
+        observer: &mut dyn TrainObserver,
+    ) -> Result<(), TargAdError> {
+        self.fit_inner(view, seed, observer, &mut |_, _| {})
     }
 
     /// [`TargAd::fit_view`] with a per-epoch classifier monitor.
     ///
     /// # Errors
     /// Same contract as [`TargAd::fit`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `fit_view_observed` (typed `TrainObserver` events) or \
+                `Detector::fit_traced` (per-epoch probe scores)"
+    )]
     pub fn fit_view_with_monitor(
         &mut self,
         view: &TrainView,
         seed: u64,
         mut monitor: impl FnMut(usize, &Classifier),
+    ) -> Result<(), TargAdError> {
+        self.fit_inner(view, seed, &mut NullObserver, &mut monitor)
+    }
+
+    /// The one fit implementation behind every public entry point: runs
+    /// Algorithm 1, drives `observer` (plus the model's own
+    /// [`TrainHistory`]) with typed events, and calls `monitor` after each
+    /// classifier epoch.
+    fn fit_inner(
+        &mut self,
+        view: &TrainView,
+        seed: u64,
+        observer: &mut dyn TrainObserver,
+        monitor: &mut dyn FnMut(usize, &Classifier),
     ) -> Result<(), TargAdError> {
         let xl = &view.labeled;
         let labeled_classes = &view.labeled_classes;
@@ -308,24 +392,46 @@ impl TargAd {
 
         let m = labeled_classes.iter().copied().max().map_or(1, |c| c + 1);
 
+        let fit_clock = std::time::Instant::now();
+        let _fit_span = targad_obs::span(&targad_obs::profile::PHASE_FIT);
+        let mut history = TrainHistory::default();
+        {
+            let e = FitStartEvent {
+                model: "TargAD",
+                n_labeled: xl.rows(),
+                n_unlabeled: xu.rows(),
+                dims: view.dims(),
+                m,
+                epochs: self.config.clf_epochs,
+                threads: self.runtime.threads(),
+                lambda1: self.config.lambda1,
+                lambda2: self.config.lambda2,
+            };
+            history.on_fit_start(&e);
+            observer.on_fit_start(&e);
+        }
+
         // ---- Candidate selection (Lines 1–7) ----------------------------
         let selection = CandidateSelection::run_rt(xu, xl, &self.config, seed, &self.runtime);
         let k = selection.k;
 
-        let mut history = TrainHistory::default();
         if !selection.autoencoders.is_empty() {
             let epochs = selection.autoencoders[0].loss_history.len();
-            history.ae_loss = (0..epochs)
-                .map(|e| {
-                    stats::mean(
-                        &selection
-                            .autoencoders
-                            .iter()
-                            .map(|ae| ae.loss_history[e])
-                            .collect::<Vec<_>>(),
-                    )
-                })
-                .collect();
+            for e in 0..epochs {
+                let mean_loss = stats::mean(
+                    &selection
+                        .autoencoders
+                        .iter()
+                        .map(|ae| ae.loss_history[e])
+                        .collect::<Vec<_>>(),
+                );
+                let ev = AeEpochEvent {
+                    epoch: e,
+                    mean_loss,
+                };
+                history.on_ae_epoch(&ev);
+                observer.on_ae_epoch(&ev);
+            }
         }
 
         // ---- Detection data assembly ------------------------------------
@@ -363,14 +469,34 @@ impl TargAd {
                 .map(|&i| truth[i].three_way())
                 .collect()
         });
-        if let Some(codes) = &cand_truth {
+        let composition = cand_truth.as_ref().map(|codes| {
+            let mut comp = CandidateComposition::default();
             for &t in codes {
                 match t {
-                    0 => history.candidate_composition.normal += 1,
-                    1 => history.candidate_composition.target += 1,
-                    _ => history.candidate_composition.non_target += 1,
+                    0 => comp.normal += 1,
+                    1 => comp.target += 1,
+                    _ => comp.non_target += 1,
                 }
             }
+            comp
+        });
+        {
+            let clusters = cluster_recon_stats(&selection.cluster_of, &selection.recon_errors, k);
+            let threshold = selection
+                .anomaly_candidates
+                .iter()
+                .map(|&i| selection.recon_errors[i])
+                .fold(f64::NAN, f64::min);
+            let e = SelectionEvent {
+                k,
+                n_anomaly: selection.anomaly_candidates.len(),
+                n_normal: selection.normal_candidates.len(),
+                threshold,
+                clusters: &clusters,
+                composition,
+            };
+            history.on_selection(&e);
+            observer.on_selection(&e);
         }
 
         // Initial weights from reconstruction errors (Eq. 5).
@@ -406,21 +532,38 @@ impl TargAd {
         // pools and per-shard gradient buffers are allocated on the first
         // step and reused by every later one.
         let mut sharded = ShardedStep::new();
+        // §III-C normality verdict per candidate at the previous epoch's
+        // weight update — flips between epochs measure how unsettled the
+        // candidate split still is (telemetry only).
+        let mut prev_verdicts: Option<Vec<bool>> = None;
+        let _clf_span = targad_obs::span(&targad_obs::profile::PHASE_CLF);
         for epoch in 0..self.config.clf_epochs {
+            let _epoch_span = targad_obs::span(&targad_obs::profile::PHASE_CLF_EPOCH);
+            let mut eps_used: Option<Vec<f64>> = None;
+            let mut candidate_flips: Option<usize> = None;
             if epoch > 0 && self.config.update_weights && !weights.is_empty() {
                 // Eq. 4: weight from the max predicted probability.
                 let p = clf.probabilities(&xa);
                 let eps: Vec<f64> = (0..p.rows()).map(|r| p.max_row(r)).collect();
                 weights = normalize_inverted(&eps);
+                // Candidate churn, from the same probabilities Eq. 4
+                // already computed (no extra forward pass).
+                let verdicts: Vec<bool> =
+                    (0..p.rows()).map(|r| clf.is_normal_row(p.row(r))).collect();
+                candidate_flips = prev_verdicts
+                    .as_ref()
+                    .map(|prev| prev.iter().zip(&verdicts).filter(|(a, b)| a != b).count());
+                prev_verdicts = Some(verdicts);
+                eps_used = Some(eps);
             }
-            match &cand_truth {
-                Some(codes) => record_weight_means(&mut history, codes, &weights),
-                None => history.weight_means.push(WeightMeans {
+            let weight_means = match &cand_truth {
+                Some(codes) => weight_means_of(codes, &weights),
+                None => WeightMeans {
                     normal: f64::NAN,
                     target: f64::NAN,
                     non_target: f64::NAN,
-                }),
-            }
+                },
+            };
 
             let n_batches = shuffled_batches(&mut rng, xn.rows(), bs);
             let steps = n_batches.len().max(1);
@@ -430,6 +573,8 @@ impl TargAd {
             let l_chunk = xl.rows().clamp(1, 256);
 
             let mut epoch_loss = 0.0;
+            let mut epoch_parts = Parts::default();
+            let mut clip_activations = 0usize;
             for (step, n_batch) in n_batches.iter().enumerate() {
                 let a_batch: Vec<usize> = a_perm
                     .iter()
@@ -442,7 +587,7 @@ impl TargAd {
                     .map(|i| l_perm[(l_start + i) % xl.rows()])
                     .collect();
 
-                epoch_loss += self.train_step(
+                let stats = self.train_step(
                     &mut sharded,
                     &mut clf,
                     opt.as_mut(),
@@ -457,13 +602,49 @@ impl TargAd {
                     &weights,
                     &a_batch,
                 );
+                epoch_loss += stats.loss;
+                for (acc, p) in epoch_parts.iter_mut().zip(stats.parts) {
+                    *acc += p;
+                }
+                clip_activations += usize::from(stats.clipped);
             }
-            history.clf_loss.push(epoch_loss / steps as f64);
+            {
+                let steps_f = steps as f64;
+                let e = EpochEvent {
+                    epoch,
+                    steps,
+                    loss: LossDecomposition {
+                        ce: epoch_parts[PART_CE] / steps_f,
+                        oe: epoch_parts[PART_OE] / steps_f,
+                        re: epoch_parts[PART_RE] / steps_f,
+                        lambda1: self.config.lambda1,
+                        lambda2: self.config.lambda2,
+                        total: epoch_loss / steps_f,
+                    },
+                    oe_weights: WeightSummary::from_weights(&weights),
+                    weights: &weights,
+                    eps: eps_used.as_deref(),
+                    weight_means,
+                    candidate_flips,
+                    clip_activations,
+                    grad_clip: self.config.grad_clip,
+                };
+                history.on_epoch(&e);
+                observer.on_epoch(&e);
+            }
+            targad_obs::metrics::TRAIN_EPOCHS.inc();
             monitor(epoch, &clf);
         }
 
-        if let Some(codes) = &cand_truth {
-            history.final_weights = codes.iter().copied().zip(weights.iter().copied()).collect();
+        {
+            let e = FitEndEvent {
+                epochs: self.config.clf_epochs,
+                final_weights: &weights,
+                truth_codes: cand_truth.as_deref(),
+                wall_ns: u64::try_from(fit_clock.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            };
+            history.on_fit_end(&e);
+            observer.on_fit_end(&e);
         }
 
         self.classifier = Some(clf);
@@ -472,14 +653,18 @@ impl TargAd {
         Ok(())
     }
 
-    /// One optimizer step over the three pseudo-labeled batches; returns the
-    /// scalar loss value.
+    /// One optimizer step over the three pseudo-labeled batches; returns
+    /// the scalar loss, its CE/OE/RE decomposition, and whether the
+    /// gradient clip engaged.
     ///
     /// Each set's batch is split into fixed worker-count-independent shards
     /// ([`targad_nn::SHARD_ROWS`] rows each); shard gradients accumulate in
     /// disjoint buffers and reduce into the store in ascending shard order,
     /// so the step — and hence the whole fit — is bit-identical at any
-    /// `TARGAD_THREADS`.
+    /// `TARGAD_THREADS`. The decomposition partials are *values of nodes
+    /// the forward graph builds anyway* (recorded via
+    /// [`ShardedStep::accumulate_parts`]), so collecting them adds no tape
+    /// nodes and cannot perturb gradients or the total loss.
     #[allow(clippy::too_many_arguments)]
     fn train_step(
         &self,
@@ -496,7 +681,7 @@ impl TargAd {
         ya: &Matrix,
         weights: &[f64],
         a_batch: &[usize],
-    ) -> f64 {
+    ) -> StepStats {
         let rt = &self.runtime;
         let store = &mut clf.store;
         let mlp = &clf.mlp;
@@ -512,48 +697,69 @@ impl TargAd {
         // behaviour the paper describes for this term (its Eq. 7 prints
         // Σ p log p; minimizing that literal expression would maximize
         // entropy instead).
-        let mut loss = step.accumulate(rt, store, l_batch.len(), |tape, store, range| {
-            let rows = &l_batch[range];
-            let xb = tape.input_rows_from(xl, rows);
-            let z = mlp.forward(tape, store, xb);
-            let ce = ce_partial(tape, z, yl, rows, l_batch.len());
-            if use_re {
-                let ent = entropy_partial(tape, z, l_batch.len());
-                tape.add_scaled(ce, ent, lambda2 * w_l)
-            } else {
-                ce
-            }
-        });
+        let (mut loss, mut parts) =
+            step.accumulate_parts(rt, store, l_batch.len(), |tape, store, range, parts| {
+                let rows = &l_batch[range];
+                let xb = tape.input_rows_from(xl, rows);
+                let z = mlp.forward(tape, store, xb);
+                let ce = ce_partial(tape, z, yl, rows, l_batch.len());
+                parts[PART_CE] += tape.value(ce)[(0, 0)];
+                if use_re {
+                    let ent = entropy_partial(tape, z, l_batch.len());
+                    parts[PART_RE] += w_l * tape.value(ent)[(0, 0)];
+                    tape.add_scaled(ce, ent, lambda2 * w_l)
+                } else {
+                    ce
+                }
+            });
 
         // L_CE and L_RE over D_U^N.
-        loss += step.accumulate(rt, store, n_batch.len(), |tape, store, range| {
-            let rows = &n_batch[range];
-            let xb = tape.input_rows_from(xn, rows);
-            let z = mlp.forward(tape, store, xb);
-            let ce = ce_partial(tape, z, yn, rows, n_batch.len());
-            if use_re {
-                let ent = entropy_partial(tape, z, n_batch.len());
-                tape.add_scaled(ce, ent, lambda2 * (1.0 - w_l))
-            } else {
-                ce
-            }
-        });
+        let (l2, p2) =
+            step.accumulate_parts(rt, store, n_batch.len(), |tape, store, range, parts| {
+                let rows = &n_batch[range];
+                let xb = tape.input_rows_from(xn, rows);
+                let z = mlp.forward(tape, store, xb);
+                let ce = ce_partial(tape, z, yn, rows, n_batch.len());
+                parts[PART_CE] += tape.value(ce)[(0, 0)];
+                if use_re {
+                    let ent = entropy_partial(tape, z, n_batch.len());
+                    parts[PART_RE] += (1.0 - w_l) * tape.value(ent)[(0, 0)];
+                    tape.add_scaled(ce, ent, lambda2 * (1.0 - w_l))
+                } else {
+                    ce
+                }
+            });
+        loss += l2;
+        for (acc, p) in parts.iter_mut().zip(p2) {
+            *acc += p;
+        }
 
         // L_OE over D_U^A (Eq. 6) with the per-instance Eq. 4/5 weights.
         if self.config.use_oe && !a_batch.is_empty() {
             let lambda1 = self.config.lambda1;
-            loss += step.accumulate(rt, store, a_batch.len(), |tape, store, range| {
-                let rows = &a_batch[range];
-                let xb = tape.input_rows_from(xa, rows);
-                let z = mlp.forward(tape, store, xb);
-                let oe = weighted_ce_partial(tape, z, ya, rows, weights, a_batch.len());
-                tape.scale(oe, lambda1)
-            });
+            let (l3, p3) =
+                step.accumulate_parts(rt, store, a_batch.len(), |tape, store, range, parts| {
+                    let rows = &a_batch[range];
+                    let xb = tape.input_rows_from(xa, rows);
+                    let z = mlp.forward(tape, store, xb);
+                    let oe = weighted_ce_partial(tape, z, ya, rows, weights, a_batch.len());
+                    parts[PART_OE] += tape.value(oe)[(0, 0)];
+                    tape.scale(oe, lambda1)
+                });
+            loss += l3;
+            for (acc, p) in parts.iter_mut().zip(p3) {
+                *acc += p;
+            }
         }
 
-        clip_grad_norm(store, self.config.grad_clip);
+        let _apply_span = targad_obs::span(&targad_obs::profile::PHASE_STEP_APPLY);
+        let norm = clip_grad_norm(store, self.config.grad_clip);
         opt.step(store);
-        loss
+        StepStats {
+            loss,
+            parts,
+            clipped: norm > self.config.grad_clip,
+        }
     }
 
     /// The fitted classifier.
@@ -654,7 +860,7 @@ impl Detector for TargAd {
         trace: &mut dyn FnMut(usize, Vec<f64>),
     ) -> Result<(), TargAdError> {
         let runtime = self.runtime;
-        self.fit_view_with_monitor(train, seed, |epoch, clf| {
+        self.fit_inner(train, seed, &mut NullObserver, &mut |epoch, clf| {
             trace(epoch, clf.target_scores_rt(probe, &runtime));
         })
     }
@@ -683,7 +889,7 @@ fn normalize_inverted(values: &[f64]) -> Vec<f64> {
     values.iter().map(|&v| (max - v) / (max - min)).collect()
 }
 
-fn record_weight_means(history: &mut TrainHistory, truth: &[usize], weights: &[f64]) {
+fn weight_means_of(truth: &[usize], weights: &[f64]) -> WeightMeans {
     let mean_of = |code: usize| -> f64 {
         let vals: Vec<f64> = truth
             .iter()
@@ -697,11 +903,50 @@ fn record_weight_means(history: &mut TrainHistory, truth: &[usize], weights: &[f
             stats::mean(&vals)
         }
     };
-    history.weight_means.push(WeightMeans {
+    WeightMeans {
         normal: mean_of(0),
         target: mean_of(1),
         non_target: mean_of(2),
-    });
+    }
+}
+
+/// One optimizer step's telemetry: total loss, CE/OE/RE partials, and
+/// whether gradient clipping engaged.
+struct StepStats {
+    loss: f64,
+    parts: Parts,
+    clipped: bool,
+}
+
+/// Reconstruction-error quantiles (`[min, q25, median, q75, max]`) per
+/// cluster, for the selection telemetry event.
+fn cluster_recon_stats(
+    cluster_of: &[usize],
+    recon_errors: &[f64],
+    k: usize,
+) -> Vec<targad_obs::ClusterReconStats> {
+    (0..k)
+        .map(|c| {
+            let mut errs: Vec<f64> = cluster_of
+                .iter()
+                .zip(recon_errors)
+                .filter(|(&cl, _)| cl == c)
+                .map(|(_, &e)| e)
+                .collect();
+            errs.sort_by(|a, b| a.partial_cmp(b).expect("NaN recon error"));
+            let q = |frac: f64| -> f64 {
+                if errs.is_empty() {
+                    return f64::NAN;
+                }
+                errs[((frac * (errs.len() - 1) as f64).round() as usize).min(errs.len() - 1)]
+            };
+            targad_obs::ClusterReconStats {
+                cluster: c,
+                size: errs.len(),
+                quantiles: [q(0.0), q(0.25), q(0.5), q(0.75), q(1.0)],
+            }
+        })
+        .collect()
 }
 
 /// Shard partial of `−(1/n_total) Σ_rows Σ_j y_j log p_j` from logits `z`
@@ -884,7 +1129,9 @@ mod tests {
         }
     }
 
+    /// The deprecated monitor shim must keep working until removal.
     #[test]
+    #[allow(deprecated)]
     fn monitor_is_called_every_epoch() {
         let bundle = GeneratorSpec::quick_demo().generate(10);
         let mut model = TargAd::try_new(TargAdConfig::fast()).expect("valid config");
@@ -896,6 +1143,28 @@ mod tests {
             })
             .expect("fit");
         assert_eq!(calls, (0..model.config().clf_epochs).collect::<Vec<_>>());
+    }
+
+    /// The observer API delivers one epoch event per configured epoch with
+    /// the same loss trace the history records, and a final-weights event.
+    #[test]
+    fn observer_receives_full_event_stream() {
+        let bundle = GeneratorSpec::quick_demo().generate(13);
+        let mut model = TargAd::try_new(TargAdConfig::fast()).expect("valid config");
+        let mut rec = targad_obs::events::Recorder::new();
+        model
+            .fit_observed(&bundle.train, 13, &mut rec)
+            .expect("fit");
+        let epochs = model.config().clf_epochs;
+        assert!(rec.fit_start.is_some());
+        assert!(rec.selection.is_some());
+        assert_eq!(rec.epochs.len(), epochs);
+        let history_loss: Vec<f64> = model.history().clf_loss.clone();
+        let event_loss: Vec<f64> = rec.epochs.iter().map(|e| e.loss.total).collect();
+        assert_eq!(history_loss, event_loss);
+        assert!(!rec.final_weights.is_empty());
+        assert!(!rec.clusters.is_empty());
+        assert!(rec.epochs.iter().all(|e| e.steps > 0));
     }
 
     #[test]

@@ -961,8 +961,10 @@ pub(crate) fn matmul_rows_into(a: &Matrix, b: &Matrix, first_row: usize, out: &m
     }
     let rows = out.len() / n;
     if rows * n * a.cols < BLOCK_MIN_FLOPS {
+        targad_obs::metrics::GEMM_NAIVE_DISPATCHES.inc();
         gemm_nn_naive(a, b, first_row, out);
     } else {
+        targad_obs::metrics::GEMM_KERNEL_DISPATCHES.inc();
         let pack_b = |k0, kb, j0, jb, bp: &mut _| pack_b_panel(b, k0, kb, j0, jb, bp);
         gemm_blocked(
             &a.data,
@@ -991,8 +993,10 @@ pub(crate) fn matmul_nt_rows_into(a: &Matrix, b: &Matrix, first_row: usize, out:
     }
     let rows = out.len() / n;
     if rows * n * a.cols < BLOCK_MIN_FLOPS {
+        targad_obs::metrics::GEMM_NAIVE_DISPATCHES.inc();
         gemm_nt_naive(a, b, first_row, out);
     } else {
+        targad_obs::metrics::GEMM_KERNEL_DISPATCHES.inc();
         let pack_b = |k0, kb, j0, jb, bp: &mut _| pack_bt_panel(b, k0, kb, j0, jb, bp);
         gemm_blocked(
             &a.data,
@@ -1022,8 +1026,10 @@ pub(crate) fn matmul_tn_rows_into(a: &Matrix, b: &Matrix, first_k: usize, out: &
     }
     let rows = out.len() / n;
     if rows * n * a.rows < BLOCK_MIN_FLOPS {
+        targad_obs::metrics::GEMM_NAIVE_DISPATCHES.inc();
         gemm_tn_naive(a, b, first_k, out);
     } else {
+        targad_obs::metrics::GEMM_KERNEL_DISPATCHES.inc();
         let pack_b = |k0, kb, j0, jb, bp: &mut _| pack_b_panel(b, k0, kb, j0, jb, bp);
         gemm_blocked(&a.data, first_k, 1, a.cols, a.rows, n, pack_b, out);
     }

@@ -45,12 +45,22 @@ pub fn shard_range(rows: usize, s: usize) -> Range<usize> {
     lo..(lo + SHARD_ROWS).min(rows)
 }
 
-/// One shard's disjoint output buffers: its gradient accumulators and its
-/// loss partial.
+/// Maximum number of auxiliary loss partials a sharded step can report
+/// (see [`ShardedStep::accumulate_parts`]). TargAD needs three
+/// (`L_CE` / `L_OE` / `L_RE`); one spare slot avoids churn.
+pub const MAX_PARTS: usize = 4;
+
+/// Per-shard auxiliary loss partials, reduced in ascending shard order
+/// alongside the main loss.
+pub type Parts = [f64; MAX_PARTS];
+
+/// One shard's disjoint output buffers: its gradient accumulators, its
+/// loss partial, and its auxiliary decomposition partials.
 #[derive(Default)]
 struct ShardSlot {
     grads: GradSet,
     loss: f64,
+    parts: Parts,
 }
 
 /// Reusable state for sharded training steps: one pooled [`Tape`] per
@@ -90,9 +100,38 @@ impl ShardedStep {
     where
         F: Fn(&mut Tape, &VarStore, Range<usize>) -> Var + Sync,
     {
+        self.accumulate_parts(rt, store, rows, |tape, vs, range, _parts| {
+            build(tape, vs, range)
+        })
+        .0
+    }
+
+    /// [`ShardedStep::accumulate`] plus an auxiliary loss decomposition.
+    ///
+    /// `build` additionally receives a `&mut Parts` scratch (zeroed per
+    /// shard) into which it may record up to [`MAX_PARTS`] *partials of
+    /// already-computed tape values* — e.g. the CE / OE / RE components of
+    /// a composite loss, read with [`targad_autograd::Tape::value`] from
+    /// nodes the forward graph materializes anyway. The per-shard arrays
+    /// are reduced element-wise in ascending shard order (the same fixed
+    /// order as the loss), so the decomposition is bit-identical at any
+    /// worker count. Recording into `parts` never adds tape nodes, so the
+    /// computation graph — and therefore every gradient and the total
+    /// loss — is exactly what [`ShardedStep::accumulate`] produces.
+    pub fn accumulate_parts<F>(
+        &mut self,
+        rt: &Runtime,
+        store: &mut VarStore,
+        rows: usize,
+        build: F,
+    ) -> (f64, Parts)
+    where
+        F: Fn(&mut Tape, &VarStore, Range<usize>, &mut Parts) -> Var + Sync,
+    {
         if rows == 0 {
-            return 0.0;
+            return (0.0, Parts::default());
         }
+        let _step_span = targad_obs::span(&targad_obs::profile::PHASE_STEP);
         let shards = shard_count(rows);
         if self.slots.len() < shards {
             self.slots.resize_with(shards, ShardSlot::default);
@@ -104,6 +143,7 @@ impl ShardedStep {
         for slot in &mut self.slots[..shards] {
             slot.grads.reset(store);
             slot.loss = 0.0;
+            slot.parts = Parts::default();
         }
 
         {
@@ -114,19 +154,29 @@ impl ShardedStep {
                 &mut self.tapes[..workers],
                 |s, slot, tape| {
                     tape.reset();
-                    let loss = build(tape, store_ref, shard_range(rows, s));
+                    let loss = {
+                        let _span = targad_obs::span(&targad_obs::profile::PHASE_STEP_FORWARD);
+                        build(tape, store_ref, shard_range(rows, s), &mut slot.parts)
+                    };
                     slot.loss = tape.value(loss)[(0, 0)];
+                    let _span = targad_obs::span(&targad_obs::profile::PHASE_STEP_BACKWARD);
                     tape.backward_into(loss, &mut slot.grads);
                 },
             );
         }
 
+        let _reduce_span = targad_obs::span(&targad_obs::profile::PHASE_STEP_REDUCE);
+        targad_obs::metrics::SHARDS_REDUCED.add(shards as u64);
         let mut total = 0.0;
+        let mut parts = Parts::default();
         for slot in &self.slots[..shards] {
             total += slot.loss;
+            for (acc, p) in parts.iter_mut().zip(slot.parts) {
+                *acc += p;
+            }
             slot.grads.flush_into(store);
         }
-        total
+        (total, parts)
     }
 }
 

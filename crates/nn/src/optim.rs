@@ -139,6 +139,7 @@ impl Optimizer for Adam {
 pub fn clip_grad_norm(store: &mut VarStore, max_norm: f64) -> f64 {
     let norm = store.grad_norm();
     if norm > max_norm && norm > 0.0 {
+        targad_obs::metrics::CLIP_ACTIVATIONS.inc();
         store.scale_grads(max_norm / norm);
     }
     norm

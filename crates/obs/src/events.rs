@@ -1,0 +1,460 @@
+//! Typed training telemetry: the [`TrainObserver`] trait and its events.
+//!
+//! A fit emits, in order: one [`FitStartEvent`], the per-epoch autoencoder
+//! summaries ([`AeEpochEvent`]), one [`SelectionEvent`] (the candidate
+//! selection those autoencoders produced), one [`EpochEvent`] per
+//! classifier epoch, and one [`FitEndEvent`]. Events borrow from the trainer's state (weight slices,
+//! truth codes) — observers copy whatever they need to keep.
+//!
+//! The contract every emitter upholds: events are **read-only** with
+//! respect to training state. Attaching any observer — or none — produces
+//! bit-identical losses and fitted weights, because event payloads are
+//! computed from values the training loop materializes anyway.
+
+/// Per-epoch mean weight of the three true instance types hiding inside
+/// the non-target anomaly candidate set (Fig. 5a). `NaN` when a type is
+/// absent or ground truth is unavailable.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WeightMeans {
+    /// Mean weight of inaccurately-reconstructed *normal* instances.
+    pub normal: f64,
+    /// Mean weight of hidden *target* anomalies.
+    pub target: f64,
+    /// Mean weight of *non-target* anomalies.
+    pub non_target: f64,
+}
+
+/// Composition of the candidate set by ground truth (diagnostics).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CandidateComposition {
+    /// Normal instances erroneously selected.
+    pub normal: usize,
+    /// Hidden target anomalies selected.
+    pub target: usize,
+    /// Non-target anomalies selected (the intended content).
+    pub non_target: usize,
+}
+
+/// Summary statistics of the per-candidate OE weights `w(x)` (Eqs. 4–5).
+///
+/// The paper's robustness mechanism predicts the weight distribution
+/// drifts upward for genuine non-target anomalies over training;
+/// `top_q_mass` (the fraction of total weight mass held by the
+/// highest-weighted 10% of candidates) makes that drift visible as a
+/// single scalar per epoch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WeightSummary {
+    /// Number of candidate weights summarized.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Share of the total weight mass held by the top 10% (by weight) of
+    /// candidates; `NaN` when the total mass is zero.
+    pub top_q_mass: f64,
+}
+
+impl WeightSummary {
+    /// Fraction of candidates counted as the "top" of the distribution.
+    pub const TOP_Q: f64 = 0.10;
+
+    /// Summarizes `weights` (empty input yields an all-`NaN` summary).
+    pub fn from_weights(weights: &[f64]) -> Self {
+        if weights.is_empty() {
+            return Self {
+                n: 0,
+                mean: f64::NAN,
+                min: f64::NAN,
+                max: f64::NAN,
+                top_q_mass: f64::NAN,
+            };
+        }
+        let n = weights.len();
+        let sum: f64 = weights.iter().sum();
+        let min = weights.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut sorted = weights.to_vec();
+        sorted.sort_by(|a, b| b.partial_cmp(a).expect("NaN weight"));
+        let top = ((Self::TOP_Q * n as f64).ceil() as usize).clamp(1, n);
+        let top_sum: f64 = sorted[..top].iter().sum();
+        Self {
+            n,
+            mean: sum / n as f64,
+            min,
+            max,
+            top_q_mass: if sum > 0.0 { top_sum / sum } else { f64::NAN },
+        }
+    }
+}
+
+/// The additive loss decomposition of one classifier epoch:
+/// `total ≈ ce + lambda1 * oe + lambda2 * re` (Eqs. 3, 6, 7, 8), each term
+/// the epoch mean of its per-step partials. The identity holds to
+/// floating-point reassociation error (≪ 1e-12 at these magnitudes); the
+/// telemetry test suite asserts it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LossDecomposition {
+    /// Mean cross-entropy term `L_CE` over `D_L ∪ D_U^N` (Eq. 3).
+    pub ce: f64,
+    /// Mean weighted outlier-exposure term `L_OE` (Eq. 6), unscaled.
+    pub oe: f64,
+    /// Mean confidence regularizer `L_RE` (Eq. 7), unscaled.
+    pub re: f64,
+    /// Weight `λ₁` applied to `oe` in the total.
+    pub lambda1: f64,
+    /// Weight `λ₂` applied to `re` in the total.
+    pub lambda2: f64,
+    /// The optimized total `L_clf` (Eq. 8) as summed by the training loop.
+    pub total: f64,
+}
+
+impl LossDecomposition {
+    /// Recombines the terms: `ce + λ₁·oe + λ₂·re`. Differs from
+    /// [`LossDecomposition::total`] only by floating-point reassociation.
+    pub fn weighted_sum(&self) -> f64 {
+        self.ce + self.lambda1 * self.oe + self.lambda2 * self.re
+    }
+}
+
+/// Emitted once, before candidate selection.
+#[derive(Clone, Copy, Debug)]
+pub struct FitStartEvent {
+    /// Model name (`"TargAD"`).
+    pub model: &'static str,
+    /// Labeled target anomalies `|D_L|`.
+    pub n_labeled: usize,
+    /// Unlabeled instances `|D_U|`.
+    pub n_unlabeled: usize,
+    /// Feature dimensionality.
+    pub dims: usize,
+    /// Target anomaly classes `m`.
+    pub m: usize,
+    /// Configured classifier epochs.
+    pub epochs: usize,
+    /// Runtime worker count.
+    pub threads: usize,
+    /// OE loss weight `λ₁`.
+    pub lambda1: f64,
+    /// RE loss weight `λ₂`.
+    pub lambda2: f64,
+}
+
+/// Reconstruction-error distribution of one cluster autoencoder (Eq. 2).
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterReconStats {
+    /// Cluster index.
+    pub cluster: usize,
+    /// Cluster size (rows).
+    pub size: usize,
+    /// `[min, q25, median, q75, max]` of the cluster's reconstruction
+    /// errors.
+    pub quantiles: [f64; 5],
+}
+
+/// Emitted once, after candidate selection splits `D_U` into
+/// `D_U^A` / `D_U^N`.
+#[derive(Clone, Copy, Debug)]
+pub struct SelectionEvent<'a> {
+    /// Number of clusters used.
+    pub k: usize,
+    /// `|D_U^A|` — non-target anomaly candidates.
+    pub n_anomaly: usize,
+    /// `|D_U^N|` — normal candidates.
+    pub n_normal: usize,
+    /// Smallest reconstruction error admitted into `D_U^A` (the effective
+    /// Eq. 2 threshold).
+    pub threshold: f64,
+    /// Per-cluster reconstruction-error quantiles.
+    pub clusters: &'a [ClusterReconStats],
+    /// Ground-truth composition of `D_U^A`; `None` without truth labels.
+    pub composition: Option<CandidateComposition>,
+}
+
+/// Emitted once per autoencoder pretraining epoch (cluster-mean Eq. 1
+/// loss).
+#[derive(Clone, Copy, Debug)]
+pub struct AeEpochEvent {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Eq. 1 loss averaged over all cluster autoencoders.
+    pub mean_loss: f64,
+}
+
+/// Emitted once per classifier epoch.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochEvent<'a> {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Optimizer steps taken this epoch.
+    pub steps: usize,
+    /// Additive loss decomposition of the epoch mean.
+    pub loss: LossDecomposition,
+    /// Summary of the per-candidate OE weights used this epoch.
+    pub oe_weights: WeightSummary,
+    /// The OE weights themselves (one per candidate, Eqs. 4–5).
+    pub weights: &'a [f64],
+    /// The Eq. 4 inputs `ε(x) = max_j p_j(x)` the weights were derived
+    /// from; `None` at epoch 0 (Eq. 5 bootstrap) or when weight updating
+    /// is disabled.
+    pub eps: Option<&'a [f64]>,
+    /// Mean weight per true candidate type (`NaN`s without ground truth).
+    pub weight_means: WeightMeans,
+    /// Candidates whose §III-C normality verdict flipped vs. the previous
+    /// epoch (`D_U^A` ↔ `D_U^N` churn proxy); `None` when no classifier
+    /// probabilities were computed this epoch.
+    pub candidate_flips: Option<usize>,
+    /// Optimizer steps whose pre-clip gradient norm exceeded the clip
+    /// threshold this epoch.
+    pub clip_activations: usize,
+    /// The gradient-clip threshold in force.
+    pub grad_clip: f64,
+}
+
+/// Emitted once, after the last classifier epoch.
+#[derive(Clone, Copy, Debug)]
+pub struct FitEndEvent<'a> {
+    /// Classifier epochs completed.
+    pub epochs: usize,
+    /// Final per-candidate OE weights.
+    pub final_weights: &'a [f64],
+    /// True three-way code per candidate (0 normal / 1 target /
+    /// 2 non-target); `None` without ground truth.
+    pub truth_codes: Option<&'a [usize]>,
+    /// Wall-clock duration of the whole fit, nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// A non-fatal anomaly in the telemetry or configuration path.
+#[derive(Clone, Copy, Debug)]
+pub struct WarningEvent<'a> {
+    /// Stable machine-readable code.
+    pub code: &'static str,
+    /// Human-readable context.
+    pub message: &'a str,
+}
+
+/// Receiver of structured training telemetry.
+///
+/// All methods default to no-ops, so observers implement only what they
+/// consume. Implementations must treat events as read-only diagnostics;
+/// the emitting trainer guarantees bit-identical training with any (or
+/// no) observer attached.
+pub trait TrainObserver {
+    /// Fit is starting; dataset shape and configuration.
+    fn on_fit_start(&mut self, _e: &FitStartEvent) {}
+    /// Candidate selection finished.
+    fn on_selection(&mut self, _e: &SelectionEvent<'_>) {}
+    /// One autoencoder pretraining epoch finished.
+    fn on_ae_epoch(&mut self, _e: &AeEpochEvent) {}
+    /// One classifier epoch finished.
+    fn on_epoch(&mut self, _e: &EpochEvent<'_>) {}
+    /// Fit finished successfully.
+    fn on_fit_end(&mut self, _e: &FitEndEvent<'_>) {}
+    /// A non-fatal warning occurred.
+    fn on_warning(&mut self, _e: &WarningEvent<'_>) {}
+}
+
+/// The do-nothing observer (telemetry-off fits).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullObserver;
+
+impl TrainObserver for NullObserver {}
+
+/// Fans every event out to two observers, in order. Chain for more.
+pub struct Tee<'a>(pub &'a mut dyn TrainObserver, pub &'a mut dyn TrainObserver);
+
+impl TrainObserver for Tee<'_> {
+    fn on_fit_start(&mut self, e: &FitStartEvent) {
+        self.0.on_fit_start(e);
+        self.1.on_fit_start(e);
+    }
+    fn on_selection(&mut self, e: &SelectionEvent<'_>) {
+        self.0.on_selection(e);
+        self.1.on_selection(e);
+    }
+    fn on_ae_epoch(&mut self, e: &AeEpochEvent) {
+        self.0.on_ae_epoch(e);
+        self.1.on_ae_epoch(e);
+    }
+    fn on_epoch(&mut self, e: &EpochEvent<'_>) {
+        self.0.on_epoch(e);
+        self.1.on_epoch(e);
+    }
+    fn on_fit_end(&mut self, e: &FitEndEvent<'_>) {
+        self.0.on_fit_end(e);
+        self.1.on_fit_end(e);
+    }
+    fn on_warning(&mut self, e: &WarningEvent<'_>) {
+        self.0.on_warning(e);
+        self.1.on_warning(e);
+    }
+}
+
+/// An owned copy of one [`EpochEvent`] (see [`Recorder`]).
+#[derive(Clone, Debug)]
+pub struct EpochRecord {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Optimizer steps taken.
+    pub steps: usize,
+    /// Loss decomposition.
+    pub loss: LossDecomposition,
+    /// OE-weight summary.
+    pub oe_weights: WeightSummary,
+    /// The OE weights.
+    pub weights: Vec<f64>,
+    /// Eq. 4 inputs, when computed.
+    pub eps: Option<Vec<f64>>,
+    /// Per-truth-type weight means.
+    pub weight_means: WeightMeans,
+    /// Normality-verdict flips.
+    pub candidate_flips: Option<usize>,
+    /// Clip activations.
+    pub clip_activations: usize,
+}
+
+/// An observer that stores owned copies of everything it receives — the
+/// workhorse for tests and report generation.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    /// The fit-start event, if received.
+    pub fit_start: Option<FitStartEvent>,
+    /// Selection summary: `(k, n_anomaly, n_normal, threshold)`.
+    pub selection: Option<(usize, usize, usize, f64)>,
+    /// Per-cluster reconstruction stats.
+    pub clusters: Vec<ClusterReconStats>,
+    /// Candidate composition, when ground truth was available.
+    pub composition: Option<CandidateComposition>,
+    /// Mean AE loss per pretraining epoch.
+    pub ae_loss: Vec<f64>,
+    /// One record per classifier epoch.
+    pub epochs: Vec<EpochRecord>,
+    /// Final OE weights.
+    pub final_weights: Vec<f64>,
+    /// Truth codes, when available.
+    pub truth_codes: Option<Vec<usize>>,
+    /// Fit wall time in nanoseconds.
+    pub wall_ns: u64,
+    /// Warnings received.
+    pub warnings: Vec<(&'static str, String)>,
+}
+
+impl Recorder {
+    /// A fresh, empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TrainObserver for Recorder {
+    fn on_fit_start(&mut self, e: &FitStartEvent) {
+        self.fit_start = Some(*e);
+    }
+
+    fn on_selection(&mut self, e: &SelectionEvent<'_>) {
+        self.selection = Some((e.k, e.n_anomaly, e.n_normal, e.threshold));
+        self.clusters = e.clusters.to_vec();
+        self.composition = e.composition;
+    }
+
+    fn on_ae_epoch(&mut self, e: &AeEpochEvent) {
+        self.ae_loss.push(e.mean_loss);
+    }
+
+    fn on_epoch(&mut self, e: &EpochEvent<'_>) {
+        self.epochs.push(EpochRecord {
+            epoch: e.epoch,
+            steps: e.steps,
+            loss: e.loss,
+            oe_weights: e.oe_weights,
+            weights: e.weights.to_vec(),
+            eps: e.eps.map(<[f64]>::to_vec),
+            weight_means: e.weight_means,
+            candidate_flips: e.candidate_flips,
+            clip_activations: e.clip_activations,
+        });
+    }
+
+    fn on_fit_end(&mut self, e: &FitEndEvent<'_>) {
+        self.final_weights = e.final_weights.to_vec();
+        self.truth_codes = e.truth_codes.map(<[usize]>::to_vec);
+        self.wall_ns = e.wall_ns;
+    }
+
+    fn on_warning(&mut self, e: &WarningEvent<'_>) {
+        self.warnings.push((e.code, e.message.to_string()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_summary_basics() {
+        let s = WeightSummary::from_weights(&[0.0, 0.5, 1.0, 0.5]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 0.5).abs() < 1e-15);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 1.0);
+        // top 10% of 4 weights = the single largest (1.0) over total 2.0.
+        assert!((s.top_q_mass - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn weight_summary_empty_is_nan() {
+        let s = WeightSummary::from_weights(&[]);
+        assert_eq!(s.n, 0);
+        assert!(s.mean.is_nan() && s.min.is_nan() && s.max.is_nan());
+    }
+
+    #[test]
+    fn loss_decomposition_recombines() {
+        let d = LossDecomposition {
+            ce: 1.0,
+            oe: 0.5,
+            re: 0.25,
+            lambda1: 2.0,
+            lambda2: 4.0,
+            total: 3.0,
+        };
+        assert_eq!(d.weighted_sum(), 3.0);
+    }
+
+    #[test]
+    fn recorder_stores_epochs_and_tee_fans_out() {
+        let weights = [0.25, 0.75];
+        let e = EpochEvent {
+            epoch: 0,
+            steps: 3,
+            loss: LossDecomposition::default(),
+            oe_weights: WeightSummary::from_weights(&weights),
+            weights: &weights,
+            eps: None,
+            weight_means: WeightMeans::default(),
+            candidate_flips: Some(1),
+            clip_activations: 2,
+            grad_clip: 5.0,
+        };
+        let mut a = Recorder::new();
+        let mut b = Recorder::new();
+        let mut tee = Tee(&mut a, &mut b);
+        tee.on_epoch(&e);
+        tee.on_fit_end(&FitEndEvent {
+            epochs: 1,
+            final_weights: &weights,
+            truth_codes: Some(&[2, 0]),
+            wall_ns: 42,
+        });
+        for r in [&a, &b] {
+            assert_eq!(r.epochs.len(), 1);
+            assert_eq!(r.epochs[0].weights, vec![0.25, 0.75]);
+            assert_eq!(r.final_weights, vec![0.25, 0.75]);
+            assert_eq!(r.truth_codes.as_deref(), Some(&[2usize, 0][..]));
+            assert_eq!(r.wall_ns, 42);
+        }
+    }
+}

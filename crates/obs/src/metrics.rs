@@ -1,0 +1,397 @@
+//! The lock-free metrics registry.
+//!
+//! Every metric is a `static` declared in this module, so the registry is
+//! fixed at compile time: no registration step, no locks, no allocation —
+//! ever, on any path. Incrementing costs one relaxed atomic load (the
+//! enablement gate) plus, when enabled, one relaxed `fetch_add`. Without
+//! the crate's `telemetry` feature the bodies compile away entirely.
+//!
+//! [`snapshot`] walks the fixed metric lists into owned name/value pairs
+//! for reporting; [`reset_all`] zeroes everything (bench/test isolation).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event count.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A named counter starting at zero.
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// The metric's dot-path name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds one when telemetry is enabled.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` when telemetry is enabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(feature = "telemetry")]
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = n;
+    }
+
+    /// Adds one regardless of the enablement gate (warning paths).
+    #[inline]
+    pub(crate) fn force_inc(&self) {
+        #[cfg(feature = "telemetry")]
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-written value (worker counts, sizes). Stored as `u64`.
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A named gauge starting at zero.
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// The metric's dot-path name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Overwrites the value when telemetry is enabled.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        #[cfg(feature = "telemetry")]
+        if crate::enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = v;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of histogram buckets. Bucket `i` counts samples in
+/// `[4^i, 4^(i+1))` of the recorded unit (nanoseconds for the `_ns`
+/// metrics); the last bucket is unbounded above.
+pub const HISTOGRAM_BUCKETS: usize = 16;
+
+/// A fixed-bucket log-scale histogram (power-of-4 bucket edges).
+///
+/// The fixed layout keeps recording allocation-free: bucket selection is a
+/// leading-zeros computation and one atomic add.
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// A named histogram with empty buckets.
+    pub const fn new(name: &'static str) -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Self {
+            name,
+            buckets: [ZERO; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The metric's dot-path name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Bucket index of `value`: `floor(log4(value))`, clamped to the range.
+    #[inline]
+    #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+    fn bucket_of(value: u64) -> usize {
+        let bits = 64 - value.leading_zeros() as usize; // 0 for value == 0
+        (bits.saturating_sub(1) / 2).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Records one sample when telemetry is enabled.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        #[cfg(feature = "telemetry")]
+        if crate::enabled() {
+            self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(value, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = value;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket sample counts.
+    pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Resets all buckets and totals to zero.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The registry: every well-known metric in the workspace.
+
+/// Blocked-GEMM driver dispatches (packed path).
+pub static GEMM_KERNEL_DISPATCHES: Counter = Counter::new("gemm.kernel_dispatches");
+/// Small-problem GEMM dispatches (naive path below the FLOP threshold).
+pub static GEMM_NAIVE_DISPATCHES: Counter = Counter::new("gemm.naive_dispatches");
+/// Multi-worker jobs dispatched through the runtime pool.
+pub static POOL_JOBS: Counter = Counter::new("pool.jobs");
+/// Parallel requests that ran inline because the pool was busy or too small.
+pub static POOL_INLINE_RUNS: Counter = Counter::new("pool.inline_runs");
+/// Tape buffer-pool takes served from the free list.
+pub static TAPE_POOL_HITS: Counter = Counter::new("tape.pool_hits");
+/// Tape buffer-pool takes that had to allocate (warm-up only, in steady
+/// state this stays flat).
+pub static TAPE_POOL_MISSES: Counter = Counter::new("tape.pool_misses");
+/// Gradient shards reduced (in ascending shard order) by `ShardedStep`.
+pub static SHARDS_REDUCED: Counter = Counter::new("shards.reduced");
+/// Optimizer steps whose gradient norm exceeded the clip threshold.
+pub static CLIP_ACTIVATIONS: Counter = Counter::new("optim.clip_activations");
+/// Training epochs observed across all models (TargAD + baselines).
+pub static TRAIN_EPOCHS: Counter = Counter::new("train.epochs");
+/// Warnings emitted via [`crate::warn`].
+pub static OBS_WARNINGS: Counter = Counter::new("obs.warnings");
+
+/// Worker count of the most recent multi-worker pool dispatch.
+pub static POOL_WORKERS: Gauge = Gauge::new("pool.workers");
+
+/// Time the dispatching thread spent waiting for pool workers to finish a
+/// round after completing its own share, in nanoseconds.
+pub static POOL_QUEUE_WAIT_NS: Histogram = Histogram::new("pool.queue_wait_ns");
+
+/// All registered counters, in reporting order.
+pub static COUNTERS: &[&Counter] = &[
+    &GEMM_KERNEL_DISPATCHES,
+    &GEMM_NAIVE_DISPATCHES,
+    &POOL_JOBS,
+    &POOL_INLINE_RUNS,
+    &TAPE_POOL_HITS,
+    &TAPE_POOL_MISSES,
+    &SHARDS_REDUCED,
+    &CLIP_ACTIVATIONS,
+    &TRAIN_EPOCHS,
+    &OBS_WARNINGS,
+];
+
+/// All registered gauges, in reporting order.
+pub static GAUGES: &[&Gauge] = &[&POOL_WORKERS];
+
+/// All registered histograms, in reporting order.
+pub static HISTOGRAMS: &[&Histogram] = &[&POOL_QUEUE_WAIT_NS];
+
+/// One metric's current value in a [`snapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(u64),
+    /// Histogram totals and buckets.
+    Histogram {
+        /// Total samples.
+        count: u64,
+        /// Sum of samples.
+        sum: u64,
+        /// Per-bucket counts.
+        buckets: [u64; HISTOGRAM_BUCKETS],
+    },
+}
+
+/// Current values of every registered metric, in registry order.
+pub fn snapshot() -> Vec<(&'static str, MetricValue)> {
+    let mut out = Vec::with_capacity(COUNTERS.len() + GAUGES.len() + HISTOGRAMS.len());
+    for c in COUNTERS {
+        out.push((c.name(), MetricValue::Counter(c.get())));
+    }
+    for g in GAUGES {
+        out.push((g.name(), MetricValue::Gauge(g.get())));
+    }
+    for h in HISTOGRAMS {
+        out.push((
+            h.name(),
+            MetricValue::Histogram {
+                count: h.count(),
+                sum: h.sum(),
+                buckets: h.buckets(),
+            },
+        ));
+    }
+    out
+}
+
+/// Resets every registered metric to zero.
+pub fn reset_all() {
+    for c in COUNTERS {
+        c.reset();
+    }
+    for g in GAUGES {
+        g.reset();
+    }
+    for h in HISTOGRAMS {
+        h.reset();
+    }
+}
+
+/// The metrics snapshot as a JSON object string.
+pub fn snapshot_json() -> String {
+    let mut out = String::from("{");
+    for (i, (name, value)) in snapshot().into_iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        match value {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                out.push_str(&format!("\"{name}\": {v}"));
+            }
+            MetricValue::Histogram {
+                count,
+                sum,
+                buckets,
+            } => {
+                let b: Vec<String> = buckets.iter().map(u64::to_string).collect();
+                out.push_str(&format!(
+                    "\"{name}\": {{\"count\": {count}, \"sum\": {sum}, \"buckets\": [{}]}}",
+                    b.join(", ")
+                ));
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(feature = "telemetry")]
+    fn counter_respects_gate() {
+        let _g = crate::test_guard();
+        static C: Counter = Counter::new("test.counter");
+        crate::set_enabled(false);
+        C.inc();
+        assert_eq!(C.get(), 0);
+        crate::set_enabled(true);
+        C.inc();
+        C.add(4);
+        assert_eq!(C.get(), 5);
+        C.reset();
+        assert_eq!(C.get(), 0);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    #[cfg(feature = "telemetry")]
+    fn gauge_set_and_reset() {
+        let _g = crate::test_guard();
+        static G: Gauge = Gauge::new("test.gauge");
+        crate::set_enabled(true);
+        G.set(17);
+        assert_eq!(G.get(), 17);
+        G.reset();
+        assert_eq!(G.get(), 0);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn histogram_bucket_edges() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(3), 0);
+        assert_eq!(Histogram::bucket_of(4), 1);
+        assert_eq!(Histogram::bucket_of(15), 1);
+        assert_eq!(Histogram::bucket_of(16), 2);
+        assert_eq!(Histogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    #[cfg(feature = "telemetry")]
+    fn histogram_records_and_resets() {
+        let _g = crate::test_guard();
+        static H: Histogram = Histogram::new("test.histogram");
+        crate::set_enabled(true);
+        H.record(1);
+        H.record(5);
+        H.record(5);
+        assert_eq!(H.count(), 3);
+        assert_eq!(H.sum(), 11);
+        let b = H.buckets();
+        assert_eq!(b[0], 1);
+        assert_eq!(b[1], 2);
+        H.reset();
+        assert_eq!(H.count(), 0);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn snapshot_covers_registry() {
+        let snap = snapshot();
+        assert_eq!(snap.len(), COUNTERS.len() + GAUGES.len() + HISTOGRAMS.len());
+        assert!(snap.iter().any(|(n, _)| *n == "gemm.kernel_dispatches"));
+        let json = snapshot_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"pool.jobs\""));
+    }
+}

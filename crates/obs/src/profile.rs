@@ -1,0 +1,274 @@
+//! The phase profiler: scoped span timers over a fixed dot-path tree.
+//!
+//! Like the metrics registry, the set of phases is a compile-time list of
+//! statics, so recording a span is allocation-free: an `Instant::now` pair
+//! and two relaxed atomic adds (nothing at all when telemetry is
+//! disabled). The dot-separated paths (`fit.select.ae`, `step.backward`)
+//! define a deterministic tree — structure fixed by the code, only the
+//! aggregated durations vary — rendered by [`render_tree`] or exported by
+//! [`tree_json`].
+//!
+//! Spans may be entered concurrently from pool workers (the
+//! `step.forward` / `step.backward` spans run on every worker); each
+//! completion is a single atomic accumulation, so aggregation is
+//! race-free and the reported totals are *CPU* time summed across
+//! workers, not wall-clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Aggregated timings of one named phase.
+pub struct PhaseTimer {
+    path: &'static str,
+    total_ns: AtomicU64,
+    count: AtomicU64,
+}
+
+impl PhaseTimer {
+    /// A phase identified by a dot-separated path.
+    pub const fn new(path: &'static str) -> Self {
+        Self {
+            path,
+            total_ns: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// The phase's dot-path.
+    pub fn path(&self) -> &'static str {
+        self.path
+    }
+
+    /// Adds one completed span of `ns` nanoseconds.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accumulated nanoseconds across all spans.
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns.load(Ordering::Relaxed)
+    }
+
+    /// Number of completed spans.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Resets the accumulated time and count.
+    pub fn reset(&self) {
+        self.total_ns.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An in-flight span; records into its timer on drop. Obtained from
+/// [`span`]; holds no start time (and records nothing) when telemetry is
+/// disabled.
+pub struct SpanGuard<'a> {
+    timer: &'a PhaseTimer,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.timer.record_ns(ns);
+        }
+    }
+}
+
+/// Opens a span on `timer`; the elapsed time is recorded when the returned
+/// guard drops. When telemetry is disabled this is a no-op guard (no clock
+/// read, no atomics).
+#[inline]
+pub fn span(timer: &PhaseTimer) -> SpanGuard<'_> {
+    SpanGuard {
+        timer,
+        start: crate::enabled().then(Instant::now),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The fixed phase registry.
+
+/// Whole `TargAd::fit` run.
+pub static PHASE_FIT: PhaseTimer = PhaseTimer::new("fit");
+/// Candidate selection (Lines 1–7 of Algorithm 1).
+pub static PHASE_SELECT: PhaseTimer = PhaseTimer::new("fit.select");
+/// k-means clustering (plus the elbow sweep when `k` is unset).
+pub static PHASE_SELECT_KMEANS: PhaseTimer = PhaseTimer::new("fit.select.kmeans");
+/// Per-cluster autoencoder training (Eq. 1).
+pub static PHASE_SELECT_AE: PhaseTimer = PhaseTimer::new("fit.select.ae");
+/// Reconstruction-error scoring and the top-α% ranking (Eq. 2).
+pub static PHASE_SELECT_RANK: PhaseTimer = PhaseTimer::new("fit.select.rank");
+/// Classifier training (Lines 8–16).
+pub static PHASE_CLF: PhaseTimer = PhaseTimer::new("fit.clf");
+/// One classifier epoch.
+pub static PHASE_CLF_EPOCH: PhaseTimer = PhaseTimer::new("fit.clf.epoch");
+/// One whole `ShardedStep` gradient accumulation (all shards).
+pub static PHASE_STEP: PhaseTimer = PhaseTimer::new("step");
+/// Shard forward-graph construction inside `ShardedStep` (any model).
+pub static PHASE_STEP_FORWARD: PhaseTimer = PhaseTimer::new("step.forward");
+/// Shard backward pass inside `ShardedStep`.
+pub static PHASE_STEP_BACKWARD: PhaseTimer = PhaseTimer::new("step.backward");
+/// Fixed-order gradient reduction inside `ShardedStep`.
+pub static PHASE_STEP_REDUCE: PhaseTimer = PhaseTimer::new("step.reduce");
+/// Gradient clip + optimizer apply (core training loops).
+pub static PHASE_STEP_APPLY: PhaseTimer = PhaseTimer::new("step.apply");
+
+/// Every phase, in registry (= deterministic reporting) order. Parents
+/// precede children.
+pub static PHASES: &[&PhaseTimer] = &[
+    &PHASE_FIT,
+    &PHASE_SELECT,
+    &PHASE_SELECT_KMEANS,
+    &PHASE_SELECT_AE,
+    &PHASE_SELECT_RANK,
+    &PHASE_CLF,
+    &PHASE_CLF_EPOCH,
+    &PHASE_STEP,
+    &PHASE_STEP_FORWARD,
+    &PHASE_STEP_BACKWARD,
+    &PHASE_STEP_REDUCE,
+    &PHASE_STEP_APPLY,
+];
+
+/// Resets every registered phase timer.
+pub fn reset_all() {
+    for p in PHASES {
+        p.reset();
+    }
+}
+
+/// One node of the aggregated phase tree.
+#[derive(Clone, Debug)]
+pub struct PhaseNode {
+    /// Full dot-path, e.g. `fit.select.ae`.
+    pub path: &'static str,
+    /// Accumulated nanoseconds (summed across workers for shared spans).
+    pub total_ns: u64,
+    /// Completed span count.
+    pub count: u64,
+    /// Nesting depth (number of dots in the path).
+    pub depth: usize,
+}
+
+/// The current phase aggregates as a flat pre-order list (parents before
+/// children — the registry order), skipping phases that never ran.
+pub fn tree() -> Vec<PhaseNode> {
+    PHASES
+        .iter()
+        .filter(|p| p.count() > 0)
+        .map(|p| PhaseNode {
+            path: p.path(),
+            total_ns: p.total_ns(),
+            count: p.count(),
+            depth: p.path().matches('.').count(),
+        })
+        .collect()
+}
+
+/// Renders the phase tree as an indented human-readable summary:
+///
+/// ```text
+/// fit                 1x   412.3 ms
+///   select            1x   198.7 ms
+///     ae              4x   180.2 ms
+/// ```
+pub fn render_tree() -> String {
+    let nodes = tree();
+    if nodes.is_empty() {
+        return String::from("(no phases recorded)\n");
+    }
+    let name_width = nodes
+        .iter()
+        .map(|n| 2 * n.depth + n.path.rsplit('.').next().unwrap_or(n.path).len())
+        .max()
+        .unwrap_or(0)
+        .max(8);
+    let mut out = String::from("phase tree (CPU time, summed across workers):\n");
+    for n in &nodes {
+        let leaf = n.path.rsplit('.').next().unwrap_or(n.path);
+        let label = format!("{}{}", "  ".repeat(n.depth), leaf);
+        let ms = n.total_ns as f64 / 1e6;
+        out.push_str(&format!(
+            "  {label:<name_width$}  {:>8}x  {ms:>10.3} ms\n",
+            n.count
+        ));
+    }
+    out
+}
+
+/// The phase tree as a JSON array string (pre-order, deterministic).
+pub fn tree_json() -> String {
+    let mut out = String::from("[");
+    for (i, n) in tree().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"path\": \"{}\", \"count\": {}, \"total_ns\": {}}}",
+            n.path, n.count, n.total_ns
+        ));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(feature = "telemetry")]
+    fn span_records_only_when_enabled() {
+        let _g = crate::test_guard();
+        static T: PhaseTimer = PhaseTimer::new("test.span");
+        crate::set_enabled(false);
+        drop(span(&T));
+        assert_eq!(T.count(), 0);
+        crate::set_enabled(true);
+        drop(span(&T));
+        assert_eq!(T.count(), 1);
+        T.reset();
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    #[cfg(feature = "telemetry")]
+    fn tree_skips_idle_phases_and_orders_parents_first() {
+        let _g = crate::test_guard();
+        reset_all();
+        crate::set_enabled(true);
+        drop(span(&PHASE_FIT));
+        drop(span(&PHASE_SELECT));
+        crate::set_enabled(false);
+        let t = tree();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].path, "fit");
+        assert_eq!(t[1].path, "fit.select");
+        assert_eq!(t[1].depth, 1);
+        let rendered = render_tree();
+        assert!(rendered.contains("fit"));
+        assert!(rendered.contains("select"));
+        let json = tree_json();
+        assert!(json.contains("\"path\": \"fit.select\""));
+        reset_all();
+    }
+
+    #[test]
+    fn phase_paths_nest_under_registered_parents() {
+        for p in PHASES {
+            if let Some((parent, _)) = p.path().rsplit_once('.') {
+                assert!(
+                    PHASES.iter().any(|q| q.path() == parent),
+                    "phase {} has unregistered parent {parent}",
+                    p.path()
+                );
+            }
+        }
+    }
+}

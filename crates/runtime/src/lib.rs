@@ -104,12 +104,36 @@ impl Runtime {
     /// A runtime sized from the environment: the `TARGAD_THREADS` variable
     /// if set to a positive integer, otherwise the machine's available
     /// parallelism, otherwise 1.
+    ///
+    /// A *set but malformed* value (`0`, empty, non-numeric) is a
+    /// misconfiguration, not an absence: it emits a
+    /// `runtime.threads_invalid` warning through `targad-obs` and falls
+    /// back to the serial runtime rather than silently grabbing every
+    /// core.
     pub fn from_env() -> Self {
-        let from_var = std::env::var(THREADS_ENV)
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0);
-        let threads = from_var.unwrap_or_else(pool::host_workers);
+        let threads = match std::env::var(THREADS_ENV) {
+            Ok(raw) => match raw.trim().parse::<usize>() {
+                Ok(n) if n > 0 => n,
+                _ => {
+                    targad_obs::warn(
+                        "runtime.threads_invalid",
+                        format!(
+                            "{THREADS_ENV}={raw:?} is not a positive integer; \
+                             falling back to 1 worker (serial)"
+                        ),
+                    );
+                    1
+                }
+            },
+            Err(std::env::VarError::NotUnicode(_)) => {
+                targad_obs::warn(
+                    "runtime.threads_invalid",
+                    format!("{THREADS_ENV} is not valid unicode; falling back to 1 worker"),
+                );
+                1
+            }
+            Err(std::env::VarError::NotPresent) => pool::host_workers(),
+        };
         Self { threads }
     }
 
@@ -389,6 +413,38 @@ mod tests {
     #[test]
     fn from_env_is_at_least_one() {
         assert!(Runtime::from_env().threads() >= 1);
+    }
+
+    /// One test covers all malformed values sequentially: env vars are
+    /// process-global, so splitting these into separate test fns would
+    /// race. The co-resident `from_env_is_at_least_one` holds under every
+    /// value this test sets.
+    #[test]
+    fn from_env_rejects_malformed_values_with_a_warning() {
+        let drain_codes = || {
+            targad_obs::take_warnings()
+                .into_iter()
+                .map(|w| w.code)
+                .collect::<Vec<_>>()
+        };
+        drain_codes();
+        for bad in ["0", "", "  ", "abc", "-3", "4.5"] {
+            std::env::set_var(THREADS_ENV, bad);
+            let rt = Runtime::from_env();
+            assert_eq!(rt.threads(), 1, "value {bad:?} must fall back to serial");
+            assert!(
+                drain_codes().contains(&"runtime.threads_invalid"),
+                "value {bad:?} must emit runtime.threads_invalid"
+            );
+        }
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(Runtime::from_env().threads(), 3);
+        std::env::remove_var(THREADS_ENV);
+        assert_eq!(Runtime::from_env().threads(), pool::host_workers());
+        assert!(
+            !drain_codes().contains(&"runtime.threads_invalid"),
+            "valid and unset values must not warn"
+        );
     }
 
     #[test]

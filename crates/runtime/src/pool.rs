@@ -127,6 +127,7 @@ impl Pool {
             Ok(g) => g,
             Err(TryLockError::Poisoned(p)) => p.into_inner(),
             Err(TryLockError::WouldBlock) => {
+                targad_obs::metrics::POOL_INLINE_RUNS.inc();
                 for w in 0..workers {
                     f(w);
                 }
@@ -134,11 +135,14 @@ impl Pool {
             }
         };
         if workers > self.max_workers() {
+            targad_obs::metrics::POOL_INLINE_RUNS.inc();
             for w in 0..workers {
                 f(w);
             }
             return;
         }
+        targad_obs::metrics::POOL_JOBS.inc();
+        targad_obs::metrics::POOL_WORKERS.set(workers as u64);
 
         // SAFETY: erasing the borrow's lifetime is sound because this
         // function blocks until `active == 0`, i.e. until no worker can
@@ -161,6 +165,10 @@ impl Pool {
 
         let own = catch_unwind(AssertUnwindSafe(|| f(0)));
 
+        // Time the dispatcher's wait for stragglers (its own share is
+        // done): the `pool.queue_wait_ns` histogram shows how well work is
+        // balanced across workers. Clock reads only when telemetry is on.
+        let wait_start = targad_obs::enabled().then(std::time::Instant::now);
         let worker_panicked = {
             let mut slot = lock(&self.shared.slot);
             while slot.active > 0 {
@@ -173,6 +181,10 @@ impl Pool {
             slot.job = None;
             std::mem::replace(&mut slot.panicked, false)
         };
+        if let Some(start) = wait_start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            targad_obs::metrics::POOL_QUEUE_WAIT_NS.record(ns);
+        }
         if let Err(payload) = own {
             resume_unwind(payload);
         }
