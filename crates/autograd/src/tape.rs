@@ -11,7 +11,7 @@
 
 use crate::store::{GradSet, ParamId, VarStore};
 use std::collections::HashMap;
-use targad_linalg::Matrix;
+use targad_linalg::{stable_sigmoid, Matrix};
 
 /// Handle to a node on a [`Tape`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -712,16 +712,6 @@ fn accumulate(grads: &mut [Option<Matrix>], pool: &mut Pool, idx: usize, delta: 
             pool.put(delta);
         }
         slot @ None => *slot = Some(delta),
-    }
-}
-
-/// Overflow-safe logistic sigmoid.
-fn stable_sigmoid(x: f64) -> f64 {
-    if x >= 0.0 {
-        1.0 / (1.0 + (-x).exp())
-    } else {
-        let e = x.exp();
-        e / (1.0 + e)
     }
 }
 

@@ -13,9 +13,9 @@
 
 use targad_autograd::VarStore;
 use targad_cluster::{KMeans, KMeansConfig};
-use targad_linalg::{rng as lrng, stats, Matrix};
+use targad_linalg::{rng as lrng, stable_sigmoid, stats, Matrix};
 use targad_nn::optim::clip_grad_norm;
-use targad_nn::{shuffled_batches, Activation, Adam, Mlp, Optimizer, ShardedStep};
+use targad_nn::{shuffled_batches, Activation, Adam, EngineCell, Mlp, Optimizer, ShardedStep};
 use targad_runtime::Runtime;
 
 use crate::common::{observe_epoch, sq_dist};
@@ -40,6 +40,9 @@ pub struct Adoa {
     pub batch: usize,
     runtime: Runtime,
     fitted: Option<Fitted>,
+    /// Pooled inference engine shared by every scoring call (and every
+    /// per-epoch probe trace) of this detector.
+    engine: EngineCell,
 }
 
 struct Fitted {
@@ -59,6 +62,7 @@ impl Default for Adoa {
             batch: 64,
             runtime: Runtime::from_env(),
             fitted: None,
+            engine: EngineCell::new(),
         }
     }
 }
@@ -69,6 +73,18 @@ impl Adoa {
     pub fn with_runtime(mut self, runtime: Runtime) -> Self {
         self.runtime = runtime;
         self
+    }
+
+    /// Reference (unfused `Mlp::eval`) scoring path, kept as the
+    /// implementation the engine-backed [`Detector::score`] is
+    /// exact-equality tested against.
+    #[doc(hidden)]
+    pub fn score_reference(&self, x: &Matrix) -> Vec<f64> {
+        let f = self.fitted.as_ref().expect("ADOA: score before fit");
+        let logits = f.clf.eval(&f.store, x);
+        (0..logits.rows())
+            .map(|r| stable_sigmoid(logits[(r, 0)]))
+            .collect()
     }
 }
 
@@ -196,10 +212,11 @@ impl Detector for Adoa {
 
     fn score(&self, x: &Matrix) -> Vec<f64> {
         let f = self.fitted.as_ref().expect("ADOA: score before fit");
-        let logits = f.clf.eval(&f.store, x);
-        (0..logits.rows())
-            .map(|r| stable_sigmoid(logits[(r, 0)]))
-            .collect()
+        self.engine.with(|e| {
+            e.score(&[(&f.clf, &f.store)], x, &self.runtime, |_, row| {
+                stable_sigmoid(row[0])
+            })
+        })
     }
 }
 
@@ -207,15 +224,6 @@ fn normalize(v: &[f64]) -> Vec<f64> {
     let lo = stats::min(v);
     let hi = stats::max(v);
     v.iter().map(|&x| stats::min_max_scale(x, lo, hi)).collect()
-}
-
-fn stable_sigmoid(x: f64) -> f64 {
-    if x >= 0.0 {
-        1.0 / (1.0 + (-x).exp())
-    } else {
-        let e = x.exp();
-        e / (1.0 + e)
-    }
 }
 
 #[cfg(test)]

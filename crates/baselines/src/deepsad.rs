@@ -13,7 +13,7 @@
 use targad_autograd::VarStore;
 use targad_linalg::{rng as lrng, Matrix};
 use targad_nn::optim::clip_grad_norm;
-use targad_nn::{shuffled_batches, Adam, AutoEncoder, Mlp, Optimizer, ShardedStep};
+use targad_nn::{shuffled_batches, Adam, AutoEncoder, EngineCell, Mlp, Optimizer, ShardedStep};
 use targad_runtime::Runtime;
 
 use crate::common::{mean_row, observe_epoch};
@@ -35,6 +35,9 @@ pub struct DeepSad {
     pub embed_dim: usize,
     runtime: Runtime,
     fitted: Option<Fitted>,
+    /// Pooled inference engine shared by every scoring call (and every
+    /// per-epoch probe trace) of this detector.
+    engine: EngineCell,
 }
 
 struct Fitted {
@@ -54,6 +57,7 @@ impl Default for DeepSad {
             embed_dim: 16,
             runtime: Runtime::from_env(),
             fitted: None,
+            engine: EngineCell::new(),
         }
     }
 }
@@ -67,6 +71,20 @@ impl DeepSad {
     }
 
     fn sq_dists_to_center(&self, x: &Matrix) -> Vec<f64> {
+        let f = self.fitted.as_ref().expect("DeepSAD: score before fit");
+        let center = &f.center;
+        self.engine.with(|e| {
+            e.score(&[(&f.encoder, &f.store)], x, &self.runtime, |_, z| {
+                z.iter().zip(center).map(|(&a, &b)| (a - b) * (a - b)).sum()
+            })
+        })
+    }
+
+    /// Reference (unfused `Mlp::eval`) scoring path, kept as the
+    /// implementation the engine-backed [`Detector::score`] is
+    /// exact-equality tested against.
+    #[doc(hidden)]
+    pub fn score_reference(&self, x: &Matrix) -> Vec<f64> {
         let f = self.fitted.as_ref().expect("DeepSAD: score before fit");
         let z = f.encoder.eval(&f.store, x);
         (0..z.rows()).map(|r| z.row_sq_dist(r, &f.center)).collect()

@@ -15,7 +15,7 @@
 use targad_autograd::VarStore;
 use targad_linalg::{rng as lrng, stats, Matrix};
 use targad_nn::optim::clip_grad_norm;
-use targad_nn::{shuffled_batches, Activation, Adam, Mlp, Optimizer, ShardedStep};
+use targad_nn::{shuffled_batches, Activation, Adam, EngineCell, Mlp, Optimizer, ShardedStep};
 use targad_runtime::Runtime;
 
 use crate::{Detector, TargAdError, TrainView};
@@ -34,6 +34,9 @@ pub struct DevNet {
     pub hidden: Vec<usize>,
     runtime: Runtime,
     fitted: Option<Fitted>,
+    /// Pooled inference engine shared by every scoring call (and every
+    /// per-epoch probe trace) of this detector.
+    engine: EngineCell,
 }
 
 struct Fitted {
@@ -53,6 +56,7 @@ impl Default for DevNet {
             hidden: vec![64, 32],
             runtime: Runtime::from_env(),
             fitted: None,
+            engine: EngineCell::new(),
         }
     }
 }
@@ -66,6 +70,20 @@ impl DevNet {
     }
 
     fn deviations(&self, x: &Matrix) -> Vec<f64> {
+        let f = self.fitted.as_ref().expect("DevNet: score before fit");
+        let (mu, sigma) = (f.mu, f.sigma);
+        self.engine.with(|e| {
+            e.score(&[(&f.scorer, &f.store)], x, &self.runtime, move |_, row| {
+                (row[0] - mu) / sigma
+            })
+        })
+    }
+
+    /// Reference (unfused `Mlp::eval`) scoring path, kept as the
+    /// implementation the engine-backed [`Detector::score`] is
+    /// exact-equality tested against.
+    #[doc(hidden)]
+    pub fn score_reference(&self, x: &Matrix) -> Vec<f64> {
         let f = self.fitted.as_ref().expect("DevNet: score before fit");
         let phi = f.scorer.eval(&f.store, x);
         (0..phi.rows())

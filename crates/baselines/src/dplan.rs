@@ -19,7 +19,7 @@ use rand::RngExt;
 use targad_autograd::VarStore;
 use targad_linalg::{rng as lrng, stats, Matrix};
 use targad_nn::optim::clip_grad_norm;
-use targad_nn::{Activation, Adam, Mlp, Optimizer, ShardedStep};
+use targad_nn::{Activation, Adam, EngineCell, Mlp, Optimizer, ShardedStep};
 use targad_runtime::Runtime;
 
 use crate::iforest::IForest;
@@ -45,6 +45,9 @@ pub struct Dplan {
     pub labeled_sample_prob: f64,
     runtime: Runtime,
     fitted: Option<Fitted>,
+    /// Pooled inference engine shared by every scoring call (and every
+    /// per-epoch probe trace) of this detector.
+    engine: EngineCell,
 }
 
 struct Fitted {
@@ -72,6 +75,7 @@ impl Default for Dplan {
             labeled_sample_prob: 0.5,
             runtime: Runtime::from_env(),
             fitted: None,
+            engine: EngineCell::new(),
         }
     }
 }
@@ -82,6 +86,16 @@ impl Dplan {
     pub fn with_runtime(mut self, runtime: Runtime) -> Self {
         self.runtime = runtime;
         self
+    }
+
+    /// Reference (unfused `Mlp::eval`) scoring path, kept as the
+    /// implementation the engine-backed [`Detector::score`] is
+    /// exact-equality tested against.
+    #[doc(hidden)]
+    pub fn score_reference(&self, x: &Matrix) -> Vec<f64> {
+        let f = self.fitted.as_ref().expect("DPLAN: score before fit");
+        let q = f.qnet.eval(&f.store, x);
+        (0..q.rows()).map(|r| q[(r, 1)] - q[(r, 0)]).collect()
     }
 }
 
@@ -242,8 +256,8 @@ impl Detector for Dplan {
 
     fn score(&self, x: &Matrix) -> Vec<f64> {
         let f = self.fitted.as_ref().expect("DPLAN: score before fit");
-        let q = f.qnet.eval(&f.store, x);
-        (0..q.rows()).map(|r| q[(r, 1)] - q[(r, 0)]).collect()
+        self.engine
+            .with(|e| e.score(&[(&f.qnet, &f.store)], x, &self.runtime, |_, q| q[1] - q[0]))
     }
 }
 

@@ -18,9 +18,9 @@
 //! a one-shot top-uncertainty selection via isolation scores.
 
 use targad_autograd::{Tape, Var, VarStore};
-use targad_linalg::{rng as lrng, Matrix};
+use targad_linalg::{rng as lrng, stable_sigmoid, Matrix};
 use targad_nn::optim::clip_grad_norm;
-use targad_nn::{shuffled_batches, Activation, Adam, Mlp, Optimizer, ShardedStep};
+use targad_nn::{shuffled_batches, Activation, Adam, EngineCell, Mlp, Optimizer, ShardedStep};
 use targad_runtime::Runtime;
 
 use crate::common::{largest_indices, latent_noise};
@@ -43,6 +43,9 @@ pub struct DualMgan {
     pub augment_factor: usize,
     runtime: Runtime,
     fitted: Option<Fitted>,
+    /// Pooled inference engine shared by every scoring call (and every
+    /// per-epoch probe trace) of this detector.
+    engine: EngineCell,
 }
 
 struct Fitted {
@@ -63,6 +66,7 @@ impl Default for DualMgan {
             augment_factor: 3,
             runtime: Runtime::from_env(),
             fitted: None,
+            engine: EngineCell::new(),
         }
     }
 }
@@ -73,6 +77,23 @@ impl DualMgan {
     pub fn with_runtime(mut self, runtime: Runtime) -> Self {
         self.runtime = runtime;
         self
+    }
+
+    /// Reference (unfused `Mlp::eval`) scoring path, kept as the
+    /// implementation the engine-backed [`Detector::score`] is
+    /// exact-equality tested against.
+    #[doc(hidden)]
+    pub fn score_reference(&self, x: &Matrix) -> Vec<f64> {
+        let f = self.fitted.as_ref().expect("Dual-MGAN: score before fit");
+        let clf_logits = f.clf.eval(&f.clf_store, x);
+        let dn_logits = f.disc_n.eval(&f.dn_store, x);
+        (0..x.rows())
+            .map(|r| {
+                let p_anom = stable_sigmoid(clf_logits[(r, 0)]);
+                let p_normal = stable_sigmoid(dn_logits[(r, 0)]);
+                0.8 * p_anom + 0.2 * (1.0 - p_normal)
+            })
+            .collect()
     }
 }
 
@@ -291,28 +312,26 @@ impl Detector for DualMgan {
 
     fn score(&self, x: &Matrix) -> Vec<f64> {
         let f = self.fitted.as_ref().expect("Dual-MGAN: score before fit");
-        let clf_logits = f.clf.eval(&f.clf_store, x);
-        let dn_logits = f.disc_n.eval(&f.dn_store, x);
-        (0..x.rows())
-            .map(|r| {
-                let p_anom = sigmoid(clf_logits[(r, 0)]);
-                let p_normal = sigmoid(dn_logits[(r, 0)]);
-                // Ensemble of the two sub-detectors; the normality GAN's
-                // discriminator is the weaker signal (a converged GAN
-                // discriminator is not a density estimate) so it enters
-                // with a small weight.
-                0.8 * p_anom + 0.2 * (1.0 - p_normal)
-            })
+        let rt = &self.runtime;
+        let (p_anom, p_normal) = self.engine.with(|e| {
+            (
+                e.score(&[(&f.clf, &f.clf_store)], x, rt, |_, r| {
+                    stable_sigmoid(r[0])
+                }),
+                e.score(&[(&f.disc_n, &f.dn_store)], x, rt, |_, r| {
+                    stable_sigmoid(r[0])
+                }),
+            )
+        });
+        // Ensemble of the two sub-detectors; the normality GAN's
+        // discriminator is the weaker signal (a converged GAN
+        // discriminator is not a density estimate) so it enters with a
+        // small weight.
+        p_anom
+            .iter()
+            .zip(&p_normal)
+            .map(|(&a, &n)| 0.8 * a + 0.2 * (1.0 - n))
             .collect()
-    }
-}
-
-fn sigmoid(x: f64) -> f64 {
-    if x >= 0.0 {
-        1.0 / (1.0 + (-x).exp())
-    } else {
-        let e = x.exp();
-        e / (1.0 + e)
     }
 }
 

@@ -16,7 +16,9 @@ use rand::RngExt;
 use targad_autograd::VarStore;
 use targad_linalg::{rng as lrng, Matrix};
 use targad_nn::optim::clip_grad_norm;
-use targad_nn::{shuffled_batches, Activation, Adam, AutoEncoder, Mlp, Optimizer, ShardedStep};
+use targad_nn::{
+    shuffled_batches, Activation, Adam, AutoEncoder, EngineCell, Mlp, Optimizer, ShardedStep,
+};
 use targad_runtime::Runtime;
 
 use crate::{Detector, TargAdError, TrainView};
@@ -35,6 +37,9 @@ pub struct Feawad {
     pub margin: f64,
     runtime: Runtime,
     fitted: Option<Fitted>,
+    /// Pooled inference engine shared by every scoring call (and every
+    /// per-epoch probe trace) of this detector.
+    engine: EngineCell,
 }
 
 struct Fitted {
@@ -54,6 +59,7 @@ impl Default for Feawad {
             margin: 5.0,
             runtime: Runtime::from_env(),
             fitted: None,
+            engine: EngineCell::new(),
         }
     }
 }
@@ -65,13 +71,50 @@ impl Feawad {
         self.runtime = runtime;
         self
     }
+
+    /// Reference (unfused `Mlp::eval`) scoring path, kept as the
+    /// implementation the engine-backed [`Detector::score`] is
+    /// exact-equality tested against.
+    #[doc(hidden)]
+    pub fn score_reference(&self, x: &Matrix) -> Vec<f64> {
+        let f = self.fitted.as_ref().expect("FEAWAD: score before fit");
+        let rep = representation(&f.ae, &f.ae_store, x);
+        let s = f.scorer.eval(&f.scorer_store, &rep);
+        (0..s.rows()).map(|r| s[(r, 0)]).collect()
+    }
 }
 
-/// `[z, e/‖e‖, ‖e‖]` composite representation.
+/// `[z, e/‖e‖, ‖e‖]` composite representation (reference forward pass).
 fn representation(ae: &AutoEncoder, store: &VarStore, x: &Matrix) -> Matrix {
     let z = ae.encode_eval(store, x);
     let xhat = ae.reconstruct_eval(store, x);
-    let resid = &xhat - x;
+    assemble_representation(&z, &xhat, x)
+}
+
+/// [`representation`] with the encoder and decoder run through the pooled
+/// inference engine. Bit-identical: the engine reproduces the exact
+/// `encode_eval` chains, and feeding that `z` straight into the decoder
+/// matches `reconstruct_eval` (which recomputes the same `z` internally).
+fn representation_rt(
+    ae: &AutoEncoder,
+    store: &VarStore,
+    engine: &EngineCell,
+    x: &Matrix,
+    rt: &Runtime,
+) -> Matrix {
+    let mut z = Matrix::zeros(x.rows(), ae.encoder().out_dim());
+    let mut xhat = Matrix::zeros(x.rows(), ae.decoder().out_dim());
+    engine.with(|e| {
+        e.forward_into(&[(ae.encoder(), store)], x, rt, &mut z);
+        e.forward_into(&[(ae.decoder(), store)], &z, rt, &mut xhat);
+    });
+    assemble_representation(&z, &xhat, x)
+}
+
+/// Stacks `[z, e/‖e‖, ‖e‖]` rows from the bottleneck codes and
+/// reconstructions.
+fn assemble_representation(z: &Matrix, xhat: &Matrix, x: &Matrix) -> Matrix {
+    let resid = xhat - x;
     let mut rows = Vec::with_capacity(x.rows());
     for r in 0..x.rows() {
         let e = resid.row(r);
@@ -100,9 +143,15 @@ impl Detector for Feawad {
 
     fn score(&self, x: &Matrix) -> Vec<f64> {
         let f = self.fitted.as_ref().expect("FEAWAD: score before fit");
-        let rep = representation(&f.ae, &f.ae_store, x);
-        let s = f.scorer.eval(&f.scorer_store, &rep);
-        (0..s.rows()).map(|r| s[(r, 0)]).collect()
+        let rep = representation_rt(&f.ae, &f.ae_store, &self.engine, x, &self.runtime);
+        self.engine.with(|e| {
+            e.score(
+                &[(&f.scorer, &f.scorer_store)],
+                &rep,
+                &self.runtime,
+                |_, s| s[0],
+            )
+        })
     }
 
     fn fit_traced(
@@ -140,9 +189,9 @@ impl Detector for Feawad {
         }
 
         // Stage 2: deviation-style scorer over composite representations.
-        let rep_u = representation(&ae, &ae_store, xu);
+        let rep_u = representation_rt(&ae, &ae_store, &self.engine, xu, &rt);
         let rep_l = if xl.rows() > 0 {
-            representation(&ae, &ae_store, xl)
+            representation_rt(&ae, &ae_store, &self.engine, xl, &rt)
         } else {
             Matrix::zeros(0, rep_u.cols())
         };

@@ -13,9 +13,9 @@
 //! (`(D(G(z)) − 0.5)²`) instead of the full instance-weighting scheme.
 
 use targad_autograd::{Tape, Var, VarStore};
-use targad_linalg::{rng as lrng, Matrix};
+use targad_linalg::{rng as lrng, stable_sigmoid, Matrix};
 use targad_nn::optim::clip_grad_norm;
-use targad_nn::{shuffled_batches, Activation, Adam, Mlp, Optimizer, ShardedStep};
+use targad_nn::{shuffled_batches, Activation, Adam, EngineCell, Mlp, Optimizer, ShardedStep};
 use targad_runtime::Runtime;
 
 use crate::common::latent_noise;
@@ -37,6 +37,9 @@ pub struct PiaWal {
     pub peripheral_weight: f64,
     runtime: Runtime,
     fitted: Option<Fitted>,
+    /// Pooled inference engine shared by every scoring call (and every
+    /// per-epoch probe trace) of this detector.
+    engine: EngineCell,
 }
 
 struct Fitted {
@@ -55,6 +58,7 @@ impl Default for PiaWal {
             peripheral_weight: 0.5,
             runtime: Runtime::from_env(),
             fitted: None,
+            engine: EngineCell::new(),
         }
     }
 }
@@ -65,6 +69,18 @@ impl PiaWal {
     pub fn with_runtime(mut self, runtime: Runtime) -> Self {
         self.runtime = runtime;
         self
+    }
+
+    /// Reference (unfused `Mlp::eval`) scoring path, kept as the
+    /// implementation the engine-backed [`Detector::score`] is
+    /// exact-equality tested against.
+    #[doc(hidden)]
+    pub fn score_reference(&self, x: &Matrix) -> Vec<f64> {
+        let f = self.fitted.as_ref().expect("PIA-WAL: score before fit");
+        let logits = f.disc.eval(&f.d_store, x);
+        (0..logits.rows())
+            .map(|r| 1.0 - stable_sigmoid(logits[(r, 0)]))
+            .collect()
     }
 }
 
@@ -198,18 +214,11 @@ impl Detector for PiaWal {
 
     fn score(&self, x: &Matrix) -> Vec<f64> {
         let f = self.fitted.as_ref().expect("PIA-WAL: score before fit");
-        let logits = f.disc.eval(&f.d_store, x);
-        (0..logits.rows())
-            .map(|r| {
-                let l = logits[(r, 0)];
-                let p = if l >= 0.0 {
-                    1.0 / (1.0 + (-l).exp())
-                } else {
-                    l.exp() / (1.0 + l.exp())
-                };
-                1.0 - p
+        self.engine.with(|e| {
+            e.score(&[(&f.disc, &f.d_store)], x, &self.runtime, |_, row| {
+                1.0 - stable_sigmoid(row[0])
             })
-            .collect()
+        })
     }
 }
 

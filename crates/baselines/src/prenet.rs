@@ -12,7 +12,7 @@ use rand::RngExt;
 use targad_autograd::VarStore;
 use targad_linalg::{rng as lrng, Matrix};
 use targad_nn::optim::clip_grad_norm;
-use targad_nn::{Activation, Adam, Mlp, Optimizer, ShardedStep};
+use targad_nn::{Activation, Adam, EngineCell, Mlp, Optimizer, ShardedStep};
 use targad_runtime::Runtime;
 
 use crate::{Detector, TargAdError, TrainView};
@@ -31,6 +31,9 @@ pub struct PreNet {
     pub score_pairs: usize,
     runtime: Runtime,
     fitted: Option<Fitted>,
+    /// Pooled inference engine shared by every scoring call (and every
+    /// per-epoch probe trace) of this detector.
+    engine: EngineCell,
 }
 
 struct Fitted {
@@ -50,6 +53,7 @@ impl Default for PreNet {
             score_pairs: 16,
             runtime: Runtime::from_env(),
             fitted: None,
+            engine: EngineCell::new(),
         }
     }
 }
@@ -60,6 +64,33 @@ impl PreNet {
     pub fn with_runtime(mut self, runtime: Runtime) -> Self {
         self.runtime = runtime;
         self
+    }
+
+    /// Reference (unfused `Mlp::eval`) scoring path, kept as the
+    /// implementation the engine-backed [`Detector::score`] is
+    /// exact-equality tested against.
+    #[doc(hidden)]
+    pub fn score_reference(&self, x: &Matrix) -> Vec<f64> {
+        let f = self.fitted.as_ref().expect("PReNet: score before fit");
+        let n_a = f.labeled.rows().min(self.score_pairs);
+        let n_u = f.unlabeled_sample.rows();
+        (0..x.rows())
+            .map(|i| {
+                let row = x.row(i);
+                let mut pairs = Vec::with_capacity(n_a + n_u);
+                for a in 0..n_a {
+                    pairs.push(concat_rows(f.labeled.row(a), row));
+                }
+                for u in 0..n_u {
+                    pairs.push(concat_rows(f.unlabeled_sample.row(u), row));
+                }
+                if pairs.is_empty() {
+                    return 0.0;
+                }
+                let preds = f.net.eval(&f.store, &Matrix::from_rows(&pairs));
+                preds.mean()
+            })
+            .collect()
     }
 }
 
@@ -184,8 +215,13 @@ impl Detector for PreNet {
                 if pairs.is_empty() {
                     return 0.0;
                 }
-                let preds = f.net.eval(&f.store, &Matrix::from_rows(&pairs));
-                preds.mean()
+                let pair_m = Matrix::from_rows(&pairs);
+                let preds = self.engine.with(|e| {
+                    e.score(&[(&f.net, &f.store)], &pair_m, &self.runtime, |_, row| {
+                        row[0]
+                    })
+                });
+                preds.iter().sum::<f64>() / preds.len() as f64
             })
             .collect()
     }

@@ -15,7 +15,7 @@
 use targad_autograd::VarStore;
 use targad_linalg::{rng as lrng, Matrix};
 use targad_nn::optim::clip_grad_norm;
-use targad_nn::{shuffled_batches, Activation, Adam, Mlp, Optimizer, ShardedStep};
+use targad_nn::{shuffled_batches, Activation, Adam, EngineCell, Mlp, Optimizer, ShardedStep};
 use targad_runtime::Runtime;
 
 use crate::common::{mean_row, smallest_indices};
@@ -37,6 +37,9 @@ pub struct Pumad {
     pub reliable_frac: f64,
     runtime: Runtime,
     fitted: Option<Fitted>,
+    /// Pooled inference engine shared by every scoring call (and every
+    /// per-epoch probe trace) of this detector.
+    engine: EngineCell,
 }
 
 struct Fitted {
@@ -56,6 +59,7 @@ impl Default for Pumad {
             reliable_frac: 0.7,
             runtime: Runtime::from_env(),
             fitted: None,
+            engine: EngineCell::new(),
         }
     }
 }
@@ -66,6 +70,18 @@ impl Pumad {
     pub fn with_runtime(mut self, runtime: Runtime) -> Self {
         self.runtime = runtime;
         self
+    }
+
+    /// Reference (unfused `Mlp::eval`) scoring path, kept as the
+    /// implementation the engine-backed [`Detector::score`] is
+    /// exact-equality tested against.
+    #[doc(hidden)]
+    pub fn score_reference(&self, x: &Matrix) -> Vec<f64> {
+        let f = self.fitted.as_ref().expect("PUMAD: score before fit");
+        let z = f.embed.eval(&f.store, x);
+        (0..z.rows())
+            .map(|r| z.row_sq_dist(r, &f.prototype))
+            .collect()
     }
 }
 
@@ -159,10 +175,12 @@ impl Detector for Pumad {
 
     fn score(&self, x: &Matrix) -> Vec<f64> {
         let f = self.fitted.as_ref().expect("PUMAD: score before fit");
-        let z = f.embed.eval(&f.store, x);
-        (0..z.rows())
-            .map(|r| z.row_sq_dist(r, &f.prototype))
-            .collect()
+        let proto = &f.prototype;
+        self.engine.with(|e| {
+            e.score(&[(&f.embed, &f.store)], x, &self.runtime, |_, z| {
+                z.iter().zip(proto).map(|(&a, &b)| (a - b) * (a - b)).sum()
+            })
+        })
     }
 }
 

@@ -16,7 +16,7 @@ use rand::RngExt;
 use targad_autograd::VarStore;
 use targad_linalg::{rng as lrng, Matrix};
 use targad_nn::optim::clip_grad_norm;
-use targad_nn::{Activation, Adam, Mlp, Optimizer, ShardedStep};
+use targad_nn::{Activation, Adam, EngineCell, Mlp, Optimizer, ShardedStep};
 use targad_runtime::Runtime;
 
 use crate::common::{largest_indices, lesinn_scores, smallest_indices};
@@ -42,6 +42,9 @@ pub struct Repen {
     pub psi: usize,
     runtime: Runtime,
     fitted: Option<Fitted>,
+    /// Pooled inference engine shared by every scoring call (and every
+    /// per-epoch probe trace) of this detector.
+    engine: EngineCell,
 }
 
 struct Fitted {
@@ -63,6 +66,7 @@ impl Default for Repen {
             psi: 16,
             runtime: Runtime::from_env(),
             fitted: None,
+            engine: EngineCell::new(),
         }
     }
 }
@@ -73,6 +77,18 @@ impl Repen {
     pub fn with_runtime(mut self, runtime: Runtime) -> Self {
         self.runtime = runtime;
         self
+    }
+
+    /// Reference (unfused `Mlp::eval`) scoring path, kept as the
+    /// implementation the engine-backed [`Detector::score`] is
+    /// exact-equality tested against.
+    #[doc(hidden)]
+    pub fn score_reference(&self, x: &Matrix) -> Vec<f64> {
+        let f = self.fitted.as_ref().expect("REPEN: score before fit");
+        let zx = f.embed.eval(&f.store, x);
+        let zref = f.embed.eval(&f.store, &f.reference);
+        let mut rng = lrng::seeded(0x5EED_5EED);
+        lesinn_scores(&zx, &zref, self.ensembles, self.psi, &mut rng)
     }
 }
 
@@ -145,8 +161,18 @@ impl Detector for Repen {
 
     fn score(&self, x: &Matrix) -> Vec<f64> {
         let f = self.fitted.as_ref().expect("REPEN: score before fit");
-        let zx = f.embed.eval(&f.store, x);
-        let zref = f.embed.eval(&f.store, &f.reference);
+        let d = f.embed.out_dim();
+        let mut zx = Matrix::zeros(x.rows(), d);
+        let mut zref = Matrix::zeros(f.reference.rows(), d);
+        self.engine.with(|e| {
+            e.forward_into(&[(&f.embed, &f.store)], x, &self.runtime, &mut zx);
+            e.forward_into(
+                &[(&f.embed, &f.store)],
+                &f.reference,
+                &self.runtime,
+                &mut zref,
+            );
+        });
         // Deterministic scoring RNG: the ensemble is part of the model.
         let mut rng = lrng::seeded(0x5EED_5EED);
         lesinn_scores(&zx, &zref, self.ensembles, self.psi, &mut rng)

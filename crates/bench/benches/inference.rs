@@ -1,0 +1,209 @@
+//! Scoring-path micro-benchmarks: the pooled [`ScoreEngine`] (fused
+//! bias+activation epilogues, ping-pong scratch, row-block streaming)
+//! against the retained reference chain (`Mlp::eval_rt` → full softmax
+//! matrix → per-row max) on a TargAD-shaped classifier, at 1k and 100k
+//! rows and 1 and 4 workers. Writes `results/bench_inference.json`; the
+//! recorded `speedup_engine_100k_1worker` is the acceptance metric for the
+//! inference-engine rewrite (must stay ≥ 1.5).
+//!
+//! Set `TARGAD_BENCH_QUICK=1` for a seconds-long smoke run (CI uses this
+//! to catch scoring-path regressions without paying full budgets).
+
+use criterion::Criterion;
+use std::hint::black_box;
+use std::time::Duration;
+use targad_autograd::VarStore;
+use targad_core::Runtime;
+use targad_linalg::rng as lrng;
+use targad_nn::{Activation, Mlp, ScoreEngine};
+
+/// Target classes `m` of the benchmark classifier (out of `m + k = 6`).
+const M: usize = 3;
+
+fn quick_mode() -> bool {
+    std::env::var("TARGAD_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Applies the session's sampling budget to a group: tiny in quick mode,
+/// enough samples for stable means otherwise.
+fn tune<'a, 'b>(
+    group: &'a mut criterion::BenchmarkGroup<'b>,
+) -> &'a mut criterion::BenchmarkGroup<'b> {
+    if quick_mode() {
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(25))
+    } else {
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(1))
+    }
+}
+
+/// The Eq. 9 finish on one logit row: softmax (max-shifted, ascending
+/// accumulation) and the best target-class probability. Shared by both
+/// paths so the benchmark isolates the forward pass + data movement.
+fn target_score_row(z: &[f64]) -> f64 {
+    let mx = z.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    let mut best = f64::NEG_INFINITY;
+    for (j, &v) in z.iter().enumerate() {
+        let e = (v - mx).exp();
+        sum += e;
+        if j < M {
+            best = best.max(e);
+        }
+    }
+    best / sum
+}
+
+/// Engine vs reference on the TargAD classifier shape
+/// (`d=16 → 64 → 64 → m+k=6`), the `100k×(m+k)` scoring acceptance case
+/// plus a small-batch case where per-call overhead dominates.
+fn bench_scoring(c: &mut Criterion) {
+    let mut rng = lrng::seeded(31);
+    let mut vs = VarStore::new();
+    let mlp = Mlp::new(
+        &mut vs,
+        &mut rng,
+        &[16, 64, 64, 2 * M],
+        Activation::Relu,
+        Activation::None,
+    );
+    for rows in [1_000usize, 100_000] {
+        let x = lrng::normal_matrix(&mut rng, rows, 16, 0.0, 1.0);
+        let label = if rows == 1_000 { "1k" } else { "100k" };
+        let mut group = c.benchmark_group(format!("score_{label}"));
+        tune(&mut group);
+        for workers in [1usize, 4] {
+            let rt = Runtime::new(workers);
+            // Reference: unfused eval_rt (one matrix per layer, separate
+            // bias and activation passes), then a per-row Eq. 9 finish.
+            group.bench_function(format!("reference/workers{workers}"), |b| {
+                b.iter(|| {
+                    let z = mlp.eval_rt(&vs, &x, &rt);
+                    let scores: Vec<f64> =
+                        (0..z.rows()).map(|r| target_score_row(z.row(r))).collect();
+                    black_box(scores)
+                });
+            });
+            // Engine: fused epilogues, pooled scratch, zero steady-state
+            // allocations (`out` and the engine pools are reused).
+            let mut engine = ScoreEngine::new();
+            let mut out = vec![0.0; rows];
+            group.bench_function(format!("engine/workers{workers}"), |b| {
+                b.iter(|| {
+                    engine.score_into(
+                        &[(&mlp, &vs)],
+                        &x,
+                        &rt,
+                        |_, z| target_score_row(z),
+                        &mut out,
+                    );
+                    black_box(out[rows - 1])
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+/// Writes `results/bench_inference.json`: every benchmark mean, rows/sec
+/// for each configuration, and the engine-vs-reference speedups. The
+/// acceptance metric is `speedup_engine_100k_1worker` (≥ 1.5 required).
+fn write_json(results: &[(String, f64)]) {
+    let mean_of = |name: &str| {
+        results
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, m)| m)
+            .unwrap_or(0.0)
+    };
+    let rows_of = |name: &str| {
+        if name.starts_with("score_1k") {
+            1_000.0
+        } else {
+            100_000.0
+        }
+    };
+    let ratio = |reference: f64, engine: f64| {
+        if engine > 0.0 {
+            reference / engine
+        } else {
+            0.0
+        }
+    };
+
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, (name, mean)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let rps = if *mean > 0.0 {
+            rows_of(name) / mean
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "    {{ \"name\": \"{name}\", \"mean_seconds\": {mean:e}, \"rows_per_sec\": {rps:.0} }}{comma}\n"
+        ));
+    }
+    let s1k_1 = ratio(
+        mean_of("score_1k/reference/workers1"),
+        mean_of("score_1k/engine/workers1"),
+    );
+    let s100k_1 = ratio(
+        mean_of("score_100k/reference/workers1"),
+        mean_of("score_100k/engine/workers1"),
+    );
+    let s100k_4 = ratio(
+        mean_of("score_100k/reference/workers4"),
+        mean_of("score_100k/engine/workers4"),
+    );
+    let host = std::thread::available_parallelism().map_or(1, usize::from);
+    out.push_str(&format!(
+        "  ],\n  \"host_parallelism\": {host},\n  \"speedup_engine_1k_1worker\": {s1k_1:.2},\n  \"speedup_engine_100k_1worker\": {s100k_1:.2},\n  \"speedup_engine_100k_4workers\": {s100k_4:.2}\n}}\n"
+    ));
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/bench_inference.json");
+    std::fs::create_dir_all(path.parent().expect("parent")).expect("create results dir");
+    std::fs::write(&path, out).expect("write bench_inference.json");
+    println!(
+        "\nwrote {} (100k single-worker engine speedup {s100k_1:.2}x)",
+        path.display()
+    );
+}
+
+/// Sanity outside the timing loop: the engine and the reference produce
+/// bit-identical scores on the benchmark model (the real contract lives in
+/// `tests/engine_identity.rs`; this guards the bench itself).
+fn check_identity() {
+    let mut rng = lrng::seeded(31);
+    let mut vs = VarStore::new();
+    let mlp = Mlp::new(
+        &mut vs,
+        &mut rng,
+        &[16, 64, 64, 2 * M],
+        Activation::Relu,
+        Activation::None,
+    );
+    let x = lrng::normal_matrix(&mut rng, 777, 16, 0.0, 1.0);
+    let rt = Runtime::new(4);
+    let z = mlp.eval_rt(&vs, &x, &rt);
+    let reference: Vec<f64> = (0..z.rows()).map(|r| target_score_row(z.row(r))).collect();
+    let mut engine = ScoreEngine::new();
+    let engine_scores = engine.score(&[(&mlp, &vs)], &x, &rt, |_, row| target_score_row(row));
+    assert_eq!(
+        engine_scores
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+        reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "bench model: engine diverged from reference"
+    );
+}
+
+fn main() {
+    check_identity();
+    let mut criterion = Criterion::default();
+    bench_scoring(&mut criterion);
+    write_json(criterion.results());
+}

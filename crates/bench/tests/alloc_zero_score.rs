@@ -1,0 +1,150 @@
+//! Zero-allocation contract for the **inference engine**: after a warm-up
+//! batch, a pooled [`targad_nn::ScoreEngine`] scoring pass — fused layer
+//! pipeline over ping-pong scratch, row-block streaming over the runtime
+//! pool, ascending gather into the caller's output — performs **zero**
+//! heap allocations, at any worker count. Run in CI with
+//! `TARGAD_THREADS=4` alongside `alloc_zero_dp`. A separate binary because
+//! `#[global_allocator]` is per-binary, and `harness = false` because the
+//! libtest harness keeps a main thread alive whose occasional allocations
+//! would trip the process-global counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use targad_autograd::VarStore;
+use targad_core::Runtime;
+use targad_linalg::rng as lrng;
+use targad_nn::{Activation, AutoEncoder, Mlp, ScoreEngine};
+
+/// Counts allocation events (alloc + realloc) while the gate is open;
+/// frees are untracked since only acquisition breaks the contract.
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Runs `step` under the allocation counter and returns the event count.
+fn count_allocs(mut step: impl FnMut()) -> u64 {
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    step();
+    COUNTING.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+fn main() {
+    // `from_env` honors the CI job's TARGAD_THREADS=4; Runtime::new(4)
+    // pins the multi-worker configuration regardless of environment. 1037
+    // rows split into 5 ragged 256-row blocks, so block dispatch on pool
+    // workers, the per-worker ping-pong scratch, and the ascending gather
+    // all run for real.
+    for rt in [Runtime::from_env(), Runtime::new(4)] {
+        // ---- Classifier-shaped stack (the Eq. 9 scoring path) ----------
+        let rows = 1037usize;
+        let mut rng = lrng::seeded(21);
+        let x = lrng::normal_matrix(&mut rng, rows, 16, 0.0, 1.0);
+        let mut vs = VarStore::new();
+        let mlp = Mlp::new(
+            &mut vs,
+            &mut rng,
+            &[16, 32, 24, 6],
+            Activation::Relu,
+            Activation::None,
+        );
+        let mut engine = ScoreEngine::new();
+        let mut out = vec![0.0; rows];
+        {
+            let mut score_batch = || {
+                engine.score_into(
+                    &[(&mlp, &vs)],
+                    &x,
+                    &rt,
+                    |_r, z| z.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                    &mut out,
+                );
+            };
+            // Warm-up: spawn pool workers and grow the block/scratch pools.
+            for _ in 0..3 {
+                score_batch();
+            }
+            for i in 0..5 {
+                let n = count_allocs(&mut score_batch);
+                assert_eq!(n, 0, "engine batch {i} performed {n} heap allocations");
+            }
+        }
+
+        // ---- AE-shaped stack (the Eq. 2 recon-error ranking path) ------
+        // A two-model stack whose intermediate widths differ from the
+        // classifier's, scored through the SAME engine: the grow-only
+        // pools must absorb the shape change after one warm batch.
+        let mut rng = lrng::seeded(23);
+        let mut ae_vs = VarStore::new();
+        let ae = AutoEncoder::new(&mut ae_vs, &mut rng, &[16, 8, 4]);
+        let stack = [(ae.encoder(), &ae_vs), (ae.decoder(), &ae_vs)];
+        let mut recon_batch = || {
+            engine.score_into(
+                &stack,
+                &x,
+                &rt,
+                |r, xhat| {
+                    x.row(r)
+                        .iter()
+                        .zip(xhat)
+                        .map(|(&xv, &hv)| {
+                            let d = hv - xv;
+                            d * d
+                        })
+                        .sum()
+                },
+                &mut out,
+            );
+        };
+        recon_batch();
+        for i in 0..5 {
+            let n = count_allocs(&mut recon_batch);
+            assert_eq!(n, 0, "AE engine batch {i} performed {n} allocations");
+        }
+
+        // ---- Telemetry-on state ----------------------------------------
+        // The score.* counters and the engine-pool gauge are atomics; the
+        // hot path stays allocation-free with telemetry enabled, and the
+        // instrumentation actually moves.
+        targad_obs::set_enabled(true);
+        targad_obs::metrics::reset_all();
+        recon_batch(); // warm-up under the new gate state
+        for i in 0..3 {
+            let n = count_allocs(&mut recon_batch);
+            assert_eq!(n, 0, "telemetry-on engine batch {i} allocated {n} times");
+        }
+        assert!(
+            targad_obs::metrics::SCORE_BATCHES.get() > 0
+                && targad_obs::metrics::SCORE_ENGINE_POOL_BYTES.get() > 0,
+            "enabled telemetry recorded nothing"
+        );
+        targad_obs::set_enabled(false);
+    }
+    println!("alloc_zero_score: steady-state engine batches performed 0 allocations");
+}

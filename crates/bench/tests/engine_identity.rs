@@ -1,0 +1,157 @@
+//! Exact-equality contract for the pooled [`targad_nn::ScoreEngine`]:
+//! every engine-backed scoring path — TargAD's Eq. 9 target scores and all
+//! ten MLP-backed baselines — must be **bit-identical** to its retained
+//! reference implementation (the unfused `Mlp::eval` chain), at every
+//! worker count. Worker counts {1, 2, 7} cover the serial inline path, an
+//! even split, and a ragged split with more workers than row blocks; CI
+//! additionally runs the whole binary under `TARGAD_THREADS` ∈ {1, 2, 7}
+//! so the `Runtime::from_env` construction path is exercised too.
+
+use targad_baselines::{
+    Adoa, DeepSad, DevNet, Dplan, DualMgan, Feawad, PiaWal, PreNet, Pumad, Repen,
+};
+use targad_core::{Detector, Runtime, TargAd, TargAdConfig, TrainView};
+use targad_data::GeneratorSpec;
+
+const WORKERS: [usize; 3] = [1, 2, 7];
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Fits one baseline per worker count and asserts the engine-backed
+/// `Detector::score` equals the reference `score_reference` bit for bit.
+/// (Fitting is worker-count invariant by the determinism contract, so each
+/// refit trains the identical model; the comparison isolates scoring.)
+macro_rules! assert_engine_matches_reference {
+    ($build:expr) => {{
+        let bundle = GeneratorSpec::quick_demo().generate(67);
+        let view = TrainView::from_dataset(&bundle.train);
+        for workers in WORKERS {
+            let mut m = ($build)().with_runtime(Runtime::new(workers));
+            m.fit(&view, 11).unwrap();
+            let engine = m.score(&bundle.test.features);
+            let reference = m.score_reference(&bundle.test.features);
+            assert_eq!(
+                bits(&engine),
+                bits(&reference),
+                "engine diverged from reference at workers = {workers}"
+            );
+        }
+    }};
+}
+
+/// TargAD: `target_scores_rt` (engine) vs `target_scores` (reference
+/// softmax-max chain), plus the public `try_score_matrix` entry point that
+/// rides the same engine on the model's own runtime.
+#[test]
+fn targad_engine_scores_match_reference_exactly() {
+    let bundle = GeneratorSpec::quick_demo().generate(61);
+    let mut cfg = TargAdConfig::fast();
+    cfg.ae_epochs = 2;
+    cfg.clf_epochs = 3;
+    let mut model = TargAd::try_new(cfg).expect("valid config");
+    model.fit(&bundle.train, 3).expect("fit");
+    let x = &bundle.test.features;
+    let clf = model.classifier().expect("fitted");
+    let reference = clf.target_scores(x);
+    for workers in WORKERS {
+        let engine = clf.target_scores_rt(x, &Runtime::new(workers));
+        assert_eq!(bits(&engine), bits(&reference), "workers = {workers}");
+    }
+    let public = model.try_score_matrix(x).expect("fitted");
+    assert_eq!(bits(&public), bits(&reference), "try_score_matrix path");
+}
+
+#[test]
+fn devnet_engine_matches_reference() {
+    assert_engine_matches_reference!(|| {
+        let mut m = DevNet::default();
+        m.epochs = 3;
+        m
+    });
+}
+
+#[test]
+fn deepsad_engine_matches_reference() {
+    assert_engine_matches_reference!(|| {
+        let mut m = DeepSad::default();
+        m.pretrain_epochs = 2;
+        m.epochs = 3;
+        m
+    });
+}
+
+#[test]
+fn prenet_engine_matches_reference() {
+    assert_engine_matches_reference!(|| {
+        let mut m = PreNet::default();
+        m.steps = 30;
+        m
+    });
+}
+
+#[test]
+fn feawad_engine_matches_reference() {
+    assert_engine_matches_reference!(|| {
+        let mut m = Feawad::default();
+        m.pretrain_epochs = 2;
+        m.epochs = 3;
+        m
+    });
+}
+
+#[test]
+fn repen_engine_matches_reference() {
+    assert_engine_matches_reference!(|| {
+        let mut m = Repen::default();
+        m.steps = 30;
+        m
+    });
+}
+
+#[test]
+fn dplan_engine_matches_reference() {
+    assert_engine_matches_reference!(|| {
+        let mut m = Dplan::default();
+        m.steps = 40;
+        m
+    });
+}
+
+#[test]
+fn pumad_engine_matches_reference() {
+    assert_engine_matches_reference!(|| {
+        let mut m = Pumad::default();
+        m.epochs = 3;
+        m
+    });
+}
+
+#[test]
+fn adoa_engine_matches_reference() {
+    assert_engine_matches_reference!(|| {
+        let mut m = Adoa::default();
+        m.epochs = 3;
+        m
+    });
+}
+
+#[test]
+fn piawal_engine_matches_reference() {
+    assert_engine_matches_reference!(|| {
+        let mut m = PiaWal::default();
+        m.epochs = 3;
+        m
+    });
+}
+
+#[test]
+fn dualmgan_engine_matches_reference() {
+    assert_engine_matches_reference!(|| {
+        let mut m = DualMgan::default();
+        m.gan_epochs = 2;
+        m.clf_epochs = 3;
+        m
+    });
+}

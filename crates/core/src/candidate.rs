@@ -17,7 +17,7 @@ use targad_autograd::VarStore;
 use targad_cluster::{choose_k_elbow, KMeans, KMeansConfig};
 use targad_linalg::{rng as lrng, Matrix};
 use targad_nn::optim::clip_grad_norm;
-use targad_nn::{shuffled_batches, Adam, AutoEncoder, Optimizer, ShardedStep};
+use targad_nn::{shuffled_batches, Adam, AutoEncoder, EngineCell, Optimizer, ShardedStep};
 use targad_runtime::Runtime;
 
 use crate::config::TargAdConfig;
@@ -31,14 +31,46 @@ const ELBOW_SUBSAMPLE: usize = 2_000;
 pub struct ClusterAutoEncoder {
     store: VarStore,
     ae: AutoEncoder,
+    /// Pooled inference engine for the frozen Eq. 2 forward pass.
+    engine: EngineCell,
     /// Mean Eq. 1 loss per epoch (diagnostics).
     pub loss_history: Vec<f64>,
 }
 
 impl ClusterAutoEncoder {
-    /// Squared reconstruction errors (Eq. 2) for each row of `x`.
+    /// Squared reconstruction errors (Eq. 2) for each row of `x`, via the
+    /// reference (unfused) forward pass — the implementation
+    /// [`ClusterAutoEncoder::recon_errors_rt`] is exact-equality tested
+    /// against.
     pub fn recon_errors(&self, x: &Matrix) -> Vec<f64> {
         self.ae.recon_errors(&self.store, x)
+    }
+
+    /// [`ClusterAutoEncoder::recon_errors`] through the pooled
+    /// `ScoreEngine` on `rt`: the encoder–decoder chain runs as one fused
+    /// block-streamed pipeline and each reconstruction row reduces to its
+    /// squared error in place. Bit-identical to the reference: the engine
+    /// reproduces the exact reconstruction chains, and the per-row finish
+    /// accumulates `(x̂_j − x_j)²` in the same ascending-`j` order as
+    /// `row_sq_norms` over the materialized difference matrix (each `d_j`
+    /// round-trips through an f64 exactly).
+    pub fn recon_errors_rt(&self, x: &Matrix, rt: &Runtime) -> Vec<f64> {
+        let stack = [
+            (self.ae.encoder(), &self.store),
+            (self.ae.decoder(), &self.store),
+        ];
+        self.engine.with(|e| {
+            e.score(&stack, x, rt, |r, xhat| {
+                x.row(r)
+                    .iter()
+                    .zip(xhat)
+                    .map(|(&xv, &hv)| {
+                        let d = hv - xv;
+                        d * d
+                    })
+                    .sum()
+            })
+        })
     }
 
     /// The underlying autoencoder.
@@ -160,7 +192,7 @@ impl CandidateSelection {
             if member_rows.is_empty() {
                 continue;
             }
-            let errs = autoencoders[c].recon_errors(&xu.take_rows(member_rows));
+            let errs = autoencoders[c].recon_errors_rt(&xu.take_rows(member_rows), rt);
             for (&row, err) in member_rows.iter().zip(errs) {
                 recon_errors[row] = err;
             }
@@ -259,6 +291,7 @@ fn train_cluster_ae(
     ClusterAutoEncoder {
         store,
         ae,
+        engine: EngineCell::new(),
         loss_history,
     }
 }

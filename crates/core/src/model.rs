@@ -5,7 +5,9 @@ use targad_autograd::{Tape, Var, VarStore};
 use targad_data::Dataset;
 use targad_linalg::{rng as lrng, stats, Matrix};
 use targad_nn::optim::clip_grad_norm;
-use targad_nn::{shuffled_batches, Activation, Adam, Mlp, Optimizer, Parts, Sgd, ShardedStep};
+use targad_nn::{
+    shuffled_batches, Activation, Adam, EngineCell, Mlp, Optimizer, Parts, Sgd, ShardedStep,
+};
 use targad_obs::{
     AeEpochEvent, EpochEvent, FitEndEvent, FitStartEvent, LossDecomposition, NullObserver,
     SelectionEvent, TrainObserver, WeightSummary,
@@ -33,6 +35,10 @@ pub struct Classifier {
     mlp: Mlp,
     m: usize,
     k: usize,
+    /// Pooled inference engine for the batched scoring paths. Held on the
+    /// classifier so repeated scoring — per-epoch probe traces, suite-table
+    /// regeneration — reuses one warm buffer pool across calls.
+    engine: EngineCell,
 }
 
 impl Classifier {
@@ -65,23 +71,53 @@ impl Classifier {
 
     /// Softmax probabilities over the `m + k` outputs.
     pub fn probabilities(&self, x: &Matrix) -> Matrix {
-        self.logits(x).softmax_rows()
+        let mut p = self.logits(x);
+        p.softmax_rows_inplace();
+        p
     }
 
     /// [`Classifier::probabilities`] executed on `rt`.
     pub fn probabilities_rt(&self, x: &Matrix, rt: &Runtime) -> Matrix {
-        self.logits_rt(x, rt).softmax_rows()
+        let mut p = self.logits_rt(x, rt);
+        p.softmax_rows_inplace();
+        p
     }
 
-    /// Target-anomaly scores (Eq. 9): `S^tar(x) = max_{j ≤ m} p_j(x)`.
+    /// Target-anomaly scores (Eq. 9) via the reference (unfused) forward
+    /// pass: `S^tar(x) = max_{j ≤ m} p_j(x)`. Kept as the implementation
+    /// the engine-backed [`Classifier::target_scores_rt`] is exact-equality
+    /// tested against.
     pub fn target_scores(&self, x: &Matrix) -> Vec<f64> {
         self.target_scores_from(self.probabilities(x))
     }
 
-    /// [`Classifier::target_scores`] executed on `rt`; bit-identical to the
-    /// serial path at any worker count.
+    /// [`Classifier::target_scores`] through the pooled `ScoreEngine` on
+    /// `rt`: fused layer pipeline, zero steady-state allocations, and a
+    /// per-row softmax-max finish. Bit-identical to the serial reference at
+    /// any worker count: the engine reproduces the exact logit chains, and
+    /// `max_j e_j / S` equals `max_j (e_j / S)` bitwise because dividing by
+    /// the shared positive row sum is monotone and the winning element's
+    /// quotient is the same division either way.
     pub fn target_scores_rt(&self, x: &Matrix, rt: &Runtime) -> Vec<f64> {
-        self.target_scores_from(self.probabilities_rt(x, rt))
+        let m = self.m;
+        // The reference row chain: max over all logits, exponentials (and
+        // their sum) accumulated in ascending column order, then the best
+        // target-class exponential normalized once.
+        let finish = move |_r: usize, z: &[f64]| {
+            let mx = z.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mut sum = 0.0;
+            let mut best = f64::NEG_INFINITY;
+            for (j, &v) in z.iter().enumerate() {
+                let e = (v - mx).exp();
+                sum += e;
+                if j < m {
+                    best = best.max(e);
+                }
+            }
+            best / sum
+        };
+        self.engine
+            .with(|e| e.score(&[(&self.mlp, &self.store)], x, rt, finish))
     }
 
     fn target_scores_from(&self, p: Matrix) -> Vec<f64> {
@@ -128,7 +164,13 @@ impl Classifier {
     ) -> Self {
         let mut store = VarStore::new();
         let mlp = Mlp::new(&mut store, rng, dims, Activation::Relu, Activation::None);
-        Self { store, mlp, m, k }
+        Self {
+            store,
+            mlp,
+            m,
+            k,
+            engine: EngineCell::new(),
+        }
     }
 
     /// Replaces all parameters with `matrices` (layer order `w1, b1, …`).
@@ -520,7 +562,13 @@ impl TargAd {
             Activation::Relu,
             Activation::None,
         );
-        let mut clf = Classifier { store, mlp, m, k };
+        let mut clf = Classifier {
+            store,
+            mlp,
+            m,
+            k,
+            engine: EngineCell::new(),
+        };
         let mut opt: Box<dyn Optimizer> = if self.config.clf_sgd {
             Box::new(Sgd::with_momentum(self.config.clf_lr, 0.9))
         } else {

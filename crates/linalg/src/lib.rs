@@ -23,4 +23,4 @@ pub mod par;
 pub mod rng;
 pub mod stats;
 
-pub use matrix::Matrix;
+pub use matrix::{matmul_bias_act_rows_into, stable_sigmoid, EpiAct, Matrix};

@@ -733,6 +733,60 @@ impl Matrix {
 // perturb the chain. Zero-padding the packed panels only feeds the unused
 // register lanes, which are never stored. DESIGN.md §9 has the full argument.
 
+/// Overflow-safe logistic sigmoid: `1 / (1 + e^{-x})` evaluated so the
+/// exponential argument is never positive. This is the single definition the
+/// tape op, the `eval`/`eval_rt` inference paths, and the fused GEMM
+/// epilogue all share — bit-identity between them starts here.
+#[inline]
+pub fn stable_sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Elementwise activation applied by the fused GEMM epilogue
+/// ([`matmul_bias_act_rows_into`]). Each variant is the exact scalar formula
+/// of the corresponding inference-path activation, so fusing it into the
+/// kernel's write-back is bit-identical to a separate full-matrix pass: the
+/// epilogue only ever sees the final accumulated value of an out element.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EpiAct {
+    /// Identity (no activation).
+    #[default]
+    None,
+    /// Rectified linear unit, `x.max(0.0)`.
+    Relu,
+    /// Leaky ReLU with the fixed slope 0.01 used across the reproduction.
+    LeakyRelu,
+    /// Logistic sigmoid via [`stable_sigmoid`].
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl EpiAct {
+    /// Applies the activation to one scalar.
+    #[inline(always)]
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            EpiAct::None => x,
+            EpiAct::Relu => x.max(0.0),
+            EpiAct::LeakyRelu => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.01 * x
+                }
+            }
+            EpiAct::Sigmoid => stable_sigmoid(x),
+            EpiAct::Tanh => x.tanh(),
+        }
+    }
+}
+
 /// Register tile height: output rows held in registers per micro-kernel call.
 const MR: usize = 4;
 /// Register tile width: output columns held in registers per micro-kernel
@@ -852,6 +906,13 @@ fn pack_bt_panel(
 /// `pack_b` ([`pack_b_panel`] for a row-major B, [`pack_bt_panel`] for a
 /// transposed one). `out` holds `rows` full rows of `n` and is accumulated
 /// into (callers pre-zero it), k-blocks ascending.
+///
+/// `epi`, when set, is a fused `(bias, activation)` epilogue applied at the
+/// tile write-back of the *final* k-block only — every earlier k-block still
+/// spills the raw partial sum (exact: an f64 store/load round-trip loses
+/// nothing), so the activation only ever sees the fully accumulated entry
+/// and the result is bit-identical to a separate bias-broadcast plus
+/// elementwise-activation pass over the finished product.
 #[allow(clippy::too_many_arguments)]
 fn gemm_blocked(
     a_data: &[f64],
@@ -861,6 +922,7 @@ fn gemm_blocked(
     kdim: usize,
     n: usize,
     pack_b: impl Fn(usize, usize, usize, usize, &mut [f64; KC * NR]),
+    epi: Option<(&[f64], EpiAct)>,
     out: &mut [f64],
 ) {
     let rows = out.len() / n;
@@ -873,6 +935,9 @@ fn gemm_blocked(
         let mut k0 = 0;
         while k0 < kdim {
             let kb = (kdim - k0).min(KC);
+            // The epilogue fires only on the k-block that completes each
+            // element's accumulation chain.
+            let fin = if k0 + kb == kdim { epi } else { None };
             pack_a_block(
                 a_data, a_base, a_istride, a_kstride, i0, ib, k0, kb, &mut apack,
             );
@@ -889,7 +954,17 @@ fn gemm_blocked(
                     }
                     gemm_micro(&apack[t * KC * MR..(t + 1) * KC * MR], &bpack, kb, &mut acc);
                     for (m, acc_row) in acc.iter().enumerate().take(mb) {
-                        out[base + m * n..base + m * n + jb].copy_from_slice(&acc_row[..jb]);
+                        let dst = &mut out[base + m * n..base + m * n + jb];
+                        match fin {
+                            Some((bias, act)) => {
+                                for ((o, &v), &bj) in
+                                    dst.iter_mut().zip(&acc_row[..jb]).zip(&bias[j0..j0 + jb])
+                                {
+                                    *o = act.apply(v + bj);
+                                }
+                            }
+                            None => dst.copy_from_slice(&acc_row[..jb]),
+                        }
                     }
                 }
                 j0 += NR;
@@ -974,6 +1049,7 @@ pub(crate) fn matmul_rows_into(a: &Matrix, b: &Matrix, first_row: usize, out: &m
             a.cols,
             n,
             pack_b,
+            None,
             out,
         );
     }
@@ -1006,6 +1082,7 @@ pub(crate) fn matmul_nt_rows_into(a: &Matrix, b: &Matrix, first_row: usize, out:
             a.cols,
             n,
             pack_b,
+            None,
             out,
         );
     }
@@ -1031,7 +1108,79 @@ pub(crate) fn matmul_tn_rows_into(a: &Matrix, b: &Matrix, first_k: usize, out: &
     } else {
         targad_obs::metrics::GEMM_KERNEL_DISPATCHES.inc();
         let pack_b = |k0, kb, j0, jb, bp: &mut _| pack_b_panel(b, k0, kb, j0, jb, bp);
-        gemm_blocked(&a.data, first_k, 1, a.cols, a.rows, n, pack_b, out);
+        gemm_blocked(&a.data, first_k, 1, a.cols, a.rows, n, pack_b, None, out);
+    }
+}
+
+/// The packing-free fused kernel for problems below [`BLOCK_MIN_FLOPS`]:
+/// the i-k-j loop of [`gemm_nn_naive`] reading rows from a raw slice, with
+/// the bias + activation epilogue applied per out row once that row's
+/// ascending-`k` accumulation chain is complete.
+fn gemm_nn_naive_slice_epi(
+    x_rows: &[f64],
+    d_in: usize,
+    w: &Matrix,
+    bias: &[f64],
+    act: EpiAct,
+    out: &mut [f64],
+) {
+    let n = w.cols;
+    for (r, out_row) in out.chunks_mut(n).enumerate() {
+        let a_row = &x_rows[r * d_in..(r + 1) * d_in];
+        for (k, &av) in a_row.iter().enumerate() {
+            let b_row = &w.data[k * n..(k + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+        for (o, &bj) in out_row.iter_mut().zip(bias) {
+            *o = act.apply(*o + bj);
+        }
+    }
+}
+
+/// The fused dense-layer kernel behind the `ScoreEngine` inference path:
+/// computes `act(x · w + bias)` for the row block `x_rows` (a row-major
+/// slice of whole `d_in`-wide rows) directly into `out`, with the bias-add
+/// and elementwise activation applied in the GEMM's write-back instead of
+/// as separate full-matrix passes.
+///
+/// Bit-identical to `x.matmul(w).add_row_broadcast(bias)` followed by an
+/// elementwise activation map: the accumulation chains are the shared GEMM
+/// chains (naive and blocked compute identical ones — see the determinism
+/// note above), and the epilogue applies the exact same `+ bias[j]` then
+/// `act` scalar sequence to each element's final accumulated value. Each out
+/// row depends only on its own input row, so any partition of a larger
+/// matrix into row blocks — and any assignment of blocks to workers — yields
+/// bit-identical scores.
+pub fn matmul_bias_act_rows_into(
+    x_rows: &[f64],
+    d_in: usize,
+    w: &Matrix,
+    bias: &[f64],
+    act: EpiAct,
+    out: &mut [f64],
+) {
+    let n = w.cols;
+    assert_eq!(w.rows, d_in, "matmul_bias_act_rows_into: inner mismatch");
+    assert_eq!(bias.len(), n, "matmul_bias_act_rows_into: bias mismatch");
+    if n == 0 || out.is_empty() {
+        return;
+    }
+    let rows = out.len() / n;
+    assert_eq!(
+        x_rows.len(),
+        rows * d_in,
+        "matmul_bias_act_rows_into: x/out row mismatch"
+    );
+    out.fill(0.0);
+    if rows * n * d_in < BLOCK_MIN_FLOPS {
+        targad_obs::metrics::GEMM_NAIVE_DISPATCHES.inc();
+        gemm_nn_naive_slice_epi(x_rows, d_in, w, bias, act, out);
+    } else {
+        targad_obs::metrics::GEMM_KERNEL_DISPATCHES.inc();
+        let pack_b = |k0, kb, j0, jb, bp: &mut _| pack_b_panel(w, k0, kb, j0, jb, bp);
+        gemm_blocked(x_rows, 0, d_in, 1, d_in, n, pack_b, Some((bias, act)), out);
     }
 }
 
@@ -1423,6 +1572,73 @@ mod tests {
                 reference::matmul_nt(&a, &b),
                 "({m}x{k}) * ({n}x{k})^T"
             );
+        }
+    }
+
+    const ALL_EPI_ACTS: &[EpiAct] = &[
+        EpiAct::None,
+        EpiAct::Relu,
+        EpiAct::LeakyRelu,
+        EpiAct::Sigmoid,
+        EpiAct::Tanh,
+    ];
+
+    #[test]
+    fn fused_bias_act_matches_separate_passes_on_odd_shapes() {
+        for &(m, k, n) in ODD_SHAPES {
+            let x = probe(m, k, 12);
+            let w = probe(k, n, 13);
+            let bias = probe(1, n, 14);
+            for &act in ALL_EPI_ACTS {
+                let mut out = Matrix::full(m, n, f64::NAN);
+                matmul_bias_act_rows_into(
+                    x.as_slice(),
+                    k,
+                    &w,
+                    bias.as_slice(),
+                    act,
+                    out.as_mut_slice(),
+                );
+                let want = x.matmul(&w).add_row_broadcast(&bias).map(|v| act.apply(v));
+                assert_eq!(out, want, "{m}x{k}x{n} {act:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_bias_act_is_row_block_invariant() {
+        // Large enough that the whole problem takes the blocked path while
+        // small row blocks fall below the naive threshold — partitioning must
+        // not change a single bit even when the kernel changes underneath.
+        let (m, k, n) = (130, 257, 9);
+        let x = probe(m, k, 15);
+        let w = probe(k, n, 16);
+        let bias = probe(1, n, 17);
+        let mut full = Matrix::full(m, n, f64::NAN);
+        matmul_bias_act_rows_into(
+            x.as_slice(),
+            k,
+            &w,
+            bias.as_slice(),
+            EpiAct::Sigmoid,
+            full.as_mut_slice(),
+        );
+        for block in [1usize, 3, 64, 128] {
+            let mut out = Matrix::full(m, n, f64::NAN);
+            let mut r0 = 0;
+            while r0 < m {
+                let rb = (m - r0).min(block);
+                matmul_bias_act_rows_into(
+                    &x.as_slice()[r0 * k..(r0 + rb) * k],
+                    k,
+                    &w,
+                    bias.as_slice(),
+                    EpiAct::Sigmoid,
+                    &mut out.as_mut_slice()[r0 * n..(r0 + rb) * n],
+                );
+                r0 += rb;
+            }
+            assert_eq!(out, full, "block={block}");
         }
     }
 

@@ -1,0 +1,375 @@
+//! The zero-allocation batched inference engine.
+//!
+//! Every scoring path in the workspace — TargAD's Eq. 9 target scores, the
+//! per-epoch probe scoring behind the convergence figures, the Eq. 2
+//! reconstruction-error ranking, and all MLP-backed baseline `score()`
+//! implementations — is a *frozen* forward pass: matrices of weights that no
+//! longer change, applied to a batch of rows. [`ScoreEngine`] runs that pass
+//! with three properties the reference `Mlp::eval_rt` pipeline lacks:
+//!
+//! 1. **Fused epilogues** — each dense layer is one call to
+//!    `targad_linalg::matmul_bias_act_rows_into`, which applies the bias add
+//!    and elementwise activation in the GEMM's write-back instead of as two
+//!    further full-matrix passes.
+//! 2. **Pooled ping-pong scratch** — layer outputs alternate between two
+//!    per-worker scratch buffers that are kept at capacity across batches
+//!    (the same discipline as the pooled `Tape`), so steady-state scoring
+//!    performs zero heap allocations.
+//! 3. **Deterministic row-block streaming** — input rows are partitioned
+//!    into fixed [`INFER_BLOCK_ROWS`]-row blocks that never depend on the
+//!    worker count, and each block is computed in full by exactly one
+//!    worker. Every output score depends only on its own input row, so the
+//!    result is bit-identical to the serial reference at any
+//!    `TARGAD_THREADS`, and memory stays O(block), not O(n).
+//!
+//! The engine is bit-identical to `Mlp::eval`/`eval_rt` by construction: the
+//! fused kernel computes the exact accumulation chains of the unfused
+//! matmul + broadcast + activation sequence (see the epilogue notes in
+//! `targad-linalg`), and block streaming only re-partitions independent
+//! per-row chains. `eval`/`eval_rt` remain in place as the reference
+//! implementation the exact-equality tests compare against.
+
+use std::sync::Mutex;
+
+use targad_autograd::VarStore;
+use targad_linalg::{matmul_bias_act_rows_into, Matrix};
+use targad_obs::metrics::{SCORE_BATCHES, SCORE_BLOCKS, SCORE_ENGINE_POOL_BYTES, SCORE_ROWS};
+use targad_obs::profile::{span, PHASE_INFER};
+use targad_runtime::Runtime;
+
+use crate::layers::Mlp;
+
+/// Rows per streamed block. Fixed — never derived from the worker count —
+/// so the block partition (and therefore every accumulation chain grouping)
+/// is invariant under `TARGAD_THREADS`. 256 rows keeps a block's widest
+/// layer activation within L2 for every architecture in the reproduction
+/// while still amortizing the per-block dispatch.
+pub const INFER_BLOCK_ROWS: usize = 256;
+
+/// A frozen forward pass: MLPs applied in sequence, each with its own
+/// parameter store. A single network is `&[(&mlp, &store)]`; an autoencoder
+/// chains `[(&encoder, store), (&decoder, store)]`.
+pub type ModelStack<'a> = &'a [(&'a Mlp, &'a VarStore)];
+
+/// Per-worker ping-pong scratch: layer `l` reads one buffer and writes the
+/// other. Both are kept at high-water capacity across batches.
+#[derive(Default)]
+struct Scratch {
+    a: Vec<f64>,
+    b: Vec<f64>,
+}
+
+/// The pre-planned, pooled inference pipeline. See the module docs.
+///
+/// One engine amortizes its scratch across every batch it runs; scoring
+/// paths hold one per fitted model (via [`EngineCell`]) so repeated scoring
+/// — per-epoch probe traces, suite-table regeneration — stops allocating
+/// after the first batch.
+#[derive(Default)]
+pub struct ScoreEngine {
+    /// One scratch pair per worker slot (index = worker id).
+    scratch: Vec<Scratch>,
+    /// One result buffer per row block (index = block id).
+    results: Vec<Vec<f64>>,
+}
+
+impl ScoreEngine {
+    /// A fresh engine with an empty buffer pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs the frozen forward pass of `stack` over `x` and reduces each
+    /// final-layer row to one score with `finish(global_row, row)`, writing
+    /// `out[r] = finish(r, final_layer_row_r)`.
+    ///
+    /// `finish` must be a pure per-row function; scores are then
+    /// bit-identical at any worker count.
+    pub fn score_into<F>(
+        &mut self,
+        stack: ModelStack<'_>,
+        x: &Matrix,
+        rt: &Runtime,
+        finish: F,
+        out: &mut [f64],
+    ) where
+        F: Fn(usize, &[f64]) -> f64 + Sync,
+    {
+        assert_eq!(out.len(), x.rows(), "score_into: out length mismatch");
+        self.run_blocks(stack, x, rt, |start, d_last, fin, result| {
+            let rb = fin.len() / d_last.max(1);
+            result.resize(rb, 0.0);
+            for (r, (slot, row)) in result.iter_mut().zip(fin.chunks_exact(d_last)).enumerate() {
+                *slot = finish(start + r, row);
+            }
+        });
+        // Ascending-block gather: deterministic and cheap (one copy).
+        let nblocks = x.rows().div_ceil(INFER_BLOCK_ROWS);
+        for (block, chunk) in self.results[..nblocks]
+            .iter()
+            .zip(out.chunks_mut(INFER_BLOCK_ROWS))
+        {
+            chunk.copy_from_slice(block);
+        }
+    }
+
+    /// [`ScoreEngine::score_into`] into a fresh `Vec` (the allocation is the
+    /// caller's result, not engine scratch).
+    pub fn score<F>(
+        &mut self,
+        stack: ModelStack<'_>,
+        x: &Matrix,
+        rt: &Runtime,
+        finish: F,
+    ) -> Vec<f64>
+    where
+        F: Fn(usize, &[f64]) -> f64 + Sync,
+    {
+        let mut out = vec![0.0; x.rows()];
+        self.score_into(stack, x, rt, finish, &mut out);
+        out
+    }
+
+    /// Runs the frozen forward pass of `stack` over `x` and writes the
+    /// final-layer activations into `out` (shape `x.rows() x d_out`).
+    /// The embedding counterpart of [`ScoreEngine::score_into`] for paths
+    /// that need the full output matrix (REPEN embeddings, FEAWAD's
+    /// representation assembly).
+    pub fn forward_into(
+        &mut self,
+        stack: ModelStack<'_>,
+        x: &Matrix,
+        rt: &Runtime,
+        out: &mut Matrix,
+    ) {
+        let d_last = stack
+            .last()
+            .map(|(mlp, _)| mlp.out_dim())
+            .expect("forward_into: empty stack");
+        assert_eq!(
+            out.shape(),
+            (x.rows(), d_last),
+            "forward_into: out shape mismatch"
+        );
+        self.run_blocks(stack, x, rt, |_start, _d, fin, result| {
+            result.resize(fin.len(), 0.0);
+            result.copy_from_slice(fin);
+        });
+        let nblocks = x.rows().div_ceil(INFER_BLOCK_ROWS);
+        for (block, chunk) in self.results[..nblocks]
+            .iter()
+            .zip(out.as_mut_slice().chunks_mut(INFER_BLOCK_ROWS * d_last))
+        {
+            chunk.copy_from_slice(block);
+        }
+    }
+
+    /// The streaming core: partitions `x` into fixed row blocks, runs the
+    /// fused layer pipeline per block on the runtime pool (one block per
+    /// worker at a time, contiguous block ranges per worker), and hands each
+    /// block's final activations to `emit(start_row, d_last, rows, result)`.
+    fn run_blocks<E>(&mut self, stack: ModelStack<'_>, x: &Matrix, rt: &Runtime, emit: E)
+    where
+        E: Fn(usize, usize, &[f64], &mut Vec<f64>) + Sync,
+    {
+        let _guard = span(&PHASE_INFER);
+        let rows = x.rows();
+        let d_in = x.cols();
+        assert!(!stack.is_empty(), "ScoreEngine: empty model stack");
+        assert_eq!(stack[0].0.in_dim(), d_in, "ScoreEngine: input dim mismatch");
+        SCORE_BATCHES.inc();
+        SCORE_ROWS.add(rows as u64);
+        if rows == 0 {
+            return;
+        }
+
+        let nblocks = rows.div_ceil(INFER_BLOCK_ROWS);
+        SCORE_BLOCKS.add(nblocks as u64);
+        let workers = rt.threads().min(nblocks).max(1);
+        // Grow-only pools: `resize_with` would drop warm buffers on shrink.
+        if self.results.len() < nblocks {
+            self.results.resize_with(nblocks, Vec::new);
+        }
+        if self.scratch.len() < workers {
+            self.scratch.resize_with(workers, Scratch::default);
+        }
+
+        let xs = x.as_slice();
+        rt.par_shards(
+            &mut self.results[..nblocks],
+            &mut self.scratch[..workers],
+            |s, result, scr| {
+                let start = s * INFER_BLOCK_ROWS;
+                let rb = (rows - start).min(INFER_BLOCK_ROWS);
+                let mut cur_dim = d_in;
+                // `true` when the *next* layer writes into `scr.a`.
+                let mut dst_is_a = true;
+                let mut first = true;
+                for &(mlp, store) in stack {
+                    debug_assert_eq!(mlp.in_dim(), cur_dim, "ScoreEngine: stack dim chain");
+                    for (i, layer) in mlp.layers().iter().enumerate() {
+                        let (wid, bid) = layer.params();
+                        let w = store.value(wid);
+                        let bias = store.value(bid).as_slice();
+                        let act = mlp.act(i).epi();
+                        let d_out = layer.out_dim();
+                        let (src, dst) = if first {
+                            let rows_in = &xs[start * cur_dim..(start + rb) * cur_dim];
+                            (rows_in, &mut scr.a)
+                        } else if dst_is_a {
+                            (&scr.b[..rb * cur_dim], &mut scr.a)
+                        } else {
+                            (&scr.a[..rb * cur_dim], &mut scr.b)
+                        };
+                        dst.resize(rb * d_out, 0.0);
+                        matmul_bias_act_rows_into(src, cur_dim, w, bias, act, &mut dst[..]);
+                        first = false;
+                        dst_is_a = !dst_is_a;
+                        cur_dim = d_out;
+                    }
+                }
+                let fin = if dst_is_a {
+                    &scr.b[..rb * cur_dim]
+                } else {
+                    &scr.a[..rb * cur_dim]
+                };
+                emit(start, cur_dim, fin, result);
+            },
+        );
+
+        SCORE_ENGINE_POOL_BYTES.set(self.pool_bytes() as u64);
+    }
+
+    /// Bytes of scratch capacity currently held by the engine's pool.
+    pub fn pool_bytes(&self) -> usize {
+        let scratch: usize = self
+            .scratch
+            .iter()
+            .map(|s| s.a.capacity() + s.b.capacity())
+            .sum();
+        let results: usize = self.results.iter().map(Vec::capacity).sum();
+        (scratch + results) * std::mem::size_of::<f64>()
+    }
+}
+
+/// A [`ScoreEngine`] behind a `Mutex`, embeddable in fitted models whose
+/// `score(&self, ..)` takes a shared reference. The scratch pool is pure
+/// cache, so `Clone` hands back a *fresh* empty cell (cloned models re-warm
+/// independently) and equality/serialization concerns never arise.
+#[derive(Default)]
+pub struct EngineCell(Mutex<ScoreEngine>);
+
+impl EngineCell {
+    /// A cell holding a fresh engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` with exclusive access to the engine.
+    pub fn with<R>(&self, f: impl FnOnce(&mut ScoreEngine) -> R) -> R {
+        let mut guard = self
+            .0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        f(&mut guard)
+    }
+}
+
+impl Clone for EngineCell {
+    fn clone(&self) -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for EngineCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineCell").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Activation, Mlp};
+    use targad_linalg::rng as lrng;
+
+    fn model(seed: u64, dims: &[usize], out_act: Activation) -> (VarStore, Mlp) {
+        let mut rng = lrng::seeded(seed);
+        let mut vs = VarStore::new();
+        let mlp = Mlp::new(&mut vs, &mut rng, dims, Activation::Relu, out_act);
+        (vs, mlp)
+    }
+
+    #[test]
+    fn engine_matches_eval_rt_exactly() {
+        let (vs, mlp) = model(7, &[9, 24, 16, 3], Activation::Sigmoid);
+        let mut rng = lrng::seeded(8);
+        // Straddles several blocks, last one ragged.
+        let x = lrng::normal_matrix(&mut rng, 3 * INFER_BLOCK_ROWS + 37, 9, 0.0, 2.0);
+        for threads in [1, 2, 7] {
+            let rt = Runtime::new(threads);
+            let want = mlp.eval_rt(&vs, &x, &rt);
+            let mut engine = ScoreEngine::new();
+            let mut got = Matrix::zeros(x.rows(), 3);
+            engine.forward_into(&[(&mlp, &vs)], &x, &rt, &mut got);
+            assert_eq!(got, want, "threads={threads}");
+
+            let scores = engine.score(&[(&mlp, &vs)], &x, &rt, |_, row| row[0] - row[2]);
+            let want_scores: Vec<f64> = (0..want.rows())
+                .map(|r| want[(r, 0)] - want[(r, 2)])
+                .collect();
+            assert_eq!(scores, want_scores, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn engine_chains_stacked_models_like_sequential_eval() {
+        let (vs_e, enc) = model(11, &[6, 12, 4], Activation::None);
+        let (vs_d, dec) = model(12, &[4, 12, 6], Activation::Sigmoid);
+        let mut rng = lrng::seeded(13);
+        let x = lrng::normal_matrix(&mut rng, 301, 6, 0.0, 1.0);
+        let rt = Runtime::new(2);
+        let want = dec.eval_rt(&vs_d, &enc.eval_rt(&vs_e, &x, &rt), &rt);
+        let mut engine = ScoreEngine::new();
+        let mut got = Matrix::zeros(301, 6);
+        engine.forward_into(&[(&enc, &vs_e), (&dec, &vs_d)], &x, &rt, &mut got);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn engine_is_worker_count_invariant() {
+        let (vs, mlp) = model(21, &[5, 32, 1], Activation::None);
+        let mut rng = lrng::seeded(22);
+        let x = lrng::normal_matrix(&mut rng, 2 * INFER_BLOCK_ROWS + 3, 5, 0.0, 1.0);
+        let mut engine = ScoreEngine::new();
+        let base = engine.score(&[(&mlp, &vs)], &x, &Runtime::new(1), |_, row| row[0]);
+        for threads in [2, 3, 7, 16] {
+            let got = engine.score(&[(&mlp, &vs)], &x, &Runtime::new(threads), |_, row| row[0]);
+            assert_eq!(got, base, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn engine_handles_empty_input() {
+        let (vs, mlp) = model(31, &[4, 8, 2], Activation::Tanh);
+        let x = Matrix::zeros(0, 4);
+        let mut engine = ScoreEngine::new();
+        let scores = engine.score(&[(&mlp, &vs)], &x, &Runtime::serial(), |_, row| row[0]);
+        assert!(scores.is_empty());
+    }
+
+    #[test]
+    fn engine_pool_is_reused_across_batches() {
+        let (vs, mlp) = model(41, &[8, 64, 1], Activation::Sigmoid);
+        let mut rng = lrng::seeded(42);
+        let x = lrng::normal_matrix(&mut rng, 700, 8, 0.0, 1.0);
+        let rt = Runtime::new(2);
+        let mut engine = ScoreEngine::new();
+        let first = engine.score(&[(&mlp, &vs)], &x, &rt, |_, row| row[0]);
+        let warm = engine.pool_bytes();
+        assert!(warm > 0);
+        let second = engine.score(&[(&mlp, &vs)], &x, &rt, |_, row| row[0]);
+        assert_eq!(first, second);
+        assert_eq!(engine.pool_bytes(), warm, "pool must not grow when warm");
+    }
+}

@@ -2,7 +2,7 @@
 
 use rand::Rng;
 use targad_autograd::{ParamId, Tape, Var, VarStore};
-use targad_linalg::{rng as lrng, Matrix};
+use targad_linalg::{rng as lrng, EpiAct, Matrix};
 use targad_runtime::Runtime;
 
 /// Activation functions used across the reproduction.
@@ -32,44 +32,37 @@ impl Activation {
         }
     }
 
-    /// Applies the activation directly to a matrix (inference path).
-    pub fn eval(self, m: Matrix) -> Matrix {
+    /// The scalar epilogue form of this activation — the single definition
+    /// shared by [`Activation::eval`], [`Activation::eval_rt`], and the
+    /// fused GEMM write-back in `targad-linalg`.
+    pub fn epi(self) -> EpiAct {
         match self {
-            Activation::None => m,
-            Activation::Relu => m.map(|x| x.max(0.0)),
-            Activation::LeakyRelu => m.map(|x| if x > 0.0 { x } else { 0.01 * x }),
-            Activation::Sigmoid => m.map(|x| {
-                if x >= 0.0 {
-                    1.0 / (1.0 + (-x).exp())
-                } else {
-                    let e = x.exp();
-                    e / (1.0 + e)
-                }
-            }),
-            Activation::Tanh => m.map(f64::tanh),
+            Activation::None => EpiAct::None,
+            Activation::Relu => EpiAct::Relu,
+            Activation::LeakyRelu => EpiAct::LeakyRelu,
+            Activation::Sigmoid => EpiAct::Sigmoid,
+            Activation::Tanh => EpiAct::Tanh,
         }
+    }
+
+    /// Applies the activation directly to a matrix (inference path). Mapped
+    /// in place — the caller hands over the matrix, so no fresh allocation.
+    pub fn eval(self, mut m: Matrix) -> Matrix {
+        if self != Activation::None {
+            let epi = self.epi();
+            m.map_inplace(|x| epi.apply(x));
+        }
+        m
     }
 
     /// [`Activation::eval`] executed on `rt`; bit-identical to the serial
     /// path at any worker count.
-    pub fn eval_rt(self, m: Matrix, rt: &Runtime) -> Matrix {
-        match self {
-            Activation::None => m,
-            Activation::Relu => m.map_rt(|x| x.max(0.0), rt),
-            Activation::LeakyRelu => m.map_rt(|x| if x > 0.0 { x } else { 0.01 * x }, rt),
-            Activation::Sigmoid => m.map_rt(
-                |x| {
-                    if x >= 0.0 {
-                        1.0 / (1.0 + (-x).exp())
-                    } else {
-                        let e = x.exp();
-                        e / (1.0 + e)
-                    }
-                },
-                rt,
-            ),
-            Activation::Tanh => m.map_rt(f64::tanh, rt),
+    pub fn eval_rt(self, mut m: Matrix, rt: &Runtime) -> Matrix {
+        if self != Activation::None {
+            let epi = self.epi();
+            m.map_inplace_rt(|x| epi.apply(x), rt);
         }
+        m
     }
 }
 
@@ -203,6 +196,16 @@ impl Mlp {
     /// The layer stack, in forward order.
     pub fn layers(&self) -> &[Linear] {
         &self.layers
+    }
+
+    /// The activation applied after layer `i` (`out_act` on the last layer,
+    /// `hidden_act` otherwise) — the rule every forward path shares.
+    pub fn act(&self, i: usize) -> Activation {
+        if i + 1 == self.layers.len() {
+            self.out_act
+        } else {
+            self.hidden_act
+        }
     }
 
     /// The `[in, h1, …, out]` dimension vector this MLP was built with.

@@ -14,11 +14,13 @@
 pub mod ae;
 pub mod batch;
 pub mod dp;
+pub mod infer;
 pub mod layers;
 pub mod optim;
 
 pub use ae::AutoEncoder;
 pub use batch::shuffled_batches;
 pub use dp::{shard_count, shard_range, Parts, ShardedStep, MAX_PARTS, SHARD_ROWS};
+pub use infer::{EngineCell, ModelStack, ScoreEngine, INFER_BLOCK_ROWS};
 pub use layers::{Activation, Linear, Mlp};
 pub use optim::{Adam, Optimizer, Sgd};

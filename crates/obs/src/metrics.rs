@@ -212,9 +212,19 @@ pub static CLIP_ACTIVATIONS: Counter = Counter::new("optim.clip_activations");
 pub static TRAIN_EPOCHS: Counter = Counter::new("train.epochs");
 /// Warnings emitted via [`crate::warn`].
 pub static OBS_WARNINGS: Counter = Counter::new("obs.warnings");
+/// Scoring batches run through the `ScoreEngine` inference path.
+pub static SCORE_BATCHES: Counter = Counter::new("score.batches");
+/// Rows scored by the `ScoreEngine` inference path.
+pub static SCORE_ROWS: Counter = Counter::new("score.rows");
+/// Row blocks streamed by the `ScoreEngine` (fixed-size, worker-invariant).
+pub static SCORE_BLOCKS: Counter = Counter::new("score.blocks");
 
 /// Worker count of the most recent multi-worker pool dispatch.
 pub static POOL_WORKERS: Gauge = Gauge::new("pool.workers");
+
+/// Bytes of scratch capacity held by the most recently used `ScoreEngine`
+/// buffer pool (ping-pong scratch plus block result slots).
+pub static SCORE_ENGINE_POOL_BYTES: Gauge = Gauge::new("score.engine_pool_bytes");
 
 /// Time the dispatching thread spent waiting for pool workers to finish a
 /// round after completing its own share, in nanoseconds.
@@ -232,10 +242,13 @@ pub static COUNTERS: &[&Counter] = &[
     &CLIP_ACTIVATIONS,
     &TRAIN_EPOCHS,
     &OBS_WARNINGS,
+    &SCORE_BATCHES,
+    &SCORE_ROWS,
+    &SCORE_BLOCKS,
 ];
 
 /// All registered gauges, in reporting order.
-pub static GAUGES: &[&Gauge] = &[&POOL_WORKERS];
+pub static GAUGES: &[&Gauge] = &[&POOL_WORKERS, &SCORE_ENGINE_POOL_BYTES];
 
 /// All registered histograms, in reporting order.
 pub static HISTOGRAMS: &[&Histogram] = &[&POOL_QUEUE_WAIT_NS];

@@ -118,6 +118,8 @@ pub static PHASE_STEP_BACKWARD: PhaseTimer = PhaseTimer::new("step.backward");
 pub static PHASE_STEP_REDUCE: PhaseTimer = PhaseTimer::new("step.reduce");
 /// Gradient clip + optimizer apply (core training loops).
 pub static PHASE_STEP_APPLY: PhaseTimer = PhaseTimer::new("step.apply");
+/// One `ScoreEngine` batch (all row blocks of one scoring call).
+pub static PHASE_INFER: PhaseTimer = PhaseTimer::new("infer");
 
 /// Every phase, in registry (= deterministic reporting) order. Parents
 /// precede children.
@@ -134,6 +136,7 @@ pub static PHASES: &[&PhaseTimer] = &[
     &PHASE_STEP_BACKWARD,
     &PHASE_STEP_REDUCE,
     &PHASE_STEP_APPLY,
+    &PHASE_INFER,
 ];
 
 /// Resets every registered phase timer.
