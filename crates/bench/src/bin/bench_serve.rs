@@ -1,0 +1,265 @@
+//! Closed-loop serving benchmark: real HTTP clients against a booted
+//! `targad-serve` instance.
+//!
+//! Two phases, same fitted model:
+//!
+//! 1. **Serial baseline** — one client, one row per request, against a
+//!    `max_batch = 1` server (every row pays a full round trip and its own
+//!    engine pass).
+//! 2. **Micro-batched** — eight concurrent one-row clients against a
+//!    coalescing server; mid-phase the model is hot-swapped several times
+//!    under full load.
+//!
+//! Writes `results/bench_serve.json` with rows/sec and latency percentiles
+//! for both phases. Acceptance: `speedup_batched_vs_serial >= 1.5` and
+//! `lost_requests == 0` across the hot swaps.
+//!
+//! Set `TARGAD_BENCH_QUICK=1` for a seconds-long smoke run (CI uses this
+//! to boot, score, hot-swap, and shut down cleanly on every push).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use targad_core::{Runtime, TargAd, TargAdConfig};
+use targad_data::GeneratorSpec;
+use targad_linalg::Matrix;
+use targad_serve::{Client, Json, ModelSnapshot, ServeConfig, Server};
+
+fn quick_mode() -> bool {
+    std::env::var("TARGAD_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// One phase's aggregate results.
+struct PhaseStats {
+    clients: usize,
+    rows: u64,
+    elapsed: Duration,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+impl PhaseStats {
+    fn rows_per_sec(&self) -> f64 {
+        self.rows as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[idx] as f64 / 1_000.0
+}
+
+fn fitted_snapshot(seed: u64, tag: &str) -> (ModelSnapshot, Matrix) {
+    // Quick (CI smoke) mode only checks the protocol, so a toy model is
+    // fine. The full run serves a realistically sized classifier — with a
+    // trivial network the forward pass vanishes next to per-request I/O
+    // and micro-batching has nothing to amortize.
+    let (mut spec, mut config) = (GeneratorSpec::quick_demo(), TargAdConfig::fast());
+    if !quick_mode() {
+        // 256 → 1024 → 1024 → 6: ~8 MB of f64 weights, so a one-row pass
+        // is DRAM-bound on streaming the matrices while a coalesced batch
+        // streams them once for all rows — the effect serving batches
+        // exist to exploit.
+        spec.dims = 256;
+        config.clf_hidden = vec![1024, 1024];
+        config.ae_epochs = 6;
+        config.clf_epochs = 8;
+    }
+    let bundle = spec.generate(seed);
+    let mut model = TargAd::try_new(config).expect("valid config");
+    model.fit(&bundle.train, seed).expect("fit");
+    let thresholds = model
+        .calibrate_thresholds(&bundle.val.features, &bundle.val.three_way_labels())
+        .expect("calibrate");
+    let snapshot = ModelSnapshot::new(model.classifier().unwrap().clone(), thresholds, tag);
+    (snapshot, bundle.test.features)
+}
+
+fn one_row_body(x: &Matrix, r: usize) -> String {
+    let cells: Vec<String> = x.row(r).iter().map(|v| format!("{v:?}")).collect();
+    format!(
+        "{{\"rows\": [[{}]], \"ood_strategy\": \"msp\"}}",
+        cells.join(", ")
+    )
+}
+
+/// Runs `clients` closed-loop one-row scorers against `addr` for
+/// `duration`. Returns the aggregate stats and the number of non-200
+/// responses (which must be zero, hot swaps included).
+fn drive(
+    addr: std::net::SocketAddr,
+    x: &Matrix,
+    clients: usize,
+    duration: Duration,
+) -> (PhaseStats, u64) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            let bodies: Vec<String> = (0..32)
+                .map(|i| one_row_body(x, (c * 32 + i) % x.rows()))
+                .collect();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut latencies_ns = Vec::with_capacity(1 << 16);
+                let mut failures = 0u64;
+                let mut i = 0usize;
+                while !stop.load(Ordering::Acquire) {
+                    let body = &bodies[i % bodies.len()];
+                    let t0 = Instant::now();
+                    let resp = client.request("POST", "/score", body).expect("request");
+                    latencies_ns.push(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                    if resp.status != 200 {
+                        failures += 1;
+                    }
+                    i += 1;
+                }
+                (latencies_ns, failures)
+            })
+        })
+        .collect();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Release);
+
+    let mut all_ns = Vec::new();
+    let mut failures = 0u64;
+    for handle in handles {
+        let (ns, f) = handle.join().expect("client thread");
+        all_ns.extend(ns);
+        failures += f;
+    }
+    let elapsed = started.elapsed();
+    all_ns.sort_unstable();
+    let stats = PhaseStats {
+        clients,
+        rows: all_ns.len() as u64,
+        elapsed,
+        p50_us: percentile(&all_ns, 0.50),
+        p99_us: percentile(&all_ns, 0.99),
+    };
+    (stats, failures)
+}
+
+fn main() {
+    let phase_duration = if quick_mode() {
+        Duration::from_millis(400)
+    } else {
+        Duration::from_secs(3)
+    };
+    let (snap_a, x) = fitted_snapshot(41, "bench-a");
+    let (snap_b, _) = fitted_snapshot(43, "bench-b");
+
+    // Phase 1: serial one-row baseline — no coalescing at all.
+    let serial_config = ServeConfig::builder()
+        .max_batch(1)
+        .max_queue_wait(Duration::from_micros(50))
+        .build()
+        .expect("valid config");
+    let mut serial_server =
+        Server::start(serial_config, snap_a.clone(), Runtime::new(2)).expect("boot serial server");
+    let (serial, serial_failures) = drive(serial_server.addr(), &x, 1, phase_duration);
+    serial_server.shutdown();
+    assert_eq!(serial_failures, 0, "serial phase had failing requests");
+    println!(
+        "serial    : 1 client , {:>8} rows, {:>9.0} rows/s, p50 {:>7.1}us, p99 {:>7.1}us",
+        serial.rows,
+        serial.rows_per_sec(),
+        serial.p50_us,
+        serial.p99_us
+    );
+
+    // Phase 2: eight coalescing clients, hot-swapped under load.
+    let batched_config = ServeConfig::builder()
+        .max_batch(8)
+        .max_queue_wait(Duration::from_micros(250))
+        .build()
+        .expect("valid config");
+    let mut batched_server = Server::start(batched_config, snap_a.clone(), Runtime::new(2))
+        .expect("boot batched server");
+    let addr = batched_server.addr();
+    let registry = Arc::clone(batched_server.registry());
+    let swapper = std::thread::spawn(move || {
+        let swaps = 6u64;
+        for s in 0..swaps {
+            std::thread::sleep(phase_duration / (swaps as u32 + 1));
+            let next = if s % 2 == 0 {
+                snap_b.clone()
+            } else {
+                snap_a.clone()
+            };
+            registry.swap(next);
+        }
+        swaps
+    });
+    let (batched, batched_failures) = drive(addr, &x, 8, phase_duration);
+    let swaps = swapper.join().expect("swapper thread");
+    let fill = batched_server.batcher().stats();
+    // Verify the server still answers after the swap storm, then shut down.
+    let mut probe = Client::connect(addr).expect("post-swap connect");
+    let resp = probe.request("GET", "/healthz", "").expect("healthz");
+    assert_eq!(resp.status, 200);
+    let generation = Json::parse(&resp.text())
+        .expect("healthz json")
+        .get("generation")
+        .and_then(Json::as_f64)
+        .expect("generation");
+    assert_eq!(generation as u64, swaps + 1);
+    drop(probe);
+    batched_server.shutdown();
+    assert_eq!(batched_failures, 0, "hot-swap under load lost requests");
+    println!(
+        "batched   : 8 clients, {:>8} rows, {:>9.0} rows/s, p50 {:>7.1}us, p99 {:>7.1}us \
+         ({} batches, max fill {})",
+        batched.rows,
+        batched.rows_per_sec(),
+        batched.p50_us,
+        batched.p99_us,
+        fill.batches,
+        fill.max_fill
+    );
+
+    let speedup = batched.rows_per_sec() / serial.rows_per_sec();
+    println!("speedup   : {speedup:.2}x (acceptance: >= 1.5)");
+
+    let mode = if quick_mode() { "quick" } else { "full" };
+    let json = format!(
+        "{{\n  \"mode\": \"{mode}\",\n  \"ood_strategy\": \"{}\",\n  \
+         \"serial\": {{\"clients\": {}, \"rows\": {}, \"rows_per_sec\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}},\n  \
+         \"batched\": {{\"clients\": {}, \"rows\": {}, \"rows_per_sec\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"batches\": {}, \"max_fill\": {}}},\n  \
+         \"speedup_batched_vs_serial\": {:.3},\n  \"hot_swaps_during_load\": {},\n  \"lost_requests\": {}\n}}\n",
+        targad_serve::ServeConfig::default().default_strategy.name(),
+        serial.clients,
+        serial.rows,
+        serial.rows_per_sec(),
+        serial.p50_us,
+        serial.p99_us,
+        batched.clients,
+        batched.rows,
+        batched.rows_per_sec(),
+        batched.p50_us,
+        batched.p99_us,
+        fill.batches,
+        fill.max_fill,
+        speedup,
+        swaps,
+        serial_failures + batched_failures,
+    );
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/bench_serve.json");
+    std::fs::write(&path, json).expect("write bench_serve.json");
+    println!("wrote {}", path.display());
+
+    // In quick (CI smoke) mode load is too short-lived for the ratio to be
+    // meaningful; the full run enforces the acceptance bar.
+    if !quick_mode() {
+        assert!(
+            speedup >= 1.5,
+            "micro-batched throughput {speedup:.2}x below the 1.5x acceptance bar"
+        );
+    }
+}

@@ -67,7 +67,10 @@ pub fn eval_model(model: &mut dyn Detector, bundle: &DatasetBundle, seed: u64) -
     model
         .fit(&view, seed)
         .unwrap_or_else(|e| panic!("{}: fit failed: {e}", model.name()));
-    eval_scores(&model.score(&bundle.test.features), &bundle.test)
+    let scores = model
+        .try_score(&bundle.test.features)
+        .unwrap_or_else(|e| panic!("{}: score failed: {e}", model.name()));
+    eval_scores(&scores, &bundle.test)
 }
 
 /// AUPRC and AUROC aggregates for one model on one dataset.

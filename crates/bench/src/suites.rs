@@ -3,7 +3,6 @@
 //! `run_all` persists all of them under `results/`.
 
 use targad_baselines::{DeepSad, Detector, DevNet, Feawad, PreNet, TrainView};
-use targad_core::ood::{calibrate_threshold, classify_three_way};
 use targad_core::{OodStrategy, TargAd, TargAdConfig};
 use targad_data::Preset;
 use targad_linalg::stats;
@@ -125,9 +124,11 @@ pub fn table4(args: &CommonArgs) -> String {
     model
         .fit(&bundle.train, args.seed_list()[0])
         .expect("TargAD fit");
-    let clf = model.classifier().expect("fitted");
 
     let truth_val = bundle.val.three_way_labels();
+    model
+        .calibrate_thresholds(&bundle.val.features, &truth_val)
+        .expect("calibration");
     let truth_test = bundle.test.three_way_labels();
     let class_names = [
         "normal instances",
@@ -136,9 +137,11 @@ pub fn table4(args: &CommonArgs) -> String {
     ];
 
     for strategy in OodStrategy::all() {
-        let tau = calibrate_threshold(clf, &bundle.val.features, &truth_val, strategy);
-        let pred = classify_three_way(clf, &bundle.test.features, strategy, tau);
-        let cm = ConfusionMatrix::from_predictions(&truth_test, &pred, 3);
+        let tau = model.thresholds().get(strategy).expect("calibrated");
+        let verdicts = model
+            .try_verdict_matrix(&bundle.test.features, strategy)
+            .expect("fitted and calibrated");
+        let cm = ConfusionMatrix::from_predictions(&truth_test, &verdicts.three_way_codes(), 3);
 
         let mut table = Table::new(&["class", "Precision", "Recall", "F1-Score"]);
         for (c, name) in class_names.iter().enumerate() {

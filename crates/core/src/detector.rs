@@ -11,6 +11,8 @@ use targad_data::{Dataset, Truth};
 use targad_linalg::Matrix;
 
 use crate::error::TargAdError;
+use crate::ood::OodStrategy;
+use crate::verdict::{calibrate_score_threshold, Calibration, ScoreOutput, VerdictClass};
 
 /// The training data as detectors see it: labeled target anomalies plus
 /// the unlabeled pool.
@@ -85,6 +87,80 @@ pub trait Detector {
     /// # Panics
     /// Implementations panic when called before a successful `fit`.
     fn score(&self, x: &Matrix) -> Vec<f64>;
+
+    /// Fallible variant of [`Detector::score`] — the entry point new code
+    /// should use. The default forwards to `score` (whose contract is to
+    /// panic before a successful fit); detectors with richer error
+    /// reporting (TargAD) override it to return typed errors instead.
+    ///
+    /// # Errors
+    /// [`TargAdError::NotFitted`] / [`TargAdError::DimMismatch`] on
+    /// overriding detectors.
+    fn try_score(&self, x: &Matrix) -> Result<Vec<f64>, TargAdError> {
+        Ok(self.score(x))
+    }
+
+    /// Calibrates the decision thresholds this detector needs to turn
+    /// scores into [`crate::Verdict`]s, on validation data with three-way
+    /// ground truth (0 normal / 1 target / 2 non-target).
+    ///
+    /// The default — shared by every scalar baseline — sweeps a scalar
+    /// score threshold maximizing the two-way target-vs-rest macro-F1;
+    /// `strategy` is recorded but does not influence the default's
+    /// decisions (a scalar scorer has no OOD head). TargAD overrides this
+    /// to additionally calibrate the strategy's §III-C `tau`.
+    ///
+    /// # Errors
+    /// Same contract as [`Detector::try_score`].
+    fn calibrate(
+        &self,
+        val_x: &Matrix,
+        val_truth3: &[usize],
+        strategy: OodStrategy,
+    ) -> Result<Calibration, TargAdError> {
+        let scores = self.try_score(val_x)?;
+        let score_threshold = calibrate_score_threshold(&scores, val_truth3);
+        Ok(Calibration {
+            strategy,
+            tau: score_threshold,
+            score_threshold,
+        })
+    }
+
+    /// Scores each row of `x` and attaches a decision per row — the
+    /// verdict-first surface every detector shares.
+    ///
+    /// The default gives all scalar baselines a *two-way* verdict for
+    /// free: `Target` when the anomaly score clears the calibrated
+    /// [`Calibration::score_threshold`], `Normal` otherwise (a scalar
+    /// scorer cannot tell non-target anomalies apart from target ones).
+    /// TargAD overrides this with the full three-way §III-C rule.
+    ///
+    /// # Errors
+    /// Same contract as [`Detector::try_score`].
+    fn try_verdicts(
+        &self,
+        x: &Matrix,
+        calibration: &Calibration,
+    ) -> Result<ScoreOutput, TargAdError> {
+        let scores = self.try_score(x)?;
+        let classes = scores
+            .iter()
+            .map(|&s| {
+                if s >= calibration.score_threshold {
+                    VerdictClass::Target
+                } else {
+                    VerdictClass::Normal
+                }
+            })
+            .collect();
+        Ok(ScoreOutput::new(
+            scores,
+            classes,
+            calibration.strategy,
+            calibration.score_threshold,
+        ))
+    }
 
     /// Like [`Detector::fit`], reporting anomaly scores on `probe` after
     /// each training epoch (used for the Fig. 3b convergence plot).

@@ -24,6 +24,12 @@ pub enum TargAdError {
     },
     /// Inference was requested before a successful `fit`.
     NotFitted,
+    /// A verdict was requested under a strategy whose decision threshold
+    /// has not been calibrated (see [`crate::TargAd::calibrate_thresholds`]).
+    NotCalibrated {
+        /// The uncalibrated strategy.
+        strategy: crate::OodStrategy,
+    },
     /// Feature dimensionality differs from the fitted model's.
     DimMismatch {
         /// Dimensionality the model was trained with.
@@ -52,6 +58,13 @@ impl fmt::Display for TargAdError {
                 )
             }
             TargAdError::NotFitted => write!(f, "model is not fitted; call fit() first"),
+            TargAdError::NotCalibrated { strategy } => {
+                write!(
+                    f,
+                    "no calibrated threshold for OOD strategy {}; call calibrate_thresholds() first",
+                    strategy.name()
+                )
+            }
             TargAdError::DimMismatch { expected, got } => {
                 write!(
                     f,

@@ -43,6 +43,7 @@ pub mod error;
 pub mod model;
 pub mod ood;
 pub mod snapshot;
+pub mod verdict;
 
 pub use candidate::{CandidateSelection, ClusterAutoEncoder};
 pub use config::{TargAdConfig, TargAdConfigBuilder};
@@ -52,3 +53,4 @@ pub use model::{CandidateComposition, Classifier, TargAd, TrainHistory, WeightMe
 pub use ood::OodStrategy;
 pub use targad_obs::{NullObserver, TrainObserver};
 pub use targad_runtime::Runtime;
+pub use verdict::{Calibration, ScoreOutput, ThresholdCache, Verdict, VerdictClass};

@@ -18,6 +18,8 @@ use crate::candidate::CandidateSelection;
 use crate::config::TargAdConfig;
 use crate::detector::{Detector, TrainView};
 use crate::error::TargAdError;
+use crate::ood::{calibrate_tau, verdict_of_row, OodStrategy};
+use crate::verdict::{Calibration, ScoreOutput, ThresholdCache, VerdictClass};
 
 /// Index of the `L_CE` partial in a step's [`Parts`] array.
 const PART_CE: usize = 0;
@@ -39,6 +41,21 @@ pub struct Classifier {
     /// classifier so repeated scoring — per-epoch probe traces, suite-table
     /// regeneration — reuses one warm buffer pool across calls.
     engine: EngineCell,
+}
+
+impl Clone for Classifier {
+    /// Clones the network; the clone gets its own fresh (cold) engine
+    /// pool, since pooled scratch buffers are per-instance state, not part
+    /// of the model.
+    fn clone(&self) -> Self {
+        Self {
+            store: self.store.clone(),
+            mlp: self.mlp.clone(),
+            m: self.m,
+            k: self.k,
+            engine: EngineCell::new(),
+        }
+    }
 }
 
 impl Classifier {
@@ -118,6 +135,83 @@ impl Classifier {
         };
         self.engine
             .with(|e| e.score(&[(&self.mlp, &self.store)], x, rt, finish))
+    }
+
+    /// Eq. 9 scores *and* three-way §III-C classes for each row of `x`,
+    /// via the reference (unfused) forward pass. This is the Table IV
+    /// decision path; [`Classifier::verdicts_rt`] is the engine-backed
+    /// variant that is exact-equality tested against it.
+    pub fn verdicts(&self, x: &Matrix, strategy: OodStrategy, tau: f64) -> ScoreOutput {
+        let logits = self.logits(x);
+        let mut scores = Vec::with_capacity(logits.rows());
+        let mut classes = Vec::with_capacity(logits.rows());
+        for r in 0..logits.rows() {
+            let (s, c) = verdict_of_row(logits.row(r), self.m, self.k, strategy, tau);
+            scores.push(s);
+            classes.push(c);
+        }
+        ScoreOutput::new(scores, classes, strategy, tau)
+    }
+
+    /// [`Classifier::verdicts`] through the pooled `ScoreEngine` on `rt`:
+    /// one fused forward pass produces both the Eq. 9 score and the
+    /// three-way class per row. Bit-identical to the reference at any
+    /// worker count — the engine reproduces the exact logit chains and the
+    /// per-row decision kernel is shared verbatim with the reference path.
+    pub fn verdicts_rt(
+        &self,
+        x: &Matrix,
+        rt: &Runtime,
+        strategy: OodStrategy,
+        tau: f64,
+    ) -> ScoreOutput {
+        let pairs = self.verdicts_rt_with(x, rt, |_| (strategy, tau));
+        let mut scores = Vec::with_capacity(pairs.len());
+        let mut classes = Vec::with_capacity(pairs.len());
+        for (s, c) in pairs {
+            scores.push(s);
+            classes.push(c);
+        }
+        ScoreOutput::new(scores, classes, strategy, tau)
+    }
+
+    /// Engine-backed verdicts with a *per-row* decision rule: row `r` is
+    /// decided under `select(r) = (strategy, tau)`. This is the serving
+    /// micro-batcher's entry point — one coalesced batch can carry
+    /// requests that each selected a different OOD strategy, and grouping
+    /// them would forfeit the fused-batch advantage the batcher exists to
+    /// amortize.
+    ///
+    /// Per-row results are independent of batch composition (the forward
+    /// pass is row-wise and the decision kernel is per-row), so a row
+    /// scored in any coalesced batch is bit-identical to the same row
+    /// scored alone.
+    pub fn verdicts_rt_with<F>(
+        &self,
+        x: &Matrix,
+        rt: &Runtime,
+        select: F,
+    ) -> Vec<(f64, VerdictClass)>
+    where
+        F: Fn(usize) -> (OodStrategy, f64) + Sync,
+    {
+        let m = self.m;
+        let k = self.k;
+        let finish = move |r: usize, z: &[f64]| {
+            let (strategy, tau) = select(r);
+            let (score, class) = verdict_of_row(z, m, k, strategy, tau);
+            // The class rides the engine's second f64 slot; codes 0/1/2 are
+            // exactly representable, so the round-trip is lossless.
+            (score, class.code() as f64)
+        };
+        self.engine
+            .with(|e| e.score_pairs(&[(&self.mlp, &self.store)], x, rt, finish))
+            .into_iter()
+            .map(|(s, c)| {
+                let class = VerdictClass::from_code(c as usize).expect("engine class code");
+                (s, class)
+            })
+            .collect()
     }
 
     fn target_scores_from(&self, p: Matrix) -> Vec<f64> {
@@ -258,6 +352,9 @@ pub struct TargAd {
     classifier: Option<Classifier>,
     selection: Option<CandidateSelection>,
     history: TrainHistory,
+    /// Per-strategy §III-C thresholds calibrated on the fitted classifier
+    /// (see [`TargAd::calibrate_thresholds`]); cleared by every fit.
+    thresholds: ThresholdCache,
 }
 
 impl TargAd {
@@ -279,6 +376,7 @@ impl TargAd {
             classifier: None,
             selection: None,
             history: TrainHistory::default(),
+            thresholds: ThresholdCache::default(),
         })
     }
 
@@ -698,6 +796,9 @@ impl TargAd {
         self.classifier = Some(clf);
         self.selection = Some(selection);
         self.history = history;
+        // Thresholds calibrated against a previous fit's classifier are
+        // meaningless for this one.
+        self.thresholds = ThresholdCache::default();
         Ok(())
     }
 
@@ -839,13 +940,7 @@ impl TargAd {
     /// # Errors
     /// [`TargAdError::NotFitted`] / [`TargAdError::DimMismatch`].
     pub fn try_score_matrix(&self, x: &Matrix) -> Result<Vec<f64>, TargAdError> {
-        let clf = self.classifier()?;
-        if x.cols() != clf.input_dim() {
-            return Err(TargAdError::DimMismatch {
-                expected: clf.input_dim(),
-                got: x.cols(),
-            });
-        }
+        let clf = self.checked_classifier(x)?;
         Ok(clf.target_scores_rt(x, &self.runtime))
     }
 
@@ -855,6 +950,86 @@ impl TargAd {
     /// Same contract as [`TargAd::try_score_matrix`].
     pub fn try_score_dataset(&self, dataset: &Dataset) -> Result<Vec<f64>, TargAdError> {
         self.try_score_matrix(&dataset.features)
+    }
+
+    /// The fitted classifier after a dimensionality check against `x`.
+    fn checked_classifier(&self, x: &Matrix) -> Result<&Classifier, TargAdError> {
+        let clf = self.classifier()?;
+        if x.cols() != clf.input_dim() {
+            return Err(TargAdError::DimMismatch {
+                expected: clf.input_dim(),
+                got: x.cols(),
+            });
+        }
+        Ok(clf)
+    }
+
+    /// Calibrates and caches the §III-C `tau` for **all three** OOD
+    /// strategies on validation data with three-way truth (0 normal /
+    /// 1 target / 2 non-target), so later verdict calls do zero
+    /// calibration work — the fix the serving path depends on. Returns the
+    /// resulting cache (also retrievable via [`TargAd::thresholds`]).
+    ///
+    /// # Errors
+    /// [`TargAdError::NotFitted`] / [`TargAdError::DimMismatch`].
+    pub fn calibrate_thresholds(
+        &mut self,
+        val_x: &Matrix,
+        val_truth3: &[usize],
+    ) -> Result<ThresholdCache, TargAdError> {
+        let clf = self.checked_classifier(val_x)?;
+        let mut cache = ThresholdCache::default();
+        for strategy in OodStrategy::all() {
+            cache.set(strategy, calibrate_tau(clf, val_x, val_truth3, strategy));
+        }
+        self.thresholds = cache;
+        Ok(cache)
+    }
+
+    /// The calibrated per-strategy threshold cache (empty until
+    /// [`TargAd::calibrate_thresholds`] or [`TargAd::set_thresholds`]).
+    pub fn thresholds(&self) -> &ThresholdCache {
+        &self.thresholds
+    }
+
+    /// Installs externally produced thresholds (e.g. restored from a v2
+    /// snapshot alongside the classifier).
+    pub fn set_thresholds(&mut self, thresholds: ThresholdCache) {
+        self.thresholds = thresholds;
+    }
+
+    /// Verdict-first scoring: Eq. 9 score plus the three-way §III-C class
+    /// for each row of `x`, under `strategy`'s cached threshold. Runs one
+    /// fused engine pass on this model's [`Runtime`]; bit-identical to the
+    /// Table IV reference path at any worker count.
+    ///
+    /// # Errors
+    /// [`TargAdError::NotFitted`] / [`TargAdError::DimMismatch`] /
+    /// [`TargAdError::NotCalibrated`] when `strategy` has no cached
+    /// threshold (call [`TargAd::calibrate_thresholds`] first).
+    pub fn try_verdict_matrix(
+        &self,
+        x: &Matrix,
+        strategy: OodStrategy,
+    ) -> Result<ScoreOutput, TargAdError> {
+        let clf = self.checked_classifier(x)?;
+        let tau = self
+            .thresholds
+            .get(strategy)
+            .ok_or(TargAdError::NotCalibrated { strategy })?;
+        Ok(clf.verdicts_rt(x, &self.runtime, strategy, tau))
+    }
+
+    /// Convenience: verdicts for a whole [`Dataset`].
+    ///
+    /// # Errors
+    /// Same contract as [`TargAd::try_verdict_matrix`].
+    pub fn try_verdict_dataset(
+        &self,
+        dataset: &Dataset,
+        strategy: OodStrategy,
+    ) -> Result<ScoreOutput, TargAdError> {
+        self.try_verdict_matrix(&dataset.features, strategy)
     }
 
     /// Target-anomaly scores (Eq. 9) for each row of `x`.
@@ -898,6 +1073,42 @@ impl Detector for TargAd {
     fn score(&self, x: &Matrix) -> Vec<f64> {
         self.try_score_matrix(x)
             .expect("TargAd: score before successful fit")
+    }
+
+    fn try_score(&self, x: &Matrix) -> Result<Vec<f64>, TargAdError> {
+        self.try_score_matrix(x)
+    }
+
+    /// TargAD calibrates both thresholds: the §III-C `tau` splitting
+    /// target from non-target anomalies (the default trait impl has no
+    /// OOD head and reuses the scalar threshold) plus the scalar score
+    /// threshold for two-way interop.
+    fn calibrate(
+        &self,
+        val_x: &Matrix,
+        val_truth3: &[usize],
+        strategy: OodStrategy,
+    ) -> Result<Calibration, TargAdError> {
+        let clf = self.checked_classifier(val_x)?;
+        let tau = calibrate_tau(clf, val_x, val_truth3, strategy);
+        let scores = self.try_score_matrix(val_x)?;
+        let score_threshold = crate::verdict::calibrate_score_threshold(&scores, val_truth3);
+        Ok(Calibration {
+            strategy,
+            tau,
+            score_threshold,
+        })
+    }
+
+    /// The full three-way §III-C verdict (the default trait impl can only
+    /// do two-way), via one fused engine pass.
+    fn try_verdicts(
+        &self,
+        x: &Matrix,
+        calibration: &Calibration,
+    ) -> Result<ScoreOutput, TargAdError> {
+        let clf = self.checked_classifier(x)?;
+        Ok(clf.verdicts_rt(x, &self.runtime, calibration.strategy, calibration.tau))
     }
 
     fn fit_traced(

@@ -21,6 +21,7 @@ use targad_linalg::Matrix;
 use targad_metrics::ConfusionMatrix;
 
 use crate::model::Classifier;
+use crate::verdict::VerdictClass;
 
 /// The three OOD strategies of Table IV.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,6 +50,27 @@ impl OodStrategy {
             OodStrategy::Msp => "MSP",
             OodStrategy::EnergyScore => "ES",
             OodStrategy::EnergyDiscrepancy => "ED",
+        }
+    }
+
+    /// Position in [`OodStrategy::all`] (Table IV order) — the index used
+    /// by [`crate::verdict::ThresholdCache`].
+    pub fn index(self) -> usize {
+        match self {
+            OodStrategy::Msp => 0,
+            OodStrategy::EnergyScore => 1,
+            OodStrategy::EnergyDiscrepancy => 2,
+        }
+    }
+
+    /// Parses a wire/CLI name, case-insensitively: `msp`, `es` /
+    /// `energy_score`, `ed` / `energy_discrepancy`.
+    pub fn parse(name: &str) -> Option<OodStrategy> {
+        match name.to_ascii_lowercase().as_str() {
+            "msp" => Some(OodStrategy::Msp),
+            "es" | "energy_score" => Some(OodStrategy::EnergyScore),
+            "ed" | "energy_discrepancy" => Some(OodStrategy::EnergyDiscrepancy),
+            _ => None,
         }
     }
 
@@ -81,27 +103,68 @@ fn logsumexp(values: &[f64]) -> f64 {
     max + values.iter().map(|&v| (v - max).exp()).sum::<f64>().ln()
 }
 
+/// One row's §III-C verdict from its logits: the Eq. 9 score and the
+/// three-way class under `strategy` at threshold `tau`.
+///
+/// This is the single decision kernel shared by the reference path
+/// ([`Classifier::verdicts`](crate::model::Classifier::verdicts)) and the
+/// fused engine path
+/// ([`Classifier::verdicts_rt`](crate::model::Classifier::verdicts_rt)).
+/// It reproduces the exact accumulation chains of the historical
+/// `softmax_rows` + `is_normal_row` + `target_scores` sequence — max over
+/// the row, exponentials in ascending column order, each probability a
+/// single division by the shared row sum — so both paths are bit-identical
+/// to the Table IV reference.
+#[inline]
+pub(crate) fn verdict_of_row(
+    z: &[f64],
+    m: usize,
+    k: usize,
+    strategy: OodStrategy,
+    tau: f64,
+) -> (f64, VerdictClass) {
+    let mx = z.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for &v in z {
+        sum += (v - mx).exp();
+    }
+    // Second pass recomputes each exponential instead of storing it: exp is
+    // deterministic, and this keeps the kernel allocation-free so the
+    // engine's per-row finish stays zero-alloc.
+    let mut best = f64::NEG_INFINITY;
+    let mut normal_mass = 0.0;
+    for (j, &v) in z.iter().enumerate() {
+        let p = (v - mx).exp() / sum;
+        if j < m {
+            best = best.max(p);
+        } else {
+            normal_mass += p;
+        }
+    }
+    let class = if normal_mass > k as f64 / (m + k) as f64 {
+        VerdictClass::Normal
+    } else if strategy.target_score(z, m) >= tau {
+        VerdictClass::Target
+    } else {
+        VerdictClass::NonTarget
+    };
+    (best, class)
+}
+
 /// Three-way prediction: 0 = normal, 1 = target anomaly, 2 = non-target
 /// anomaly. `tau` is the strategy's target-likeness threshold.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Classifier::verdicts` / `TargAd::try_verdict_matrix`, \
+            which return a structured `ScoreOutput`"
+)]
 pub fn classify_three_way(
     clf: &Classifier,
     x: &Matrix,
     strategy: OodStrategy,
     tau: f64,
 ) -> Vec<usize> {
-    let logits = clf.logits(x);
-    let probs = logits.softmax_rows();
-    (0..x.rows())
-        .map(|r| {
-            if clf.is_normal_row(probs.row(r)) {
-                0
-            } else if strategy.target_score(logits.row(r), clf.m()) >= tau {
-                1
-            } else {
-                2
-            }
-        })
-        .collect()
+    clf.verdicts(x, strategy, tau).three_way_codes()
 }
 
 /// Calibrates the target/non-target threshold on validation data by
@@ -110,7 +173,12 @@ pub fn classify_three_way(
 ///
 /// Returns the chosen threshold (0.0 if validation has no anomalous
 /// predictions — any tau then yields the same all-normal labeling).
-pub fn calibrate_threshold(
+///
+/// One forward pass total: the §III-C normality gate and the per-row OOD
+/// scores are computed once, and each candidate threshold only re-labels
+/// the gated rows (the historical implementation re-ran the full forward
+/// pass per candidate).
+pub fn calibrate_tau(
     clf: &Classifier,
     val_x: &Matrix,
     val_truth3: &[usize],
@@ -119,7 +187,7 @@ pub fn calibrate_threshold(
     assert_eq!(
         val_x.rows(),
         val_truth3.len(),
-        "calibrate_threshold: length mismatch"
+        "calibrate_tau: length mismatch"
     );
     let logits = clf.logits(val_x);
     let probs = logits.softmax_rows();
@@ -129,10 +197,11 @@ pub fn calibrate_threshold(
     if anomalous.is_empty() {
         return 0.0;
     }
-    let mut scores: Vec<f64> = anomalous
+    let target_scores: Vec<f64> = anomalous
         .iter()
         .map(|&r| strategy.target_score(logits.row(r), clf.m()))
         .collect();
+    let mut scores = target_scores.clone();
     scores.sort_by(|a, b| a.partial_cmp(b).expect("NaN OOD score"));
     scores.dedup();
 
@@ -143,8 +212,13 @@ pub fn calibrate_threshold(
     candidates.extend(scores.windows(2).map(|w| (w[0] + w[1]) / 2.0));
     candidates.push(scores[scores.len() - 1] + 1e-9);
 
+    // Ungated rows are "normal" under every candidate; only the gated rows
+    // flip between target and non-target as tau sweeps.
+    let mut pred = vec![0usize; val_x.rows()];
     for tau in candidates {
-        let pred = classify_three_way(clf, val_x, strategy, tau);
+        for (&r, &s) in anomalous.iter().zip(&target_scores) {
+            pred[r] = if s >= tau { 1 } else { 2 };
+        }
         let cm = ConfusionMatrix::from_predictions(val_truth3, &pred, 3);
         let f1 = cm.macro_avg().f1;
         if f1 > best_f1 {
@@ -153,6 +227,21 @@ pub fn calibrate_threshold(
         }
     }
     best_tau
+}
+
+/// Former name of [`calibrate_tau`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `calibrate_tau`, or `TargAd::calibrate_thresholds` to \
+            cache every strategy's threshold on the fitted model"
+)]
+pub fn calibrate_threshold(
+    clf: &Classifier,
+    val_x: &Matrix,
+    val_truth3: &[usize],
+    strategy: OodStrategy,
+) -> f64 {
+    calibrate_tau(clf, val_x, val_truth3, strategy)
 }
 
 #[cfg(test)]
@@ -208,6 +297,43 @@ mod tests {
     }
 
     #[test]
+    fn strategy_parse_round_trips_names() {
+        assert_eq!(OodStrategy::parse("msp"), Some(OodStrategy::Msp));
+        assert_eq!(OodStrategy::parse("ES"), Some(OodStrategy::EnergyScore));
+        assert_eq!(
+            OodStrategy::parse("energy_discrepancy"),
+            Some(OodStrategy::EnergyDiscrepancy)
+        );
+        assert_eq!(OodStrategy::parse("nope"), None);
+        for (i, s) in OodStrategy::all().into_iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn deprecated_shims_match_the_new_surface() {
+        let bundle = GeneratorSpec::quick_demo().generate(29);
+        let mut model = TargAd::try_new(TargAdConfig::fast()).expect("valid config");
+        model.fit(&bundle.train, 29).expect("fit");
+        let clf = model.classifier().unwrap();
+        let truth = bundle.val.three_way_labels();
+        #[allow(deprecated)]
+        for strategy in OodStrategy::all() {
+            let tau = calibrate_threshold(clf, &bundle.val.features, &truth, strategy);
+            assert_eq!(
+                tau,
+                calibrate_tau(clf, &bundle.val.features, &truth, strategy)
+            );
+            let pred = classify_three_way(clf, &bundle.test.features, strategy, tau);
+            assert_eq!(
+                pred,
+                clf.verdicts(&bundle.test.features, strategy, tau)
+                    .three_way_codes()
+            );
+        }
+    }
+
+    #[test]
     fn three_way_classification_end_to_end() {
         let bundle = GeneratorSpec::quick_demo().generate(31);
         let mut model = TargAd::try_new(TargAdConfig::fast()).expect("valid config");
@@ -215,13 +341,15 @@ mod tests {
         let clf = model.classifier().unwrap();
 
         for strategy in OodStrategy::all() {
-            let tau = calibrate_threshold(
+            let tau = calibrate_tau(
                 clf,
                 &bundle.val.features,
                 &bundle.val.three_way_labels(),
                 strategy,
             );
-            let pred = classify_three_way(clf, &bundle.test.features, strategy, tau);
+            let pred = clf
+                .verdicts(&bundle.test.features, strategy, tau)
+                .three_way_codes();
             assert_eq!(pred.len(), bundle.test.len());
             assert!(pred.iter().all(|&p| p <= 2));
             let cm = ConfusionMatrix::from_predictions(&bundle.test.three_way_labels(), &pred, 3);

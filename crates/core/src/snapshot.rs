@@ -9,14 +9,21 @@
 //! Format (line oriented):
 //!
 //! ```text
-//! targad-classifier v1
+//! targad-classifier v2
 //! m <m>
 //! k <k>
 //! dims <d0> <d1> … <dn>
+//! tau <strategy> <threshold>        (v2 only; zero or more lines)
 //! matrix <rows> <cols>
 //! <row-major f64 values, one row per line>
 //! …
 //! ```
+//!
+//! v2 extends v1 with optional `tau` lines persisting the per-strategy
+//! §III-C thresholds calibrated on the fitted model
+//! ([`crate::ThresholdCache`]), so a serving process restores a fully
+//! decision-ready model and does zero calibration work per request. v1
+//! snapshots still load (with an empty cache).
 
 use std::fmt::Write as _;
 use std::fs;
@@ -26,17 +33,52 @@ use std::path::Path;
 use targad_linalg::{rng as lrng, Matrix};
 
 use crate::model::Classifier;
+use crate::ood::OodStrategy;
+use crate::verdict::ThresholdCache;
 
-const MAGIC: &str = "targad-classifier v1";
+const MAGIC_V1: &str = "targad-classifier v1";
+const MAGIC_V2: &str = "targad-classifier v2";
 
-/// Serializes a trained classifier to the v1 text format.
+/// Wire name of a strategy in `tau` lines (lowercase, parseable by
+/// [`OodStrategy::parse`]).
+fn tau_key(strategy: OodStrategy) -> &'static str {
+    match strategy {
+        OodStrategy::Msp => "msp",
+        OodStrategy::EnergyScore => "es",
+        OodStrategy::EnergyDiscrepancy => "ed",
+    }
+}
+
+/// Serializes a trained classifier to the v1 text format (no thresholds).
 pub fn to_string(clf: &Classifier) -> String {
+    serialize(clf, None)
+}
+
+/// Serializes a trained classifier *plus* its calibrated thresholds to the
+/// v2 text format.
+pub fn to_string_with_thresholds(clf: &Classifier, thresholds: &ThresholdCache) -> String {
+    serialize(clf, Some(thresholds))
+}
+
+fn serialize(clf: &Classifier, thresholds: Option<&ThresholdCache>) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{MAGIC}");
+    let magic = if thresholds.is_some() {
+        MAGIC_V2
+    } else {
+        MAGIC_V1
+    };
+    let _ = writeln!(out, "{magic}");
     let _ = writeln!(out, "m {}", clf.m());
     let _ = writeln!(out, "k {}", clf.k());
     let dims: Vec<String> = clf.layer_dims().iter().map(|d| d.to_string()).collect();
     let _ = writeln!(out, "dims {}", dims.join(" "));
+    if let Some(cache) = thresholds {
+        for strategy in OodStrategy::all() {
+            if let Some(tau) = cache.get(strategy) {
+                let _ = writeln!(out, "tau {} {tau:?}", tau_key(strategy));
+            }
+        }
+    }
     for matrix in clf.parameter_matrices() {
         let _ = writeln!(out, "matrix {} {}", matrix.rows(), matrix.cols());
         for row in matrix.iter_rows() {
@@ -47,16 +89,30 @@ pub fn to_string(clf: &Classifier) -> String {
     out
 }
 
-/// Parses the v1 text format back into a scoring-ready classifier.
+/// Parses a v1 or v2 snapshot back into a scoring-ready classifier,
+/// discarding any persisted thresholds (see
+/// [`from_string_with_thresholds`]).
 ///
 /// # Errors
 /// `io::ErrorKind::InvalidData` on malformed content or shape mismatches.
 pub fn from_string(text: &str) -> io::Result<Classifier> {
+    from_string_with_thresholds(text).map(|(clf, _)| clf)
+}
+
+/// Parses a v1 or v2 snapshot into a classifier plus its persisted
+/// threshold cache (empty for v1).
+///
+/// # Errors
+/// `io::ErrorKind::InvalidData` on malformed content or shape mismatches.
+pub fn from_string_with_thresholds(text: &str) -> io::Result<(Classifier, ThresholdCache)> {
     let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
     let mut lines = text.lines();
-    if lines.next() != Some(MAGIC) {
-        return Err(bad(format!("missing `{MAGIC}` header")));
-    }
+    let header = lines.next();
+    let v2 = match header {
+        Some(MAGIC_V1) => false,
+        Some(MAGIC_V2) => true,
+        _ => return Err(bad(format!("missing `{MAGIC_V1}`/`{MAGIC_V2}` header"))),
+    };
     let m = parse_kv(lines.next(), "m").map_err(bad)?;
     let k = parse_kv(lines.next(), "k").map_err(bad)?;
     let dims_line = lines
@@ -82,12 +138,22 @@ pub fn from_string(text: &str) -> io::Result<Classifier> {
         )));
     }
 
+    let mut thresholds = ThresholdCache::default();
     let mut matrices = Vec::new();
     while let Some(line) = lines.next() {
         if line.is_empty() {
             continue;
         }
         let header: Vec<&str> = line.split_whitespace().collect();
+        if v2 && header.len() == 3 && header[0] == "tau" {
+            let strategy = OodStrategy::parse(header[1])
+                .ok_or_else(|| bad(format!("unknown OOD strategy `{}`", header[1])))?;
+            let tau: f64 = header[2]
+                .parse()
+                .map_err(|e| bad(format!("bad tau `{}`: {e}", header[2])))?;
+            thresholds.set(strategy, tau);
+            continue;
+        }
         if header.len() != 3 || header[0] != "matrix" {
             return Err(bad(format!("expected `matrix <r> <c>`, got `{line}`")));
         }
@@ -129,15 +195,27 @@ pub fn from_string(text: &str) -> io::Result<Classifier> {
     let mut rng = lrng::seeded(0);
     let mut clf = Classifier::with_architecture(&dims, m, k, &mut rng);
     clf.overwrite_parameters(&matrices).map_err(bad)?;
-    Ok(clf)
+    Ok((clf, thresholds))
 }
 
-/// Writes a classifier to `path`.
+/// Writes a classifier to `path` (v1, no thresholds).
 ///
 /// # Errors
 /// Propagates filesystem errors.
 pub fn save(clf: &Classifier, path: impl AsRef<Path>) -> io::Result<()> {
     fs::write(path, to_string(clf))
+}
+
+/// Writes a classifier plus its calibrated thresholds to `path` (v2).
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn save_with_thresholds(
+    clf: &Classifier,
+    thresholds: &ThresholdCache,
+    path: impl AsRef<Path>,
+) -> io::Result<()> {
+    fs::write(path, to_string_with_thresholds(clf, thresholds))
 }
 
 /// Loads a classifier from `path`.
@@ -146,6 +224,14 @@ pub fn save(clf: &Classifier, path: impl AsRef<Path>) -> io::Result<()> {
 /// Propagates filesystem errors and format errors.
 pub fn load(path: impl AsRef<Path>) -> io::Result<Classifier> {
     from_string(&fs::read_to_string(path)?)
+}
+
+/// Loads a classifier plus its persisted thresholds from `path`.
+///
+/// # Errors
+/// Propagates filesystem errors and format errors.
+pub fn load_with_thresholds(path: impl AsRef<Path>) -> io::Result<(Classifier, ThresholdCache)> {
+    from_string_with_thresholds(&fs::read_to_string(path)?)
 }
 
 fn parse_kv(line: Option<&str>, key: &str) -> Result<usize, String> {
@@ -206,8 +292,37 @@ mod tests {
     fn rejects_malformed_snapshots() {
         assert!(from_string("").is_err());
         assert!(from_string("wrong header\n").is_err());
-        assert!(from_string(&format!("{MAGIC}\nm 2\nk 2\ndims 4 3\n")).is_err()); // 3 != m+k
-        assert!(from_string(&format!("{MAGIC}\nm 2\nk 1\ndims 4 3\nmatrix 2 2\n1 2\n")).is_err());
+        assert!(from_string(&format!("{MAGIC_V1}\nm 2\nk 2\ndims 4 3\n")).is_err()); // 3 != m+k
+        assert!(from_string(&format!(
+            "{MAGIC_V1}\nm 2\nk 1\ndims 4 3\nmatrix 2 2\n1 2\n"
+        ))
+        .is_err());
+        // tau lines are a v2-only construct with a known strategy key.
+        assert!(from_string(&format!("{MAGIC_V1}\nm 2\nk 1\ndims 4 3\ntau msp 0.5\n")).is_err());
+        assert!(from_string(&format!("{MAGIC_V2}\nm 2\nk 1\ndims 4 3\ntau bogus 0.5\n")).is_err());
+    }
+
+    #[test]
+    fn v2_round_trip_preserves_thresholds_exactly() {
+        let (model, bundle) = trained();
+        let clf = model.classifier().unwrap();
+        let cache = ThresholdCache::complete(0.125, -3.5, 1.0625e-3);
+        let text = to_string_with_thresholds(clf, &cache);
+        let (restored, restored_cache) = from_string_with_thresholds(&text).expect("parse");
+        assert_eq!(restored_cache, cache);
+        assert_eq!(
+            restored.target_scores(&bundle.test.features),
+            clf.target_scores(&bundle.test.features)
+        );
+        // A v1 snapshot parses with an empty cache.
+        let (_, empty) = from_string_with_thresholds(&to_string(clf)).expect("parse v1");
+        assert!(empty.is_empty());
+        // Partial caches persist too.
+        let mut partial = ThresholdCache::default();
+        partial.set(crate::OodStrategy::EnergyScore, 0.75);
+        let (_, round) =
+            from_string_with_thresholds(&to_string_with_thresholds(clf, &partial)).expect("parse");
+        assert_eq!(round, partial);
     }
 
     #[test]

@@ -130,6 +130,64 @@ impl ScoreEngine {
         out
     }
 
+    /// Like [`ScoreEngine::score_into`], but each row reduces to a *pair*
+    /// of values: `out[r] = finish(r, final_layer_row_r)`.
+    ///
+    /// This is the verdict entry point: a serving response needs both the
+    /// scalar score and the (numerically encoded) decision class, and
+    /// producing them in one fused pass avoids a second forward. Pairs are
+    /// stored interleaved in the same pooled `f64` block buffers the
+    /// scalar path uses, so steady-state batches stay allocation-free.
+    ///
+    /// `finish` must be a pure per-row function; results are then
+    /// bit-identical at any worker count.
+    pub fn score_pairs_into<F>(
+        &mut self,
+        stack: ModelStack<'_>,
+        x: &Matrix,
+        rt: &Runtime,
+        finish: F,
+        out: &mut [(f64, f64)],
+    ) where
+        F: Fn(usize, &[f64]) -> (f64, f64) + Sync,
+    {
+        assert_eq!(out.len(), x.rows(), "score_pairs_into: out length mismatch");
+        self.run_blocks(stack, x, rt, |start, d_last, fin, result| {
+            let rb = fin.len() / d_last.max(1);
+            result.resize(2 * rb, 0.0);
+            for (r, row) in fin.chunks_exact(d_last).enumerate() {
+                let (a, b) = finish(start + r, row);
+                result[2 * r] = a;
+                result[2 * r + 1] = b;
+            }
+        });
+        let nblocks = x.rows().div_ceil(INFER_BLOCK_ROWS);
+        for (block, chunk) in self.results[..nblocks]
+            .iter()
+            .zip(out.chunks_mut(INFER_BLOCK_ROWS))
+        {
+            for (slot, pair) in chunk.iter_mut().zip(block.chunks_exact(2)) {
+                *slot = (pair[0], pair[1]);
+            }
+        }
+    }
+
+    /// [`ScoreEngine::score_pairs_into`] into a fresh `Vec`.
+    pub fn score_pairs<F>(
+        &mut self,
+        stack: ModelStack<'_>,
+        x: &Matrix,
+        rt: &Runtime,
+        finish: F,
+    ) -> Vec<(f64, f64)>
+    where
+        F: Fn(usize, &[f64]) -> (f64, f64) + Sync,
+    {
+        let mut out = vec![(0.0, 0.0); x.rows()];
+        self.score_pairs_into(stack, x, rt, finish, &mut out);
+        out
+    }
+
     /// Runs the frozen forward pass of `stack` over `x` and writes the
     /// final-layer activations into `out` (shape `x.rows() x d_out`).
     /// The embedding counterpart of [`ScoreEngine::score_into`] for paths

@@ -219,8 +219,24 @@ pub static SCORE_ROWS: Counter = Counter::new("score.rows");
 /// Row blocks streamed by the `ScoreEngine` (fixed-size, worker-invariant).
 pub static SCORE_BLOCKS: Counter = Counter::new("score.blocks");
 
+/// Scoring requests accepted by the serve layer.
+pub static SERVE_REQUESTS: Counter = Counter::new("serve.requests");
+/// Rows scored through the serve layer.
+pub static SERVE_ROWS: Counter = Counter::new("serve.rows");
+/// Coalesced micro-batches executed by the serve batcher.
+pub static SERVE_BATCHES: Counter = Counter::new("serve.batches");
+/// Requests rejected with backpressure (queue at capacity).
+pub static SERVE_REJECTED: Counter = Counter::new("serve.rejected");
+/// Model registry hot-swaps performed.
+pub static SERVE_SWAPS: Counter = Counter::new("serve.swaps");
+
 /// Worker count of the most recent multi-worker pool dispatch.
 pub static POOL_WORKERS: Gauge = Gauge::new("pool.workers");
+
+/// Rows currently queued in the serve micro-batcher.
+pub static SERVE_QUEUE_DEPTH: Gauge = Gauge::new("serve.queue_depth");
+/// Generation of the model currently installed in the serve registry.
+pub static SERVE_GENERATION: Gauge = Gauge::new("serve.generation");
 
 /// Bytes of scratch capacity held by the most recently used `ScoreEngine`
 /// buffer pool (ping-pong scratch plus block result slots).
@@ -229,6 +245,15 @@ pub static SCORE_ENGINE_POOL_BYTES: Gauge = Gauge::new("score.engine_pool_bytes"
 /// Time the dispatching thread spent waiting for pool workers to finish a
 /// round after completing its own share, in nanoseconds.
 pub static POOL_QUEUE_WAIT_NS: Histogram = Histogram::new("pool.queue_wait_ns");
+
+/// Rows per coalesced serve micro-batch (fill achieved by the
+/// max-wait/max-batch policy).
+pub static SERVE_BATCH_FILL: Histogram = Histogram::new("serve.batch_fill");
+/// Time a request waited in the serve queue before its batch started, in
+/// nanoseconds.
+pub static SERVE_QUEUE_WAIT_NS: Histogram = Histogram::new("serve.queue_wait_ns");
+/// Wall time of one serve micro-batch scoring pass, in nanoseconds.
+pub static SERVE_BATCH_SERVICE_NS: Histogram = Histogram::new("serve.batch_service_ns");
 
 /// All registered counters, in reporting order.
 pub static COUNTERS: &[&Counter] = &[
@@ -245,13 +270,28 @@ pub static COUNTERS: &[&Counter] = &[
     &SCORE_BATCHES,
     &SCORE_ROWS,
     &SCORE_BLOCKS,
+    &SERVE_REQUESTS,
+    &SERVE_ROWS,
+    &SERVE_BATCHES,
+    &SERVE_REJECTED,
+    &SERVE_SWAPS,
 ];
 
 /// All registered gauges, in reporting order.
-pub static GAUGES: &[&Gauge] = &[&POOL_WORKERS, &SCORE_ENGINE_POOL_BYTES];
+pub static GAUGES: &[&Gauge] = &[
+    &POOL_WORKERS,
+    &SCORE_ENGINE_POOL_BYTES,
+    &SERVE_QUEUE_DEPTH,
+    &SERVE_GENERATION,
+];
 
 /// All registered histograms, in reporting order.
-pub static HISTOGRAMS: &[&Histogram] = &[&POOL_QUEUE_WAIT_NS];
+pub static HISTOGRAMS: &[&Histogram] = &[
+    &POOL_QUEUE_WAIT_NS,
+    &SERVE_BATCH_FILL,
+    &SERVE_QUEUE_WAIT_NS,
+    &SERVE_BATCH_SERVICE_NS,
+];
 
 /// One metric's current value in a [`snapshot`].
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -1,0 +1,352 @@
+//! The dynamic micro-batcher.
+//!
+//! Concurrent callers each submit a handful of rows; a single worker
+//! thread coalesces whatever is queued into one fused `ScoreEngine` pass
+//! (`targad-nn`) under a
+//! max-wait/max-batch policy: the first queued request starts a batch
+//! window of [`ServeConfig::max_queue_wait`](crate::ServeConfig), and the
+//! batch executes as soon as [`ServeConfig::max_batch`](crate::ServeConfig)
+//! rows are queued or the window closes — whichever comes first. Lightly
+//! loaded servers thus stay at single-request latency while loaded ones
+//! amortize the batched-inference advantage across callers.
+//!
+//! The queue is bounded by row count: submissions that would exceed
+//! [`ServeConfig::queue_depth`](crate::ServeConfig) are rejected
+//! immediately with [`ServeError::Overloaded`] (backpressure beats
+//! unbounded latency).
+//!
+//! Coalescing never changes results: the engine's forward pass and the
+//! verdict kernel are strictly per-row, so a row scored in any coalesced
+//! batch is bit-identical to the same row scored alone — the
+//! `micro_batching.rs` integration tests pin this down.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use targad_core::{OodStrategy, TargAdError, VerdictClass};
+use targad_linalg::Matrix;
+use targad_obs::metrics;
+use targad_runtime::Runtime;
+
+use crate::config::{ServeConfig, ServeError};
+use crate::registry::ModelRegistry;
+
+/// One row's serve-path result: the full verdict plus the registry
+/// generation of the model that produced it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScoredRow {
+    /// Eq. 9 target-anomaly score.
+    pub score: f64,
+    /// Three-way §III-C class.
+    pub class: VerdictClass,
+    /// OOD strategy the request selected.
+    pub strategy: OodStrategy,
+    /// Calibrated threshold the decision used.
+    pub threshold: f64,
+    /// Registry generation of the scoring model.
+    pub generation: u64,
+}
+
+/// Aggregate batcher counters, independent of the gated `targad-obs`
+/// registry (always on; the bench reads these).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatcherStats {
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Rows scored.
+    pub rows: u64,
+    /// Largest batch fill achieved.
+    pub max_fill: u64,
+}
+
+struct Job {
+    /// Row-major `n x dims` features.
+    data: Vec<f64>,
+    n: usize,
+    dims: usize,
+    strategy: OodStrategy,
+    enqueued: Instant,
+    reply: Sender<Result<Vec<ScoredRow>, ServeError>>,
+}
+
+struct Shared {
+    /// Rows currently queued (the backpressure bound).
+    depth: AtomicUsize,
+    batches: AtomicU64,
+    rows: AtomicU64,
+    max_fill: AtomicU64,
+}
+
+/// The coalescing scorer. One instance drives one worker thread; clones of
+/// the submission side are handed to every connection handler.
+pub struct MicroBatcher {
+    tx: Mutex<Option<Sender<Job>>>,
+    shared: Arc<Shared>,
+    queue_depth: usize,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl MicroBatcher {
+    /// Starts the worker thread scoring against `registry` on `runtime`.
+    pub fn start(config: &ServeConfig, registry: Arc<ModelRegistry>, runtime: Runtime) -> Self {
+        let (tx, rx) = channel::<Job>();
+        let shared = Arc::new(Shared {
+            depth: AtomicUsize::new(0),
+            batches: AtomicU64::new(0),
+            rows: AtomicU64::new(0),
+            max_fill: AtomicU64::new(0),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let max_batch = config.max_batch;
+        let max_wait = config.max_queue_wait;
+        let worker = std::thread::Builder::new()
+            .name("targad-serve-batcher".into())
+            .spawn(move || {
+                worker_loop(rx, worker_shared, registry, runtime, max_batch, max_wait);
+            })
+            .expect("spawn batcher worker");
+        Self {
+            tx: Mutex::new(Some(tx)),
+            shared,
+            queue_depth: config.queue_depth,
+            worker: Mutex::new(Some(worker)),
+        }
+    }
+
+    /// Scores `n` rows (row-major `data`, `dims` columns each) under
+    /// `strategy`, blocking until the coalesced batch containing them has
+    /// executed.
+    ///
+    /// # Errors
+    /// [`ServeError::Overloaded`] under backpressure,
+    /// [`ServeError::ShuttingDown`] after [`MicroBatcher::shutdown`], and
+    /// [`ServeError::Model`] for per-request model errors (dimension
+    /// mismatch, uncalibrated strategy).
+    pub fn submit(
+        &self,
+        data: Vec<f64>,
+        n: usize,
+        dims: usize,
+        strategy: OodStrategy,
+    ) -> Result<Vec<ScoredRow>, ServeError> {
+        assert_eq!(data.len(), n * dims, "submit: data length mismatch");
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        // Optimistically claim queue room; undo on rejection. The bound is
+        // approximate under races by at most one in-flight submission per
+        // caller thread, which is exactly the slack a bounded queue needs.
+        let claimed = self.shared.depth.fetch_add(n, Ordering::AcqRel) + n;
+        if claimed > self.queue_depth {
+            self.shared.depth.fetch_sub(n, Ordering::AcqRel);
+            metrics::SERVE_REJECTED.inc();
+            return Err(ServeError::Overloaded);
+        }
+        metrics::SERVE_QUEUE_DEPTH.set(claimed as u64);
+        let (reply_tx, reply_rx) = channel();
+        let job = Job {
+            data,
+            n,
+            dims,
+            strategy,
+            enqueued: Instant::now(),
+            reply: reply_tx,
+        };
+        let sent = match self.tx.lock().expect("batcher lock poisoned").as_ref() {
+            Some(tx) => tx.send(job).is_ok(),
+            None => false,
+        };
+        if !sent {
+            self.shared.depth.fetch_sub(n, Ordering::AcqRel);
+            return Err(ServeError::ShuttingDown);
+        }
+        metrics::SERVE_REQUESTS.inc();
+        reply_rx
+            .recv()
+            .unwrap_or(Err(ServeError::Io("batcher worker died".into())))
+    }
+
+    /// Rows currently queued.
+    pub fn depth(&self) -> usize {
+        self.shared.depth.load(Ordering::Acquire)
+    }
+
+    /// Aggregate counters since start.
+    pub fn stats(&self) -> BatcherStats {
+        BatcherStats {
+            batches: self.shared.batches.load(Ordering::Acquire),
+            rows: self.shared.rows.load(Ordering::Acquire),
+            max_fill: self.shared.max_fill.load(Ordering::Acquire),
+        }
+    }
+
+    /// Stops accepting work, drains every queued job (no request is ever
+    /// dropped), and joins the worker.
+    pub fn shutdown(&self) {
+        drop(self.tx.lock().expect("batcher lock poisoned").take());
+        if let Some(worker) = self.worker.lock().expect("batcher lock poisoned").take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for MicroBatcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(
+    rx: Receiver<Job>,
+    shared: Arc<Shared>,
+    registry: Arc<ModelRegistry>,
+    runtime: Runtime,
+    max_batch: usize,
+    max_wait: std::time::Duration,
+) {
+    loop {
+        // Block for the batch's first job; a disconnect here means every
+        // sender is gone and the queue is fully drained.
+        let first = match rx.recv() {
+            Ok(job) => job,
+            Err(_) => break,
+        };
+        let mut jobs = vec![first];
+        let mut rows = jobs[0].n;
+        // Whatever queued up while the previous batch executed coalesces
+        // for free — drain it before consulting the clock, or a backlogged
+        // first job (enqueued longer than max_wait ago) would execute
+        // alone and the batcher would degrade to one row per batch exactly
+        // when batching matters most. Jobs are never split, so a multi-row
+        // job may overshoot max_batch; the policy bounds when we *stop
+        // adding*, not the final fill.
+        while rows < max_batch {
+            match rx.try_recv() {
+                Ok(job) => {
+                    rows += job.n;
+                    jobs.push(job);
+                }
+                Err(_) => break,
+            }
+        }
+        // Under-filled: wait out the remainder of the first job's window
+        // for stragglers.
+        let deadline = jobs[0].enqueued + max_wait;
+        while rows < max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(job) => {
+                    rows += job.n;
+                    jobs.push(job);
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        execute_batch(jobs, rows, &shared, &registry, &runtime);
+    }
+}
+
+/// Scores one coalesced batch and distributes per-job replies.
+fn execute_batch(
+    jobs: Vec<Job>,
+    rows: usize,
+    shared: &Shared,
+    registry: &ModelRegistry,
+    runtime: &Runtime,
+) {
+    let started = Instant::now();
+    let (snapshot, generation) = registry.current();
+    let clf = &snapshot.classifier;
+    let dims = clf.input_dim();
+
+    // Resolve each job against *this* snapshot: a hot-swap between enqueue
+    // and execution may have changed dimensionality or calibration, and
+    // such jobs must fail individually without poisoning the batch.
+    let mut accepted: Vec<(Job, f64)> = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        metrics::SERVE_QUEUE_WAIT_NS.record(elapsed_ns(job.enqueued));
+        if job.dims != dims {
+            finish_job(
+                shared,
+                &job,
+                Err(TargAdError::DimMismatch {
+                    expected: dims,
+                    got: job.dims,
+                }
+                .into()),
+            );
+            continue;
+        }
+        match snapshot.thresholds.get(job.strategy) {
+            Some(tau) => accepted.push((job, tau)),
+            None => {
+                let strategy = job.strategy;
+                finish_job(
+                    shared,
+                    &job,
+                    Err(TargAdError::NotCalibrated { strategy }.into()),
+                );
+            }
+        }
+    }
+    if accepted.is_empty() {
+        return;
+    }
+
+    let batch_rows: usize = accepted.iter().map(|(job, _)| job.n).sum();
+    let mut data = Vec::with_capacity(batch_rows * dims);
+    let mut row_params = Vec::with_capacity(batch_rows);
+    for (job, tau) in &accepted {
+        data.extend_from_slice(&job.data);
+        row_params.extend(std::iter::repeat_n((job.strategy, *tau), job.n));
+    }
+    let x = Matrix::from_vec(batch_rows, dims, data);
+    let pairs = clf.verdicts_rt_with(&x, runtime, |r| row_params[r]);
+
+    // Stats land before replies go out, so a caller that observes its
+    // result (and anything joining on it) also observes the counters.
+    shared.batches.fetch_add(1, Ordering::AcqRel);
+    shared.rows.fetch_add(batch_rows as u64, Ordering::AcqRel);
+    shared
+        .max_fill
+        .fetch_max(batch_rows as u64, Ordering::AcqRel);
+    metrics::SERVE_BATCHES.inc();
+    metrics::SERVE_ROWS.add(batch_rows as u64);
+    metrics::SERVE_BATCH_FILL.record(rows as u64);
+
+    let mut offset = 0;
+    for (job, tau) in &accepted {
+        let scored = pairs[offset..offset + job.n]
+            .iter()
+            .map(|&(score, class)| ScoredRow {
+                score,
+                class,
+                strategy: job.strategy,
+                threshold: *tau,
+                generation,
+            })
+            .collect();
+        offset += job.n;
+        finish_job(shared, job, Ok(scored));
+    }
+    metrics::SERVE_BATCH_SERVICE_NS.record(elapsed_ns(started));
+}
+
+/// Sends a job's reply and releases its queue-depth claim.
+fn finish_job(shared: &Shared, job: &Job, result: Result<Vec<ScoredRow>, ServeError>) {
+    let depth = shared.depth.fetch_sub(job.n, Ordering::AcqRel) - job.n;
+    metrics::SERVE_QUEUE_DEPTH.set(depth as u64);
+    // A caller that gave up (dropped its receiver) is not an error.
+    let _ = job.reply.send(result);
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}

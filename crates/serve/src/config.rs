@@ -1,0 +1,286 @@
+//! Server configuration and error type.
+
+use std::fmt;
+use std::time::Duration;
+
+use targad_core::{OodStrategy, TargAdError};
+
+/// Configuration of one [`crate::Server`] instance.
+///
+/// Built via [`ServeConfig::builder`], the idiomatic twin of
+/// [`targad_core::TargAdConfig::builder`]: setters accept anything, and
+/// [`ServeConfigBuilder::build`] validates every constraint into a typed
+/// [`ServeError::InvalidConfig`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Interface to bind (default `127.0.0.1`).
+    pub host: String,
+    /// TCP port to bind; `0` asks the OS for an ephemeral port (the
+    /// default — tests and benches read the bound port off the handle).
+    pub port: u32,
+    /// Maximum rows coalesced into one micro-batch (default 64).
+    pub max_batch: usize,
+    /// Longest a queued request waits for co-batchable traffic before its
+    /// (possibly underfull) batch executes anyway (default 1 ms).
+    pub max_queue_wait: Duration,
+    /// Maximum rows queued ahead of the batcher before new requests are
+    /// rejected with backpressure (default 1024).
+    pub queue_depth: usize,
+    /// OOD strategy used when a request does not select one
+    /// (default [`OodStrategy::Msp`]).
+    pub default_strategy: OodStrategy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            host: "127.0.0.1".into(),
+            port: 0,
+            max_batch: 64,
+            max_queue_wait: Duration::from_millis(1),
+            queue_depth: 1024,
+            default_strategy: OodStrategy::Msp,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A builder pre-filled with the defaults.
+    ///
+    /// ```
+    /// use targad_serve::ServeConfig;
+    /// let config = ServeConfig::builder().max_batch(32).build().unwrap();
+    /// assert_eq!(config.max_batch, 32);
+    /// assert!(ServeConfig::builder().max_batch(0).build().is_err());
+    /// ```
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            config: Self::default(),
+        }
+    }
+
+    /// Validates internal consistency, returning the first violated
+    /// constraint as a typed [`ServeError::InvalidConfig`].
+    pub fn try_validate(&self) -> Result<(), ServeError> {
+        fn bad(field: &'static str, reason: String) -> Result<(), ServeError> {
+            Err(ServeError::InvalidConfig { field, reason })
+        }
+        if self.host.is_empty() {
+            return bad("host", "must not be empty".into());
+        }
+        if self.port > u32::from(u16::MAX) {
+            return bad(
+                "port",
+                format!("must be at most {}, got {}", u16::MAX, self.port),
+            );
+        }
+        if self.max_batch == 0 {
+            return bad("max_batch", "must be positive".into());
+        }
+        if self.max_queue_wait.is_zero() || self.max_queue_wait > Duration::from_secs(5) {
+            return bad(
+                "max_queue_wait",
+                format!("must be in (0, 5s], got {:?}", self.max_queue_wait),
+            );
+        }
+        if self.queue_depth < self.max_batch {
+            return bad(
+                "queue_depth",
+                format!(
+                    "must be at least max_batch ({}), got {}",
+                    self.max_batch, self.queue_depth
+                ),
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`ServeConfig`], started via
+/// [`ServeConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $field:ident: $ty:ty),+ $(,)?) => {$(
+        $(#[$doc])*
+        pub fn $field(mut self, value: $ty) -> Self {
+            self.config.$field = value;
+            self
+        }
+    )+};
+}
+
+impl ServeConfigBuilder {
+    builder_setters! {
+        /// Interface to bind.
+        host: String,
+        /// TCP port to bind (`0` = ephemeral).
+        port: u32,
+        /// Maximum rows coalesced into one micro-batch.
+        max_batch: usize,
+        /// Longest a queued request waits before its batch executes.
+        max_queue_wait: Duration,
+        /// Maximum queued rows before backpressure rejection.
+        queue_depth: usize,
+        /// OOD strategy when a request does not select one.
+        default_strategy: OodStrategy,
+    }
+
+    /// Starts from an existing configuration instead of the defaults.
+    pub fn from_config(config: ServeConfig) -> Self {
+        Self { config }
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    /// [`ServeError::InvalidConfig`] naming the first field that violates
+    /// its constraint.
+    pub fn build(self) -> Result<ServeConfig, ServeError> {
+        self.config.try_validate()?;
+        Ok(self.config)
+    }
+}
+
+/// Failures surfaced by the serve layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// A configuration field failed validation (see
+    /// [`ServeConfig::try_validate`]).
+    InvalidConfig {
+        /// The offending field, e.g. `"max_batch"`.
+        field: &'static str,
+        /// Human-readable constraint violation.
+        reason: String,
+    },
+    /// The bounded request queue is at capacity (backpressure): the caller
+    /// should retry later. Maps to HTTP 503.
+    Overloaded,
+    /// The server is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// A malformed request (bad JSON, wrong shapes, unknown strategy).
+    /// Maps to HTTP 400.
+    BadRequest(String),
+    /// A model-layer error (dimension mismatch, uncalibrated strategy, …).
+    Model(TargAdError),
+    /// An I/O failure, by message (kept `Eq`-comparable).
+    Io(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::InvalidConfig { field, reason } => {
+                write!(f, "invalid serve configuration: `{field}` {reason}")
+            }
+            ServeError::Overloaded => write!(f, "request queue full; retry later"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Model(e) => write!(f, "model error: {e}"),
+            ServeError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<TargAdError> for ServeError {
+    fn from(e: TargAdError) -> Self {
+        ServeError::Model(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        ServeConfig::default().try_validate().unwrap();
+        let c = ServeConfig::builder().build().unwrap();
+        assert_eq!(c.max_batch, 64);
+        assert_eq!(c.queue_depth, 1024);
+        assert_eq!(c.default_strategy, OodStrategy::Msp);
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let c = ServeConfig::builder()
+            .port(8080)
+            .max_batch(16)
+            .max_queue_wait(Duration::from_micros(500))
+            .queue_depth(64)
+            .default_strategy(OodStrategy::EnergyScore)
+            .build()
+            .unwrap();
+        assert_eq!(c.port, 8080);
+        assert_eq!(c.max_batch, 16);
+        assert_eq!(c.max_queue_wait, Duration::from_micros(500));
+        assert_eq!(c.queue_depth, 64);
+        assert_eq!(c.default_strategy, OodStrategy::EnergyScore);
+    }
+
+    #[test]
+    fn builder_surfaces_each_constraint_as_a_typed_error() {
+        let field_of = |r: Result<ServeConfig, ServeError>| match r {
+            Err(ServeError::InvalidConfig { field, .. }) => field,
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        };
+        assert_eq!(
+            field_of(ServeConfig::builder().host(String::new()).build()),
+            "host"
+        );
+        assert_eq!(
+            field_of(ServeConfig::builder().port(70_000).build()),
+            "port"
+        );
+        assert_eq!(
+            field_of(ServeConfig::builder().max_batch(0).build()),
+            "max_batch"
+        );
+        assert_eq!(
+            field_of(
+                ServeConfig::builder()
+                    .max_queue_wait(Duration::ZERO)
+                    .build()
+            ),
+            "max_queue_wait"
+        );
+        assert_eq!(
+            field_of(
+                ServeConfig::builder()
+                    .max_queue_wait(Duration::from_secs(6))
+                    .build()
+            ),
+            "max_queue_wait"
+        );
+        assert_eq!(
+            field_of(ServeConfig::builder().queue_depth(1).build()),
+            "queue_depth"
+        );
+    }
+
+    #[test]
+    fn errors_display_their_context() {
+        let e = ServeError::InvalidConfig {
+            field: "max_batch",
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("max_batch"));
+        assert!(ServeError::Overloaded.to_string().contains("queue"));
+        assert!(ServeError::BadRequest("no rows".into())
+            .to_string()
+            .contains("no rows"));
+        let m: ServeError = TargAdError::NotFitted.into();
+        assert!(m.to_string().contains("fit"));
+    }
+}

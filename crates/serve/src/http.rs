@@ -1,0 +1,280 @@
+//! Minimal HTTP/1.1 framing — request parsing and response writing over
+//! any `Read`/`Write` stream, with keep-alive. Vendored because the build
+//! is offline: no async runtime, no HTTP dependency, just the subset of
+//! RFC 9112 the serve protocol needs (`Content-Length` bodies; no chunked
+//! encoding, no trailers).
+
+use std::io::{self, BufRead, Write};
+
+/// Largest accepted request body (64 MiB) — a guard against a malformed
+/// `Content-Length` pinning the connection thread on a huge allocation.
+pub const MAX_BODY_BYTES: usize = 64 << 20;
+
+/// One parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Method verb, uppercased as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target, e.g. `/score`.
+    pub path: String,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (lowercase).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange (HTTP/1.1 defaults to keep-alive).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// One parsed response (client side — tests and the bench driver).
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Reads one request off `reader`. Returns `Ok(None)` on clean EOF before
+/// the first byte (the peer closed an idle keep-alive connection).
+///
+/// # Errors
+/// `io::ErrorKind::InvalidData` on malformed framing; read errors pass
+/// through (including timeouts, which the caller treats as idle polls).
+pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<Request>> {
+    let request_line = match read_line(reader)? {
+        None => return Ok(None),
+        Some(line) => line,
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v),
+        _ => return Err(bad(format!("malformed request line `{request_line}`"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad(format!("unsupported version `{version}`")));
+    }
+    let headers = read_headers(reader)?;
+    let body = read_body(reader, &headers)?;
+    Ok(Some(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+/// Reads one response off `reader` (client side).
+///
+/// # Errors
+/// `io::ErrorKind::InvalidData` on malformed framing or premature EOF.
+pub fn read_response(reader: &mut impl BufRead) -> io::Result<Response> {
+    let status_line = read_line(reader)?.ok_or_else(|| bad("eof before status line".into()))?;
+    let mut parts = status_line.split_whitespace();
+    let status = match (parts.next(), parts.next()) {
+        (Some(v), Some(code)) if v.starts_with("HTTP/1.") => code
+            .parse::<u16>()
+            .map_err(|_| bad(format!("bad status in `{status_line}`")))?,
+        _ => return Err(bad(format!("malformed status line `{status_line}`"))),
+    };
+    let headers = read_headers(reader)?;
+    let body = read_body(reader, &headers)?;
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Writes one response with a `Content-Length` body.
+///
+/// # Errors
+/// Propagates stream write errors.
+pub fn write_response(
+    writer: &mut impl Write,
+    status: u16,
+    body: &[u8],
+    content_type: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let reason = reason_of(status);
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        writer,
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+        body.len()
+    )?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+/// Writes one request with an optional body (client side).
+///
+/// # Errors
+/// Propagates stream write errors.
+pub fn write_request(
+    writer: &mut impl Write,
+    method: &str,
+    path: &str,
+    host: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nhost: {host}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    )?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+fn reason_of(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Reads one CRLF-terminated line; `None` on EOF before any byte.
+fn read_line(reader: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+fn read_headers(reader: &mut impl BufRead) -> io::Result<Vec<(String, String)>> {
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?.ok_or_else(|| bad("eof inside headers".into()))?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad(format!("malformed header `{line}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+}
+
+fn read_body(reader: &mut impl BufRead, headers: &[(String, String)]) -> io::Result<Vec<u8>> {
+    let length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| bad(format!("bad content-length `{v}`")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if length > MAX_BODY_BYTES {
+        return Err(bad(format!("content-length {length} exceeds limit")));
+    }
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body)?;
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn request_round_trip() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, "POST", "/score", "localhost", b"{\"rows\":[]}").unwrap();
+        let mut reader = BufReader::new(&wire[..]);
+        let req = read_request(&mut reader).unwrap().expect("one request");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/score");
+        assert_eq!(req.body, b"{\"rows\":[]}");
+        assert_eq!(req.header("host"), Some("localhost"));
+        assert!(!req.wants_close());
+        // Clean EOF afterwards.
+        assert!(read_request(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let mut wire = Vec::new();
+        write_response(
+            &mut wire,
+            503,
+            b"{\"error\":\"x\"}",
+            "application/json",
+            true,
+        )
+        .unwrap();
+        let resp = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.text(), "{\"error\":\"x\"}");
+    }
+
+    #[test]
+    fn keep_alive_frames_consecutive_requests() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, "GET", "/healthz", "h", b"").unwrap();
+        write_request(&mut wire, "GET", "/metrics", "h", b"").unwrap();
+        let mut reader = BufReader::new(&wire[..]);
+        assert_eq!(read_request(&mut reader).unwrap().unwrap().path, "/healthz");
+        assert_eq!(read_request(&mut reader).unwrap().unwrap().path, "/metrics");
+        assert!(read_request(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_framing() {
+        let cases: &[&[u8]] = &[
+            b"NOT-HTTP\r\n\r\n",
+            b"GET /x SPDY/3\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n",
+            b"GET /x HTTP/1.1\r\ncontent-length: nope\r\n\r\n",
+        ];
+        for case in cases {
+            let err = read_request(&mut BufReader::new(&case[..]));
+            assert!(err.is_err(), "accepted {case:?}");
+        }
+    }
+
+    #[test]
+    fn body_guard_rejects_huge_lengths() {
+        let wire = format!("POST /x HTTP/1.1\r\ncontent-length: {}\r\n\r\n", usize::MAX);
+        assert!(read_request(&mut BufReader::new(wire.as_bytes())).is_err());
+    }
+}

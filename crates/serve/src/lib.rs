@@ -1,0 +1,38 @@
+//! **targad-serve** — the online scoring service.
+//!
+//! Turns the batch-oriented TargAD harness into the long-running system the
+//! paper's SQB deployment sketch implies: a daemon that scores instances as
+//! they arrive and answers with the *decision* (§III-C three-way verdict),
+//! not just the Eq. 9 scalar. Three pieces:
+//!
+//! - [`ModelRegistry`] ([`registry`]): fitted models behind
+//!   generation-counted `Arc` handles with atomic hot-swap — in-flight
+//!   batches finish on the snapshot they started with, new batches pick up
+//!   the new generation, and no request is ever lost or torn.
+//! - [`MicroBatcher`] ([`batcher`]): a bounded queue plus a worker that
+//!   coalesces concurrent score requests into one fused
+//!   `ScoreEngine` pass under a max-wait/max-batch policy, amortizing the
+//!   batched-inference advantage across independent callers. Queue depth,
+//!   batch fill, and wait times feed the `targad-obs` registry.
+//! - [`Server`] ([`server`]): a dependency-free HTTP/1.1 front end (the
+//!   repo builds offline — no async runtime) exposing `/score`,
+//!   `/admin/swap`, `/model`, `/healthz`, and `/metrics`.
+//!
+//! Every `/score` response row carries a full [`targad_core::Verdict`]:
+//! score, three-way class, the per-request-selected
+//! [`targad_core::OodStrategy`], and the calibrated threshold the decision
+//! used — thresholds are cached on the model snapshot at swap time
+//! ([`ModelSnapshot`]), so the request path does zero calibration work.
+
+pub mod batcher;
+pub mod config;
+pub mod http;
+pub mod json;
+pub mod registry;
+pub mod server;
+
+pub use batcher::{BatcherStats, MicroBatcher, ScoredRow};
+pub use config::{ServeConfig, ServeConfigBuilder, ServeError};
+pub use json::Json;
+pub use registry::{ModelRegistry, ModelSnapshot};
+pub use server::{Client, Server, ServerHandle};

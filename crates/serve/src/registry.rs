@@ -1,0 +1,119 @@
+//! The model registry: fitted models behind generation-counted `Arc`
+//! handles with atomic hot-swap.
+//!
+//! Readers grab `(Arc<ModelSnapshot>, generation)` under a read lock —
+//! never torn, never blocking a swap for longer than the clone of an `Arc`.
+//! A swap installs a new snapshot under the write lock and bumps the
+//! generation; batches already holding the old `Arc` finish on the model
+//! they started with, which is exactly the "hot-swap loses zero requests"
+//! contract the serving layer promises.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use targad_core::{Classifier, ThresholdCache};
+
+/// One immutable, decision-ready model: the trained classifier plus the
+/// §III-C thresholds calibrated for it. Snapshots carry everything a
+/// request needs, so the score path does zero calibration work.
+#[derive(Clone)]
+pub struct ModelSnapshot {
+    /// The trained `m + k`-way classifier.
+    pub classifier: Classifier,
+    /// Calibrated per-strategy thresholds (see
+    /// [`targad_core::TargAd::calibrate_thresholds`]).
+    pub thresholds: ThresholdCache,
+    /// Operator-chosen label for this model version (surfaced by
+    /// `/model`).
+    pub tag: String,
+}
+
+impl ModelSnapshot {
+    /// Bundles a classifier with its calibrated thresholds under `tag`.
+    pub fn new(classifier: Classifier, thresholds: ThresholdCache, tag: impl Into<String>) -> Self {
+        Self {
+            classifier,
+            thresholds,
+            tag: tag.into(),
+        }
+    }
+}
+
+/// Generation-counted current model with atomic hot-swap.
+pub struct ModelRegistry {
+    current: RwLock<Arc<ModelSnapshot>>,
+    generation: AtomicU64,
+}
+
+impl ModelRegistry {
+    /// A registry serving `snapshot` as generation 1.
+    pub fn new(snapshot: ModelSnapshot) -> Self {
+        targad_obs::metrics::SERVE_GENERATION.set(1);
+        Self {
+            current: RwLock::new(Arc::new(snapshot)),
+            generation: AtomicU64::new(1),
+        }
+    }
+
+    /// The current snapshot and its generation, read consistently: the
+    /// pair is taken under one read lock, so a concurrent swap can never
+    /// pair snapshot N with generation N+1.
+    pub fn current(&self) -> (Arc<ModelSnapshot>, u64) {
+        let guard = self.current.read().expect("registry lock poisoned");
+        // Generation is read while still holding the lock; swaps bump it
+        // under the write lock, so the pair is consistent.
+        let generation = self.generation.load(Ordering::Acquire);
+        (Arc::clone(&guard), generation)
+    }
+
+    /// The current generation (1-based, monotonically increasing).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Atomically installs `snapshot` as the new current model and returns
+    /// its generation. In-flight readers keep their old `Arc`; the old
+    /// model is dropped when the last of them finishes.
+    pub fn swap(&self, snapshot: ModelSnapshot) -> u64 {
+        let mut guard = self.current.write().expect("registry lock poisoned");
+        let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        *guard = Arc::new(snapshot);
+        targad_obs::metrics::SERVE_SWAPS.inc();
+        targad_obs::metrics::SERVE_GENERATION.set(generation);
+        generation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use targad_core::{TargAd, TargAdConfig};
+    use targad_data::GeneratorSpec;
+
+    fn snapshot(tag: &str) -> ModelSnapshot {
+        let bundle = GeneratorSpec::quick_demo().generate(17);
+        let mut model = TargAd::try_new(TargAdConfig::fast()).expect("valid config");
+        model.fit(&bundle.train, 17).expect("fit");
+        let thresholds = model
+            .calibrate_thresholds(&bundle.val.features, &bundle.val.three_way_labels())
+            .expect("calibrate");
+        ModelSnapshot::new(model.classifier().unwrap().clone(), thresholds, tag)
+    }
+
+    #[test]
+    fn swap_bumps_generation_and_replaces_snapshot() {
+        let registry = ModelRegistry::new(snapshot("a"));
+        let (s1, g1) = registry.current();
+        assert_eq!(g1, 1);
+        assert_eq!(s1.tag, "a");
+        assert!(s1.thresholds.is_complete());
+
+        let g2 = registry.swap(snapshot("b"));
+        assert_eq!(g2, 2);
+        let (s2, g) = registry.current();
+        assert_eq!(g, 2);
+        assert_eq!(s2.tag, "b");
+        // The old handle is still alive and still scores.
+        assert_eq!(s1.tag, "a");
+    }
+}

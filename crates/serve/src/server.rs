@@ -1,0 +1,452 @@
+//! The HTTP front end: routing, request/response bodies, and lifecycle.
+//!
+//! | Route | Method | Purpose |
+//! |---|---|---|
+//! | `/score` | POST | Score rows; response carries one full verdict per row |
+//! | `/admin/swap` | POST | Hot-swap the served model from a v2 snapshot file |
+//! | `/model` | GET | Current model's tag, generation, shape, thresholds |
+//! | `/healthz` | GET | Liveness plus current generation |
+//! | `/metrics` | GET | The `targad-obs` metrics snapshot as JSON |
+//!
+//! The server is thread-per-connection with keep-alive (no async runtime —
+//! the repo builds offline), a nonblocking accept loop polled against the
+//! shutdown flag, and per-connection read timeouts so shutdown never hangs
+//! on an idle peer. [`ServerHandle::shutdown`] stops accepting, joins every
+//! connection, then drains the batcher — queued requests are answered, not
+//! dropped.
+
+use std::io::{BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use targad_core::{snapshot as core_snapshot, OodStrategy, TargAdError};
+use targad_runtime::Runtime;
+
+use crate::batcher::MicroBatcher;
+use crate::config::{ServeConfig, ServeError};
+use crate::http::{read_request, write_response, Request};
+use crate::json::{escape, Json};
+use crate::registry::{ModelRegistry, ModelSnapshot};
+
+/// How often blocked I/O paths re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// Stable wire name of a strategy (`msp` / `es` / `ed`), the inverse of
+/// [`OodStrategy::parse`].
+pub(crate) fn wire_name(strategy: OodStrategy) -> &'static str {
+    match strategy {
+        OodStrategy::Msp => "msp",
+        OodStrategy::EnergyScore => "es",
+        OodStrategy::EnergyDiscrepancy => "ed",
+    }
+}
+
+/// The serve-layer entry point. See [`Server::start`].
+pub struct Server;
+
+impl Server {
+    /// Validates `config`, binds the listener, installs `snapshot` as
+    /// generation 1, and starts the batcher worker plus the accept loop.
+    /// Returns a handle owning the whole lifecycle.
+    ///
+    /// # Errors
+    /// [`ServeError::InvalidConfig`] or [`ServeError::Io`] (bind failure).
+    pub fn start(
+        config: ServeConfig,
+        snapshot: ModelSnapshot,
+        runtime: Runtime,
+    ) -> Result<ServerHandle, ServeError> {
+        config.try_validate()?;
+        let listener = TcpListener::bind((config.host.as_str(), config.port as u16))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let registry = Arc::new(ModelRegistry::new(snapshot));
+        let batcher = Arc::new(MicroBatcher::start(&config, Arc::clone(&registry), runtime));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let ctx = Arc::new(Context {
+            registry: Arc::clone(&registry),
+            batcher: Arc::clone(&batcher),
+            shutdown: Arc::clone(&shutdown),
+            default_strategy: config.default_strategy,
+        });
+        let accept_ctx = Arc::clone(&ctx);
+        let accept_connections = Arc::clone(&connections);
+        let accept = std::thread::Builder::new()
+            .name("targad-serve-accept".into())
+            .spawn(move || accept_loop(listener, accept_ctx, accept_connections))
+            .map_err(|e| ServeError::Io(e.to_string()))?;
+
+        Ok(ServerHandle {
+            addr,
+            registry,
+            batcher,
+            shutdown,
+            accept: Some(accept),
+            connections,
+        })
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    registry: Arc<ModelRegistry>,
+    batcher: Arc<MicroBatcher>,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (reads the ephemeral port when `port = 0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The model registry, for in-process hot-swap and inspection.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// The batcher, for stats and in-process scoring.
+    pub fn batcher(&self) -> &Arc<MicroBatcher> {
+        &self.batcher
+    }
+
+    /// Stops accepting connections, joins every connection thread, and
+    /// drains the batcher. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let handles: Vec<_> = self
+            .connections
+            .lock()
+            .expect("connections lock poisoned")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        self.batcher.shutdown();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Everything a connection handler needs.
+struct Context {
+    registry: Arc<ModelRegistry>,
+    batcher: Arc<MicroBatcher>,
+    shutdown: Arc<AtomicBool>,
+    default_strategy: OodStrategy,
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    ctx: Arc<Context>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn_ctx = Arc::clone(&ctx);
+                if let Ok(handle) = std::thread::Builder::new()
+                    .name("targad-serve-conn".into())
+                    .spawn(move || connection_loop(stream, conn_ctx))
+                {
+                    connections
+                        .lock()
+                        .expect("connections lock poisoned")
+                        .push(handle);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if ctx.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => {
+                if ctx.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                std::thread::sleep(POLL_INTERVAL);
+            }
+        }
+    }
+}
+
+fn connection_loop(stream: TcpStream, ctx: Arc<Context>) {
+    if stream.set_nonblocking(false).is_err() || stream.set_nodelay(true).is_err() {
+        return;
+    }
+    // Bounded reads so an idle keep-alive peer cannot outlive shutdown.
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        if ctx.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match read_request(&mut reader) {
+            Ok(Some(request)) => {
+                let keep_alive = !request.wants_close();
+                let (status, body) = route(&request, &ctx);
+                if write_response(
+                    &mut writer,
+                    status,
+                    body.as_bytes(),
+                    "application/json",
+                    keep_alive,
+                )
+                .is_err()
+                    || !keep_alive
+                {
+                    return;
+                }
+            }
+            // Peer closed an idle connection.
+            Ok(None) => return,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle poll; loop re-checks the shutdown flag.
+            }
+            Err(_) => {
+                let _ = write_response(
+                    &mut writer,
+                    400,
+                    error_body("malformed request").as_bytes(),
+                    "application/json",
+                    false,
+                );
+                return;
+            }
+        }
+    }
+}
+
+fn error_body(message: &str) -> String {
+    format!("{{\"error\": \"{}\"}}", escape(message))
+}
+
+fn route(request: &Request, ctx: &Context) -> (u16, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (
+            200,
+            format!(
+                "{{\"status\": \"ok\", \"generation\": {}}}",
+                ctx.registry.generation()
+            ),
+        ),
+        ("GET", "/metrics") => (200, targad_obs::metrics::snapshot_json()),
+        ("GET", "/model") => (200, model_body(ctx)),
+        ("POST", "/score") => match handle_score(request, ctx) {
+            Ok(body) => (200, body),
+            Err(e) => (status_of(&e), error_body(&e.to_string())),
+        },
+        ("POST", "/admin/swap") => match handle_swap(request, ctx) {
+            Ok(body) => (200, body),
+            Err(e) => (status_of(&e), error_body(&e.to_string())),
+        },
+        ("GET" | "POST", _) => (404, error_body("no such route")),
+        _ => (405, error_body("method not allowed")),
+    }
+}
+
+fn status_of(e: &ServeError) -> u16 {
+    match e {
+        ServeError::Overloaded | ServeError::ShuttingDown => 503,
+        ServeError::BadRequest(_) | ServeError::Model(_) => 400,
+        ServeError::InvalidConfig { .. } | ServeError::Io(_) => 500,
+    }
+}
+
+fn model_body(ctx: &Context) -> String {
+    let (snapshot, generation) = ctx.registry.current();
+    let clf = &snapshot.classifier;
+    let taus: Vec<String> = OodStrategy::all()
+        .into_iter()
+        .map(|s| {
+            let value = snapshot
+                .thresholds
+                .get(s)
+                .map_or("null".into(), |t| format!("{t:?}"));
+            format!("\"{}\": {value}", wire_name(s))
+        })
+        .collect();
+    format!(
+        "{{\"tag\": \"{}\", \"generation\": {generation}, \"m\": {}, \"k\": {}, \"input_dim\": {}, \"thresholds\": {{{}}}}}",
+        escape(&snapshot.tag),
+        clf.m(),
+        clf.k(),
+        clf.input_dim(),
+        taus.join(", ")
+    )
+}
+
+/// `POST /score` — body `{"rows": [[f64; D]; N], "ood_strategy": "msp"?}`.
+fn handle_score(request: &Request, ctx: &Context) -> Result<String, ServeError> {
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| ServeError::BadRequest("body is not utf-8".into()))?;
+    let doc = Json::parse(text).map_err(ServeError::BadRequest)?;
+    let strategy = match doc.get("ood_strategy") {
+        None | Some(Json::Null) => ctx.default_strategy,
+        Some(v) => {
+            let name = v
+                .as_str()
+                .ok_or_else(|| ServeError::BadRequest("ood_strategy must be a string".into()))?;
+            OodStrategy::parse(name)
+                .ok_or_else(|| ServeError::BadRequest(format!("unknown ood_strategy `{name}`")))?
+        }
+    };
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ServeError::BadRequest("missing `rows` array".into()))?;
+    if rows.is_empty() {
+        return Err(ServeError::BadRequest("`rows` is empty".into()));
+    }
+    let mut dims = 0;
+    let mut data = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        let cells = row
+            .as_arr()
+            .ok_or_else(|| ServeError::BadRequest(format!("row {i} is not an array")))?;
+        if i == 0 {
+            dims = cells.len();
+            data.reserve(rows.len() * dims);
+        } else if cells.len() != dims {
+            return Err(ServeError::BadRequest(format!(
+                "row {i} has {} values, row 0 has {dims}",
+                cells.len()
+            )));
+        }
+        for (j, cell) in cells.iter().enumerate() {
+            let v = cell
+                .as_f64()
+                .ok_or_else(|| ServeError::BadRequest(format!("row {i}[{j}] is not a number")))?;
+            if !v.is_finite() {
+                return Err(ServeError::BadRequest(format!(
+                    "row {i}[{j}] is not finite"
+                )));
+            }
+            data.push(v);
+        }
+    }
+    if dims == 0 {
+        return Err(ServeError::BadRequest("rows have zero columns".into()));
+    }
+
+    let scored = ctx.batcher.submit(data, rows.len(), dims, strategy)?;
+    let generation = scored.first().map_or(0, |s| s.generation);
+    let verdicts: Vec<String> = scored
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"score\": {:?}, \"class\": \"{}\", \"ood_strategy\": \"{}\", \"threshold\": {:?}}}",
+                s.score,
+                s.class.name(),
+                wire_name(s.strategy),
+                s.threshold
+            )
+        })
+        .collect();
+    Ok(format!(
+        "{{\"model_generation\": {generation}, \"count\": {}, \"verdicts\": [{}]}}",
+        scored.len(),
+        verdicts.join(", ")
+    ))
+}
+
+/// `POST /admin/swap` — body `{"path": "<v2 snapshot file>", "tag": "…"?}`.
+fn handle_swap(request: &Request, ctx: &Context) -> Result<String, ServeError> {
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| ServeError::BadRequest("body is not utf-8".into()))?;
+    let doc = Json::parse(text).map_err(ServeError::BadRequest)?;
+    let path = doc
+        .get("path")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::BadRequest("missing `path`".into()))?;
+    let tag = doc
+        .get("tag")
+        .and_then(Json::as_str)
+        .unwrap_or(path)
+        .to_string();
+    let (classifier, thresholds) = core_snapshot::load_with_thresholds(path)
+        .map_err(|e| ServeError::BadRequest(format!("cannot load snapshot `{path}`: {e}")))?;
+    if thresholds.is_empty() {
+        // A model with no calibrated thresholds can answer nothing; reject
+        // the swap instead of serving NotCalibrated on every request.
+        return Err(ServeError::Model(TargAdError::NotCalibrated {
+            strategy: ctx.default_strategy,
+        }));
+    }
+    let generation = ctx
+        .registry
+        .swap(ModelSnapshot::new(classifier, thresholds, tag.clone()));
+    Ok(format!(
+        "{{\"generation\": {generation}, \"tag\": \"{}\"}}",
+        escape(&tag)
+    ))
+}
+
+/// Blocking HTTP client for one connection — tests, the CI smoke job, and
+/// the bench closed-loop driver reuse it (keep-alive across calls).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    host: String,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    /// Propagates connect errors.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+            host: addr.to_string(),
+        })
+    }
+
+    /// Sends one request and reads the response.
+    ///
+    /// # Errors
+    /// Propagates stream errors and malformed response framing.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<crate::http::Response> {
+        crate::http::write_request(&mut self.writer, method, path, &self.host, body.as_bytes())?;
+        self.writer.flush()?;
+        crate::http::read_response(&mut self.reader)
+    }
+}

@@ -1,0 +1,32 @@
+//! Shared fixtures for the serve integration tests: a quickly fitted,
+//! fully calibrated model snapshot plus held-out rows to score.
+
+use targad_core::{OodStrategy, TargAd, TargAdConfig};
+use targad_data::GeneratorSpec;
+use targad_linalg::Matrix;
+use targad_serve::ModelSnapshot;
+
+/// Fits a small model on the demo generator, calibrates all three OOD
+/// strategies, and returns the snapshot plus test-split features.
+pub fn fitted_snapshot(seed: u64, tag: &str) -> (ModelSnapshot, Matrix) {
+    let bundle = GeneratorSpec::quick_demo().generate(seed);
+    let mut model = TargAd::try_new(TargAdConfig::fast()).expect("valid config");
+    model.fit(&bundle.train, seed).expect("fit");
+    let thresholds = model
+        .calibrate_thresholds(&bundle.val.features, &bundle.val.three_way_labels())
+        .expect("calibrate");
+    assert!(thresholds.is_complete(), "all strategies calibrated");
+    let snapshot = ModelSnapshot::new(model.classifier().unwrap().clone(), thresholds, tag);
+    (snapshot, bundle.test.features)
+}
+
+/// The calibrated tau a snapshot holds for `strategy`.
+pub fn tau_of(snapshot: &ModelSnapshot, strategy: OodStrategy) -> f64 {
+    snapshot.thresholds.get(strategy).expect("calibrated")
+}
+
+/// Flattens rows `[lo, hi)` of `x` into a row-major buffer.
+#[allow(dead_code)] // not every test binary uses every fixture
+pub fn flatten_rows(x: &Matrix, lo: usize, hi: usize) -> Vec<f64> {
+    (lo..hi).flat_map(|r| x.row(r).to_vec()).collect()
+}

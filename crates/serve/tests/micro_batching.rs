@@ -1,0 +1,152 @@
+//! Micro-batch determinism: a row scored through the batcher — alone, in
+//! one big batch, or coalesced with other callers' rows — is bit-identical
+//! to the reference (unfused) verdict path, at every thread count.
+
+mod common;
+
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use targad_core::OodStrategy;
+use targad_runtime::Runtime;
+use targad_serve::{MicroBatcher, ModelRegistry, ScoredRow, ServeConfig};
+
+const ROWS: usize = 48;
+
+fn reference_verdicts(
+    snapshot: &targad_serve::ModelSnapshot,
+    x: &targad_linalg::Matrix,
+) -> Vec<(f64, targad_core::VerdictClass)> {
+    let tau = common::tau_of(snapshot, OodStrategy::Msp);
+    let out = snapshot.classifier.verdicts(x, OodStrategy::Msp, tau);
+    (0..out.len())
+        .map(|i| {
+            let v = out.verdict(i);
+            (v.score, v.class)
+        })
+        .collect()
+}
+
+#[test]
+fn batched_singles_and_coalesced_scores_are_bit_identical() {
+    let (snapshot, x_full) = common::fitted_snapshot(23, "determinism");
+    let dims = x_full.cols();
+    let x = targad_linalg::Matrix::from_vec(ROWS, dims, common::flatten_rows(&x_full, 0, ROWS));
+    let reference = reference_verdicts(&snapshot, &x);
+
+    for threads in [1usize, 2, 7] {
+        let runtime = Runtime::new(threads);
+        let registry = Arc::new(ModelRegistry::new(snapshot.clone()));
+
+        // One submission carrying all rows.
+        let config = ServeConfig::builder()
+            .max_batch(64)
+            .max_queue_wait(Duration::from_micros(200))
+            .build()
+            .expect("valid config");
+        let batcher = MicroBatcher::start(&config, Arc::clone(&registry), runtime);
+        let batch = batcher
+            .submit(
+                common::flatten_rows(&x, 0, ROWS),
+                ROWS,
+                dims,
+                OodStrategy::Msp,
+            )
+            .expect("batch submit");
+
+        // The same rows submitted one at a time.
+        let singles: Vec<ScoredRow> = (0..ROWS)
+            .map(|r| {
+                batcher
+                    .submit(x.row(r).to_vec(), 1, dims, OodStrategy::Msp)
+                    .expect("single submit")[0]
+            })
+            .collect();
+
+        for (r, ((b, s), (ref_score, ref_class))) in
+            batch.iter().zip(&singles).zip(&reference).enumerate()
+        {
+            assert_eq!(
+                b.score.to_bits(),
+                ref_score.to_bits(),
+                "threads={threads} row={r}: batched score differs from reference"
+            );
+            assert_eq!(
+                s.score.to_bits(),
+                ref_score.to_bits(),
+                "threads={threads} row={r}: single score differs from reference"
+            );
+            assert_eq!(
+                b.class, *ref_class,
+                "threads={threads} row={r}: batched class"
+            );
+            assert_eq!(
+                s.class, *ref_class,
+                "threads={threads} row={r}: single class"
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_callers_coalesce_without_changing_results() {
+    let (snapshot, x_full) = common::fitted_snapshot(23, "coalesce");
+    let dims = x_full.cols();
+    let x = targad_linalg::Matrix::from_vec(ROWS, dims, common::flatten_rows(&x_full, 0, ROWS));
+    let reference = reference_verdicts(&snapshot, &x);
+
+    let registry = Arc::new(ModelRegistry::new(snapshot.clone()));
+    // A wide window so the barrier-released submissions land in one batch.
+    let config = ServeConfig::builder()
+        .max_batch(ROWS)
+        .max_queue_wait(Duration::from_millis(50))
+        .build()
+        .expect("valid config");
+    let batcher = Arc::new(MicroBatcher::start(&config, registry, Runtime::new(2)));
+
+    const CALLERS: usize = 8;
+    let per_caller = ROWS / CALLERS;
+    let barrier = Arc::new(Barrier::new(CALLERS));
+    let handles: Vec<_> = (0..CALLERS)
+        .map(|c| {
+            let batcher = Arc::clone(&batcher);
+            let barrier = Arc::clone(&barrier);
+            let x = x.clone();
+            std::thread::spawn(move || {
+                let lo = c * per_caller;
+                barrier.wait();
+                let rows = batcher
+                    .submit(
+                        common::flatten_rows(&x, lo, lo + per_caller),
+                        per_caller,
+                        dims,
+                        OodStrategy::Msp,
+                    )
+                    .expect("coalesced submit");
+                (lo, rows)
+            })
+        })
+        .collect();
+
+    for handle in handles {
+        let (lo, rows) = handle.join().expect("caller thread");
+        for (offset, row) in rows.iter().enumerate() {
+            let (ref_score, ref_class) = reference[lo + offset];
+            assert_eq!(
+                row.score.to_bits(),
+                ref_score.to_bits(),
+                "row {}: coalesced score differs from reference",
+                lo + offset
+            );
+            assert_eq!(row.class, ref_class, "row {}: coalesced class", lo + offset);
+        }
+    }
+
+    let stats = batcher.stats();
+    assert_eq!(stats.rows, ROWS as u64);
+    assert!(
+        stats.max_fill > per_caller as u64,
+        "expected coalescing across callers, max fill was {}",
+        stats.max_fill
+    );
+}

@@ -1,10 +1,10 @@
 //! Three-way triage (§III-C and Table IV): separate the stream into
 //! normal traffic, high-risk (target) anomalies, and low-risk (non-target)
-//! anomalies, comparing the MSP / ES / ED out-of-distribution strategies.
+//! anomalies, comparing the MSP / ES / ED out-of-distribution strategies
+//! through the verdict-first API.
 //!
 //! Run with: `cargo run --release --example threeway_triage`
 
-use targad::core::ood::{calibrate_threshold, classify_three_way};
 use targad::metrics::ConfusionMatrix;
 use targad::prelude::*;
 
@@ -16,18 +16,22 @@ fn main() {
     config.k = Some(spec.normal_groups);
     let mut model = TargAd::try_new(config).expect("valid config");
     model.fit(&bundle.train, 5).expect("training succeeds");
-    let clf = model.classifier().expect("fitted");
 
-    let val_truth = bundle.val.three_way_labels();
+    // One calibration pass stores a threshold per OOD strategy on the
+    // model; every verdict afterwards reuses the cached taus.
+    model
+        .calibrate_thresholds(&bundle.val.features, &bundle.val.three_way_labels())
+        .expect("calibration succeeds");
+
     let test_truth = bundle.test.three_way_labels();
     let names = ["normal", "target", "non-target"];
 
     for strategy in OodStrategy::all() {
-        // Calibrate the target/non-target threshold on validation data,
-        // then triage the test stream.
-        let tau = calibrate_threshold(clf, &bundle.val.features, &val_truth, strategy);
-        let pred = classify_three_way(clf, &bundle.test.features, strategy, tau);
-        let cm = ConfusionMatrix::from_predictions(&test_truth, &pred, 3);
+        let tau = model.thresholds().get(strategy).expect("calibrated");
+        let verdicts = model
+            .try_verdict_matrix(&bundle.test.features, strategy)
+            .expect("fitted and calibrated");
+        let cm = ConfusionMatrix::from_predictions(&test_truth, &verdicts.three_way_codes(), 3);
 
         println!("=== {} (threshold {tau:.3}) ===", strategy.name());
         println!(
@@ -50,20 +54,11 @@ fn main() {
          triage decision = normal if sum of the last k probabilities > k/(m+k),\n\
          otherwise target vs non-target by the OOD score."
     );
-    let tau = calibrate_threshold(
-        clf,
-        &bundle.val.features,
-        &val_truth,
-        OodStrategy::EnergyDiscrepancy,
-    );
-    let pred = classify_three_way(
-        clf,
-        &bundle.test.features,
-        OodStrategy::EnergyDiscrepancy,
-        tau,
-    );
+    let verdicts = model
+        .try_verdict_matrix(&bundle.test.features, OodStrategy::EnergyDiscrepancy)
+        .expect("fitted and calibrated");
     for (code, name) in names.iter().enumerate() {
-        let n = pred.iter().filter(|&&p| p == code).count();
+        let n = verdicts.iter().filter(|v| v.class.code() == code).count();
         println!("  {name:<11} {n}");
     }
 }

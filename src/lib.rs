@@ -28,12 +28,17 @@ pub use targad_data as data;
 pub use targad_linalg as linalg;
 pub use targad_metrics as metrics;
 pub use targad_nn as nn;
+pub use targad_serve as serve;
 
 /// The common import surface for examples, tests, and downstream users.
 pub mod prelude {
     pub use targad_baselines::{Detector, TrainView};
-    pub use targad_core::{OodStrategy, Runtime, TargAd, TargAdConfig};
+    pub use targad_core::{
+        Calibration, OodStrategy, Runtime, ScoreOutput, TargAd, TargAdConfig, ThresholdCache,
+        Verdict, VerdictClass,
+    };
     pub use targad_data::{Dataset, DatasetBundle, GeneratorSpec, Preset, SplitCounts, Truth};
     pub use targad_linalg::Matrix;
     pub use targad_metrics::{auroc, average_precision};
+    pub use targad_serve::{ModelSnapshot, ServeConfig, Server};
 }

@@ -1,7 +1,6 @@
 //! Integration tests of the §III-C three-way identification across the
-//! core, data, and metrics crates.
+//! core, data, and metrics crates, through the verdict-first API.
 
-use targad::core::ood::{calibrate_threshold, classify_three_way};
 use targad::metrics::ConfusionMatrix;
 use targad::prelude::*;
 
@@ -9,21 +8,20 @@ fn fitted() -> (TargAd, DatasetBundle) {
     let bundle = GeneratorSpec::quick_demo().generate(7);
     let mut model = TargAd::try_new(TargAdConfig::fast()).expect("valid config");
     model.fit(&bundle.train, 7).expect("fit succeeds");
+    model
+        .calibrate_thresholds(&bundle.val.features, &bundle.val.three_way_labels())
+        .expect("calibration succeeds");
     (model, bundle)
 }
 
 #[test]
 fn calibrated_thresholds_generalize_from_val_to_test() {
     let (model, bundle) = fitted();
-    let clf = model.classifier().unwrap();
     for strategy in OodStrategy::all() {
-        let tau = calibrate_threshold(
-            clf,
-            &bundle.val.features,
-            &bundle.val.three_way_labels(),
-            strategy,
-        );
-        let pred = classify_three_way(clf, &bundle.test.features, strategy, tau);
+        let verdicts = model
+            .try_verdict_matrix(&bundle.test.features, strategy)
+            .expect("calibrated");
+        let pred = verdicts.three_way_codes();
         let cm = ConfusionMatrix::from_predictions(&bundle.test.three_way_labels(), &pred, 3);
         assert!(
             cm.accuracy() > 0.6,
@@ -43,21 +41,71 @@ fn calibrated_thresholds_generalize_from_val_to_test() {
 #[test]
 fn three_way_predictions_partition_the_stream() {
     let (model, bundle) = fitted();
-    let clf = model.classifier().unwrap();
-    let tau = calibrate_threshold(
-        clf,
-        &bundle.val.features,
-        &bundle.val.three_way_labels(),
-        OodStrategy::Msp,
-    );
-    let pred = classify_three_way(clf, &bundle.test.features, OodStrategy::Msp, tau);
-    assert_eq!(pred.len(), bundle.test.len());
+    let verdicts = model
+        .try_verdict_matrix(&bundle.test.features, OodStrategy::Msp)
+        .expect("calibrated");
+    assert_eq!(verdicts.len(), bundle.test.len());
+    let pred = verdicts.three_way_codes();
     let counts: Vec<usize> = (0..3)
         .map(|c| pred.iter().filter(|&&p| p == c).count())
         .collect();
     assert_eq!(counts.iter().sum::<usize>(), bundle.test.len());
     // All three routes should be used on a mixed stream.
     assert!(counts[0] > 0 && counts[1] > 0, "{counts:?}");
+}
+
+#[test]
+fn fused_verdicts_match_the_reference_path_bitwise() {
+    // The serving/batch path (fused ScoreEngine inference) and the plain
+    // reference path (full logits matrix, per-row softmax) must agree to
+    // the last bit — scores, classes, and the Eq. 9 scalar score path.
+    let (model, bundle) = fitted();
+    let clf = model.classifier().expect("fitted");
+    for strategy in OodStrategy::all() {
+        let tau = model.thresholds().get(strategy).expect("calibrated");
+        let fused = model
+            .try_verdict_matrix(&bundle.test.features, strategy)
+            .expect("fused path");
+        let reference = clf.verdicts(&bundle.test.features, strategy, tau);
+        assert_eq!(fused.len(), reference.len());
+        for i in 0..fused.len() {
+            let (f, r) = (fused.verdict(i), reference.verdict(i));
+            assert_eq!(
+                f.score.to_bits(),
+                r.score.to_bits(),
+                "{} row {i}: fused vs reference score",
+                strategy.name()
+            );
+            assert_eq!(f.class, r.class, "{} row {i}: class", strategy.name());
+        }
+        // The verdict scores are the same Eq. 9 scalars try_score_matrix
+        // serves — the verdict API is a superset, not a fork.
+        let scalars = model
+            .try_score_matrix(&bundle.test.features)
+            .expect("fitted");
+        for (i, s) in scalars.iter().enumerate() {
+            assert_eq!(
+                s.to_bits(),
+                fused.verdict(i).score.to_bits(),
+                "{} row {i}: scalar vs verdict score",
+                strategy.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn verdicts_without_calibration_fail_with_a_typed_error() {
+    let bundle = GeneratorSpec::quick_demo().generate(7);
+    let mut model = TargAd::try_new(TargAdConfig::fast()).expect("valid config");
+    model.fit(&bundle.train, 7).expect("fit succeeds");
+    let err = model
+        .try_verdict_matrix(&bundle.test.features, OodStrategy::Msp)
+        .expect_err("no thresholds calibrated");
+    assert!(
+        err.to_string().contains("calibrate_thresholds"),
+        "error should point at the fix: {err}"
+    );
 }
 
 #[test]
