@@ -29,6 +29,11 @@ pub struct ServeConfig {
     /// OOD strategy used when a request does not select one
     /// (default [`OodStrategy::Msp`]).
     pub default_strategy: OodStrategy,
+    /// Shared secret for `/admin/*` routes, presented by clients in an
+    /// `x-admin-token` header. When `None` (the default), admin routes only
+    /// answer loopback peers; set a token to administer a server bound to a
+    /// non-loopback interface.
+    pub admin_token: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -40,6 +45,7 @@ impl Default for ServeConfig {
             max_queue_wait: Duration::from_millis(1),
             queue_depth: 1024,
             default_strategy: OodStrategy::Msp,
+            admin_token: None,
         }
     }
 }
@@ -92,6 +98,9 @@ impl ServeConfig {
                 ),
             );
         }
+        if self.admin_token.as_deref() == Some("") {
+            return bad("admin_token", "must not be empty when set".into());
+        }
         Ok(())
     }
 }
@@ -127,6 +136,8 @@ impl ServeConfigBuilder {
         queue_depth: usize,
         /// OOD strategy when a request does not select one.
         default_strategy: OodStrategy,
+        /// Shared secret for `/admin/*` routes (`None` = loopback only).
+        admin_token: Option<String>,
     }
 
     /// Starts from an existing configuration instead of the defaults.
@@ -164,6 +175,10 @@ pub enum ServeError {
     /// A malformed request (bad JSON, wrong shapes, unknown strategy).
     /// Maps to HTTP 400.
     BadRequest(String),
+    /// An admin route hit without valid credentials: the `x-admin-token`
+    /// header did not match the configured token, or no token is
+    /// configured and the peer is not loopback. Maps to HTTP 403.
+    Unauthorized,
     /// A model-layer error (dimension mismatch, uncalibrated strategy, …).
     Model(TargAdError),
     /// An I/O failure, by message (kept `Eq`-comparable).
@@ -179,6 +194,9 @@ impl fmt::Display for ServeError {
             ServeError::Overloaded => write!(f, "request queue full; retry later"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Unauthorized => {
+                write!(f, "admin routes require a valid x-admin-token")
+            }
             ServeError::Model(e) => write!(f, "model error: {e}"),
             ServeError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
@@ -266,6 +284,14 @@ mod tests {
         assert_eq!(
             field_of(ServeConfig::builder().queue_depth(1).build()),
             "queue_depth"
+        );
+        assert_eq!(
+            field_of(
+                ServeConfig::builder()
+                    .admin_token(Some(String::new()))
+                    .build()
+            ),
+            "admin_token"
         );
     }
 

@@ -10,6 +10,11 @@ use std::io::{self, BufRead, Write};
 /// `Content-Length` pinning the connection thread on a huge allocation.
 pub const MAX_BODY_BYTES: usize = 64 << 20;
 
+/// Largest accepted request/status/header line (8 KiB). `MAX_BODY_BYTES`
+/// only guards `Content-Length` bodies; without this cap a peer streaming
+/// an endless request line would grow the line buffer without bound.
+pub const MAX_LINE_BYTES: usize = 8 << 10;
+
 /// One parsed request.
 #[derive(Clone, Debug)]
 pub struct Request {
@@ -131,7 +136,8 @@ pub fn write_response(
     writer.flush()
 }
 
-/// Writes one request with an optional body (client side).
+/// Writes one request with an optional body and extra headers (client
+/// side).
 ///
 /// # Errors
 /// Propagates stream write errors.
@@ -140,13 +146,18 @@ pub fn write_request(
     method: &str,
     path: &str,
     host: &str,
+    extra_headers: &[(&str, &str)],
     body: &[u8],
 ) -> io::Result<()> {
     write!(
         writer,
-        "{method} {path} HTTP/1.1\r\nhost: {host}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nhost: {host}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
         body.len()
     )?;
+    for (name, value) in extra_headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    writer.write_all(b"\r\n")?;
     writer.write_all(body)?;
     writer.flush()
 }
@@ -155,6 +166,7 @@ fn reason_of(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
+        403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
         500 => "Internal Server Error",
@@ -167,16 +179,37 @@ fn bad(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
-/// Reads one CRLF-terminated line; `None` on EOF before any byte.
+/// Reads one CRLF-terminated line of at most [`MAX_LINE_BYTES`] bytes;
+/// `None` on EOF before any byte.
 fn read_line(reader: &mut impl BufRead) -> io::Result<Option<String>> {
-    let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
-        return Ok(None);
+    let mut buf = Vec::new();
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            break; // EOF mid-line: hand back what arrived
+        }
+        let (consume, done) = match available.iter().position(|&b| b == b'\n') {
+            Some(i) => (i + 1, true),
+            None => (available.len(), false),
+        };
+        buf.extend_from_slice(&available[..consume]);
+        reader.consume(consume);
+        if buf.len() > MAX_LINE_BYTES {
+            return Err(bad(format!("line exceeds {MAX_LINE_BYTES} bytes")));
+        }
+        if done {
+            break;
+        }
     }
-    while line.ends_with('\n') || line.ends_with('\r') {
-        line.pop();
+    while buf.ends_with(b"\n") || buf.ends_with(b"\r") {
+        buf.pop();
     }
-    Ok(Some(line))
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| bad("line is not utf-8".into()))
 }
 
 fn read_headers(reader: &mut impl BufRead) -> io::Result<Vec<(String, String)>> {
@@ -219,13 +252,22 @@ mod tests {
     #[test]
     fn request_round_trip() {
         let mut wire = Vec::new();
-        write_request(&mut wire, "POST", "/score", "localhost", b"{\"rows\":[]}").unwrap();
+        write_request(
+            &mut wire,
+            "POST",
+            "/score",
+            "localhost",
+            &[("x-admin-token", "s3cret")],
+            b"{\"rows\":[]}",
+        )
+        .unwrap();
         let mut reader = BufReader::new(&wire[..]);
         let req = read_request(&mut reader).unwrap().expect("one request");
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/score");
         assert_eq!(req.body, b"{\"rows\":[]}");
         assert_eq!(req.header("host"), Some("localhost"));
+        assert_eq!(req.header("x-admin-token"), Some("s3cret"));
         assert!(!req.wants_close());
         // Clean EOF afterwards.
         assert!(read_request(&mut reader).unwrap().is_none());
@@ -250,8 +292,8 @@ mod tests {
     #[test]
     fn keep_alive_frames_consecutive_requests() {
         let mut wire = Vec::new();
-        write_request(&mut wire, "GET", "/healthz", "h", b"").unwrap();
-        write_request(&mut wire, "GET", "/metrics", "h", b"").unwrap();
+        write_request(&mut wire, "GET", "/healthz", "h", &[], b"").unwrap();
+        write_request(&mut wire, "GET", "/metrics", "h", &[], b"").unwrap();
         let mut reader = BufReader::new(&wire[..]);
         assert_eq!(read_request(&mut reader).unwrap().unwrap().path, "/healthz");
         assert_eq!(read_request(&mut reader).unwrap().unwrap().path, "/metrics");
@@ -276,5 +318,22 @@ mod tests {
     fn body_guard_rejects_huge_lengths() {
         let wire = format!("POST /x HTTP/1.1\r\ncontent-length: {}\r\n\r\n", usize::MAX);
         assert!(read_request(&mut BufReader::new(wire.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn line_guard_rejects_endless_lines() {
+        // An unterminated request line past the cap errors out instead of
+        // accumulating without bound.
+        let wire = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(2 * MAX_LINE_BYTES));
+        assert!(read_request(&mut BufReader::new(wire.as_bytes())).is_err());
+        // Same cap on header lines.
+        let wire = format!(
+            "GET /x HTTP/1.1\r\nx-big: {}\r\n\r\n",
+            "b".repeat(2 * MAX_LINE_BYTES)
+        );
+        assert!(read_request(&mut BufReader::new(wire.as_bytes())).is_err());
+        // A line just under the cap still parses.
+        let wire = format!("GET /x HTTP/1.1\r\nx-ok: {}\r\n\r\n", "c".repeat(1024));
+        assert!(read_request(&mut BufReader::new(wire.as_bytes())).is_ok());
     }
 }

@@ -15,7 +15,7 @@
 //! connection, then drains the batcher — queued requests are answered, not
 //! dropped.
 
-use std::io::{BufReader, Write as _};
+use std::io::{BufRead as _, BufReader, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -33,6 +33,15 @@ use crate::registry::{ModelRegistry, ModelSnapshot};
 
 /// How often blocked I/O paths re-check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// Read timeout once a request's first byte has arrived. Short poll
+/// timeouts apply only *between* requests (where a timeout cannot lose
+/// data); mid-request a slow peer — a TCP retransmit, a request split
+/// across packets — gets this long, and a timeout then closes the
+/// connection rather than re-entering the parser mid-stream with the
+/// partial read discarded. Shutdown may wait up to this long for a
+/// connection that is mid-request.
+const REQUEST_READ_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Stable wire name of a strategy (`msp` / `es` / `ed`), the inverse of
 /// [`OodStrategy::parse`].
@@ -74,6 +83,7 @@ impl Server {
             batcher: Arc::clone(&batcher),
             shutdown: Arc::clone(&shutdown),
             default_strategy: config.default_strategy,
+            admin_token: config.admin_token.clone(),
         });
         let accept_ctx = Arc::clone(&ctx);
         let accept_connections = Arc::clone(&connections);
@@ -151,6 +161,7 @@ struct Context {
     batcher: Arc<MicroBatcher>,
     shutdown: Arc<AtomicBool>,
     default_strategy: OodStrategy,
+    admin_token: Option<String>,
 }
 
 fn accept_loop(
@@ -162,14 +173,16 @@ fn accept_loop(
         match listener.accept() {
             Ok((stream, _)) => {
                 let conn_ctx = Arc::clone(&ctx);
+                let mut connections = connections.lock().expect("connections lock poisoned");
+                // Reap finished connection threads so a long-lived server
+                // with many short-lived connections does not grow this
+                // list (and the final shutdown join) without bound.
+                connections.retain(|handle| !handle.is_finished());
                 if let Ok(handle) = std::thread::Builder::new()
                     .name("targad-serve-conn".into())
                     .spawn(move || connection_loop(stream, conn_ctx))
                 {
-                    connections
-                        .lock()
-                        .expect("connections lock poisoned")
-                        .push(handle);
+                    connections.push(handle);
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -192,23 +205,51 @@ fn connection_loop(stream: TcpStream, ctx: Arc<Context>) {
     if stream.set_nonblocking(false).is_err() || stream.set_nodelay(true).is_err() {
         return;
     }
-    // Bounded reads so an idle keep-alive peer cannot outlive shutdown.
-    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
-        return;
-    }
+    let peer_is_loopback = stream
+        .peer_addr()
+        .map(|a| a.ip().is_loopback())
+        .unwrap_or(false);
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
+    // `writer` and the BufReader's inner stream share one socket, so
+    // set_read_timeout through either applies to both.
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
     loop {
         if ctx.shutdown.load(Ordering::Acquire) {
             return;
         }
+        // Between requests: poll for the next request's first byte in
+        // short bounded reads so an idle keep-alive peer cannot outlive
+        // shutdown. fill_buf only peeks — nothing is consumed — so a
+        // timeout here cannot discard request bytes.
+        if writer.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+            return;
+        }
+        match reader.fill_buf() {
+            // Peer closed an idle connection.
+            Ok([]) => return,
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle poll; loop re-checks the shutdown flag.
+                continue;
+            }
+            Err(_) => return,
+        }
+        // A request has started: give the peer the full request window.
+        if writer.set_read_timeout(Some(REQUEST_READ_TIMEOUT)).is_err() {
+            return;
+        }
         match read_request(&mut reader) {
             Ok(Some(request)) => {
                 let keep_alive = !request.wants_close();
-                let (status, body) = route(&request, &ctx);
+                let (status, body) = route(&request, &ctx, peer_is_loopback);
                 if write_response(
                     &mut writer,
                     status,
@@ -222,7 +263,6 @@ fn connection_loop(stream: TcpStream, ctx: Arc<Context>) {
                     return;
                 }
             }
-            // Peer closed an idle connection.
             Ok(None) => return,
             Err(e)
                 if matches!(
@@ -230,7 +270,10 @@ fn connection_loop(stream: TcpStream, ctx: Arc<Context>) {
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                 ) =>
             {
-                // Idle poll; loop re-checks the shutdown flag.
+                // Mid-request stall past the window: the stream position
+                // is undefined (partial reads were discarded), so close
+                // instead of parsing leftovers as a fresh request.
+                return;
             }
             Err(_) => {
                 let _ = write_response(
@@ -250,7 +293,27 @@ fn error_body(message: &str) -> String {
     format!("{{\"error\": \"{}\"}}", escape(message))
 }
 
-fn route(request: &Request, ctx: &Context) -> (u16, String) {
+/// Whether `request` may hit admin routes: the configured token must match
+/// (compared in constant time), or — when no token is configured — the
+/// peer must be loopback, so a default deployment never exposes
+/// filesystem-touching routes beyond the host.
+fn authorize_admin(request: &Request, ctx: &Context, peer_is_loopback: bool) -> bool {
+    match &ctx.admin_token {
+        Some(token) => {
+            let presented = request.header("x-admin-token").unwrap_or("").as_bytes();
+            let expected = token.as_bytes();
+            presented.len() == expected.len()
+                && presented
+                    .iter()
+                    .zip(expected)
+                    .fold(0u8, |acc, (a, b)| acc | (a ^ b))
+                    == 0
+        }
+        None => peer_is_loopback,
+    }
+}
+
+fn route(request: &Request, ctx: &Context, peer_is_loopback: bool) -> (u16, String) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => (
             200,
@@ -265,6 +328,9 @@ fn route(request: &Request, ctx: &Context) -> (u16, String) {
             Ok(body) => (200, body),
             Err(e) => (status_of(&e), error_body(&e.to_string())),
         },
+        ("POST", "/admin/swap") if !authorize_admin(request, ctx, peer_is_loopback) => {
+            (403, error_body(&ServeError::Unauthorized.to_string()))
+        }
         ("POST", "/admin/swap") => match handle_swap(request, ctx) {
             Ok(body) => (200, body),
             Err(e) => (status_of(&e), error_body(&e.to_string())),
@@ -278,6 +344,7 @@ fn status_of(e: &ServeError) -> u16 {
     match e {
         ServeError::Overloaded | ServeError::ShuttingDown => 503,
         ServeError::BadRequest(_) | ServeError::Model(_) => 400,
+        ServeError::Unauthorized => 403,
         ServeError::InvalidConfig { .. } | ServeError::Io(_) => 500,
     }
 }
@@ -393,8 +460,11 @@ fn handle_swap(request: &Request, ctx: &Context) -> Result<String, ServeError> {
         .and_then(Json::as_str)
         .unwrap_or(path)
         .to_string();
-    let (classifier, thresholds) = core_snapshot::load_with_thresholds(path)
-        .map_err(|e| ServeError::BadRequest(format!("cannot load snapshot `{path}`: {e}")))?;
+    // The path is client-supplied: do not echo it or the raw load error
+    // back, so the route cannot be used to probe the server's filesystem.
+    let (classifier, thresholds) = core_snapshot::load_with_thresholds(path).map_err(|_| {
+        ServeError::BadRequest("cannot load snapshot (unreadable or not a v2 snapshot)".into())
+    })?;
     if thresholds.is_empty() {
         // A model with no calibrated thresholds can answer nothing; reject
         // the swap instead of serving NotCalibrated on every request.
@@ -417,6 +487,7 @@ pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     host: String,
+    admin_token: Option<String>,
 }
 
 impl Client {
@@ -432,7 +503,15 @@ impl Client {
             reader,
             writer: stream,
             host: addr.to_string(),
+            admin_token: None,
         })
+    }
+
+    /// Sends `token` as `x-admin-token` on every subsequent request
+    /// (required for `/admin/*` routes when the server has one
+    /// configured).
+    pub fn set_admin_token(&mut self, token: Option<String>) {
+        self.admin_token = token;
     }
 
     /// Sends one request and reads the response.
@@ -445,7 +524,18 @@ impl Client {
         path: &str,
         body: &str,
     ) -> std::io::Result<crate::http::Response> {
-        crate::http::write_request(&mut self.writer, method, path, &self.host, body.as_bytes())?;
+        let mut headers: Vec<(&str, &str)> = Vec::new();
+        if let Some(token) = &self.admin_token {
+            headers.push(("x-admin-token", token));
+        }
+        crate::http::write_request(
+            &mut self.writer,
+            method,
+            path,
+            &self.host,
+            &headers,
+            body.as_bytes(),
+        )?;
         self.writer.flush()?;
         crate::http::read_response(&mut self.reader)
     }

@@ -181,3 +181,119 @@ fn serves_verdicts_swaps_models_and_shuts_down() {
     // batcher worker.
     handle.shutdown();
 }
+
+/// A request split across packets with a long intra-request gap must still
+/// parse: short poll timeouts only apply between requests, so a slow peer
+/// (TCP retransmit, cross-packet body) is not torn mid-parse.
+#[test]
+fn slow_clients_are_not_torn_mid_request() {
+    use std::io::{Read as _, Write as _};
+
+    let (snap, x) = common::fitted_snapshot(13, "slow-model");
+    let config = ServeConfig::builder().build().expect("valid config");
+    let mut handle = Server::start(config, snap, Runtime::new(1)).expect("server boots");
+
+    let body = score_body(&x, 0, 2, Some("msp"));
+    let request = format!(
+        "POST /score HTTP/1.1\r\nhost: t\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let mut stream = std::net::TcpStream::connect(handle.addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    // Drip the request in three chunks with gaps far beyond the 20 ms
+    // idle-poll interval, cutting mid-request-line and mid-body.
+    let bytes = request.as_bytes();
+    let cuts = [8, bytes.len() - body.len() / 2];
+    let mut sent = 0;
+    for cut in cuts {
+        stream.write_all(&bytes[sent..cut]).expect("write chunk");
+        stream.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(120));
+        sent = cut;
+    }
+    stream.write_all(&bytes[sent..]).expect("write tail");
+    stream.flush().expect("flush");
+
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read response");
+    assert!(
+        response.starts_with("HTTP/1.1 200"),
+        "slow request got: {response}"
+    );
+    assert!(response.contains("\"verdicts\""), "body: {response}");
+    handle.shutdown();
+}
+
+/// A deeply nested JSON body (~100 KB of `[`) must come back as a 400,
+/// not overflow the connection thread's stack and abort the daemon.
+#[test]
+fn nesting_bomb_gets_a_400_and_the_server_survives() {
+    let (snap, x) = common::fitted_snapshot(23, "bomb-model");
+    let config = ServeConfig::builder().build().expect("valid config");
+    let mut handle = Server::start(config, snap, Runtime::new(1)).expect("server boots");
+
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let bomb = format!("{{\"rows\": {}}}", "[".repeat(100_000));
+    let resp = client.request("POST", "/score", &bomb).expect("bomb response");
+    assert_eq!(resp.status, 400, "{}", resp.text());
+    assert!(resp.text().contains("nesting"), "{}", resp.text());
+
+    // The process is still serving: a fresh connection scores normally.
+    let mut probe = Client::connect(handle.addr()).expect("reconnect");
+    let resp = probe
+        .request("POST", "/score", &score_body(&x, 0, 1, None))
+        .expect("score after bomb");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    handle.shutdown();
+}
+
+/// With an admin token configured, `/admin/*` requires the matching
+/// `x-admin-token` header; score and health routes stay open.
+#[test]
+fn admin_routes_require_the_configured_token() {
+    let (snap, x) = common::fitted_snapshot(19, "auth-model");
+    let config = ServeConfig::builder()
+        .admin_token(Some("s3cret".into()))
+        .build()
+        .expect("valid config");
+    let mut handle = Server::start(config, snap, Runtime::new(1)).expect("server boots");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // No token → 403, and the body does not leak the path probe result.
+    let resp = client
+        .request("POST", "/admin/swap", "{\"path\": \"/etc/hostname\"}")
+        .expect("swap without token");
+    assert_eq!(resp.status, 403, "{}", resp.text());
+
+    // Wrong token → 403.
+    client.set_admin_token(Some("wrong".into()));
+    let resp = client
+        .request("POST", "/admin/swap", "{\"path\": \"/etc/hostname\"}")
+        .expect("swap with wrong token");
+    assert_eq!(resp.status, 403, "{}", resp.text());
+
+    // Right token → the request reaches the handler (400: not a snapshot),
+    // and the error body does not echo the client-supplied path.
+    client.set_admin_token(Some("s3cret".into()));
+    let resp = client
+        .request("POST", "/admin/swap", "{\"path\": \"/etc/hostname\"}")
+        .expect("swap with token");
+    assert_eq!(resp.status, 400, "{}", resp.text());
+    assert!(
+        !resp.text().contains("/etc/hostname"),
+        "error echoes the probed path: {}",
+        resp.text()
+    );
+
+    // Non-admin routes are unaffected by the token setting.
+    client.set_admin_token(None);
+    let resp = client.request("GET", "/healthz", "").expect("healthz");
+    assert_eq!(resp.status, 200);
+    let resp = client
+        .request("POST", "/score", &score_body(&x, 0, 1, None))
+        .expect("score");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    handle.shutdown();
+}
