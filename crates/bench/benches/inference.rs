@@ -2,9 +2,15 @@
 //! bias+activation epilogues, ping-pong scratch, row-block streaming)
 //! against the retained reference chain (`Mlp::eval_rt` → full softmax
 //! matrix → per-row max) on a TargAD-shaped classifier, at 1k and 100k
-//! rows and 1 and 4 workers. Writes `results/bench_inference.json`; the
-//! recorded `speedup_engine_100k_1worker` is the acceptance metric for the
-//! inference-engine rewrite (must stay ≥ 1.5).
+//! rows and 1 and 4 workers — plus the f32 SIMD engine (`F32Plan` over the
+//! `targad-linalg` micro-kernels) in the same sweep. Writes
+//! `results/bench_inference.json`; the recorded
+//! `speedup_engine_100k_1worker` is the acceptance metric for the
+//! inference-engine rewrite (must stay ≥ 1.5), and
+//! `speedup_f32_over_f64_100k_1worker` is the acceptance metric for the
+//! f32 kernels (must reach ≥ 2.0 on an AVX2+FMA host). The JSON also
+//! records the host's CPU features and which kernel path dispatched, so a
+//! recorded number can never be misread against the wrong hardware.
 //!
 //! Set `TARGAD_BENCH_QUICK=1` for a seconds-long smoke run (CI uses this
 //! to catch scoring-path regressions without paying full budgets).
@@ -14,8 +20,9 @@ use std::hint::black_box;
 use std::time::Duration;
 use targad_autograd::VarStore;
 use targad_core::Runtime;
+use targad_linalg::f32kernel;
 use targad_linalg::rng as lrng;
-use targad_nn::{Activation, Mlp, ScoreEngine};
+use targad_nn::{Activation, F32Plan, Mlp, ScoreEngine};
 
 /// Target classes `m` of the benchmark classifier (out of `m + k = 6`).
 const M: usize = 3;
@@ -55,6 +62,22 @@ fn target_score_row(z: &[f64]) -> f64 {
         }
     }
     best / sum
+}
+
+/// The same finish in f32 arithmetic (the serving path widens only the
+/// final ratio), so the f32 sweep measures an all-f32 pipeline.
+fn target_score_row_f32(z: &[f32]) -> f64 {
+    let mx = z.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    let mut best = f32::NEG_INFINITY;
+    for (j, &v) in z.iter().enumerate() {
+        let e = (v - mx).exp();
+        sum += e;
+        if j < M {
+            best = best.max(e);
+        }
+    }
+    f64::from(best) / f64::from(sum)
 }
 
 /// Engine vs reference on the TargAD classifier shape
@@ -101,6 +124,23 @@ fn bench_scoring(c: &mut Criterion) {
                         &mut out,
                     );
                     black_box(out[rows - 1])
+                });
+            });
+            // f32 engine: the same fused pipeline through the SIMD
+            // micro-kernels, weights cast + panel-packed once up front.
+            let plan = F32Plan::from_stack(&[(&mlp, &vs)]);
+            let mut engine_f32 = ScoreEngine::new();
+            let mut out_f32 = vec![0.0; rows];
+            group.bench_function(format!("engine_f32/workers{workers}"), |b| {
+                b.iter(|| {
+                    engine_f32.score_f32_into(
+                        &plan,
+                        &x,
+                        &rt,
+                        |_, z| target_score_row_f32(z),
+                        &mut out_f32,
+                    );
+                    black_box(out_f32[rows - 1])
                 });
             });
         }
@@ -158,17 +198,37 @@ fn write_json(results: &[(String, f64)]) {
         mean_of("score_100k/reference/workers4"),
         mean_of("score_100k/engine/workers4"),
     );
+    // f32-over-f64: both numerators are the *fused engine*, so the ratio
+    // isolates the precision/SIMD win from the fusion win already counted
+    // above.
+    let f32_1k_1 = ratio(
+        mean_of("score_1k/engine/workers1"),
+        mean_of("score_1k/engine_f32/workers1"),
+    );
+    let f32_100k_1 = ratio(
+        mean_of("score_100k/engine/workers1"),
+        mean_of("score_100k/engine_f32/workers1"),
+    );
+    let f32_100k_4 = ratio(
+        mean_of("score_100k/engine/workers4"),
+        mean_of("score_100k/engine_f32/workers4"),
+    );
     let host = std::thread::available_parallelism().map_or(1, usize::from);
+    let features = f32kernel::cpu_features();
     out.push_str(&format!(
-        "  ],\n  \"host_parallelism\": {host},\n  \"speedup_engine_1k_1worker\": {s1k_1:.2},\n  \"speedup_engine_100k_1worker\": {s100k_1:.2},\n  \"speedup_engine_100k_4workers\": {s100k_4:.2}\n}}\n"
+        "  ],\n  \"host_parallelism\": {host},\n  \"cpu_features\": {{ \"avx2\": {}, \"fma\": {} }},\n  \"f32_kernel_path\": \"{}\",\n  \"speedup_engine_1k_1worker\": {s1k_1:.2},\n  \"speedup_engine_100k_1worker\": {s100k_1:.2},\n  \"speedup_engine_100k_4workers\": {s100k_4:.2},\n  \"speedup_f32_over_f64_1k_1worker\": {f32_1k_1:.2},\n  \"speedup_f32_over_f64_100k_1worker\": {f32_100k_1:.2},\n  \"speedup_f32_over_f64_100k_4workers\": {f32_100k_4:.2}\n}}\n",
+        features.avx2,
+        features.fma,
+        f32kernel::kernel_path().name(),
     ));
     let path =
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/bench_inference.json");
     std::fs::create_dir_all(path.parent().expect("parent")).expect("create results dir");
     std::fs::write(&path, out).expect("write bench_inference.json");
     println!(
-        "\nwrote {} (100k single-worker engine speedup {s100k_1:.2}x)",
-        path.display()
+        "\nwrote {} (100k single-worker: engine {s100k_1:.2}x over reference, f32 {f32_100k_1:.2}x over f64 engine on the {} path)",
+        path.display(),
+        f32kernel::kernel_path().name(),
     );
 }
 
@@ -199,6 +259,17 @@ fn check_identity() {
         reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
         "bench model: engine diverged from reference"
     );
+    // The f32 sweep must benchmark a *correct* pipeline: every f32 score
+    // within f32 rounding of the f64 oracle (bit-exactness vs the scalar
+    // f32 reference is pinned in `targad-linalg`'s property tests).
+    let plan = F32Plan::from_stack(&[(&mlp, &vs)]);
+    let f32_scores = engine.score_f32(&plan, &x, &rt, |_, row| target_score_row_f32(row));
+    for (r, (&f32_score, &oracle)) in f32_scores.iter().zip(&reference).enumerate() {
+        assert!(
+            (f32_score - oracle).abs() < 1e-3,
+            "bench model row {r}: f32 score {f32_score} drifted from f64 oracle {oracle}"
+        );
+    }
 }
 
 fn main() {

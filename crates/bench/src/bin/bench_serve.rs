@@ -1,18 +1,23 @@
 //! Closed-loop serving benchmark: real HTTP clients against a booted
 //! `targad-serve` instance.
 //!
-//! Two phases, same fitted model:
+//! Three phases, same fitted model:
 //!
 //! 1. **Serial baseline** — one client, one row per request, against a
 //!    `max_batch = 1` server (every row pays a full round trip and its own
 //!    engine pass).
-//! 2. **Micro-batched** — eight concurrent one-row clients against a
+//! 2. **Micro-batched (f64)** — eight concurrent one-row clients against a
 //!    coalescing server; mid-phase the model is hot-swapped several times
 //!    under full load.
+//! 3. **Micro-batched (f32)** — the same closed loop against a server
+//!    configured with `EnginePrecision::F32`, so the hot path runs the
+//!    SIMD micro-kernels and every hot-swap exercises the warm-at-swap
+//!    weight cast.
 //!
 //! Writes `results/bench_serve.json` with rows/sec and latency percentiles
-//! for both phases. Acceptance: `speedup_batched_vs_serial >= 1.5` and
-//! `lost_requests == 0` across the hot swaps.
+//! for all phases, both precisions side by side. Acceptance:
+//! `speedup_batched_vs_serial >= 1.5` and `lost_requests == 0` across the
+//! hot swaps (both precisions).
 //!
 //! Set `TARGAD_BENCH_QUICK=1` for a seconds-long smoke run (CI uses this
 //! to boot, score, hot-swap, and shut down cleanly on every push).
@@ -24,7 +29,7 @@ use std::time::{Duration, Instant};
 use targad_core::{Runtime, TargAd, TargAdConfig};
 use targad_data::GeneratorSpec;
 use targad_linalg::Matrix;
-use targad_serve::{Client, Json, ModelSnapshot, ServeConfig, Server};
+use targad_serve::{Client, EnginePrecision, Json, ModelSnapshot, ServeConfig, Server};
 
 fn quick_mode() -> bool {
     std::env::var("TARGAD_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
@@ -145,6 +150,89 @@ fn drive(
     (stats, failures)
 }
 
+/// Runs the eight-client coalescing phase at `precision`, hot-swapping the
+/// model several times under full load. Returns the phase stats, failure
+/// count, swap count, and final batcher fill counters.
+fn batched_phase(
+    precision: EnginePrecision,
+    snap_a: &ModelSnapshot,
+    snap_b: &ModelSnapshot,
+    x: &Matrix,
+    phase_duration: Duration,
+) -> (PhaseStats, u64, u64, targad_serve::BatcherStats) {
+    let config = ServeConfig::builder()
+        .max_batch(8)
+        .max_queue_wait(Duration::from_micros(250))
+        .precision(precision)
+        .build()
+        .expect("valid config");
+    let mut server =
+        Server::start(config, snap_a.clone(), Runtime::new(2)).expect("boot batched server");
+    let addr = server.addr();
+    let registry = Arc::clone(server.registry());
+    let snap_a = snap_a.clone();
+    let snap_b = snap_b.clone();
+    let swapper = std::thread::spawn(move || {
+        let swaps = 6u64;
+        for s in 0..swaps {
+            std::thread::sleep(phase_duration / (swaps as u32 + 1));
+            let next = if s % 2 == 0 {
+                snap_b.clone()
+            } else {
+                snap_a.clone()
+            };
+            registry.swap(next);
+        }
+        swaps
+    });
+    let (stats, failures) = drive(addr, x, 8, phase_duration);
+    let swaps = swapper.join().expect("swapper thread");
+    let fill = server.batcher().stats();
+    // Verify the server still answers after the swap storm, then shut down.
+    let mut probe = Client::connect(addr).expect("post-swap connect");
+    let resp = probe.request("GET", "/healthz", "").expect("healthz");
+    assert_eq!(resp.status, 200);
+    let generation = Json::parse(&resp.text())
+        .expect("healthz json")
+        .get("generation")
+        .and_then(Json::as_f64)
+        .expect("generation");
+    assert_eq!(generation as u64, swaps + 1);
+    drop(probe);
+    server.shutdown();
+    assert_eq!(
+        failures,
+        0,
+        "hot-swap under load lost requests ({} phase)",
+        precision.name()
+    );
+    println!(
+        "batched {} : 8 clients, {:>8} rows, {:>9.0} rows/s, p50 {:>7.1}us, p99 {:>7.1}us \
+         ({} batches, max fill {})",
+        precision.name(),
+        stats.rows,
+        stats.rows_per_sec(),
+        stats.p50_us,
+        stats.p99_us,
+        fill.batches,
+        fill.max_fill
+    );
+    (stats, failures, swaps, fill)
+}
+
+fn phase_json(stats: &PhaseStats, fill: &targad_serve::BatcherStats) -> String {
+    format!(
+        "{{\"clients\": {}, \"rows\": {}, \"rows_per_sec\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"batches\": {}, \"max_fill\": {}}}",
+        stats.clients,
+        stats.rows,
+        stats.rows_per_sec(),
+        stats.p50_us,
+        stats.p99_us,
+        fill.batches,
+        fill.max_fill
+    )
+}
+
 fn main() {
     let phase_duration = if quick_mode() {
         Duration::from_millis(400)
@@ -166,88 +254,52 @@ fn main() {
     serial_server.shutdown();
     assert_eq!(serial_failures, 0, "serial phase had failing requests");
     println!(
-        "serial    : 1 client , {:>8} rows, {:>9.0} rows/s, p50 {:>7.1}us, p99 {:>7.1}us",
+        "serial      : 1 client , {:>8} rows, {:>9.0} rows/s, p50 {:>7.1}us, p99 {:>7.1}us",
         serial.rows,
         serial.rows_per_sec(),
         serial.p50_us,
         serial.p99_us
     );
 
-    // Phase 2: eight coalescing clients, hot-swapped under load.
-    let batched_config = ServeConfig::builder()
-        .max_batch(8)
-        .max_queue_wait(Duration::from_micros(250))
-        .build()
-        .expect("valid config");
-    let mut batched_server = Server::start(batched_config, snap_a.clone(), Runtime::new(2))
-        .expect("boot batched server");
-    let addr = batched_server.addr();
-    let registry = Arc::clone(batched_server.registry());
-    let swapper = std::thread::spawn(move || {
-        let swaps = 6u64;
-        for s in 0..swaps {
-            std::thread::sleep(phase_duration / (swaps as u32 + 1));
-            let next = if s % 2 == 0 {
-                snap_b.clone()
-            } else {
-                snap_a.clone()
-            };
-            registry.swap(next);
-        }
-        swaps
-    });
-    let (batched, batched_failures) = drive(addr, &x, 8, phase_duration);
-    let swaps = swapper.join().expect("swapper thread");
-    let fill = batched_server.batcher().stats();
-    // Verify the server still answers after the swap storm, then shut down.
-    let mut probe = Client::connect(addr).expect("post-swap connect");
-    let resp = probe.request("GET", "/healthz", "").expect("healthz");
-    assert_eq!(resp.status, 200);
-    let generation = Json::parse(&resp.text())
-        .expect("healthz json")
-        .get("generation")
-        .and_then(Json::as_f64)
-        .expect("generation");
-    assert_eq!(generation as u64, swaps + 1);
-    drop(probe);
-    batched_server.shutdown();
-    assert_eq!(batched_failures, 0, "hot-swap under load lost requests");
-    println!(
-        "batched   : 8 clients, {:>8} rows, {:>9.0} rows/s, p50 {:>7.1}us, p99 {:>7.1}us \
-         ({} batches, max fill {})",
-        batched.rows,
-        batched.rows_per_sec(),
-        batched.p50_us,
-        batched.p99_us,
-        fill.batches,
-        fill.max_fill
-    );
+    // Phase 2: eight coalescing clients at f64, hot-swapped under load.
+    let (batched, batched_failures, swaps, fill) =
+        batched_phase(EnginePrecision::F64, &snap_a, &snap_b, &x, phase_duration);
+    // Phase 3: the identical closed loop at f32 — the SIMD serving path,
+    // including the warm-at-swap cast on every hot swap.
+    let (batched_f32, f32_failures, f32_swaps, fill_f32) =
+        batched_phase(EnginePrecision::F32, &snap_a, &snap_b, &x, phase_duration);
 
     let speedup = batched.rows_per_sec() / serial.rows_per_sec();
-    println!("speedup   : {speedup:.2}x (acceptance: >= 1.5)");
+    let f32_over_f64 = batched_f32.rows_per_sec() / batched.rows_per_sec();
+    println!("speedup     : {speedup:.2}x batched-vs-serial (acceptance: >= 1.5)");
+    println!("f32 over f64: {f32_over_f64:.2}x end-to-end (HTTP + batching overhead included)");
 
     let mode = if quick_mode() { "quick" } else { "full" };
+    let features = targad_linalg::cpu_features();
     let json = format!(
         "{{\n  \"mode\": \"{mode}\",\n  \"ood_strategy\": \"{}\",\n  \
+         \"cpu_features\": {{ \"avx2\": {}, \"fma\": {} }},\n  \
+         \"f32_kernel_path\": \"{}\",\n  \
          \"serial\": {{\"clients\": {}, \"rows\": {}, \"rows_per_sec\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}},\n  \
-         \"batched\": {{\"clients\": {}, \"rows\": {}, \"rows_per_sec\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"batches\": {}, \"max_fill\": {}}},\n  \
-         \"speedup_batched_vs_serial\": {:.3},\n  \"hot_swaps_during_load\": {},\n  \"lost_requests\": {}\n}}\n",
+         \"batched_f64\": {},\n  \
+         \"batched_f32\": {},\n  \
+         \"speedup_batched_vs_serial\": {:.3},\n  \"speedup_f32_over_f64_batched\": {:.3},\n  \
+         \"hot_swaps_during_load\": {},\n  \"lost_requests\": {}\n}}\n",
         targad_serve::ServeConfig::default().default_strategy.name(),
+        features.avx2,
+        features.fma,
+        targad_linalg::kernel_path().name(),
         serial.clients,
         serial.rows,
         serial.rows_per_sec(),
         serial.p50_us,
         serial.p99_us,
-        batched.clients,
-        batched.rows,
-        batched.rows_per_sec(),
-        batched.p50_us,
-        batched.p99_us,
-        fill.batches,
-        fill.max_fill,
+        phase_json(&batched, &fill),
+        phase_json(&batched_f32, &fill_f32),
         speedup,
-        swaps,
-        serial_failures + batched_failures,
+        f32_over_f64,
+        swaps + f32_swaps,
+        serial_failures + batched_failures + f32_failures,
     );
     let path =
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/bench_serve.json");

@@ -1,0 +1,104 @@
+//! The f32 tolerance harness: the SIMD serving path against the f64
+//! ranking oracle, on the Table II suite.
+//!
+//! The f32 kernels promise bit-identical results *within* the f32 world
+//! (SIMD vs scalar, any worker count — pinned in `targad-linalg` and
+//! `targad-nn`). Against the f64 oracle they promise *ranking fidelity*,
+//! which is what this harness measures on every Table II preset:
+//!
+//! - AUC-PR of the Eq. 9 target score moves by less than `1e-3`;
+//! - the three-way §III-C verdict agrees with the oracle on more than
+//!   99.9% of decisions, across all three OOD strategies;
+//! - f32 scores are worker-count invariant on the trained classifier.
+//!
+//! Scale is small by default so the harness fits the tier-1 budget; set
+//! `TARGAD_PARITY_SCALE` (e.g. `0.2`) for a heavier sweep.
+
+use targad_bench::harness_config;
+use targad_core::{EnginePrecision, OodStrategy, Runtime, TargAd};
+use targad_data::Preset;
+use targad_metrics::average_precision;
+
+fn parity_scale() -> f64 {
+    std::env::var("TARGAD_PARITY_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.03)
+}
+
+#[test]
+fn f32_matches_the_f64_oracle_on_the_table2_suite() {
+    let scale = parity_scale();
+    let rt = Runtime::new(2);
+    let mut decisions = 0u64;
+    let mut disagreements = 0u64;
+
+    for preset in Preset::all() {
+        let spec = preset.spec(scale);
+        let bundle = spec.generate(11);
+        // Training depth does not matter for an inference-precision
+        // comparison — only that the classifier is fitted and calibrated —
+        // so epochs are trimmed to keep the harness in the tier-1 budget.
+        let mut config = harness_config(spec.normal_groups);
+        config.ae_epochs = 6;
+        config.clf_epochs = 10;
+        let mut model = TargAd::try_new(config).expect("valid config");
+        model.fit(&bundle.train, 11).expect("fit");
+        let thresholds = model
+            .calibrate_thresholds(&bundle.val.features, &bundle.val.three_way_labels())
+            .expect("calibrate");
+        let clf = model.classifier().expect("fitted");
+        let x = &bundle.test.features;
+        let labels = bundle.test.target_labels();
+
+        // Ranking fidelity: AUC-PR of the Eq. 9 score barely moves.
+        let s64 = clf.target_scores_rt_prec(x, &rt, EnginePrecision::F64);
+        let s32 = clf.target_scores_rt_prec(x, &rt, EnginePrecision::F32);
+        let ap64 = average_precision(&s64, &labels);
+        let ap32 = average_precision(&s32, &labels);
+        assert!(
+            (ap64 - ap32).abs() < 1e-3,
+            "{}: AUC-PR drift {:.2e} (f64 {ap64:.6} vs f32 {ap32:.6})",
+            preset.name(),
+            (ap64 - ap32).abs()
+        );
+
+        // Decision fidelity: three-way verdict agreement per strategy.
+        for strategy in OodStrategy::all() {
+            let tau = thresholds.get(strategy).expect("calibrated");
+            let v64 = clf.verdicts_rt_with_prec(x, &rt, EnginePrecision::F64, |_| (strategy, tau));
+            let v32 = clf.verdicts_rt_with_prec(x, &rt, EnginePrecision::F32, |_| (strategy, tau));
+            decisions += v64.len() as u64;
+            disagreements += v64
+                .iter()
+                .zip(&v32)
+                .filter(|((_, c64), (_, c32))| c64 != c32)
+                .count() as u64;
+        }
+
+        // Worker invariance on the *trained* classifier: the f32 path must
+        // return bit-identical scores at any thread count (the synthetic
+        // model version lives in `targad-nn`).
+        let serial = clf.target_scores_rt_prec(x, &Runtime::serial(), EnginePrecision::F32);
+        for workers in [2usize, 7] {
+            let par = clf.target_scores_rt_prec(x, &Runtime::new(workers), EnginePrecision::F32);
+            assert_eq!(
+                par.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{}: f32 scores changed at {workers} workers",
+                preset.name()
+            );
+        }
+    }
+
+    let agreement = 1.0 - disagreements as f64 / decisions as f64;
+    assert!(
+        agreement > 0.999,
+        "three-way verdict agreement {agreement:.6} (\u{2264} 0.999) over {decisions} decisions \
+         ({disagreements} disagreements)"
+    );
+    println!(
+        "f32 parity: {decisions} decisions, {disagreements} disagreements, \
+         agreement {agreement:.6}"
+    );
+}

@@ -51,6 +51,7 @@ pub use detector::{Detector, TrainView};
 pub use error::TargAdError;
 pub use model::{CandidateComposition, Classifier, TargAd, TrainHistory, WeightMeans};
 pub use ood::OodStrategy;
+pub use targad_nn::EnginePrecision;
 pub use targad_obs::{NullObserver, TrainObserver};
 pub use targad_runtime::Runtime;
 pub use verdict::{Calibration, ScoreOutput, ThresholdCache, Verdict, VerdictClass};

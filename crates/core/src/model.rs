@@ -6,7 +6,8 @@ use targad_data::Dataset;
 use targad_linalg::{rng as lrng, stats, Matrix};
 use targad_nn::optim::clip_grad_norm;
 use targad_nn::{
-    shuffled_batches, Activation, Adam, EngineCell, Mlp, Optimizer, Parts, Sgd, ShardedStep,
+    shuffled_batches, Activation, Adam, EngineCell, EnginePrecision, F32Plan, Mlp, Optimizer,
+    Parts, Sgd, ShardedStep,
 };
 use targad_obs::{
     AeEpochEvent, EpochEvent, FitEndEvent, FitStartEvent, LossDecomposition, NullObserver,
@@ -18,7 +19,7 @@ use crate::candidate::CandidateSelection;
 use crate::config::TargAdConfig;
 use crate::detector::{Detector, TrainView};
 use crate::error::TargAdError;
-use crate::ood::{calibrate_tau, verdict_of_row, OodStrategy};
+use crate::ood::{calibrate_tau, verdict_of_row, verdict_of_row_f32, OodStrategy};
 use crate::verdict::{Calibration, ScoreOutput, ThresholdCache, VerdictClass};
 
 /// Index of the `L_CE` partial in a step's [`Parts`] array.
@@ -41,12 +42,17 @@ pub struct Classifier {
     /// classifier so repeated scoring — per-epoch probe traces, suite-table
     /// regeneration — reuses one warm buffer pool across calls.
     engine: EngineCell,
+    /// Lazily built f32 cast of the fitted weights (packed for the SIMD
+    /// micro-kernels). Built at most once per classifier instance — eagerly
+    /// via [`Classifier::warm_f32`] (the serve registry does this at
+    /// insert/hot-swap) or on the first f32 scoring call.
+    f32_plan: std::sync::OnceLock<F32Plan>,
 }
 
 impl Clone for Classifier {
     /// Clones the network; the clone gets its own fresh (cold) engine
-    /// pool, since pooled scratch buffers are per-instance state, not part
-    /// of the model.
+    /// pool and unbuilt f32 plan, since pooled scratch and cast weights
+    /// are per-instance derived state, not part of the model.
     fn clone(&self) -> Self {
         Self {
             store: self.store.clone(),
@@ -54,6 +60,7 @@ impl Clone for Classifier {
             m: self.m,
             k: self.k,
             engine: EngineCell::new(),
+            f32_plan: std::sync::OnceLock::new(),
         }
     }
 }
@@ -137,6 +144,55 @@ impl Classifier {
             .with(|e| e.score(&[(&self.mlp, &self.store)], x, rt, finish))
     }
 
+    /// The fitted weights cast and packed for the f32 micro-kernels, built
+    /// on first use and cached for this classifier instance.
+    fn f32_plan(&self) -> &F32Plan {
+        self.f32_plan
+            .get_or_init(|| F32Plan::from_stack(&[(&self.mlp, &self.store)]))
+    }
+
+    /// Eagerly builds the f32 cast plan (a no-op when already built). The
+    /// serve registry calls this at model insert and hot-swap so the first
+    /// f32-precision batch after a swap does not pay the cast+pack cost.
+    pub fn warm_f32(&self) {
+        self.f32_plan();
+    }
+
+    /// [`Classifier::target_scores_rt`] under an explicit engine
+    /// precision. [`EnginePrecision::F64`] is the bit-exact oracle;
+    /// [`EnginePrecision::F32`] runs the SIMD micro-kernel path with the
+    /// same per-row softmax-max finish evaluated in f32 and widened at the
+    /// end — ranking fidelity vs the oracle is tolerance-tested in
+    /// `targad-bench`.
+    pub fn target_scores_rt_prec(
+        &self,
+        x: &Matrix,
+        rt: &Runtime,
+        precision: EnginePrecision,
+    ) -> Vec<f64> {
+        match precision {
+            EnginePrecision::F64 => self.target_scores_rt(x, rt),
+            EnginePrecision::F32 => {
+                let m = self.m;
+                let finish = move |_r: usize, z: &[f32]| {
+                    let mx = z.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                    let mut sum = 0.0f32;
+                    let mut best = f32::NEG_INFINITY;
+                    for (j, &v) in z.iter().enumerate() {
+                        let e = (v - mx).exp();
+                        sum += e;
+                        if j < m {
+                            best = best.max(e);
+                        }
+                    }
+                    f64::from(best / sum)
+                };
+                let plan = self.f32_plan();
+                self.engine.with(|e| e.score_f32(plan, x, rt, finish))
+            }
+        }
+    }
+
     /// Eq. 9 scores *and* three-way §III-C classes for each row of `x`,
     /// via the reference (unfused) forward pass. This is the Table IV
     /// decision path; [`Classifier::verdicts_rt`] is the engine-backed
@@ -214,6 +270,44 @@ impl Classifier {
             .collect()
     }
 
+    /// [`Classifier::verdicts_rt_with`] under an explicit engine precision
+    /// — the serving batcher's entry point once a `ServeConfig` opts into
+    /// f32 scoring. The f32 arm runs the packed SIMD forward pass and the
+    /// single-precision twin of the §III-C decision kernel; thresholds stay
+    /// the f64-calibrated ones (scores widen before the comparison).
+    pub fn verdicts_rt_with_prec<F>(
+        &self,
+        x: &Matrix,
+        rt: &Runtime,
+        precision: EnginePrecision,
+        select: F,
+    ) -> Vec<(f64, VerdictClass)>
+    where
+        F: Fn(usize) -> (OodStrategy, f64) + Sync,
+    {
+        match precision {
+            EnginePrecision::F64 => self.verdicts_rt_with(x, rt, select),
+            EnginePrecision::F32 => {
+                let m = self.m;
+                let k = self.k;
+                let finish = move |r: usize, z: &[f32]| {
+                    let (strategy, tau) = select(r);
+                    let (score, class) = verdict_of_row_f32(z, m, k, strategy, tau);
+                    (score, class.code() as f64)
+                };
+                let plan = self.f32_plan();
+                self.engine
+                    .with(|e| e.score_pairs_f32(plan, x, rt, finish))
+                    .into_iter()
+                    .map(|(s, c)| {
+                        let class = VerdictClass::from_code(c as usize).expect("engine class code");
+                        (s, class)
+                    })
+                    .collect()
+            }
+        }
+    }
+
     fn target_scores_from(&self, p: Matrix) -> Vec<f64> {
         (0..p.rows())
             .map(|r| {
@@ -264,6 +358,7 @@ impl Classifier {
             m,
             k,
             engine: EngineCell::new(),
+            f32_plan: std::sync::OnceLock::new(),
         }
     }
 
@@ -289,6 +384,8 @@ impl Classifier {
                 *self.store.value_mut(id) = matrix.clone();
             }
         }
+        // The cast plan derives from the weights just replaced.
+        self.f32_plan.take();
         Ok(())
     }
 }
@@ -666,6 +763,7 @@ impl TargAd {
             m,
             k,
             engine: EngineCell::new(),
+            f32_plan: std::sync::OnceLock::new(),
         };
         let mut opt: Box<dyn Optimizer> = if self.config.clf_sgd {
             Box::new(Sgd::with_momentum(self.config.clf_lr, 0.9))

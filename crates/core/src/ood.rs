@@ -103,6 +103,37 @@ fn logsumexp(values: &[f64]) -> f64 {
     max + values.iter().map(|&v| (v - max).exp()).sum::<f64>().ln()
 }
 
+impl OodStrategy {
+    /// Single-precision twin of [`OodStrategy::target_score`], used by the
+    /// f32 serving path: same formulas, same accumulation order, evaluated
+    /// on the f32 logits the reduced-precision engine produced. The
+    /// resulting score is compared against the f64-calibrated `tau` after
+    /// widening, so calibration stays precision-independent.
+    pub fn target_score_f32(self, logits: &[f32], m: usize) -> f32 {
+        let block = &logits[..m];
+        match self {
+            OodStrategy::Msp => {
+                let max_all = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let denom: f32 = logits.iter().map(|&z| (z - max_all).exp()).sum();
+                block
+                    .iter()
+                    .map(|&z| (z - max_all).exp() / denom)
+                    .fold(f32::NEG_INFINITY, f32::max)
+            }
+            OodStrategy::EnergyScore => logsumexp_f32(block),
+            OodStrategy::EnergyDiscrepancy => {
+                let mean = block.iter().sum::<f32>() / m as f32;
+                logsumexp_f32(block) - mean
+            }
+        }
+    }
+}
+
+fn logsumexp_f32(values: &[f32]) -> f32 {
+    let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    max + values.iter().map(|&v| (v - max).exp()).sum::<f32>().ln()
+}
+
 /// One row's §III-C verdict from its logits: the Eq. 9 score and the
 /// three-way class under `strategy` at threshold `tau`.
 ///
@@ -149,6 +180,47 @@ pub(crate) fn verdict_of_row(
         VerdictClass::NonTarget
     };
     (best, class)
+}
+
+/// Single-precision twin of [`verdict_of_row`] for the f32 serving path:
+/// the same normality gate, Eq. 9 score, and OOD thresholding evaluated on
+/// the f32 logits, with the score widened to `f64` at the end and the
+/// comparison against the (f64-calibrated) `tau` done in `f64`.
+///
+/// This is *not* bit-identical to the f64 kernel — the f32 path's contract
+/// is ranking fidelity (AUC-PR delta and three-way verdict agreement vs the
+/// oracle), asserted by the tolerance harness in `targad-bench`.
+#[inline]
+pub(crate) fn verdict_of_row_f32(
+    z: &[f32],
+    m: usize,
+    k: usize,
+    strategy: OodStrategy,
+    tau: f64,
+) -> (f64, VerdictClass) {
+    let mx = z.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for &v in z {
+        sum += (v - mx).exp();
+    }
+    let mut best = f32::NEG_INFINITY;
+    let mut normal_mass = 0.0f32;
+    for (j, &v) in z.iter().enumerate() {
+        let p = (v - mx).exp() / sum;
+        if j < m {
+            best = best.max(p);
+        } else {
+            normal_mass += p;
+        }
+    }
+    let class = if f64::from(normal_mass) > k as f64 / (m + k) as f64 {
+        VerdictClass::Normal
+    } else if f64::from(strategy.target_score_f32(z, m)) >= tau {
+        VerdictClass::Target
+    } else {
+        VerdictClass::NonTarget
+    };
+    (f64::from(best), class)
 }
 
 /// Three-way prediction: 0 = normal, 1 = target anomaly, 2 = non-target

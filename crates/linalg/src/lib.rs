@@ -15,12 +15,20 @@
 //! - [`stats`]: scalar statistics (mean/std/quantiles) shared by the
 //!   clustering, metric, and experiment crates.
 //!
-//! Everything is `f64`: dataset sizes in the paper are ≤ a few hundred
-//! thousand rows, so numerical robustness is worth more than the memory.
+//! Training and every reference path are `f64`: dataset sizes in the paper
+//! are ≤ a few hundred thousand rows, so numerical robustness is worth more
+//! than the memory. The one exception is [`f32kernel`], the opt-in
+//! single-precision *inference* fast path (AVX2+FMA micro-tiles behind a
+//! runtime dispatch), whose ranking fidelity is tolerance-tested against
+//! the f64 oracle rather than required to be bit-exact.
 
+pub mod f32kernel;
 pub mod matrix;
 pub mod par;
 pub mod rng;
 pub mod stats;
 
-pub use matrix::{matmul_bias_act_rows_into, stable_sigmoid, EpiAct, Matrix};
+pub use f32kernel::{
+    cpu_features, kernel_path, matmul_bias_act_f32_into, CpuFeatures, KernelPath, PackedF32,
+};
+pub use matrix::{matmul_bias_act_rows_into, stable_sigmoid, stable_sigmoid_f32, EpiAct, Matrix};

@@ -747,6 +747,19 @@ pub fn stable_sigmoid(x: f64) -> f64 {
     }
 }
 
+/// Single-precision twin of [`stable_sigmoid`], used by the f32 inference
+/// kernels ([`crate::f32kernel`]). Same branch structure, so the f32 path is
+/// overflow-safe for the same reasons.
+#[inline]
+pub fn stable_sigmoid_f32(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
 /// Elementwise activation applied by the fused GEMM epilogue
 /// ([`matmul_bias_act_rows_into`]). Each variant is the exact scalar formula
 /// of the corresponding inference-path activation, so fusing it into the
@@ -782,6 +795,29 @@ impl EpiAct {
                 }
             }
             EpiAct::Sigmoid => stable_sigmoid(x),
+            EpiAct::Tanh => x.tanh(),
+        }
+    }
+
+    /// Applies the activation to one `f32` scalar — the epilogue of the f32
+    /// inference kernels ([`crate::f32kernel`]). Each variant is the exact
+    /// single-precision analogue of [`EpiAct::apply`]; the f32 path carries
+    /// its own tolerance contract (ranking parity vs the f64 oracle), so
+    /// only SIMD-vs-scalar-f32 bit-identity matters here, and both kernel
+    /// paths share this one scalar epilogue.
+    #[inline(always)]
+    pub fn apply_f32(self, x: f32) -> f32 {
+        match self {
+            EpiAct::None => x,
+            EpiAct::Relu => x.max(0.0),
+            EpiAct::LeakyRelu => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.01 * x
+                }
+            }
+            EpiAct::Sigmoid => stable_sigmoid_f32(x),
             EpiAct::Tanh => x.tanh(),
         }
     }

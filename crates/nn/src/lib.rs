@@ -21,6 +21,6 @@ pub mod optim;
 pub use ae::AutoEncoder;
 pub use batch::shuffled_batches;
 pub use dp::{shard_count, shard_range, Parts, ShardedStep, MAX_PARTS, SHARD_ROWS};
-pub use infer::{EngineCell, ModelStack, ScoreEngine, INFER_BLOCK_ROWS};
+pub use infer::{EngineCell, EnginePrecision, F32Plan, ModelStack, ScoreEngine, INFER_BLOCK_ROWS};
 pub use layers::{Activation, Linear, Mlp};
 pub use optim::{Adam, Optimizer, Sgd};

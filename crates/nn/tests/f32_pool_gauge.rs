@@ -1,0 +1,96 @@
+//! `ScoreEngine::pool_bytes` / `score.engine_pool_bytes` accounting.
+//!
+//! The gauge must cover *every* scratch pool the engine holds — the f64
+//! ping-pong buffers, the per-block result slots, and the f32 cast-input +
+//! ping-pong buffers of the reduced-precision path — and must equal the
+//! actual reserved capacities, recomputed here from first principles.
+//!
+//! Lives in its own integration-test binary (one process, one test) because
+//! the gauge is process-global: parallel unit tests scoring their own
+//! engines would race its value.
+
+use targad_autograd::VarStore;
+use targad_linalg::rng as lrng;
+use targad_nn::{Activation, F32Plan, Mlp, ScoreEngine, INFER_BLOCK_ROWS};
+use targad_obs::metrics::SCORE_ENGINE_POOL_BYTES;
+use targad_runtime::Runtime;
+
+#[test]
+fn pool_bytes_covers_every_scratch_pool_and_matches_the_gauge() {
+    targad_obs::set_enabled(true);
+    // Probe whether telemetry is compiled in (the `--no-default-features`
+    // build stubs gauges to no-ops; the accounting below still holds, but
+    // the gauge assertions would read 0).
+    SCORE_ENGINE_POOL_BYTES.set(1);
+    let telemetry = SCORE_ENGINE_POOL_BYTES.get() == 1;
+    SCORE_ENGINE_POOL_BYTES.reset();
+
+    let mut rng = lrng::seeded(81);
+    let mut vs = VarStore::new();
+    let (d_in, hidden, d_out) = (8usize, 64usize, 2usize);
+    let mlp = Mlp::new(
+        &mut vs,
+        &mut rng,
+        &[d_in, hidden, d_out],
+        Activation::Relu,
+        Activation::Sigmoid,
+    );
+    let x = lrng::normal_matrix(&mut rng, INFER_BLOCK_ROWS + 50, d_in, 0.0, 1.0);
+    let rt = Runtime::new(2);
+    let mut engine = ScoreEngine::new();
+
+    engine.score(&[(&mlp, &vs)], &x, &rt, |_, row: &[f64]| row[0]);
+    let f64_only = engine.pool_bytes();
+    assert!(f64_only > 0);
+    if telemetry {
+        assert_eq!(
+            SCORE_ENGINE_POOL_BYTES.get(),
+            f64_only as u64,
+            "gauge must track pool_bytes after an f64 batch"
+        );
+    }
+
+    let plan = F32Plan::from_stack(&[(&mlp, &vs)]);
+    engine.score_f32(&plan, &x, &rt, |_, row: &[f32]| f64::from(row[0]));
+    let with_f32 = engine.pool_bytes();
+    assert!(
+        with_f32 > f64_only,
+        "f32 scratch pools must be accounted: {with_f32} <= {f64_only}"
+    );
+    if telemetry {
+        assert_eq!(
+            SCORE_ENGINE_POOL_BYTES.get(),
+            with_f32 as u64,
+            "gauge must track pool_bytes after an f32 batch"
+        );
+    }
+
+    // The reported number is the actual reserved bytes: recompute the
+    // high-water capacities from first principles on a fresh *serial*
+    // engine (one worker, so every pool size is fully determined by the
+    // model shape and the first — largest — row block).
+    let mut fresh = ScoreEngine::new();
+    let serial = Runtime::serial();
+    fresh.score(&[(&mlp, &vs)], &x, &serial, |_, row: &[f64]| row[0]);
+    fresh.score_f32(&plan, &x, &serial, |_, row: &[f32]| f64::from(row[0]));
+    let rb0 = INFER_BLOCK_ROWS; // first block sets the high-water marks
+    let f64_scratch = rb0 * hidden + rb0 * d_out; // ping-pong a + b
+    let f32_scratch = rb0 * d_in + rb0 * hidden + rb0 * d_out; // cast x + a + b
+    let results = x.rows(); // one f64 score slot per row, across all blocks
+    let expected = (f64_scratch + results) * std::mem::size_of::<f64>()
+        + f32_scratch * std::mem::size_of::<f32>();
+    assert_eq!(
+        fresh.pool_bytes(),
+        expected,
+        "pool_bytes must equal the reserved capacities of all pools"
+    );
+
+    // Warm pools must not grow on a repeat batch, and the gauge follows.
+    let warm = engine.pool_bytes();
+    engine.score_f32(&plan, &x, &rt, |_, row: &[f32]| f64::from(row[0]));
+    assert_eq!(engine.pool_bytes(), warm, "pool must not grow when warm");
+    if telemetry {
+        assert_eq!(SCORE_ENGINE_POOL_BYTES.get(), warm as u64);
+    }
+    targad_obs::set_enabled(false);
+}

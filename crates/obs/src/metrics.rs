@@ -195,6 +195,10 @@ impl Histogram {
 pub static GEMM_KERNEL_DISPATCHES: Counter = Counter::new("gemm.kernel_dispatches");
 /// Small-problem GEMM dispatches (naive path below the FLOP threshold).
 pub static GEMM_NAIVE_DISPATCHES: Counter = Counter::new("gemm.naive_dispatches");
+/// f32 inference-kernel calls that ran the AVX2+FMA micro-tile.
+pub static GEMM_F32_SIMD_DISPATCHES: Counter = Counter::new("gemm.f32_simd_dispatches");
+/// f32 inference-kernel calls that ran the portable scalar micro-kernel.
+pub static GEMM_F32_SCALAR_DISPATCHES: Counter = Counter::new("gemm.f32_scalar_dispatches");
 /// Multi-worker jobs dispatched through the runtime pool.
 pub static POOL_JOBS: Counter = Counter::new("pool.jobs");
 /// Parallel requests that ran inline because the pool was busy or too small.
@@ -218,6 +222,8 @@ pub static SCORE_BATCHES: Counter = Counter::new("score.batches");
 pub static SCORE_ROWS: Counter = Counter::new("score.rows");
 /// Row blocks streamed by the `ScoreEngine` (fixed-size, worker-invariant).
 pub static SCORE_BLOCKS: Counter = Counter::new("score.blocks");
+/// Scoring batches run through the engine's f32 (reduced-precision) path.
+pub static SCORE_F32_BATCHES: Counter = Counter::new("score.f32_batches");
 
 /// Scoring requests accepted by the serve layer.
 pub static SERVE_REQUESTS: Counter = Counter::new("serve.requests");
@@ -232,6 +238,16 @@ pub static SERVE_SWAPS: Counter = Counter::new("serve.swaps");
 
 /// Worker count of the most recent multi-worker pool dispatch.
 pub static POOL_WORKERS: Gauge = Gauge::new("pool.workers");
+
+/// Detected `avx2` CPU feature (0/1), recorded at f32-kernel dispatch so
+/// metric snapshots identify the host's capabilities.
+pub static CPU_AVX2: Gauge = Gauge::new("cpu.avx2");
+/// Detected `fma` CPU feature (0/1), recorded at f32-kernel dispatch.
+pub static CPU_FMA: Gauge = Gauge::new("cpu.fma");
+/// 1 when the process's cached f32 dispatch decision is the AVX2+FMA
+/// micro-kernel, 0 when it is the scalar fallback (feature missing or
+/// `TARGAD_SIMD=off`).
+pub static CPU_F32_KERNEL_SIMD: Gauge = Gauge::new("cpu.f32_kernel_simd");
 
 /// Rows currently queued in the serve micro-batcher.
 pub static SERVE_QUEUE_DEPTH: Gauge = Gauge::new("serve.queue_depth");
@@ -259,6 +275,8 @@ pub static SERVE_BATCH_SERVICE_NS: Histogram = Histogram::new("serve.batch_servi
 pub static COUNTERS: &[&Counter] = &[
     &GEMM_KERNEL_DISPATCHES,
     &GEMM_NAIVE_DISPATCHES,
+    &GEMM_F32_SIMD_DISPATCHES,
+    &GEMM_F32_SCALAR_DISPATCHES,
     &POOL_JOBS,
     &POOL_INLINE_RUNS,
     &TAPE_POOL_HITS,
@@ -270,6 +288,7 @@ pub static COUNTERS: &[&Counter] = &[
     &SCORE_BATCHES,
     &SCORE_ROWS,
     &SCORE_BLOCKS,
+    &SCORE_F32_BATCHES,
     &SERVE_REQUESTS,
     &SERVE_ROWS,
     &SERVE_BATCHES,
@@ -280,6 +299,9 @@ pub static COUNTERS: &[&Counter] = &[
 /// All registered gauges, in reporting order.
 pub static GAUGES: &[&Gauge] = &[
     &POOL_WORKERS,
+    &CPU_AVX2,
+    &CPU_FMA,
+    &CPU_F32_KERNEL_SIMD,
     &SCORE_ENGINE_POOL_BYTES,
     &SERVE_QUEUE_DEPTH,
     &SERVE_GENERATION,

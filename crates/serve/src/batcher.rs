@@ -308,7 +308,10 @@ fn execute_batch(
         row_params.extend(std::iter::repeat_n((job.strategy, *tau), job.n));
     }
     let x = Matrix::from_vec(batch_rows, dims, data);
-    let pairs = clf.verdicts_rt_with(&x, runtime, |r| row_params[r]);
+    // Precision is a property of the registry (weights were cast/packed at
+    // insert or swap time under F32), so every batch against a snapshot
+    // scores at the precision that snapshot was prepared for.
+    let pairs = clf.verdicts_rt_with_prec(&x, runtime, registry.precision(), |r| row_params[r]);
 
     // Stats land before replies go out, so a caller that observes its
     // result (and anything joining on it) also observes the counters.

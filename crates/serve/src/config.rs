@@ -3,7 +3,7 @@
 use std::fmt;
 use std::time::Duration;
 
-use targad_core::{OodStrategy, TargAdError};
+use targad_core::{EnginePrecision, OodStrategy, TargAdError};
 
 /// Configuration of one [`crate::Server`] instance.
 ///
@@ -29,6 +29,12 @@ pub struct ServeConfig {
     /// OOD strategy used when a request does not select one
     /// (default [`OodStrategy::Msp`]).
     pub default_strategy: OodStrategy,
+    /// Numeric precision of the scoring path (default
+    /// [`EnginePrecision::F64`]). `F32` scores through the SIMD
+    /// micro-kernels of `targad-linalg` — roughly twice the throughput —
+    /// while training, calibration, and the `/admin/swap` load path stay
+    /// in f64; the registry casts weights once per installed snapshot.
+    pub precision: EnginePrecision,
     /// Shared secret for `/admin/*` routes, presented by clients in an
     /// `x-admin-token` header. When `None` (the default), admin routes only
     /// answer loopback peers; set a token to administer a server bound to a
@@ -45,6 +51,7 @@ impl Default for ServeConfig {
             max_queue_wait: Duration::from_millis(1),
             queue_depth: 1024,
             default_strategy: OodStrategy::Msp,
+            precision: EnginePrecision::F64,
             admin_token: None,
         }
     }
@@ -136,6 +143,8 @@ impl ServeConfigBuilder {
         queue_depth: usize,
         /// OOD strategy when a request does not select one.
         default_strategy: OodStrategy,
+        /// Numeric precision of the scoring path (f64 oracle or f32 SIMD).
+        precision: EnginePrecision,
         /// Shared secret for `/admin/*` routes (`None` = loopback only).
         admin_token: Option<String>,
     }
@@ -228,6 +237,7 @@ mod tests {
         assert_eq!(c.max_batch, 64);
         assert_eq!(c.queue_depth, 1024);
         assert_eq!(c.default_strategy, OodStrategy::Msp);
+        assert_eq!(c.precision, EnginePrecision::F64);
     }
 
     #[test]
@@ -238,6 +248,7 @@ mod tests {
             .max_queue_wait(Duration::from_micros(500))
             .queue_depth(64)
             .default_strategy(OodStrategy::EnergyScore)
+            .precision(EnginePrecision::F32)
             .build()
             .unwrap();
         assert_eq!(c.port, 8080);
@@ -245,6 +256,7 @@ mod tests {
         assert_eq!(c.max_queue_wait, Duration::from_micros(500));
         assert_eq!(c.queue_depth, 64);
         assert_eq!(c.default_strategy, OodStrategy::EnergyScore);
+        assert_eq!(c.precision, EnginePrecision::F32);
     }
 
     #[test]

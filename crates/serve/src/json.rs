@@ -113,12 +113,14 @@ fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, Stri
         Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
         Some(b'"') => parse_string(bytes, pos).map(Json::Str),
-        Some(b'[') if depth >= MAX_DEPTH => {
-            Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}", pos = *pos))
-        }
-        Some(b'{') if depth >= MAX_DEPTH => {
-            Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}", pos = *pos))
-        }
+        Some(b'[') if depth >= MAX_DEPTH => Err(format!(
+            "nesting deeper than {MAX_DEPTH} at byte {pos}",
+            pos = *pos
+        )),
+        Some(b'{') if depth >= MAX_DEPTH => Err(format!(
+            "nesting deeper than {MAX_DEPTH} at byte {pos}",
+            pos = *pos
+        )),
         Some(b'[') => parse_array(bytes, pos, depth + 1),
         Some(b'{') => parse_object(bytes, pos, depth + 1),
         Some(_) => parse_number(bytes, pos),
@@ -313,14 +315,22 @@ mod tests {
         let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
         assert!(Json::parse(&ok).is_ok());
         // One past the limit: a parse error, not a stack overflow.
-        let deep = format!("{}1{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        let deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
         assert!(Json::parse(&deep).unwrap_err().contains("nesting"));
         // The attack shape from the wild: ~100 KB of '[' with no closers
         // must error out instead of overflowing the thread stack.
         let bomb = "[".repeat(100_000);
         assert!(Json::parse(&bomb).is_err());
         // Objects count against the same budget.
-        let objs = format!("{}1{}", "{\"k\":".repeat(MAX_DEPTH + 1), "}".repeat(MAX_DEPTH + 1));
+        let objs = format!(
+            "{}1{}",
+            "{\"k\":".repeat(MAX_DEPTH + 1),
+            "}".repeat(MAX_DEPTH + 1)
+        );
         assert!(Json::parse(&objs).unwrap_err().contains("nesting"));
     }
 

@@ -36,3 +36,4 @@ pub use config::{ServeConfig, ServeConfigBuilder, ServeError};
 pub use json::Json;
 pub use registry::{ModelRegistry, ModelSnapshot};
 pub use server::{Client, Server, ServerHandle};
+pub use targad_core::EnginePrecision;

@@ -11,7 +11,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-use targad_core::{Classifier, ThresholdCache};
+use targad_core::{Classifier, EnginePrecision, ThresholdCache};
 
 /// One immutable, decision-ready model: the trained classifier plus the
 /// §III-C thresholds calibrated for it. Snapshots carry everything a
@@ -43,16 +43,36 @@ impl ModelSnapshot {
 pub struct ModelRegistry {
     current: RwLock<Arc<ModelSnapshot>>,
     generation: AtomicU64,
+    precision: EnginePrecision,
 }
 
 impl ModelRegistry {
-    /// A registry serving `snapshot` as generation 1.
+    /// A registry serving `snapshot` as generation 1, scoring in f64.
     pub fn new(snapshot: ModelSnapshot) -> Self {
+        Self::with_precision(snapshot, EnginePrecision::F64)
+    }
+
+    /// A registry serving `snapshot` as generation 1 at `precision`.
+    ///
+    /// Under [`EnginePrecision::F32`] the snapshot's weights are cast and
+    /// panel-packed for the SIMD kernels *here* — once per installed model,
+    /// at insert and at every [`ModelRegistry::swap`] — so no request ever
+    /// pays the cast.
+    pub fn with_precision(snapshot: ModelSnapshot, precision: EnginePrecision) -> Self {
         targad_obs::metrics::SERVE_GENERATION.set(1);
+        if precision == EnginePrecision::F32 {
+            snapshot.classifier.warm_f32();
+        }
         Self {
             current: RwLock::new(Arc::new(snapshot)),
             generation: AtomicU64::new(1),
+            precision,
         }
+    }
+
+    /// The precision every batch scored off this registry uses.
+    pub fn precision(&self) -> EnginePrecision {
+        self.precision
     }
 
     /// The current snapshot and its generation, read consistently: the
@@ -75,6 +95,12 @@ impl ModelRegistry {
     /// its generation. In-flight readers keep their old `Arc`; the old
     /// model is dropped when the last of them finishes.
     pub fn swap(&self, snapshot: ModelSnapshot) -> u64 {
+        // Cast + pack the f32 plan *before* taking the write lock: the
+        // one-time conversion cost lands on the swap caller, never on a
+        // reader or an in-flight batch.
+        if self.precision == EnginePrecision::F32 {
+            snapshot.classifier.warm_f32();
+        }
         let mut guard = self.current.write().expect("registry lock poisoned");
         let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
         *guard = Arc::new(snapshot);

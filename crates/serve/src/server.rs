@@ -22,7 +22,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use targad_core::{snapshot as core_snapshot, OodStrategy, TargAdError};
+use targad_core::{snapshot as core_snapshot, EnginePrecision, OodStrategy, TargAdError};
 use targad_runtime::Runtime;
 
 use crate::batcher::MicroBatcher;
@@ -73,7 +73,7 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
 
-        let registry = Arc::new(ModelRegistry::new(snapshot));
+        let registry = Arc::new(ModelRegistry::with_precision(snapshot, config.precision));
         let batcher = Arc::new(MicroBatcher::start(&config, Arc::clone(&registry), runtime));
         let shutdown = Arc::new(AtomicBool::new(false));
         let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -83,6 +83,7 @@ impl Server {
             batcher: Arc::clone(&batcher),
             shutdown: Arc::clone(&shutdown),
             default_strategy: config.default_strategy,
+            precision: config.precision,
             admin_token: config.admin_token.clone(),
         });
         let accept_ctx = Arc::clone(&ctx);
@@ -161,6 +162,7 @@ struct Context {
     batcher: Arc<MicroBatcher>,
     shutdown: Arc<AtomicBool>,
     default_strategy: OodStrategy,
+    precision: EnginePrecision,
     admin_token: Option<String>,
 }
 
@@ -363,11 +365,12 @@ fn model_body(ctx: &Context) -> String {
         })
         .collect();
     format!(
-        "{{\"tag\": \"{}\", \"generation\": {generation}, \"m\": {}, \"k\": {}, \"input_dim\": {}, \"thresholds\": {{{}}}}}",
+        "{{\"tag\": \"{}\", \"generation\": {generation}, \"m\": {}, \"k\": {}, \"input_dim\": {}, \"precision\": \"{}\", \"thresholds\": {{{}}}}}",
         escape(&snapshot.tag),
         clf.m(),
         clf.k(),
         clf.input_dim(),
+        ctx.precision.name(),
         taus.join(", ")
     )
 }
@@ -440,8 +443,9 @@ fn handle_score(request: &Request, ctx: &Context) -> Result<String, ServeError> 
         })
         .collect();
     Ok(format!(
-        "{{\"model_generation\": {generation}, \"count\": {}, \"verdicts\": [{}]}}",
+        "{{\"model_generation\": {generation}, \"count\": {}, \"precision\": \"{}\", \"verdicts\": [{}]}}",
         scored.len(),
+        ctx.precision.name(),
         verdicts.join(", ")
     ))
 }

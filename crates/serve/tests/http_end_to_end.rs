@@ -215,9 +215,7 @@ fn slow_clients_are_not_torn_mid_request() {
     stream.flush().expect("flush");
 
     let mut response = String::new();
-    stream
-        .read_to_string(&mut response)
-        .expect("read response");
+    stream.read_to_string(&mut response).expect("read response");
     assert!(
         response.starts_with("HTTP/1.1 200"),
         "slow request got: {response}"
@@ -236,7 +234,9 @@ fn nesting_bomb_gets_a_400_and_the_server_survives() {
 
     let mut client = Client::connect(handle.addr()).expect("connect");
     let bomb = format!("{{\"rows\": {}}}", "[".repeat(100_000));
-    let resp = client.request("POST", "/score", &bomb).expect("bomb response");
+    let resp = client
+        .request("POST", "/score", &bomb)
+        .expect("bomb response");
     assert_eq!(resp.status, 400, "{}", resp.text());
     assert!(resp.text().contains("nesting"), "{}", resp.text());
 
