@@ -36,6 +36,21 @@ impl VarStore {
         ParamId(self.params.len() - 1)
     }
 
+    /// Registers `value` as an *inference-only* parameter: a 0×0
+    /// placeholder sits where the gradient accumulator would be, so
+    /// registering a matrix that borrows shared storage (e.g. an
+    /// `mmap`ed model snapshot) allocates nothing weight-sized. Running
+    /// a backward pass over such a parameter is a logic error (it
+    /// panics on the accumulator shape mismatch); scoring paths never
+    /// touch gradients.
+    pub fn add_frozen(&mut self, value: Matrix) -> ParamId {
+        self.params.push(ParamEntry {
+            value,
+            grad: Matrix::zeros(0, 0),
+        });
+        ParamId(self.params.len() - 1)
+    }
+
     /// Number of registered parameters (tensors, not scalars).
     pub fn len(&self) -> usize {
         self.params.len()

@@ -99,6 +99,11 @@ pub fn run_suite(bundle: &DatasetBundle, config: &TargAdConfig, seeds: &[u64]) -
 /// `Send`), with TargAD's inner runtime serialized so parallelism lives at
 /// the grid level. Every cell's result depends only on `(model, seed)` —
 /// never on worker count — so the table is independent of `TARGAD_THREADS`.
+///
+/// When `TARGAD_MODEL_CACHE` names a directory, TargAD cells fit through
+/// the binary model store ([`crate::model_cache`]): reruns of the same
+/// `(dataset, config, seed)` cell `mmap`-load the fitted model instead of
+/// refitting, with bit-identical scores.
 pub fn run_suite_rt(
     bundle: &DatasetBundle,
     config: &TargAdConfig,
@@ -109,8 +114,16 @@ pub fn run_suite_rt(
         .chain(all_baselines().iter().map(|b| b.name()))
         .collect();
     let n_seeds = seeds.len();
+    let cache_dir = crate::model_cache::dir_from_env();
     let cells = runtime.par_map_indexed(names.len() * n_seeds, |cell| {
         let (mi, si) = (cell / n_seeds, cell % n_seeds);
+        if mi == 0 {
+            if let Some(dir) = &cache_dir {
+                let scores =
+                    crate::model_cache::targad_scores_cached(dir, bundle, config, seeds[si]);
+                return eval_scores(&scores, &bundle.test);
+            }
+        }
         let mut model: Box<dyn Detector> = if mi == 0 {
             let targad = TargAd::try_new(config.clone()).expect("valid TargAD config");
             Box::new(targad.with_runtime(Runtime::serial()))

@@ -12,10 +12,13 @@
 
 pub mod args;
 pub mod experiments;
+pub mod model_cache;
 pub mod report;
 pub mod robustness;
 pub mod sensitivity;
 pub mod suites;
 
 pub use args::CommonArgs;
-pub use experiments::{eval_model, harness_config, run_suite, run_suite_rt, EvalResult, MeanStd};
+pub use experiments::{
+    eval_model, eval_scores, harness_config, run_suite, run_suite_rt, EvalResult, MeanStd,
+};

@@ -1,0 +1,172 @@
+//! Opt-in cache of fitted TargAD models in the binary v3 store.
+//!
+//! Table-style experiment grids refit the same `(dataset, config, seed)`
+//! TargAD cell across reruns — by far the dominant harness cost. When the
+//! `TARGAD_MODEL_CACHE` environment variable names a directory, every
+//! TargAD cell of [`crate::run_suite_rt`] first looks for
+//! `targad-<key>.tgsnp` there, where `<key>` is an FNV-64 fingerprint of
+//! the training split (feature bits, truth, label mask), the full
+//! `TargAdConfig`, and the seed. A hit restores the classifier through
+//! `targad-store`'s zero-copy `mmap` path and scores the test split on it
+//! — bit-identical to refitting, because the v3 round trip preserves every
+//! weight bit and scoring is deterministic — and a miss fits as usual and
+//! populates the cache. Cache writes are best-effort: an unwritable
+//! directory degrades to refitting, never to a failed experiment.
+
+use std::path::{Path, PathBuf};
+
+use targad_core::{EnginePrecision, Runtime, TargAd, TargAdConfig};
+use targad_data::{Dataset, DatasetBundle};
+use targad_obs::metrics;
+
+/// The environment variable naming the cache directory.
+pub const ENV_VAR: &str = "TARGAD_MODEL_CACHE";
+
+/// The configured cache directory, if caching is enabled.
+pub fn dir_from_env() -> Option<PathBuf> {
+    std::env::var_os(ENV_VAR)
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
+}
+
+/// Incremental byte-wise FNV-1a-64 (collisions across distinct cells are
+/// no worse than any other 64-bit content hash, and a collision only
+/// ever reuses a *fitted model*, which the bit-identity tests would
+/// surface immediately).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+}
+
+/// The cache key of one TargAD cell: training data (bits, truth, label
+/// mask), configuration, and seed.
+pub fn cache_key(train: &Dataset, config: &TargAdConfig, seed: u64) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(train.features.rows() as u64);
+    h.write_u64(train.features.cols() as u64);
+    for &v in train.features.as_slice() {
+        h.write_u64(v.to_bits());
+    }
+    for t in &train.truth {
+        h.write(format!("{t:?}").as_bytes());
+    }
+    for &l in &train.labeled {
+        h.write(&[u8::from(l)]);
+    }
+    // The config fingerprint goes through Debug: every field participates,
+    // and a future field addition changes the key (a conservative cache
+    // invalidation, never a stale hit).
+    h.write(format!("{config:?}").as_bytes());
+    h.write_u64(seed);
+    h.0
+}
+
+/// The snapshot path of a cache key inside `dir`.
+pub fn cache_path(dir: &Path, key: u64) -> PathBuf {
+    dir.join(format!("targad-{key:016x}.tgsnp"))
+}
+
+/// Scores the bundle's test split for one TargAD cell through the cache:
+/// a hit `mmap`-loads the fitted classifier; a miss fits with
+/// [`Runtime::serial`] (the same inner runtime `run_suite_rt` uses, so
+/// cached and uncached cells are bit-identical) and saves the result.
+///
+/// # Panics
+/// Panics when the configuration is invalid or fitting fails, matching
+/// the harness contract of [`crate::eval_model`].
+pub fn targad_scores_cached(
+    dir: &Path,
+    bundle: &DatasetBundle,
+    config: &TargAdConfig,
+    seed: u64,
+) -> Vec<f64> {
+    let key = cache_key(&bundle.train, config, seed);
+    let path = cache_path(dir, key);
+    if let Ok(model) = targad_store::load(&path) {
+        metrics::STORE_CACHE_HITS.inc();
+        return model
+            .classifier
+            .target_scores_rt(&bundle.test.features, &Runtime::serial());
+    }
+    metrics::STORE_CACHE_MISSES.inc();
+    let mut model = TargAd::try_new(config.clone())
+        .expect("valid TargAD config")
+        .with_runtime(Runtime::serial());
+    let view = targad_baselines::TrainView::from_dataset(&bundle.train);
+    model
+        .fit_view(&view, seed)
+        .unwrap_or_else(|e| panic!("TargAD: fit failed: {e}"));
+    let scores = model
+        .try_score_matrix(&bundle.test.features)
+        .expect("score after fit");
+    let clf = model.classifier().expect("classifier after fit");
+    if std::fs::create_dir_all(dir).is_ok() {
+        // Best-effort: a full disk or read-only dir costs a refit later,
+        // nothing else.
+        let _ = targad_store::save(clf, model.thresholds(), EnginePrecision::F64, &path);
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval_scores;
+    use targad_data::GeneratorSpec;
+
+    fn scratch_dir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("targad-model-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create cache dir");
+        dir
+    }
+
+    #[test]
+    fn keys_separate_data_config_and_seed() {
+        let a = GeneratorSpec::quick_demo().generate(1);
+        let b = GeneratorSpec::quick_demo().generate(2);
+        let cfg = TargAdConfig::fast();
+        let mut cfg2 = cfg.clone();
+        cfg2.clf_epochs += 1;
+        let k = cache_key(&a.train, &cfg, 7);
+        assert_eq!(k, cache_key(&a.train, &cfg, 7), "deterministic");
+        assert_ne!(k, cache_key(&b.train, &cfg, 7), "data changes the key");
+        assert_ne!(k, cache_key(&a.train, &cfg2, 7), "config changes the key");
+        assert_ne!(k, cache_key(&a.train, &cfg, 8), "seed changes the key");
+    }
+
+    #[test]
+    fn cached_and_refit_scores_are_bit_identical() {
+        let bundle = GeneratorSpec::quick_demo().generate(11);
+        let mut cfg = TargAdConfig::fast();
+        cfg.clf_epochs = 8;
+        cfg.ae_epochs = 4;
+        let dir = scratch_dir();
+        let path = cache_path(&dir, cache_key(&bundle.train, &cfg, 3));
+        std::fs::remove_file(&path).ok();
+
+        let cold = targad_scores_cached(&dir, &bundle, &cfg, 3);
+        assert!(path.is_file(), "miss populates the cache");
+        let warm = targad_scores_cached(&dir, &bundle, &cfg, 3);
+        let cold_bits: Vec<u64> = cold.iter().map(|v| v.to_bits()).collect();
+        let warm_bits: Vec<u64> = warm.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(cold_bits, warm_bits, "cache hit must be bit-identical");
+
+        let r = eval_scores(&warm, &bundle.test);
+        assert!(r.auprc > 0.0 && r.auroc > 0.0);
+        std::fs::remove_file(&path).ok();
+    }
+}

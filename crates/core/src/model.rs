@@ -342,51 +342,93 @@ impl Classifier {
         out
     }
 
-    /// Builds an untrained classifier skeleton with the given architecture
-    /// (used by [`crate::snapshot`] before overwriting the parameters).
-    pub(crate) fn with_architecture(
-        dims: &[usize],
-        m: usize,
-        k: usize,
-        rng: &mut impl rand::Rng,
-    ) -> Self {
+    /// Builds a classifier directly over fitted parameter matrices in
+    /// layer order `w1, b1, w2, b2, …` — the model-store load path.
+    ///
+    /// Unlike rebuilding an initialized skeleton and overwriting its
+    /// weights, this never allocates parameter storage that is immediately
+    /// thrown away, and the given matrices are registered as-is: matrices
+    /// borrowing an `mmap`ed
+    /// snapshot (see `targad_linalg::Matrix::from_shared`) stay borrowed,
+    /// so the rebuilt classifier scores with zero weight-byte copies.
+    pub fn from_parameters(matrices: Vec<Matrix>, m: usize, k: usize) -> Result<Self, String> {
+        if matrices.is_empty() || matrices.len() % 2 != 0 {
+            return Err(format!(
+                "expected a non-empty even number of matrices (w, b per layer), got {}",
+                matrices.len()
+            ));
+        }
+        let out_dim = matrices[matrices.len() - 1].cols();
+        if m + k != out_dim {
+            return Err(format!(
+                "m + k = {} does not match the network's {out_dim} outputs",
+                m + k
+            ));
+        }
+        let mut pairs: Vec<(Matrix, Matrix)> = Vec::with_capacity(matrices.len() / 2);
+        let mut it = matrices.into_iter();
+        while let (Some(w), Some(b)) = (it.next(), it.next()) {
+            if b.rows() != 1 || b.cols() != w.cols() {
+                return Err(format!(
+                    "layer {}: bias shape {:?} does not match weights {:?}",
+                    pairs.len(),
+                    b.shape(),
+                    w.shape()
+                ));
+            }
+            if let Some((prev_w, _)) = pairs.last() {
+                let prev_out = prev_w.cols();
+                if w.rows() != prev_out {
+                    return Err(format!(
+                        "layer {}: input dim {} does not chain from previous output {prev_out}",
+                        pairs.len(),
+                        w.rows()
+                    ));
+                }
+            }
+            pairs.push((w, b));
+        }
         let mut store = VarStore::new();
-        let mlp = Mlp::new(&mut store, rng, dims, Activation::Relu, Activation::None);
-        Self {
+        let mlp = Mlp::from_params(&mut store, pairs, Activation::Relu, Activation::None);
+        Ok(Self {
             store,
             mlp,
             m,
             k,
             engine: EngineCell::new(),
             f32_plan: std::sync::OnceLock::new(),
-        }
+        })
     }
 
-    /// Replaces all parameters with `matrices` (layer order `w1, b1, …`).
-    pub(crate) fn overwrite_parameters(&mut self, matrices: &[Matrix]) -> Result<(), String> {
-        let expected = 2 * self.mlp.num_layers();
-        if matrices.len() != expected {
-            return Err(format!(
-                "expected {expected} matrices, got {}",
-                matrices.len()
-            ));
-        }
-        for (i, layer) in self.mlp.layers().to_vec().into_iter().enumerate() {
-            let (w, b) = layer.params();
-            for (id, matrix) in [(w, &matrices[2 * i]), (b, &matrices[2 * i + 1])] {
-                if self.store.value(id).shape() != matrix.shape() {
-                    return Err(format!(
-                        "matrix {i}: shape {:?} does not match architecture {:?}",
-                        matrix.shape(),
-                        self.store.value(id).shape()
-                    ));
-                }
-                *self.store.value_mut(id) = matrix.clone();
-            }
-        }
-        // The cast plan derives from the weights just replaced.
-        self.f32_plan.take();
-        Ok(())
+    /// Heap bytes exclusively owned by the parameter matrices: the f64
+    /// element storage for owned weights, `0` contribution from matrices
+    /// borrowing a shared buffer (their bytes are accounted by the
+    /// mapping's owner). The residency cost the serve LRU charges per
+    /// tenant, together with [`Classifier::f32_plan_bytes`].
+    pub fn parameter_bytes(&self) -> usize {
+        self.mlp
+            .layers()
+            .iter()
+            .flat_map(|l| {
+                let (w, b) = l.params();
+                [self.store.value(w), self.store.value(b)]
+            })
+            .map(Matrix::owned_bytes)
+            .sum()
+    }
+
+    /// Bytes held by the cached f32 cast plan (`0` until built).
+    pub fn f32_plan_bytes(&self) -> usize {
+        self.f32_plan.get().map_or(0, F32Plan::bytes)
+    }
+
+    /// Whether any parameter matrix borrows shared (e.g. `mmap`ed)
+    /// storage rather than owning its elements.
+    pub fn has_borrowed_parameters(&self) -> bool {
+        self.mlp.layers().iter().any(|l| {
+            let (w, b) = l.params();
+            self.store.value(w).is_borrowed() || self.store.value(b).is_borrowed()
+        })
     }
 }
 

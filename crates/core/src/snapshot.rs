@@ -24,13 +24,20 @@
 //! ([`crate::ThresholdCache`]), so a serving process restores a fully
 //! decision-ready model and does zero calibration work per request. v1
 //! snapshots still load (with an empty cache).
+//!
+//! **Deprecation note:** the text format is retained for interop
+//! (human-readable diffs, cross-version exchange), but new persistence
+//! users should prefer the binary **v3** format in `targad-store`, which
+//! loads ~orders of magnitude faster and supports zero-copy `mmap`ed
+//! weights. `targad-store` converts both directions (v2 text ↔ v3
+//! binary), bit-identically.
 
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::Path;
 
-use targad_linalg::{rng as lrng, Matrix};
+use targad_linalg::Matrix;
 
 use crate::model::Classifier;
 use crate::ood::OodStrategy;
@@ -183,7 +190,9 @@ pub fn from_string_with_thresholds(text: &str) -> io::Result<(Classifier, Thresh
         matrices.push(Matrix::from_vec(rows, cols, data));
     }
 
-    // Rebuild the network skeleton, then overwrite its parameters.
+    // Check every parsed matrix against the declared architecture, then
+    // build the classifier directly over the parsed parameters (no
+    // skeleton allocation, no second copy of the weights).
     let expected = 2 * (dims.len() - 1);
     if matrices.len() != expected {
         return Err(bad(format!(
@@ -191,14 +200,26 @@ pub fn from_string_with_thresholds(text: &str) -> io::Result<(Classifier, Thresh
             matrices.len()
         )));
     }
-    // Initialization values are irrelevant — they are overwritten below.
-    let mut rng = lrng::seeded(0);
-    let mut clf = Classifier::with_architecture(&dims, m, k, &mut rng);
-    clf.overwrite_parameters(&matrices).map_err(bad)?;
+    for (i, pair) in dims.windows(2).enumerate() {
+        let (w, b) = (&matrices[2 * i], &matrices[2 * i + 1]);
+        if w.shape() != (pair[0], pair[1]) || b.shape() != (1, pair[1]) {
+            return Err(bad(format!(
+                "layer {i}: shapes w{:?} b{:?} do not match dims {pair:?}",
+                w.shape(),
+                b.shape()
+            )));
+        }
+    }
+    let clf = Classifier::from_parameters(matrices, m, k).map_err(bad)?;
     Ok((clf, thresholds))
 }
 
 /// Writes a classifier to `path` (v1, no thresholds).
+///
+/// Prefer `targad_store::save` (binary v3) for new persistence users: it
+/// also carries the calibrated thresholds and precision hint, and loads
+/// with zero weight-byte copies via `mmap`. This text writer is retained
+/// for interop.
 ///
 /// # Errors
 /// Propagates filesystem errors.
@@ -219,6 +240,10 @@ pub fn save_with_thresholds(
 }
 
 /// Loads a classifier from `path`.
+///
+/// Prefer `targad_store::load` (binary v3) for new persistence users —
+/// it restores thresholds too and `mmap`s the weights instead of parsing
+/// decimal text. This text loader is retained for interop.
 ///
 /// # Errors
 /// Propagates filesystem errors and format errors.

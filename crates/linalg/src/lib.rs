@@ -26,9 +26,11 @@ pub mod f32kernel;
 pub mod matrix;
 pub mod par;
 pub mod rng;
+pub mod shared;
 pub mod stats;
 
 pub use f32kernel::{
     cpu_features, kernel_path, matmul_bias_act_f32_into, CpuFeatures, KernelPath, PackedF32,
 };
 pub use matrix::{matmul_bias_act_rows_into, stable_sigmoid, stable_sigmoid_f32, EpiAct, Matrix};
+pub use shared::{F64Buffer, SharedBuffer};

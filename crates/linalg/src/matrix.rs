@@ -3,26 +3,119 @@
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
 
+use crate::shared::SharedBuffer;
+
+/// Element storage of a [`Matrix`]: either a private heap vector or a
+/// borrowed window of a [`SharedBuffer`] (e.g. an `mmap`ed model
+/// snapshot). Borrowed storage is read-only; the first mutating access
+/// promotes it to owned via a copy (see [`Matrix::make_owned`]).
+#[derive(Clone)]
+enum Data {
+    /// Exclusively owned heap storage (the common case).
+    Owned(Vec<f64>),
+    /// A `[start, start + len)` window of a shared immutable buffer.
+    Shared {
+        buf: SharedBuffer,
+        start: usize,
+        len: usize,
+    },
+}
+
 /// A dense row-major matrix of `f64` values.
 ///
 /// Row-major storage keeps a row (one instance of a tabular dataset)
 /// contiguous, which is the access pattern of every kernel in this
 /// reproduction: batched forward/backward passes, per-row softmax,
 /// per-row reconstruction errors, and distance computations.
-#[derive(Clone, PartialEq)]
+///
+/// Storage is normally an owned heap vector, but a matrix can also
+/// *borrow* its elements from a [`SharedBuffer`] window
+/// ([`Matrix::from_shared`]) — the zero-copy read path of the binary model
+/// store, where weights score straight out of an `mmap`ed snapshot. Every
+/// read path treats the two identically; mutating methods transparently
+/// copy a borrowed matrix into owned storage first (copy-on-write), so
+/// borrowed storage is an invisible optimization everywhere except the
+/// allocation counters.
+#[derive(Clone)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
-    data: Vec<f64>,
+    data: Data,
 }
 
 impl Matrix {
+    /// The elements as one row-major slice, whichever storage holds them.
+    #[inline(always)]
+    fn d(&self) -> &[f64] {
+        match &self.data {
+            Data::Owned(v) => v,
+            Data::Shared { buf, start, len } => &buf.as_f64s()[*start..*start + *len],
+        }
+    }
+
+    /// Mutable element access; promotes borrowed storage to owned first.
+    #[inline]
+    fn dm(&mut self) -> &mut [f64] {
+        self.make_owned();
+        match &mut self.data {
+            Data::Owned(v) => v,
+            Data::Shared { .. } => unreachable!("make_owned left shared storage"),
+        }
+    }
+
+    /// Copy-on-write promotion: replaces a borrowed window with an owned
+    /// copy of its elements (counted by `matrix.cow_promotions`). No-op
+    /// for owned storage.
+    fn make_owned(&mut self) {
+        if let Data::Shared { .. } = self.data {
+            targad_obs::metrics::MATRIX_COW_PROMOTIONS.inc();
+            self.data = Data::Owned(self.d().to_vec());
+        }
+    }
+
+    /// Builds a matrix borrowing the `rows * cols` elements at `start` of
+    /// `buf` — no element bytes are copied, and the buffer stays alive for
+    /// as long as this matrix (or any clone of it) does.
+    ///
+    /// # Panics
+    /// Panics if the window `[start, start + rows * cols)` exceeds `buf`.
+    pub fn from_shared(rows: usize, cols: usize, buf: SharedBuffer, start: usize) -> Self {
+        let len = rows * cols;
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= buf.len()),
+            "from_shared: window [{start}, {start}+{len}) exceeds buffer of {}",
+            buf.len()
+        );
+        Self {
+            rows,
+            cols,
+            data: Data::Shared { buf, start, len },
+        }
+    }
+
+    /// Whether the elements are borrowed from a [`SharedBuffer`] (true)
+    /// or privately owned (false).
+    #[inline]
+    pub fn is_borrowed(&self) -> bool {
+        matches!(self.data, Data::Shared { .. })
+    }
+
+    /// Heap bytes exclusively owned by this matrix: the element storage
+    /// for owned matrices, `0` for borrowed ones (their bytes belong to
+    /// the shared buffer — typically a file mapping — and are accounted
+    /// once, by its owner).
+    pub fn owned_bytes(&self) -> usize {
+        match &self.data {
+            Data::Owned(v) => v.capacity() * std::mem::size_of::<f64>(),
+            Data::Shared { .. } => 0,
+        }
+    }
     /// A `rows x cols` matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f64) -> Self {
         Self {
             rows,
             cols,
-            data: vec![value; rows * cols],
+            data: Data::Owned(vec![value; rows * cols]),
         }
     }
 
@@ -56,7 +149,11 @@ impl Matrix {
             "from_vec: {} values cannot fill a {rows}x{cols} matrix",
             data.len()
         );
-        Self { rows, cols, data }
+        Self {
+            rows,
+            cols,
+            data: Data::Owned(data),
+        }
     }
 
     /// Builds a matrix from row slices; all rows must share one length.
@@ -79,7 +176,7 @@ impl Matrix {
         Self {
             rows: rows.len(),
             cols,
-            data,
+            data: Data::Owned(data),
         }
     }
 
@@ -91,7 +188,11 @@ impl Matrix {
                 data.push(f(r, c));
             }
         }
-        Self { rows, cols, data }
+        Self {
+            rows,
+            cols,
+            data: Data::Owned(data),
+        }
     }
 
     /// A `1 x n` row vector.
@@ -125,49 +226,53 @@ impl Matrix {
     /// Total number of elements.
     #[inline]
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.rows * self.cols
     }
 
     /// Whether the matrix has zero elements.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len() == 0
     }
 
     /// The underlying row-major data.
     #[inline]
     pub fn as_slice(&self) -> &[f64] {
-        &self.data
+        self.d()
     }
 
     /// Mutable access to the underlying row-major data.
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f64] {
-        &mut self.data
+        self.dm()
     }
 
     /// Consumes the matrix and returns its row-major data.
     pub fn into_vec(self) -> Vec<f64> {
-        self.data
+        match self.data {
+            Data::Owned(v) => v,
+            Data::Shared { buf, start, len } => buf.as_f64s()[start..start + len].to_vec(),
+        }
     }
 
     /// Row `r` as a slice.
     #[inline]
     pub fn row(&self, r: usize) -> &[f64] {
         debug_assert!(r < self.rows);
-        &self.data[r * self.cols..(r + 1) * self.cols]
+        &self.d()[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Row `r` as a mutable slice.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
         debug_assert!(r < self.rows);
-        &mut self.data[r * self.cols..(r + 1) * self.cols]
+        let cols = self.cols;
+        &mut self.dm()[r * cols..(r + 1) * cols]
     }
 
     /// Iterator over rows as slices.
     pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
-        self.data.chunks_exact(self.cols.max(1))
+        self.d().chunks_exact(self.cols.max(1))
     }
 
     /// A new matrix containing the listed rows (in order, duplicates allowed).
@@ -187,7 +292,7 @@ impl Matrix {
             (indices.len(), self.cols),
             "take_rows_into: bad output shape"
         );
-        for (dst, &i) in out.data.chunks_mut(self.cols.max(1)).zip(indices) {
+        for (dst, &i) in out.dm().chunks_mut(self.cols.max(1)).zip(indices) {
             dst.copy_from_slice(self.row(i));
         }
     }
@@ -199,9 +304,9 @@ impl Matrix {
             "vstack: column mismatch {} vs {}",
             self.cols, other.cols
         );
-        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
-        data.extend_from_slice(&self.data);
-        data.extend_from_slice(&other.data);
+        let mut data = Vec::with_capacity(self.len() + other.len());
+        data.extend_from_slice(self.d());
+        data.extend_from_slice(other.d());
         Matrix::from_vec(self.rows + other.rows, self.cols, data)
     }
 
@@ -235,7 +340,7 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        matmul_rows_into(self, other, 0, &mut out.data);
+        matmul_rows_into(self, other, 0, out.dm());
         out
     }
 
@@ -260,7 +365,7 @@ impl Matrix {
             "matmul_into: bad output shape"
         );
         out.fill(0.0);
-        matmul_rows_into(self, other, 0, &mut out.data);
+        matmul_rows_into(self, other, 0, out.dm());
     }
 
     /// `self^T * other` without materializing the transpose.
@@ -274,7 +379,7 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.cols, other.cols);
-        matmul_tn_rows_into(self, other, 0, &mut out.data);
+        matmul_tn_rows_into(self, other, 0, out.dm());
         out
     }
 
@@ -296,7 +401,7 @@ impl Matrix {
             "matmul_tn_into: bad output shape"
         );
         out.fill(0.0);
-        matmul_tn_rows_into(self, other, 0, &mut out.data);
+        matmul_tn_rows_into(self, other, 0, out.dm());
     }
 
     /// `self * other^T` without materializing the transpose.
@@ -310,7 +415,7 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.rows);
-        matmul_nt_rows_into(self, other, 0, &mut out.data);
+        matmul_nt_rows_into(self, other, 0, out.dm());
         out
     }
 
@@ -332,7 +437,7 @@ impl Matrix {
             "matmul_nt_into: bad output shape"
         );
         out.fill(0.0);
-        matmul_nt_rows_into(self, other, 0, &mut out.data);
+        matmul_nt_rows_into(self, other, 0, out.dm());
     }
 
     /// The transpose of this matrix.
@@ -350,9 +455,12 @@ impl Matrix {
             (self.cols, self.rows),
             "transpose_into: bad output shape"
         );
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+        let (rows, cols) = (self.rows, self.cols);
+        let src = self.d();
+        let dst = out.dm();
+        for r in 0..rows {
+            for c in 0..cols {
+                dst[c * rows + r] = src[r * cols + c];
             }
         }
     }
@@ -362,13 +470,13 @@ impl Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
+            data: Data::Owned(self.d().iter().map(|&v| f(v)).collect()),
         }
     }
 
     /// Applies `f` to every element in place.
     pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
-        for v in &mut self.data {
+        for v in self.dm() {
             *v = f(*v);
         }
     }
@@ -377,7 +485,7 @@ impl Matrix {
     /// shape), overwriting its contents.
     pub fn map_into(&self, f: impl Fn(f64) -> f64, out: &mut Matrix) {
         assert_eq!(self.shape(), out.shape(), "map_into: shape mismatch");
-        for (o, &v) in out.data.iter_mut().zip(&self.data) {
+        for (o, &v) in out.dm().iter_mut().zip(self.d()) {
             *o = f(v);
         }
     }
@@ -391,12 +499,13 @@ impl Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: Data::Owned(
+                self.d()
+                    .iter()
+                    .zip(other.d())
+                    .map(|(&a, &b)| f(a, b))
+                    .collect(),
+            ),
         }
     }
 
@@ -405,7 +514,7 @@ impl Matrix {
     pub fn zip_map_into(&self, other: &Matrix, f: impl Fn(f64, f64) -> f64, out: &mut Matrix) {
         assert_eq!(self.shape(), other.shape(), "zip_map_into: shape mismatch");
         assert_eq!(self.shape(), out.shape(), "zip_map_into: bad output shape");
-        for (o, (&a, &b)) in out.data.iter_mut().zip(self.data.iter().zip(&other.data)) {
+        for (o, (&a, &b)) in out.dm().iter_mut().zip(self.d().iter().zip(other.d())) {
             *o = f(a, b);
         }
     }
@@ -417,7 +526,7 @@ impl Matrix {
             other.shape(),
             "zip_map_inplace: shape mismatch"
         );
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+        for (a, &b) in self.dm().iter_mut().zip(other.d()) {
             *a = f(*a, b);
         }
     }
@@ -444,7 +553,7 @@ impl Matrix {
             other.shape(),
             "add_scaled_inplace: shape mismatch"
         );
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+        for (a, &b) in self.dm().iter_mut().zip(other.d()) {
             *a += b * s;
         }
     }
@@ -452,12 +561,12 @@ impl Matrix {
     /// Overwrites `self` with the contents of `src` (shapes must match).
     pub fn copy_from(&mut self, src: &Matrix) {
         assert_eq!(self.shape(), src.shape(), "copy_from: shape mismatch");
-        self.data.copy_from_slice(&src.data);
+        self.dm().copy_from_slice(src.d());
     }
 
     /// Sets every element to `value`.
     pub fn fill(&mut self, value: f64) {
-        self.data.fill(value);
+        self.dm().fill(value);
     }
 
     /// Adds a `1 x cols` row vector to every row.
@@ -469,7 +578,7 @@ impl Matrix {
         assert_eq!(row.cols, self.cols, "add_row_broadcast: column mismatch");
         let mut out = self.clone();
         for r in 0..out.rows {
-            for (o, &b) in out.row_mut(r).iter_mut().zip(&row.data) {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(row.d()) {
                 *o += b;
             }
         }
@@ -490,11 +599,11 @@ impl Matrix {
             "add_row_broadcast_into: bad output shape"
         );
         for (out_row, src_row) in out
-            .data
+            .dm()
             .chunks_mut(self.cols)
-            .zip(self.data.chunks(self.cols))
+            .zip(self.d().chunks(self.cols))
         {
-            for ((o, &a), &b) in out_row.iter_mut().zip(src_row).zip(&row.data) {
+            for ((o, &a), &b) in out_row.iter_mut().zip(src_row).zip(row.d()) {
                 *o = a + b;
             }
         }
@@ -528,7 +637,8 @@ impl Matrix {
             col.rows, self.rows,
             "mul_col_broadcast_inplace: row mismatch"
         );
-        for (row, &w) in self.data.chunks_mut(self.cols.max(1)).zip(&col.data) {
+        let cols = self.cols.max(1);
+        for (row, &w) in self.dm().chunks_mut(cols).zip(col.d()) {
             for o in row {
                 *o *= w;
             }
@@ -550,10 +660,10 @@ impl Matrix {
         );
         let cols = self.cols.max(1);
         for ((out_row, src_row), &w) in out
-            .data
+            .dm()
             .chunks_mut(cols)
-            .zip(self.data.chunks(cols))
-            .zip(&col.data)
+            .zip(self.d().chunks(cols))
+            .zip(col.d())
         {
             for (o, &a) in out_row.iter_mut().zip(src_row) {
                 *o = a * w;
@@ -563,15 +673,15 @@ impl Matrix {
 
     /// Sum of all elements.
     pub fn sum(&self) -> f64 {
-        self.data.iter().sum()
+        self.d().iter().sum()
     }
 
     /// Mean of all elements (0 for an empty matrix).
     pub fn mean(&self) -> f64 {
-        if self.data.is_empty() {
+        if self.is_empty() {
             0.0
         } else {
-            self.sum() / self.data.len() as f64
+            self.sum() / self.len() as f64
         }
     }
 
@@ -590,7 +700,7 @@ impl Matrix {
             (self.rows, 1),
             "row_sums_into: bad output shape"
         );
-        for (o, row) in out.data.iter_mut().zip(self.iter_rows()) {
+        for (o, row) in out.dm().iter_mut().zip(self.iter_rows()) {
             *o = row.iter().sum();
         }
     }
@@ -611,8 +721,9 @@ impl Matrix {
             "col_sums_into: bad output shape"
         );
         out.fill(0.0);
+        let sums = out.dm();
         for row in self.iter_rows() {
-            for (s, &v) in out.data.iter_mut().zip(row) {
+            for (s, &v) in sums.iter_mut().zip(row) {
                 *s += v;
             }
         }
@@ -627,7 +738,7 @@ impl Matrix {
 
     /// Squared Frobenius norm.
     pub fn sq_norm(&self) -> f64 {
-        self.data.iter().map(|v| v * v).sum()
+        self.d().iter().map(|v| v * v).sum()
     }
 
     /// Index of the maximum value in row `r` (first one on ties).
@@ -717,7 +828,7 @@ impl Matrix {
 
     /// True if all elements are finite.
     pub fn all_finite(&self) -> bool {
-        self.data.iter().all(|v| v.is_finite())
+        self.d().iter().all(|v| v.is_finite())
     }
 }
 
@@ -904,7 +1015,7 @@ fn pack_b_panel(
 ) {
     for (kk, dst) in bpack.chunks_exact_mut(NR).take(kb).enumerate() {
         let start = (k0 + kk) * b.cols + j0;
-        dst[..jb].copy_from_slice(&b.data[start..start + jb]);
+        dst[..jb].copy_from_slice(&b.d()[start..start + jb]);
         dst[jb..].fill(0.0);
     }
 }
@@ -924,7 +1035,7 @@ fn pack_bt_panel(
     for c in 0..NR {
         if c < jb {
             let start = (j0 + c) * b.cols + k0;
-            for (kk, &v) in b.data[start..start + kb].iter().enumerate() {
+            for (kk, &v) in b.d()[start..start + kb].iter().enumerate() {
                 bpack[kk * NR + c] = v;
             }
         } else {
@@ -1015,10 +1126,11 @@ fn gemm_blocked(
 /// packing. Identical accumulation chains to [`gemm_blocked`].
 fn gemm_nn_naive(a: &Matrix, b: &Matrix, first_row: usize, out: &mut [f64]) {
     let n = b.cols;
+    let bd = b.d();
     for (r, out_row) in out.chunks_mut(n).enumerate() {
         let a_row = a.row(first_row + r);
         for (k, &av) in a_row.iter().enumerate() {
-            let b_row = &b.data[k * n..(k + 1) * n];
+            let b_row = &bd[k * n..(k + 1) * n];
             for (o, &bv) in out_row.iter_mut().zip(b_row) {
                 *o += av * bv;
             }
@@ -1045,11 +1157,12 @@ fn gemm_nt_naive(a: &Matrix, b: &Matrix, first_row: usize, out: &mut [f64]) {
 /// `gemm_nn_naive` for the transposed-A variant: out row `k`, ascending `r`.
 fn gemm_tn_naive(a: &Matrix, b: &Matrix, first_k: usize, out: &mut [f64]) {
     let n = b.cols;
+    let (ad, bd) = (a.d(), b.d());
     for (kk, out_row) in out.chunks_mut(n).enumerate() {
         let k = first_k + kk;
         for r in 0..a.rows {
-            let av = a.data[r * a.cols + k];
-            let b_row = &b.data[r * n..(r + 1) * n];
+            let av = ad[r * a.cols + k];
+            let b_row = &bd[r * n..(r + 1) * n];
             for (o, &bv) in out_row.iter_mut().zip(b_row) {
                 *o += av * bv;
             }
@@ -1078,7 +1191,7 @@ pub(crate) fn matmul_rows_into(a: &Matrix, b: &Matrix, first_row: usize, out: &m
         targad_obs::metrics::GEMM_KERNEL_DISPATCHES.inc();
         let pack_b = |k0, kb, j0, jb, bp: &mut _| pack_b_panel(b, k0, kb, j0, jb, bp);
         gemm_blocked(
-            &a.data,
+            a.d(),
             first_row * a.cols,
             a.cols,
             1,
@@ -1111,7 +1224,7 @@ pub(crate) fn matmul_nt_rows_into(a: &Matrix, b: &Matrix, first_row: usize, out:
         targad_obs::metrics::GEMM_KERNEL_DISPATCHES.inc();
         let pack_b = |k0, kb, j0, jb, bp: &mut _| pack_bt_panel(b, k0, kb, j0, jb, bp);
         gemm_blocked(
-            &a.data,
+            a.d(),
             first_row * a.cols,
             a.cols,
             1,
@@ -1144,7 +1257,7 @@ pub(crate) fn matmul_tn_rows_into(a: &Matrix, b: &Matrix, first_k: usize, out: &
     } else {
         targad_obs::metrics::GEMM_KERNEL_DISPATCHES.inc();
         let pack_b = |k0, kb, j0, jb, bp: &mut _| pack_b_panel(b, k0, kb, j0, jb, bp);
-        gemm_blocked(&a.data, first_k, 1, a.cols, a.rows, n, pack_b, None, out);
+        gemm_blocked(a.d(), first_k, 1, a.cols, a.rows, n, pack_b, None, out);
     }
 }
 
@@ -1161,10 +1274,11 @@ fn gemm_nn_naive_slice_epi(
     out: &mut [f64],
 ) {
     let n = w.cols;
+    let wd = w.d();
     for (r, out_row) in out.chunks_mut(n).enumerate() {
         let a_row = &x_rows[r * d_in..(r + 1) * d_in];
         for (k, &av) in a_row.iter().enumerate() {
-            let b_row = &w.data[k * n..(k + 1) * n];
+            let b_row = &wd[k * n..(k + 1) * n];
             for (o, &bv) in out_row.iter_mut().zip(b_row) {
                 *o += av * bv;
             }
@@ -1239,12 +1353,13 @@ pub mod reference {
         if n == 0 {
             return out;
         }
-        for (r, out_row) in out.data.chunks_mut(n).enumerate() {
+        let bd = b.d();
+        for (r, out_row) in out.dm().chunks_mut(n).enumerate() {
             for (k, &av) in a.row(r).iter().enumerate() {
                 if av == 0.0 {
                     continue;
                 }
-                let b_row = &b.data[k * n..(k + 1) * n];
+                let b_row = &bd[k * n..(k + 1) * n];
                 for (o, &bv) in out_row.iter_mut().zip(b_row) {
                     *o += av * bv;
                 }
@@ -1258,6 +1373,7 @@ pub mod reference {
         assert_eq!(a.rows, b.rows, "reference::matmul_tn: row mismatch");
         let n = b.cols;
         let mut out = Matrix::zeros(a.cols, n);
+        let od = out.dm();
         for r in 0..a.rows {
             let a_row = a.row(r);
             let b_row = b.row(r);
@@ -1265,7 +1381,7 @@ pub mod reference {
                 if av == 0.0 {
                     continue;
                 }
-                let out_row = &mut out.data[k * n..(k + 1) * n];
+                let out_row = &mut od[k * n..(k + 1) * n];
                 for (o, &bv) in out_row.iter_mut().zip(b_row) {
                     *o += av * bv;
                 }
@@ -1282,7 +1398,8 @@ pub mod reference {
         if n == 0 {
             return out;
         }
-        for (r, out_row) in out.data.chunks_mut(n).enumerate() {
+        let od = out.dm();
+        for (r, out_row) in od.chunks_mut(n).enumerate() {
             let a_row = a.row(r);
             for (j, o) in out_row.iter_mut().enumerate() {
                 let mut acc = 0.0;
@@ -1306,7 +1423,7 @@ impl Index<(usize, usize)> for Matrix {
             self.rows,
             self.cols
         );
-        &self.data[r * self.cols + c]
+        &self.d()[r * self.cols + c]
     }
 }
 
@@ -1319,7 +1436,16 @@ impl IndexMut<(usize, usize)> for Matrix {
             self.rows,
             self.cols
         );
-        &mut self.data[r * self.cols + c]
+        let cols = self.cols;
+        &mut self.dm()[r * cols + c]
+    }
+}
+
+impl PartialEq for Matrix {
+    /// Element-wise equality over the logical contents — a borrowed matrix
+    /// equals the owned matrix holding the same values.
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows && self.cols == other.cols && self.d() == other.d()
     }
 }
 
@@ -1754,5 +1880,63 @@ mod tests {
         assert_eq!(copied, a);
         copied.fill(2.5);
         assert_eq!(copied, Matrix::full(7, 5, 2.5));
+    }
+
+    #[test]
+    fn shared_storage_reads_like_owned() {
+        let values: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let owned = Matrix::from_vec(3, 4, values.clone());
+        let buf = SharedBuffer::from_vec(values);
+        let borrowed = Matrix::from_shared(3, 4, buf.clone(), 0);
+        assert!(borrowed.is_borrowed());
+        assert_eq!(borrowed.owned_bytes(), 0);
+        assert_eq!(borrowed, owned);
+        assert_eq!(borrowed[(2, 3)], 11.0);
+        assert_eq!(borrowed.row(1), owned.row(1));
+        assert_eq!(borrowed.as_slice(), owned.as_slice());
+        assert_eq!(borrowed.transpose(), owned.transpose());
+        let rhs = Matrix::from_vec(4, 2, (0..8).map(|i| 0.5 * i as f64).collect());
+        assert_eq!(borrowed.matmul(&rhs), owned.matmul(&rhs));
+    }
+
+    #[test]
+    fn shared_storage_windows_are_disjoint_views() {
+        let buf = SharedBuffer::from_vec((0..10).map(|i| i as f64).collect());
+        let a = Matrix::from_shared(2, 2, buf.clone(), 0);
+        let b = Matrix::from_shared(2, 3, buf.clone(), 4);
+        assert_eq!(a.as_slice(), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(b.as_slice(), &[4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
+        // Clones of borrowed matrices share the buffer, not copy it.
+        let c = b.clone();
+        assert!(c.is_borrowed());
+        assert!(buf.handle_count() >= 4);
+    }
+
+    #[test]
+    fn mutation_promotes_to_owned_without_touching_the_buffer() {
+        let buf = SharedBuffer::from_vec(vec![1.0, 2.0, 3.0, 4.0]);
+        let mut m = Matrix::from_shared(2, 2, buf.clone(), 0);
+        m[(0, 0)] = 9.0;
+        assert!(!m.is_borrowed());
+        assert!(m.owned_bytes() >= 4 * std::mem::size_of::<f64>());
+        assert_eq!(m.as_slice(), &[9.0, 2.0, 3.0, 4.0]);
+        // The shared buffer is untouched; other views still see 1.0.
+        assert_eq!(buf.as_f64s(), &[1.0, 2.0, 3.0, 4.0]);
+        let sibling = Matrix::from_shared(2, 2, buf, 0);
+        assert_eq!(sibling[(0, 0)], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_shared")]
+    fn from_shared_rejects_out_of_bounds_window() {
+        let buf = SharedBuffer::from_vec(vec![0.0; 5]);
+        let _ = Matrix::from_shared(2, 3, buf, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_shared")]
+    fn from_shared_rejects_overflowing_window() {
+        let buf = SharedBuffer::from_vec(vec![0.0; 5]);
+        let _ = Matrix::from_shared(1, 2, buf, usize::MAX - 1);
     }
 }

@@ -1,0 +1,88 @@
+//! Reference-counted `f64` buffers that matrices can borrow windows of.
+//!
+//! The zero-copy model-store read path (`targad-store`) maps a snapshot
+//! file and hands every weight matrix a *window* into the mapping instead
+//! of copying the bytes out. [`SharedBuffer`] is the linalg-side half of
+//! that contract: an opaque, cheaply cloneable handle to an immutable
+//! `[f64]` region whose backing storage ([`F64Buffer`]) may be a plain
+//! `Vec<f64>`, an `mmap`ed file, or anything else that can promise a
+//! stable, aligned slice for its lifetime.
+//!
+//! [`Matrix::from_shared`](crate::Matrix::from_shared) builds a borrowed
+//! matrix over such a window. Borrowed matrices are read-only in spirit:
+//! every mutating `Matrix` method promotes them to owned storage first
+//! (copy-on-write, counted by the `matrix.cow_promotions` metric), so no
+//! existing call site can observe the difference — but the scoring hot
+//! path, which only ever *reads* weights, runs directly out of the file.
+
+use std::sync::Arc;
+
+/// Backing storage a [`SharedBuffer`] hands out windows of.
+///
+/// Implementations must return the *same* slice (same address, same
+/// length) for as long as the value lives — matrices hold `(start, len)`
+/// indices into it across calls.
+pub trait F64Buffer: Send + Sync + 'static {
+    /// The full buffer contents.
+    fn as_f64s(&self) -> &[f64];
+}
+
+impl F64Buffer for Vec<f64> {
+    fn as_f64s(&self) -> &[f64] {
+        self
+    }
+}
+
+/// A cheaply cloneable, immutable, reference-counted `f64` buffer.
+///
+/// Cloning copies an `Arc`, never the data; the backing [`F64Buffer`] is
+/// dropped when the last clone (and therefore the last borrowed matrix
+/// over it) goes away — which is exactly the lifetime tie that keeps an
+/// `mmap`ed snapshot valid for as long as any loaded weight references it.
+#[derive(Clone)]
+pub struct SharedBuffer(Arc<dyn F64Buffer>);
+
+impl SharedBuffer {
+    /// Wraps `buf` in a shared handle.
+    pub fn new(buf: impl F64Buffer) -> Self {
+        Self(Arc::new(buf))
+    }
+
+    /// Convenience wrapper for an owned vector.
+    pub fn from_vec(values: Vec<f64>) -> Self {
+        Self::new(values)
+    }
+
+    /// The full buffer contents.
+    #[inline]
+    pub fn as_f64s(&self) -> &[f64] {
+        self.0.as_f64s()
+    }
+
+    /// Number of `f64` elements in the buffer.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.as_f64s().len()
+    }
+
+    /// Whether the buffer is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.as_f64s().is_empty()
+    }
+
+    /// How many handles (buffers and borrowed matrices) share the backing
+    /// storage.
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.0)
+    }
+}
+
+impl std::fmt::Debug for SharedBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedBuffer")
+            .field("len", &self.len())
+            .field("handles", &self.handle_count())
+            .finish()
+    }
+}

@@ -88,6 +88,33 @@ impl Linear {
         }
     }
 
+    /// Registers a layer whose parameters *are* the given matrices —
+    /// the snapshot-load path. Unlike [`Linear::new`] no initialized
+    /// weights or gradient accumulators are allocated (the parameters
+    /// are registered frozen), so `w` and `b` may borrow a shared
+    /// buffer (an `mmap`ed model snapshot) and stay borrowed, with
+    /// zero weight-sized allocations. The resulting layer is
+    /// inference-only: driving a backward pass over it panics.
+    ///
+    /// # Panics
+    /// Panics unless `b` is a `1 x out_dim` row matching `w`'s columns.
+    pub fn from_params(store: &mut VarStore, w: Matrix, b: Matrix) -> Self {
+        let (in_dim, out_dim) = w.shape();
+        assert_eq!(
+            b.shape(),
+            (1, out_dim),
+            "Linear::from_params: bias shape {:?} does not match weights {:?}",
+            b.shape(),
+            w.shape()
+        );
+        Self {
+            w: store.add_frozen(w),
+            b: store.add_frozen(b),
+            in_dim,
+            out_dim,
+        }
+    }
+
     /// Input dimensionality.
     pub fn in_dim(&self) -> usize {
         self.in_dim
@@ -171,6 +198,42 @@ impl Mlp {
             .windows(2)
             .map(|w| Linear::new(store, rng, w[0], w[1]))
             .collect();
+        Self {
+            layers,
+            hidden_act,
+            out_act,
+        }
+    }
+
+    /// Builds an MLP directly over `(weights, bias)` pairs, one per layer
+    /// in forward order — the snapshot-load path (see
+    /// [`Linear::from_params`]; the matrices may borrow an `mmap`ed
+    /// snapshot and are registered without copying).
+    ///
+    /// # Panics
+    /// Panics if `params` is empty or consecutive layer shapes don't chain
+    /// (layer `i`'s `out_dim` must equal layer `i+1`'s `in_dim`).
+    pub fn from_params(
+        store: &mut VarStore,
+        params: impl IntoIterator<Item = (Matrix, Matrix)>,
+        hidden_act: Activation,
+        out_act: Activation,
+    ) -> Self {
+        let layers: Vec<Linear> = params
+            .into_iter()
+            .map(|(w, b)| Linear::from_params(store, w, b))
+            .collect();
+        assert!(
+            !layers.is_empty(),
+            "Mlp::from_params: need at least one layer"
+        );
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].out_dim(),
+                pair[1].in_dim(),
+                "Mlp::from_params: layer shapes do not chain"
+            );
+        }
         Self {
             layers,
             hidden_act,
@@ -372,6 +435,48 @@ mod tests {
         let x = lrng::normal_matrix(&mut rng, 50, 2, 0.0, 10.0);
         let y = mlp.eval(&vs, &x);
         assert!(y.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn from_params_reproduces_trained_network() {
+        let mut rng = lrng::seeded(6);
+        let mut vs = VarStore::new();
+        let mlp = Mlp::new(
+            &mut vs,
+            &mut rng,
+            &[3, 5, 2],
+            Activation::Relu,
+            Activation::Sigmoid,
+        );
+        let params: Vec<(Matrix, Matrix)> = mlp
+            .layers()
+            .iter()
+            .map(|l| {
+                let (w, b) = l.params();
+                (vs.value(w).clone(), vs.value(b).clone())
+            })
+            .collect();
+
+        let mut vs2 = VarStore::new();
+        let rebuilt = Mlp::from_params(&mut vs2, params, Activation::Relu, Activation::Sigmoid);
+        assert_eq!(rebuilt.dims(), mlp.dims());
+        let x = lrng::normal_matrix(&mut rng, 4, 3, 0.0, 1.0);
+        assert_eq!(rebuilt.eval(&vs2, &x), mlp.eval(&vs, &x));
+    }
+
+    #[test]
+    #[should_panic(expected = "do not chain")]
+    fn from_params_rejects_mismatched_shapes() {
+        let mut vs = VarStore::new();
+        let _ = Mlp::from_params(
+            &mut vs,
+            vec![
+                (Matrix::zeros(3, 4), Matrix::zeros(1, 4)),
+                (Matrix::zeros(5, 2), Matrix::zeros(1, 2)),
+            ],
+            Activation::Relu,
+            Activation::None,
+        );
     }
 
     #[test]

@@ -236,6 +236,25 @@ pub static SERVE_REJECTED: Counter = Counter::new("serve.rejected");
 /// Model registry hot-swaps performed.
 pub static SERVE_SWAPS: Counter = Counter::new("serve.swaps");
 
+/// Borrowed (shared-storage) matrices promoted to owned storage by a
+/// mutating call (copy-on-write). Zero on the scoring hot path — weights
+/// loaded from an mmap'ed snapshot are only ever read.
+pub static MATRIX_COW_PROMOTIONS: Counter = Counter::new("matrix.cow_promotions");
+
+/// Tenant lookups served by an already-resident engine in the model store
+/// LRU.
+pub static STORE_CACHE_HITS: Counter = Counter::new("store.cache_hits");
+/// Tenant lookups that missed the resident set (faulted in from disk or
+/// rejected).
+pub static STORE_CACHE_MISSES: Counter = Counter::new("store.cache_misses");
+/// Resident engines evicted by the byte-budgeted LRU to make room.
+pub static STORE_EVICTIONS: Counter = Counter::new("store.evictions");
+/// v3 snapshot loads served by the zero-copy mmap path.
+pub static STORE_MMAP_LOADS: Counter = Counter::new("store.mmap_loads");
+/// v3 snapshot loads served by the buffered (single-read, aligned-copy)
+/// fallback path.
+pub static STORE_BUFFERED_LOADS: Counter = Counter::new("store.buffered_loads");
+
 /// Worker count of the most recent multi-worker pool dispatch.
 pub static POOL_WORKERS: Gauge = Gauge::new("pool.workers");
 
@@ -258,6 +277,10 @@ pub static SERVE_GENERATION: Gauge = Gauge::new("serve.generation");
 /// buffer pool (ping-pong scratch plus block result slots).
 pub static SCORE_ENGINE_POOL_BYTES: Gauge = Gauge::new("score.engine_pool_bytes");
 
+/// Weight + plan bytes currently resident across all tenants in the model
+/// store LRU (the quantity capped by `model_budget_bytes`).
+pub static STORE_RESIDENT_BYTES: Gauge = Gauge::new("store.resident_bytes");
+
 /// Time the dispatching thread spent waiting for pool workers to finish a
 /// round after completing its own share, in nanoseconds.
 pub static POOL_QUEUE_WAIT_NS: Histogram = Histogram::new("pool.queue_wait_ns");
@@ -270,6 +293,10 @@ pub static SERVE_BATCH_FILL: Histogram = Histogram::new("serve.batch_fill");
 pub static SERVE_QUEUE_WAIT_NS: Histogram = Histogram::new("serve.queue_wait_ns");
 /// Wall time of one serve micro-batch scoring pass, in nanoseconds.
 pub static SERVE_BATCH_SERVICE_NS: Histogram = Histogram::new("serve.batch_service_ns");
+
+/// Wall time to admit one tenant into the model store LRU (load from disk,
+/// rebuild the engine, warm the f32 plan when configured), in nanoseconds.
+pub static STORE_ADMIT_NS: Histogram = Histogram::new("store.admit_ns");
 
 /// All registered counters, in reporting order.
 pub static COUNTERS: &[&Counter] = &[
@@ -294,6 +321,12 @@ pub static COUNTERS: &[&Counter] = &[
     &SERVE_BATCHES,
     &SERVE_REJECTED,
     &SERVE_SWAPS,
+    &MATRIX_COW_PROMOTIONS,
+    &STORE_CACHE_HITS,
+    &STORE_CACHE_MISSES,
+    &STORE_EVICTIONS,
+    &STORE_MMAP_LOADS,
+    &STORE_BUFFERED_LOADS,
 ];
 
 /// All registered gauges, in reporting order.
@@ -303,6 +336,7 @@ pub static GAUGES: &[&Gauge] = &[
     &CPU_FMA,
     &CPU_F32_KERNEL_SIMD,
     &SCORE_ENGINE_POOL_BYTES,
+    &STORE_RESIDENT_BYTES,
     &SERVE_QUEUE_DEPTH,
     &SERVE_GENERATION,
 ];
@@ -313,6 +347,7 @@ pub static HISTOGRAMS: &[&Histogram] = &[
     &SERVE_BATCH_FILL,
     &SERVE_QUEUE_WAIT_NS,
     &SERVE_BATCH_SERVICE_NS,
+    &STORE_ADMIT_NS,
 ];
 
 /// One metric's current value in a [`snapshot`].

@@ -1,7 +1,7 @@
 //! The dynamic micro-batcher.
 //!
 //! Concurrent callers each submit a handful of rows; a single worker
-//! thread coalesces whatever is queued into one fused `ScoreEngine` pass
+//! thread coalesces whatever is queued into fused `ScoreEngine` passes
 //! (`targad-nn`) under a
 //! max-wait/max-batch policy: the first queued request starts a batch
 //! window of [`ServeConfig::max_queue_wait`](crate::ServeConfig), and the
@@ -9,6 +9,14 @@
 //! rows are queued or the window closes — whichever comes first. Lightly
 //! loaded servers thus stay at single-request latency while loaded ones
 //! amortize the batched-inference advantage across callers.
+//!
+//! Every submission resolves its tenant to a concrete
+//! `(Arc<ModelSnapshot>, generation)` pair *on the request thread*, so a
+//! queued job owns the model it will score on: a hot-swap or an LRU
+//! eviction between enqueue and execution can drop the registry's
+//! reference but never tear the job. The worker groups coalesced jobs by
+//! that pair and runs one fused pass per distinct model — rows of
+//! different tenants batch independently but ride the same window.
 //!
 //! The queue is bounded by row count: submissions that would exceed
 //! [`ServeConfig::queue_depth`](crate::ServeConfig) are rejected
@@ -26,13 +34,13 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use targad_core::{OodStrategy, TargAdError, VerdictClass};
+use targad_core::{EnginePrecision, OodStrategy, TargAdError, VerdictClass};
 use targad_linalg::Matrix;
 use targad_obs::metrics;
 use targad_runtime::Runtime;
 
 use crate::config::{ServeConfig, ServeError};
-use crate::registry::ModelRegistry;
+use crate::registry::{ModelRegistry, ModelSnapshot};
 
 /// One row's serve-path result: the full verdict plus the registry
 /// generation of the model that produced it.
@@ -54,7 +62,7 @@ pub struct ScoredRow {
 /// registry (always on; the bench reads these).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BatcherStats {
-    /// Micro-batches executed.
+    /// Micro-batches executed (one per distinct model per window).
     pub batches: u64,
     /// Rows scored.
     pub rows: u64,
@@ -66,8 +74,12 @@ struct Job {
     /// Row-major `n x dims` features.
     data: Vec<f64>,
     n: usize,
-    dims: usize,
     strategy: OodStrategy,
+    /// Calibrated threshold, resolved against `snapshot` at submit time.
+    tau: f64,
+    /// The model this job scores on, pinned at submit time.
+    snapshot: Arc<ModelSnapshot>,
+    generation: u64,
     enqueued: Instant,
     reply: Sender<Result<Vec<ScoredRow>, ServeError>>,
 }
@@ -85,6 +97,7 @@ struct Shared {
 pub struct MicroBatcher {
     tx: Mutex<Option<Sender<Job>>>,
     shared: Arc<Shared>,
+    registry: Arc<ModelRegistry>,
     queue_depth: usize,
     worker: Mutex<Option<JoinHandle<()>>>,
 }
@@ -100,33 +113,55 @@ impl MicroBatcher {
             max_fill: AtomicU64::new(0),
         });
         let worker_shared = Arc::clone(&shared);
+        let precision = registry.precision();
         let max_batch = config.max_batch;
         let max_wait = config.max_queue_wait;
         let worker = std::thread::Builder::new()
             .name("targad-serve-batcher".into())
             .spawn(move || {
-                worker_loop(rx, worker_shared, registry, runtime, max_batch, max_wait);
+                worker_loop(rx, worker_shared, runtime, precision, max_batch, max_wait);
             })
             .expect("spawn batcher worker");
         Self {
             tx: Mutex::new(Some(tx)),
             shared,
+            registry,
             queue_depth: config.queue_depth,
             worker: Mutex::new(Some(worker)),
         }
     }
 
-    /// Scores `n` rows (row-major `data`, `dims` columns each) under
-    /// `strategy`, blocking until the coalesced batch containing them has
-    /// executed.
+    /// Scores `n` rows for the default tenant
+    /// ([`MicroBatcher::submit_for`] with no tenant).
+    ///
+    /// # Errors
+    /// As [`MicroBatcher::submit_for`].
+    pub fn submit(
+        &self,
+        data: Vec<f64>,
+        n: usize,
+        dims: usize,
+        strategy: OodStrategy,
+    ) -> Result<Vec<ScoredRow>, ServeError> {
+        self.submit_for(None, data, n, dims, strategy)
+    }
+
+    /// Scores `n` rows (row-major `data`, `dims` columns each) for
+    /// `tenant` under `strategy`, blocking until the coalesced batch
+    /// containing them has executed. The tenant resolves to its model on
+    /// *this* thread — faulting it in from the snapshot directory if
+    /// needed — and the job owns that model until it is answered.
     ///
     /// # Errors
     /// [`ServeError::Overloaded`] under backpressure,
-    /// [`ServeError::ShuttingDown`] after [`MicroBatcher::shutdown`], and
+    /// [`ServeError::ShuttingDown`] after [`MicroBatcher::shutdown`],
+    /// tenant-resolution errors ([`ServeError::UnknownTenant`],
+    /// [`ServeError::BudgetExceeded`], [`ServeError::BadRequest`]), and
     /// [`ServeError::Model`] for per-request model errors (dimension
     /// mismatch, uncalibrated strategy).
-    pub fn submit(
+    pub fn submit_for(
         &self,
+        tenant: Option<&str>,
         data: Vec<f64>,
         n: usize,
         dims: usize,
@@ -136,6 +171,18 @@ impl MicroBatcher {
         if n == 0 {
             return Ok(Vec::new());
         }
+        let (snapshot, generation) = self.registry.resolve(tenant)?;
+        let expected = snapshot.classifier.input_dim();
+        if dims != expected {
+            return Err(TargAdError::DimMismatch {
+                expected,
+                got: dims,
+            }
+            .into());
+        }
+        let Some(tau) = snapshot.thresholds.get(strategy) else {
+            return Err(TargAdError::NotCalibrated { strategy }.into());
+        };
         // Optimistically claim queue room; undo on rejection. The bound is
         // approximate under races by at most one in-flight submission per
         // caller thread, which is exactly the slack a bounded queue needs.
@@ -150,8 +197,10 @@ impl MicroBatcher {
         let job = Job {
             data,
             n,
-            dims,
             strategy,
+            tau,
+            snapshot,
+            generation,
             enqueued: Instant::now(),
             reply: reply_tx,
         };
@@ -202,8 +251,8 @@ impl Drop for MicroBatcher {
 fn worker_loop(
     rx: Receiver<Job>,
     shared: Arc<Shared>,
-    registry: Arc<ModelRegistry>,
     runtime: Runtime,
+    precision: EnginePrecision,
     max_batch: usize,
     max_wait: std::time::Duration,
 ) {
@@ -249,69 +298,45 @@ fn worker_loop(
                 Err(RecvTimeoutError::Disconnected) => break,
             }
         }
-        execute_batch(jobs, rows, &shared, &registry, &runtime);
+        // One fused pass per distinct (model, generation) in the window:
+        // multi-tenant traffic batches per model, and a job enqueued just
+        // before a hot-swap still scores on the snapshot it resolved.
+        let mut groups: Vec<Vec<Job>> = Vec::new();
+        for job in jobs {
+            match groups.iter_mut().find(|g| {
+                Arc::ptr_eq(&g[0].snapshot, &job.snapshot) && g[0].generation == job.generation
+            }) {
+                Some(group) => group.push(job),
+                None => groups.push(vec![job]),
+            }
+        }
+        for group in groups {
+            execute_group(group, &shared, &runtime, precision);
+        }
     }
 }
 
-/// Scores one coalesced batch and distributes per-job replies.
-fn execute_batch(
-    jobs: Vec<Job>,
-    rows: usize,
-    shared: &Shared,
-    registry: &ModelRegistry,
-    runtime: &Runtime,
-) {
+/// Scores one coalesced same-model batch and distributes per-job replies.
+fn execute_group(jobs: Vec<Job>, shared: &Shared, runtime: &Runtime, precision: EnginePrecision) {
     let started = Instant::now();
-    let (snapshot, generation) = registry.current();
+    let snapshot: Arc<ModelSnapshot> = Arc::clone(&jobs[0].snapshot);
+    let generation = jobs[0].generation;
     let clf = &snapshot.classifier;
     let dims = clf.input_dim();
 
-    // Resolve each job against *this* snapshot: a hot-swap between enqueue
-    // and execution may have changed dimensionality or calibration, and
-    // such jobs must fail individually without poisoning the batch.
-    let mut accepted: Vec<(Job, f64)> = Vec::with_capacity(jobs.len());
-    for job in jobs {
-        metrics::SERVE_QUEUE_WAIT_NS.record(elapsed_ns(job.enqueued));
-        if job.dims != dims {
-            finish_job(
-                shared,
-                &job,
-                Err(TargAdError::DimMismatch {
-                    expected: dims,
-                    got: job.dims,
-                }
-                .into()),
-            );
-            continue;
-        }
-        match snapshot.thresholds.get(job.strategy) {
-            Some(tau) => accepted.push((job, tau)),
-            None => {
-                let strategy = job.strategy;
-                finish_job(
-                    shared,
-                    &job,
-                    Err(TargAdError::NotCalibrated { strategy }.into()),
-                );
-            }
-        }
-    }
-    if accepted.is_empty() {
-        return;
-    }
-
-    let batch_rows: usize = accepted.iter().map(|(job, _)| job.n).sum();
+    let batch_rows: usize = jobs.iter().map(|job| job.n).sum();
     let mut data = Vec::with_capacity(batch_rows * dims);
     let mut row_params = Vec::with_capacity(batch_rows);
-    for (job, tau) in &accepted {
+    for job in &jobs {
+        metrics::SERVE_QUEUE_WAIT_NS.record(elapsed_ns(job.enqueued));
         data.extend_from_slice(&job.data);
-        row_params.extend(std::iter::repeat_n((job.strategy, *tau), job.n));
+        row_params.extend(std::iter::repeat_n((job.strategy, job.tau), job.n));
     }
     let x = Matrix::from_vec(batch_rows, dims, data);
     // Precision is a property of the registry (weights were cast/packed at
-    // insert or swap time under F32), so every batch against a snapshot
+    // admit or swap time under F32), so every batch against a snapshot
     // scores at the precision that snapshot was prepared for.
-    let pairs = clf.verdicts_rt_with_prec(&x, runtime, registry.precision(), |r| row_params[r]);
+    let pairs = clf.verdicts_rt_with_prec(&x, runtime, precision, |r| row_params[r]);
 
     // Stats land before replies go out, so a caller that observes its
     // result (and anything joining on it) also observes the counters.
@@ -322,17 +347,17 @@ fn execute_batch(
         .fetch_max(batch_rows as u64, Ordering::AcqRel);
     metrics::SERVE_BATCHES.inc();
     metrics::SERVE_ROWS.add(batch_rows as u64);
-    metrics::SERVE_BATCH_FILL.record(rows as u64);
+    metrics::SERVE_BATCH_FILL.record(batch_rows as u64);
 
     let mut offset = 0;
-    for (job, tau) in &accepted {
+    for job in &jobs {
         let scored = pairs[offset..offset + job.n]
             .iter()
             .map(|&(score, class)| ScoredRow {
                 score,
                 class,
                 strategy: job.strategy,
-                threshold: *tau,
+                threshold: job.tau,
                 generation,
             })
             .collect();

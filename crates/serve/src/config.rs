@@ -1,6 +1,7 @@
 //! Server configuration and error type.
 
 use std::fmt;
+use std::path::PathBuf;
 use std::time::Duration;
 
 use targad_core::{EnginePrecision, OodStrategy, TargAdError};
@@ -40,6 +41,17 @@ pub struct ServeConfig {
     /// answer loopback peers; set a token to administer a server bound to a
     /// non-loopback interface.
     pub admin_token: Option<String>,
+    /// Byte budget for resident models across all tenants, enforced by the
+    /// registry's LRU: admitting a tenant model evicts least-recently-used
+    /// tenants until resident bytes fit. `0` (the default) disables the
+    /// budget. The pinned default model always counts against — and must
+    /// fit — a non-zero budget.
+    pub model_budget_bytes: u64,
+    /// Directory of binary v3 snapshots (`<tenant>.tgsnp`, written by
+    /// `targad-store`) from which unknown tenants named on `/score` are
+    /// faulted in on first use. `None` (the default) disables fault-in:
+    /// tenants then exist only via `/admin/load`.
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -53,6 +65,8 @@ impl Default for ServeConfig {
             default_strategy: OodStrategy::Msp,
             precision: EnginePrecision::F64,
             admin_token: None,
+            model_budget_bytes: 0,
+            store_dir: None,
         }
     }
 }
@@ -108,6 +122,9 @@ impl ServeConfig {
         if self.admin_token.as_deref() == Some("") {
             return bad("admin_token", "must not be empty when set".into());
         }
+        if self.store_dir.as_deref() == Some(std::path::Path::new("")) {
+            return bad("store_dir", "must not be empty when set".into());
+        }
         Ok(())
     }
 }
@@ -147,6 +164,10 @@ impl ServeConfigBuilder {
         precision: EnginePrecision,
         /// Shared secret for `/admin/*` routes (`None` = loopback only).
         admin_token: Option<String>,
+        /// Resident-model byte budget across tenants (`0` = unlimited).
+        model_budget_bytes: u64,
+        /// Directory of `<tenant>.tgsnp` v3 snapshots for tenant fault-in.
+        store_dir: Option<PathBuf>,
     }
 
     /// Starts from an existing configuration instead of the defaults.
@@ -190,6 +211,17 @@ pub enum ServeError {
     Unauthorized,
     /// A model-layer error (dimension mismatch, uncalibrated strategy, …).
     Model(TargAdError),
+    /// The named tenant is neither resident nor present in the snapshot
+    /// directory. Maps to HTTP 404.
+    UnknownTenant(String),
+    /// Admitting a model would exceed the resident-byte budget even after
+    /// evicting every unpinned tenant. Maps to HTTP 507.
+    BudgetExceeded {
+        /// Bytes the rejected model needs resident.
+        needed: u64,
+        /// The configured budget.
+        budget: u64,
+    },
     /// An I/O failure, by message (kept `Eq`-comparable).
     Io(String),
 }
@@ -207,6 +239,13 @@ impl fmt::Display for ServeError {
                 write!(f, "admin routes require a valid x-admin-token")
             }
             ServeError::Model(e) => write!(f, "model error: {e}"),
+            ServeError::UnknownTenant(name) => {
+                write!(f, "unknown tenant `{name}`")
+            }
+            ServeError::BudgetExceeded { needed, budget } => write!(
+                f,
+                "model needs {needed} resident bytes but the budget is {budget}"
+            ),
             ServeError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }

@@ -5,18 +5,24 @@
 //! they arrive and answers with the *decision* (§III-C three-way verdict),
 //! not just the Eq. 9 scalar. Three pieces:
 //!
-//! - [`ModelRegistry`] ([`registry`]): fitted models behind
-//!   generation-counted `Arc` handles with atomic hot-swap — in-flight
-//!   batches finish on the snapshot they started with, new batches pick up
-//!   the new generation, and no request is ever lost or torn.
+//! - [`ModelRegistry`] ([`registry`]): a multi-tenant store of fitted
+//!   models behind generation-counted `Arc` handles, fronted by a
+//!   byte-budgeted LRU — a pinned default tenant keeps the original
+//!   atomic hot-swap contract (in-flight batches finish on the snapshot
+//!   they started with), while named tenants are admitted under a
+//!   resident-byte budget and faulted in from a directory of binary v3
+//!   snapshots (`targad-store`) on first use.
 //! - [`MicroBatcher`] ([`batcher`]): a bounded queue plus a worker that
-//!   coalesces concurrent score requests into one fused
-//!   `ScoreEngine` pass under a max-wait/max-batch policy, amortizing the
-//!   batched-inference advantage across independent callers. Queue depth,
+//!   coalesces concurrent score requests into fused
+//!   `ScoreEngine` passes under a max-wait/max-batch policy, amortizing
+//!   the batched-inference advantage across independent callers. Tenants
+//!   resolve to their model at submit time, so an LRU eviction never
+//!   tears an in-flight batch. Queue depth,
 //!   batch fill, and wait times feed the `targad-obs` registry.
 //! - [`Server`] ([`server`]): a dependency-free HTTP/1.1 front end (the
 //!   repo builds offline — no async runtime) exposing `/score`,
-//!   `/admin/swap`, `/model`, `/healthz`, and `/metrics`.
+//!   `/admin/swap`, `/admin/load`, `/admin/evict`, `/admin/tenants`,
+//!   `/model`, `/healthz`, and `/metrics`.
 //!
 //! Every `/score` response row carries a full [`targad_core::Verdict`]:
 //! score, three-way class, the per-request-selected
@@ -34,6 +40,6 @@ pub mod server;
 pub use batcher::{BatcherStats, MicroBatcher, ScoredRow};
 pub use config::{ServeConfig, ServeConfigBuilder, ServeError};
 pub use json::Json;
-pub use registry::{ModelRegistry, ModelSnapshot};
+pub use registry::{valid_tenant_name, ModelRegistry, ModelSnapshot, TenantInfo, DEFAULT_TENANT};
 pub use server::{Client, Server, ServerHandle};
 pub use targad_core::EnginePrecision;

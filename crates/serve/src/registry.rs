@@ -1,17 +1,52 @@
-//! The model registry: fitted models behind generation-counted `Arc`
-//! handles with atomic hot-swap.
+//! The model registry: a multi-tenant store of fitted models behind
+//! generation-counted `Arc` handles, fronted by a byte-budgeted LRU.
 //!
-//! Readers grab `(Arc<ModelSnapshot>, generation)` under a read lock —
-//! never torn, never blocking a swap for longer than the clone of an `Arc`.
-//! A swap installs a new snapshot under the write lock and bumps the
-//! generation; batches already holding the old `Arc` finish on the model
-//! they started with, which is exactly the "hot-swap loses zero requests"
-//! contract the serving layer promises.
+//! One *pinned* default tenant preserves the single-model contract the
+//! serve layer started with: [`ModelRegistry::current`] /
+//! [`ModelRegistry::swap`] read and hot-swap it exactly as before. Named
+//! tenants are admitted through [`ModelRegistry::load_tenant`] (or faulted
+//! in from a `store_dir` of binary v3 snapshots on first use) and compete
+//! for a byte budget: when admitting a model would push resident bytes
+//! past [`ModelRegistry::budget_bytes`], least-recently-used tenants are
+//! evicted until it fits. The invariant is **hard** — resident bytes never
+//! exceed the budget, checked before every insert — and it is safe because
+//! scoring paths resolve `(Arc<ModelSnapshot>, generation)` *at submit
+//! time*: an in-flight batch owns its snapshot `Arc`, so eviction merely
+//! drops the registry's reference and the batch finishes untorn on the
+//! model it started with.
+//!
+//! Resident cost per tenant is the model's logical f64 weight bytes
+//! (charged whether the weights live on the heap or borrow an `mmap`ed
+//! v3 snapshot — either way the bytes are pinned while the tenant is
+//! resident) plus its packed f32 plan when the registry scores in
+//! [`EnginePrecision::F32`]. Plans are warmed at admit time, never on a
+//! request. The `store.*` metrics in `targad-obs` expose hits, misses,
+//! evictions, admit latency, and the resident-bytes gauge.
 
+use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+use std::time::Instant;
 
 use targad_core::{Classifier, EnginePrecision, ThresholdCache};
+use targad_obs::metrics;
+
+use crate::config::ServeError;
+
+/// The reserved name of the pinned default tenant.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Tenant names accepted on the wire and as `store_dir` file stems:
+/// 1–64 chars of `[A-Za-z0-9_-]`, so a tenant can never traverse paths
+/// or smuggle separators into responses.
+pub fn valid_tenant_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
 
 /// One immutable, decision-ready model: the trained classifier plus the
 /// §III-C thresholds calibrated for it. Snapshots carry everything a
@@ -37,17 +72,71 @@ impl ModelSnapshot {
             tag: tag.into(),
         }
     }
+
+    /// The bytes this snapshot pins while resident: logical f64 weight
+    /// bytes (owned heap or borrowed mapping alike) plus the packed f32
+    /// plan if one has been warmed.
+    pub fn resident_cost(&self) -> u64 {
+        let dims = self.classifier.layer_dims();
+        let weights: usize = dims
+            .windows(2)
+            .map(|pair| (pair[0] + 1) * pair[1] * std::mem::size_of::<f64>())
+            .sum();
+        (weights + self.classifier.f32_plan_bytes()) as u64
+    }
 }
 
-/// Generation-counted current model with atomic hot-swap.
+/// A resident tenant's public card (the `/admin/tenants` row).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantInfo {
+    /// Tenant name (`default` for the pinned tenant).
+    pub tenant: String,
+    /// The resident model's operator tag.
+    pub tag: String,
+    /// Global install generation of the resident model.
+    pub generation: u64,
+    /// Bytes this tenant charges against the budget.
+    pub bytes: u64,
+}
+
+struct TenantEntry {
+    snapshot: Arc<ModelSnapshot>,
+    generation: u64,
+    bytes: u64,
+    /// LRU clock value of the last resolve; updated under the *read*
+    /// lock, so the hot path never serializes on the registry.
+    last_used: AtomicU64,
+}
+
+struct Tenants {
+    map: HashMap<String, TenantEntry>,
+    resident_bytes: u64,
+}
+
+impl Tenants {
+    fn set_gauge(&self) {
+        metrics::STORE_RESIDENT_BYTES.set(self.resident_bytes);
+    }
+}
+
+/// Generation-counted multi-tenant model store with atomic hot-swap of the
+/// pinned default tenant and byte-budgeted LRU admission for the rest.
 pub struct ModelRegistry {
-    current: RwLock<Arc<ModelSnapshot>>,
-    generation: AtomicU64,
+    tenants: RwLock<Tenants>,
+    /// Global install counter: every admitted or swapped model gets the
+    /// next generation, so generations are unique and monotone across
+    /// tenants.
+    installs: AtomicU64,
+    /// LRU clock, bumped on every tenant resolve.
+    clock: AtomicU64,
     precision: EnginePrecision,
+    budget_bytes: u64,
+    store_dir: Option<PathBuf>,
 }
 
 impl ModelRegistry {
-    /// A registry serving `snapshot` as generation 1, scoring in f64.
+    /// A registry serving `snapshot` as generation 1, scoring in f64, with
+    /// no byte budget and no snapshot directory.
     pub fn new(snapshot: ModelSnapshot) -> Self {
         Self::with_precision(snapshot, EnginePrecision::F64)
     }
@@ -59,15 +148,57 @@ impl ModelRegistry {
     /// at insert and at every [`ModelRegistry::swap`] — so no request ever
     /// pays the cast.
     pub fn with_precision(snapshot: ModelSnapshot, precision: EnginePrecision) -> Self {
-        targad_obs::metrics::SERVE_GENERATION.set(1);
+        Self::with_options(snapshot, precision, 0, None)
+            .expect("an unbudgeted registry always admits its default model")
+    }
+
+    /// The fully general constructor: `budget_bytes = 0` means unlimited;
+    /// `store_dir`, when set, is scanned for `<tenant>.tgsnp` binary v3
+    /// snapshots to fault tenants in on first use.
+    ///
+    /// # Errors
+    /// [`ServeError::BudgetExceeded`] when the pinned default model alone
+    /// does not fit the budget — such a server could never score anything.
+    pub fn with_options(
+        snapshot: ModelSnapshot,
+        precision: EnginePrecision,
+        budget_bytes: u64,
+        store_dir: Option<PathBuf>,
+    ) -> Result<Self, ServeError> {
         if precision == EnginePrecision::F32 {
             snapshot.classifier.warm_f32();
         }
-        Self {
-            current: RwLock::new(Arc::new(snapshot)),
-            generation: AtomicU64::new(1),
-            precision,
+        let bytes = snapshot.resident_cost();
+        if budget_bytes != 0 && bytes > budget_bytes {
+            return Err(ServeError::BudgetExceeded {
+                needed: bytes,
+                budget: budget_bytes,
+            });
         }
+        let mut map = HashMap::new();
+        map.insert(
+            DEFAULT_TENANT.to_string(),
+            TenantEntry {
+                snapshot: Arc::new(snapshot),
+                generation: 1,
+                bytes,
+                last_used: AtomicU64::new(0),
+            },
+        );
+        let tenants = Tenants {
+            map,
+            resident_bytes: bytes,
+        };
+        tenants.set_gauge();
+        metrics::SERVE_GENERATION.set(1);
+        Ok(Self {
+            tenants: RwLock::new(tenants),
+            installs: AtomicU64::new(1),
+            clock: AtomicU64::new(0),
+            precision,
+            budget_bytes,
+            store_dir,
+        })
     }
 
     /// The precision every batch scored off this registry uses.
@@ -75,39 +206,285 @@ impl ModelRegistry {
         self.precision
     }
 
-    /// The current snapshot and its generation, read consistently: the
-    /// pair is taken under one read lock, so a concurrent swap can never
-    /// pair snapshot N with generation N+1.
+    /// The byte budget (`0` = unlimited).
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// Bytes currently charged by resident tenants (including the pinned
+    /// default). Never exceeds a non-zero [`ModelRegistry::budget_bytes`].
+    pub fn resident_bytes(&self) -> u64 {
+        self.tenants
+            .read()
+            .expect("registry lock poisoned")
+            .resident_bytes
+    }
+
+    /// The default tenant's snapshot and generation, read consistently:
+    /// the pair is taken under one read lock, so a concurrent swap can
+    /// never pair snapshot N with generation N+1.
     pub fn current(&self) -> (Arc<ModelSnapshot>, u64) {
-        let guard = self.current.read().expect("registry lock poisoned");
-        // Generation is read while still holding the lock; swaps bump it
-        // under the write lock, so the pair is consistent.
-        let generation = self.generation.load(Ordering::Acquire);
-        (Arc::clone(&guard), generation)
+        self.resolve(None)
+            .expect("the default tenant is pinned and always resident")
     }
 
-    /// The current generation (1-based, monotonically increasing).
+    /// The default tenant's generation (1-based, monotone under swaps).
     pub fn generation(&self) -> u64 {
-        self.generation.load(Ordering::Acquire)
+        self.current().1
     }
 
-    /// Atomically installs `snapshot` as the new current model and returns
-    /// its generation. In-flight readers keep their old `Arc`; the old
-    /// model is dropped when the last of them finishes.
-    pub fn swap(&self, snapshot: ModelSnapshot) -> u64 {
+    /// Resolves `tenant` (default when `None`) to its resident snapshot
+    /// and generation, faulting it in from the snapshot directory on a
+    /// miss. The returned `Arc` keeps the model alive across any later
+    /// eviction — callers score untorn no matter what the LRU does.
+    ///
+    /// # Errors
+    /// [`ServeError::BadRequest`] for an invalid tenant name,
+    /// [`ServeError::UnknownTenant`] when the tenant is neither resident
+    /// nor present in the snapshot directory, and
+    /// [`ServeError::BudgetExceeded`] when faulting it in cannot fit the
+    /// budget even after evicting every unpinned tenant.
+    pub fn resolve(&self, tenant: Option<&str>) -> Result<(Arc<ModelSnapshot>, u64), ServeError> {
+        let name = tenant.unwrap_or(DEFAULT_TENANT);
+        if !valid_tenant_name(name) {
+            return Err(ServeError::BadRequest(format!(
+                "invalid tenant name `{}`",
+                name.escape_default()
+            )));
+        }
+        {
+            let tenants = self.tenants.read().expect("registry lock poisoned");
+            if let Some(entry) = tenants.map.get(name) {
+                entry.last_used.store(self.tick(), Ordering::Release);
+                if name != DEFAULT_TENANT {
+                    metrics::STORE_CACHE_HITS.inc();
+                }
+                return Ok((Arc::clone(&entry.snapshot), entry.generation));
+            }
+        }
+        metrics::STORE_CACHE_MISSES.inc();
+        self.fault_in(name)
+    }
+
+    /// Loads `<store_dir>/<name>.tgsnp` and admits it. Runs the disk load
+    /// outside any lock; a concurrent fault-in of the same tenant is
+    /// resolved by whoever inserts first (the loser adopts the winner's
+    /// entry).
+    fn fault_in(&self, name: &str) -> Result<(Arc<ModelSnapshot>, u64), ServeError> {
+        let Some(dir) = &self.store_dir else {
+            return Err(ServeError::UnknownTenant(name.to_string()));
+        };
+        let path = dir.join(format!("{name}.tgsnp"));
+        if !path.is_file() {
+            return Err(ServeError::UnknownTenant(name.to_string()));
+        }
+        let model = targad_store::load(&path)
+            .map_err(|e| ServeError::Io(format!("tenant `{name}` snapshot: {e}")))?;
+        let snapshot = ModelSnapshot::new(model.classifier, model.thresholds, name);
+        let generation = self.admit(name, snapshot)?;
+        let tenants = self.tenants.read().expect("registry lock poisoned");
+        let entry = tenants.map.get(name).expect("just admitted");
+        // A racing admit may have installed a newer generation; serve
+        // whatever is resident now.
+        let _ = generation;
+        Ok((Arc::clone(&entry.snapshot), entry.generation))
+    }
+
+    /// Admits `snapshot` as tenant `name`, evicting least-recently-used
+    /// tenants as needed, and returns the installed generation. Replacing
+    /// a resident tenant frees its bytes first. The f32 plan is warmed
+    /// before any lock is taken.
+    ///
+    /// # Errors
+    /// [`ServeError::BadRequest`] for an invalid name and
+    /// [`ServeError::BudgetExceeded`] when the model cannot fit even with
+    /// every unpinned tenant evicted.
+    pub fn load_tenant(&self, name: &str, snapshot: ModelSnapshot) -> Result<u64, ServeError> {
+        if !valid_tenant_name(name) {
+            return Err(ServeError::BadRequest(format!(
+                "invalid tenant name `{}`",
+                name.escape_default()
+            )));
+        }
+        if name == DEFAULT_TENANT {
+            // Loading "default" is a hot-swap of the pinned tenant.
+            return self.try_swap(snapshot);
+        }
+        self.admit(name, snapshot)
+    }
+
+    fn admit(&self, name: &str, snapshot: ModelSnapshot) -> Result<u64, ServeError> {
+        let started = Instant::now();
+        if self.precision == EnginePrecision::F32 {
+            snapshot.classifier.warm_f32();
+        }
+        let bytes = snapshot.resident_cost();
+        let mut tenants = self.tenants.write().expect("registry lock poisoned");
+        let freed = tenants.map.get(name).map_or(0, |e| e.bytes);
+        self.make_room(&mut tenants, bytes, freed, name)?;
+        let generation = self.installs.fetch_add(1, Ordering::AcqRel) + 1;
+        if let Some(old) = tenants.map.insert(
+            name.to_string(),
+            TenantEntry {
+                snapshot: Arc::new(snapshot),
+                generation,
+                bytes,
+                last_used: AtomicU64::new(self.tick()),
+            },
+        ) {
+            tenants.resident_bytes -= old.bytes;
+        }
+        tenants.resident_bytes += bytes;
+        tenants.set_gauge();
+        metrics::STORE_ADMIT_NS.record(elapsed_ns(started));
+        Ok(generation)
+    }
+
+    /// Evicts unpinned tenants in LRU order until `bytes` fits beside
+    /// everything remaining (with `freed` bytes of the entry being
+    /// replaced, `keep`, already discounted). Does not modify the map at
+    /// all on failure.
+    fn make_room(
+        &self,
+        tenants: &mut Tenants,
+        bytes: u64,
+        freed: u64,
+        keep: &str,
+    ) -> Result<(), ServeError> {
+        if self.budget_bytes == 0 {
+            return Ok(());
+        }
+        let fits = |resident: u64| resident - freed + bytes <= self.budget_bytes;
+        if fits(tenants.resident_bytes) {
+            return Ok(());
+        }
+        // Unpinned victims, least recently used first.
+        let mut victims: Vec<(String, u64, u64)> = tenants
+            .map
+            .iter()
+            .filter(|(n, _)| n.as_str() != DEFAULT_TENANT && n.as_str() != keep)
+            .map(|(n, e)| (n.clone(), e.last_used.load(Ordering::Acquire), e.bytes))
+            .collect();
+        victims.sort_by_key(|(_, used, _)| *used);
+        let mut resident = tenants.resident_bytes;
+        let mut evict = Vec::new();
+        for (name, _, victim_bytes) in victims {
+            if fits(resident) {
+                break;
+            }
+            resident -= victim_bytes;
+            evict.push(name);
+        }
+        if !fits(resident) {
+            return Err(ServeError::BudgetExceeded {
+                needed: bytes,
+                budget: self.budget_bytes,
+            });
+        }
+        for name in evict {
+            if let Some(entry) = tenants.map.remove(&name) {
+                tenants.resident_bytes -= entry.bytes;
+                metrics::STORE_EVICTIONS.inc();
+            }
+        }
+        tenants.set_gauge();
+        Ok(())
+    }
+
+    /// Evicts tenant `name`, returning whether it was resident. The
+    /// default tenant is pinned and never evicted (`false`). In-flight
+    /// batches holding the snapshot `Arc` are unaffected.
+    pub fn evict_tenant(&self, name: &str) -> bool {
+        if name == DEFAULT_TENANT {
+            return false;
+        }
+        let mut tenants = self.tenants.write().expect("registry lock poisoned");
+        match tenants.map.remove(name) {
+            Some(entry) => {
+                tenants.resident_bytes -= entry.bytes;
+                tenants.set_gauge();
+                metrics::STORE_EVICTIONS.inc();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Cards for every resident tenant, default first, then by name.
+    pub fn tenants(&self) -> Vec<TenantInfo> {
+        let tenants = self.tenants.read().expect("registry lock poisoned");
+        let mut infos: Vec<TenantInfo> = tenants
+            .map
+            .iter()
+            .map(|(name, e)| TenantInfo {
+                tenant: name.clone(),
+                tag: e.snapshot.tag.clone(),
+                generation: e.generation,
+                bytes: e.bytes,
+            })
+            .collect();
+        infos.sort_by(|a, b| {
+            (a.tenant.as_str() != DEFAULT_TENANT, a.tenant.as_str())
+                .cmp(&(b.tenant.as_str() != DEFAULT_TENANT, b.tenant.as_str()))
+        });
+        infos
+    }
+
+    /// Atomically installs `snapshot` as the default tenant's new model
+    /// and returns its generation. In-flight readers keep their old `Arc`;
+    /// the old model is dropped when the last of them finishes.
+    ///
+    /// # Errors
+    /// [`ServeError::BudgetExceeded`] when the new default cannot fit the
+    /// budget even with every unpinned tenant evicted.
+    pub fn try_swap(&self, snapshot: ModelSnapshot) -> Result<u64, ServeError> {
         // Cast + pack the f32 plan *before* taking the write lock: the
         // one-time conversion cost lands on the swap caller, never on a
         // reader or an in-flight batch.
         if self.precision == EnginePrecision::F32 {
             snapshot.classifier.warm_f32();
         }
-        let mut guard = self.current.write().expect("registry lock poisoned");
-        let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
-        *guard = Arc::new(snapshot);
-        targad_obs::metrics::SERVE_SWAPS.inc();
-        targad_obs::metrics::SERVE_GENERATION.set(generation);
-        generation
+        let bytes = snapshot.resident_cost();
+        let mut tenants = self.tenants.write().expect("registry lock poisoned");
+        let freed = tenants.map.get(DEFAULT_TENANT).map_or(0, |e| e.bytes);
+        self.make_room(&mut tenants, bytes, freed, DEFAULT_TENANT)?;
+        let generation = self.installs.fetch_add(1, Ordering::AcqRel) + 1;
+        if let Some(old) = tenants.map.insert(
+            DEFAULT_TENANT.to_string(),
+            TenantEntry {
+                snapshot: Arc::new(snapshot),
+                generation,
+                bytes,
+                last_used: AtomicU64::new(self.tick()),
+            },
+        ) {
+            tenants.resident_bytes -= old.bytes;
+        }
+        tenants.resident_bytes += bytes;
+        tenants.set_gauge();
+        metrics::SERVE_SWAPS.inc();
+        metrics::SERVE_GENERATION.set(generation);
+        Ok(generation)
     }
+
+    /// [`ModelRegistry::try_swap`] for unbudgeted registries (the original
+    /// single-model API).
+    ///
+    /// # Panics
+    /// Panics if a configured budget cannot fit the new default model —
+    /// budgeted callers should use [`ModelRegistry::try_swap`].
+    pub fn swap(&self, snapshot: ModelSnapshot) -> u64 {
+        self.try_swap(snapshot)
+            .expect("default model exceeds the registry byte budget")
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::AcqRel) + 1
+    }
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -141,5 +518,75 @@ mod tests {
         assert_eq!(s2.tag, "b");
         // The old handle is still alive and still scores.
         assert_eq!(s1.tag, "a");
+    }
+
+    #[test]
+    fn tenant_names_are_validated() {
+        for good in ["a", "merchant-42", "A_b-C", &"x".repeat(64)] {
+            assert!(valid_tenant_name(good), "{good}");
+        }
+        for bad in ["", "../etc", "a b", "a/b", "a\n", &"x".repeat(65)] {
+            assert!(!valid_tenant_name(bad), "{bad:?}");
+        }
+        let registry = ModelRegistry::new(snapshot("a"));
+        assert!(matches!(
+            registry.resolve(Some("../etc")),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert!(matches!(
+            registry.resolve(Some("ghost")),
+            Err(ServeError::UnknownTenant(_))
+        ));
+    }
+
+    #[test]
+    fn lru_eviction_keeps_resident_bytes_under_budget() {
+        let default = snapshot("default");
+        let unit = snapshot("unit").resident_cost();
+        // Room for the pinned default plus two tenants, not three.
+        let budget = default.resident_cost() + 2 * unit + unit / 2;
+        let registry =
+            ModelRegistry::with_options(default, EnginePrecision::F64, budget, None).unwrap();
+
+        registry.load_tenant("t1", snapshot("m1")).unwrap();
+        registry.load_tenant("t2", snapshot("m2")).unwrap();
+        assert!(registry.resident_bytes() <= budget);
+
+        // Touch t1 so t2 is the LRU victim.
+        registry.resolve(Some("t1")).unwrap();
+        registry.load_tenant("t3", snapshot("m3")).unwrap();
+        assert!(registry.resident_bytes() <= budget);
+
+        let names: Vec<String> = registry.tenants().into_iter().map(|t| t.tenant).collect();
+        assert_eq!(names, vec!["default", "t1", "t3"]);
+
+        // A registry whose pinned default cannot fit at all is rejected.
+        let before = registry.tenants().len();
+        let err =
+            match ModelRegistry::with_options(snapshot("too-big"), EnginePrecision::F64, 1, None) {
+                Err(e) => e,
+                Ok(_) => panic!("oversized default must be rejected"),
+            };
+        assert!(matches!(err, ServeError::BudgetExceeded { .. }));
+        assert_eq!(registry.tenants().len(), before);
+    }
+
+    #[test]
+    fn eviction_never_tears_a_held_snapshot() {
+        let registry = ModelRegistry::new(snapshot("default"));
+        registry.load_tenant("t1", snapshot("m1")).unwrap();
+        let (held, generation) = registry.resolve(Some("t1")).unwrap();
+        assert!(registry.evict_tenant("t1"));
+        assert!(!registry.evict_tenant("t1"), "already gone");
+        assert!(!registry.evict_tenant(DEFAULT_TENANT), "default is pinned");
+        // The held Arc still scores after eviction.
+        assert_eq!(held.tag, "m1");
+        assert!(generation >= 2);
+        let x = targad_linalg::Matrix::zeros(1, held.classifier.input_dim());
+        assert!(held.classifier.target_scores(&x)[0].is_finite());
+        assert!(matches!(
+            registry.resolve(Some("t1")),
+            Err(ServeError::UnknownTenant(_))
+        ));
     }
 }

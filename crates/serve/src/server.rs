@@ -2,9 +2,12 @@
 //!
 //! | Route | Method | Purpose |
 //! |---|---|---|
-//! | `/score` | POST | Score rows; response carries one full verdict per row |
-//! | `/admin/swap` | POST | Hot-swap the served model from a v2 snapshot file |
-//! | `/model` | GET | Current model's tag, generation, shape, thresholds |
+//! | `/score` | POST | Score rows (optionally for a named `tenant`); one full verdict per row |
+//! | `/admin/swap` | POST | Hot-swap the default model from a v3 binary or v2 text snapshot |
+//! | `/admin/load` | POST | Admit (or replace) a named tenant's model from a snapshot file |
+//! | `/admin/evict` | POST | Evict a named tenant from the resident LRU |
+//! | `/admin/tenants` | GET | Resident tenants, their bytes, and the budget |
+//! | `/model` | GET | Default model's tag, generation, shape, thresholds |
 //! | `/healthz` | GET | Liveness plus current generation |
 //! | `/metrics` | GET | The `targad-obs` metrics snapshot as JSON |
 //!
@@ -29,7 +32,7 @@ use crate::batcher::MicroBatcher;
 use crate::config::{ServeConfig, ServeError};
 use crate::http::{read_request, write_response, Request};
 use crate::json::{escape, Json};
-use crate::registry::{ModelRegistry, ModelSnapshot};
+use crate::registry::{ModelRegistry, ModelSnapshot, DEFAULT_TENANT};
 
 /// How often blocked I/O paths re-check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(20);
@@ -73,7 +76,12 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
 
-        let registry = Arc::new(ModelRegistry::with_precision(snapshot, config.precision));
+        let registry = Arc::new(ModelRegistry::with_options(
+            snapshot,
+            config.precision,
+            config.model_budget_bytes,
+            config.store_dir.clone(),
+        )?);
         let batcher = Arc::new(MicroBatcher::start(&config, Arc::clone(&registry), runtime));
         let shutdown = Arc::new(AtomicBool::new(false));
         let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -330,13 +338,24 @@ fn route(request: &Request, ctx: &Context, peer_is_loopback: bool) -> (u16, Stri
             Ok(body) => (200, body),
             Err(e) => (status_of(&e), error_body(&e.to_string())),
         },
-        ("POST", "/admin/swap") if !authorize_admin(request, ctx, peer_is_loopback) => {
+        ("POST", "/admin/swap" | "/admin/load" | "/admin/evict") | ("GET", "/admin/tenants")
+            if !authorize_admin(request, ctx, peer_is_loopback) =>
+        {
             (403, error_body(&ServeError::Unauthorized.to_string()))
         }
         ("POST", "/admin/swap") => match handle_swap(request, ctx) {
             Ok(body) => (200, body),
             Err(e) => (status_of(&e), error_body(&e.to_string())),
         },
+        ("POST", "/admin/load") => match handle_load(request, ctx) {
+            Ok(body) => (200, body),
+            Err(e) => (status_of(&e), error_body(&e.to_string())),
+        },
+        ("POST", "/admin/evict") => match handle_evict(request, ctx) {
+            Ok(body) => (200, body),
+            Err(e) => (status_of(&e), error_body(&e.to_string())),
+        },
+        ("GET", "/admin/tenants") => (200, tenants_body(ctx)),
         ("GET" | "POST", _) => (404, error_body("no such route")),
         _ => (405, error_body("method not allowed")),
     }
@@ -347,6 +366,8 @@ fn status_of(e: &ServeError) -> u16 {
         ServeError::Overloaded | ServeError::ShuttingDown => 503,
         ServeError::BadRequest(_) | ServeError::Model(_) => 400,
         ServeError::Unauthorized => 403,
+        ServeError::UnknownTenant(_) => 404,
+        ServeError::BudgetExceeded { .. } => 507,
         ServeError::InvalidConfig { .. } | ServeError::Io(_) => 500,
     }
 }
@@ -375,11 +396,19 @@ fn model_body(ctx: &Context) -> String {
     )
 }
 
-/// `POST /score` — body `{"rows": [[f64; D]; N], "ood_strategy": "msp"?}`.
+/// `POST /score` — body `{"rows": [[f64; D]; N], "ood_strategy": "msp"?,
+/// "tenant": "…"?}`. An omitted tenant scores on the pinned default model.
 fn handle_score(request: &Request, ctx: &Context) -> Result<String, ServeError> {
     let text = std::str::from_utf8(&request.body)
         .map_err(|_| ServeError::BadRequest("body is not utf-8".into()))?;
     let doc = Json::parse(text).map_err(ServeError::BadRequest)?;
+    let tenant = match doc.get("tenant") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(
+            v.as_str()
+                .ok_or_else(|| ServeError::BadRequest("tenant must be a string".into()))?,
+        ),
+    };
     let strategy = match doc.get("ood_strategy") {
         None | Some(Json::Null) => ctx.default_strategy,
         Some(v) => {
@@ -428,7 +457,9 @@ fn handle_score(request: &Request, ctx: &Context) -> Result<String, ServeError> 
         return Err(ServeError::BadRequest("rows have zero columns".into()));
     }
 
-    let scored = ctx.batcher.submit(data, rows.len(), dims, strategy)?;
+    let scored = ctx
+        .batcher
+        .submit_for(tenant, data, rows.len(), dims, strategy)?;
     let generation = scored.first().map_or(0, |s| s.generation);
     let verdicts: Vec<String> = scored
         .iter()
@@ -443,14 +474,39 @@ fn handle_score(request: &Request, ctx: &Context) -> Result<String, ServeError> 
         })
         .collect();
     Ok(format!(
-        "{{\"model_generation\": {generation}, \"count\": {}, \"precision\": \"{}\", \"verdicts\": [{}]}}",
+        "{{\"tenant\": \"{}\", \"model_generation\": {generation}, \"count\": {}, \"precision\": \"{}\", \"verdicts\": [{}]}}",
+        escape(tenant.unwrap_or(DEFAULT_TENANT)),
         scored.len(),
         ctx.precision.name(),
         verdicts.join(", ")
     ))
 }
 
-/// `POST /admin/swap` — body `{"path": "<v2 snapshot file>", "tag": "…"?}`.
+/// Loads a snapshot file for an admin route: binary v3 (`targad-store`)
+/// first, then the retained v2 text format. The path is client-supplied,
+/// so neither it nor the raw load errors are echoed back — the routes
+/// cannot be used to probe the server's filesystem.
+fn load_snapshot_file(path: &str, tag: &str, ctx: &Context) -> Result<ModelSnapshot, ServeError> {
+    let (classifier, thresholds) = match targad_store::load(path) {
+        Ok(model) => (model.classifier, model.thresholds),
+        Err(_) => core_snapshot::load_with_thresholds(path).map_err(|_| {
+            ServeError::BadRequest(
+                "cannot load snapshot (unreadable, or neither a v3 nor a v2 snapshot)".into(),
+            )
+        })?,
+    };
+    if thresholds.is_empty() {
+        // A model with no calibrated thresholds can answer nothing; reject
+        // the install instead of serving NotCalibrated on every request.
+        return Err(ServeError::Model(TargAdError::NotCalibrated {
+            strategy: ctx.default_strategy,
+        }));
+    }
+    Ok(ModelSnapshot::new(classifier, thresholds, tag))
+}
+
+/// `POST /admin/swap` — body `{"path": "<snapshot file>", "tag": "…"?}`.
+/// Accepts binary v3 and v2 text snapshots.
 fn handle_swap(request: &Request, ctx: &Context) -> Result<String, ServeError> {
     let text = std::str::from_utf8(&request.body)
         .map_err(|_| ServeError::BadRequest("body is not utf-8".into()))?;
@@ -464,25 +520,91 @@ fn handle_swap(request: &Request, ctx: &Context) -> Result<String, ServeError> {
         .and_then(Json::as_str)
         .unwrap_or(path)
         .to_string();
-    // The path is client-supplied: do not echo it or the raw load error
-    // back, so the route cannot be used to probe the server's filesystem.
-    let (classifier, thresholds) = core_snapshot::load_with_thresholds(path).map_err(|_| {
-        ServeError::BadRequest("cannot load snapshot (unreadable or not a v2 snapshot)".into())
-    })?;
-    if thresholds.is_empty() {
-        // A model with no calibrated thresholds can answer nothing; reject
-        // the swap instead of serving NotCalibrated on every request.
-        return Err(ServeError::Model(TargAdError::NotCalibrated {
-            strategy: ctx.default_strategy,
-        }));
-    }
-    let generation = ctx
-        .registry
-        .swap(ModelSnapshot::new(classifier, thresholds, tag.clone()));
+    let snapshot = load_snapshot_file(path, &tag, ctx)?;
+    let generation = ctx.registry.try_swap(snapshot)?;
     Ok(format!(
         "{{\"generation\": {generation}, \"tag\": \"{}\"}}",
         escape(&tag)
     ))
+}
+
+/// `POST /admin/load` — body `{"tenant": "…", "path": "<snapshot file>",
+/// "tag": "…"?}`. Admits (or replaces) the tenant's model under the LRU
+/// byte budget; loading tenant `default` is a hot-swap.
+fn handle_load(request: &Request, ctx: &Context) -> Result<String, ServeError> {
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| ServeError::BadRequest("body is not utf-8".into()))?;
+    let doc = Json::parse(text).map_err(ServeError::BadRequest)?;
+    let tenant = doc
+        .get("tenant")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::BadRequest("missing `tenant`".into()))?;
+    let path = doc
+        .get("path")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::BadRequest("missing `path`".into()))?;
+    let tag = doc
+        .get("tag")
+        .and_then(Json::as_str)
+        .unwrap_or(tenant)
+        .to_string();
+    let snapshot = load_snapshot_file(path, &tag, ctx)?;
+    let bytes = snapshot.resident_cost();
+    let generation = ctx.registry.load_tenant(tenant, snapshot)?;
+    Ok(format!(
+        "{{\"tenant\": \"{}\", \"generation\": {generation}, \"bytes\": {bytes}, \"resident_bytes\": {}}}",
+        escape(tenant),
+        ctx.registry.resident_bytes()
+    ))
+}
+
+/// `POST /admin/evict` — body `{"tenant": "…"}`. The default tenant is
+/// pinned and cannot be evicted.
+fn handle_evict(request: &Request, ctx: &Context) -> Result<String, ServeError> {
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| ServeError::BadRequest("body is not utf-8".into()))?;
+    let doc = Json::parse(text).map_err(ServeError::BadRequest)?;
+    let tenant = doc
+        .get("tenant")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::BadRequest("missing `tenant`".into()))?;
+    if tenant == DEFAULT_TENANT {
+        return Err(ServeError::BadRequest(
+            "the default tenant is pinned and cannot be evicted".into(),
+        ));
+    }
+    if !ctx.registry.evict_tenant(tenant) {
+        return Err(ServeError::UnknownTenant(tenant.to_string()));
+    }
+    Ok(format!(
+        "{{\"tenant\": \"{}\", \"evicted\": true, \"resident_bytes\": {}}}",
+        escape(tenant),
+        ctx.registry.resident_bytes()
+    ))
+}
+
+/// `GET /admin/tenants` — the resident LRU's contents and budget.
+fn tenants_body(ctx: &Context) -> String {
+    let rows: Vec<String> = ctx
+        .registry
+        .tenants()
+        .into_iter()
+        .map(|t| {
+            format!(
+                "{{\"tenant\": \"{}\", \"tag\": \"{}\", \"generation\": {}, \"bytes\": {}}}",
+                escape(&t.tenant),
+                escape(&t.tag),
+                t.generation,
+                t.bytes
+            )
+        })
+        .collect();
+    format!(
+        "{{\"budget_bytes\": {}, \"resident_bytes\": {}, \"tenants\": [{}]}}",
+        ctx.registry.budget_bytes(),
+        ctx.registry.resident_bytes(),
+        rows.join(", ")
+    )
 }
 
 /// Blocking HTTP client for one connection — tests, the CI smoke job, and

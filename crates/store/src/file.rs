@@ -1,0 +1,194 @@
+//! The two physical read paths: `mmap` (zero-copy) and buffered
+//! (single read into an aligned buffer). Both feed the same validated
+//! word view to [`crate::read::from_words`], so scores are bit-identical
+//! either way.
+
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+
+use targad_linalg::SharedBuffer;
+use targad_obs::metrics::{STORE_BUFFERED_LOADS, STORE_MMAP_LOADS};
+
+use crate::read::{from_words, LoadedModel};
+use crate::StoreError;
+
+/// How [`load_with`] turns file bytes into the word buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum LoadMode {
+    /// `mmap` when the platform supports it (unix, little-endian),
+    /// buffered otherwise — the production default.
+    #[default]
+    Auto,
+    /// Require the zero-copy `mmap` path; error where unsupported.
+    Mmap,
+    /// Force the buffered fallback (also the cross-endian path: words
+    /// are decoded with `from_le_bytes`, not reinterpreted).
+    Buffered,
+}
+
+/// Whether this build can serve the zero-copy `mmap` path.
+pub const fn mmap_supported() -> bool {
+    cfg!(all(unix, target_endian = "little"))
+}
+
+#[cfg(all(unix, target_endian = "little"))]
+mod mapping {
+    use std::ffi::c_void;
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    // std already links libc; declaring the two calls directly keeps the
+    // crate dependency-free.
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    /// A read-only private mapping of a whole snapshot file, viewed as
+    /// `f64` words. Pages are page-aligned, so the f64 view is aligned;
+    /// the mapping is immutable (`PROT_READ`) and private, so later
+    /// file writes cannot race the borrowed weights.
+    pub struct Mapping {
+        ptr: *mut c_void,
+        bytes: usize,
+    }
+
+    // The mapping is read-only for its whole lifetime.
+    unsafe impl Send for Mapping {}
+    unsafe impl Sync for Mapping {}
+
+    impl Mapping {
+        /// Maps the first `bytes` (a multiple of 8, non-zero) of `file`.
+        pub fn of(file: &File, bytes: usize) -> io::Result<Self> {
+            debug_assert!(bytes > 0 && bytes % 8 == 0);
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    bytes,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Self { ptr, bytes })
+        }
+    }
+
+    impl targad_linalg::F64Buffer for Mapping {
+        fn as_f64s(&self) -> &[f64] {
+            // Safe: the mapping is page-aligned (so f64-aligned), spans
+            // `bytes` readable bytes for the life of `self`, and every
+            // f64 bit pattern is a valid value.
+            unsafe { std::slice::from_raw_parts(self.ptr as *const f64, self.bytes / 8) }
+        }
+    }
+
+    impl Drop for Mapping {
+        fn drop(&mut self) {
+            unsafe {
+                munmap(self.ptr, self.bytes);
+            }
+        }
+    }
+}
+
+fn format_err(msg: String) -> StoreError {
+    StoreError::Format(msg)
+}
+
+/// The file length if it is a plausible v3 body (non-empty, whole words).
+fn checked_len(file: &File) -> Result<usize, StoreError> {
+    let bytes = file.metadata().map_err(StoreError::Io)?.len();
+    let bytes = usize::try_from(bytes)
+        .map_err(|_| format_err(format!("file of {bytes} bytes exceeds address space")))?;
+    if bytes == 0 || bytes % 8 != 0 {
+        return Err(format_err(format!(
+            "file length {bytes} is not a non-zero multiple of 8"
+        )));
+    }
+    Ok(bytes)
+}
+
+/// Loads a v3 snapshot through the zero-copy mapping.
+#[cfg(all(unix, target_endian = "little"))]
+fn load_mmap(path: &Path) -> Result<LoadedModel, StoreError> {
+    let file = File::open(path).map_err(StoreError::Io)?;
+    let bytes = checked_len(&file)?;
+    let map = mapping::Mapping::of(&file, bytes).map_err(StoreError::Io)?;
+    let model = from_words(SharedBuffer::new(map))?;
+    STORE_MMAP_LOADS.inc();
+    Ok(model)
+}
+
+#[cfg(not(all(unix, target_endian = "little")))]
+fn load_mmap(_path: &Path) -> Result<LoadedModel, StoreError> {
+    Err(format_err(
+        "mmap load path unavailable on this platform (use LoadMode::Buffered)".into(),
+    ))
+}
+
+/// Loads a v3 snapshot through the buffered fallback: one `read` of the
+/// whole file, decoded word-by-word into an (8-aligned) `Vec<f64>`.
+fn load_buffered(path: &Path) -> Result<LoadedModel, StoreError> {
+    let mut file = File::open(path).map_err(StoreError::Io)?;
+    let bytes = checked_len(&file)?;
+    let mut raw = Vec::with_capacity(bytes);
+    file.read_to_end(&mut raw).map_err(StoreError::Io)?;
+    if raw.len() != bytes || raw.len() % 8 != 0 {
+        return Err(format_err(format!(
+            "file changed while loading: read {} of {bytes} expected bytes",
+            raw.len()
+        )));
+    }
+    let words: Vec<f64> = raw
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect();
+    let model = from_words(SharedBuffer::from_vec(words))?;
+    STORE_BUFFERED_LOADS.inc();
+    Ok(model)
+}
+
+/// Loads a v3 snapshot with an explicit path choice.
+///
+/// # Errors
+/// [`StoreError::Io`] on filesystem failures, [`StoreError::Format`] on
+/// anything the validator rejects.
+pub fn load_with(path: impl AsRef<Path>, mode: LoadMode) -> Result<LoadedModel, StoreError> {
+    let path = path.as_ref();
+    match mode {
+        LoadMode::Mmap => load_mmap(path),
+        LoadMode::Buffered => load_buffered(path),
+        LoadMode::Auto => {
+            if mmap_supported() {
+                load_mmap(path)
+            } else {
+                load_buffered(path)
+            }
+        }
+    }
+}
+
+/// Loads a v3 snapshot ([`LoadMode::Auto`]: `mmap` where supported).
+///
+/// # Errors
+/// See [`load_with`].
+pub fn load(path: impl AsRef<Path>) -> Result<LoadedModel, StoreError> {
+    load_with(path, LoadMode::Auto)
+}

@@ -1,0 +1,55 @@
+//! Rebuilding a scoring-ready classifier from validated v3 words.
+
+use targad_core::{Classifier, EnginePrecision, OodStrategy, ThresholdCache};
+use targad_linalg::{Matrix, SharedBuffer};
+
+use crate::format::{validate, SnapshotInfo};
+use crate::StoreError;
+
+/// A model restored from a v3 snapshot: decision-ready classifier,
+/// persisted thresholds, and the serving-precision hint the snapshot was
+/// saved with.
+pub struct LoadedModel {
+    /// The scoring-ready classifier. When loaded via `mmap` its weight
+    /// matrices *borrow* the mapping (zero weight-byte copies); the
+    /// mapping stays alive for as long as the classifier does.
+    pub classifier: Classifier,
+    /// Thresholds persisted in the snapshot (possibly empty).
+    pub thresholds: ThresholdCache,
+    /// The precision the snapshot was saved for; `F32` means the saver
+    /// intended the f32 plan to be warmed on admit.
+    pub precision: EnginePrecision,
+}
+
+/// Parses and validates `words` (one little-endian v3 file) and builds
+/// the model over *windows of the buffer*: weight matrices borrow
+/// `words` instead of copying, so with an `mmap`-backed buffer the
+/// classifier scores straight out of the file.
+///
+/// # Errors
+/// [`StoreError::Format`] describing the first validation failure.
+pub fn from_words(words: SharedBuffer) -> Result<LoadedModel, StoreError> {
+    let info: SnapshotInfo = validate(words.as_f64s())?;
+    let matrices: Vec<Matrix> = info
+        .sections
+        .iter()
+        .map(|s| Matrix::from_shared(s.rows, s.cols, words.clone(), s.word_range().0))
+        .collect();
+    let classifier =
+        Classifier::from_parameters(matrices, info.m, info.k).map_err(StoreError::Format)?;
+    let mut thresholds = ThresholdCache::default();
+    for (i, strategy) in OodStrategy::all().into_iter().enumerate() {
+        if let Some(tau) = info.taus[i] {
+            thresholds.set(strategy, tau);
+        }
+    }
+    Ok(LoadedModel {
+        classifier,
+        thresholds,
+        precision: if info.f32_hint {
+            EnginePrecision::F32
+        } else {
+            EnginePrecision::F64
+        },
+    })
+}

@@ -1,0 +1,112 @@
+//! Serializing a trained classifier to the v3 binary format.
+
+use std::io;
+use std::path::Path;
+
+use targad_core::{Classifier, EnginePrecision, OodStrategy, ThresholdCache};
+
+use crate::format::{checksum64, FLAG_F32_HINT, HEADER_WORDS, MAGIC, SECTION_ALIGN, VERSION};
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Rounds `n` up to the next multiple of [`SECTION_ALIGN`].
+fn align_up(n: usize) -> usize {
+    n.div_ceil(SECTION_ALIGN) * SECTION_ALIGN
+}
+
+/// Serializes `clf` (plus its calibrated thresholds and the serving
+/// precision hint) to v3 bytes — see [`crate::format`] for the layout.
+pub fn to_bytes(
+    clf: &Classifier,
+    thresholds: &ThresholdCache,
+    precision: EnginePrecision,
+) -> Vec<u8> {
+    let dims = clf.layer_dims();
+    let matrices = clf.parameter_matrices();
+    debug_assert_eq!(matrices.len(), 2 * (dims.len() - 1));
+
+    // Lay out the sections first: each starts at the next 64-byte
+    // boundary after the header + dims + section table.
+    let table_start = HEADER_WORDS * 8 + dims.len() * 8;
+    let header_end = table_start + matrices.len() * 32;
+    let mut offsets = Vec::with_capacity(matrices.len());
+    let mut cursor = align_up(header_end);
+    for m in &matrices {
+        offsets.push(cursor);
+        cursor += m.len() * 8;
+        cursor = align_up(cursor);
+    }
+    // The last section needs no tail padding beyond word alignment
+    // (section lengths are already multiples of 8); the checksum word
+    // follows the final section directly, but keeping the uniform
+    // align_up keeps every section's *start* 64-aligned, which is what
+    // the reader checks. Total = last aligned cursor + checksum word.
+    let total = cursor + 8;
+
+    let mut out = Vec::with_capacity(total);
+    push_u64(&mut out, MAGIC);
+    let flags = match precision {
+        EnginePrecision::F64 => 0,
+        EnginePrecision::F32 => FLAG_F32_HINT,
+    };
+    push_u64(&mut out, u64::from(VERSION) | u64::from(flags) << 32);
+    push_u64(&mut out, clf.m() as u64);
+    push_u64(&mut out, clf.k() as u64);
+    let mut mask = 0u32;
+    let mut taus = [0.0f64; 3];
+    for (i, strategy) in OodStrategy::all().into_iter().enumerate() {
+        if let Some(tau) = thresholds.get(strategy) {
+            mask |= 1 << i;
+            taus[i] = tau;
+        }
+    }
+    push_u64(&mut out, u64::from(mask) | (dims.len() as u64) << 32);
+    for tau in taus {
+        push_f64(&mut out, tau);
+    }
+    for d in &dims {
+        push_u64(&mut out, *d as u64);
+    }
+    for (m, offset) in matrices.iter().zip(&offsets) {
+        push_u64(&mut out, m.rows() as u64);
+        push_u64(&mut out, m.cols() as u64);
+        push_u64(&mut out, *offset as u64);
+        push_u64(&mut out, (m.len() * 8) as u64);
+    }
+    for (m, offset) in matrices.iter().zip(&offsets) {
+        out.resize(*offset, 0); // zero-fill the alignment gap
+        for v in m.as_slice() {
+            push_f64(&mut out, *v);
+        }
+    }
+    out.resize(total - 8, 0);
+
+    // Checksum over everything so far. The body length is a multiple of
+    // 8 by construction, so the word view is exact.
+    let words: Vec<f64> = out
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect();
+    push_u64(&mut out, checksum64(&words));
+    debug_assert_eq!(out.len(), total);
+    out
+}
+
+/// Writes `clf` to `path` in the v3 binary format.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn save(
+    clf: &Classifier,
+    thresholds: &ThresholdCache,
+    precision: EnginePrecision,
+    path: impl AsRef<Path>,
+) -> io::Result<()> {
+    std::fs::write(path, to_bytes(clf, thresholds, precision))
+}

@@ -1,0 +1,36 @@
+//! Shared helpers for the store integration tests.
+
+use targad_core::Classifier;
+use targad_linalg::rng as lrng;
+
+/// A deterministic synthetic classifier with the given architecture —
+/// format tests need realistic shapes, not a trained model.
+pub fn synthetic(dims: &[usize], m: usize, seed: u64) -> Classifier {
+    let mut rng = lrng::seeded(seed);
+    let mut matrices = Vec::new();
+    for pair in dims.windows(2) {
+        matrices.push(lrng::normal_matrix(&mut rng, pair[0], pair[1], 0.0, 0.5));
+        matrices.push(lrng::normal_matrix(&mut rng, 1, pair[1], 0.0, 0.1));
+    }
+    let k = dims.last().unwrap() - m;
+    Classifier::from_parameters(matrices, m, k).expect("consistent synthetic shapes")
+}
+
+/// Recomputes and replaces the trailing checksum word so corruption
+/// tests exercise the *structural* validators, not just the checksum.
+#[allow(dead_code)] // not every test binary uses every fixture
+pub fn fix_checksum(bytes: &mut [u8]) {
+    assert!(bytes.len() >= 16 && bytes.len() % 8 == 0);
+    let words: Vec<f64> = bytes[..bytes.len() - 8]
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let sum = targad_store::format::checksum64(&words);
+    let n = bytes.len();
+    bytes[n - 8..].copy_from_slice(&sum.to_le_bytes());
+}
+
+/// A unique temp-file path for this test process.
+pub fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("targad_store_{tag}_{}.v3", std::process::id()))
+}

@@ -1,0 +1,208 @@
+//! Malformed-input corpus: every structural lie a corrupt or hostile v3
+//! file can tell must produce a clean `StoreError`, never a panic or an
+//! out-of-bounds read. Cases that keep the checksum valid (via
+//! `fix_checksum`) prove the *structural* validators fire on their own.
+
+mod common;
+
+use common::{fix_checksum, synthetic, temp_path};
+use targad_core::{EnginePrecision, ThresholdCache};
+use targad_linalg::SharedBuffer;
+use targad_store::{from_words, load_with, to_bytes, LoadMode, StoreError};
+
+fn valid_bytes() -> Vec<u8> {
+    let clf = synthetic(&[6, 9, 4], 2, 60);
+    to_bytes(
+        &clf,
+        &ThresholdCache::complete(0.5, -1.0, 0.001),
+        EnginePrecision::F64,
+    )
+}
+
+fn parse(bytes: &[u8]) -> Result<(), String> {
+    let words: Vec<f64> = bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    from_words(SharedBuffer::from_vec(words))
+        .map(|_| ())
+        .map_err(|e| e.to_string())
+}
+
+/// Overwrites the little-endian u64 at word index `w`, then re-stamps
+/// the checksum so the structural check under test is what fires.
+fn poke(bytes: &mut [u8], w: usize, value: u64) {
+    bytes[w * 8..w * 8 + 8].copy_from_slice(&value.to_le_bytes());
+    fix_checksum(bytes);
+}
+
+// Fixed header word indices for the [6, 9, 4] model: 3 dims at words
+// 8..11, section table (4 entries x 4 words) at words 11..27.
+const W_VERSION: usize = 1;
+const W_M: usize = 2;
+const W_MASK_DIMS: usize = 4;
+const W_DIMS: usize = 8;
+const W_TABLE: usize = 11;
+
+#[test]
+fn baseline_is_valid() {
+    assert!(parse(&valid_bytes()).is_ok());
+}
+
+#[test]
+fn rejects_truncations_at_every_word() {
+    let bytes = valid_bytes();
+    // Every whole-word truncation: header cut short, table cut short,
+    // weights cut short, checksum cut off.
+    for words in 0..bytes.len() / 8 {
+        let err = parse(&bytes[..words * 8]).expect_err("truncation must fail");
+        assert!(!err.is_empty());
+    }
+    // Non-word-multiple byte lengths are rejected before parsing.
+    let path = temp_path("truncated");
+    std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+    assert!(matches!(
+        load_with(&path, LoadMode::Buffered),
+        Err(StoreError::Format(_))
+    ));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn rejects_empty_file() {
+    let path = temp_path("empty");
+    std::fs::write(&path, b"").unwrap();
+    for mode in [LoadMode::Buffered, LoadMode::Auto] {
+        assert!(load_with(&path, mode).is_err());
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn rejects_bad_magic() {
+    let mut bytes = valid_bytes();
+    bytes[..8].copy_from_slice(b"NOTMAGIC");
+    fix_checksum(&mut bytes);
+    assert!(parse(&bytes).unwrap_err().contains("magic"));
+}
+
+#[test]
+fn rejects_wrong_version_and_unknown_flags() {
+    let mut bytes = valid_bytes();
+    poke(&mut bytes, W_VERSION, 4); // version 4, flags 0
+    assert!(parse(&bytes).unwrap_err().contains("version"));
+
+    let mut bytes = valid_bytes();
+    poke(&mut bytes, W_VERSION, 3 | 0x8000_0000_0000_0000u64); // flag bit 31
+    assert!(parse(&bytes).unwrap_err().contains("flag"));
+}
+
+#[test]
+fn rejects_checksum_mismatch() {
+    let mut bytes = valid_bytes();
+    let n = bytes.len();
+    bytes[n - 1] ^= 0xff;
+    assert!(parse(&bytes).unwrap_err().contains("checksum"));
+    // A flipped weight byte (checksum left stale) is caught too.
+    let mut bytes = valid_bytes();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    assert!(parse(&bytes).unwrap_err().contains("checksum"));
+}
+
+#[test]
+fn rejects_lying_section_length() {
+    // Entry 0's length field claims fewer bytes than its 6x9 shape.
+    let mut bytes = valid_bytes();
+    poke(&mut bytes, W_TABLE + 3, 8);
+    assert!(parse(&bytes).unwrap_err().contains("lies about shape"));
+}
+
+#[test]
+fn rejects_misaligned_section_offset() {
+    let mut bytes = valid_bytes();
+    let off_word = W_TABLE + 2;
+    let old = u64::from_le_bytes(bytes[off_word * 8..off_word * 8 + 8].try_into().unwrap());
+    poke(&mut bytes, off_word, old + 8); // 8-aligned but not 64-aligned
+    assert!(parse(&bytes).unwrap_err().contains("aligned"));
+}
+
+#[test]
+fn rejects_out_of_bounds_section() {
+    // Last section's offset pushed past the end of the file (64-aligned
+    // so the alignment check cannot mask the bounds check).
+    let bytes = valid_bytes();
+    let n_words = bytes.len() / 8;
+    let mut lied = bytes.clone();
+    // 3 dims → 4 sections; the last entry is index 3.
+    let last_entry = W_TABLE + 3 * 4;
+    poke(
+        &mut lied,
+        last_entry + 2,
+        (n_words as u64) * 8 * 2 / 64 * 64,
+    );
+    assert!(parse(&lied).unwrap_err().contains("exceeds body"));
+}
+
+#[test]
+fn rejects_overlapping_sections() {
+    // Section 1 given section 0's offset: same window, overlap.
+    let mut bytes = valid_bytes();
+    let s0_off = u64::from_le_bytes(
+        bytes[(W_TABLE + 2) * 8..(W_TABLE + 2) * 8 + 8]
+            .try_into()
+            .unwrap(),
+    );
+    poke(&mut bytes, W_TABLE + 4 + 2, s0_off);
+    assert!(parse(&bytes).unwrap_err().contains("overlaps"));
+}
+
+#[test]
+fn rejects_inconsistent_m_k_and_dims() {
+    // m bumped: m + k no longer matches the output dim.
+    let mut bytes = valid_bytes();
+    poke(&mut bytes, W_M, 3);
+    assert!(parse(&bytes)
+        .unwrap_err()
+        .contains("does not match output dim"));
+
+    // A zero layer dimension.
+    let mut bytes = valid_bytes();
+    poke(&mut bytes, W_DIMS + 1, 0);
+    assert!(parse(&bytes).unwrap_err().contains("zero layer dimension"));
+
+    // n_dims beyond the sanity cap.
+    let mut bytes = valid_bytes();
+    poke(&mut bytes, W_MASK_DIMS, 7 | (1000u64 << 32));
+    assert!(parse(&bytes).unwrap_err().contains("n_dims"));
+
+    // A tau mask with undefined bits.
+    let mut bytes = valid_bytes();
+    poke(&mut bytes, W_MASK_DIMS, 0xff | (3u64 << 32));
+    assert!(parse(&bytes).unwrap_err().contains("tau mask"));
+}
+
+#[test]
+fn rejects_shape_dims_disagreement() {
+    // Entry 2 (layer 1 weights) must be 9x4; claim 4x9 with a
+    // "consistent" length.
+    let mut bytes = valid_bytes();
+    let e = W_TABLE + 2 * 4;
+    poke(&mut bytes, e, 4);
+    poke(&mut bytes, e + 1, 9);
+    assert!(parse(&bytes).unwrap_err().contains("does not match dims"));
+}
+
+#[test]
+fn huge_claimed_shapes_do_not_overflow() {
+    // rows × cols × 8 would overflow usize; must error, not wrap into
+    // a "valid" tiny window.
+    let mut bytes = valid_bytes();
+    poke(&mut bytes, W_DIMS, u64::MAX / 2);
+    poke(&mut bytes, W_TABLE, u64::MAX / 2); // rows of section 0
+    let err = parse(&bytes).unwrap_err();
+    assert!(
+        err.contains("overflow") || err.contains("does not match") || err.contains("usize"),
+        "unexpected error: {err}"
+    );
+}
