@@ -13,6 +13,14 @@
 //!    configured with `EnginePrecision::F32`, so the hot path runs the
 //!    SIMD micro-kernels and every hot-swap exercises the warm-at-swap
 //!    weight cast.
+//! 4. **Profile replay** — the f64 phase's live telemetry is captured as a
+//!    [`WorkloadProfile`] (written to `results/profiles/serve_default.json`)
+//!    and replayed: the same client count offers traffic with row counts
+//!    and tenant mix sampled from the profile. Full-run acceptance: replay
+//!    throughput within 15% of the live phase it was captured from.
+//! 5. **Telemetry overhead** — an in-process submit loop timed with the
+//!    telemetry gate off vs on (best-of-rounds). Acceptance: the enabled
+//!    path costs < 2%.
 //!
 //! Writes `results/bench_serve.json` with rows/sec and latency percentiles
 //! for all phases, both precisions side by side. Acceptance:
@@ -26,10 +34,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use targad_core::{Runtime, TargAd, TargAdConfig};
+use targad_core::{OodStrategy, Runtime, TargAd, TargAdConfig};
 use targad_data::GeneratorSpec;
 use targad_linalg::Matrix;
-use targad_serve::{Client, EnginePrecision, Json, ModelSnapshot, ServeConfig, Server};
+use targad_serve::{
+    Client, EnginePrecision, Json, MicroBatcher, ModelRegistry, ModelSnapshot, ServeConfig, Server,
+    WorkloadProfile,
+};
 
 fn quick_mode() -> bool {
     std::env::var("TARGAD_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
@@ -92,12 +103,22 @@ fn one_row_body(x: &Matrix, r: usize) -> String {
     )
 }
 
-/// Runs `clients` closed-loop one-row scorers against `addr` for
-/// `duration`. Returns the aggregate stats and the number of non-200
-/// responses (which must be zero, hot swaps included).
+/// A request template: the JSON body plus the rows it carries.
+type BodyFn = Arc<dyn Fn(usize, usize) -> (String, u64) + Send + Sync>;
+
+/// One-row request bodies cycling through `x` — the live phases' traffic.
+fn one_row_bodies(x: &Matrix) -> BodyFn {
+    let x = x.clone();
+    Arc::new(move |c, i| (one_row_body(&x, (c * 32 + i) % x.rows()), 1))
+}
+
+/// Runs `clients` closed-loop scorers against `addr` for `duration`, each
+/// cycling through 32 pre-built request bodies from `make_body(client, i)`.
+/// Returns the aggregate stats and the number of non-200 responses (which
+/// must be zero, hot swaps included).
 fn drive(
     addr: std::net::SocketAddr,
-    x: &Matrix,
+    make_body: &BodyFn,
     clients: usize,
     duration: Duration,
 ) -> (PhaseStats, u64) {
@@ -106,25 +127,26 @@ fn drive(
     let handles: Vec<_> = (0..clients)
         .map(|c| {
             let stop = Arc::clone(&stop);
-            let bodies: Vec<String> = (0..32)
-                .map(|i| one_row_body(x, (c * 32 + i) % x.rows()))
-                .collect();
+            let bodies: Vec<(String, u64)> = (0..32).map(|i| make_body(c, i)).collect();
             std::thread::spawn(move || {
                 let mut client = Client::connect(addr).expect("connect");
                 let mut latencies_ns = Vec::with_capacity(1 << 16);
+                let mut rows = 0u64;
                 let mut failures = 0u64;
                 let mut i = 0usize;
                 while !stop.load(Ordering::Acquire) {
-                    let body = &bodies[i % bodies.len()];
+                    let (body, body_rows) = &bodies[i % bodies.len()];
                     let t0 = Instant::now();
                     let resp = client.request("POST", "/score", body).expect("request");
                     latencies_ns.push(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
-                    if resp.status != 200 {
+                    if resp.status == 200 {
+                        rows += body_rows;
+                    } else {
                         failures += 1;
                     }
                     i += 1;
                 }
-                (latencies_ns, failures)
+                (latencies_ns, rows, failures)
             })
         })
         .collect();
@@ -132,17 +154,19 @@ fn drive(
     stop.store(true, Ordering::Release);
 
     let mut all_ns = Vec::new();
+    let mut rows = 0u64;
     let mut failures = 0u64;
     for handle in handles {
-        let (ns, f) = handle.join().expect("client thread");
+        let (ns, r, f) = handle.join().expect("client thread");
         all_ns.extend(ns);
+        rows += r;
         failures += f;
     }
     let elapsed = started.elapsed();
     all_ns.sort_unstable();
     let stats = PhaseStats {
         clients,
-        rows: all_ns.len() as u64,
+        rows,
         elapsed,
         p50_us: percentile(&all_ns, 0.50),
         p99_us: percentile(&all_ns, 0.99),
@@ -185,7 +209,7 @@ fn batched_phase(
         }
         swaps
     });
-    let (stats, failures) = drive(addr, x, 8, phase_duration);
+    let (stats, failures) = drive(addr, &one_row_bodies(x), 8, phase_duration);
     let swaps = swapper.join().expect("swapper thread");
     let fill = server.batcher().stats();
     // Verify the server still answers after the swap storm, then shut down.
@@ -220,6 +244,127 @@ fn batched_phase(
     (stats, failures, swaps, fill)
 }
 
+/// Request bodies sampled from a captured workload profile: row counts and
+/// tenant mix drawn by inverse-CDF from a deterministic per-body LCG
+/// stream, feature rows cycling through `x`.
+fn profile_bodies(x: &Matrix, profile: &WorkloadProfile) -> BodyFn {
+    let x = x.clone();
+    let profile = profile.clone();
+    Arc::new(move |c, i| {
+        let mut state = (c as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ (i as u64 + 1);
+        let mut uniform = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let n = profile.sample_request_rows(uniform()) as usize;
+        let rows: Vec<String> = (0..n)
+            .map(|r| {
+                let cells: Vec<String> = x
+                    .row((c * 31 + i * 7 + r) % x.rows())
+                    .iter()
+                    .map(|v| format!("{v:?}"))
+                    .collect();
+                format!("[{}]", cells.join(", "))
+            })
+            .collect();
+        let body = match profile.sample_tenant(uniform()) {
+            Some(tenant) => format!(
+                "{{\"rows\": [{}], \"ood_strategy\": \"msp\", \"tenant\": \"{tenant}\"}}",
+                rows.join(", ")
+            ),
+            None => format!(
+                "{{\"rows\": [{}], \"ood_strategy\": \"msp\"}}",
+                rows.join(", ")
+            ),
+        };
+        (body, n as u64)
+    })
+}
+
+/// Replays a captured profile against a fresh server with the live phase's
+/// coalescing configuration, client count, *and* hot-swap storm — the
+/// environment is reproduced exactly, so the live-vs-replay throughput
+/// ratio isolates the workload generator's fidelity.
+fn replay_phase(
+    profile: &WorkloadProfile,
+    snap_a: &ModelSnapshot,
+    snap_b: &ModelSnapshot,
+    x: &Matrix,
+    phase_duration: Duration,
+) -> (PhaseStats, u64, targad_serve::BatcherStats) {
+    let config = ServeConfig::builder()
+        .max_batch(8)
+        .max_queue_wait(Duration::from_micros(250))
+        .build()
+        .expect("valid config");
+    let mut server =
+        Server::start(config, snap_a.clone(), Runtime::new(2)).expect("boot replay server");
+    let registry = Arc::clone(server.registry());
+    let (swap_a, swap_b) = (snap_a.clone(), snap_b.clone());
+    let swapper = std::thread::spawn(move || {
+        for s in 0..6u64 {
+            std::thread::sleep(phase_duration / 7);
+            registry.swap(if s % 2 == 0 {
+                swap_b.clone()
+            } else {
+                swap_a.clone()
+            });
+        }
+    });
+    let (stats, failures) = drive(
+        server.addr(),
+        &profile_bodies(x, profile),
+        8,
+        phase_duration,
+    );
+    swapper.join().expect("replay swapper");
+    let fill = server.batcher().stats();
+    server.shutdown();
+    println!(
+        "replay      : 8 clients, {:>8} rows, {:>9.0} rows/s, p50 {:>7.1}us, p99 {:>7.1}us",
+        stats.rows,
+        stats.rows_per_sec(),
+        stats.p50_us,
+        stats.p99_us
+    );
+    (stats, failures, fill)
+}
+
+/// The telemetry gate's cost on the in-process submit path: times a tight
+/// submit loop with the gate off vs on, interleaved over several rounds,
+/// and compares the best (least-noisy) round of each. HTTP is deliberately
+/// out of the picture so the measurement isolates what the gate controls.
+fn telemetry_overhead(snap: &ModelSnapshot, x: &Matrix) -> f64 {
+    let config = ServeConfig::builder()
+        .max_batch(8)
+        .max_queue_wait(Duration::from_micros(100))
+        .build()
+        .expect("valid config");
+    let registry = Arc::new(ModelRegistry::new(snap.clone()));
+    let batcher = MicroBatcher::start(&config, registry, Runtime::new(2));
+    let dims = x.cols();
+    let row = x.row(0).to_vec();
+    let submits = if quick_mode() { 400 } else { 2000 };
+    let mut best_ns = [u128::MAX; 2]; // [gate off, gate on]
+    for _round in 0..6 {
+        for (slot, on) in [(0usize, false), (1usize, true)] {
+            targad_obs::set_enabled(on);
+            let t0 = Instant::now();
+            for _ in 0..submits {
+                batcher
+                    .submit(row.clone(), 1, dims, OodStrategy::Msp)
+                    .expect("overhead submit");
+            }
+            best_ns[slot] = best_ns[slot].min(t0.elapsed().as_nanos());
+        }
+    }
+    targad_obs::set_enabled(false);
+    batcher.shutdown();
+    (best_ns[1] as f64 - best_ns[0] as f64) / best_ns[0] as f64
+}
+
 fn phase_json(stats: &PhaseStats, fill: &targad_serve::BatcherStats) -> String {
     format!(
         "{{\"clients\": {}, \"rows\": {}, \"rows_per_sec\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"batches\": {}, \"max_fill\": {}}}",
@@ -250,7 +395,8 @@ fn main() {
         .expect("valid config");
     let mut serial_server =
         Server::start(serial_config, snap_a.clone(), Runtime::new(2)).expect("boot serial server");
-    let (serial, serial_failures) = drive(serial_server.addr(), &x, 1, phase_duration);
+    let (serial, serial_failures) =
+        drive(serial_server.addr(), &one_row_bodies(&x), 1, phase_duration);
     serial_server.shutdown();
     assert_eq!(serial_failures, 0, "serial phase had failing requests");
     println!(
@@ -262,14 +408,41 @@ fn main() {
     );
 
     // Phase 2: eight coalescing clients at f64, hot-swapped under load.
+    // Reset the process-wide telemetry first so the workload profile
+    // captured afterwards describes exactly this phase's traffic.
+    targad_obs::metrics::reset_all();
     let (batched, batched_failures, swaps, fill) =
         batched_phase(EnginePrecision::F64, &snap_a, &snap_b, &x, phase_duration);
+    let profile = WorkloadProfile::capture("serve_default", x.cols());
+    let profile_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results/profiles/serve_default.json");
+    profile.save(&profile_path).expect("write workload profile");
+    println!(
+        "profile     : {} requests, {:.2} rows/request, {} tenants -> {}",
+        profile.requests,
+        profile.mean_rows_per_request(),
+        profile.tenants.len(),
+        profile_path.display()
+    );
     // Phase 3: the identical closed loop at f32 — the SIMD serving path,
     // including the warm-at-swap cast on every hot swap.
     let (batched_f32, f32_failures, f32_swaps, fill_f32) =
         batched_phase(EnginePrecision::F32, &snap_a, &snap_b, &x, phase_duration);
+    // Phase 4: replay the captured profile; the offered traffic should
+    // regenerate the live phase's throughput.
+    let (replay, replay_failures, replay_fill) =
+        replay_phase(&profile, &snap_a, &snap_b, &x, phase_duration);
+    assert_eq!(replay_failures, 0, "profile replay had failing requests");
+    // Phase 5: what does flipping the telemetry gate on cost the submit
+    // path?
+    let overhead = telemetry_overhead(&snap_a, &x);
+    println!(
+        "telemetry   : {:+.3}% enabled-path overhead (acceptance: < 2%)",
+        overhead * 100.0
+    );
 
     let speedup = batched.rows_per_sec() / serial.rows_per_sec();
+    let replay_vs_live = replay.rows_per_sec() / batched.rows_per_sec();
     let f32_over_f64 = batched_f32.rows_per_sec() / batched.rows_per_sec();
     println!("speedup     : {speedup:.2}x batched-vs-serial (acceptance: >= 1.5)");
     println!("f32 over f64: {f32_over_f64:.2}x end-to-end (HTTP + batching overhead included)");
@@ -283,7 +456,10 @@ fn main() {
          \"serial\": {{\"clients\": {}, \"rows\": {}, \"rows_per_sec\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}},\n  \
          \"batched_f64\": {},\n  \
          \"batched_f32\": {},\n  \
+         \"replay\": {},\n  \
          \"speedup_batched_vs_serial\": {:.3},\n  \"speedup_f32_over_f64_batched\": {:.3},\n  \
+         \"replay_vs_live\": {:.3},\n  \"telemetry_overhead\": {:.5},\n  \
+         \"workload_profile\": \"results/profiles/serve_default.json\",\n  \
          \"hot_swaps_during_load\": {},\n  \"lost_requests\": {}\n}}\n",
         targad_serve::ServeConfig::default().default_strategy.name(),
         features.avx2,
@@ -296,22 +472,37 @@ fn main() {
         serial.p99_us,
         phase_json(&batched, &fill),
         phase_json(&batched_f32, &fill_f32),
+        phase_json(&replay, &replay_fill),
         speedup,
         f32_over_f64,
+        replay_vs_live,
+        overhead,
         swaps + f32_swaps,
-        serial_failures + batched_failures + f32_failures,
+        serial_failures + batched_failures + f32_failures + replay_failures,
     );
     let path =
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/bench_serve.json");
     std::fs::write(&path, json).expect("write bench_serve.json");
     println!("wrote {}", path.display());
 
-    // In quick (CI smoke) mode load is too short-lived for the ratio to be
-    // meaningful; the full run enforces the acceptance bar.
+    // The gate cost is machine-load-sensitive but not duration-sensitive:
+    // enforce it in every mode (this is the CI smoke job's overhead gate).
+    assert!(
+        overhead < 0.02,
+        "telemetry enabled-path overhead {:.3}% breaches the 2% acceptance bar",
+        overhead * 100.0
+    );
+
+    // In quick (CI smoke) mode load is too short-lived for the ratios to be
+    // meaningful; the full run enforces the acceptance bars.
     if !quick_mode() {
         assert!(
             speedup >= 1.5,
             "micro-batched throughput {speedup:.2}x below the 1.5x acceptance bar"
+        );
+        assert!(
+            (replay_vs_live - 1.0).abs() <= 0.15,
+            "profile replay throughput {replay_vs_live:.3}x of live, outside the 15% band"
         );
     }
 }

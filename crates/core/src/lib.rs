@@ -54,4 +54,4 @@ pub use ood::OodStrategy;
 pub use targad_nn::EnginePrecision;
 pub use targad_obs::{NullObserver, TrainObserver};
 pub use targad_runtime::Runtime;
-pub use verdict::{Calibration, ScoreOutput, ThresholdCache, Verdict, VerdictClass};
+pub use verdict::{Calibration, ScoreOutput, ThresholdCache, Verdict, VerdictClass, VerdictCounts};

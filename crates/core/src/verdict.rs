@@ -65,6 +65,54 @@ impl VerdictClass {
     }
 }
 
+/// Tally of three-way verdicts across a batch: one counter per
+/// [`VerdictClass`]. The serve layer's access log and per-tenant metrics
+/// aggregate with this instead of materializing per-row objects.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VerdictCounts {
+    /// Rows decided [`VerdictClass::Normal`].
+    pub normal: u64,
+    /// Rows decided [`VerdictClass::Target`].
+    pub target: u64,
+    /// Rows decided [`VerdictClass::NonTarget`].
+    pub non_target: u64,
+}
+
+impl VerdictCounts {
+    /// Counts one verdict.
+    #[inline]
+    pub fn add(&mut self, class: VerdictClass) {
+        match class {
+            VerdictClass::Normal => self.normal += 1,
+            VerdictClass::Target => self.target += 1,
+            VerdictClass::NonTarget => self.non_target += 1,
+        }
+    }
+
+    /// Tallies an iterator of verdicts.
+    pub fn tally(classes: impl IntoIterator<Item = VerdictClass>) -> Self {
+        let mut counts = Self::default();
+        for class in classes {
+            counts.add(class);
+        }
+        counts
+    }
+
+    /// The count for `class`.
+    pub fn get(&self, class: VerdictClass) -> u64 {
+        match class {
+            VerdictClass::Normal => self.normal,
+            VerdictClass::Target => self.target,
+            VerdictClass::NonTarget => self.non_target,
+        }
+    }
+
+    /// Total rows tallied.
+    pub fn total(&self) -> u64 {
+        self.normal + self.target + self.non_target
+    }
+}
+
 /// One row's full structured scoring result: the Eq. 9 score *and* the
 /// three-way §III-C verdict, with the strategy and threshold that produced
 /// it (a score is only interpretable relative to its decision rule).
@@ -279,6 +327,27 @@ mod tests {
         }
         assert_eq!(VerdictClass::from_code(3), None);
         assert_eq!(VerdictClass::NonTarget.name(), "non_target");
+    }
+
+    #[test]
+    fn verdict_counts_tally_by_class() {
+        let counts = VerdictCounts::tally([
+            VerdictClass::Normal,
+            VerdictClass::Target,
+            VerdictClass::Normal,
+            VerdictClass::NonTarget,
+        ]);
+        assert_eq!(counts.normal, 2);
+        assert_eq!(counts.target, 1);
+        assert_eq!(counts.non_target, 1);
+        assert_eq!(counts.total(), 4);
+        for class in VerdictClass::all() {
+            assert!(counts.get(class) >= 1);
+        }
+        let mut more = counts;
+        more.add(VerdictClass::Target);
+        assert_eq!(more.get(VerdictClass::Target), 2);
+        assert_eq!(VerdictCounts::default().total(), 0);
     }
 
     #[test]

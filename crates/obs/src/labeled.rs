@@ -1,0 +1,464 @@
+//! Labeled (per-tenant) metric families.
+//!
+//! The static registry in [`crate::metrics`] keys metrics by name alone;
+//! multi-tenant serving needs `(name, tenant)` series. This module adds a
+//! fixed-capacity labeled layer that keeps the same discipline as the
+//! static registry: lock-free on the hot path, zero allocation after a
+//! label's first touch.
+//!
+//! Design:
+//!
+//! - One process-global [`LabelSet`] ([`tenants`]) interns tenant names
+//!   into dense slots. Interning takes a mutex once per *new* label;
+//!   lookups are an acquire load plus a bounded scan over already
+//!   published `&'static str` slots (label strings are leaked — tenant
+//!   cardinality is capped, so the leak is bounded).
+//! - A family ([`LabeledCounter`], [`LabeledGauge`], [`LabeledHistogram`],
+//!   and [`crate::sketch::LabeledSketch`]) is a plain array of atomics
+//!   indexed by [`LabelId`]. No per-family label table, no hashing.
+//! - Cardinality is capped at [`MAX_LABELS`]. Labels beyond the cap clamp
+//!   to a shared `_other` overflow slot and bump `obs.label_overflow`, so
+//!   a tenant-name flood can neither allocate unboundedly nor lose
+//!   traffic accounting entirely.
+//!
+//! All labeled writes are **ungated** serving truth (see
+//! [`crate::metrics`]): the debug-telemetry gate does not apply.
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::metrics::{bucket_of, HISTOGRAM_BUCKETS};
+
+/// Maximum distinct labels a [`LabelSet`] interns; observations for
+/// further labels clamp to the `_other` overflow slot.
+pub const MAX_LABELS: usize = 64;
+
+/// Number of value slots in a labeled family: one per internable label
+/// plus the overflow slot.
+pub const LABEL_SLOTS: usize = MAX_LABELS + 1;
+
+/// Display name of the overflow slot.
+pub const OVERFLOW_LABEL: &str = "_other";
+
+/// Dense handle for an interned label. `Copy`, so request structs can
+/// carry it across threads without touching the label string again.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LabelId(usize);
+
+impl LabelId {
+    /// The shared overflow slot ([`OVERFLOW_LABEL`]).
+    pub const OVERFLOW: LabelId = LabelId(MAX_LABELS);
+
+    /// Slot index into a family's value array.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// True when this is the overflow slot.
+    #[inline]
+    pub fn is_overflow(self) -> bool {
+        self.0 == MAX_LABELS
+    }
+}
+
+/// A fixed-capacity, lock-free-readable label interner.
+pub struct LabelSet {
+    /// Published label strings; slot `i` is non-null for `i < len`.
+    /// Strings are leaked `Box<String>`s (thin pointers), so a published
+    /// pointer is valid for the process lifetime.
+    slots: [AtomicPtr<String>; MAX_LABELS],
+    /// Number of published slots. Stored with `Release` after the slot
+    /// pointer, loaded with `Acquire` before scanning.
+    len: AtomicUsize,
+    /// Serializes interning (writes only).
+    register: Mutex<()>,
+}
+
+impl LabelSet {
+    /// An empty label set.
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const NULL: AtomicPtr<String> = AtomicPtr::new(std::ptr::null_mut());
+        Self {
+            slots: [NULL; MAX_LABELS],
+            len: AtomicUsize::new(0),
+            register: Mutex::new(()),
+        }
+    }
+
+    /// Number of interned labels (excludes the overflow slot).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// True when no labels are interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The label string for `id`, or [`OVERFLOW_LABEL`] for the overflow
+    /// slot. Returns `None` for slots not yet interned.
+    pub fn name(&self, id: LabelId) -> Option<&'static str> {
+        if id.is_overflow() {
+            return Some(OVERFLOW_LABEL);
+        }
+        if id.0 >= self.len() {
+            return None;
+        }
+        let ptr = self.slots[id.0].load(Ordering::Acquire);
+        // Published before `len` was raised past this slot, so non-null.
+        unsafe { ptr.as_ref() }.map(|s| s.as_str())
+    }
+
+    /// Finds an already interned label without interning. Allocation-free.
+    #[inline]
+    pub fn lookup(&self, label: &str) -> Option<LabelId> {
+        let n = self.len.load(Ordering::Acquire);
+        for i in 0..n {
+            let ptr = self.slots[i].load(Ordering::Acquire);
+            if unsafe { ptr.as_ref() }.is_some_and(|s| s == label) {
+                return Some(LabelId(i));
+            }
+        }
+        None
+    }
+
+    /// Interns `label`, returning its dense id. Beyond [`MAX_LABELS`]
+    /// distinct labels, returns [`LabelId::OVERFLOW`] and bumps
+    /// `obs.label_overflow`.
+    pub fn intern(&self, label: &str) -> LabelId {
+        if let Some(id) = self.lookup(label) {
+            return id;
+        }
+        let _guard = self.register.lock().unwrap_or_else(|e| e.into_inner());
+        // Double-check under the lock: a racing intern may have won.
+        if let Some(id) = self.lookup(label) {
+            return id;
+        }
+        let n = self.len.load(Ordering::Acquire);
+        if n >= MAX_LABELS {
+            crate::metrics::LABEL_OVERFLOW.inc_always();
+            return LabelId::OVERFLOW;
+        }
+        let leaked: &'static mut String = Box::leak(Box::new(label.to_owned()));
+        self.slots[n].store(leaked as *mut String, Ordering::Release);
+        self.len.store(n + 1, Ordering::Release);
+        LabelId(n)
+    }
+
+    /// All interned labels with their ids, in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (LabelId, &'static str)> + '_ {
+        let n = self.len();
+        (0..n).filter_map(move |i| self.name(LabelId(i)).map(|s| (LabelId(i), s)))
+    }
+}
+
+impl Default for LabelSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// `AtomicPtr<str>` to leaked immutable strings + atomics: safe to share.
+unsafe impl Sync for LabelSet {}
+unsafe impl Send for LabelSet {}
+
+static TENANTS: LabelSet = LabelSet::new();
+
+/// The process-global tenant label set shared by every labeled serve
+/// family.
+pub fn tenants() -> &'static LabelSet {
+    &TENANTS
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+
+/// A counter family over the tenant label set.
+pub struct LabeledCounter {
+    name: &'static str,
+    values: [AtomicU64; LABEL_SLOTS],
+}
+
+impl LabeledCounter {
+    /// A named family with every slot at zero.
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            values: [ZERO; LABEL_SLOTS],
+        }
+    }
+
+    /// The family's dot-path name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds one to the label's series (ungated, allocation-free).
+    #[inline]
+    pub fn inc(&self, id: LabelId) {
+        self.add(id, 1);
+    }
+
+    /// Adds `n` to the label's series (ungated, allocation-free).
+    #[inline]
+    pub fn add(&self, id: LabelId, n: u64) {
+        self.values[id.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value of the label's series.
+    pub fn get(&self, id: LabelId) -> u64 {
+        self.values[id.index()].load(Ordering::Relaxed)
+    }
+
+    /// Zeroes every series (labels stay interned).
+    pub fn reset(&self) {
+        for v in &self.values {
+            v.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A gauge family over the tenant label set.
+pub struct LabeledGauge {
+    name: &'static str,
+    values: [AtomicU64; LABEL_SLOTS],
+}
+
+impl LabeledGauge {
+    /// A named family with every slot at zero.
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            values: [ZERO; LABEL_SLOTS],
+        }
+    }
+
+    /// The family's dot-path name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Overwrites the label's series (ungated, allocation-free).
+    #[inline]
+    pub fn set(&self, id: LabelId, v: u64) {
+        self.values[id.index()].store(v, Ordering::Relaxed);
+    }
+
+    /// Current value of the label's series.
+    pub fn get(&self, id: LabelId) -> u64 {
+        self.values[id.index()].load(Ordering::Relaxed)
+    }
+
+    /// Zeroes every series (labels stay interned).
+    pub fn reset(&self) {
+        for v in &self.values {
+            v.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One label's histogram storage inside a [`LabeledHistogram`].
+struct HistCell {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistCell {
+    const fn new() -> Self {
+        Self {
+            buckets: [ZERO; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A histogram family over the tenant label set. Same power-of-4 bucket
+/// layout as the static [`crate::metrics::Histogram`].
+pub struct LabeledHistogram {
+    name: &'static str,
+    cells: [HistCell; LABEL_SLOTS],
+}
+
+impl LabeledHistogram {
+    /// A named family with every cell empty.
+    pub const fn new(name: &'static str) -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const CELL: HistCell = HistCell::new();
+        Self {
+            name,
+            cells: [CELL; LABEL_SLOTS],
+        }
+    }
+
+    /// The family's dot-path name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records one sample into the label's series (ungated,
+    /// allocation-free).
+    #[inline]
+    pub fn record(&self, id: LabelId, value: u64) {
+        let cell = &self.cells[id.index()];
+        cell.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        cell.count.fetch_add(1, Ordering::Relaxed);
+        cell.sum.fetch_add(value, Ordering::Relaxed);
+        cell.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Total samples in the label's series.
+    pub fn count(&self, id: LabelId) -> u64 {
+        self.cells[id.index()].count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of samples in the label's series.
+    pub fn sum(&self, id: LabelId) -> u64 {
+        self.cells[id.index()].sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample in the label's series since the last reset.
+    pub fn max(&self, id: LabelId) -> u64 {
+        self.cells[id.index()].max.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts of the label's series.
+    pub fn buckets(&self, id: LabelId) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.cells[id.index()].buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Zeroes every cell (labels stay interned).
+    pub fn reset(&self) {
+        for c in &self.cells {
+            c.reset();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The labeled serve families.
+
+/// `/score` requests completed, per tenant.
+pub static TENANT_REQUESTS: LabeledCounter = LabeledCounter::new("serve.tenant.requests");
+/// Rows scored, per tenant.
+pub static TENANT_ROWS: LabeledCounter = LabeledCounter::new("serve.tenant.rows");
+/// `/score` requests that failed (backpressure, bad input, unknown
+/// tenant, budget), per tenant.
+pub static TENANT_ERRORS: LabeledCounter = LabeledCounter::new("serve.tenant.errors");
+/// End-to-end `/score` latency, per tenant, in nanoseconds.
+pub static TENANT_REQUEST_NS: LabeledHistogram = LabeledHistogram::new("serve.tenant.request_ns");
+/// Rows per request as submitted, per tenant.
+pub static TENANT_REQUEST_ROWS: LabeledHistogram =
+    LabeledHistogram::new("serve.tenant.request_rows");
+/// Weight + plan bytes resident in the model store, per tenant.
+pub static TENANT_RESIDENT_BYTES: LabeledGauge = LabeledGauge::new("serve.tenant.resident_bytes");
+
+/// All labeled counter families, in reporting order.
+pub static LABELED_COUNTERS: &[&LabeledCounter] = &[&TENANT_REQUESTS, &TENANT_ROWS, &TENANT_ERRORS];
+
+/// All labeled gauge families, in reporting order.
+pub static LABELED_GAUGES: &[&LabeledGauge] = &[&TENANT_RESIDENT_BYTES];
+
+/// All labeled histogram families, in reporting order.
+pub static LABELED_HISTOGRAMS: &[&LabeledHistogram] = &[&TENANT_REQUEST_NS, &TENANT_REQUEST_ROWS];
+
+/// Zeroes every labeled family's values. Interned labels are preserved —
+/// slots stay allocated to their tenants across bench phases.
+pub fn reset_values() {
+    for c in LABELED_COUNTERS {
+        c.reset();
+    }
+    for g in LABELED_GAUGES {
+        g.reset();
+    }
+    for h in LABELED_HISTOGRAMS {
+        h.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_stable_and_lookup_free() {
+        let set = LabelSet::new();
+        let a = set.intern("alpha");
+        let b = set.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(set.intern("alpha"), a);
+        assert_eq!(set.lookup("beta"), Some(b));
+        assert_eq!(set.lookup("gamma"), None);
+        assert_eq!(set.name(a), Some("alpha"));
+        assert_eq!(set.name(LabelId::OVERFLOW), Some(OVERFLOW_LABEL));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn cardinality_cap_clamps_to_overflow() {
+        let set = LabelSet::new();
+        let before = crate::metrics::LABEL_OVERFLOW.get();
+        for i in 0..MAX_LABELS {
+            let id = set.intern(&format!("tenant-{i}"));
+            assert_eq!(id.index(), i);
+            assert!(!id.is_overflow());
+        }
+        assert_eq!(set.len(), MAX_LABELS);
+        // The 65th distinct label clamps; existing labels still resolve.
+        let over = set.intern("one-too-many");
+        assert!(over.is_overflow());
+        assert!(crate::metrics::LABEL_OVERFLOW.get() > before);
+        assert_eq!(set.len(), MAX_LABELS);
+        assert_eq!(set.lookup("tenant-0"), Some(LabelId(0)));
+        assert_eq!(set.intern("tenant-63").index(), 63);
+        // Overflow observations share one slot instead of disappearing.
+        static C: LabeledCounter = LabeledCounter::new("test.overflow_counter");
+        C.inc(over);
+        C.inc(set.intern("also-too-many"));
+        assert_eq!(C.get(LabelId::OVERFLOW), 2);
+    }
+
+    #[test]
+    fn concurrent_intern_agrees() {
+        let set = LabelSet::new();
+        let ids: Vec<LabelId> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8).map(|_| s.spawn(|| set.intern("shared"))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn families_accumulate_per_label() {
+        static H: LabeledHistogram = LabeledHistogram::new("test.labeled_hist");
+        let set = LabelSet::new();
+        let a = set.intern("a");
+        let b = set.intern("b");
+        H.record(a, 5);
+        H.record(a, 5);
+        H.record(b, 1 << 20);
+        assert_eq!(H.count(a), 2);
+        assert_eq!(H.sum(a), 10);
+        assert_eq!(H.buckets(a)[1], 2);
+        assert_eq!(H.count(b), 1);
+        assert_eq!(H.max(b), 1 << 20);
+        H.reset();
+        assert_eq!(H.count(a), 0);
+        assert_eq!(H.max(b), 0);
+    }
+}

@@ -18,6 +18,11 @@
 //! 3. **Phase profiling** ([`profile`]) — scoped span timers aggregated
 //!    into a deterministic dot-path phase tree (`fit.select.ae`,
 //!    `step.backward`, …), with a human-readable renderer and JSON export.
+//! 4. **Serve observability** ([`labeled`], [`sketch`], [`trace`],
+//!    [`prom`]) — per-tenant labeled metric families and score
+//!    distribution sketches (ungated serving truth), request-scoped
+//!    trace spans (gated, bit-identical when off), and Prometheus text
+//!    exposition over the whole registry.
 //!
 //! [`sink::JsonlSink`] serializes the event stream to JSON Lines;
 //! [`hub`] is a process-global sink used by the baseline epoch loops.
@@ -35,17 +40,24 @@
 
 pub mod events;
 mod json;
+pub mod labeled;
 pub mod metrics;
 pub mod profile;
+pub mod prom;
 pub mod sink;
+pub mod sketch;
+pub mod trace;
 
 pub use events::{
     AeEpochEvent, CandidateComposition, ClusterReconStats, EpochEvent, EpochRecord, FitEndEvent,
     FitStartEvent, LossDecomposition, NullObserver, Recorder, SelectionEvent, Tee, TrainObserver,
     WarningEvent, WeightMeans, WeightSummary,
 };
+pub use labeled::{LabelId, LabelSet, MAX_LABELS};
 pub use profile::span;
 pub use sink::hub;
+pub use sketch::{ScoreSketch, SketchSnapshot};
+pub use trace::{RequestTrace, ServePhase, TraceSpan};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Mutex;

@@ -6,8 +6,22 @@
 //! enablement gate) plus, when enabled, one relaxed `fetch_add`. Without
 //! the crate's `telemetry` feature the bodies compile away entirely.
 //!
+//! Two write disciplines coexist:
+//!
+//! - **Gated** ([`Counter::add`], [`Gauge::set`], [`Histogram::record`]) —
+//!   debug/perf telemetry that respects the [`crate::enabled`] switch.
+//!   Training and kernel instrumentation uses these.
+//! - **Ungated** ([`Counter::add_always`], [`Gauge::set_always`],
+//!   [`Histogram::record_always`]) — *serving truth*: request, batch, and
+//!   store accounting that an operator's `/metrics` scrape must reflect
+//!   whether or not the debug gate is up. The serve layer writes its
+//!   `serve.*` / `store.*` metrics through these, so `BatcherStats`,
+//!   tests, and the exposition endpoints all read one set of numbers.
+//!
 //! [`snapshot`] walks the fixed metric lists into owned name/value pairs
-//! for reporting; [`reset_all`] zeroes everything (bench/test isolation).
+//! for reporting; [`reset_all`] zeroes everything (bench/test isolation),
+//! including the labeled families ([`crate::labeled`]) and score sketches
+//! ([`crate::sketch`]).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -55,6 +69,22 @@ impl Counter {
         self.value.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Adds one regardless of the enablement gate (serving truth).
+    #[inline]
+    pub fn inc_always(&self) {
+        self.add_always(1);
+    }
+
+    /// Adds `n` regardless of the enablement gate (serving truth).
+    ///
+    /// Serve- and store-layer accounting goes through this path so the
+    /// `/metrics` endpoints reflect real traffic even when the debug
+    /// telemetry gate is down.
+    #[inline]
+    pub fn add_always(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
@@ -97,6 +127,13 @@ impl Gauge {
         let _ = v;
     }
 
+    /// Overwrites the value regardless of the enablement gate (serving
+    /// truth).
+    #[inline]
+    pub fn set_always(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
@@ -122,6 +159,15 @@ pub struct Histogram {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Bucket index of `value`: `floor(log4(value))`, clamped to the range.
+/// Shared by [`Histogram`] and the labeled histogram cells.
+#[inline]
+pub(crate) fn bucket_of(value: u64) -> usize {
+    let bits = 64 - value.leading_zeros() as usize; // 0 for value == 0
+    (bits.saturating_sub(1) / 2).min(HISTOGRAM_BUCKETS - 1)
 }
 
 impl Histogram {
@@ -134,6 +180,7 @@ impl Histogram {
             buckets: [ZERO; HISTOGRAM_BUCKETS],
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
         }
     }
 
@@ -144,10 +191,8 @@ impl Histogram {
 
     /// Bucket index of `value`: `floor(log4(value))`, clamped to the range.
     #[inline]
-    #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
     fn bucket_of(value: u64) -> usize {
-        let bits = 64 - value.leading_zeros() as usize; // 0 for value == 0
-        (bits.saturating_sub(1) / 2).min(HISTOGRAM_BUCKETS - 1)
+        bucket_of(value)
     }
 
     /// Records one sample when telemetry is enabled.
@@ -155,12 +200,20 @@ impl Histogram {
     pub fn record(&self, value: u64) {
         #[cfg(feature = "telemetry")]
         if crate::enabled() {
-            self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
-            self.count.fetch_add(1, Ordering::Relaxed);
-            self.sum.fetch_add(value, Ordering::Relaxed);
+            self.record_always(value);
         }
         #[cfg(not(feature = "telemetry"))]
         let _ = value;
+    }
+
+    /// Records one sample regardless of the enablement gate (serving
+    /// truth).
+    #[inline]
+    pub fn record_always(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
     }
 
     /// Total samples recorded.
@@ -171,6 +224,11 @@ impl Histogram {
     /// Sum of all recorded samples.
     pub fn sum(&self) -> u64 {
         self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample recorded since the last reset (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
     }
 
     /// Per-bucket sample counts.
@@ -185,6 +243,7 @@ impl Histogram {
         }
         self.count.store(0, Ordering::Relaxed);
         self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
     }
 }
 
@@ -235,6 +294,9 @@ pub static SERVE_BATCHES: Counter = Counter::new("serve.batches");
 pub static SERVE_REJECTED: Counter = Counter::new("serve.rejected");
 /// Model registry hot-swaps performed.
 pub static SERVE_SWAPS: Counter = Counter::new("serve.swaps");
+/// Labeled-metric observations that fell into the `_other` overflow slot
+/// because the label set hit its cardinality cap.
+pub static LABEL_OVERFLOW: Counter = Counter::new("obs.label_overflow");
 
 /// Borrowed (shared-storage) matrices promoted to owned storage by a
 /// mutating call (copy-on-write). Zero on the scoring hot path — weights
@@ -293,6 +355,14 @@ pub static SERVE_BATCH_FILL: Histogram = Histogram::new("serve.batch_fill");
 pub static SERVE_QUEUE_WAIT_NS: Histogram = Histogram::new("serve.queue_wait_ns");
 /// Wall time of one serve micro-batch scoring pass, in nanoseconds.
 pub static SERVE_BATCH_SERVICE_NS: Histogram = Histogram::new("serve.batch_service_ns");
+/// End-to-end wall time of one `/score` request (submit to reply), in
+/// nanoseconds.
+pub static SERVE_REQUEST_NS: Histogram = Histogram::new("serve.request_ns");
+/// Gap between consecutive request arrivals at the micro-batcher, in
+/// nanoseconds (feeds the workload-profile recorder).
+pub static SERVE_ARRIVAL_GAP_NS: Histogram = Histogram::new("serve.arrival_gap_ns");
+/// Rows carried by one `/score` request (as submitted, before coalescing).
+pub static SERVE_REQUEST_ROWS: Histogram = Histogram::new("serve.request_rows");
 
 /// Wall time to admit one tenant into the model store LRU (load from disk,
 /// rebuild the engine, warm the f32 plan when configured), in nanoseconds.
@@ -321,6 +391,7 @@ pub static COUNTERS: &[&Counter] = &[
     &SERVE_BATCHES,
     &SERVE_REJECTED,
     &SERVE_SWAPS,
+    &LABEL_OVERFLOW,
     &MATRIX_COW_PROMOTIONS,
     &STORE_CACHE_HITS,
     &STORE_CACHE_MISSES,
@@ -347,6 +418,9 @@ pub static HISTOGRAMS: &[&Histogram] = &[
     &SERVE_BATCH_FILL,
     &SERVE_QUEUE_WAIT_NS,
     &SERVE_BATCH_SERVICE_NS,
+    &SERVE_REQUEST_NS,
+    &SERVE_ARRIVAL_GAP_NS,
+    &SERVE_REQUEST_ROWS,
     &STORE_ADMIT_NS,
 ];
 
@@ -363,6 +437,8 @@ pub enum MetricValue {
         count: u64,
         /// Sum of samples.
         sum: u64,
+        /// Largest sample since the last reset (0 when empty).
+        max: u64,
         /// Per-bucket counts.
         buckets: [u64; HISTOGRAM_BUCKETS],
     },
@@ -383,6 +459,7 @@ pub fn snapshot() -> Vec<(&'static str, MetricValue)> {
             MetricValue::Histogram {
                 count: h.count(),
                 sum: h.sum(),
+                max: h.max(),
                 buckets: h.buckets(),
             },
         ));
@@ -390,7 +467,9 @@ pub fn snapshot() -> Vec<(&'static str, MetricValue)> {
     out
 }
 
-/// Resets every registered metric to zero.
+/// Resets every registered metric to zero, including the labeled metric
+/// families and score sketches (label interning is preserved — only
+/// values are cleared).
 pub fn reset_all() {
     for c in COUNTERS {
         c.reset();
@@ -401,6 +480,8 @@ pub fn reset_all() {
     for h in HISTOGRAMS {
         h.reset();
     }
+    crate::labeled::reset_values();
+    crate::sketch::reset_values();
 }
 
 /// The metrics snapshot as a JSON object string.
@@ -417,11 +498,12 @@ pub fn snapshot_json() -> String {
             MetricValue::Histogram {
                 count,
                 sum,
+                max,
                 buckets,
             } => {
                 let b: Vec<String> = buckets.iter().map(u64::to_string).collect();
                 out.push_str(&format!(
-                    "\"{name}\": {{\"count\": {count}, \"sum\": {sum}, \"buckets\": [{}]}}",
+                    "\"{name}\": {{\"count\": {count}, \"sum\": {sum}, \"max\": {max}, \"buckets\": [{}]}}",
                     b.join(", ")
                 ));
             }
@@ -474,6 +556,97 @@ mod tests {
         assert_eq!(Histogram::bucket_of(15), 1);
         assert_eq!(Histogram::bucket_of(16), 2);
         assert_eq!(Histogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_bucket_power_of_two_sweep() {
+        // Every power of two lands in bucket floor(exp / 2); the value just
+        // below it (2^exp - 1) lands in floor((exp - 1) / 2). The clamp
+        // kicks in once floor(exp / 2) reaches the last bucket.
+        for exp in 0..64u32 {
+            let v = 1u64 << exp;
+            let expect = ((exp as usize) / 2).min(HISTOGRAM_BUCKETS - 1);
+            assert_eq!(Histogram::bucket_of(v), expect, "2^{exp}");
+            if exp > 0 {
+                let below = v - 1;
+                let expect_below = ((exp as usize - 1) / 2).min(HISTOGRAM_BUCKETS - 1);
+                assert_eq!(Histogram::bucket_of(below), expect_below, "2^{exp}-1");
+            }
+        }
+        // Exact power-of-4 edges: 4^i is the first value of bucket i.
+        for i in 0..HISTOGRAM_BUCKETS {
+            let edge = 1u64 << (2 * i);
+            assert_eq!(Histogram::bucket_of(edge), i);
+            assert_eq!(Histogram::bucket_of(edge - 1), i.saturating_sub(1));
+        }
+    }
+
+    #[test]
+    fn histogram_snapshot_under_concurrent_record() {
+        // Writers hammer one histogram (through the ungated path, so the
+        // test is gate-independent) while a reader snapshots it. Every
+        // observed snapshot must be internally plausible: bucket totals
+        // never exceed a later count ceiling, sum consistent with the
+        // recorded constant value, and the final state exact.
+        static H: Histogram = Histogram::new("test.concurrent_histogram");
+        H.reset();
+        const WRITERS: usize = 4;
+        const PER_WRITER: u64 = 20_000;
+        const VALUE: u64 = 5; // bucket 1
+        std::thread::scope(|s| {
+            for _ in 0..WRITERS {
+                s.spawn(|| {
+                    for _ in 0..PER_WRITER {
+                        H.record_always(VALUE);
+                    }
+                });
+            }
+            s.spawn(|| {
+                for _ in 0..200 {
+                    let count = H.count();
+                    let sum = H.sum();
+                    let buckets = H.buckets();
+                    let total = WRITERS as u64 * PER_WRITER;
+                    assert!(count <= total);
+                    assert!(sum <= total * VALUE);
+                    assert!(buckets[1] <= total);
+                    for (i, b) in buckets.iter().enumerate() {
+                        if i != 1 {
+                            assert_eq!(*b, 0, "stray sample in bucket {i}");
+                        }
+                    }
+                    std::hint::spin_loop();
+                }
+            });
+        });
+        let total = WRITERS as u64 * PER_WRITER;
+        assert_eq!(H.count(), total);
+        assert_eq!(H.sum(), total * VALUE);
+        assert_eq!(H.buckets()[1], total);
+        assert_eq!(H.max(), VALUE);
+        H.reset();
+        assert_eq!(H.max(), 0);
+    }
+
+    #[test]
+    fn ungated_paths_ignore_gate() {
+        static C: Counter = Counter::new("test.always_counter");
+        static G: Gauge = Gauge::new("test.always_gauge");
+        static H: Histogram = Histogram::new("test.always_histogram");
+        // No gate manipulation at all: _always paths must work even when
+        // telemetry was never switched on (and without the feature).
+        C.inc_always();
+        C.add_always(2);
+        assert_eq!(C.get(), 3);
+        G.set_always(9);
+        assert_eq!(G.get(), 9);
+        H.record_always(1 << 10);
+        assert_eq!(H.count(), 1);
+        assert_eq!(H.sum(), 1 << 10);
+        assert_eq!(H.max(), 1 << 10);
+        C.reset();
+        G.reset();
+        H.reset();
     }
 
     #[test]

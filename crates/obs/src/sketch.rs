@@ -1,0 +1,379 @@
+//! Mergeable score-distribution sketches.
+//!
+//! Serve-time drift detection (ROADMAP item 1) needs per-tenant quantiles
+//! of the anomaly scores actually served, cheap enough to record on every
+//! row. This module provides a fixed-layout log-bucket sketch: recording
+//! is a handful of bit operations plus two relaxed atomic adds, snapshots
+//! are plain arrays that merge by element-wise addition, and quantiles
+//! come from a bucket walk with intra-bucket geometric interpolation.
+//!
+//! Layout: scores are nonnegative reals (Eq. 9 priority scores and Eq. 2
+//! reconstruction errors both are). The sketch spans 16 octaves
+//! `[2^-12, 2^4)` with 4 sub-buckets per octave (mantissa top two bits) —
+//! 64 buckets, ~19% relative width each — plus an underflow bucket (zero
+//! and tiny scores) and an overflow bucket. Negative or non-finite scores
+//! clamp to the nearest end. Like the labeled families, sketch recording
+//! is **ungated** serving truth.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::labeled::{LabelId, LABEL_SLOTS};
+
+/// Sub-buckets per octave (power of two).
+const SUBDIV: usize = 4;
+/// Lowest represented octave: scores below `2^MIN_EXP` go to underflow.
+const MIN_EXP: i32 = -12;
+/// One past the highest represented octave: scores at or above
+/// `2^MAX_EXP` go to overflow.
+const MAX_EXP: i32 = 4;
+/// Log-spaced buckets between underflow and overflow.
+const LOG_BUCKETS: usize = ((MAX_EXP - MIN_EXP) as usize) * SUBDIV;
+
+/// Total bucket count: underflow + log buckets + overflow.
+pub const SKETCH_BUCKETS: usize = LOG_BUCKETS + 2;
+
+/// Index of the underflow bucket (zero, tiny, and negative scores).
+pub const UNDERFLOW_BUCKET: usize = 0;
+/// Index of the overflow bucket (huge and non-finite scores).
+pub const OVERFLOW_BUCKET: usize = SKETCH_BUCKETS - 1;
+
+/// Micro-units per score unit for the atomic running sum.
+const MICRO: f64 = 1e6;
+
+/// Bucket index for a score.
+#[inline]
+fn bucket_of(score: f64) -> usize {
+    if score <= 0.0 || score.is_nan() {
+        // Zero, negative, or NaN: underflow end.
+        return UNDERFLOW_BUCKET;
+    }
+    if score.is_infinite() {
+        return OVERFLOW_BUCKET;
+    }
+    let bits = score.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
+    if exp < MIN_EXP {
+        return UNDERFLOW_BUCKET;
+    }
+    if exp >= MAX_EXP {
+        return OVERFLOW_BUCKET;
+    }
+    // Top two mantissa bits pick the sub-bucket within the octave.
+    // Subnormals (exp == -1023) were already routed to underflow above.
+    let sub = ((bits >> 50) & 0x3) as usize;
+    1 + ((exp - MIN_EXP) as usize) * SUBDIV + sub
+}
+
+/// Lower edge of log bucket `i` (1-based within the log range).
+fn bucket_lower(i: usize) -> f64 {
+    debug_assert!((1..=LOG_BUCKETS).contains(&i));
+    let li = i - 1;
+    let exp = MIN_EXP + (li / SUBDIV) as i32;
+    let frac = 1.0 + (li % SUBDIV) as f64 / SUBDIV as f64;
+    frac * (exp as f64).exp2()
+}
+
+/// Upper edge of log bucket `i`.
+fn bucket_upper(i: usize) -> f64 {
+    if i == LOG_BUCKETS {
+        (MAX_EXP as f64).exp2()
+    } else {
+        bucket_lower(i + 1)
+    }
+}
+
+/// A lock-free score-distribution sketch.
+pub struct ScoreSketch {
+    name: &'static str,
+    buckets: [AtomicU64; SKETCH_BUCKETS],
+    count: AtomicU64,
+    /// Running sum in micro-score units (saturating).
+    sum_micro: AtomicU64,
+}
+
+impl ScoreSketch {
+    /// A named, empty sketch.
+    pub const fn new(name: &'static str) -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Self {
+            name,
+            buckets: [ZERO; SKETCH_BUCKETS],
+            count: AtomicU64::new(0),
+            sum_micro: AtomicU64::new(0),
+        }
+    }
+
+    /// The sketch's dot-path name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records one score (ungated, allocation-free).
+    #[inline]
+    pub fn record(&self, score: f64) {
+        self.buckets[bucket_of(score)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let micro = if score.is_finite() && score > 0.0 {
+            (score * MICRO) as u64
+        } else {
+            0
+        };
+        if micro > 0 {
+            self.sum_micro.fetch_add(micro, Ordering::Relaxed);
+        }
+    }
+
+    /// Total scores recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the sketch.
+    pub fn snapshot(&self) -> SketchSnapshot {
+        SketchSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum_micro: self.sum_micro.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes the sketch.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_micro.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An owned, mergeable copy of a [`ScoreSketch`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SketchSnapshot {
+    /// Per-bucket counts (underflow, log buckets, overflow).
+    pub buckets: [u64; SKETCH_BUCKETS],
+    /// Total scores recorded.
+    pub count: u64,
+    /// Running sum in micro-score units.
+    pub sum_micro: u64,
+}
+
+impl SketchSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        Self {
+            buckets: [0; SKETCH_BUCKETS],
+            count: 0,
+            sum_micro: 0,
+        }
+    }
+
+    /// Element-wise merge of another snapshot (cross-shard / cross-window
+    /// aggregation).
+    pub fn merge(&mut self, other: &SketchSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_micro = self.sum_micro.saturating_add(other.sum_micro);
+    }
+
+    /// Mean recorded score (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_micro as f64 / MICRO / self.count as f64
+        }
+    }
+
+    /// Approximate `q`-quantile (`0 ≤ q ≤ 1`) by bucket walk with
+    /// geometric interpolation inside the landing bucket. Underflow
+    /// resolves to the range floor, overflow to the range ceiling.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            if b == 0 {
+                continue;
+            }
+            if seen + b >= rank {
+                if i == UNDERFLOW_BUCKET {
+                    return 0.0;
+                }
+                if i == OVERFLOW_BUCKET {
+                    return (MAX_EXP as f64).exp2();
+                }
+                let lo = bucket_lower(i);
+                let hi = bucket_upper(i);
+                let frac = (rank - seen) as f64 / b as f64;
+                // Geometric interpolation matches the log bucket layout.
+                return lo * (hi / lo).powf(frac);
+            }
+            seen += b;
+        }
+        (MAX_EXP as f64).exp2()
+    }
+}
+
+impl Default for SketchSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+/// A sketch family over the tenant label set.
+pub struct LabeledSketch {
+    name: &'static str,
+    cells: [ScoreSketch; LABEL_SLOTS],
+}
+
+impl LabeledSketch {
+    /// A named family with every cell empty.
+    pub const fn new(name: &'static str) -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const CELL: ScoreSketch = ScoreSketch::new("");
+        Self {
+            name,
+            cells: [CELL; LABEL_SLOTS],
+        }
+    }
+
+    /// The family's dot-path name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records one score into the label's sketch.
+    #[inline]
+    pub fn record(&self, id: LabelId, score: f64) {
+        self.cells[id.index()].record(score);
+    }
+
+    /// Total scores recorded for the label.
+    pub fn count(&self, id: LabelId) -> u64 {
+        self.cells[id.index()].count()
+    }
+
+    /// Snapshot of the label's sketch.
+    pub fn snapshot(&self, id: LabelId) -> SketchSnapshot {
+        self.cells[id.index()].snapshot()
+    }
+
+    /// Zeroes every cell (labels stay interned).
+    pub fn reset(&self) {
+        for c in &self.cells {
+            c.reset();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The registered sketches.
+
+/// Distribution of every anomaly score served, across all tenants.
+pub static SERVE_SCORES: ScoreSketch = ScoreSketch::new("serve.score");
+
+/// Distribution of anomaly scores served, per tenant.
+pub static TENANT_SCORES: LabeledSketch = LabeledSketch::new("serve.tenant.score");
+
+/// Quantiles exported by the Prometheus exposition for each sketch.
+pub static EXPORT_QUANTILES: &[f64] = &[0.5, 0.9, 0.99];
+
+/// Zeroes every registered sketch (bench/test isolation).
+pub fn reset_values() {
+    SERVE_SCORES.reset();
+    TENANT_SCORES.reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_monotone_and_total() {
+        // Edges are strictly increasing and bucket_of() inverts them.
+        let mut prev = 0.0;
+        for i in 1..=LOG_BUCKETS {
+            let lo = bucket_lower(i);
+            let hi = bucket_upper(i);
+            assert!(lo > prev, "bucket {i} lower edge not increasing");
+            assert!(hi > lo);
+            assert_eq!(bucket_of(lo), i, "lower edge of bucket {i}");
+            // A value just under the upper edge stays in the bucket.
+            assert_eq!(bucket_of(hi * (1.0 - 1e-12)), i, "upper edge of bucket {i}");
+            prev = lo;
+        }
+        // Extremes.
+        assert_eq!(bucket_of(0.0), UNDERFLOW_BUCKET);
+        assert_eq!(bucket_of(-3.0), UNDERFLOW_BUCKET);
+        assert_eq!(bucket_of(f64::NAN), UNDERFLOW_BUCKET);
+        assert_eq!(bucket_of(2e-5), UNDERFLOW_BUCKET);
+        assert_eq!(bucket_of(16.0), OVERFLOW_BUCKET);
+        assert_eq!(bucket_of(f64::INFINITY), OVERFLOW_BUCKET);
+    }
+
+    #[test]
+    fn quantiles_bracket_known_distribution() {
+        let s = ScoreSketch::new("test.sketch");
+        // 1000 scores uniform over [0.1, 1.0).
+        for i in 0..1000 {
+            s.record(0.1 + 0.9 * (i as f64 / 1000.0));
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.count, 1000);
+        let p50 = snap.quantile(0.5);
+        let p90 = snap.quantile(0.9);
+        // True p50 = 0.55, p90 = 0.91; bucket width is ~19% relative.
+        assert!((0.4..0.7).contains(&p50), "p50 = {p50}");
+        assert!((0.75..1.1).contains(&p90), "p90 = {p90}");
+        assert!(p50 < p90);
+        assert!((snap.mean() - 0.55).abs() < 0.01, "mean = {}", snap.mean());
+    }
+
+    #[test]
+    fn snapshots_merge_exactly() {
+        let a = ScoreSketch::new("test.a");
+        let b = ScoreSketch::new("test.b");
+        for i in 1..=100 {
+            a.record(i as f64 / 100.0);
+            b.record(i as f64 / 10.0);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count, 200);
+        let direct = {
+            let c = ScoreSketch::new("test.c");
+            for i in 1..=100 {
+                c.record(i as f64 / 100.0);
+                c.record(i as f64 / 10.0);
+            }
+            c.snapshot()
+        };
+        assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn labeled_sketch_isolates_tenants() {
+        static SK: LabeledSketch = LabeledSketch::new("test.labeled_sketch");
+        let set = crate::labeled::LabelSet::new();
+        let a = set.intern("a");
+        let b = set.intern("b");
+        SK.record(a, 0.5);
+        SK.record(a, 0.5);
+        SK.record(b, 2.0);
+        assert_eq!(SK.count(a), 2);
+        assert_eq!(SK.count(b), 1);
+        let qa = SK.snapshot(a).quantile(0.5);
+        let qb = SK.snapshot(b).quantile(0.5);
+        assert!(qa < 1.0 && qb > 1.0, "qa = {qa}, qb = {qb}");
+        SK.reset();
+        assert_eq!(SK.count(a), 0);
+    }
+}

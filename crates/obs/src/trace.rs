@@ -1,0 +1,203 @@
+//! Request-scoped trace spans for the serve path.
+//!
+//! A [`RequestTrace`] rides inside a request as it crosses the serve
+//! layers (HTTP thread → batcher queue → worker → engine → reply) and
+//! accumulates monotonic nanoseconds per [`ServePhase`]. It is a small
+//! `Copy` struct — no allocation, no shared state — so threading it
+//! through channels costs a memcpy.
+//!
+//! Tracing honors the process-wide telemetry gate ([`crate::enabled`]),
+//! sampled **once** at [`RequestTrace::begin`]: with the gate down the
+//! trace is inert — no clock reads, no stores — so the scored results are
+//! bit-identical to a build without tracing. Phases recorded on a
+//! different thread than the span holder use [`RequestTrace::add`] with a
+//! duration the caller already measured (the batcher already timestamps
+//! enqueue for its queue-wait histogram).
+
+use std::time::Instant;
+
+/// Phases of one `/score` request, in lifecycle order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum ServePhase {
+    /// Waiting in the micro-batcher queue for a worker.
+    QueueWait = 0,
+    /// Drained from the queue, being coalesced and grouped into a batch.
+    Coalesce = 1,
+    /// Inside the scoring engine (the coalesced batch's engine wall time).
+    Engine = 2,
+    /// Serializing the HTTP response body.
+    Serialize = 3,
+}
+
+/// Number of [`ServePhase`] variants.
+pub const SERVE_PHASES: usize = 4;
+
+impl ServePhase {
+    /// All phases in lifecycle order.
+    pub const ALL: [ServePhase; SERVE_PHASES] = [
+        ServePhase::QueueWait,
+        ServePhase::Coalesce,
+        ServePhase::Engine,
+        ServePhase::Serialize,
+    ];
+
+    /// Stable snake_case name (used in access-log keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            ServePhase::QueueWait => "queue_wait_ns",
+            ServePhase::Coalesce => "coalesce_ns",
+            ServePhase::Engine => "engine_ns",
+            ServePhase::Serialize => "serialize_ns",
+        }
+    }
+}
+
+/// Per-request phase timings. `Copy`; inert when tracing is disabled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RequestTrace {
+    active: bool,
+    phase_ns: [u64; SERVE_PHASES],
+}
+
+impl RequestTrace {
+    /// Starts a trace, sampling the telemetry gate once. With the gate
+    /// down (or the `telemetry` feature off) the trace never reads a
+    /// clock again.
+    #[inline]
+    pub fn begin() -> Self {
+        Self {
+            active: crate::enabled(),
+            phase_ns: [0; SERVE_PHASES],
+        }
+    }
+
+    /// An always-inert trace.
+    #[inline]
+    pub fn disabled() -> Self {
+        Self {
+            active: false,
+            phase_ns: [0; SERVE_PHASES],
+        }
+    }
+
+    /// Whether this trace is recording.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Opens an RAII span that adds its elapsed time to `phase` on drop.
+    /// Reads the clock only when the trace is active.
+    #[inline]
+    pub fn span(&mut self, phase: ServePhase) -> TraceSpan<'_> {
+        let start = self.active.then(Instant::now);
+        TraceSpan {
+            trace: self,
+            phase,
+            start,
+        }
+    }
+
+    /// Adds an externally measured duration to `phase` (for phases timed
+    /// on another thread). No-op when inactive.
+    #[inline]
+    pub fn add(&mut self, phase: ServePhase, ns: u64) {
+        if self.active {
+            self.phase_ns[phase as usize] += ns;
+        }
+    }
+
+    /// Nanoseconds accumulated in `phase`.
+    #[inline]
+    pub fn phase_ns(&self, phase: ServePhase) -> u64 {
+        self.phase_ns[phase as usize]
+    }
+
+    /// Sum across all phases.
+    pub fn total_ns(&self) -> u64 {
+        self.phase_ns.iter().sum()
+    }
+}
+
+/// RAII guard recording one phase's wall time into a [`RequestTrace`].
+pub struct TraceSpan<'a> {
+    trace: &'a mut RequestTrace,
+    phase: ServePhase,
+    start: Option<Instant>,
+}
+
+impl Drop for TraceSpan<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = start.elapsed().as_nanos() as u64;
+            self.trace.phase_ns[self.phase as usize] += ns;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_is_inert() {
+        let mut t = RequestTrace::disabled();
+        assert!(!t.is_active());
+        {
+            let _s = t.span(ServePhase::Engine);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        t.add(ServePhase::QueueWait, 1_000_000);
+        assert_eq!(t.total_ns(), 0);
+        for p in ServePhase::ALL {
+            assert_eq!(t.phase_ns(p), 0);
+        }
+    }
+
+    #[test]
+    #[cfg(feature = "telemetry")]
+    fn active_trace_accumulates_per_phase() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        let mut t = RequestTrace::begin();
+        assert!(t.is_active());
+        crate::set_enabled(false);
+        // Gate sampled at begin(): still active after the gate drops.
+        {
+            let _s = t.span(ServePhase::Engine);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        {
+            let _s = t.span(ServePhase::Engine);
+        }
+        t.add(ServePhase::QueueWait, 500);
+        assert!(t.phase_ns(ServePhase::Engine) >= 1_000_000);
+        assert_eq!(t.phase_ns(ServePhase::QueueWait), 500);
+        assert_eq!(t.phase_ns(ServePhase::Coalesce), 0);
+        assert_eq!(
+            t.total_ns(),
+            t.phase_ns(ServePhase::Engine) + t.phase_ns(ServePhase::QueueWait)
+        );
+    }
+
+    #[test]
+    #[cfg(feature = "telemetry")]
+    fn begin_respects_gate() {
+        let _g = crate::test_guard();
+        crate::set_enabled(false);
+        assert!(!RequestTrace::begin().is_active());
+        crate::set_enabled(true);
+        assert!(RequestTrace::begin().is_active());
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn phase_names_are_stable() {
+        let names: Vec<&str> = ServePhase::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            ["queue_wait_ns", "coalesce_ns", "engine_ns", "serialize_ns"]
+        );
+    }
+}

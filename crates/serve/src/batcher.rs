@@ -36,11 +36,11 @@ use std::time::Instant;
 
 use targad_core::{EnginePrecision, OodStrategy, TargAdError, VerdictClass};
 use targad_linalg::Matrix;
-use targad_obs::metrics;
+use targad_obs::{labeled, metrics, sketch, LabelId, RequestTrace, ServePhase};
 use targad_runtime::Runtime;
 
 use crate::config::{ServeConfig, ServeError};
-use crate::registry::{ModelRegistry, ModelSnapshot};
+use crate::registry::{ModelRegistry, ModelSnapshot, DEFAULT_TENANT};
 
 /// One row's serve-path result: the full verdict plus the registry
 /// generation of the model that produced it.
@@ -58,16 +58,32 @@ pub struct ScoredRow {
     pub generation: u64,
 }
 
-/// Aggregate batcher counters, independent of the gated `targad-obs`
-/// registry (always on; the bench reads these).
+/// Aggregate batcher counters since this batcher started.
+///
+/// Backed by the **ungated** `serve.*` metrics in `targad-obs` — the same
+/// numbers `/metrics` exports — as deltas against baselines captured at
+/// [`MicroBatcher::start`], so the stats, the exposition endpoints, and
+/// the bench can never drift apart. `max_fill` is the one exception: a
+/// high-water mark has no meaningful delta, so it stays instance-scoped.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BatcherStats {
     /// Micro-batches executed (one per distinct model per window).
     pub batches: u64,
     /// Rows scored.
     pub rows: u64,
-    /// Largest batch fill achieved.
+    /// Largest batch fill achieved by *this* batcher instance.
     pub max_fill: u64,
+}
+
+/// One request's scored rows plus the trace it accumulated end to end.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubmitOutcome {
+    /// One [`ScoredRow`] per submitted row, in order.
+    pub rows: Vec<ScoredRow>,
+    /// Phase timings (inert unless telemetry was enabled at submit).
+    pub trace: RequestTrace,
+    /// The interned per-tenant label the request was accounted under.
+    pub tenant: LabelId,
 }
 
 struct Job {
@@ -81,15 +97,23 @@ struct Job {
     snapshot: Arc<ModelSnapshot>,
     generation: u64,
     enqueued: Instant,
-    reply: Sender<Result<Vec<ScoredRow>, ServeError>>,
+    /// Interned tenant label for per-tenant accounting (`Copy` — the hot
+    /// path never touches the tenant string again).
+    tenant: LabelId,
+    /// Request trace; phases recorded by the worker ride back with the
+    /// reply.
+    trace: RequestTrace,
+    reply: Sender<Result<(Vec<ScoredRow>, RequestTrace), ServeError>>,
 }
 
 struct Shared {
     /// Rows currently queued (the backpressure bound).
     depth: AtomicUsize,
-    batches: AtomicU64,
-    rows: AtomicU64,
+    /// Instance-scoped high-water batch fill (see [`BatcherStats`]).
     max_fill: AtomicU64,
+    /// Monotonic nanos (since `started`) of the previous submit, for the
+    /// `serve.arrival_gap_ns` histogram; 0 = no submit yet.
+    last_arrival_ns: AtomicU64,
 }
 
 /// The coalescing scorer. One instance drives one worker thread; clones of
@@ -100,6 +124,12 @@ pub struct MicroBatcher {
     registry: Arc<ModelRegistry>,
     queue_depth: usize,
     worker: Mutex<Option<JoinHandle<()>>>,
+    /// Monotonic origin for arrival-gap timestamps.
+    started: Instant,
+    /// Global-counter baselines captured at start; [`MicroBatcher::stats`]
+    /// reports deltas against these.
+    base_batches: u64,
+    base_rows: u64,
 }
 
 impl MicroBatcher {
@@ -108,9 +138,8 @@ impl MicroBatcher {
         let (tx, rx) = channel::<Job>();
         let shared = Arc::new(Shared {
             depth: AtomicUsize::new(0),
-            batches: AtomicU64::new(0),
-            rows: AtomicU64::new(0),
             max_fill: AtomicU64::new(0),
+            last_arrival_ns: AtomicU64::new(0),
         });
         let worker_shared = Arc::clone(&shared);
         let precision = registry.precision();
@@ -122,12 +151,18 @@ impl MicroBatcher {
                 worker_loop(rx, worker_shared, runtime, precision, max_batch, max_wait);
             })
             .expect("spawn batcher worker");
+        // Pre-intern the default tenant so the very first request's label
+        // resolution is already a lock-free lookup.
+        labeled::tenants().intern(DEFAULT_TENANT);
         Self {
             tx: Mutex::new(Some(tx)),
             shared,
             registry,
             queue_depth: config.queue_depth,
             worker: Mutex::new(Some(worker)),
+            started: Instant::now(),
+            base_batches: metrics::SERVE_BATCHES.get(),
+            base_rows: metrics::SERVE_ROWS.get(),
         }
     }
 
@@ -167,13 +202,44 @@ impl MicroBatcher {
         dims: usize,
         strategy: OodStrategy,
     ) -> Result<Vec<ScoredRow>, ServeError> {
+        self.submit_traced(tenant, data, n, dims, strategy, RequestTrace::begin())
+            .map(|outcome| outcome.rows)
+    }
+
+    /// [`MicroBatcher::submit_for`] with an explicit request trace: the
+    /// trace rides the job through the queue, the coalescing worker, and
+    /// the engine pass, and comes back with the per-phase nanoseconds
+    /// filled in (when it was active). This is the serve front end's entry
+    /// point; per-tenant request/row counters, the arrival-gap and
+    /// rows-per-request histograms, and the score-distribution sketches
+    /// are all recorded here.
+    ///
+    /// # Errors
+    /// As [`MicroBatcher::submit_for`].
+    pub fn submit_traced(
+        &self,
+        tenant: Option<&str>,
+        data: Vec<f64>,
+        n: usize,
+        dims: usize,
+        strategy: OodStrategy,
+        trace: RequestTrace,
+    ) -> Result<SubmitOutcome, ServeError> {
         assert_eq!(data.len(), n * dims, "submit: data length mismatch");
         if n == 0 {
-            return Ok(Vec::new());
+            return Ok(SubmitOutcome {
+                rows: Vec::new(),
+                trace,
+                tenant: labeled::tenants().intern(DEFAULT_TENANT),
+            });
         }
         let (snapshot, generation) = self.registry.resolve(tenant)?;
+        // Intern only after a successful resolve, so unknown or invalid
+        // tenant names can never consume one of the 64 label slots.
+        let label = labeled::tenants().intern(tenant.unwrap_or(DEFAULT_TENANT));
         let expected = snapshot.classifier.input_dim();
         if dims != expected {
+            labeled::TENANT_ERRORS.inc(label);
             return Err(TargAdError::DimMismatch {
                 expected,
                 got: dims,
@@ -181,18 +247,21 @@ impl MicroBatcher {
             .into());
         }
         let Some(tau) = snapshot.thresholds.get(strategy) else {
+            labeled::TENANT_ERRORS.inc(label);
             return Err(TargAdError::NotCalibrated { strategy }.into());
         };
+        self.record_arrival(n);
         // Optimistically claim queue room; undo on rejection. The bound is
         // approximate under races by at most one in-flight submission per
         // caller thread, which is exactly the slack a bounded queue needs.
         let claimed = self.shared.depth.fetch_add(n, Ordering::AcqRel) + n;
         if claimed > self.queue_depth {
             self.shared.depth.fetch_sub(n, Ordering::AcqRel);
-            metrics::SERVE_REJECTED.inc();
+            metrics::SERVE_REJECTED.inc_always();
+            labeled::TENANT_ERRORS.inc(label);
             return Err(ServeError::Overloaded);
         }
-        metrics::SERVE_QUEUE_DEPTH.set(claimed as u64);
+        metrics::SERVE_QUEUE_DEPTH.set_always(claimed as u64);
         let (reply_tx, reply_rx) = channel();
         let job = Job {
             data,
@@ -202,6 +271,8 @@ impl MicroBatcher {
             snapshot,
             generation,
             enqueued: Instant::now(),
+            tenant: label,
+            trace,
             reply: reply_tx,
         };
         let sent = match self.tx.lock().expect("batcher lock poisoned").as_ref() {
@@ -210,12 +281,38 @@ impl MicroBatcher {
         };
         if !sent {
             self.shared.depth.fetch_sub(n, Ordering::AcqRel);
+            labeled::TENANT_ERRORS.inc(label);
             return Err(ServeError::ShuttingDown);
         }
-        metrics::SERVE_REQUESTS.inc();
-        reply_rx
+        metrics::SERVE_REQUESTS.inc_always();
+        labeled::TENANT_REQUESTS.inc(label);
+        labeled::TENANT_ROWS.add(label, n as u64);
+        labeled::TENANT_REQUEST_ROWS.record(label, n as u64);
+        match reply_rx
             .recv()
             .unwrap_or(Err(ServeError::Io("batcher worker died".into())))
+        {
+            Ok((rows, trace)) => Ok(SubmitOutcome {
+                rows,
+                trace,
+                tenant: label,
+            }),
+            Err(e) => {
+                labeled::TENANT_ERRORS.inc(label);
+                Err(e)
+            }
+        }
+    }
+
+    /// Records the gap since the previous submit and this request's row
+    /// count into the workload-profile histograms.
+    fn record_arrival(&self, n: usize) {
+        let now_ns = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let prev = self.shared.last_arrival_ns.swap(now_ns, Ordering::AcqRel);
+        if prev != 0 && now_ns > prev {
+            metrics::SERVE_ARRIVAL_GAP_NS.record_always(now_ns - prev);
+        }
+        metrics::SERVE_REQUEST_ROWS.record_always(n as u64);
     }
 
     /// Rows currently queued.
@@ -223,11 +320,14 @@ impl MicroBatcher {
         self.shared.depth.load(Ordering::Acquire)
     }
 
-    /// Aggregate counters since start.
+    /// Aggregate counters since this batcher started (see
+    /// [`BatcherStats`]).
     pub fn stats(&self) -> BatcherStats {
         BatcherStats {
-            batches: self.shared.batches.load(Ordering::Acquire),
-            rows: self.shared.rows.load(Ordering::Acquire),
+            batches: metrics::SERVE_BATCHES
+                .get()
+                .saturating_sub(self.base_batches),
+            rows: metrics::SERVE_ROWS.get().saturating_sub(self.base_rows),
             max_fill: self.shared.max_fill.load(Ordering::Acquire),
         }
     }
@@ -317,7 +417,12 @@ fn worker_loop(
 }
 
 /// Scores one coalesced same-model batch and distributes per-job replies.
-fn execute_group(jobs: Vec<Job>, shared: &Shared, runtime: &Runtime, precision: EnginePrecision) {
+fn execute_group(
+    mut jobs: Vec<Job>,
+    shared: &Shared,
+    runtime: &Runtime,
+    precision: EnginePrecision,
+) {
     let started = Instant::now();
     let snapshot: Arc<ModelSnapshot> = Arc::clone(&jobs[0].snapshot);
     let generation = jobs[0].generation;
@@ -327,31 +432,36 @@ fn execute_group(jobs: Vec<Job>, shared: &Shared, runtime: &Runtime, precision: 
     let batch_rows: usize = jobs.iter().map(|job| job.n).sum();
     let mut data = Vec::with_capacity(batch_rows * dims);
     let mut row_params = Vec::with_capacity(batch_rows);
-    for job in &jobs {
-        metrics::SERVE_QUEUE_WAIT_NS.record(elapsed_ns(job.enqueued));
+    for job in &mut jobs {
+        let wait_ns = elapsed_ns(job.enqueued);
+        metrics::SERVE_QUEUE_WAIT_NS.record_always(wait_ns);
+        job.trace.add(ServePhase::QueueWait, wait_ns);
         data.extend_from_slice(&job.data);
         row_params.extend(std::iter::repeat_n((job.strategy, job.tau), job.n));
     }
+    // Batch-level phase wall times: every job in the group shares the
+    // window, so each trace gets the whole coalesce/engine duration.
+    let coalesce_ns = elapsed_ns(started);
     let x = Matrix::from_vec(batch_rows, dims, data);
     // Precision is a property of the registry (weights were cast/packed at
     // admit or swap time under F32), so every batch against a snapshot
     // scores at the precision that snapshot was prepared for.
+    let engine_started = Instant::now();
     let pairs = clf.verdicts_rt_with_prec(&x, runtime, precision, |r| row_params[r]);
+    let engine_ns = elapsed_ns(engine_started);
 
     // Stats land before replies go out, so a caller that observes its
     // result (and anything joining on it) also observes the counters.
-    shared.batches.fetch_add(1, Ordering::AcqRel);
-    shared.rows.fetch_add(batch_rows as u64, Ordering::AcqRel);
     shared
         .max_fill
         .fetch_max(batch_rows as u64, Ordering::AcqRel);
-    metrics::SERVE_BATCHES.inc();
-    metrics::SERVE_ROWS.add(batch_rows as u64);
-    metrics::SERVE_BATCH_FILL.record(batch_rows as u64);
+    metrics::SERVE_BATCHES.inc_always();
+    metrics::SERVE_ROWS.add_always(batch_rows as u64);
+    metrics::SERVE_BATCH_FILL.record_always(batch_rows as u64);
 
     let mut offset = 0;
-    for job in &jobs {
-        let scored = pairs[offset..offset + job.n]
+    for job in jobs {
+        let scored: Vec<ScoredRow> = pairs[offset..offset + job.n]
             .iter()
             .map(|&(score, class)| ScoredRow {
                 score,
@@ -362,15 +472,26 @@ fn execute_group(jobs: Vec<Job>, shared: &Shared, runtime: &Runtime, precision: 
             })
             .collect();
         offset += job.n;
-        finish_job(shared, job, Ok(scored));
+        for row in &scored {
+            sketch::SERVE_SCORES.record(row.score);
+            sketch::TENANT_SCORES.record(job.tenant, row.score);
+        }
+        let mut trace = job.trace;
+        trace.add(ServePhase::Coalesce, coalesce_ns);
+        trace.add(ServePhase::Engine, engine_ns);
+        finish_job(shared, &job, Ok((scored, trace)));
     }
-    metrics::SERVE_BATCH_SERVICE_NS.record(elapsed_ns(started));
+    metrics::SERVE_BATCH_SERVICE_NS.record_always(elapsed_ns(started));
 }
 
 /// Sends a job's reply and releases its queue-depth claim.
-fn finish_job(shared: &Shared, job: &Job, result: Result<Vec<ScoredRow>, ServeError>) {
+fn finish_job(
+    shared: &Shared,
+    job: &Job,
+    result: Result<(Vec<ScoredRow>, RequestTrace), ServeError>,
+) {
     let depth = shared.depth.fetch_sub(job.n, Ordering::AcqRel) - job.n;
-    metrics::SERVE_QUEUE_DEPTH.set(depth as u64);
+    metrics::SERVE_QUEUE_DEPTH.set_always(depth as u64);
     // A caller that gave up (dropped its receiver) is not an error.
     let _ = job.reply.send(result);
 }

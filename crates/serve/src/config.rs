@@ -52,6 +52,16 @@ pub struct ServeConfig {
     /// faulted in on first use. `None` (the default) disables fault-in:
     /// tenants then exist only via `/admin/load`.
     pub store_dir: Option<PathBuf>,
+    /// Structured JSONL access log: one line per `/score` request (request
+    /// id, tenant, rows, verdict counts, per-phase nanoseconds, status),
+    /// appended to this path. `None` (the default) disables access
+    /// logging.
+    pub access_log: Option<PathBuf>,
+    /// When `true`, `GET /metrics` and `GET /metrics.json` only answer
+    /// loopback peers (the same fallback rule `/admin/*` uses without a
+    /// token). Default `false`: the exposition endpoints are
+    /// unauthenticated read-only and a scraper usually is not local.
+    pub metrics_loopback_only: bool,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +77,8 @@ impl Default for ServeConfig {
             admin_token: None,
             model_budget_bytes: 0,
             store_dir: None,
+            access_log: None,
+            metrics_loopback_only: false,
         }
     }
 }
@@ -125,6 +137,9 @@ impl ServeConfig {
         if self.store_dir.as_deref() == Some(std::path::Path::new("")) {
             return bad("store_dir", "must not be empty when set".into());
         }
+        if self.access_log.as_deref() == Some(std::path::Path::new("")) {
+            return bad("access_log", "must not be empty when set".into());
+        }
         Ok(())
     }
 }
@@ -168,6 +183,10 @@ impl ServeConfigBuilder {
         model_budget_bytes: u64,
         /// Directory of `<tenant>.tgsnp` v3 snapshots for tenant fault-in.
         store_dir: Option<PathBuf>,
+        /// JSONL access-log path (`None` = no access log).
+        access_log: Option<PathBuf>,
+        /// Restrict the `/metrics` endpoints to loopback peers.
+        metrics_loopback_only: bool,
     }
 
     /// Starts from an existing configuration instead of the defaults.
@@ -343,6 +362,14 @@ mod tests {
                     .build()
             ),
             "admin_token"
+        );
+        assert_eq!(
+            field_of(
+                ServeConfig::builder()
+                    .access_log(Some(PathBuf::new()))
+                    .build()
+            ),
+            "access_log"
         );
     }
 

@@ -22,7 +22,17 @@
 //! - [`Server`] ([`server`]): a dependency-free HTTP/1.1 front end (the
 //!   repo builds offline — no async runtime) exposing `/score`,
 //!   `/admin/swap`, `/admin/load`, `/admin/evict`, `/admin/tenants`,
-//!   `/model`, `/healthz`, and `/metrics`.
+//!   `/model`, `/healthz`, `/metrics` (Prometheus text, with per-tenant
+//!   series), and `/metrics.json`.
+//!
+//! The serve path is fully observable: every request gets a process-unique
+//! id and a [`targad_obs::RequestTrace`] whose `queue_wait → coalesce →
+//! engine → serialize` phase timings ride the job through the batcher;
+//! per-tenant counters, latency/batch-size histograms, and score-
+//! distribution sketches ([`targad_obs::sketch`]) are recorded ungated as
+//! serving truth; and an opt-in JSONL access log
+//! ([`ServeConfig::access_log`]) captures one structured line per request.
+//! [`profile`] distills the telemetry into a replayable workload profile.
 //!
 //! Every `/score` response row carries a full [`targad_core::Verdict`]:
 //! score, three-way class, the per-request-selected
@@ -34,12 +44,14 @@ pub mod batcher;
 pub mod config;
 pub mod http;
 pub mod json;
+pub mod profile;
 pub mod registry;
 pub mod server;
 
-pub use batcher::{BatcherStats, MicroBatcher, ScoredRow};
+pub use batcher::{BatcherStats, MicroBatcher, ScoredRow, SubmitOutcome};
 pub use config::{ServeConfig, ServeConfigBuilder, ServeError};
 pub use json::Json;
+pub use profile::WorkloadProfile;
 pub use registry::{valid_tenant_name, ModelRegistry, ModelSnapshot, TenantInfo, DEFAULT_TENANT};
 pub use server::{Client, Server, ServerHandle};
 pub use targad_core::EnginePrecision;

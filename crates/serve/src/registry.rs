@@ -30,7 +30,7 @@ use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
 use targad_core::{Classifier, EnginePrecision, ThresholdCache};
-use targad_obs::metrics;
+use targad_obs::{labeled, metrics};
 
 use crate::config::ServeError;
 
@@ -115,7 +115,22 @@ struct Tenants {
 
 impl Tenants {
     fn set_gauge(&self) {
-        metrics::STORE_RESIDENT_BYTES.set(self.resident_bytes);
+        metrics::STORE_RESIDENT_BYTES.set_always(self.resident_bytes);
+    }
+}
+
+/// Publishes `bytes` on the per-tenant resident-bytes gauge, interning the
+/// tenant label (admitted tenants are validated and budget-bounded, so
+/// they are exactly the "active tenants" `/metrics` should enumerate).
+fn set_tenant_bytes(name: &str, bytes: u64) {
+    labeled::TENANT_RESIDENT_BYTES.set(labeled::tenants().intern(name), bytes);
+}
+
+/// Zeroes a tenant's resident-bytes gauge without interning: a tenant that
+/// never scored or loaded should not claim a label slot on eviction.
+fn clear_tenant_bytes(name: &str) {
+    if let Some(id) = labeled::tenants().lookup(name) {
+        labeled::TENANT_RESIDENT_BYTES.set(id, 0);
     }
 }
 
@@ -190,7 +205,8 @@ impl ModelRegistry {
             resident_bytes: bytes,
         };
         tenants.set_gauge();
-        metrics::SERVE_GENERATION.set(1);
+        set_tenant_bytes(DEFAULT_TENANT, bytes);
+        metrics::SERVE_GENERATION.set_always(1);
         Ok(Self {
             tenants: RwLock::new(tenants),
             installs: AtomicU64::new(1),
@@ -257,12 +273,12 @@ impl ModelRegistry {
             if let Some(entry) = tenants.map.get(name) {
                 entry.last_used.store(self.tick(), Ordering::Release);
                 if name != DEFAULT_TENANT {
-                    metrics::STORE_CACHE_HITS.inc();
+                    metrics::STORE_CACHE_HITS.inc_always();
                 }
                 return Ok((Arc::clone(&entry.snapshot), entry.generation));
             }
         }
-        metrics::STORE_CACHE_MISSES.inc();
+        metrics::STORE_CACHE_MISSES.inc_always();
         self.fault_in(name)
     }
 
@@ -336,7 +352,8 @@ impl ModelRegistry {
         }
         tenants.resident_bytes += bytes;
         tenants.set_gauge();
-        metrics::STORE_ADMIT_NS.record(elapsed_ns(started));
+        set_tenant_bytes(name, bytes);
+        metrics::STORE_ADMIT_NS.record_always(elapsed_ns(started));
         Ok(generation)
     }
 
@@ -384,7 +401,8 @@ impl ModelRegistry {
         for name in evict {
             if let Some(entry) = tenants.map.remove(&name) {
                 tenants.resident_bytes -= entry.bytes;
-                metrics::STORE_EVICTIONS.inc();
+                clear_tenant_bytes(&name);
+                metrics::STORE_EVICTIONS.inc_always();
             }
         }
         tenants.set_gauge();
@@ -403,7 +421,8 @@ impl ModelRegistry {
             Some(entry) => {
                 tenants.resident_bytes -= entry.bytes;
                 tenants.set_gauge();
-                metrics::STORE_EVICTIONS.inc();
+                clear_tenant_bytes(name);
+                metrics::STORE_EVICTIONS.inc_always();
                 true
             }
             None => false,
@@ -462,8 +481,9 @@ impl ModelRegistry {
         }
         tenants.resident_bytes += bytes;
         tenants.set_gauge();
-        metrics::SERVE_SWAPS.inc();
-        metrics::SERVE_GENERATION.set(generation);
+        set_tenant_bytes(DEFAULT_TENANT, bytes);
+        metrics::SERVE_SWAPS.inc_always();
+        metrics::SERVE_GENERATION.set_always(generation);
         Ok(generation)
     }
 

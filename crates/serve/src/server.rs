@@ -9,7 +9,8 @@
 //! | `/admin/tenants` | GET | Resident tenants, their bytes, and the budget |
 //! | `/model` | GET | Default model's tag, generation, shape, thresholds |
 //! | `/healthz` | GET | Liveness plus current generation |
-//! | `/metrics` | GET | The `targad-obs` metrics snapshot as JSON |
+//! | `/metrics` | GET | Prometheus text exposition (per-tenant series included) |
+//! | `/metrics.json` | GET | The `targad-obs` metrics snapshot as JSON |
 //!
 //! The server is thread-per-connection with keep-alive (no async runtime —
 //! the repo builds offline), a nonblocking accept loop polled against the
@@ -17,15 +18,29 @@
 //! on an idle peer. [`ServerHandle::shutdown`] stops accepting, joins every
 //! connection, then drains the batcher — queued requests are answered, not
 //! dropped.
+//!
+//! Every `/score` request gets a process-unique request id (echoed in the
+//! response as `request_id`), and — when
+//! [`ServeConfig::access_log`](crate::ServeConfig) is set — one JSONL
+//! access-log line carrying the id, tenant, row and verdict counts,
+//! per-phase nanoseconds from the request trace, and the HTTP status. The
+//! exposition endpoints are unauthenticated read-only; set
+//! [`ServeConfig::metrics_loopback_only`](crate::ServeConfig) to restrict
+//! them to loopback peers. `/metrics` renders into a per-server reused
+//! buffer, so steady-state scrapes allocate nothing.
 
+use std::fs::File;
 use std::io::{BufRead as _, BufReader, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use targad_core::{snapshot as core_snapshot, EnginePrecision, OodStrategy, TargAdError};
+use targad_core::{
+    snapshot as core_snapshot, EnginePrecision, OodStrategy, TargAdError, VerdictCounts,
+};
+use targad_obs::{labeled, metrics, RequestTrace, ServePhase};
 use targad_runtime::Runtime;
 
 use crate::batcher::MicroBatcher;
@@ -72,6 +87,15 @@ impl Server {
         runtime: Runtime,
     ) -> Result<ServerHandle, ServeError> {
         config.try_validate()?;
+        let access_log = match &config.access_log {
+            Some(path) => Some(Mutex::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?,
+            )),
+            None => None,
+        };
         let listener = TcpListener::bind((config.host.as_str(), config.port as u16))?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -93,6 +117,10 @@ impl Server {
             default_strategy: config.default_strategy,
             precision: config.precision,
             admin_token: config.admin_token.clone(),
+            access_log,
+            metrics_loopback_only: config.metrics_loopback_only,
+            request_seq: AtomicU64::new(0),
+            prom_buf: Mutex::new(String::new()),
         });
         let accept_ctx = Arc::clone(&ctx);
         let accept_connections = Arc::clone(&connections);
@@ -172,6 +200,28 @@ struct Context {
     default_strategy: OodStrategy,
     precision: EnginePrecision,
     admin_token: Option<String>,
+    /// Opened in append mode at start; one JSONL line per `/score`.
+    access_log: Option<Mutex<File>>,
+    /// Restrict `/metrics` and `/metrics.json` to loopback peers.
+    metrics_loopback_only: bool,
+    /// Process-unique `/score` request ids (1-based).
+    request_seq: AtomicU64,
+    /// Reused Prometheus render buffer: after the first scrape grows it,
+    /// steady-state `/metrics` responses allocate nothing.
+    prom_buf: Mutex<String>,
+}
+
+impl Context {
+    /// Appends one line to the access log (no-op when not configured).
+    /// Log I/O failures are swallowed: observability must never fail a
+    /// scoring request.
+    fn log_access(&self, line: &str) {
+        if let Some(log) = &self.access_log {
+            let mut file = log.lock().unwrap_or_else(|e| e.into_inner());
+            let _ = file.write_all(line.as_bytes());
+            let _ = file.write_all(b"\n");
+        }
+    }
 }
 
 fn accept_loop(
@@ -259,17 +309,19 @@ fn connection_loop(stream: TcpStream, ctx: Arc<Context>) {
         match read_request(&mut reader) {
             Ok(Some(request)) => {
                 let keep_alive = !request.wants_close();
-                let (status, body) = route(&request, &ctx, peer_is_loopback);
-                if write_response(
-                    &mut writer,
-                    status,
-                    body.as_bytes(),
-                    "application/json",
-                    keep_alive,
-                )
-                .is_err()
-                    || !keep_alive
-                {
+                let wrote = if request.method == "GET" && request.path == "/metrics" {
+                    serve_prometheus(&mut writer, &ctx, peer_is_loopback, keep_alive)
+                } else {
+                    let (status, body) = route(&request, &ctx, peer_is_loopback);
+                    write_response(
+                        &mut writer,
+                        status,
+                        body.as_bytes(),
+                        "application/json",
+                        keep_alive,
+                    )
+                };
+                if wrote.is_err() || !keep_alive {
                     return;
                 }
             }
@@ -303,6 +355,35 @@ fn error_body(message: &str) -> String {
     format!("{{\"error\": \"{}\"}}", escape(message))
 }
 
+/// `GET /metrics` — Prometheus text exposition, written straight from the
+/// server's reused render buffer (no per-scrape body allocation once the
+/// buffer has grown to steady-state size).
+fn serve_prometheus(
+    writer: &mut TcpStream,
+    ctx: &Context,
+    peer_is_loopback: bool,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    if ctx.metrics_loopback_only && !peer_is_loopback {
+        return write_response(
+            writer,
+            403,
+            error_body("metrics are restricted to loopback peers").as_bytes(),
+            "application/json",
+            keep_alive,
+        );
+    }
+    let mut buf = ctx.prom_buf.lock().unwrap_or_else(|e| e.into_inner());
+    targad_obs::prom::render_into(&mut buf);
+    write_response(
+        writer,
+        200,
+        buf.as_bytes(),
+        "text/plain; version=0.0.4; charset=utf-8",
+        keep_alive,
+    )
+}
+
 /// Whether `request` may hit admin routes: the configured token must match
 /// (compared in constant time), or — when no token is configured — the
 /// peer must be loopback, so a default deployment never exposes
@@ -332,12 +413,12 @@ fn route(request: &Request, ctx: &Context, peer_is_loopback: bool) -> (u16, Stri
                 ctx.registry.generation()
             ),
         ),
-        ("GET", "/metrics") => (200, targad_obs::metrics::snapshot_json()),
+        ("GET", "/metrics.json") if ctx.metrics_loopback_only && !peer_is_loopback => {
+            (403, error_body("metrics are restricted to loopback peers"))
+        }
+        ("GET", "/metrics.json") => (200, targad_obs::metrics::snapshot_json()),
         ("GET", "/model") => (200, model_body(ctx)),
-        ("POST", "/score") => match handle_score(request, ctx) {
-            Ok(body) => (200, body),
-            Err(e) => (status_of(&e), error_body(&e.to_string())),
-        },
+        ("POST", "/score") => score_route(request, ctx),
         ("POST", "/admin/swap" | "/admin/load" | "/admin/evict") | ("GET", "/admin/tenants")
             if !authorize_admin(request, ctx, peer_is_loopback) =>
         {
@@ -396,9 +477,66 @@ fn model_body(ctx: &Context) -> String {
     )
 }
 
+/// What the access log needs from one `/score` request, filled in as the
+/// handler learns it (`"-"` tenant = the request failed before tenant
+/// parsing).
+struct ScoreLogInfo {
+    tenant: String,
+    label: Option<targad_obs::LabelId>,
+    rows: usize,
+    counts: VerdictCounts,
+    trace: RequestTrace,
+}
+
+/// `POST /score` with request-id assignment, latency accounting, and the
+/// JSONL access-log line.
+fn score_route(request: &Request, ctx: &Context) -> (u16, String) {
+    let started = Instant::now();
+    let request_id = ctx.request_seq.fetch_add(1, Ordering::AcqRel) + 1;
+    let mut info = ScoreLogInfo {
+        tenant: "-".into(),
+        label: None,
+        rows: 0,
+        counts: VerdictCounts::default(),
+        trace: RequestTrace::disabled(),
+    };
+    let (status, body) = match handle_score(request, ctx, request_id, &mut info) {
+        Ok(body) => (200, body),
+        Err(e) => (status_of(&e), error_body(&e.to_string())),
+    };
+    let request_ns = elapsed_ns(started);
+    metrics::SERVE_REQUEST_NS.record_always(request_ns);
+    if status == 200 {
+        if let Some(label) = info.label {
+            labeled::TENANT_REQUEST_NS.record(label, request_ns);
+        }
+    }
+    if ctx.access_log.is_some() {
+        let phases: Vec<String> = ServePhase::ALL
+            .iter()
+            .map(|&p| format!("\"{}\": {}", p.name(), info.trace.phase_ns(p)))
+            .collect();
+        ctx.log_access(&format!(
+            "{{\"request_id\": {request_id}, \"tenant\": \"{}\", \"rows\": {}, \"status\": {status}, \"verdicts\": {{\"normal\": {}, \"target\": {}, \"non_target\": {}}}, {}, \"request_ns\": {request_ns}}}",
+            escape(&info.tenant),
+            info.rows,
+            info.counts.normal,
+            info.counts.target,
+            info.counts.non_target,
+            phases.join(", ")
+        ));
+    }
+    (status, body)
+}
+
 /// `POST /score` — body `{"rows": [[f64; D]; N], "ood_strategy": "msp"?,
 /// "tenant": "…"?}`. An omitted tenant scores on the pinned default model.
-fn handle_score(request: &Request, ctx: &Context) -> Result<String, ServeError> {
+fn handle_score(
+    request: &Request,
+    ctx: &Context,
+    request_id: u64,
+    info: &mut ScoreLogInfo,
+) -> Result<String, ServeError> {
     let text = std::str::from_utf8(&request.body)
         .map_err(|_| ServeError::BadRequest("body is not utf-8".into()))?;
     let doc = Json::parse(text).map_err(ServeError::BadRequest)?;
@@ -409,6 +547,8 @@ fn handle_score(request: &Request, ctx: &Context) -> Result<String, ServeError> 
                 .ok_or_else(|| ServeError::BadRequest("tenant must be a string".into()))?,
         ),
     };
+    info.tenant.clear();
+    info.tenant.push_str(tenant.unwrap_or(DEFAULT_TENANT));
     let strategy = match doc.get("ood_strategy") {
         None | Some(Json::Null) => ctx.default_strategy,
         Some(v) => {
@@ -456,30 +596,49 @@ fn handle_score(request: &Request, ctx: &Context) -> Result<String, ServeError> 
     if dims == 0 {
         return Err(ServeError::BadRequest("rows have zero columns".into()));
     }
+    info.rows = rows.len();
 
-    let scored = ctx
-        .batcher
-        .submit_for(tenant, data, rows.len(), dims, strategy)?;
-    let generation = scored.first().map_or(0, |s| s.generation);
-    let verdicts: Vec<String> = scored
-        .iter()
-        .map(|s| {
-            format!(
-                "{{\"score\": {:?}, \"class\": \"{}\", \"ood_strategy\": \"{}\", \"threshold\": {:?}}}",
-                s.score,
-                s.class.name(),
-                wire_name(s.strategy),
-                s.threshold
-            )
-        })
-        .collect();
-    Ok(format!(
-        "{{\"tenant\": \"{}\", \"model_generation\": {generation}, \"count\": {}, \"precision\": \"{}\", \"verdicts\": [{}]}}",
-        escape(tenant.unwrap_or(DEFAULT_TENANT)),
-        scored.len(),
-        ctx.precision.name(),
-        verdicts.join(", ")
-    ))
+    let outcome = ctx.batcher.submit_traced(
+        tenant,
+        data,
+        rows.len(),
+        dims,
+        strategy,
+        RequestTrace::begin(),
+    )?;
+    info.label = Some(outcome.tenant);
+    info.counts = VerdictCounts::tally(outcome.rows.iter().map(|s| s.class));
+    let scored = &outcome.rows;
+    let mut trace = outcome.trace;
+    let body = {
+        let _serialize = trace.span(ServePhase::Serialize);
+        let generation = scored.first().map_or(0, |s| s.generation);
+        let verdicts: Vec<String> = scored
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"score\": {:?}, \"class\": \"{}\", \"ood_strategy\": \"{}\", \"threshold\": {:?}}}",
+                    s.score,
+                    s.class.name(),
+                    wire_name(s.strategy),
+                    s.threshold
+                )
+            })
+            .collect();
+        format!(
+            "{{\"request_id\": {request_id}, \"tenant\": \"{}\", \"model_generation\": {generation}, \"count\": {}, \"precision\": \"{}\", \"verdicts\": [{}]}}",
+            escape(tenant.unwrap_or(DEFAULT_TENANT)),
+            scored.len(),
+            ctx.precision.name(),
+            verdicts.join(", ")
+        )
+    };
+    info.trace = trace;
+    Ok(body)
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Loads a snapshot file for an admin route: binary v3 (`targad-store`)

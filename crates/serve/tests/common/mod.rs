@@ -20,7 +20,19 @@ pub fn fitted_snapshot(seed: u64, tag: &str) -> (ModelSnapshot, Matrix) {
     (snapshot, bundle.test.features)
 }
 
+/// Serializes tests that assert exact [`targad_serve::BatcherStats`]
+/// deltas. Batcher stats are deltas over the process-global ungated
+/// `serve.*` counters, so two concurrently scoring tests in one binary
+/// would contaminate each other's counts. Take this guard at the top of
+/// every test in a binary where any test asserts exact stats.
+#[allow(dead_code)] // not every test binary uses every fixture
+pub fn stats_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// The calibrated tau a snapshot holds for `strategy`.
+#[allow(dead_code)] // not every test binary uses every fixture
 pub fn tau_of(snapshot: &ModelSnapshot, strategy: OodStrategy) -> f64 {
     snapshot.thresholds.get(strategy).expect("calibrated")
 }

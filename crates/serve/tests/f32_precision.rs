@@ -17,6 +17,7 @@ const ROWS: usize = 48;
 
 #[test]
 fn f32_batches_match_the_classifier_f32_path_bit_for_bit() {
+    let _stats = common::stats_lock();
     let (snapshot, x_full) = common::fitted_snapshot(29, "f32-determinism");
     let dims = x_full.cols();
     let x = targad_linalg::Matrix::from_vec(ROWS, dims, common::flatten_rows(&x_full, 0, ROWS));
@@ -98,6 +99,7 @@ fn f32_batches_match_the_classifier_f32_path_bit_for_bit() {
 
 #[test]
 fn f32_server_reports_its_precision_and_swaps_warm() {
+    let _stats = common::stats_lock();
     let (snapshot, x) = common::fitted_snapshot(31, "f32-server");
     let config = ServeConfig::builder()
         .precision(EnginePrecision::F32)

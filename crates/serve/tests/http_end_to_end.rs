@@ -113,8 +113,22 @@ fn serves_verdicts_swaps_models_and_shuts_down() {
         Some(tau_a)
     );
 
-    // Metrics endpoint answers with a JSON document.
+    // Prometheus exposition: text format with the serve series present.
     let resp = client.request("GET", "/metrics", "").expect("metrics");
+    assert_eq!(resp.status, 200);
+    let prom = resp.text();
+    assert!(
+        prom.contains("# TYPE targad_serve_requests_total counter"),
+        "missing serve request counter: {prom}"
+    );
+    assert!(
+        prom.contains("targad_serve_tenant_requests_total{tenant=\"default\"}"),
+        "missing per-tenant series: {prom}"
+    );
+    // The JSON snapshot moved to /metrics.json.
+    let resp = client
+        .request("GET", "/metrics.json", "")
+        .expect("metrics.json");
     assert_eq!(resp.status, 200);
     Json::parse(&resp.text()).expect("metrics json");
 

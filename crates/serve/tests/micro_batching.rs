@@ -29,6 +29,7 @@ fn reference_verdicts(
 
 #[test]
 fn batched_singles_and_coalesced_scores_are_bit_identical() {
+    let _stats = common::stats_lock();
     let (snapshot, x_full) = common::fitted_snapshot(23, "determinism");
     let dims = x_full.cols();
     let x = targad_linalg::Matrix::from_vec(ROWS, dims, common::flatten_rows(&x_full, 0, ROWS));
@@ -90,6 +91,7 @@ fn batched_singles_and_coalesced_scores_are_bit_identical() {
 
 #[test]
 fn concurrent_callers_coalesce_without_changing_results() {
+    let _stats = common::stats_lock();
     let (snapshot, x_full) = common::fitted_snapshot(23, "coalesce");
     let dims = x_full.cols();
     let x = targad_linalg::Matrix::from_vec(ROWS, dims, common::flatten_rows(&x_full, 0, ROWS));

@@ -132,7 +132,7 @@ fn load_mmap(path: &Path) -> Result<LoadedModel, StoreError> {
     let bytes = checked_len(&file)?;
     let map = mapping::Mapping::of(&file, bytes).map_err(StoreError::Io)?;
     let model = from_words(SharedBuffer::new(map))?;
-    STORE_MMAP_LOADS.inc();
+    STORE_MMAP_LOADS.inc_always();
     Ok(model)
 }
 
@@ -161,7 +161,7 @@ fn load_buffered(path: &Path) -> Result<LoadedModel, StoreError> {
         .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
         .collect();
     let model = from_words(SharedBuffer::from_vec(words))?;
-    STORE_BUFFERED_LOADS.inc();
+    STORE_BUFFERED_LOADS.inc_always();
     Ok(model)
 }
 
