@@ -1,0 +1,98 @@
+//! The process-wide gate for dead-gradient pruning in the backward sweep.
+//!
+//! Nothing in the crate exposes gradients of non-[`crate::tape::Tape`]
+//! parameter nodes: the only gradient sinks are `Param` leaves flushing
+//! into a [`crate::VarStore`] / [`crate::GradSet`]. Gradients that flow
+//! *only* toward constant `Input` leaves (the mini-batch matrix, label
+//! matrices, loss-weight columns) are therefore dead work — most
+//! prominently the first layer's input gradient `dX₁ = dZ₁ · W₁ᵀ`, a full
+//! GEMM per step whose result is dropped on the floor. When the gate is
+//! open, [`crate::Tape::backward`] computes a needs-gradient reachability
+//! mask first and skips every dead branch; the gradients that *are*
+//! computed run the identical kernels in the identical order, so fitted
+//! weights are bit-identical with the gate open or closed.
+//!
+//! Resolution order:
+//! 1. a live [`force_grad_prune`] override (benchmarks reproducing the
+//!    pre-pruning step cost in-process), otherwise
+//! 2. the `TARGAD_GRAD_PRUNE` environment variable — `off`, `0`, or
+//!    `false` (case-insensitive) closes the gate, anything else (or
+//!    unset) leaves it open. Read once and cached for the process
+//!    lifetime, like `TARGAD_FUSED_BACKWARD`.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// `true` when `TARGAD_GRAD_PRUNE` requests the prune-free reference
+/// sweep (`off`, `0`, or `false`, case-insensitively). Resolved on first
+/// use and cached: a stable answer keeps every step of a run on one path.
+fn env_forced_off() -> bool {
+    static OFF: OnceLock<bool> = OnceLock::new();
+    *OFF.get_or_init(|| {
+        std::env::var("TARGAD_GRAD_PRUNE")
+            .is_ok_and(|v| matches!(v.to_ascii_lowercase().as_str(), "off" | "0" | "false"))
+    })
+}
+
+/// In-process override: 0 = follow the environment, 1 = forced on,
+/// 2 = forced off. Only [`force_grad_prune`] writes non-zero values,
+/// under [`FORCE_LOCK`], so overrides never interleave.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Serializes [`force_grad_prune`] holders (the override is process
+/// global — pool workers must see the same answer as the driving thread,
+/// so a thread-local would not do).
+static FORCE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Should the backward sweep skip dead gradient branches right now?
+#[inline]
+pub fn grad_prune_enabled() -> bool {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => !env_forced_off(),
+    }
+}
+
+/// Holds the pruning override; dropping it restores environment
+/// resolution. Hold it for the whole comparison when benchmarking the
+/// pruned sweep against the full one — it also serializes such
+/// comparisons against each other.
+pub struct GradPruneGuard {
+    _lock: std::sync::MutexGuard<'static, ()>,
+}
+
+impl Drop for GradPruneGuard {
+    fn drop(&mut self) {
+        OVERRIDE.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Forces dead-gradient pruning on or off for the whole process until the
+/// returned guard drops. Concurrent callers queue on an internal lock, so
+/// overrides never overlap.
+pub fn force_grad_prune(on: bool) -> GradPruneGuard {
+    let lock = FORCE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    OVERRIDE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+    GradPruneGuard { _lock: lock }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_wins_and_restores() {
+        {
+            let _g = force_grad_prune(false);
+            assert!(!grad_prune_enabled());
+        }
+        {
+            let _g = force_grad_prune(true);
+            assert!(grad_prune_enabled());
+        }
+        // Back to environment resolution (unset in the test harness →
+        // enabled).
+        assert_eq!(grad_prune_enabled(), !env_forced_off());
+    }
+}

@@ -11,7 +11,11 @@
 
 use crate::store::{GradSet, ParamId, VarStore};
 use std::collections::HashMap;
-use targad_linalg::{stable_sigmoid, Matrix};
+use std::time::Instant;
+use targad_linalg::{
+    dense_backward_bias_into, dense_backward_data_into, dense_backward_weights_into,
+    matmul_bias_act_rows_into, stable_sigmoid, EpiAct, Matrix,
+};
 
 /// Handle to a node on a [`Tape`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -28,6 +32,12 @@ enum Op {
     /// Trainable leaf; gradients flush into the [`VarStore`].
     Param(ParamId),
     MatMul(Var, Var),
+    /// Fused dense layer `act(x·W + b)` recorded as one node: forward runs
+    /// the fused GEMM bias+activation epilogue, backward fuses the
+    /// activation-derivative product into the gradient GEMMs' read path —
+    /// both bit-identical to the unfused
+    /// `MatMul → AddRowBroadcast → activation` triplet.
+    Dense(Var, Var, Var, EpiAct),
     Add(Var, Var),
     Sub(Var, Var),
     MulElem(Var, Var),
@@ -111,6 +121,12 @@ impl Pool {
 pub struct Tape {
     nodes: Vec<Node>,
     grads: Vec<Option<Matrix>>,
+    /// Per-node needs-gradient mask, recomputed by each backward sweep
+    /// (capacity retained across steps, so steady state stays
+    /// allocation-free). `needs[i]` is `true` when node `i`'s gradient can
+    /// reach a `Param` leaf; with dead-gradient pruning enabled
+    /// ([`crate::prune`]), branches where it cannot are skipped entirely.
+    needs: Vec<bool>,
     pool: Pool,
 }
 
@@ -229,6 +245,31 @@ impl Tape {
             .value
             .matmul_into(&self.nodes[b.0].value, &mut out);
         self.push(out, Op::MatMul(a, b))
+    }
+
+    /// Fused dense layer `act(x·W + b)` as a single tape node.
+    ///
+    /// Forward runs the fused-epilogue GEMM
+    /// ([`matmul_bias_act_rows_into`], the inference-engine kernel), and
+    /// backward fuses the activation-derivative product `dZ = dA ⊙
+    /// act'(Z)` into the gradient GEMMs instead of materializing it —
+    /// values and gradients are bit-identical to the unfused `matmul` →
+    /// `add_row_broadcast` → activation sequence (the retained reference
+    /// arm). `w` must be a `d_in x n` node, `b` a `1 x n` node; either may
+    /// be a parameter or a frozen input.
+    pub fn dense(&mut self, x: Var, w: Var, b: Var, act: EpiAct) -> Var {
+        let (rows, d_in) = self.nodes[x.0].value.shape();
+        let n = self.nodes[w.0].value.cols();
+        let mut out = self.pool.take(rows, n);
+        matmul_bias_act_rows_into(
+            self.nodes[x.0].value.as_slice(),
+            d_in,
+            &self.nodes[w.0].value,
+            self.nodes[b.0].value.as_slice(),
+            act,
+            out.as_mut_slice(),
+        );
+        self.push(out, Op::Dense(x, w, b, act))
     }
 
     /// Elementwise sum of two same-shape matrices.
@@ -471,20 +512,84 @@ impl Tape {
             (1, 1),
             "backward: loss must be a 1x1 matrix"
         );
-        let Tape { nodes, grads, pool } = self;
+        let Tape {
+            nodes,
+            grads,
+            needs,
+            pool,
+        } = self;
         for g in grads.drain(..).flatten() {
             pool.put(g);
         }
         grads.resize_with(nodes.len(), || None);
-        let mut seed = pool.take(1, 1);
-        seed.fill(1.0);
-        grads[loss.0] = Some(seed);
+
+        // Needs-gradient reachability: a node's gradient matters only if it
+        // can flow into a `Param` leaf. Nothing in the crate exposes
+        // non-param gradients, so when pruning is enabled the sweep skips
+        // every branch that only feeds constant `Input` leaves (the first
+        // layer's `dX`, label-matrix gradients, …). Operands always precede
+        // their consumers on the tape, so one forward pass suffices. With
+        // pruning disabled every node "needs" its gradient and the sweep is
+        // exactly the historical full sweep.
+        let prune = crate::prune::grad_prune_enabled();
+        needs.clear();
+        for node in nodes.iter() {
+            let nd = !prune
+                || match node.op {
+                    Op::Input => false,
+                    Op::Param(_) => true,
+                    Op::MatMul(a, b)
+                    | Op::Add(a, b)
+                    | Op::Sub(a, b)
+                    | Op::MulElem(a, b)
+                    | Op::AddRowBroadcast(a, b)
+                    | Op::MulColBroadcast(a, b) => needs[a.0] || needs[b.0],
+                    Op::Dense(x, w, b, _) => needs[x.0] || needs[w.0] || needs[b.0],
+                    Op::Scale(a, _)
+                    | Op::AddScalar(a)
+                    | Op::Relu(a)
+                    | Op::LeakyRelu(a, _)
+                    | Op::Sigmoid(a)
+                    | Op::Tanh(a)
+                    | Op::Exp(a)
+                    | Op::Ln(a)
+                    | Op::Abs(a)
+                    | Op::Square(a)
+                    | Op::Sqrt(a)
+                    | Op::Recip(a)
+                    | Op::Neg(a)
+                    | Op::Transpose(a)
+                    | Op::SumAll(a)
+                    | Op::MeanAll(a)
+                    | Op::SumDiv(a, _)
+                    | Op::RowSum(a)
+                    | Op::SoftmaxRows(a)
+                    | Op::LogSoftmaxRows(a) => needs[a.0],
+                };
+            needs.push(nd);
+        }
+
+        if needs[loss.0] {
+            let mut seed = pool.take(1, 1);
+            seed.fill(1.0);
+            grads[loss.0] = Some(seed);
+        }
+
+        // When telemetry is hot, bucket per-node time into the GEMM /
+        // elementwise sub-phases of `step.backward` (one clock read pair
+        // per node, two `record_ns` calls per sweep). Disabled: no clock
+        // reads at all.
+        let timing = targad_obs::enabled();
+        let mut gemm_ns: u64 = 0;
+        let mut elem_ns: u64 = 0;
 
         for i in (0..nodes.len()).rev() {
             let mut g = match grads[i].take() {
                 Some(g) => g,
                 None => continue,
             };
+            let node_start = timing.then(Instant::now);
+            let is_gemm = matches!(nodes[i].op, Op::MatMul(..) | Op::Dense(..));
             match nodes[i].op {
                 Op::Input => pool.put(g),
                 Op::Param(id) => {
@@ -494,49 +599,115 @@ impl Tape {
                 Op::MatMul(a, b) => {
                     let va = &nodes[a.0].value;
                     let vb = &nodes[b.0].value;
-                    let mut da = pool.take(va.rows(), va.cols());
-                    g.matmul_nt_into(vb, &mut da);
-                    let mut db = pool.take(vb.rows(), vb.cols());
-                    va.matmul_tn_into(&g, &mut db);
+                    if needs[a.0] {
+                        let mut da = pool.take(va.rows(), va.cols());
+                        g.matmul_nt_into(vb, &mut da);
+                        accumulate(grads, pool, a.0, da);
+                    }
+                    if needs[b.0] {
+                        let mut db = pool.take(vb.rows(), vb.cols());
+                        va.matmul_tn_into(&g, &mut db);
+                        accumulate(grads, pool, b.0, db);
+                    }
                     pool.put(g);
-                    accumulate(grads, pool, a.0, da);
-                    accumulate(grads, pool, b.0, db);
+                }
+                Op::Dense(x, w, b, act) => {
+                    // Same accumulation order as the unfused triplet:
+                    // bias (the AddRowBroadcast arm), then data, then
+                    // weights (the MatMul arm's `a` before `b`). `dZ` is
+                    // never materialized — each kernel computes it on its
+                    // read path from `g` and the stored output.
+                    let vy = &nodes[i].value;
+                    let vx = &nodes[x.0].value;
+                    let vw = &nodes[w.0].value;
+                    if needs[b.0] {
+                        let mut db = pool.take(1, g.cols());
+                        dense_backward_bias_into(&g, vy, act, &mut db);
+                        accumulate(grads, pool, b.0, db);
+                    }
+                    if needs[x.0] {
+                        let mut dx = pool.take(vx.rows(), vx.cols());
+                        dense_backward_data_into(&g, vy, act, vw, &mut dx);
+                        accumulate(grads, pool, x.0, dx);
+                    }
+                    if needs[w.0] {
+                        let mut dw = pool.take(vw.rows(), vw.cols());
+                        dense_backward_weights_into(vx, &g, vy, act, &mut dw);
+                        accumulate(grads, pool, w.0, dw);
+                    }
+                    pool.put(g);
                 }
                 Op::Add(a, b) => {
-                    let mut da = pool.take(g.rows(), g.cols());
-                    da.copy_from(&g);
-                    accumulate(grads, pool, a.0, da);
-                    accumulate(grads, pool, b.0, g);
+                    if needs[a.0] && needs[b.0] {
+                        let mut da = pool.take(g.rows(), g.cols());
+                        da.copy_from(&g);
+                        accumulate(grads, pool, a.0, da);
+                        accumulate(grads, pool, b.0, g);
+                    } else if needs[a.0] {
+                        accumulate(grads, pool, a.0, g);
+                    } else {
+                        accumulate(grads, pool, b.0, g);
+                    }
                 }
                 Op::Sub(a, b) => {
-                    let mut da = pool.take(g.rows(), g.cols());
-                    da.copy_from(&g);
-                    accumulate(grads, pool, a.0, da);
-                    g.map_inplace(|x| -x);
-                    accumulate(grads, pool, b.0, g);
+                    if needs[a.0] && needs[b.0] {
+                        let mut da = pool.take(g.rows(), g.cols());
+                        da.copy_from(&g);
+                        accumulate(grads, pool, a.0, da);
+                        g.map_inplace(|x| -x);
+                        accumulate(grads, pool, b.0, g);
+                    } else if needs[a.0] {
+                        accumulate(grads, pool, a.0, g);
+                    } else {
+                        g.map_inplace(|x| -x);
+                        accumulate(grads, pool, b.0, g);
+                    }
                 }
                 Op::MulElem(a, b) => {
-                    let mut da = pool.take(g.rows(), g.cols());
-                    g.zip_map_into(&nodes[b.0].value, |gv, y| gv * y, &mut da);
-                    g.zip_map_inplace(&nodes[a.0].value, |gv, x| gv * x);
-                    accumulate(grads, pool, a.0, da);
-                    accumulate(grads, pool, b.0, g);
+                    if needs[a.0] && needs[b.0] {
+                        let mut da = pool.take(g.rows(), g.cols());
+                        g.zip_map_into(&nodes[b.0].value, |gv, y| gv * y, &mut da);
+                        g.zip_map_inplace(&nodes[a.0].value, |gv, x| gv * x);
+                        accumulate(grads, pool, a.0, da);
+                        accumulate(grads, pool, b.0, g);
+                    } else if needs[a.0] {
+                        g.zip_map_inplace(&nodes[b.0].value, |gv, y| gv * y);
+                        accumulate(grads, pool, a.0, g);
+                    } else {
+                        g.zip_map_inplace(&nodes[a.0].value, |gv, x| gv * x);
+                        accumulate(grads, pool, b.0, g);
+                    }
                 }
                 Op::AddRowBroadcast(a, row) => {
-                    let mut drow = pool.take(1, g.cols());
-                    g.col_sums_into(&mut drow);
-                    accumulate(grads, pool, row.0, drow);
-                    accumulate(grads, pool, a.0, g);
+                    if needs[row.0] {
+                        let mut drow = pool.take(1, g.cols());
+                        g.col_sums_into(&mut drow);
+                        accumulate(grads, pool, row.0, drow);
+                    }
+                    if needs[a.0] {
+                        accumulate(grads, pool, a.0, g);
+                    } else {
+                        pool.put(g);
+                    }
                 }
                 Op::MulColBroadcast(a, col) => {
-                    let mut gx = pool.take(g.rows(), g.cols());
-                    g.zip_map_into(&nodes[a.0].value, |gv, x| gv * x, &mut gx);
-                    let mut dcol = pool.take(g.rows(), 1);
-                    gx.row_sums_into(&mut dcol);
-                    pool.put(gx);
-                    g.mul_col_broadcast_inplace(&nodes[col.0].value);
-                    accumulate(grads, pool, a.0, g);
-                    accumulate(grads, pool, col.0, dcol);
+                    if needs[col.0] {
+                        let mut gx = pool.take(g.rows(), g.cols());
+                        g.zip_map_into(&nodes[a.0].value, |gv, x| gv * x, &mut gx);
+                        let mut dcol = pool.take(g.rows(), 1);
+                        gx.row_sums_into(&mut dcol);
+                        pool.put(gx);
+                        if needs[a.0] {
+                            g.mul_col_broadcast_inplace(&nodes[col.0].value);
+                            accumulate(grads, pool, a.0, g);
+                        } else {
+                            pool.put(g);
+                        }
+                        accumulate(grads, pool, col.0, dcol);
+                    } else {
+                        g.mul_col_broadcast_inplace(&nodes[col.0].value);
+                        accumulate(grads, pool, a.0, g);
+                    }
                 }
                 Op::Scale(a, s) => {
                     g.map_inplace(|x| x * s);
@@ -682,6 +853,18 @@ impl Tape {
                     accumulate(grads, pool, a.0, g);
                 }
             }
+            if let Some(start) = node_start {
+                let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                if is_gemm {
+                    gemm_ns += ns;
+                } else {
+                    elem_ns += ns;
+                }
+            }
+        }
+        if timing {
+            targad_obs::profile::PHASE_STEP_BACKWARD_GEMM.record_ns(gemm_ns);
+            targad_obs::profile::PHASE_STEP_BACKWARD_ELEM.record_ns(elem_ns);
         }
     }
 }

@@ -1,0 +1,181 @@
+//! The fused dense backward path vs the retained unfused reference arms:
+//! bit identity end to end.
+//!
+//! The fused `Dense` tape node replays the exact floating-point chains of
+//! the unfused matmul / row-broadcast / activation triplet (forward and
+//! backward), so fitted weights and per-epoch losses must be *exactly*
+//! equal with fusion on and off — at any worker count, since the sharded
+//! reduction is already order-fixed. Run in CI at `TARGAD_THREADS`
+//! ∈ {1, 2, 7} alongside the engine-identity legs.
+
+use targad_autograd::{force_grad_prune, Tape, VarStore};
+use targad_core::{Runtime, TargAd, TargAdConfig};
+use targad_data::GeneratorSpec;
+use targad_linalg::{rng as lrng, Matrix};
+use targad_nn::{force_fused_backward, Activation, Adam, Mlp, Optimizer};
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn weight_bits(mlp: &Mlp, store: &VarStore) -> Vec<Vec<u64>> {
+    mlp.layers()
+        .iter()
+        .flat_map(|l| {
+            let (w, b) = l.params();
+            [
+                bits(store.value(w).as_slice()),
+                bits(store.value(b).as_slice()),
+            ]
+        })
+        .collect()
+}
+
+/// Trains a small MLP for `steps` Adam steps and returns the bit patterns
+/// of every fitted parameter plus the per-step losses.
+fn train_mlp(
+    fused: bool,
+    hidden_act: Activation,
+    out_act: Activation,
+    steps: usize,
+) -> (Vec<Vec<u64>>, Vec<u64>) {
+    let _g = force_fused_backward(fused);
+    let mut rng = lrng::seeded(97);
+    let x = lrng::normal_matrix(&mut rng, 24, 5, 0.0, 1.0);
+    let true_w = lrng::normal_matrix(&mut rng, 5, 3, 0.0, 1.0);
+    let y = x.matmul(&true_w).map(|v| v.tanh());
+
+    let mut store = VarStore::new();
+    let mlp = Mlp::new(&mut store, &mut rng, &[5, 7, 3], hidden_act, out_act);
+    let mut opt = Adam::new(1e-2);
+    let mut tape = Tape::new();
+    let mut losses = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        store.zero_grads();
+        tape.reset();
+        let xv = tape.input_from(&x);
+        let yv = tape.input_from(&y);
+        let pred = mlp.forward(&mut tape, &store, xv);
+        let loss = tape.mse(pred, yv);
+        losses.push(tape.value(loss)[(0, 0)].to_bits());
+        tape.backward(loss, &mut store);
+        opt.step(&mut store);
+    }
+    (weight_bits(&mlp, &store), losses)
+}
+
+/// Every activation pairing the model zoo uses: fused and unfused training
+/// must agree on every parameter bit and every per-step loss bit.
+#[test]
+fn mlp_training_is_fused_invariant() {
+    for &(hidden, out) in &[
+        (Activation::Relu, Activation::None),
+        (Activation::Tanh, Activation::Sigmoid),
+        (Activation::LeakyRelu, Activation::Tanh),
+        (Activation::Sigmoid, Activation::None),
+    ] {
+        let (w_ref, l_ref) = train_mlp(false, hidden, out, 40);
+        let (w_fused, l_fused) = train_mlp(true, hidden, out, 40);
+        assert_eq!(l_fused, l_ref, "losses diverged for {hidden:?}/{out:?}");
+        assert_eq!(w_fused, w_ref, "weights diverged for {hidden:?}/{out:?}");
+    }
+}
+
+/// Dead-gradient pruning only skips gradients nothing can consume (input
+/// leaves and the chains that feed solely into them), so training must be
+/// bit-identical — every parameter bit, every per-step loss bit — with
+/// pruning on and off, fused and unfused alike.
+#[test]
+fn mlp_training_is_prune_invariant() {
+    for fused in [false, true] {
+        let run = |prune: bool| {
+            let _p = force_grad_prune(prune);
+            train_mlp(fused, Activation::Relu, Activation::None, 40)
+        };
+        assert_eq!(run(true), run(false), "fused = {fused}");
+    }
+}
+
+/// Gradients through a *frozen* module (the GAN generator-step pattern:
+/// trainable generator, frozen discriminator in the loss) are also
+/// bit-identical fused vs unfused.
+#[test]
+fn frozen_forward_gradients_are_fused_invariant() {
+    let run = |fused: bool| -> Vec<Vec<u64>> {
+        let _g = force_fused_backward(fused);
+        let mut rng = lrng::seeded(131);
+        let mut gen_store = VarStore::new();
+        let gen = Mlp::new(
+            &mut gen_store,
+            &mut rng,
+            &[4, 6, 5],
+            Activation::LeakyRelu,
+            Activation::Tanh,
+        );
+        let mut disc_store = VarStore::new();
+        let disc = Mlp::new(
+            &mut disc_store,
+            &mut rng,
+            &[5, 6, 1],
+            Activation::LeakyRelu,
+            Activation::Sigmoid,
+        );
+        let z = lrng::normal_matrix(&mut rng, 16, 4, 0.0, 1.0);
+        let target = Matrix::ones(16, 1);
+
+        gen_store.zero_grads();
+        let mut tape = Tape::new();
+        let zv = tape.input_from(&z);
+        let tv = tape.input_from(&target);
+        let fake = gen.forward(&mut tape, &gen_store, zv);
+        let verdict = disc.forward_frozen(&mut tape, &disc_store, fake);
+        let loss = tape.mse(verdict, tv);
+        tape.backward(loss, &mut gen_store);
+        gen_store
+            .ids()
+            .map(|id| bits(gen_store.grad(id).as_slice()))
+            .collect()
+    };
+    assert_eq!(run(true), run(false));
+}
+
+/// Whole-pipeline oracle: a full `TargAd::fit` (AE selection + sharded
+/// classifier training) yields bit-identical fitted classifier weights and
+/// per-epoch loss histories with fusion on and off, with the fused arm
+/// checked across worker counts {1, 2, 7} against the serial unfused
+/// reference.
+#[test]
+fn targad_fit_is_fused_invariant_across_worker_counts() {
+    type Fit = (Vec<Vec<u64>>, Vec<u64>, Vec<u64>);
+    let fit = |fused: bool, workers: usize| -> Fit {
+        let _g = force_fused_backward(fused);
+        let bundle = GeneratorSpec::quick_demo().generate(29);
+        let mut cfg = TargAdConfig::fast();
+        cfg.ae_epochs = 3;
+        cfg.clf_epochs = 4;
+        let mut model = TargAd::try_new(cfg)
+            .expect("valid config")
+            .with_runtime(Runtime::new(workers));
+        model.fit(&bundle.train, 11).expect("fit");
+        let weights = model
+            .classifier()
+            .expect("fitted")
+            .parameter_matrices()
+            .iter()
+            .map(|m| bits(m.as_slice()))
+            .collect();
+        let h = model.history();
+        (weights, bits(&h.clf_loss), bits(&h.ae_loss))
+    };
+
+    let reference = fit(false, 1);
+    assert!(!reference.1.is_empty());
+    for workers in [1usize, 2, 7] {
+        assert_eq!(fit(true, workers), reference, "workers = {workers}");
+    }
+
+    // The whole pipeline is also prune-invariant: disabling dead-gradient
+    // pruning changes how much work backward does, never what it computes.
+    let _p = force_grad_prune(false);
+    assert_eq!(fit(true, 2), reference, "prune off");
+}

@@ -27,10 +27,15 @@ pub mod matrix;
 pub mod par;
 pub mod rng;
 pub mod shared;
+mod smallgemm;
 pub mod stats;
 
 pub use f32kernel::{
     cpu_features, kernel_path, matmul_bias_act_f32_into, CpuFeatures, KernelPath, PackedF32,
 };
-pub use matrix::{matmul_bias_act_rows_into, stable_sigmoid, stable_sigmoid_f32, EpiAct, Matrix};
+pub use matrix::{
+    dense_backward_bias_into, dense_backward_data_into, dense_backward_weights_into,
+    force_small_gemm, matmul_bias_act_rows_into, stable_sigmoid, stable_sigmoid_f32, EpiAct,
+    Matrix, SmallGemmGuard, BLOCK_MIN_FLOPS,
+};
 pub use shared::{F64Buffer, SharedBuffer};

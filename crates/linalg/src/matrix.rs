@@ -4,6 +4,7 @@ use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
 
 use crate::shared::SharedBuffer;
+use crate::smallgemm::{self, DactSrc, SrcRead, SMR, SNR};
 
 /// Element storage of a [`Matrix`]: either a private heap vector or a
 /// borrowed window of a [`SharedBuffer`] (e.g. an `mmap`ed model
@@ -932,6 +933,39 @@ impl EpiAct {
             EpiAct::Tanh => x.tanh(),
         }
     }
+
+    /// The backward counterpart of [`EpiAct::apply`]: the upstream gradient
+    /// `g` times the activation derivative, with the derivative computed
+    /// from the layer *output* `y = apply(z)` rather than the
+    /// pre-activation `z`. Exact for every variant: `y > 0 ⟺ z > 0` for
+    /// the ReLU family (so the branch picks the identical side), and the
+    /// sigmoid/tanh derivatives are already expressed in terms of the
+    /// output. Each arm performs the exact scalar op sequence of the
+    /// corresponding unfused tape backward arm, so fusing this product into
+    /// a gradient GEMM's read path is bit-identical to materializing
+    /// `dZ = dA ⊙ act'(Z)` first.
+    #[inline(always)]
+    pub fn grad_from_output(self, g: f64, y: f64) -> f64 {
+        match self {
+            EpiAct::None => g,
+            EpiAct::Relu => {
+                if y > 0.0 {
+                    g
+                } else {
+                    0.0
+                }
+            }
+            EpiAct::LeakyRelu => {
+                if y > 0.0 {
+                    g
+                } else {
+                    0.01 * g
+                }
+            }
+            EpiAct::Sigmoid => g * (y * (1.0 - y)),
+            EpiAct::Tanh => g * (1.0 - y * y),
+        }
+    }
 }
 
 /// Register tile height: output rows held in registers per micro-kernel call.
@@ -946,9 +980,137 @@ const KC: usize = 256;
 /// Output-row block: one packed A block spans `MC x KC` (512 KiB / 8 =
 /// 128 KiB at f64) and stays L2-resident across the `j` sweep.
 const MC: usize = 64;
-/// Problems below this many multiply-adds skip packing entirely; the naive
-/// i-k-j loop wins there and computes the identical accumulation chains.
-const BLOCK_MIN_FLOPS: usize = 1 << 18;
+/// The pre-tiling dispatch boundary, kept for the `TARGAD_SMALL_GEMM=off`
+/// escape hatch: with the tiled path disabled, problems below this many
+/// multiply-adds run the scalar loops and everything else runs the blocked
+/// kernel — exactly the dispatch the repo had before the register-tiled
+/// small path existed. With the tiled path enabled (the default) the
+/// blocked/tiled split is governed by the per-variant ceilings
+/// (`SMALL_MAX_FLOPS_*`) instead. All three paths compute identical
+/// accumulation chains.
+pub const BLOCK_MIN_FLOPS: usize = 1 << 18;
+
+/// Largest `m*n*k` the packing-free tiled path handles for `A*B`:
+/// measured on the shard-shaped training sweep, tiled nn beats the blocked
+/// kernel through 2^19 multiply-adds (128x64x64: ~58 vs ~63 us) and ties or
+/// loses above. Inclusive bound — the training sweep's 128x64x32 GEMMs land
+/// exactly on 2^18 and were the motivating stuck-on-blocked shapes.
+const SMALL_MAX_FLOPS_NN: usize = 1 << 19;
+
+/// Tiled-path ceiling for `A*B^T`: the nt tile reads B columns at stride
+/// `k`, which blocked packing amortizes but the packing-free path cannot,
+/// so tiled nt only holds its own through 2^18 multiply-adds (128x64x32:
+/// ~43 vs ~44 us; at 2^19 it is ~40% behind).
+const SMALL_MAX_FLOPS_NT: usize = 1 << 18;
+
+/// Tiled-path ceiling for `A^T*B`: both operand walks are contiguous in
+/// the tn tile, so it stays ahead of the blocked kernel through 2^20
+/// multiply-adds (128x128x64: ~100 vs ~108 us).
+const SMALL_MAX_FLOPS_TN: usize = 1 << 20;
+
+/// Output area (`rows * cols`) below which even register tiling is not
+/// worth entering: a single `SMR x SNR` tile. Such outputs run the scalar
+/// loops (the `gemm.naive_dispatches` counter); everything else below
+/// [`BLOCK_MIN_FLOPS`] takes the tiled small path
+/// (`gemm.small_dispatches`).
+const SMALL_MIN_AREA: usize = SMR * SNR;
+
+/// `true` when `TARGAD_SMALL_GEMM` requests the scalar loops (`off`, `0`,
+/// or `false`, case-insensitively) for every problem below
+/// [`BLOCK_MIN_FLOPS`] — the pre-tiling dispatch behaviour. Resolved on
+/// first use and cached, like `TARGAD_SIMD`.
+fn small_gemm_env_off() -> bool {
+    static OFF: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *OFF.get_or_init(|| {
+        std::env::var("TARGAD_SMALL_GEMM")
+            .is_ok_and(|v| matches!(v.to_ascii_lowercase().as_str(), "off" | "0" | "false"))
+    })
+}
+
+/// In-process override for the small-GEMM gate: 0 = follow the
+/// environment, 1 = forced on, 2 = forced off. Only [`force_small_gemm`]
+/// writes non-zero values, under [`SMALL_FORCE_LOCK`].
+static SMALL_OVERRIDE: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+/// Serializes [`force_small_gemm`] holders — the override is process
+/// global (pool workers must see the same answer as the driving thread).
+static SMALL_FORCE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Should sub-[`BLOCK_MIN_FLOPS`] problems take the register-tiled small
+/// kernels? All three paths are bit-identical, so this is a performance
+/// escape hatch (`TARGAD_SMALL_GEMM=off`) and the lever benches use to
+/// time the tiled path against its scalar predecessor — never a
+/// semantics switch.
+#[inline]
+fn small_gemm_enabled() -> bool {
+    match SMALL_OVERRIDE.load(std::sync::atomic::Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => !small_gemm_env_off(),
+    }
+}
+
+/// Holds the small-GEMM override; dropping it restores environment
+/// resolution.
+pub struct SmallGemmGuard {
+    _lock: std::sync::MutexGuard<'static, ()>,
+}
+
+impl Drop for SmallGemmGuard {
+    fn drop(&mut self) {
+        SMALL_OVERRIDE.store(0, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+/// Forces the register-tiled small-GEMM path on or off for the whole
+/// process until the returned guard drops. Concurrent callers queue on an
+/// internal lock, so overrides never overlap.
+pub fn force_small_gemm(on: bool) -> SmallGemmGuard {
+    let lock = SMALL_FORCE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    SMALL_OVERRIDE.store(if on { 1 } else { 2 }, std::sync::atomic::Ordering::Relaxed);
+    SmallGemmGuard { _lock: lock }
+}
+
+/// Which kernel a GEMM dispatch takes. Selected by [`gemm_path`]; every
+/// path computes the same ascending-`k` accumulation chains.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum GemmPath {
+    /// Plain triple loop (`gemm.naive_dispatches`).
+    Scalar,
+    /// Packing-free register-tiled small kernel (`gemm.small_dispatches`).
+    Small,
+    /// Packed blocked kernel (`gemm.kernel_dispatches`).
+    Blocked,
+}
+
+/// Picks the kernel for an `rows x n` output over a `k`-long contraction,
+/// bumping the matching dispatch counter. `small_max` is the
+/// variant-specific tiled ceiling (`SMALL_MAX_FLOPS_*`, inclusive). With
+/// the tiled path disabled ([`force_small_gemm`] /
+/// `TARGAD_SMALL_GEMM=off`) this reproduces the pre-tiling dispatch:
+/// scalar below [`BLOCK_MIN_FLOPS`], blocked at or above it.
+fn gemm_path(rows: usize, n: usize, k: usize, small_max: usize) -> GemmPath {
+    let flops = rows * n * k;
+    let path = if small_gemm_enabled() {
+        if flops > small_max {
+            GemmPath::Blocked
+        } else if rows * n < SMALL_MIN_AREA {
+            GemmPath::Scalar
+        } else {
+            GemmPath::Small
+        }
+    } else if flops < BLOCK_MIN_FLOPS {
+        GemmPath::Scalar
+    } else {
+        GemmPath::Blocked
+    };
+    match path {
+        GemmPath::Scalar => targad_obs::metrics::GEMM_NAIVE_DISPATCHES.inc(),
+        GemmPath::Small => targad_obs::metrics::GEMM_SMALL_DISPATCHES.inc(),
+        GemmPath::Blocked => targad_obs::metrics::GEMM_KERNEL_DISPATCHES.inc(),
+    }
+    path
+}
 
 /// The innermost register tile: `acc[m][c] += a[kk*MR+m] * b[kk*NR+c]` for
 /// `kk` ascending. `apack` is kk-major with `MR` A values per step; `bpack`
@@ -972,12 +1134,15 @@ fn gemm_micro(apack: &[f64], bpack: &[f64], kb: usize, acc: &mut [[f64; NR]; MR]
 /// Packs the A block `[i0, i0+ib) x [k0, k0+kb)` into `apack`, tile-major:
 /// tile `t` holds rows `i0 + t*MR ..`, laid out kk-major with `MR` values per
 /// step, rows past `ib` padded with zeros. The source element for (row `i`,
-/// contraction `k`) is `data[base + i*i_stride + k*k_stride]` — `(i_stride,
+/// contraction `k`) is `data.at(base + i*i_stride + k*k_stride)` — `(i_stride,
 /// k_stride) = (cols, 1)` packs A for `A*B`, `(1, cols)` packs it transposed
 /// for `A^T*B`, so both GEMM variants share this routine and the driver.
+/// Generic over [`SrcRead`]: a [`DactSrc`] A fuses the backward
+/// activation-derivative product into the pack, each `dZ` element computed
+/// exactly once (every A element belongs to exactly one `(i0, k0)` block).
 #[allow(clippy::too_many_arguments)]
-fn pack_a_block(
-    data: &[f64],
+fn pack_a_block<A: SrcRead>(
+    data: A,
     base: usize,
     i_stride: usize,
     k_stride: usize,
@@ -988,16 +1153,50 @@ fn pack_a_block(
     apack: &mut [f64; MC * KC],
 ) {
     let tiles = ib.div_ceil(MR);
-    for (t, tile) in apack.chunks_exact_mut(KC * MR).take(tiles).enumerate() {
-        let mb = (ib - t * MR).min(MR);
-        for (kk, dst) in tile.chunks_exact_mut(MR).take(kb).enumerate() {
-            let src = base + (i0 + t * MR) * i_stride + (k0 + kk) * k_stride;
-            for (m, d) in dst.iter_mut().enumerate() {
-                *d = if m < mb {
-                    data[src + m * i_stride]
+    if k_stride == 1 {
+        // Row-major A: each packed row is a contiguous k-run, read in bulk
+        // (one vectorizable `read_run` per row) and scattered into the
+        // tile's kk-major layout.
+        let mut run = [0.0f64; KC];
+        for (t, tile) in apack.chunks_exact_mut(KC * MR).take(tiles).enumerate() {
+            let mb = (ib - t * MR).min(MR);
+            for m in 0..MR {
+                if m < mb {
+                    let src = base + (i0 + t * MR + m) * i_stride + k0;
+                    data.read_run(src, &mut run[..kb]);
+                    for (kk, &v) in run[..kb].iter().enumerate() {
+                        tile[kk * MR + m] = v;
+                    }
                 } else {
-                    0.0
-                };
+                    for kk in 0..kb {
+                        tile[kk * MR + m] = 0.0;
+                    }
+                }
+            }
+        }
+    } else if i_stride == 1 {
+        // Transposed A: for each contraction step the `MR` row values are
+        // contiguous, so each tile step is one short bulk read.
+        for (t, tile) in apack.chunks_exact_mut(KC * MR).take(tiles).enumerate() {
+            let mb = (ib - t * MR).min(MR);
+            for (kk, dst) in tile.chunks_exact_mut(MR).take(kb).enumerate() {
+                let src = base + (i0 + t * MR) + (k0 + kk) * k_stride;
+                data.read_run(src, &mut dst[..mb]);
+                dst[mb..].fill(0.0);
+            }
+        }
+    } else {
+        for (t, tile) in apack.chunks_exact_mut(KC * MR).take(tiles).enumerate() {
+            let mb = (ib - t * MR).min(MR);
+            for (kk, dst) in tile.chunks_exact_mut(MR).take(kb).enumerate() {
+                let src = base + (i0 + t * MR) * i_stride + (k0 + kk) * k_stride;
+                for (m, d) in dst.iter_mut().enumerate() {
+                    *d = if m < mb {
+                        data.at(src + m * i_stride)
+                    } else {
+                        0.0
+                    };
+                }
             }
         }
     }
@@ -1016,6 +1215,27 @@ fn pack_b_panel(
     for (kk, dst) in bpack.chunks_exact_mut(NR).take(kb).enumerate() {
         let start = (k0 + kk) * b.cols + j0;
         dst[..jb].copy_from_slice(&b.d()[start..start + jb]);
+        dst[jb..].fill(0.0);
+    }
+}
+
+/// [`pack_b_panel`] generic over the element read path: a [`DactSrc`] B
+/// fuses the backward activation-derivative product `dZ = dA ⊙ act'(Z)`
+/// into the pack of `dW = Xᵀ·dZ`'s B operand. The blocked driver re-packs
+/// B panels once per `MC`-row block of the output; a fused read recomputes
+/// the identical value each time, so results cannot depend on the blocking.
+fn pack_b_panel_src<B: SrcRead>(
+    b: B,
+    b_cols: usize,
+    k0: usize,
+    kb: usize,
+    j0: usize,
+    jb: usize,
+    bpack: &mut [f64; KC * NR],
+) {
+    for (kk, dst) in bpack.chunks_exact_mut(NR).take(kb).enumerate() {
+        let start = (k0 + kk) * b_cols + j0;
+        b.read_run(start, &mut dst[..jb]);
         dst[jb..].fill(0.0);
     }
 }
@@ -1061,8 +1281,8 @@ fn pack_bt_panel(
 /// and the result is bit-identical to a separate bias-broadcast plus
 /// elementwise-activation pass over the finished product.
 #[allow(clippy::too_many_arguments)]
-fn gemm_blocked(
-    a_data: &[f64],
+fn gemm_blocked<A: SrcRead>(
+    a_data: A,
     a_base: usize,
     a_istride: usize,
     a_kstride: usize,
@@ -1122,54 +1342,6 @@ fn gemm_blocked(
     }
 }
 
-/// The packing-free i-k-j loop for problems too small to amortize panel
-/// packing. Identical accumulation chains to [`gemm_blocked`].
-fn gemm_nn_naive(a: &Matrix, b: &Matrix, first_row: usize, out: &mut [f64]) {
-    let n = b.cols;
-    let bd = b.d();
-    for (r, out_row) in out.chunks_mut(n).enumerate() {
-        let a_row = a.row(first_row + r);
-        for (k, &av) in a_row.iter().enumerate() {
-            let b_row = &bd[k * n..(k + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += av * bv;
-            }
-        }
-    }
-}
-
-/// [`gemm_nn_naive`] for the transposed-B variant: scalar dot products,
-/// each a single ascending-`k` chain accumulated onto `out`.
-fn gemm_nt_naive(a: &Matrix, b: &Matrix, first_row: usize, out: &mut [f64]) {
-    let n = b.rows;
-    for (r, out_row) in out.chunks_mut(n).enumerate() {
-        let a_row = a.row(first_row + r);
-        for (j, o) in out_row.iter_mut().enumerate() {
-            let mut acc = 0.0;
-            for (&av, &bv) in a_row.iter().zip(b.row(j)) {
-                acc += av * bv;
-            }
-            *o += acc;
-        }
-    }
-}
-
-/// `gemm_nn_naive` for the transposed-A variant: out row `k`, ascending `r`.
-fn gemm_tn_naive(a: &Matrix, b: &Matrix, first_k: usize, out: &mut [f64]) {
-    let n = b.cols;
-    let (ad, bd) = (a.d(), b.d());
-    for (kk, out_row) in out.chunks_mut(n).enumerate() {
-        let k = first_k + kk;
-        for r in 0..a.rows {
-            let av = ad[r * a.cols + k];
-            let b_row = &bd[r * n..(r + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += av * bv;
-            }
-        }
-    }
-}
-
 /// Computes out rows `[first_row, first_row + out.len() / b.cols())` of
 /// `a * b` into `out` (a row-major slice of whole out rows), accumulating
 /// into the existing contents (callers pre-zero `out`).
@@ -1184,24 +1356,31 @@ pub(crate) fn matmul_rows_into(a: &Matrix, b: &Matrix, first_row: usize, out: &m
         return;
     }
     let rows = out.len() / n;
-    if rows * n * a.cols < BLOCK_MIN_FLOPS {
-        targad_obs::metrics::GEMM_NAIVE_DISPATCHES.inc();
-        gemm_nn_naive(a, b, first_row, out);
-    } else {
-        targad_obs::metrics::GEMM_KERNEL_DISPATCHES.inc();
-        let pack_b = |k0, kb, j0, jb, bp: &mut _| pack_b_panel(b, k0, kb, j0, jb, bp);
-        gemm_blocked(
-            a.d(),
-            first_row * a.cols,
-            a.cols,
-            1,
-            a.cols,
-            n,
-            pack_b,
-            None,
-            out,
-        );
+    match gemm_path(rows, n, a.cols, SMALL_MAX_FLOPS_NN) {
+        GemmPath::Scalar => {
+            let base = first_row * a.cols;
+            smallgemm::gemm_nn_scalar(a.d(), base, a.cols, a.cols, b.d(), n, None, out);
+            return;
+        }
+        GemmPath::Small => {
+            let base = first_row * a.cols;
+            smallgemm::gemm_nn_small(a.d(), base, a.cols, a.cols, b.d(), n, None, out);
+            return;
+        }
+        GemmPath::Blocked => {}
     }
+    let pack_b = |k0, kb, j0, jb, bp: &mut _| pack_b_panel(b, k0, kb, j0, jb, bp);
+    gemm_blocked(
+        a.d(),
+        first_row * a.cols,
+        a.cols,
+        1,
+        a.cols,
+        n,
+        pack_b,
+        None,
+        out,
+    );
 }
 
 /// Computes out rows `[first_row, ...)` of `a * b^T` into `out`,
@@ -1217,24 +1396,31 @@ pub(crate) fn matmul_nt_rows_into(a: &Matrix, b: &Matrix, first_row: usize, out:
         return;
     }
     let rows = out.len() / n;
-    if rows * n * a.cols < BLOCK_MIN_FLOPS {
-        targad_obs::metrics::GEMM_NAIVE_DISPATCHES.inc();
-        gemm_nt_naive(a, b, first_row, out);
-    } else {
-        targad_obs::metrics::GEMM_KERNEL_DISPATCHES.inc();
-        let pack_b = |k0, kb, j0, jb, bp: &mut _| pack_bt_panel(b, k0, kb, j0, jb, bp);
-        gemm_blocked(
-            a.d(),
-            first_row * a.cols,
-            a.cols,
-            1,
-            a.cols,
-            n,
-            pack_b,
-            None,
-            out,
-        );
+    match gemm_path(rows, n, a.cols, SMALL_MAX_FLOPS_NT) {
+        GemmPath::Scalar => {
+            let base = first_row * a.cols;
+            smallgemm::gemm_nt_scalar(a.d(), base, a.cols, a.cols, b.d(), b.cols, n, out);
+            return;
+        }
+        GemmPath::Small => {
+            let base = first_row * a.cols;
+            smallgemm::gemm_nt_small(a.d(), base, a.cols, a.cols, b.d(), b.cols, n, out);
+            return;
+        }
+        GemmPath::Blocked => {}
     }
+    let pack_b = |k0, kb, j0, jb, bp: &mut _| pack_bt_panel(b, k0, kb, j0, jb, bp);
+    gemm_blocked(
+        a.d(),
+        first_row * a.cols,
+        a.cols,
+        1,
+        a.cols,
+        n,
+        pack_b,
+        None,
+        out,
+    );
 }
 
 /// Computes out rows `[first_k, ...)` of `a^T * b` into `out`, accumulating
@@ -1251,40 +1437,16 @@ pub(crate) fn matmul_tn_rows_into(a: &Matrix, b: &Matrix, first_k: usize, out: &
         return;
     }
     let rows = out.len() / n;
-    if rows * n * a.rows < BLOCK_MIN_FLOPS {
-        targad_obs::metrics::GEMM_NAIVE_DISPATCHES.inc();
-        gemm_tn_naive(a, b, first_k, out);
-    } else {
-        targad_obs::metrics::GEMM_KERNEL_DISPATCHES.inc();
-        let pack_b = |k0, kb, j0, jb, bp: &mut _| pack_b_panel(b, k0, kb, j0, jb, bp);
-        gemm_blocked(a.d(), first_k, 1, a.cols, a.rows, n, pack_b, None, out);
-    }
-}
-
-/// The packing-free fused kernel for problems below [`BLOCK_MIN_FLOPS`]:
-/// the i-k-j loop of [`gemm_nn_naive`] reading rows from a raw slice, with
-/// the bias + activation epilogue applied per out row once that row's
-/// ascending-`k` accumulation chain is complete.
-fn gemm_nn_naive_slice_epi(
-    x_rows: &[f64],
-    d_in: usize,
-    w: &Matrix,
-    bias: &[f64],
-    act: EpiAct,
-    out: &mut [f64],
-) {
-    let n = w.cols;
-    let wd = w.d();
-    for (r, out_row) in out.chunks_mut(n).enumerate() {
-        let a_row = &x_rows[r * d_in..(r + 1) * d_in];
-        for (k, &av) in a_row.iter().enumerate() {
-            let b_row = &wd[k * n..(k + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += av * bv;
-            }
+    match gemm_path(rows, n, a.rows, SMALL_MAX_FLOPS_TN) {
+        GemmPath::Scalar => {
+            smallgemm::gemm_tn_scalar(a.d(), a.cols, a.rows, first_k, b.d(), n, out);
         }
-        for (o, &bj) in out_row.iter_mut().zip(bias) {
-            *o = act.apply(*o + bj);
+        GemmPath::Small => {
+            smallgemm::gemm_tn_small(a.d(), a.cols, a.rows, first_k, b.d(), n, out);
+        }
+        GemmPath::Blocked => {
+            let pack_b = |k0, kb, j0, jb, bp: &mut _| pack_b_panel(b, k0, kb, j0, jb, bp);
+            gemm_blocked(a.d(), first_k, 1, a.cols, a.rows, n, pack_b, None, out);
         }
     }
 }
@@ -1324,13 +1486,172 @@ pub fn matmul_bias_act_rows_into(
         "matmul_bias_act_rows_into: x/out row mismatch"
     );
     out.fill(0.0);
-    if rows * n * d_in < BLOCK_MIN_FLOPS {
-        targad_obs::metrics::GEMM_NAIVE_DISPATCHES.inc();
-        gemm_nn_naive_slice_epi(x_rows, d_in, w, bias, act, out);
-    } else {
-        targad_obs::metrics::GEMM_KERNEL_DISPATCHES.inc();
-        let pack_b = |k0, kb, j0, jb, bp: &mut _| pack_b_panel(w, k0, kb, j0, jb, bp);
-        gemm_blocked(x_rows, 0, d_in, 1, d_in, n, pack_b, Some((bias, act)), out);
+    match gemm_path(rows, n, d_in, SMALL_MAX_FLOPS_NN) {
+        GemmPath::Scalar => {
+            smallgemm::gemm_nn_scalar(x_rows, 0, d_in, d_in, w.d(), n, Some((bias, act)), out);
+        }
+        GemmPath::Small => {
+            smallgemm::gemm_nn_small(x_rows, 0, d_in, d_in, w.d(), n, Some((bias, act)), out);
+        }
+        GemmPath::Blocked => {
+            let pack_b = |k0, kb, j0, jb, bp: &mut _| pack_b_panel(w, k0, kb, j0, jb, bp);
+            gemm_blocked(x_rows, 0, d_in, 1, d_in, n, pack_b, Some((bias, act)), out);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fused dense-layer backward kernels.
+//
+// The backward pass of a dense layer `y = act(x·W + b)` needs three
+// products of `dZ = dA ⊙ act'(Z)`: the bias gradient (column sums), the
+// data gradient `dX = dZ·Wᵀ`, and the weight gradient `dW = Xᵀ·dZ`. The
+// unfused tape arms materialize `dZ` as a full matrix first; the entries
+// below instead read `dZ` elements through [`DactSrc`] — computed on the
+// fly from the upstream gradient `g` and the stored layer output `y`
+// (see [`EpiAct::grad_from_output`]) as a prologue on the GEMM read path.
+// The per-element multiply happens *before* any accumulation, so every
+// accumulation chain is bit-identical to materialize-then-multiply.
+
+/// Fused bias gradient: `out[j] = Σ_r act.grad_from_output(g[r][j],
+/// y[r][j])` — the column sums of `dZ`, rows ascending, without
+/// materializing `dZ`. Bit-identical to mapping `dZ` elementwise and then
+/// calling [`Matrix::col_sums_into`] (same chains, same order).
+///
+/// # Panics
+/// Panics unless `g` and `y` share a shape and `out` is `1 x g.cols()`.
+pub fn dense_backward_bias_into(g: &Matrix, y: &Matrix, act: EpiAct, out: &mut Matrix) {
+    assert_eq!(
+        g.shape(),
+        y.shape(),
+        "dense_backward_bias_into: g/y shape mismatch"
+    );
+    assert_eq!(
+        out.shape(),
+        (1, g.cols),
+        "dense_backward_bias_into: bad output shape"
+    );
+    out.fill(0.0);
+    let sums = out.dm();
+    for (g_row, y_row) in g.iter_rows().zip(y.iter_rows()) {
+        for ((s, &gv), &yv) in sums.iter_mut().zip(g_row).zip(y_row) {
+            *s += act.grad_from_output(gv, yv);
+        }
+    }
+}
+
+/// Fused data gradient: `out = dZ · Wᵀ` with `dZ` read through the
+/// activation-derivative prologue — the counterpart of
+/// `g.matmul_nt_into(w, out)` on a materialized `dZ`, dispatching through
+/// the same scalar/small-tile/blocked ladder with identical chains.
+///
+/// # Panics
+/// Panics unless `g` and `y` share a shape, `w.cols() == g.cols()`, and
+/// `out` is `g.rows() x w.rows()`.
+pub fn dense_backward_data_into(g: &Matrix, y: &Matrix, act: EpiAct, w: &Matrix, out: &mut Matrix) {
+    assert_eq!(
+        g.shape(),
+        y.shape(),
+        "dense_backward_data_into: g/y shape mismatch"
+    );
+    assert_eq!(
+        w.cols, g.cols,
+        "dense_backward_data_into: column mismatch ({}x{}) * ({}x{})^T",
+        g.rows, g.cols, w.rows, w.cols
+    );
+    assert_eq!(
+        out.shape(),
+        (g.rows, w.rows),
+        "dense_backward_data_into: bad output shape"
+    );
+    out.fill(0.0);
+    let n = w.rows;
+    if n == 0 || g.rows == 0 {
+        return;
+    }
+    let dz = DactSrc {
+        g: g.d(),
+        y: y.d(),
+        act,
+    };
+    let (rows, k) = (g.rows, g.cols);
+    let out = out.dm();
+    match gemm_path(rows, n, k, SMALL_MAX_FLOPS_NT) {
+        GemmPath::Scalar => {
+            smallgemm::gemm_nt_scalar(dz, 0, k, k, w.d(), w.cols, n, out);
+        }
+        GemmPath::Small => {
+            smallgemm::gemm_nt_small(dz, 0, k, k, w.d(), w.cols, n, out);
+        }
+        GemmPath::Blocked => {
+            let pack_b = |k0, kb, j0, jb, bp: &mut _| pack_bt_panel(w, k0, kb, j0, jb, bp);
+            gemm_blocked(dz, 0, k, 1, k, n, pack_b, None, out);
+        }
+    }
+}
+
+/// Fused weight gradient: `out = Xᵀ · dZ` with `dZ` read through the
+/// activation-derivative prologue — the counterpart of
+/// `x.matmul_tn_into(g, out)` on a materialized `dZ`, dispatching through
+/// the same scalar/small-tile/blocked ladder with identical chains.
+///
+/// # Panics
+/// Panics unless `g` and `y` share a shape, `x.rows() == g.rows()`, and
+/// `out` is `x.cols() x g.cols()`.
+pub fn dense_backward_weights_into(
+    x: &Matrix,
+    g: &Matrix,
+    y: &Matrix,
+    act: EpiAct,
+    out: &mut Matrix,
+) {
+    assert_eq!(
+        g.shape(),
+        y.shape(),
+        "dense_backward_weights_into: g/y shape mismatch"
+    );
+    assert_eq!(
+        x.rows, g.rows,
+        "dense_backward_weights_into: row mismatch ({}x{})^T * ({}x{})",
+        x.rows, x.cols, g.rows, g.cols
+    );
+    assert_eq!(
+        out.shape(),
+        (x.cols, g.cols),
+        "dense_backward_weights_into: bad output shape"
+    );
+    out.fill(0.0);
+    let n = g.cols;
+    if n == 0 || x.cols == 0 {
+        return;
+    }
+    let dz = DactSrc {
+        g: g.d(),
+        y: y.d(),
+        act,
+    };
+    let rows = x.cols;
+    let out = out.dm();
+    match gemm_path(rows, n, x.rows, SMALL_MAX_FLOPS_TN) {
+        GemmPath::Scalar => {
+            smallgemm::gemm_tn_scalar(x.d(), x.cols, x.rows, 0, dz, n, out);
+        }
+        GemmPath::Small => {
+            smallgemm::gemm_tn_small(x.d(), x.cols, x.rows, 0, dz, n, out);
+        }
+        GemmPath::Blocked => {
+            // B panels are re-packed once per `MC` row-block of the output,
+            // so the activation-derivative prologue re-runs `rows / MC`
+            // times. Measured against materializing `dZ` once into scratch,
+            // the fused re-pack still wins on training shapes: `dZ` is the
+            // layer-width-sized operand (a few hundred KB at most), stays
+            // cache-resident across re-packs, and skipping the materialize
+            // pass beats re-reading it.
+            let g_cols = g.cols;
+            let pack_b =
+                |k0, kb, j0, jb, bp: &mut _| pack_b_panel_src(dz, g_cols, k0, kb, j0, jb, bp);
+            gemm_blocked(x.d(), 0, 1, x.cols, x.rows, n, pack_b, None, out);
+        }
     }
 }
 
@@ -1801,6 +2122,125 @@ mod tests {
                 r0 += rb;
             }
             assert_eq!(out, full, "block={block}");
+        }
+    }
+
+    /// Shapes that all fall below [`BLOCK_MIN_FLOPS`], chosen to hit every
+    /// edge of the small-GEMM dispatch: empty outputs, `k = 0` (pure zero
+    /// store), single elements, sub-tile rows/cols, exact `SMR x SNR`
+    /// multiples, and one-off edges on each side of a tile. Areas straddle
+    /// the scalar/tiled cutoff so both small arms are exercised.
+    const SMALL_SHAPES: &[(usize, usize, usize)] = &[
+        (0, 3, 4),
+        (2, 0, 9),
+        (1, 1, 1),
+        (3, 4, 5),
+        (4, 6, 8),
+        (5, 7, 9),
+        (8, 16, 24),
+        (31, 11, 13),
+        (12, 2, 30),
+        (1, 50, 40),
+        (40, 50, 1),
+    ];
+
+    #[test]
+    fn small_gemm_nn_matches_reference_on_degenerate_shapes() {
+        for &(m, k, n) in SMALL_SHAPES {
+            let a = probe(m, k, 31);
+            let b = probe(k, n, 32);
+            assert_eq!(a.matmul(&b), reference::matmul(&a, &b), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn small_gemm_tn_matches_reference_on_degenerate_shapes() {
+        for &(m, k, n) in SMALL_SHAPES {
+            let a = probe(k, m, 33);
+            let b = probe(k, n, 34);
+            assert_eq!(
+                a.matmul_tn(&b),
+                reference::matmul_tn(&a, &b),
+                "({k}x{m})^T * ({k}x{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn small_gemm_nt_matches_reference_on_degenerate_shapes() {
+        for &(m, k, n) in SMALL_SHAPES {
+            let a = probe(m, k, 35);
+            let b = probe(n, k, 36);
+            assert_eq!(
+                a.matmul_nt(&b),
+                reference::matmul_nt(&a, &b),
+                "({m}x{k}) * ({n}x{k})^T"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_backward_kernels_match_materialized_dz() {
+        // Every fused backward kernel must equal "materialize dZ = act'(y)
+        // applied to g, then run the plain GEMM / column sum" bit-for-bit,
+        // across shapes hitting the scalar, tiled-small, and blocked arms.
+        for &(m, k, n) in ODD_SHAPES.iter().chain(SMALL_SHAPES) {
+            let x = probe(m, k, 41);
+            let w = probe(k, n, 42);
+            let bias = probe(1, n, 43);
+            let g = probe(m, n, 44);
+            for &act in ALL_EPI_ACTS {
+                let mut y = Matrix::full(m, n, f64::NAN);
+                matmul_bias_act_rows_into(
+                    x.as_slice(),
+                    k,
+                    &w,
+                    bias.as_slice(),
+                    act,
+                    y.as_mut_slice(),
+                );
+                let dz = g.zip_map(&y, |gv, yv| act.grad_from_output(gv, yv));
+
+                let mut db = Matrix::full(1, n, f64::NAN);
+                dense_backward_bias_into(&g, &y, act, &mut db);
+                let mut want_db = Matrix::zeros(1, n);
+                dz.col_sums_into(&mut want_db);
+                assert_eq!(db, want_db, "bias {m}x{k}x{n} {act:?}");
+
+                let mut dx = Matrix::full(m, k, f64::NAN);
+                dense_backward_data_into(&g, &y, act, &w, &mut dx);
+                assert_eq!(dx, dz.matmul_nt(&w), "data {m}x{k}x{n} {act:?}");
+
+                let mut dw = Matrix::full(k, n, f64::NAN);
+                dense_backward_weights_into(&x, &g, &y, act, &mut dw);
+                assert_eq!(dw, x.matmul_tn(&dz), "weights {m}x{k}x{n} {act:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_backward_kernels_match_on_blocked_scale_shapes() {
+        // Above BLOCK_MIN_FLOPS the fused kernels route through the packed
+        // blocked driver (dact on the pack read path) — still bit-equal to
+        // the materialized two-pass form.
+        let (m, k, n) = (96, 80, 72);
+        assert!(m * k * n >= BLOCK_MIN_FLOPS);
+        let x = probe(m, k, 51);
+        let w = probe(k, n, 52);
+        let bias = probe(1, n, 53);
+        let g = probe(m, n, 54);
+        for &act in ALL_EPI_ACTS {
+            let mut y = Matrix::full(m, n, f64::NAN);
+            matmul_bias_act_rows_into(x.as_slice(), k, &w, bias.as_slice(), act, y.as_mut_slice());
+            let dz = g.zip_map(&y, |gv, yv| act.grad_from_output(gv, yv));
+
+            let mut dx = Matrix::full(m, k, f64::NAN);
+            dense_backward_data_into(&g, &y, act, &w, &mut dx);
+            assert_eq!(dx, dz.matmul_nt(&w), "data {act:?}");
+
+            let mut dw = Matrix::full(k, n, f64::NAN);
+            dense_backward_weights_into(&x, &g, &y, act, &mut dw);
+            assert_eq!(dw, x.matmul_tn(&dz), "weights {act:?}");
         }
     }
 

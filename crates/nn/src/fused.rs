@@ -1,0 +1,94 @@
+//! The process-wide gate for the fused dense backward path.
+//!
+//! Training forwards ([`crate::Mlp::forward`] and
+//! [`crate::Mlp::forward_frozen`]) emit one fused `Dense` tape node per
+//! layer when the gate is open, and the unfused
+//! matmul/broadcast/activation triplet when it is closed. Both paths are
+//! bit-identical by construction (the fused kernels replay the exact
+//! floating-point chains of the unfused sweep), so the gate is a
+//! performance escape hatch and an oracle switch, never a semantics
+//! switch.
+//!
+//! Resolution order:
+//! 1. a live [`force_fused_backward`] override (tests comparing both
+//!    paths in one process), otherwise
+//! 2. the `TARGAD_FUSED_BACKWARD` environment variable — `off`, `0`, or
+//!    `false` (case-insensitive) closes the gate, anything else (or
+//!    unset) leaves it open. Read once and cached for the process
+//!    lifetime, like `TARGAD_SIMD`.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// `true` when `TARGAD_FUSED_BACKWARD` requests the unfused reference
+/// path (`off`, `0`, or `false`, case-insensitively). Resolved on first
+/// use and cached: a stable answer keeps every step of a run on one path.
+fn env_forced_off() -> bool {
+    static OFF: OnceLock<bool> = OnceLock::new();
+    *OFF.get_or_init(|| {
+        std::env::var("TARGAD_FUSED_BACKWARD")
+            .is_ok_and(|v| matches!(v.to_ascii_lowercase().as_str(), "off" | "0" | "false"))
+    })
+}
+
+/// In-process override: 0 = follow the environment, 1 = forced on,
+/// 2 = forced off. Only [`force_fused_backward`] writes non-zero values,
+/// under [`FORCE_LOCK`], so overrides never interleave.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Serializes [`force_fused_backward`] holders (the override is process
+/// global — pool workers must see the same answer as the driving thread,
+/// so a thread-local would not do).
+static FORCE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Should training forwards emit fused `Dense` nodes right now?
+#[inline]
+pub fn fused_backward_enabled() -> bool {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => !env_forced_off(),
+    }
+}
+
+/// Holds the fused-path override; dropping it restores environment
+/// resolution. Hold it for the whole comparison in fused-vs-reference
+/// tests — it also serializes such tests against each other.
+pub struct FusedBackwardGuard {
+    _lock: std::sync::MutexGuard<'static, ()>,
+}
+
+impl Drop for FusedBackwardGuard {
+    fn drop(&mut self) {
+        OVERRIDE.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Forces the fused dense backward path on or off for the whole process
+/// until the returned guard drops. Concurrent callers queue on an
+/// internal lock, so overrides never overlap.
+pub fn force_fused_backward(on: bool) -> FusedBackwardGuard {
+    let lock = FORCE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    OVERRIDE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+    FusedBackwardGuard { _lock: lock }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_wins_and_restores() {
+        {
+            let _g = force_fused_backward(false);
+            assert!(!fused_backward_enabled());
+        }
+        {
+            let _g = force_fused_backward(true);
+            assert!(fused_backward_enabled());
+        }
+        // Back to environment resolution (unset in the test harness →
+        // enabled).
+        assert_eq!(fused_backward_enabled(), !env_forced_off());
+    }
+}

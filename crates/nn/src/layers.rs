@@ -138,6 +138,18 @@ impl Linear {
         tape.add_row_broadcast(z, b)
     }
 
+    /// Training-path forward as one fused `Dense` node: the GEMM applies
+    /// bias and `act` at write-back, and the backward sweep folds the
+    /// activation derivative into the gradient GEMMs' read paths.
+    /// Bit-identical to [`Linear::forward`] followed by `act` — this is
+    /// the fast arm behind [`crate::fused_backward_enabled`], not a
+    /// different computation.
+    pub fn forward_fused(&self, tape: &mut Tape, store: &VarStore, x: Var, act: Activation) -> Var {
+        let w = tape.param(store, self.w);
+        let b = tape.param(store, self.b);
+        tape.dense(x, w, b, act.epi())
+    }
+
     /// Inference-path forward on plain matrices.
     pub fn eval(&self, store: &VarStore, x: &Matrix) -> Matrix {
         x.matmul(store.value(self.w))
@@ -162,6 +174,21 @@ impl Linear {
         let b = tape.input(store.value(self.b).clone());
         let z = tape.matmul(x, w);
         tape.add_row_broadcast(z, b)
+    }
+
+    /// [`Linear::forward_frozen`] as one fused `Dense` node over pooled
+    /// constant copies of the parameters (gradients still flow to `x`
+    /// only). Bit-identical to the unfused frozen path followed by `act`.
+    pub fn forward_frozen_fused(
+        &self,
+        tape: &mut Tape,
+        store: &VarStore,
+        x: Var,
+        act: Activation,
+    ) -> Var {
+        let w = tape.input_from(store.value(self.w));
+        let b = tape.input_from(store.value(self.b));
+        tape.dense(x, w, b, act.epi())
     }
 }
 
@@ -278,18 +305,23 @@ impl Mlp {
         dims
     }
 
-    /// Training-path forward on the tape.
+    /// Training-path forward on the tape. When the fused backward gate is
+    /// open (see [`crate::fused_backward_enabled`]) every layer+activation
+    /// pair is emitted as one fused `Dense` node; when it is closed, as
+    /// the unfused matmul/broadcast/activation triplet. The two arms are
+    /// bit-identical — forward values, gradients, and fitted weights — so
+    /// the unfused arm doubles as the exact-equality oracle.
     pub fn forward(&self, tape: &mut Tape, store: &VarStore, x: Var) -> Var {
+        let fused = crate::fused::fused_backward_enabled();
         let mut h = x;
-        let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward(tape, store, h);
-            let act = if i == last {
-                self.out_act
+            let act = self.act(i);
+            if fused {
+                h = layer.forward_fused(tape, store, h, act);
             } else {
-                self.hidden_act
-            };
-            h = act.forward(tape, h);
+                h = layer.forward(tape, store, h);
+                h = act.forward(tape, h);
+            }
         }
         h
     }
@@ -329,18 +361,20 @@ impl Mlp {
     }
 
     /// Tape forward with frozen parameters — see
-    /// [`Linear::forward_frozen`].
+    /// [`Linear::forward_frozen`]. Gated on the fused backward path like
+    /// [`Mlp::forward`] (the fused frozen arm also takes pooled parameter
+    /// copies instead of fresh clones).
     pub fn forward_frozen(&self, tape: &mut Tape, store: &VarStore, x: Var) -> Var {
+        let fused = crate::fused::fused_backward_enabled();
         let mut h = x;
-        let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward_frozen(tape, store, h);
-            let act = if i == last {
-                self.out_act
+            let act = self.act(i);
+            if fused {
+                h = layer.forward_frozen_fused(tape, store, h, act);
             } else {
-                self.hidden_act
-            };
-            h = act.forward(tape, h);
+                h = layer.forward_frozen(tape, store, h);
+                h = act.forward(tape, h);
+            }
         }
         h
     }

@@ -252,8 +252,13 @@ impl Histogram {
 
 /// Blocked-GEMM driver dispatches (packed path).
 pub static GEMM_KERNEL_DISPATCHES: Counter = Counter::new("gemm.kernel_dispatches");
-/// Small-problem GEMM dispatches (naive path below the FLOP threshold).
+/// Scalar-loop GEMM dispatches (problems too tiny even for register
+/// tiling: output area below one register tile).
 pub static GEMM_NAIVE_DISPATCHES: Counter = Counter::new("gemm.naive_dispatches");
+/// Packing-free register-tiled small-GEMM dispatches (below the blocked
+/// kernel's FLOP threshold but at least one register tile of output —
+/// the training-shape fast path).
+pub static GEMM_SMALL_DISPATCHES: Counter = Counter::new("gemm.small_dispatches");
 /// f32 inference-kernel calls that ran the AVX2+FMA micro-tile.
 pub static GEMM_F32_SIMD_DISPATCHES: Counter = Counter::new("gemm.f32_simd_dispatches");
 /// f32 inference-kernel calls that ran the portable scalar micro-kernel.
@@ -372,6 +377,7 @@ pub static STORE_ADMIT_NS: Histogram = Histogram::new("store.admit_ns");
 pub static COUNTERS: &[&Counter] = &[
     &GEMM_KERNEL_DISPATCHES,
     &GEMM_NAIVE_DISPATCHES,
+    &GEMM_SMALL_DISPATCHES,
     &GEMM_F32_SIMD_DISPATCHES,
     &GEMM_F32_SCALAR_DISPATCHES,
     &POOL_JOBS,

@@ -114,6 +114,12 @@ pub static PHASE_STEP: PhaseTimer = PhaseTimer::new("step");
 pub static PHASE_STEP_FORWARD: PhaseTimer = PhaseTimer::new("step.forward");
 /// Shard backward pass inside `ShardedStep`.
 pub static PHASE_STEP_BACKWARD: PhaseTimer = PhaseTimer::new("step.backward");
+/// Gradient-GEMM share of one backward sweep (`MatMul` / fused `Dense`
+/// nodes), bucketed per sweep by the tape itself.
+pub static PHASE_STEP_BACKWARD_GEMM: PhaseTimer = PhaseTimer::new("step.backward.gemm");
+/// Elementwise/reduction share of one backward sweep (every non-GEMM
+/// node: activations, broadcasts, softmax, sums).
+pub static PHASE_STEP_BACKWARD_ELEM: PhaseTimer = PhaseTimer::new("step.backward.elementwise");
 /// Fixed-order gradient reduction inside `ShardedStep`.
 pub static PHASE_STEP_REDUCE: PhaseTimer = PhaseTimer::new("step.reduce");
 /// Gradient clip + optimizer apply (core training loops).
@@ -134,6 +140,8 @@ pub static PHASES: &[&PhaseTimer] = &[
     &PHASE_STEP,
     &PHASE_STEP_FORWARD,
     &PHASE_STEP_BACKWARD,
+    &PHASE_STEP_BACKWARD_GEMM,
+    &PHASE_STEP_BACKWARD_ELEM,
     &PHASE_STEP_REDUCE,
     &PHASE_STEP_APPLY,
     &PHASE_INFER,
